@@ -1,0 +1,68 @@
+//! Regenerates the paper's **Fig. 8**: total lookup throughput against
+//! number of clients, for the group service, the group+NVRAM service and
+//! the RPC service.
+//!
+//! Paper anchors: ~200 lookups/s per client at low load (5 ms per
+//! lookup); the RPC service saturates around 520/s, the group services
+//! around 627–652/s; upper bounds 666/s (2 servers) and 1000/s
+//! (3 servers at ~3 ms CPU per lookup).
+//!
+//! Run with: `cargo run -p amoeba-bench --bin fig8 --release`
+
+use std::time::Duration;
+
+use amoeba_bench::{lookup_once, testbed, throughput};
+use amoeba_dir_core::cluster::Variant;
+use amoeba_dir_core::Rights;
+
+fn main() {
+    println!("Fig. 8 — lookup throughput (operations/second) vs number of clients");
+    println!(
+        "{:<8} {:>14} {:>16} {:>14}",
+        "clients", "Group(3)", "Group+NVRAM(3)", "RPC(2)"
+    );
+    let clients = [1usize, 2, 3, 4, 5, 6, 7];
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    for variant in [Variant::Group, Variant::GroupNvram, Variant::Rpc] {
+        let mut series = Vec::new();
+        for &n in &clients {
+            series.push(run_point(variant, n));
+        }
+        results.push(series);
+    }
+    for (i, &n) in clients.iter().enumerate() {
+        println!(
+            "{:<8} {:>14.0} {:>16.0} {:>14.0}",
+            n, results[0][i], results[1][i], results[2][i]
+        );
+    }
+    println!();
+    println!(
+        "paper saturation: Group ≈ 652/s (headline 627/s), RPC ≈ 520/s; \
+         measured saturation: Group ≈ {:.0}/s, RPC ≈ {:.0}/s",
+        results[0][6], results[2][6]
+    );
+}
+
+fn run_point(variant: Variant, n_clients: usize) -> f64 {
+    let mut tb = testbed(variant, 0xF18 + n_clients as u64);
+    // Seed the name being looked up.
+    {
+        let client = tb.client.clone();
+        let root = tb.root;
+        let out = tb.sim.spawn("seed", move |ctx| {
+            client
+                .append_row(ctx, root, "target", root, vec![Rights::ALL, Rights::NONE])
+                .is_ok()
+        });
+        tb.sim.run_for(Duration::from_secs(10));
+        assert_eq!(out.take(), Some(true));
+    }
+    throughput(
+        &mut tb,
+        n_clients,
+        Duration::from_secs(1),
+        Duration::from_secs(5),
+        |ctx, client, root, _c, _k| lookup_once(ctx, client, root, "target"),
+    )
+}

@@ -1,0 +1,34 @@
+//! Diagnostic: real-time cost of each harness phase. Useful when tuning
+//! the calibration; not part of the figure set.
+
+use std::time::{Duration, Instant};
+
+use amoeba_bench::{append_delete_pair, testbed};
+use amoeba_dir_core::cluster::Variant;
+
+fn main() {
+    let t = Instant::now();
+    let mut tb = testbed(Variant::Group, 7);
+    println!(
+        "testbed formed: real={:?} virtual={}",
+        t.elapsed(),
+        tb.sim.now()
+    );
+    let t = Instant::now();
+    let client = tb.client.clone();
+    let root = tb.root;
+    let out = tb.sim.spawn("probe", move |ctx| {
+        for i in 0..3 {
+            let t0 = ctx.now();
+            assert!(append_delete_pair(ctx, &client, root, format!("p{i}")));
+            println!("pair {i}: {:?}", ctx.now() - t0);
+        }
+    });
+    amoeba_bench::run_until_ready(&mut tb, &out, Duration::from_secs(120));
+    println!(
+        "pairs done: ready={} real={:?} virtual={}",
+        out.is_ready(),
+        t.elapsed(),
+        tb.sim.now()
+    );
+}

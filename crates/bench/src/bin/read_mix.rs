@@ -1,0 +1,56 @@
+//! Ablation: throughput of the group service under mixed read/write
+//! workloads, as a function of the read fraction.
+//!
+//! The paper's design is justified by the observed workload being 98%
+//! reads (§2): reads cost no communication and no disk I/O, so throughput
+//! collapses as the write fraction grows. This experiment quantifies that
+//! design point.
+//!
+//! Run with: `cargo run -p amoeba-bench --bin read_mix --release`
+
+use std::time::Duration;
+
+use amoeba_bench::{append_delete_pair, lookup_once, testbed, throughput};
+use amoeba_dir_core::cluster::Variant;
+use amoeba_dir_core::Rights;
+
+fn main() {
+    println!("Read-mix ablation — group service, 4 clients, ops/second");
+    println!("{:<16} {:>12}", "read fraction", "ops/s");
+    for read_pct in [100u32, 98, 90, 75, 50, 0] {
+        let tput = run_mix(read_pct);
+        println!("{:<16} {:>12.0}", format!("{read_pct}%"), tput);
+    }
+    println!();
+    println!("(98% is the paper's measured workload mix, §2.)");
+}
+
+fn run_mix(read_pct: u32) -> f64 {
+    let mut tb = testbed(Variant::Group, 0xA_B1E ^ u64::from(read_pct));
+    {
+        let client = tb.client.clone();
+        let root = tb.root;
+        let out = tb.sim.spawn("seed", move |ctx| {
+            client
+                .append_row(ctx, root, "target", root, vec![Rights::ALL, Rights::NONE])
+                .is_ok()
+        });
+        tb.sim.run_for(Duration::from_secs(10));
+        assert_eq!(out.take(), Some(true));
+    }
+    throughput(
+        &mut tb,
+        4,
+        Duration::from_secs(1),
+        Duration::from_secs(8),
+        move |ctx, client, root, c, k| {
+            let is_read = ctx.with_rng(|r| r.next_below(100)) < u64::from(read_pct);
+            if is_read {
+                lookup_once(ctx, client, root, "target")
+            } else {
+                // A write op (half an append-delete pair alternating).
+                append_delete_pair(ctx, client, root, format!("w{c}-{k}"))
+            }
+        },
+    )
+}

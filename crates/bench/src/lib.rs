@@ -1,0 +1,198 @@
+//! Shared experiment harness for the figure/table regeneration binaries.
+//!
+//! Every experiment builds a deployment with
+//! [`amoeba_dir_core::cluster::Cluster`], runs a workload under
+//! virtual time, and reports latencies/throughputs measured on the
+//! simulated clock — the same quantities the paper's Figs. 7–9 report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use amoeba_dir_core::cluster::{Cluster, ClusterParams, Variant};
+use amoeba_dir_core::{Capability, DirClient, Rights};
+use amoeba_sim::{Ctx, SimTime, Simulation};
+
+/// A ready-to-measure deployment: cluster + a root directory.
+pub struct Testbed {
+    /// The simulation (run it to advance the experiment).
+    pub sim: Simulation,
+    /// The deployment.
+    pub cluster: Cluster,
+    /// A formed root directory every client can use.
+    pub root: Capability,
+    /// A client on its own machine, already warmed up.
+    pub client: DirClient,
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Testbed({})", self.cluster.params.variant.label())
+    }
+}
+
+/// Builds a deployment of `variant`, waits for it to form, creates a root
+/// directory.
+///
+/// # Panics
+///
+/// Panics if the service does not form within a minute of virtual time.
+pub fn testbed(variant: Variant, seed: u64) -> Testbed {
+    testbed_with(variant, seed, |_| {})
+}
+
+/// [`testbed`] with a hook to adjust the deployment parameters.
+///
+/// # Panics
+///
+/// Panics if the service does not form within a minute of virtual time.
+pub fn testbed_with(
+    variant: Variant,
+    seed: u64,
+    tweak: impl FnOnce(&mut ClusterParams),
+) -> Testbed {
+    let mut sim = Simulation::new(seed);
+    let mut params = ClusterParams::paper(variant);
+    params.seed = seed;
+    tweak(&mut params);
+    let mut cluster = Cluster::start(&sim, params);
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let out = sim.spawn("testbed-setup", move |ctx| loop {
+        match c2.create_dir(ctx, &["owner", "other"]) {
+            Ok(cap) => return cap,
+            Err(_) => ctx.sleep(Duration::from_millis(100)),
+        }
+    });
+    sim.run_for(Duration::from_secs(60));
+    let root = out.take().expect("service failed to form within 60 s");
+    Testbed {
+        sim,
+        cluster,
+        root,
+        client,
+    }
+}
+
+/// Measures mean latency (ms) of `op` over `iters` runs from one client.
+pub fn mean_latency_ms<F>(tb: &mut Testbed, iters: usize, op: F) -> f64
+where
+    F: Fn(&Ctx, &DirClient, Capability, usize) + Send + Sync + 'static,
+{
+    let client = tb.client.clone();
+    let root = tb.root;
+    let out = tb.sim.spawn("latency-probe", move |ctx| {
+        // One warmup iteration to fill caches.
+        op(ctx, &client, root, usize::MAX);
+        let mut total = Duration::ZERO;
+        for i in 0..iters {
+            let t0 = ctx.now();
+            op(ctx, &client, root, i);
+            total += ctx.now() - t0;
+        }
+        total.as_secs_f64() * 1e3 / iters as f64
+    });
+    run_until_ready(tb, &out, Duration::from_secs(600));
+    out.take().expect("latency probe finished")
+}
+
+/// Advances the simulation in slices until the probe's value is ready,
+/// without burning virtual time on idle background timers afterwards.
+pub fn run_until_ready<R>(
+    tb: &mut Testbed,
+    out: &amoeba_sim::ProcOutput<R>,
+    limit: Duration,
+) {
+    let deadline = tb.sim.now() + limit;
+    while !out.is_ready() && tb.sim.now() < deadline {
+        tb.sim.run_for(Duration::from_millis(500));
+    }
+}
+
+/// Runs `n_clients` closed-loop clients for `window` of virtual time
+/// (after `warmup`) and returns completed ops/second.
+///
+/// Each client runs on its own machine (its own kernel port cache), like
+/// the paper's workstations.
+pub fn throughput<F>(tb: &mut Testbed, n_clients: usize, warmup: Duration, window: Duration, op: F) -> f64
+where
+    F: Fn(&Ctx, &DirClient, Capability, usize, usize) -> bool + Send + Sync + Clone + 'static,
+{
+    let counter = Arc::new(AtomicU64::new(0));
+    let t_start = tb.sim.now() + warmup;
+    let t_end = t_start + window;
+    for c in 0..n_clients {
+        let (client, _) = tb.cluster.client(&tb.sim);
+        let root = tb.root;
+        let counter = Arc::clone(&counter);
+        let op = op.clone();
+        tb.sim.spawn(&format!("load-client-{c}"), move |ctx| {
+            let mut k = 0usize;
+            loop {
+                let done_at_start = ctx.now();
+                if done_at_start >= t_end {
+                    return;
+                }
+                let ok = op(ctx, &client, root, c, k);
+                k += 1;
+                let t = ctx.now();
+                if ok && t >= t_start && t < t_end {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    tb.sim.run_until(t_end + Duration::from_secs(2));
+    counter.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+}
+
+/// Formats a paper-vs-measured table row.
+pub fn row(label: &str, paper: &str, measured: f64, unit: &str) -> String {
+    format!("{label:<28} {paper:>12} {measured:>12.1} {unit}")
+}
+
+/// The append-delete pair workload (Fig. 7 row 1, Fig. 9). Adapts the
+/// rights-mask count to the directory's columns and retries transient
+/// busy failures a few times, as a real client would.
+pub fn append_delete_pair(ctx: &Ctx, client: &DirClient, dir: Capability, tag: String) -> bool {
+    use amoeba_dir_core::{DirClientError, DirError};
+    let mut appended = false;
+    let mut masks = vec![Rights::ALL];
+    for _ in 0..6 {
+        match client.append_row(ctx, dir, &tag, dir, masks.clone()) {
+            Ok(()) => {
+                appended = true;
+                break;
+            }
+            Err(DirClientError::Service(DirError::ColumnMismatch)) => {
+                masks.push(Rights::NONE);
+            }
+            Err(DirClientError::Service(DirError::DuplicateName)) => {
+                appended = true; // an earlier retry actually landed
+                break;
+            }
+            Err(_) => ctx.sleep(Duration::from_millis(10)),
+        }
+    }
+    if !appended {
+        return false;
+    }
+    for _ in 0..6 {
+        match client.delete_row(ctx, dir, &tag) {
+            Ok(()) => return true,
+            Err(DirClientError::Service(DirError::NoSuchName)) => return true,
+            Err(_) => ctx.sleep(Duration::from_millis(10)),
+        }
+    }
+    false
+}
+
+/// One lookup of an existing name (Fig. 7 row 3, Fig. 8).
+pub fn lookup_once(ctx: &Ctx, client: &DirClient, root: Capability, name: &str) -> bool {
+    matches!(client.lookup(ctx, root, name), Ok(Some(_)))
+}
+
+/// The current virtual time of a testbed.
+pub fn now(tb: &Testbed) -> SimTime {
+    tb.sim.now()
+}

@@ -1,0 +1,81 @@
+//! Capabilities for Bullet files.
+
+use std::fmt;
+
+use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+
+/// A capability naming one immutable Bullet file.
+///
+/// Possession of a valid capability (object number plus unguessable check
+/// field) is the only way to read or delete the file.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct FileCap {
+    /// Object number at the issuing server.
+    pub object: u64,
+    /// Unguessable check field proving authority.
+    pub check: u64,
+}
+
+impl FileCap {
+    /// A sentinel capability that no server ever issues.
+    pub const NULL: FileCap = FileCap {
+        object: 0,
+        check: 0,
+    };
+
+    /// Whether this is the null capability.
+    pub fn is_null(&self) -> bool {
+        *self == FileCap::NULL
+    }
+
+    /// Appends this capability to a wire buffer.
+    pub fn write(&self, w: &mut WireWriter) {
+        w.u64(self.object).u64(self.check);
+    }
+
+    /// Reads a capability from a wire buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation.
+    pub fn read(r: &mut WireReader<'_>) -> Result<FileCap, DecodeError> {
+        Ok(FileCap {
+            object: r.u64("filecap object")?,
+            check: r.u64("filecap check")?,
+        })
+    }
+}
+
+impl fmt::Debug for FileCap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file<{}:{:08x}>", self.object, self.check as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(FileCap::NULL.is_null());
+        assert!(!FileCap {
+            object: 1,
+            check: 2
+        }
+        .is_null());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let c = FileCap {
+            object: 42,
+            check: 0xDEAD_BEEF,
+        };
+        let mut w = WireWriter::new();
+        c.write(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(FileCap::read(&mut r).unwrap(), c);
+    }
+}

@@ -1,0 +1,26 @@
+//! # amoeba-bullet — the Bullet immutable-file server
+//!
+//! A reproduction of Amoeba's Bullet file server (van Renesse et al.,
+//! ICDCS '89) as the directory service's storage backend (paper Fig. 3):
+//! whole-file, immutable semantics — create / read / size / delete —
+//! addressed by unguessable capabilities, with files laid out contiguously
+//! so a create or uncached read costs one disk seek, plus a RAM cache
+//! that dies with the machine.
+//!
+//! Each directory-service replica column runs one Bullet server over the
+//! machine's [`amoeba_disk::DiskServer`]; the directory server stores each
+//! directory's contents as one Bullet file and keeps only capabilities in
+//! its object table.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cap;
+mod msg;
+mod server;
+mod store;
+
+pub use cap::FileCap;
+pub use msg::{BulletErrorKind, BulletReply, BulletRequest};
+pub use server::{start_bullet_server, BulletClient, BulletError};
+pub use store::BulletStore;

@@ -1,0 +1,240 @@
+//! Wire messages of the Bullet protocol.
+
+use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+
+use crate::cap::FileCap;
+
+/// A request to a Bullet server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BulletRequest {
+    /// Create an immutable file holding `data`; returns its capability.
+    Create {
+        /// File contents.
+        data: Vec<u8>,
+    },
+    /// Read the whole file.
+    Read {
+        /// Which file.
+        cap: FileCap,
+    },
+    /// Size of the file in bytes.
+    Size {
+        /// Which file.
+        cap: FileCap,
+    },
+    /// Delete the file.
+    Delete {
+        /// Which file.
+        cap: FileCap,
+    },
+}
+
+/// A Bullet server's reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BulletReply {
+    /// File created.
+    Created {
+        /// Capability of the new file.
+        cap: FileCap,
+    },
+    /// File contents.
+    Data {
+        /// The bytes.
+        data: Vec<u8>,
+    },
+    /// File size.
+    Size {
+        /// Bytes.
+        len: u64,
+    },
+    /// Operation done (delete).
+    Done,
+    /// Bad capability or out of space.
+    Error {
+        /// What went wrong.
+        kind: BulletErrorKind,
+    },
+}
+
+/// Failure classes a Bullet server reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulletErrorKind {
+    /// Unknown object or wrong check field.
+    BadCapability,
+    /// No room for the file.
+    NoSpace,
+}
+
+const RQ_CREATE: u8 = 1;
+const RQ_READ: u8 = 2;
+const RQ_SIZE: u8 = 3;
+const RQ_DELETE: u8 = 4;
+
+const RP_CREATED: u8 = 1;
+const RP_DATA: u8 = 2;
+const RP_SIZE: u8 = 3;
+const RP_DONE: u8 = 4;
+const RP_ERROR: u8 = 5;
+
+impl BulletRequest {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            BulletRequest::Create { data } => {
+                w.u8(RQ_CREATE).bytes(data);
+            }
+            BulletRequest::Read { cap } => {
+                w.u8(RQ_READ);
+                cap.write(&mut w);
+            }
+            BulletRequest::Size { cap } => {
+                w.u8(RQ_SIZE);
+                cap.write(&mut w);
+            }
+            BulletRequest::Delete { cap } => {
+                w.u8(RQ_DELETE);
+                cap.write(&mut w);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let req = match r.u8("bullet req tag")? {
+            RQ_CREATE => BulletRequest::Create {
+                data: r.bytes("create data")?,
+            },
+            RQ_READ => BulletRequest::Read {
+                cap: FileCap::read(&mut r)?,
+            },
+            RQ_SIZE => BulletRequest::Size {
+                cap: FileCap::read(&mut r)?,
+            },
+            RQ_DELETE => BulletRequest::Delete {
+                cap: FileCap::read(&mut r)?,
+            },
+            _ => return Err(DecodeError::new("bullet req tag")),
+        };
+        r.expect_end("bullet req trailing")?;
+        Ok(req)
+    }
+}
+
+impl BulletReply {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            BulletReply::Created { cap } => {
+                w.u8(RP_CREATED);
+                cap.write(&mut w);
+            }
+            BulletReply::Data { data } => {
+                w.u8(RP_DATA).bytes(data);
+            }
+            BulletReply::Size { len } => {
+                w.u8(RP_SIZE).u64(*len);
+            }
+            BulletReply::Done => {
+                w.u8(RP_DONE);
+            }
+            BulletReply::Error { kind } => {
+                w.u8(RP_ERROR).u8(match kind {
+                    BulletErrorKind::BadCapability => 1,
+                    BulletErrorKind::NoSpace => 2,
+                });
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let rep = match r.u8("bullet rep tag")? {
+            RP_CREATED => BulletReply::Created {
+                cap: FileCap::read(&mut r)?,
+            },
+            RP_DATA => BulletReply::Data {
+                data: r.bytes("rep data")?,
+            },
+            RP_SIZE => BulletReply::Size {
+                len: r.u64("rep size")?,
+            },
+            RP_DONE => BulletReply::Done,
+            RP_ERROR => BulletReply::Error {
+                kind: match r.u8("error kind")? {
+                    1 => BulletErrorKind::BadCapability,
+                    2 => BulletErrorKind::NoSpace,
+                    _ => return Err(DecodeError::new("error kind")),
+                },
+            },
+            _ => return Err(DecodeError::new("bullet rep tag")),
+        };
+        r.expect_end("bullet rep trailing")?;
+        Ok(rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cap = FileCap {
+            object: 9,
+            check: 0xAB,
+        };
+        for req in [
+            BulletRequest::Create { data: vec![1, 2] },
+            BulletRequest::Read { cap },
+            BulletRequest::Size { cap },
+            BulletRequest::Delete { cap },
+        ] {
+            assert_eq!(BulletRequest::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let cap = FileCap {
+            object: 9,
+            check: 0xAB,
+        };
+        for rep in [
+            BulletReply::Created { cap },
+            BulletReply::Data { data: vec![3] },
+            BulletReply::Size { len: 77 },
+            BulletReply::Done,
+            BulletReply::Error {
+                kind: BulletErrorKind::BadCapability,
+            },
+            BulletReply::Error {
+                kind: BulletErrorKind::NoSpace,
+            },
+        ] {
+            assert_eq!(BulletReply::decode(&rep.encode()).unwrap(), rep);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = BulletRequest::decode(&data);
+            let _ = BulletReply::decode(&data);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The on-disk state of one Bullet server: inode table and allocation.
+//!
+//! Crash-persistent (like the platters it abstracts). The real Bullet
+//! server lays every file out contiguously and rebuilds its table by
+//! scanning the disk at boot; we persist the table alongside the blocks
+//! and charge the same disk traffic at the server layer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cap::FileCap;
+
+#[derive(Debug, Clone)]
+pub(crate) struct Inode {
+    pub start_block: u64,
+    pub len_bytes: usize,
+    pub check: u64,
+}
+
+struct StoreInner {
+    inodes: HashMap<u64, Inode>,
+    next_object: u64,
+    next_block: u64,
+    nblocks: u64,
+    block_size: usize,
+    check_seed: u64,
+    check_counter: u64,
+}
+
+/// The persistent metadata + allocation state of one Bullet server.
+#[derive(Clone)]
+pub struct BulletStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl std::fmt::Debug for BulletStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let i = self.inner.lock();
+        write!(f, "BulletStore({} files)", i.inodes.len())
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BulletStore {
+    /// Creates an empty store managing `nblocks` blocks of file area.
+    pub fn new(nblocks: u64, block_size: usize, check_seed: u64) -> Self {
+        BulletStore {
+            inner: Arc::new(Mutex::new(StoreInner {
+                inodes: HashMap::new(),
+                next_object: 1,
+                next_block: 0,
+                nblocks,
+                block_size,
+                check_seed,
+                check_counter: 0,
+            })),
+        }
+    }
+
+    /// Allocates an inode for a file of `len_bytes`, returning its
+    /// capability and the starting block, or `None` if the disk is full.
+    ///
+    /// Allocation is bump-pointer (files are immutable and the simulation
+    /// workloads recycle the disk long before it fills; deletions simply
+    /// free the inode, as in log-structured allocation before cleaning).
+    pub(crate) fn allocate(&self, len_bytes: usize) -> Option<(FileCap, u64, u64)> {
+        let mut i = self.inner.lock();
+        let nblocks = (len_bytes.max(1)).div_ceil(i.block_size) as u64;
+        if i.next_block + nblocks > i.nblocks {
+            // Wrap around: a trivial cleaner that reuses the start of the
+            // area. Fine for simulation workloads whose live set is small.
+            i.next_block = 0;
+            if nblocks > i.nblocks {
+                return None;
+            }
+        }
+        let start = i.next_block;
+        i.next_block += nblocks;
+        let object = i.next_object;
+        i.next_object += 1;
+        i.check_counter += 1;
+        let check = mix(i.check_seed ^ i.check_counter.wrapping_mul(0xA5A5_A5A5));
+        let check = if check == 0 { 1 } else { check };
+        i.inodes.insert(
+            object,
+            Inode {
+                start_block: start,
+                len_bytes,
+                check,
+            },
+        );
+        Some((FileCap { object, check }, start, nblocks))
+    }
+
+    /// Looks up and validates a capability.
+    pub(crate) fn lookup(&self, cap: FileCap) -> Option<Inode> {
+        let i = self.inner.lock();
+        let inode = i.inodes.get(&cap.object)?;
+        if inode.check == cap.check {
+            Some(inode.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Deletes the file if the capability is valid.
+    pub(crate) fn remove(&self, cap: FileCap) -> bool {
+        let mut i = self.inner.lock();
+        match i.inodes.get(&cap.object) {
+            Some(inode) if inode.check == cap.check => {
+                i.inodes.remove(&cap.object);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.inner.lock().inodes.len()
+    }
+
+    /// Block size used for layout.
+    pub fn block_size(&self) -> usize {
+        self.inner.lock().block_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lookup_remove_cycle() {
+        let s = BulletStore::new(100, 512, 7);
+        let (cap, start, nblocks) = s.allocate(1000).unwrap();
+        assert_eq!(nblocks, 2);
+        assert_eq!(start, 0);
+        let inode = s.lookup(cap).unwrap();
+        assert_eq!(inode.len_bytes, 1000);
+        assert!(s.remove(cap));
+        assert!(s.lookup(cap).is_none());
+        assert!(!s.remove(cap));
+    }
+
+    #[test]
+    fn wrong_check_rejected() {
+        let s = BulletStore::new(100, 512, 7);
+        let (cap, _, _) = s.allocate(10).unwrap();
+        let forged = FileCap {
+            object: cap.object,
+            check: cap.check ^ 1,
+        };
+        assert!(s.lookup(forged).is_none());
+        assert!(!s.remove(forged));
+    }
+
+    #[test]
+    fn checks_are_unique_per_file() {
+        let s = BulletStore::new(1000, 512, 7);
+        let a = s.allocate(1).unwrap().0;
+        let b = s.allocate(1).unwrap().0;
+        assert_ne!(a.check, b.check);
+        assert_ne!(a.object, b.object);
+    }
+
+    #[test]
+    fn zero_length_file_takes_one_block() {
+        let s = BulletStore::new(10, 512, 7);
+        let (_, _, nblocks) = s.allocate(0).unwrap();
+        assert_eq!(nblocks, 1);
+    }
+
+    #[test]
+    fn allocation_wraps_when_area_exhausted() {
+        let s = BulletStore::new(4, 512, 7);
+        let _ = s.allocate(512 * 3).unwrap(); // blocks 0..3
+        let (_, start, _) = s.allocate(512 * 2).unwrap(); // wraps to 0
+        assert_eq!(start, 0);
+    }
+
+    #[test]
+    fn file_larger_than_area_fails() {
+        let s = BulletStore::new(2, 512, 7);
+        assert!(s.allocate(512 * 3).is_none());
+    }
+}

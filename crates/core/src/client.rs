@@ -1,0 +1,234 @@
+//! The client library: typed wrappers over the Fig. 2 operations.
+
+use amoeba_flip::Port;
+use amoeba_rpc::{RpcClient, RpcError};
+use amoeba_sim::Ctx;
+
+use crate::capability::Capability;
+use crate::ops::{DirError, DirReply, DirRequest};
+use crate::rights::Rights;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirClientError {
+    /// The service reported a failure.
+    Service(DirError),
+    /// Transport failure (no server reachable).
+    Rpc(RpcError),
+    /// The server answered something unintelligible.
+    Protocol,
+}
+
+impl std::fmt::Display for DirClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirClientError::Service(e) => write!(f, "directory service: {e}"),
+            DirClientError::Rpc(e) => write!(f, "transport: {e}"),
+            DirClientError::Protocol => f.write_str("malformed reply"),
+        }
+    }
+}
+
+impl std::error::Error for DirClientError {}
+
+impl From<RpcError> for DirClientError {
+    fn from(e: RpcError) -> Self {
+        DirClientError::Rpc(e)
+    }
+}
+
+impl From<DirError> for DirClientError {
+    fn from(e: DirError) -> Self {
+        DirClientError::Service(e)
+    }
+}
+
+/// A listing returned by [`DirClient::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Listing {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// (name, capability restricted to your effective rights, visible
+    /// column masks).
+    pub rows: Vec<(String, Capability, Vec<Rights>)>,
+}
+
+/// A typed client for the directory service (any implementation).
+#[derive(Debug, Clone)]
+pub struct DirClient {
+    rpc: RpcClient,
+    service: Port,
+}
+
+impl DirClient {
+    /// Creates a client that locates servers of `service` through `rpc`.
+    pub fn new(rpc: RpcClient, service: Port) -> DirClient {
+        DirClient { rpc, service }
+    }
+
+    fn call(&self, ctx: &Ctx, req: &DirRequest) -> Result<DirReply, DirClientError> {
+        let bytes = self.rpc.trans(ctx, self.service, req.encode())?;
+        DirReply::decode(&bytes).map_err(|_| DirClientError::Protocol)
+    }
+
+    fn expect_ok(&self, ctx: &Ctx, req: &DirRequest) -> Result<(), DirClientError> {
+        match self.call(ctx, req)? {
+            DirReply::Ok => Ok(()),
+            DirReply::Err(e) => Err(e.into()),
+            _ => Err(DirClientError::Protocol),
+        }
+    }
+
+    /// Creates a directory; returns its owner capability.
+    ///
+    /// # Errors
+    ///
+    /// Service errors ([`DirError`]) or transport failures.
+    pub fn create_dir(
+        &self,
+        ctx: &Ctx,
+        columns: &[&str],
+    ) -> Result<Capability, DirClientError> {
+        let req = DirRequest::CreateDir {
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+        };
+        match self.call(ctx, &req)? {
+            DirReply::Cap(c) => Ok(c),
+            DirReply::Err(e) => Err(e.into()),
+            _ => Err(DirClientError::Protocol),
+        }
+    }
+
+    /// Deletes a directory (needs [`Rights::ADMIN`]).
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures.
+    pub fn delete_dir(&self, ctx: &Ctx, cap: Capability) -> Result<(), DirClientError> {
+        self.expect_ok(ctx, &DirRequest::DeleteDir { cap })
+    }
+
+    /// Lists a directory.
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures.
+    pub fn list(&self, ctx: &Ctx, cap: Capability) -> Result<Listing, DirClientError> {
+        match self.call(ctx, &DirRequest::ListDir { cap })? {
+            DirReply::Listing { columns, rows } => Ok(Listing { columns, rows }),
+            DirReply::Err(e) => Err(e.into()),
+            _ => Err(DirClientError::Protocol),
+        }
+    }
+
+    /// Appends a row (needs [`Rights::MODIFY`] on `dir`).
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures.
+    pub fn append_row(
+        &self,
+        ctx: &Ctx,
+        dir: Capability,
+        name: &str,
+        cap: Capability,
+        col_rights: Vec<Rights>,
+    ) -> Result<(), DirClientError> {
+        self.expect_ok(
+            ctx,
+            &DirRequest::AppendRow {
+                dir,
+                name: name.to_owned(),
+                cap,
+                col_rights,
+            },
+        )
+    }
+
+    /// Changes a row's per-column rights masks.
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures.
+    pub fn chmod_row(
+        &self,
+        ctx: &Ctx,
+        dir: Capability,
+        name: &str,
+        col_rights: Vec<Rights>,
+    ) -> Result<(), DirClientError> {
+        self.expect_ok(
+            ctx,
+            &DirRequest::ChmodRow {
+                dir,
+                name: name.to_owned(),
+                col_rights,
+            },
+        )
+    }
+
+    /// Deletes a row.
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures.
+    pub fn delete_row(
+        &self,
+        ctx: &Ctx,
+        dir: Capability,
+        name: &str,
+    ) -> Result<(), DirClientError> {
+        self.expect_ok(
+            ctx,
+            &DirRequest::DeleteRow {
+                dir,
+                name: name.to_owned(),
+            },
+        )
+    }
+
+    /// Looks up several (directory, name) pairs at once.
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures.
+    pub fn lookup_set(
+        &self,
+        ctx: &Ctx,
+        items: Vec<(Capability, String)>,
+    ) -> Result<Vec<Option<Capability>>, DirClientError> {
+        match self.call(ctx, &DirRequest::LookupSet { items })? {
+            DirReply::Caps(v) => Ok(v),
+            DirReply::Err(e) => Err(e.into()),
+            _ => Err(DirClientError::Protocol),
+        }
+    }
+
+    /// Looks up one name.
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures.
+    pub fn lookup(
+        &self,
+        ctx: &Ctx,
+        dir: Capability,
+        name: &str,
+    ) -> Result<Option<Capability>, DirClientError> {
+        let mut v = self.lookup_set(ctx, vec![(dir, name.to_owned())])?;
+        v.pop().ok_or(DirClientError::Protocol)
+    }
+
+    /// Replaces the capabilities in a set of rows, indivisibly.
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures.
+    pub fn replace_set(
+        &self,
+        ctx: &Ctx,
+        items: Vec<(Capability, String, Capability)>,
+    ) -> Result<(), DirClientError> {
+        self.expect_ok(ctx, &DirRequest::ReplaceSet { items })
+    }
+}

@@ -1,0 +1,349 @@
+//! Deployment harness: builds whole simulated deployments of each service
+//! variant (Fig. 3's columns of directory + Bullet + disk servers), plus
+//! client machines, crash/restart and partition controls.
+
+use std::time::Duration;
+
+use amoeba_bullet::{start_bullet_server, BulletClient, BulletStore};
+use amoeba_disk::{DiskParams, DiskServer, Nvram, RawPartition, VDisk};
+use amoeba_flip::{HostAddr, NetParams, Network, NodeStack};
+use amoeba_group::{GroupConfig, GroupPeer};
+use amoeba_rpc::{RpcClient, RpcNode};
+use amoeba_sim::{NodeId, Resource, Simulation, Spawn};
+
+use crate::client::DirClient;
+use crate::config::{DirParams, ServiceConfig, StorageKind};
+use crate::server_group::{start_group_server, GroupDirServer, GroupServerDeps};
+use crate::server_nfs::{start_nfs_server, NfsServerDeps};
+use crate::server_rpc::{start_rpc_server, RpcServerDeps};
+
+/// Which directory service implementation a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Triplicated, group communication, disk commit (the contribution).
+    Group,
+    /// Triplicated, group communication, NVRAM commit.
+    GroupNvram,
+    /// Duplicated RPC baseline.
+    Rpc,
+    /// Single-server NFS-like baseline.
+    Nfs,
+}
+
+impl Variant {
+    /// Number of directory servers for this variant.
+    pub fn servers(self) -> usize {
+        match self {
+            Variant::Group | Variant::GroupNvram => 3,
+            Variant::Rpc => 2,
+            Variant::Nfs => 1,
+        }
+    }
+
+    /// Short label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Group => "Group(3)",
+            Variant::GroupNvram => "Group+NVRAM(3)",
+            Variant::Rpc => "RPC(2)",
+            Variant::Nfs => "NFS-like(1)",
+        }
+    }
+}
+
+/// Everything that parameterizes a deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// Which implementation to run.
+    pub variant: Variant,
+    /// Network model.
+    pub net: NetParams,
+    /// Disk model.
+    pub disk: DiskParams,
+    /// Directory server parameters.
+    pub dir: DirParams,
+    /// Group communication parameters (resilience defaults to n−1).
+    pub group: GroupConfig,
+    /// Simulation seed for workload randomness.
+    pub seed: u64,
+}
+
+impl ClusterParams {
+    /// The paper's configuration for a variant.
+    pub fn paper(variant: Variant) -> ClusterParams {
+        let mut dir = DirParams::default();
+        match variant {
+            Variant::GroupNvram => dir.storage = StorageKind::Nvram,
+            Variant::Nfs => {
+                // NFS lookup measured slightly slower (6 ms vs 5 ms).
+                dir.read_cpu = Duration::from_micros(4_000);
+            }
+            _ => {}
+        }
+        ClusterParams {
+            variant,
+            net: NetParams::lan_10mbps(),
+            disk: DiskParams::wren_iv(),
+            dir,
+            group: GroupConfig::with_resilience(variant.servers().saturating_sub(1) as u32),
+            seed: 0xD1_5C,
+        }
+    }
+}
+
+/// One replica column: directory server + Bullet server + disk server on
+/// one machine (the paper keeps them on separate machines sharing a disk;
+/// co-locating them preserves both the failure unit and the RPC cost
+/// between the dir and Bullet servers, which goes over the network either
+/// way).
+pub struct Column {
+    /// Replica index.
+    pub index: usize,
+    /// The machine.
+    pub sim_node: NodeId,
+    /// The machine's network identity.
+    pub host: HostAddr,
+    /// The machine's network stack (survives crash; rebind after).
+    pub stack: NodeStack,
+    /// The persistent platters.
+    pub vdisk: VDisk,
+    /// Persistent Bullet layout state.
+    pub bullet_store: BulletStore,
+    /// Persistent NVRAM device.
+    pub nvram: Nvram,
+    /// The directory server handle of the current incarnation (group
+    /// variants only).
+    pub server: Option<GroupDirServer>,
+}
+
+impl std::fmt::Debug for Column {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Column({})", self.index)
+    }
+}
+
+/// A running deployment of one service variant.
+pub struct Cluster {
+    /// The shared LAN.
+    pub net: Network,
+    /// The replica columns.
+    pub columns: Vec<Column>,
+    /// Deployment parameters.
+    pub params: ClusterParams,
+    next_client: u32,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Cluster({}, {} columns)",
+            self.params.variant.label(),
+            self.columns.len()
+        )
+    }
+}
+
+/// Disk geometry shared by all variants.
+const DISK_BLOCKS: u64 = 16_384;
+const BLOCK_SIZE: usize = 4096;
+/// Blocks 0..TABLE_BLOCKS form the raw partition; the rest is Bullet's.
+const TABLE_BLOCKS: u64 = 64;
+
+impl Cluster {
+    /// Builds and starts a deployment on `sim`.
+    pub fn start(sim: &Simulation, params: ClusterParams) -> Cluster {
+        let net = Network::new(sim.handle(), params.net.clone(), params.seed);
+        let n = params.variant.servers();
+        let mut columns = Vec::with_capacity(n);
+        for index in 0..n {
+            let sim_node = sim.add_node(&format!("dir-column-{index}"));
+            let stack = net.attach();
+            let host = stack.addr();
+            let vdisk = VDisk::new(DISK_BLOCKS, BLOCK_SIZE);
+            let bullet_store = BulletStore::new(
+                DISK_BLOCKS - TABLE_BLOCKS,
+                BLOCK_SIZE,
+                params.seed ^ (index as u64) << 8,
+            );
+            let nvram = Nvram::paper_24k();
+            let mut column = Column {
+                index,
+                sim_node,
+                host,
+                stack,
+                vdisk,
+                bullet_store,
+                nvram,
+                server: None,
+            };
+            start_column(sim, &params, &mut column);
+            columns.push(column);
+        }
+        Cluster {
+            net,
+            columns,
+            params,
+            next_client: 0,
+        }
+    }
+
+    /// Creates a fresh client machine and returns a typed client for the
+    /// service's public port.
+    pub fn client(&mut self, sim: &Simulation) -> (DirClient, NodeId) {
+        let (dir, rpc, node) = self.client_machine(sim);
+        let _ = rpc;
+        (dir, node)
+    }
+
+    /// Like [`client`](Cluster::client) but also returns the machine's raw
+    /// RPC client, for talking to other services (e.g. Bullet) from the
+    /// same machine.
+    pub fn client_machine(&mut self, sim: &Simulation) -> (DirClient, RpcClient, NodeId) {
+        let id = self.next_client;
+        self.next_client += 1;
+        let sim_node = sim.add_node(&format!("client-{id}"));
+        let stack = self.net.attach();
+        let rpc = RpcNode::start(sim, sim_node, stack);
+        let cfg = ServiceConfig::new(self.params.variant.servers(), 0);
+        let rpc_client = RpcClient::new(&rpc);
+        (
+            DirClient::new(rpc_client.clone(), cfg.public_port),
+            rpc_client,
+            sim_node,
+        )
+    }
+
+    /// Crashes column `i`: machine dies, NIC goes silent; platters,
+    /// Bullet layout state and NVRAM survive.
+    pub fn crash_server(&self, sim: &Simulation, i: usize) {
+        let c = &self.columns[i];
+        self.net.set_down(c.host);
+        sim.crash_node(c.sim_node);
+    }
+
+    /// Reboots a crashed column: fresh processes over the surviving
+    /// persistent state; the server re-enters via the recovery protocol.
+    pub fn restart_server(&mut self, sim: &Simulation, i: usize) {
+        {
+            let c = &self.columns[i];
+            sim.revive_node(c.sim_node);
+            self.net.set_up(c.host);
+        }
+        let params = self.params.clone();
+        start_column(sim, &params, &mut self.columns[i]);
+    }
+
+    /// Destroys column `i`'s disk contents (a head crash) in addition to
+    /// crashing it.
+    pub fn destroy_server_disk(&self, sim: &Simulation, i: usize) {
+        self.crash_server(sim, i);
+        self.columns[i].vdisk.destroy_contents();
+    }
+
+    /// Puts column `i` alone on one side of a network partition.
+    pub fn isolate_server(&self, i: usize) {
+        self.net.isolate(&[self.columns[i].host]);
+    }
+
+    /// Heals any partition.
+    pub fn heal(&self) {
+        self.net.heal();
+    }
+
+    /// The group-server handle of column `i`'s current incarnation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-group variants or a crashed column.
+    pub fn group_server(&self, i: usize) -> &GroupDirServer {
+        self.columns[i]
+            .server
+            .as_ref()
+            .expect("column has no running group server")
+    }
+}
+
+/// Starts (or restarts) all processes of one column.
+fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Column) {
+    let n = params.variant.servers();
+    let cfg = ServiceConfig::new(n, column.index);
+    let rpc = RpcNode::start(spawner, column.sim_node, column.stack.clone());
+    let disk_srv = DiskServer::start(
+        spawner,
+        column.sim_node,
+        column.vdisk.clone(),
+        params.disk.clone(),
+    );
+    let partition = RawPartition::new(disk_srv.clone(), 0, TABLE_BLOCKS);
+    // The Bullet server of this column.
+    let bullet_disk = DiskServer::start(
+        spawner,
+        column.sim_node,
+        column.vdisk.clone(),
+        params.disk.clone(),
+    );
+    let _ = bullet_disk; // one spindle: use the same server for fidelity
+    start_bullet_server(
+        spawner,
+        column.sim_node,
+        &rpc,
+        cfg.bullet_port(column.index),
+        disk_srv.clone(),
+        column.bullet_store.clone(),
+        TABLE_BLOCKS,
+        2,
+    );
+    let bullet = BulletClient::new(RpcClient::new(&rpc), cfg.bullet_port(column.index));
+    let cpu = Resource::new(spawner.sim_handle(), &format!("cpu-{}", column.index));
+    match params.variant {
+        Variant::Group | Variant::GroupNvram => {
+            let peer = GroupPeer::start(
+                spawner,
+                column.sim_node,
+                column.stack.clone(),
+                params.group.clone(),
+            );
+            let deps = GroupServerDeps {
+                cfg,
+                params: params.dir.clone(),
+                sim_node: column.sim_node,
+                rpc,
+                peer,
+                bullet,
+                partition,
+                nvram: if params.dir.storage == StorageKind::Nvram {
+                    Some(column.nvram.clone())
+                } else {
+                    None
+                },
+                cpu,
+            };
+            column.server = Some(start_group_server(spawner, deps));
+        }
+        Variant::Rpc => {
+            let deps = RpcServerDeps {
+                cfg,
+                params: params.dir.clone(),
+                sim_node: column.sim_node,
+                rpc,
+                bullet,
+                partition,
+                cpu,
+            };
+            let _ = start_rpc_server(spawner, deps);
+        }
+        Variant::Nfs => {
+            let deps = NfsServerDeps {
+                cfg,
+                params: params.dir.clone(),
+                sim_node: column.sim_node,
+                rpc,
+                bullet,
+                partition,
+                cpu,
+            };
+            let _ = start_nfs_server(spawner, deps);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The commit block (paper Fig. 4): block 0 of the raw partition.
+//!
+//! Holds the **configuration vector** (which servers were up in the last
+//! configuration this server belonged to, with a majority), the **sequence
+//! number** (only updated when a directory is deleted — the case where the
+//! update would otherwise leave no trace, §3), and the **recovering** flag
+//! (set while recovery is copying state; if found set at boot, the
+//! server's state may be inconsistent and its sequence number is treated
+//! as zero).
+
+use amoeba_disk::RawPartition;
+use amoeba_flip::wire::{WireReader, WireWriter};
+use amoeba_sim::Ctx;
+
+/// In-memory image of the commit block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitBlock {
+    /// `config[i]` is true iff server *i* was up in the last configuration
+    /// (with a majority) this server was part of.
+    pub config: Vec<bool>,
+    /// Sequence number recorded on directory deletion.
+    pub seqno: u64,
+    /// Set while recovery is in progress.
+    pub recovering: bool,
+}
+
+const MAGIC: u32 = 0x4449_5243; // "DIRC"
+
+impl CommitBlock {
+    /// A fresh commit block for an `n`-server service where all servers
+    /// are presumed up.
+    pub fn initial(n: usize) -> CommitBlock {
+        CommitBlock {
+            config: vec![true; n],
+            seqno: 0,
+            recovering: false,
+        }
+    }
+
+    /// Serializes to block bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u32(MAGIC);
+        w.u8(self.config.len() as u8);
+        for b in &self.config {
+            w.boolean(*b);
+        }
+        w.u64(self.seqno);
+        w.boolean(self.recovering);
+        w.finish()
+    }
+
+    /// Parses block bytes; `None` for an uninitialized (all-zero or
+    /// garbage) block — the state of a brand-new server.
+    pub fn decode(buf: &[u8], n: usize) -> Option<CommitBlock> {
+        let mut r = WireReader::new(buf);
+        if r.u32("magic").ok()? != MAGIC {
+            return None;
+        }
+        let len = r.u8("config len").ok()? as usize;
+        if len != n {
+            return None;
+        }
+        let mut config = Vec::with_capacity(len);
+        for _ in 0..len {
+            config.push(r.boolean("config bit").ok()?);
+        }
+        let seqno = r.u64("seqno").ok()?;
+        let recovering = r.boolean("recovering").ok()?;
+        Some(CommitBlock {
+            config,
+            seqno,
+            recovering,
+        })
+    }
+
+    /// Reads the commit block from partition block 0.
+    pub fn read(partition: &RawPartition, ctx: &Ctx, n: usize) -> Option<CommitBlock> {
+        let bytes = partition.read(ctx, 0);
+        Self::decode(&bytes, n)
+    }
+
+    /// Writes the commit block to partition block 0 (one disk op).
+    pub fn write(&self, partition: &RawPartition, ctx: &Ctx) {
+        partition.write(ctx, 0, self.encode());
+    }
+
+    /// Servers this vector says crashed before us (the initial *mourned
+    /// set* of Skeen's algorithm, Fig. 6).
+    pub fn mourned(&self) -> Vec<usize> {
+        self.config
+            .iter()
+            .enumerate()
+            .filter(|(_, up)| !**up)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cb = CommitBlock {
+            config: vec![true, false, true],
+            seqno: 99,
+            recovering: true,
+        };
+        let bytes = cb.encode();
+        assert_eq!(CommitBlock::decode(&bytes, 3), Some(cb));
+    }
+
+    #[test]
+    fn zero_block_decodes_to_none() {
+        assert_eq!(CommitBlock::decode(&[0u8; 64], 3), None);
+        assert_eq!(CommitBlock::decode(&[], 3), None);
+    }
+
+    #[test]
+    fn wrong_server_count_rejected() {
+        let cb = CommitBlock::initial(3);
+        assert_eq!(CommitBlock::decode(&cb.encode(), 2), None);
+    }
+
+    #[test]
+    fn mourned_lists_down_servers() {
+        let cb = CommitBlock {
+            config: vec![true, false, false],
+            seqno: 0,
+            recovering: false,
+        };
+        assert_eq!(cb.mourned(), vec![1, 2]);
+        assert!(CommitBlock::initial(3).mourned().is_empty());
+    }
+}

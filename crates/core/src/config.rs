@@ -1,0 +1,150 @@
+//! Service-wide configuration and performance parameters.
+
+use std::time::Duration;
+
+use amoeba_flip::Port;
+
+/// How updates reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Synchronous disk writes in the update critical path (paper §3.1).
+    Disk,
+    /// Log updates to NVRAM; apply to disk in the background (paper §4.1).
+    Nvram,
+}
+
+/// Static configuration of a directory service deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Total number of directory servers (3 in the paper's group service).
+    pub n: usize,
+    /// This server's index in `0..n`.
+    pub me: usize,
+    /// The public service port clients locate.
+    pub public_port: Port,
+    /// The port the server group is formed on.
+    pub group_port: Port,
+}
+
+impl ServiceConfig {
+    /// Standard configuration for server `me` of `n`.
+    pub fn new(n: usize, me: usize) -> ServiceConfig {
+        assert!(me < n, "server index out of range");
+        ServiceConfig {
+            n,
+            me,
+            public_port: Port::from_name("amoeba.dir"),
+            group_port: Port::from_name("amoeba.dir.group"),
+        }
+    }
+
+    /// Votes needed for a majority.
+    pub fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// The internal (server-to-server) port of server `i`, used by the
+    /// recovery protocol's RPC exchanges.
+    pub fn internal_port(&self, i: usize) -> Port {
+        Port::from_name(&format!("amoeba.dir.internal.{i}"))
+    }
+
+    /// The Bullet service port of server `i`'s storage column.
+    pub fn bullet_port(&self, i: usize) -> Port {
+        Port::from_name(&format!("amoeba.dir.bullet.{i}"))
+    }
+}
+
+/// Tunables of the directory server implementations, calibrated to the
+/// paper's testbed (Sun3/60-class CPUs; see `EXPERIMENTS.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirParams {
+    /// CPU time to serve a read operation (paper §4.2: ≈3 ms; bounds each
+    /// server at ≈333 lookups/s).
+    pub read_cpu: Duration,
+    /// CPU time an initiator spends unmarshalling/validating a write.
+    pub write_cpu: Duration,
+    /// CPU time the group thread spends applying one update (besides
+    /// storage operations).
+    pub apply_cpu: Duration,
+    /// Server threads per machine (multiple threads per server, §3.1).
+    pub server_threads: usize,
+    /// Enable the §3.2 improved two-server recovery rule.
+    pub improved_recovery: bool,
+    /// Disk or NVRAM commit path.
+    pub storage: StorageKind,
+    /// NVRAM fill fraction that triggers a background flush.
+    pub nvram_flush_threshold: f64,
+    /// Idle time after which the NVRAM flusher runs anyway.
+    pub nvram_idle_flush: Duration,
+    /// Latency of an intentions-log append in the RPC baseline
+    /// (sequential log write: rotation + transfer, no full seek).
+    pub intentions_latency: Duration,
+    /// How long a joining server waits for a group to answer.
+    pub recovery_join_timeout: Duration,
+    /// How long to wait for a majority to assemble before retrying.
+    pub recovery_majority_timeout: Duration,
+    /// Upper bound of the random dither between recovery retries.
+    pub recovery_retry_jitter: Duration,
+}
+
+impl Default for DirParams {
+    fn default() -> Self {
+        DirParams {
+            read_cpu: Duration::from_micros(3_000),
+            write_cpu: Duration::from_micros(1_000),
+            apply_cpu: Duration::from_micros(500),
+            server_threads: 2,
+            improved_recovery: false,
+            storage: StorageKind::Disk,
+            nvram_flush_threshold: 0.75,
+            nvram_idle_flush: Duration::from_millis(200),
+            intentions_latency: Duration::from_millis(12),
+            recovery_join_timeout: Duration::from_millis(400),
+            recovery_majority_timeout: Duration::from_millis(1_500),
+            recovery_retry_jitter: Duration::from_millis(300),
+        }
+    }
+}
+
+impl DirParams {
+    /// Default parameters with the NVRAM commit path.
+    pub fn nvram() -> Self {
+        DirParams {
+            storage: StorageKind::Nvram,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_is_floor_half_plus_one() {
+        assert_eq!(ServiceConfig::new(3, 0).majority(), 2);
+        assert_eq!(ServiceConfig::new(2, 0).majority(), 2);
+        assert_eq!(ServiceConfig::new(5, 4).majority(), 3);
+    }
+
+    #[test]
+    fn internal_ports_are_distinct() {
+        let c = ServiceConfig::new(3, 0);
+        assert_ne!(c.internal_port(0), c.internal_port(1));
+        assert_ne!(c.internal_port(0), c.public_port);
+        assert_ne!(c.bullet_port(0), c.bullet_port(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = ServiceConfig::new(3, 3);
+    }
+
+    #[test]
+    fn nvram_params() {
+        assert_eq!(DirParams::nvram().storage, StorageKind::Nvram);
+        assert_eq!(DirParams::default().storage, StorageKind::Disk);
+    }
+}

@@ -1,0 +1,318 @@
+//! The on-disk object table: blocks 1..n−1 of the raw partition.
+//!
+//! Paper §3: "blocks 1 to n−1 contain the capabilities of the Bullet files
+//! storing the contents of a directory, including the sequence number of
+//! the last change". Each entry also persists the directory's raw check
+//! field so client capabilities stay valid across reboots. Updating one
+//! entry costs exactly one disk write — the group service's only raw-
+//! partition write in the update path.
+
+use amoeba_bullet::FileCap;
+use amoeba_disk::RawPartition;
+use amoeba_flip::wire::{WireReader, WireWriter};
+use amoeba_sim::Ctx;
+
+/// Bytes reserved per entry on disk.
+const ENTRY_BYTES: usize = 40;
+
+/// One object-table entry: where a directory lives and its version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjEntry {
+    /// Capability of the Bullet file holding the directory's contents.
+    pub file_cap: FileCap,
+    /// Sequence number of the directory's last change.
+    pub seqno: u64,
+    /// The directory's raw check field (server secret).
+    pub check: u64,
+}
+
+/// The in-memory object table plus its on-disk representation.
+#[derive(Debug)]
+pub struct ObjectTable {
+    entries: Vec<Option<ObjEntry>>,
+    partition: RawPartition,
+    entries_per_block: usize,
+}
+
+impl ObjectTable {
+    /// Creates an empty table over a partition (block 0 is the commit
+    /// block; entries start at block 1).
+    pub fn new(partition: RawPartition) -> ObjectTable {
+        let entries_per_block = 4096 / ENTRY_BYTES; // assumes 4 KiB blocks
+        let capacity = (partition.len().saturating_sub(1) as usize) * entries_per_block;
+        ObjectTable {
+            entries: vec![None; capacity],
+            partition,
+            entries_per_block,
+        }
+    }
+
+    /// Loads the table from disk (used at recovery): one sequential scan.
+    pub fn load(partition: RawPartition, ctx: &Ctx) -> ObjectTable {
+        let mut t = ObjectTable::new(partition);
+        let blocks = t.partition.read_all(ctx);
+        for (i, bytes) in blocks.iter().enumerate().skip(1) {
+            t.decode_block(i as u64, bytes);
+        }
+        t
+    }
+
+    /// Highest usable object number.
+    pub fn capacity(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// The entry for `object`, if present.
+    pub fn get(&self, object: u64) -> Option<ObjEntry> {
+        self.entries.get(self.slot(object)?).copied().flatten()
+    }
+
+    /// Sets the in-memory entry (call [`flush_entry`](Self::flush_entry)
+    /// to persist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of capacity.
+    pub fn set(&mut self, object: u64, entry: ObjEntry) {
+        let slot = self.slot(object).expect("object out of table capacity");
+        self.entries[slot] = Some(entry);
+    }
+
+    /// Clears the in-memory entry.
+    pub fn clear(&mut self, object: u64) {
+        if let Some(slot) = self.slot(object) {
+            self.entries[slot] = None;
+        }
+    }
+
+    /// The next object number a deterministic apply should assign:
+    /// one past the highest in use (so replicas agree).
+    pub fn next_object(&self) -> u64 {
+        self.entries
+            .iter()
+            .rposition(|e| e.is_some())
+            .map(|i| i as u64 + 2)
+            .unwrap_or(1)
+    }
+
+    /// Largest sequence number stored with any directory (recovery's
+    /// "maximum of all the sequence numbers stored with the directory
+    /// files").
+    pub fn max_seqno(&self) -> u64 {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| e.seqno)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over (object, entry) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, ObjEntry)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i as u64 + 1, e)))
+    }
+
+    /// Persists the block containing `object` — the paper's single
+    /// "write changed object table to disk (commit)" disk operation.
+    ///
+    /// Blocks until the write completes; must NOT be called while holding
+    /// a lock shared with other simulated threads (use
+    /// [`flush_begin`](Self::flush_begin) + wait in that case).
+    pub fn flush_entry(&self, ctx: &Ctx, object: u64) {
+        if let Some(rx) = self.flush_begin(object) {
+            rx.recv(ctx);
+        }
+    }
+
+    /// Snapshots and enqueues the write of the block containing `object`
+    /// without blocking; the caller waits on the returned mailbox after
+    /// releasing any locks.
+    pub fn flush_begin(&self, object: u64) -> Option<amoeba_sim::MailboxRx<()>> {
+        let slot = self.slot(object)?;
+        let block_index = slot / self.entries_per_block;
+        let block = block_index as u64 + 1;
+        let lo = block_index * self.entries_per_block;
+        let hi = (lo + self.entries_per_block).min(self.entries.len());
+        let mut w = WireWriter::new();
+        for e in &self.entries[lo..hi] {
+            encode_entry(&mut w, e);
+        }
+        Some(self.partition.write_begin(block, w.finish()))
+    }
+
+    fn slot(&self, object: u64) -> Option<usize> {
+        if object == 0 || object > self.entries.len() as u64 {
+            None
+        } else {
+            Some(object as usize - 1)
+        }
+    }
+
+    fn decode_block(&mut self, block: u64, bytes: &[u8]) {
+        let base = (block as usize - 1) * self.entries_per_block;
+        let mut r = WireReader::new(bytes);
+        for i in 0..self.entries_per_block {
+            let slot = base + i;
+            if slot >= self.entries.len() {
+                break;
+            }
+            self.entries[slot] = decode_entry(&mut r);
+        }
+    }
+}
+
+fn encode_entry(w: &mut WireWriter, e: &Option<ObjEntry>) {
+    match e {
+        Some(e) => {
+            w.u8(1).u64(e.file_cap.object).u64(e.file_cap.check).u64(e.seqno).u64(e.check);
+            // Pad to the fixed entry size.
+            for _ in 0..(ENTRY_BYTES - 33) {
+                w.u8(0);
+            }
+        }
+        None => {
+            for _ in 0..ENTRY_BYTES {
+                w.u8(0);
+            }
+        }
+    }
+}
+
+fn decode_entry(r: &mut WireReader<'_>) -> Option<ObjEntry> {
+    let present = r.u8("entry present").ok()?;
+    if present != 1 {
+        // Skip the rest of the slot.
+        for _ in 0..(ENTRY_BYTES - 1) {
+            let _ = r.u8("pad");
+        }
+        return None;
+    }
+    let file_object = r.u64("entry file object").ok()?;
+    let file_check = r.u64("entry file check").ok()?;
+    let seqno = r.u64("entry seqno").ok()?;
+    let check = r.u64("entry check").ok()?;
+    for _ in 0..(ENTRY_BYTES - 33) {
+        let _ = r.u8("pad");
+    }
+    Some(ObjEntry {
+        file_cap: FileCap {
+            object: file_object,
+            check: file_check,
+        },
+        seqno,
+        check,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_disk::{DiskParams, DiskServer, VDisk};
+    use amoeba_sim::Simulation;
+
+    fn entry(n: u64) -> ObjEntry {
+        ObjEntry {
+            file_cap: FileCap {
+                object: n,
+                check: n * 7,
+            },
+            seqno: n * 100,
+            check: n * 13,
+        }
+    }
+
+    fn with_table<R: Send + 'static>(
+        f: impl FnOnce(&Ctx, RawPartition) -> R + Send + 'static,
+    ) -> R {
+        let mut sim = Simulation::new(1);
+        let node = sim.add_node("m");
+        let disk = VDisk::new(64, 4096);
+        let srv = DiskServer::start(&sim, node, disk, DiskParams::instant());
+        let part = RawPartition::new(srv, 0, 16);
+        let out = sim.spawn("app", move |ctx| f(ctx, part));
+        sim.run();
+        out.take().expect("test body finished")
+    }
+
+    #[test]
+    fn set_get_clear() {
+        with_table(|_ctx, part| {
+            let mut t = ObjectTable::new(part);
+            assert_eq!(t.get(1), None);
+            t.set(1, entry(1));
+            assert_eq!(t.get(1), Some(entry(1)));
+            t.clear(1);
+            assert_eq!(t.get(1), None);
+        });
+    }
+
+    #[test]
+    fn next_object_is_one_past_highest() {
+        with_table(|_ctx, part| {
+            let mut t = ObjectTable::new(part);
+            assert_eq!(t.next_object(), 1);
+            t.set(1, entry(1));
+            t.set(5, entry(5));
+            assert_eq!(t.next_object(), 6);
+            t.clear(5);
+            assert_eq!(t.next_object(), 2);
+        });
+    }
+
+    #[test]
+    fn flush_and_load_round_trip() {
+        with_table(|ctx, part| {
+            let mut t = ObjectTable::new(part.clone());
+            t.set(1, entry(1));
+            t.set(150, entry(150)); // second block
+            t.flush_entry(ctx, 1);
+            t.flush_entry(ctx, 150);
+            let loaded = ObjectTable::load(part, ctx);
+            assert_eq!(loaded.get(1), Some(entry(1)));
+            assert_eq!(loaded.get(150), Some(entry(150)));
+            assert_eq!(loaded.get(2), None);
+            assert_eq!(loaded.max_seqno(), 15_000);
+        });
+    }
+
+    #[test]
+    fn flush_is_one_disk_write() {
+        let mut sim = Simulation::new(1);
+        let node = sim.add_node("m");
+        let disk = VDisk::new(64, 4096);
+        let srv = DiskServer::start(&sim, node, disk.clone(), DiskParams::instant());
+        let part = RawPartition::new(srv, 0, 16);
+        let out = sim.spawn("app", move |ctx| {
+            let mut t = ObjectTable::new(part);
+            t.set(3, entry(3));
+            let before = disk.stats();
+            t.flush_entry(ctx, 3);
+            disk.stats().since(&before).writes
+        });
+        sim.run();
+        assert_eq!(out.take(), Some(1));
+    }
+
+    #[test]
+    fn iter_yields_live_entries() {
+        with_table(|_ctx, part| {
+            let mut t = ObjectTable::new(part);
+            t.set(2, entry(2));
+            t.set(4, entry(4));
+            let got: Vec<u64> = t.iter().map(|(o, _)| o).collect();
+            assert_eq!(got, vec![2, 4]);
+        });
+    }
+
+    #[test]
+    fn out_of_range_get_is_none() {
+        with_table(|_ctx, part| {
+            let t = ObjectTable::new(part);
+            assert_eq!(t.get(0), None);
+            assert_eq!(t.get(10_000_000), None);
+        });
+    }
+}

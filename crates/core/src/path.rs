@@ -1,0 +1,103 @@
+//! Path utilities: multi-component name resolution over the single-level
+//! directory operations, the way Amoeba user programs used SOAP.
+
+use amoeba_sim::Ctx;
+
+use crate::capability::Capability;
+use crate::client::{DirClient, DirClientError};
+use crate::ops::DirError;
+use crate::rights::Rights;
+
+/// Splits a slash-separated path into components, ignoring empty ones.
+///
+/// # Examples
+///
+/// ```
+/// use amoeba_dir_core::path::components;
+///
+/// assert_eq!(components("/a//b/c/"), vec!["a", "b", "c"]);
+/// assert!(components("/").is_empty());
+/// ```
+pub fn components(path: &str) -> Vec<&str> {
+    path.split('/').filter(|c| !c.is_empty()).collect()
+}
+
+/// Resolves `path` starting from `root`, one lookup per component.
+///
+/// # Errors
+///
+/// [`DirError::NoSuchName`] (wrapped) if a component is missing, plus any
+/// service/transport error.
+pub fn resolve(
+    ctx: &Ctx,
+    client: &DirClient,
+    root: Capability,
+    path: &str,
+) -> Result<Capability, DirClientError> {
+    let mut cur = root;
+    for comp in components(path) {
+        match client.lookup(ctx, cur, comp)? {
+            Some(cap) => cur = cap,
+            None => return Err(DirClientError::Service(DirError::NoSuchName)),
+        }
+    }
+    Ok(cur)
+}
+
+/// Creates every missing directory along `path` (like `mkdir -p`),
+/// returning the capability of the final one. Each created directory gets
+/// the same protection `columns`; links are registered with all rights in
+/// column 0 and lookup-only rights elsewhere.
+///
+/// # Errors
+///
+/// Service or transport errors; also fails if an existing component
+/// resolves to something this client cannot descend into.
+pub fn create_all(
+    ctx: &Ctx,
+    client: &DirClient,
+    root: Capability,
+    path: &str,
+    columns: &[&str],
+) -> Result<Capability, DirClientError> {
+    let mut cur = root;
+    for comp in components(path) {
+        match client.lookup(ctx, cur, comp)? {
+            Some(cap) => cur = cap,
+            None => {
+                let new_dir = client.create_dir(ctx, columns)?;
+                let mut masks = vec![Rights::columns(columns.len()); columns.len()];
+                masks[0] = Rights::ALL;
+                match client.append_row(ctx, cur, comp, new_dir, masks) {
+                    Ok(()) => cur = new_dir,
+                    Err(DirClientError::Service(DirError::DuplicateName)) => {
+                        // Concurrent creator won the race; clean up and
+                        // follow their entry.
+                        let _ = client.delete_dir(ctx, new_dir);
+                        match client.lookup(ctx, cur, comp)? {
+                            Some(cap) => cur = cap,
+                            None => {
+                                return Err(DirClientError::Service(DirError::NoSuchName))
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_splits_and_skips_empties() {
+        assert_eq!(components("a/b"), vec!["a", "b"]);
+        assert_eq!(components("/a//b/"), vec!["a", "b"]);
+        assert!(components("").is_empty());
+        assert!(components("///").is_empty());
+    }
+}

@@ -1,0 +1,652 @@
+//! The recovery protocol: paper Fig. 6, built on Skeen's
+//! last-process-to-fail algorithm over *mourned sets*.
+//!
+//! A server runs this when it boots and whenever its group loses a
+//! majority. Two conditions must hold before re-entering service (§3.2):
+//!
+//! 1. the new group has a **majority** (partition safety), and
+//! 2. the new group contains the set of servers that **possibly performed
+//!    the last update** (`last = all − mourned ⊆ newgroup`).
+//!
+//! The server with the highest sequence number then supplies the current
+//! state. A `recovering` flag in the commit block guards the copy phase:
+//! if a server crashes mid-copy, its next boot treats its own state as
+//! worthless (sequence number zero).
+//!
+//! The optional improved rule (§3.2 end) lets a server that stayed up
+//! (and therefore has the newest state) pair with a rebooted server even
+//! when the strict last-set check fails.
+
+use std::time::Duration;
+
+use amoeba_bullet::FileCap;
+use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_group::{Group, GroupPeer};
+use amoeba_rpc::{RpcClient, RpcServer};
+use amoeba_sim::Ctx;
+
+use crate::commit_block::CommitBlock;
+use crate::config::{DirParams, ServiceConfig, StorageKind};
+use crate::directory::Directory;
+use crate::object_table::{ObjEntry, ObjectTable};
+use crate::state::Applier;
+
+/// Dependencies of one recovery run.
+#[derive(Clone)]
+pub(crate) struct RecoveryDeps {
+    pub cfg: ServiceConfig,
+    pub params: DirParams,
+    pub peer: GroupPeer,
+    pub rpc: RpcClient,
+}
+
+impl std::fmt::Debug for RecoveryDeps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RecoveryDeps(server {})", self.cfg.me)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal server-to-server protocol.
+// ---------------------------------------------------------------------
+
+/// Server-to-server messages (recovery info exchange, state transfer).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum InternalMsg {
+    /// "exchange info with server s": my mourned set and sequence number.
+    Exchange {
+        from: u32,
+        mourned: Vec<bool>,
+        update_seq: u64,
+        stayed_up: bool,
+    },
+    ExchangeReply {
+        mourned: Vec<bool>,
+        update_seq: u64,
+        stayed_up: bool,
+    },
+    /// "get copies of latest version of directories from s".
+    Fetch,
+    State {
+        instance: u64,
+        applied_group_seq: u64,
+        update_seq: u64,
+        commit_seq: u64,
+        /// (object, check, dir bytes) for every live directory.
+        entries: Vec<(u64, u64, Vec<u8>)>,
+    },
+    /// The server cannot answer right now.
+    Busy,
+}
+
+const I_EXCHANGE: u8 = 1;
+const I_EXCHANGE_REPLY: u8 = 2;
+const I_FETCH: u8 = 3;
+const I_STATE: u8 = 4;
+const I_BUSY: u8 = 5;
+
+fn write_bools(w: &mut WireWriter, v: &[bool]) {
+    w.u8(v.len() as u8);
+    for b in v {
+        w.boolean(*b);
+    }
+}
+
+fn read_bools(r: &mut WireReader<'_>) -> Result<Vec<bool>, DecodeError> {
+    let n = r.u8("bools len")? as usize;
+    if n > 64 {
+        return Err(DecodeError::new("bools len"));
+    }
+    (0..n).map(|_| r.boolean("bool")).collect()
+}
+
+impl InternalMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            InternalMsg::Exchange {
+                from,
+                mourned,
+                update_seq,
+                stayed_up,
+            } => {
+                w.u8(I_EXCHANGE).u32(*from);
+                write_bools(&mut w, mourned);
+                w.u64(*update_seq).boolean(*stayed_up);
+            }
+            InternalMsg::ExchangeReply {
+                mourned,
+                update_seq,
+                stayed_up,
+            } => {
+                w.u8(I_EXCHANGE_REPLY);
+                write_bools(&mut w, mourned);
+                w.u64(*update_seq).boolean(*stayed_up);
+            }
+            InternalMsg::Fetch => {
+                w.u8(I_FETCH);
+            }
+            InternalMsg::State {
+                instance,
+                applied_group_seq,
+                update_seq,
+                commit_seq,
+                entries,
+            } => {
+                w.u8(I_STATE)
+                    .u64(*instance)
+                    .u64(*applied_group_seq)
+                    .u64(*update_seq)
+                    .u64(*commit_seq)
+                    .u32(entries.len() as u32);
+                for (object, check, bytes) in entries {
+                    w.u64(*object).u64(*check).bytes(bytes);
+                }
+            }
+            InternalMsg::Busy => {
+                w.u8(I_BUSY);
+            }
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<InternalMsg, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let m = match r.u8("internal tag")? {
+            I_EXCHANGE => InternalMsg::Exchange {
+                from: r.u32("from")?,
+                mourned: read_bools(&mut r)?,
+                update_seq: r.u64("update seq")?,
+                stayed_up: r.boolean("stayed up")?,
+            },
+            I_EXCHANGE_REPLY => InternalMsg::ExchangeReply {
+                mourned: read_bools(&mut r)?,
+                update_seq: r.u64("update seq")?,
+                stayed_up: r.boolean("stayed up")?,
+            },
+            I_FETCH => InternalMsg::Fetch,
+            I_STATE => {
+                let instance = r.u64("instance")?;
+                let applied_group_seq = r.u64("applied")?;
+                let update_seq = r.u64("update seq")?;
+                let commit_seq = r.u64("commit seq")?;
+                let n = r.u32("entries")? as usize;
+                if n > 1_000_000 {
+                    return Err(DecodeError::new("entries"));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let object = r.u64("object")?;
+                    let check = r.u64("check")?;
+                    let bytes = r.bytes("dir bytes")?;
+                    entries.push((object, check, bytes));
+                }
+                InternalMsg::State {
+                    instance,
+                    applied_group_seq,
+                    update_seq,
+                    commit_seq,
+                    entries,
+                }
+            }
+            I_BUSY => InternalMsg::Busy,
+            _ => return Err(DecodeError::new("internal tag")),
+        };
+        r.expect_end("internal trailing")?;
+        Ok(m)
+    }
+}
+
+/// The always-on internal RPC service of one server.
+pub(crate) fn serve_internal(
+    ctx: &Ctx,
+    srv: &RpcServer,
+    applier: &Applier,
+    cfg: &ServiceConfig,
+) {
+    loop {
+        let incoming = srv.getreq(ctx);
+        let reply = match InternalMsg::decode(&incoming.data) {
+            Ok(InternalMsg::Exchange { .. }) => {
+                let shared = applier.shared.lock();
+                InternalMsg::ExchangeReply {
+                    mourned: mourned_bools(&shared.commit, cfg.n),
+                    update_seq: shared.update_seq,
+                    stayed_up: shared.stayed_up,
+                }
+            }
+            Ok(InternalMsg::Fetch) => {
+                // Snapshot atomically: every cached/live directory. Cold
+                // cache entries are pulled from Bullet first.
+                let objects: Vec<u64> = {
+                    let shared = applier.shared.lock();
+                    shared.table.iter().map(|(o, _)| o).collect()
+                };
+                for o in &objects {
+                    let _ = applier.load_dir(ctx, *o);
+                }
+                let shared = applier.shared.lock();
+                let entries: Vec<(u64, u64, Vec<u8>)> = shared
+                    .table
+                    .iter()
+                    .filter_map(|(object, entry)| {
+                        shared
+                            .cache
+                            .get(&object)
+                            .map(|d| (object, entry.check, d.encode()))
+                    })
+                    .collect();
+                let instance = shared
+                    .group
+                    .as_ref()
+                    .map(|g| g.instance_id())
+                    .unwrap_or(0);
+                InternalMsg::State {
+                    instance,
+                    applied_group_seq: shared.applied_group_seq,
+                    update_seq: shared.update_seq,
+                    commit_seq: shared.commit.seqno,
+                    entries,
+                }
+            }
+            _ => InternalMsg::Busy,
+        };
+        srv.putrep(&incoming, reply.encode());
+    }
+}
+
+fn mourned_bools(commit: &CommitBlock, n: usize) -> Vec<bool> {
+    let mut v = vec![false; n];
+    for i in commit.mourned() {
+        if i < n {
+            v[i] = true;
+        }
+    }
+    v
+}
+
+// ---------------------------------------------------------------------
+// The Fig. 6 recovery loop.
+// ---------------------------------------------------------------------
+
+/// Runs recovery until this server may serve again; returns the joined
+/// (or created) group.
+pub(crate) fn run_recovery(ctx: &Ctx, applier: &Applier, deps: &RecoveryDeps) -> Group {
+    let cfg = &deps.cfg;
+    let params = &deps.params;
+
+    // Boot-time state load (only when RAM state is cold).
+    let cold = { applier.shared.lock().update_seq == 0 && !applier.shared.lock().stayed_up };
+    if cold {
+        load_local_state(ctx, applier, cfg);
+    }
+
+    loop {
+        // "re-join server group or create it". Join patience grows with
+        // the server index so concurrent cold boots converge on server
+        // 0's instance instead of racing three singleton groups.
+        let patience = params.recovery_join_timeout
+            + params.recovery_join_timeout / 2 * (cfg.me as u32);
+        let group = match deps.peer.join(ctx, cfg.group_port, cfg.me as u64, patience) {
+            Ok(g) => {
+                ctx.trace(format!("recovery[{}]: joined instance {}", cfg.me, g.instance_id()));
+                g
+            }
+            Err(_) => {
+                let g = deps.peer.create(cfg.group_port, cfg.me as u64);
+                ctx.trace(format!("recovery[{}]: created instance {}", cfg.me, g.instance_id()));
+                g
+            }
+        };
+
+        // "while (minority && !timeout) GetInfoGroup(&group_state)".
+        let deadline = ctx.now() + params.recovery_majority_timeout;
+        let majority = loop {
+            match group.info() {
+                Ok(info) if info.view.len() >= cfg.majority() && !info.failed => break true,
+                Ok(_) => {}
+                Err(_) => break false,
+            }
+            if ctx.now() >= deadline {
+                break false;
+            }
+            ctx.sleep(Duration::from_millis(50));
+        };
+        if !majority {
+            // "if (minority) try again; leave group and retry".
+            ctx.trace(format!("recovery[{}]: no majority, retrying", cfg.me));
+            group.leave(ctx);
+            retry_sleep(ctx, params);
+            continue;
+        }
+        ctx.trace(format!("recovery[{}]: majority reached", cfg.me));
+
+        // Drain membership events so the view is settled for us.
+        while group.pending_events() > 0 {
+            let _ = group.recv_timeout(ctx, Duration::from_millis(1));
+        }
+
+        // Skeen's algorithm: exchange mourned sets and seqnos. If the
+        // last set is not yet covered, Fig. 6 "tries again, waiting for
+        // servers from the last set to join the group" — so retry the
+        // exchange within the same group for a while before giving up
+        // and rebuilding from scratch.
+        let skeen_deadline = ctx.now() + params.recovery_majority_timeout * 2;
+        let outcome = loop {
+            let (my_mourned, my_seq, my_stayed) = {
+                let shared = applier.shared.lock();
+                (
+                    mourned_bools(&shared.commit, cfg.n),
+                    shared.update_seq,
+                    shared.stayed_up,
+                )
+            };
+            let mut mourned = my_mourned;
+            let mut newgroup = vec![false; cfg.n];
+            newgroup[cfg.me] = true;
+            let mut seqs: Vec<Option<(u64, bool)>> = vec![None; cfg.n];
+            seqs[cfg.me] = Some((my_seq, my_stayed));
+
+            let members: Vec<usize> = match group.info() {
+                Ok(i) if !i.failed => i
+                    .view
+                    .members
+                    .iter()
+                    .map(|m| m.tag as usize)
+                    .filter(|t| *t != cfg.me && *t < cfg.n)
+                    .collect(),
+                _ => break None,
+            };
+            for s in members {
+                let req = InternalMsg::Exchange {
+                    from: cfg.me as u32,
+                    mourned: mourned.clone(),
+                    update_seq: my_seq,
+                    stayed_up: my_stayed,
+                };
+                match deps.rpc.trans(ctx, cfg.internal_port(s), req.encode()) {
+                    Ok(bytes) => {
+                        if let Ok(InternalMsg::ExchangeReply {
+                            mourned: theirs,
+                            update_seq,
+                            stayed_up,
+                        }) = InternalMsg::decode(&bytes)
+                        {
+                            // "newgroup[s] = 1; SequenceNo[s] = SeqNr;
+                            //  mourned set += received mourned set".
+                            newgroup[s] = true;
+                            seqs[s] = Some((update_seq, stayed_up));
+                            for (i, m) in theirs.iter().enumerate() {
+                                if *m && i < cfg.n {
+                                    mourned[i] = true;
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => { /* unreachable member: not added */ }
+                }
+            }
+
+            // A server we actually reached is evidently not dead: it must
+            // not remain mourned (a mourned vector records who crashed
+            // *before* its owner, not who is dead now).
+            for (i, in_group) in newgroup.iter().enumerate() {
+                if *in_group {
+                    mourned[i] = false;
+                }
+            }
+
+            // "last = all servers − mourned set;
+            //  if (last is not subset of new group) try again".
+            let last: Vec<usize> = (0..cfg.n).filter(|i| !mourned[*i]).collect();
+            let last_ok = last.iter().all(|i| newgroup[*i]);
+            let improved_ok = if last_ok {
+                true
+            } else if params.improved_recovery {
+                // §3.2: a server that stayed up holds every update the
+                // missing servers could have performed, provided it has
+                // the highest sequence number among the assembled group.
+                let max_seq = seqs.iter().flatten().map(|(s, _)| *s).max().unwrap_or(0);
+                seqs.iter()
+                    .flatten()
+                    .any(|(s, stayed)| *stayed && *s >= max_seq)
+            } else {
+                false
+            };
+            if improved_ok {
+                break Some((newgroup, seqs));
+            }
+            ctx.trace(format!(
+                "recovery[{}]: last set {:?} not in newgroup {:?}; waiting",
+                cfg.me, last, newgroup
+            ));
+            if ctx.now() >= skeen_deadline {
+                break None;
+            }
+            // Wait for last-set servers to join this group, then retry.
+            ctx.sleep(Duration::from_millis(150));
+            while group.pending_events() > 0 {
+                let _ = group.recv_timeout(ctx, Duration::from_millis(1));
+            }
+        };
+        let (newgroup, seqs) = match outcome {
+            Some(v) => v,
+            None => {
+                group.leave(ctx);
+                retry_sleep(ctx, params);
+                continue;
+            }
+        };
+
+        // "s = HighestSeq(SequenceNo); get copies from s".
+        let my_seq = seqs[cfg.me].map(|(s, _)| s).unwrap_or(0);
+        let (best, best_seq) = seqs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|(seq, _)| (i, seq)))
+            .max_by_key(|(i, seq)| (*seq, usize::MAX - *i))
+            .expect("at least ourselves");
+        if best != cfg.me && best_seq > my_seq {
+            // Mark the copy phase in the commit block first.
+            {
+                let mut shared = applier.shared.lock();
+                shared.commit.recovering = true;
+                let cb = shared.commit.clone();
+                drop(shared);
+                cb.write(&applier.partition, ctx);
+            }
+            if !fetch_state(ctx, applier, deps, best, group.instance_id()) {
+                group.leave(ctx);
+                retry_sleep(ctx, params);
+                continue;
+            }
+        } else {
+            // We are (among) the most current: align the applied cursor
+            // with the new instance's order so far.
+            let mut shared = applier.shared.lock();
+            shared.applied_group_seq = group
+                .info()
+                .map(|i| i.highest_contiguous)
+                .unwrap_or(shared.applied_group_seq);
+        }
+
+        ctx.trace(format!("recovery[{}]: entering normal operation", cfg.me));
+        // "write commit block; enter normal operation".
+        {
+            let mut shared = applier.shared.lock();
+            shared.commit.config = newgroup;
+            shared.commit.recovering = false;
+            let cb = shared.commit.clone();
+            drop(shared);
+            cb.write(&applier.partition, ctx);
+        }
+        return group;
+    }
+}
+
+fn retry_sleep(ctx: &Ctx, params: &DirParams) {
+    let jitter = params.recovery_retry_jitter.as_nanos() as u64;
+    let d = ctx.with_rng(|r| r.next_below(jitter.max(1)));
+    ctx.sleep(Duration::from_millis(50) + Duration::from_nanos(d));
+}
+
+/// Loads commit block, object table and NVRAM after a reboot.
+fn load_local_state(ctx: &Ctx, applier: &Applier, cfg: &ServiceConfig) {
+    let commit = CommitBlock::read(&applier.partition, ctx, cfg.n)
+        .unwrap_or_else(|| CommitBlock::initial(cfg.n));
+    let table = ObjectTable::load(applier.partition.clone(), ctx);
+    let table_seq = table.max_seqno();
+    {
+        let mut shared = applier.shared.lock();
+        shared.table = table;
+        if commit.recovering {
+            // Crashed during a previous recovery's copy phase: state may
+            // mix old and new directories — worthless (§3).
+            shared.update_seq = 0;
+        } else {
+            shared.update_seq = table_seq.max(commit.seqno);
+        }
+        shared.commit = commit;
+        shared.commit.recovering = false;
+    }
+    // NVRAM survives the crash; replay pending records into RAM.
+    if applier.storage == StorageKind::Nvram {
+        let replayed = applier.replay_nvram(ctx);
+        let mut shared = applier.shared.lock();
+        shared.update_seq = shared.update_seq.max(replayed);
+    }
+}
+
+/// Fetches the full state from server `best` and installs it.
+fn fetch_state(
+    ctx: &Ctx,
+    applier: &Applier,
+    deps: &RecoveryDeps,
+    best: usize,
+    my_instance: u64,
+) -> bool {
+    let cfg = &deps.cfg;
+    let bytes = match deps
+        .rpc
+        .trans(ctx, cfg.internal_port(best), InternalMsg::Fetch.encode())
+    {
+        Ok(b) => b,
+        Err(_) => return false,
+    };
+    let (instance, applied, update_seq, commit_seq, entries) = match InternalMsg::decode(&bytes) {
+        Ok(InternalMsg::State {
+            instance,
+            applied_group_seq,
+            update_seq,
+            commit_seq,
+            entries,
+        }) => (instance, applied_group_seq, update_seq, commit_seq, entries),
+        _ => return false,
+    };
+
+    // Install: replace table + cache wholesale, then persist everything.
+    let mut installed: Vec<(u64, Directory)> = Vec::with_capacity(entries.len());
+    for (object, check, dir_bytes) in &entries {
+        match Directory::decode(dir_bytes) {
+            Ok(dir) => {
+                installed.push((*object, dir));
+                let _ = check;
+            }
+            Err(_) => return false,
+        }
+    }
+    {
+        let mut shared = applier.shared.lock();
+        // Wipe stale state.
+        let stale: Vec<u64> = shared.table.iter().map(|(o, _)| o).collect();
+        for o in stale {
+            shared.table.clear(o);
+        }
+        shared.cache.clear();
+        for ((object, check, _), (_, dir)) in entries.iter().zip(&installed) {
+            shared.table.set(
+                *object,
+                ObjEntry {
+                    file_cap: FileCap::NULL, // created below
+                    seqno: dir.seqno,
+                    check: *check,
+                },
+            );
+            shared.cache.insert(*object, dir.clone());
+        }
+        shared.update_seq = update_seq;
+        shared.commit.seqno = commit_seq;
+        // Only skip replay of already-covered ops when the snapshot is
+        // from the instance we joined.
+        shared.applied_group_seq = if instance == my_instance { applied } else { 0 };
+    }
+    // Persist every fetched directory locally (bullet file + table entry).
+    for (object, dir) in installed {
+        applier_store(ctx, applier, object, &dir);
+    }
+    true
+}
+
+fn applier_store(ctx: &Ctx, applier: &Applier, object: u64, dir: &Directory) {
+    // Reuse the disk path: during recovery we always persist to disk
+    // (NVRAM holds only post-recovery updates).
+    let new_file = match applier.bullet.create(ctx, dir.encode()) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let waiter = {
+        let mut shared = applier.shared.lock();
+        match shared.table.get(object) {
+            Some(mut entry) => {
+                entry.file_cap = new_file;
+                shared.table.set(object, entry);
+                shared.table.flush_begin(object)
+            }
+            None => None,
+        }
+    };
+    if let Some(w) = waiter {
+        w.recv(ctx);
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_msgs_round_trip() {
+        let msgs = vec![
+            InternalMsg::Exchange {
+                from: 1,
+                mourned: vec![false, true, false],
+                update_seq: 9,
+                stayed_up: true,
+            },
+            InternalMsg::ExchangeReply {
+                mourned: vec![true, false],
+                update_seq: 3,
+                stayed_up: false,
+            },
+            InternalMsg::Fetch,
+            InternalMsg::State {
+                instance: 7,
+                applied_group_seq: 5,
+                update_seq: 11,
+                commit_seq: 2,
+                entries: vec![(1, 99, vec![1, 2, 3])],
+            },
+            InternalMsg::Busy,
+        ];
+        for m in msgs {
+            assert_eq!(InternalMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn decode_garbage_fails_cleanly() {
+        assert!(InternalMsg::decode(&[77]).is_err());
+        assert!(InternalMsg::decode(&[]).is_err());
+    }
+}

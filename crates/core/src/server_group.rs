@@ -1,0 +1,394 @@
+//! The group directory server: the paper's Fig. 5 protocol.
+//!
+//! Each server machine runs several **server threads** (initiators) and
+//! one **group thread**. Reads are served locally after draining buffered
+//! group messages; writes go through `SendToGroup` with resilience r = 2
+//! and the initiator blocks until its own group thread has applied the
+//! operation. Group failure triggers `ResetGroup` with a majority
+//! requirement; if that fails the server enters the Fig. 6 recovery
+//! protocol (see [`crate::recovery`]).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use amoeba_bullet::BulletClient;
+use amoeba_disk::{Nvram, RawPartition};
+use amoeba_group::{GroupError, GroupEvent, GroupPeer};
+use amoeba_rpc::{RpcClient, RpcNode, RpcServer};
+use amoeba_sim::{Ctx, NodeId, Resource, Spawn};
+use parking_lot::Mutex;
+
+use crate::config::{DirParams, ServiceConfig, StorageKind};
+use crate::object_table::ObjectTable;
+use crate::ops::{DirError, DirReply, DirRequest};
+use crate::recovery::{run_recovery, serve_internal, RecoveryDeps};
+use crate::state::{Applier, Mode, Shared, Wake};
+
+/// Handle to one running group directory server (one replica column).
+#[derive(Clone)]
+pub struct GroupDirServer {
+    pub(crate) shared: Arc<Mutex<Shared>>,
+    pub(crate) applier: Arc<Applier>,
+    cfg: ServiceConfig,
+}
+
+impl std::fmt::Debug for GroupDirServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GroupDirServer({})", self.cfg.me)
+    }
+}
+
+/// Everything needed to start one replica of the group directory service.
+pub struct GroupServerDeps {
+    /// Static service configuration.
+    pub cfg: ServiceConfig,
+    /// Performance/behaviour parameters.
+    pub params: DirParams,
+    /// The machine this replica runs on.
+    pub sim_node: NodeId,
+    /// RPC kernel of the machine.
+    pub rpc: RpcNode,
+    /// Group-communication kernel of the machine.
+    pub peer: GroupPeer,
+    /// Client stub for this column's Bullet server.
+    pub bullet: BulletClient,
+    /// The raw partition holding commit block + object table.
+    pub partition: RawPartition,
+    /// The machine's NVRAM, if the NVRAM commit path is configured.
+    pub nvram: Option<Nvram>,
+    /// The machine's CPU.
+    pub cpu: Resource,
+}
+
+impl std::fmt::Debug for GroupServerDeps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GroupServerDeps(server {})", self.cfg.me)
+    }
+}
+
+/// Starts all processes of one group directory server replica.
+pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupDirServer {
+    let GroupServerDeps {
+        cfg,
+        params,
+        sim_node,
+        rpc,
+        peer,
+        bullet,
+        partition,
+        nvram,
+        cpu,
+    } = deps;
+    if params.storage == StorageKind::Nvram {
+        assert!(nvram.is_some(), "NVRAM storage configured without a device");
+    }
+    let table = ObjectTable::new(partition.clone());
+    let shared = Arc::new(Mutex::new(Shared::new(table, cfg.n)));
+    let applier = Arc::new(Applier {
+        cfg: cfg.clone(),
+        storage: params.storage,
+        shared: Arc::clone(&shared),
+        bullet,
+        partition,
+        nvram: nvram.clone(),
+    });
+    let server = GroupDirServer {
+        shared: Arc::clone(&shared),
+        applier: Arc::clone(&applier),
+        cfg: cfg.clone(),
+    };
+
+    // Internal (server-to-server) RPC service: recovery info exchange and
+    // state transfer. Always answered, even while recovering.
+    {
+        let srv = RpcServer::new(&rpc, cfg.internal_port(cfg.me));
+        let applier = Arc::clone(&applier);
+        let cfg2 = cfg.clone();
+        spawner.spawn_boxed(
+            Some(sim_node),
+            &format!("dir{}-internal", cfg.me),
+            Box::new(move |ctx| serve_internal(ctx, &srv, &applier, &cfg2)),
+        );
+    }
+
+    // Initiator (server) threads.
+    for t in 0..params.server_threads.max(1) {
+        let srv = RpcServer::new(&rpc, cfg.public_port);
+        let applier = Arc::clone(&applier);
+        let params = params.clone();
+        let cpu = cpu.clone();
+        let cfg2 = cfg.clone();
+        spawner.spawn_boxed(
+            Some(sim_node),
+            &format!("dir{}-srv{t}", cfg.me),
+            Box::new(move |ctx| initiator_loop(ctx, &srv, &applier, &cfg2, &params, &cpu)),
+        );
+    }
+
+    // Main thread: recovery, then the Fig. 5 group-thread loop, forever.
+    {
+        let applier = Arc::clone(&applier);
+        let params = params.clone();
+        let cpu = cpu.clone();
+        let rpc_client = RpcClient::new(&rpc);
+        spawner.spawn_boxed(
+            Some(sim_node),
+            &format!("dir{}-main", cfg.me),
+            Box::new(move |ctx| {
+                main_loop(ctx, &applier, &cfg, &params, &peer, &rpc_client, &cpu)
+            }),
+        );
+    }
+    server
+}
+
+impl GroupDirServer {
+    /// The current logical version (diagnostics/tests).
+    pub fn update_seq(&self) -> u64 {
+        self.shared.lock().update_seq
+    }
+
+    /// Forces any pending NVRAM records to disk (diagnostics/tests).
+    pub fn flush_storage(&self, ctx: &amoeba_sim::Ctx) {
+        self.applier.flush_nvram(ctx);
+    }
+
+    /// Whether the server is in normal operation.
+    pub fn is_normal(&self) -> bool {
+        self.shared.lock().mode == Mode::Normal
+    }
+}
+
+/// The Fig. 5 initiator logic, one thread.
+fn initiator_loop(
+    ctx: &Ctx,
+    srv: &RpcServer,
+    applier: &Applier,
+    cfg: &ServiceConfig,
+    params: &DirParams,
+    cpu: &Resource,
+) {
+    loop {
+        let incoming = srv.getreq(ctx);
+        let req = match DirRequest::decode(&incoming.data) {
+            Ok(r) => r,
+            Err(_) => {
+                srv.putrep(&incoming, DirReply::Err(DirError::Malformed).encode());
+                continue;
+            }
+        };
+        let reply = handle_request(ctx, applier, cfg, params, cpu, &req);
+        srv.putrep(&incoming, reply.encode());
+    }
+}
+
+/// One request through the Fig. 5 protocol.
+fn handle_request(
+    ctx: &Ctx,
+    applier: &Applier,
+    cfg: &ServiceConfig,
+    params: &DirParams,
+    cpu: &Resource,
+    req: &DirRequest,
+) -> DirReply {
+    // "if (!majority()) return failure".
+    let group = {
+        let shared = applier.shared.lock();
+        if shared.mode != Mode::Normal {
+            return DirReply::Err(DirError::NoMajority);
+        }
+        match &shared.group {
+            Some(g) => Arc::clone(g),
+            None => return DirReply::Err(DirError::NoMajority),
+        }
+    };
+    let info = match group.info() {
+        Ok(i) if !i.failed && i.view.len() >= cfg.majority() => i,
+        _ => return DirReply::Err(DirError::NoMajority),
+    };
+
+    if req.is_read() {
+        // "any buffered messages? … wait until seqno == buffered_seqno":
+        // drain everything the kernel has ordered before us.
+        let target = info.highest_contiguous;
+        let behind = { applier.shared.lock().applied_group_seq < target };
+        if behind {
+            let (tx, rx) = ctx.handle().channel();
+            {
+                let mut shared = applier.shared.lock();
+                if shared.applied_group_seq < target {
+                    shared.waiters.push((target, tx));
+                } else {
+                    tx.send(Wake::Applied);
+                }
+            }
+            if rx.recv(ctx) == Wake::Aborted {
+                return DirReply::Err(DirError::NoMajority);
+            }
+        }
+        cpu.use_for(ctx, params.read_cpu);
+        applier.serve_read(ctx, req)
+    } else {
+        cpu.use_for(ctx, params.write_cpu);
+        // "generate check-field; SendToGroup(request…)".
+        let op = match applier.prepare_write(ctx, req) {
+            Ok(op) => op,
+            Err(e) => return DirReply::Err(e),
+        };
+        let seq = match group.send(ctx, op.encode()) {
+            Ok(seq) => seq,
+            Err(_) => return DirReply::Err(DirError::NoMajority),
+        };
+        // "wait until group thread has received and executed the request".
+        let (tx, rx) = ctx.handle().channel();
+        {
+            let mut shared = applier.shared.lock();
+            if shared.applied_group_seq < seq {
+                shared.waiters.push((seq, tx));
+            } else {
+                tx.send(Wake::Applied);
+            }
+        }
+        if rx.recv(ctx) == Wake::Aborted {
+            return DirReply::Err(DirError::NoMajority);
+        }
+        let result = { applier.shared.lock().results.remove(&seq) };
+        result.unwrap_or(DirReply::Err(DirError::Internal))
+    }
+}
+
+/// The server main process: recovery → normal operation → (on collapse)
+/// recovery again, forever.
+#[allow(clippy::too_many_arguments)]
+fn main_loop(
+    ctx: &Ctx,
+    applier: &Applier,
+    cfg: &ServiceConfig,
+    params: &DirParams,
+    peer: &GroupPeer,
+    rpc_client: &RpcClient,
+    cpu: &Resource,
+) {
+    loop {
+        let deps = RecoveryDeps {
+            cfg: cfg.clone(),
+            params: params.clone(),
+            peer: peer.clone(),
+            rpc: rpc_client.clone(),
+        };
+        let group = run_recovery(ctx, applier, &deps);
+        let group = Arc::new(group);
+        {
+            let mut shared = applier.shared.lock();
+            shared.group = Some(Arc::clone(&group));
+            shared.mode = Mode::Normal;
+            shared.stayed_up = true;
+        }
+        group_thread(ctx, applier, cfg, params, &group, cpu);
+        // Collapsed: back to recovery.
+        {
+            let mut shared = applier.shared.lock();
+            shared.mode = Mode::Recovering;
+            shared.group = None;
+            shared.abort_waiters();
+        }
+    }
+}
+
+/// The Fig. 5 group-thread loop. Returns when the group is beyond repair
+/// (recovery required).
+fn group_thread(
+    ctx: &Ctx,
+    applier: &Applier,
+    cfg: &ServiceConfig,
+    params: &DirParams,
+    group: &Arc<amoeba_group::Group>,
+    cpu: &Resource,
+) {
+    let idle = params.nvram_idle_flush;
+    loop {
+        let event = match group.recv_timeout(ctx, idle) {
+            Some(e) => e,
+            None => {
+                // Idle: apply NVRAM modifications to disk (§4.1: "when the
+                // server is idle or the NVRAM is full").
+                if params.storage == StorageKind::Nvram {
+                    applier.flush_nvram(ctx);
+                }
+                continue;
+            }
+        };
+        match event {
+            Ok(GroupEvent::Message { seq, data, .. }) => {
+                let skip = { applier.shared.lock().applied_group_seq >= seq };
+                if skip {
+                    continue; // already covered by a fetched state snapshot
+                }
+                cpu.use_for(ctx, params.apply_cpu);
+                let reply = match crate::ops::DirOp::decode(&data) {
+                    Ok(op) => applier.apply(ctx, seq, &op),
+                    Err(_) => DirReply::Err(DirError::Malformed),
+                };
+                let mut shared = applier.shared.lock();
+                shared.applied_group_seq = seq;
+                shared.results.insert(seq, reply);
+                shared.prune_results();
+                shared.wake_applied();
+                // NVRAM full check (flush outside the lock).
+                let must_flush = params.storage == StorageKind::Nvram
+                    && applier
+                        .nvram
+                        .as_ref()
+                        .map(|n| n.fill_fraction() >= params.nvram_flush_threshold)
+                        .unwrap_or(false);
+                drop(shared);
+                if must_flush {
+                    applier.flush_nvram(ctx);
+                }
+            }
+            Ok(GroupEvent::Joined { seq, member }) | Ok(GroupEvent::Left { seq, member }) => {
+                let _ = member;
+                let mut shared = applier.shared.lock();
+                if shared.applied_group_seq < seq {
+                    shared.applied_group_seq = seq;
+                }
+                shared.wake_applied();
+                // Update the configuration vector from the new view.
+                let view = group.info().map(|i| i.view).unwrap_or_default();
+                let mut config = vec![false; cfg.n];
+                for m in &view.members {
+                    if (m.tag as usize) < cfg.n {
+                        config[m.tag as usize] = true;
+                    }
+                }
+                shared.commit.config = config;
+                let cb = shared.commit.clone();
+                drop(shared);
+                cb.write(&applier.partition, ctx);
+            }
+            Ok(GroupEvent::ResetDone { view, .. }) => {
+                // "GetInfoGroup(&group_state); write commit block".
+                let mut shared = applier.shared.lock();
+                let mut config = vec![false; cfg.n];
+                for m in &view.members {
+                    if (m.tag as usize) < cfg.n {
+                        config[m.tag as usize] = true;
+                    }
+                }
+                shared.commit.config = config;
+                let cb = shared.commit.clone();
+                drop(shared);
+                cb.write(&applier.partition, ctx);
+            }
+            Err(GroupError::Failed) => {
+                // "rebuild majority of group; if rebuild failed enter
+                // recovery".
+                match group.reset(ctx, cfg.majority(), Duration::from_secs(3)) {
+                    Ok(_info) => continue, // ResetDone event follows
+                    Err(_) => return,
+                }
+            }
+            Err(_) => return, // Dead / expelled: recovery
+        }
+    }
+}

@@ -1,0 +1,781 @@
+//! The replica state machine shared by every server implementation:
+//! validation, deterministic apply, and storage effects.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amoeba_bullet::{BulletClient, FileCap};
+use amoeba_disk::{NvRecord, Nvram, RawPartition};
+use amoeba_flip::wire::{WireReader, WireWriter};
+use amoeba_flip::Port;
+use amoeba_group::Group;
+use amoeba_sim::{Ctx, MailboxTx};
+use parking_lot::Mutex;
+
+use crate::capability::Capability;
+use crate::commit_block::CommitBlock;
+use crate::config::{ServiceConfig, StorageKind};
+use crate::directory::{DirStructureError, Directory};
+use crate::object_table::{ObjEntry, ObjectTable};
+use crate::ops::{DirError, DirOp, DirReply, DirRequest};
+use crate::rights::Rights;
+
+/// How a blocked initiator wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// The awaited group sequence number has been applied.
+    Applied,
+    /// The group collapsed; the operation outcome is unknown.
+    Aborted,
+}
+
+/// Server operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    Recovering,
+    Normal,
+}
+
+/// Mutable replica state. Lock discipline: never hold the lock across a
+/// blocking simulator call.
+pub(crate) struct Shared {
+    pub mode: Mode,
+    pub group: Option<Arc<Group>>,
+    pub table: ObjectTable,
+    /// Authoritative in-RAM directory contents (the paper's RAM cache;
+    /// lazily refilled from Bullet files after a reboot).
+    pub cache: HashMap<u64, Directory>,
+    /// Logical version counter, monotone across group incarnations;
+    /// stored with every directory ("sequence number", Fig. 4/§3).
+    pub update_seq: u64,
+    /// Last *group* sequence number applied in the current instance.
+    pub applied_group_seq: u64,
+    /// Initiators waiting for `applied_group_seq` to reach a target.
+    pub waiters: Vec<(u64, MailboxTx<Wake>)>,
+    /// Apply results by group seq, for the initiating server thread.
+    pub results: HashMap<u64, DirReply>,
+    pub commit: CommitBlock,
+    /// Continuously up since last being in a majority configuration.
+    pub stayed_up: bool,
+    pub next_nv_uid: u64,
+    /// Virtual time of the last applied update (drives idle flushing).
+    pub last_update_at: amoeba_sim::SimTime,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("mode", &self.mode)
+            .field("update_seq", &self.update_seq)
+            .field("applied_group_seq", &self.applied_group_seq)
+            .finish()
+    }
+}
+
+impl Shared {
+    pub fn new(table: ObjectTable, n: usize) -> Shared {
+        Shared {
+            mode: Mode::Recovering,
+            group: None,
+            table,
+            cache: HashMap::new(),
+            update_seq: 0,
+            applied_group_seq: 0,
+            waiters: Vec::new(),
+            results: HashMap::new(),
+            commit: CommitBlock::initial(n),
+            stayed_up: false,
+            next_nv_uid: 1,
+            last_update_at: amoeba_sim::SimTime::ZERO,
+        }
+    }
+
+    /// Wakes every waiter satisfied by the current applied seq.
+    pub fn wake_applied(&mut self) {
+        let applied = self.applied_group_seq;
+        let mut kept = Vec::new();
+        for (target, tx) in self.waiters.drain(..) {
+            if target <= applied {
+                tx.send(Wake::Applied);
+            } else {
+                kept.push((target, tx));
+            }
+        }
+        self.waiters = kept;
+    }
+
+    /// Aborts every waiter (the group collapsed).
+    pub fn abort_waiters(&mut self) {
+        for (_, tx) in self.waiters.drain(..) {
+            tx.send(Wake::Aborted);
+        }
+    }
+
+    /// Drops apply results that can no longer be claimed.
+    pub fn prune_results(&mut self) {
+        if self.results.len() > 4096 {
+            let cutoff = self.applied_group_seq.saturating_sub(2048);
+            self.results.retain(|seq, _| *seq > cutoff);
+        }
+    }
+}
+
+/// Everything a server needs to validate and apply operations.
+pub(crate) struct Applier {
+    pub cfg: ServiceConfig,
+    pub storage: StorageKind,
+    pub shared: Arc<Mutex<Shared>>,
+    pub bullet: BulletClient,
+    pub partition: RawPartition,
+    pub nvram: Option<Nvram>,
+}
+
+impl std::fmt::Debug for Applier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Applier(server {})", self.cfg.me)
+    }
+}
+
+/// Validation outcome carrying the directory's object number.
+pub(crate) fn validate_dir_cap(
+    shared: &Shared,
+    public_port: Port,
+    cap: &Capability,
+    need: Rights,
+) -> Result<u64, DirError> {
+    if cap.port != public_port {
+        return Err(DirError::BadCapability);
+    }
+    let entry = shared.table.get(cap.object).ok_or(DirError::BadCapability)?;
+    if !cap.validate(entry.check) {
+        return Err(DirError::BadCapability);
+    }
+    if !cap.rights.covers(need) {
+        return Err(DirError::NoPermission);
+    }
+    Ok(cap.object)
+}
+
+fn structure_err(e: DirStructureError) -> DirError {
+    match e {
+        DirStructureError::DuplicateName => DirError::DuplicateName,
+        DirStructureError::NoSuchName => DirError::NoSuchName,
+        DirStructureError::ColumnMismatch => DirError::ColumnMismatch,
+    }
+}
+
+/// Storage effects produced by the deterministic plan phase.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    StoreDir { object: u64, dir: Directory },
+    DropDir { object: u64, old_file: FileCap },
+}
+
+/// The object an op concerns (NVRAM record tag).
+fn op_object(op: &DirOp) -> u64 {
+    match op {
+        DirOp::Create { .. } => 0,
+        DirOp::Delete { object }
+        | DirOp::Append { object, .. }
+        | DirOp::Chmod { object, .. }
+        | DirOp::DeleteRow { object, .. } => *object,
+        DirOp::ReplaceSet { items } => items.first().map(|(o, _, _)| *o).unwrap_or(0),
+    }
+}
+
+fn decode_nv_record(data: &[u8]) -> Option<(u64, DirOp)> {
+    let mut r = WireReader::new(data);
+    let useq = r.u64("nv seq").ok()?;
+    let bytes = r.bytes("nv op").ok()?;
+    let op = DirOp::decode(&bytes).ok()?;
+    Some((useq, op))
+}
+
+impl Applier {
+    /// Fetches a directory's contents: RAM cache, else its Bullet file.
+    pub fn load_dir(&self, ctx: &Ctx, object: u64) -> Result<Directory, DirError> {
+        {
+            let shared = self.shared.lock();
+            if let Some(d) = shared.cache.get(&object) {
+                return Ok(d.clone());
+            }
+        }
+        let entry = {
+            let shared = self.shared.lock();
+            shared.table.get(object).ok_or(DirError::BadCapability)?
+        };
+        let bytes = self
+            .bullet
+            .read(ctx, entry.file_cap)
+            .map_err(|_| DirError::Internal)?;
+        let dir = Directory::decode(&bytes).map_err(|_| DirError::Internal)?;
+        let mut shared = self.shared.lock();
+        shared.cache.insert(object, dir.clone());
+        Ok(dir)
+    }
+
+    /// Applies one replicated operation deterministically. `group_seq`
+    /// identifies the op in the current instance's total order.
+    ///
+    /// Storage effects depend on the commit path: synchronous Bullet +
+    /// object-table writes (Disk) or one NVRAM log append (Nvram), with
+    /// the paper's append/delete annihilation (§4.1).
+    pub fn apply(&self, ctx: &Ctx, group_seq: u64, op: &DirOp) -> DirReply {
+        let _ = group_seq;
+        // Pre-load affected directories into the cache (Bullet reads must
+        // happen outside the lock; after a reboot the cache starts cold).
+        match op {
+            DirOp::ReplaceSet { items } => {
+                for (object, _, _) in items {
+                    let _ = self.load_dir(ctx, *object);
+                }
+            }
+            _ => {
+                let object = op_object(op);
+                if object != 0 {
+                    let _ = self.load_dir(ctx, object);
+                }
+            }
+        }
+        let planned = {
+            let mut shared = self.shared.lock();
+            let r = self.plan(&mut shared, op, None);
+            shared.last_update_at = ctx.now();
+            r
+        };
+        let (reply, effects, useq) = match planned {
+            Ok(v) => v,
+            Err(e) => return DirReply::Err(e),
+        };
+        match self.storage {
+            StorageKind::Disk => {
+                for effect in effects {
+                    self.perform_disk(ctx, effect);
+                }
+            }
+            StorageKind::Nvram => {
+                if let DirOp::Delete { object } = op {
+                    // Pending records of a deleted directory are moot,
+                    // but the delete itself must be logged.
+                    let nvram = self.nvram.as_ref().expect("nvram storage");
+                    let _ = nvram.annihilate(|r| r.tag == *object);
+                }
+                // Every modification is logged (and charged) — then a
+                // delete whose append is still in the log annihilates
+                // *both* records, so neither ever costs a disk operation
+                // (§4.1). The NVRAM write itself is still paid, which is
+                // what bounds the paper's Fig. 9 at ~45 pairs/s.
+                self.log_op(ctx, useq, op_object(op), op);
+                if let DirOp::DeleteRow { object, name } = op {
+                    self.try_annihilate_pair(*object, name);
+                }
+            }
+        }
+        reply
+    }
+
+    /// Computes the new state and storage effects for `op`. Must be
+    /// deterministic: every replica runs this on the same state in the
+    /// same order. `forced_seq` pins the update seq during NVRAM replay.
+    pub(crate) fn plan(
+        &self,
+        shared: &mut Shared,
+        op: &DirOp,
+        forced_seq: Option<u64>,
+    ) -> Result<(DirReply, Vec<Effect>, u64), DirError> {
+        let useq = match forced_seq {
+            Some(s) => {
+                shared.update_seq = shared.update_seq.max(s);
+                s
+            }
+            None => {
+                shared.update_seq += 1;
+                shared.update_seq
+            }
+        };
+        match op {
+            DirOp::Create { columns, check } => {
+                if !(1..=4).contains(&columns.len()) {
+                    return Err(DirError::Malformed);
+                }
+                let object = shared.table.next_object();
+                if object > shared.table.capacity() {
+                    return Err(DirError::Internal);
+                }
+                let mut dir = Directory::new(columns.clone());
+                dir.seqno = useq;
+                shared.cache.insert(object, dir.clone());
+                shared.table.set(
+                    object,
+                    ObjEntry {
+                        file_cap: FileCap::NULL, // patched by the effect
+                        seqno: useq,
+                        check: *check,
+                    },
+                );
+                let cap = Capability::owner(self.cfg.public_port, object, *check);
+                Ok((DirReply::Cap(cap), vec![Effect::StoreDir { object, dir }], useq))
+            }
+            DirOp::Delete { object } => {
+                let entry = shared.table.get(*object).ok_or(DirError::BadCapability)?;
+                shared.table.clear(*object);
+                shared.cache.remove(object);
+                shared.commit.seqno = useq;
+                Ok((
+                    DirReply::Ok,
+                    vec![Effect::DropDir {
+                        object: *object,
+                        old_file: entry.file_cap,
+                    }],
+                    useq,
+                ))
+            }
+            DirOp::Append {
+                object,
+                name,
+                cap,
+                col_rights,
+            } => {
+                let mut dir = self.dir_for_plan(shared, *object)?;
+                dir.append_row(name.clone(), *cap, col_rights.clone())
+                    .map_err(structure_err)?;
+                dir.seqno = useq;
+                shared.cache.insert(*object, dir.clone());
+                Ok((
+                    DirReply::Ok,
+                    vec![Effect::StoreDir {
+                        object: *object,
+                        dir,
+                    }],
+                    useq,
+                ))
+            }
+            DirOp::Chmod {
+                object,
+                name,
+                col_rights,
+            } => {
+                let mut dir = self.dir_for_plan(shared, *object)?;
+                dir.chmod_row(name, col_rights.clone()).map_err(structure_err)?;
+                dir.seqno = useq;
+                shared.cache.insert(*object, dir.clone());
+                Ok((
+                    DirReply::Ok,
+                    vec![Effect::StoreDir {
+                        object: *object,
+                        dir,
+                    }],
+                    useq,
+                ))
+            }
+            DirOp::DeleteRow { object, name } => {
+                let mut dir = self.dir_for_plan(shared, *object)?;
+                dir.delete_row(name).map_err(structure_err)?;
+                dir.seqno = useq;
+                shared.cache.insert(*object, dir.clone());
+                Ok((
+                    DirReply::Ok,
+                    vec![Effect::StoreDir {
+                        object: *object,
+                        dir,
+                    }],
+                    useq,
+                ))
+            }
+            DirOp::ReplaceSet { items } => {
+                // Indivisible: validate everything, then mutate.
+                let mut dirs: HashMap<u64, Directory> = HashMap::new();
+                for (object, name, _) in items {
+                    if !dirs.contains_key(object) {
+                        dirs.insert(*object, self.dir_for_plan(shared, *object)?);
+                    }
+                    if dirs[object].find(name).is_none() {
+                        return Err(DirError::NoSuchName);
+                    }
+                }
+                for (object, name, cap) in items {
+                    let dir = dirs.get_mut(object).expect("validated above");
+                    dir.replace_cap(name, *cap).expect("validated above");
+                }
+                let mut effects = Vec::new();
+                let mut objs: Vec<u64> = dirs.keys().copied().collect();
+                objs.sort_unstable();
+                for object in objs {
+                    let mut dir = dirs.remove(&object).expect("present");
+                    dir.seqno = useq;
+                    shared.cache.insert(object, dir.clone());
+                    effects.push(Effect::StoreDir { object, dir });
+                }
+                Ok((DirReply::Ok, effects, useq))
+            }
+        }
+    }
+
+    /// A directory's contents for planning: the RAM cache is authoritative
+    /// during normal operation (it was populated at recovery/apply time).
+    fn dir_for_plan(&self, shared: &mut Shared, object: u64) -> Result<Directory, DirError> {
+        if shared.table.get(object).is_none() {
+            return Err(DirError::BadCapability);
+        }
+        shared
+            .cache
+            .get(&object)
+            .cloned()
+            .ok_or(DirError::Internal)
+    }
+
+    /// Disk-path storage effect.
+    pub(crate) fn perform_disk(&self, ctx: &Ctx, effect: Effect) {
+        match effect {
+            Effect::StoreDir { object, dir } => {
+                self.store_dir_to_disk(ctx, object, &dir);
+            }
+            Effect::DropDir { object, old_file } => {
+                // Directory deleted: persist the cleared table entry and
+                // record the update in the commit block (the delete-
+                // loses-its-file case, §3), then free the Bullet file.
+                // Enqueue under the lock, wait outside it.
+                let waiter = { self.shared.lock().table.flush_begin(object) };
+                if let Some(w) = waiter {
+                    w.recv(ctx);
+                }
+                let cb = { self.shared.lock().commit.clone() };
+                cb.write(&self.partition, ctx);
+                if !old_file.is_null() {
+                    let _ = self.bullet.delete(ctx, old_file);
+                }
+            }
+        }
+    }
+
+    /// Disk path: new Bullet file + one object-table write (the paper's
+    /// two disk operations per update).
+    fn store_dir_to_disk(&self, ctx: &Ctx, object: u64, dir: &Directory) {
+        let old = { self.shared.lock().table.get(object) };
+        let new_file = match self.bullet.create(ctx, dir.encode()) {
+            Ok(cap) => cap,
+            Err(_) => return, // storage column down; recovery will resync
+        };
+        let waiter = {
+            let mut shared = self.shared.lock();
+            match shared.table.get(object) {
+                Some(mut entry) => {
+                    entry.file_cap = new_file;
+                    entry.seqno = dir.seqno;
+                    shared.table.set(object, entry);
+                    shared.table.flush_begin(object)
+                }
+                None => None,
+            }
+        };
+        if let Some(w) = waiter {
+            w.recv(ctx);
+        }
+        // "remove old Bullet files" — after the commit.
+        if let Some(old) = old {
+            if !old.file_cap.is_null() && old.file_cap != new_file {
+                let _ = self.bullet.delete(ctx, old.file_cap);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NVRAM commit path.
+    // ------------------------------------------------------------------
+
+    /// After a delete of (`object`, `name`) was logged: if the matching
+    /// append is still in the log with no intervening record for the same
+    /// row, remove both the append and the delete — neither will ever
+    /// reach the disk (§4.1's `/tmp` effect).
+    fn try_annihilate_pair(&self, object: u64, name: &str) -> bool {
+        let nvram = self.nvram.as_ref().expect("nvram storage");
+        let records = nvram.snapshot();
+        let mut append_uid: Option<u64> = None;
+        let mut delete_uid: Option<u64> = None;
+        for rec in records.iter().filter(|r| r.tag == object) {
+            if let Some((_, op)) = decode_nv_record(&rec.data) {
+                match &op {
+                    DirOp::Append { name: n, .. } if n == name => {
+                        append_uid = Some(rec.uid);
+                        delete_uid = None;
+                    }
+                    DirOp::DeleteRow { name: n, .. } if n == name => {
+                        if append_uid.is_some() {
+                            delete_uid = Some(rec.uid);
+                        }
+                    }
+                    DirOp::Chmod { name: n, .. } if n == name => {
+                        append_uid = None;
+                        delete_uid = None;
+                    }
+                    DirOp::ReplaceSet { items }
+                        if items.iter().any(|(_, n, _)| n == name) =>
+                    {
+                        append_uid = None;
+                        delete_uid = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match (append_uid, delete_uid) {
+            (Some(a), Some(d)) => nvram.annihilate(|r| r.uid == a || r.uid == d) >= 2,
+            _ => false,
+        }
+    }
+
+    fn log_op(&self, ctx: &Ctx, useq: u64, tag: u64, op: &DirOp) {
+        let mut w = WireWriter::new();
+        w.u64(useq).bytes(&op.encode());
+        let uid = {
+            let mut shared = self.shared.lock();
+            let uid = shared.next_nv_uid;
+            shared.next_nv_uid += 1;
+            uid
+        };
+        self.append_with_flush(
+            ctx,
+            NvRecord {
+                uid,
+                tag,
+                data: w.finish(),
+            },
+        );
+    }
+
+    fn append_with_flush(&self, ctx: &Ctx, rec: NvRecord) {
+        let nvram = self.nvram.as_ref().expect("nvram storage");
+        if nvram.append(ctx, rec.clone()).is_err() {
+            // Full: flush synchronously, then retry once.
+            self.flush_nvram(ctx);
+            let _ = nvram.append(ctx, rec);
+        }
+    }
+
+    /// Applies logged records to disk and removes exactly those records.
+    /// Runs in the background flusher and on demand when the device fills.
+    pub fn flush_nvram(&self, ctx: &Ctx) {
+        let nvram = match &self.nvram {
+            Some(n) => n,
+            None => return,
+        };
+        let records = nvram.snapshot();
+        if records.is_empty() {
+            return;
+        }
+        // The newest state per object is already in RAM; write each dirty
+        // object's current version once.
+        let mut dirty: Vec<u64> = records.iter().map(|r| r.tag).collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for object in dirty {
+            if object == 0 {
+                continue; // creates are flushed via their directory object
+            }
+            let dir = { self.shared.lock().cache.get(&object).cloned() };
+            let live = { self.shared.lock().table.get(object).is_some() };
+            match (dir, live) {
+                (Some(dir), true) => self.store_dir_to_disk(ctx, object, &dir),
+                _ => {
+                    // Deleted since: persist the cleared entry + commit.
+                    let waiter = { self.shared.lock().table.flush_begin(object) };
+                    if let Some(w) = waiter {
+                        w.recv(ctx);
+                    }
+                    let cb = { self.shared.lock().commit.clone() };
+                    cb.write(&self.partition, ctx);
+                }
+            }
+        }
+        // Creates (tag 0) are covered by the object they created: replaying
+        // them against the flushed table is a no-op because the object is
+        // present; remove all processed records.
+        let ids: std::collections::HashSet<u64> = records.iter().map(|r| r.uid).collect();
+        let _ = nvram.annihilate(|r| ids.contains(&r.uid));
+    }
+
+    /// Replays NVRAM records into RAM state after a reboot (records stay
+    /// in the device for the flusher). Returns the highest update seq.
+    ///
+    /// Creates logged with tag 0 re-run the deterministic allocator, so a
+    /// replayed create lands on the same object number it had originally.
+    pub fn replay_nvram(&self, ctx: &Ctx) -> u64 {
+        let nvram = match &self.nvram {
+            Some(n) => n,
+            None => return 0,
+        };
+        let mut max_seq = 0;
+        for rec in nvram.snapshot() {
+            if let Some((useq, op)) = decode_nv_record(&rec.data) {
+                // For ops against directories not yet cached, pull the
+                // on-disk version first so the mutation applies cleanly.
+                let needs = op_object(&op);
+                if needs != 0 {
+                    let _ = self.load_dir(ctx, needs);
+                }
+                let mut shared = self.shared.lock();
+                let _ = self.plan(&mut shared, &op, Some(useq));
+                max_seq = max_seq.max(useq);
+            }
+        }
+        max_seq
+    }
+
+    // ------------------------------------------------------------------
+    // Read path.
+    // ------------------------------------------------------------------
+
+    /// Serves a read against local state (initiator thread, paper Fig. 5
+    /// read path). Assumes the caller has already drained buffered
+    /// updates.
+    pub fn serve_read(&self, ctx: &Ctx, req: &DirRequest) -> DirReply {
+        match req {
+            DirRequest::ListDir { cap } => {
+                let object = {
+                    let shared = self.shared.lock();
+                    match validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::NONE) {
+                        Ok(o) => o,
+                        Err(e) => return DirReply::Err(e),
+                    }
+                };
+                if !cap.rights.sees_any_column() {
+                    return DirReply::Err(DirError::NoPermission);
+                }
+                let dir = match self.load_dir(ctx, object) {
+                    Ok(d) => d,
+                    Err(e) => return DirReply::Err(e),
+                };
+                let rows = dir
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let eff = dir.effective_rights(row, cap.rights);
+                        let out_cap = self.restrict_for_holder(&row.cap, eff);
+                        let visible_masks: Vec<Rights> = row
+                            .col_rights
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| cap.rights.sees_column(*i))
+                            .map(|(_, m)| *m)
+                            .collect();
+                        (row.name.clone(), out_cap, visible_masks)
+                    })
+                    .collect();
+                DirReply::Listing {
+                    columns: dir.columns.clone(),
+                    rows,
+                }
+            }
+            DirRequest::LookupSet { items } => {
+                let mut out = Vec::with_capacity(items.len());
+                for (cap, name) in items {
+                    let object = {
+                        let shared = self.shared.lock();
+                        validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::NONE)
+                    };
+                    let resolved = match object {
+                        Ok(object) if cap.rights.sees_any_column() => {
+                            match self.load_dir(ctx, object) {
+                                Ok(dir) => dir.find(name).and_then(|row| {
+                                    let eff = dir.effective_rights(row, cap.rights);
+                                    if eff == Rights::NONE {
+                                        None
+                                    } else {
+                                        Some(self.restrict_for_holder(&row.cap, eff))
+                                    }
+                                }),
+                                Err(_) => None,
+                            }
+                        }
+                        _ => None,
+                    };
+                    out.push(resolved);
+                }
+                DirReply::Caps(out)
+            }
+            _ => DirReply::Err(DirError::Malformed),
+        }
+    }
+
+    /// Restricts a stored capability to the holder's effective rights.
+    /// Own-service capabilities are re-issued with a correct check field;
+    /// foreign capabilities are returned as stored (only their service
+    /// could recompute the check).
+    fn restrict_for_holder(&self, stored: &Capability, eff: Rights) -> Capability {
+        if stored.port == self.cfg.public_port {
+            let shared = self.shared.lock();
+            if let Some(entry) = shared.table.get(stored.object) {
+                return Capability::issue(self.cfg.public_port, stored.object, entry.check, eff);
+            }
+        }
+        *stored
+    }
+
+    /// Initiator-side validation and translation of a client write into
+    /// the replicated op (paper: the check field for a create is chosen
+    /// here).
+    pub fn prepare_write(&self, ctx: &Ctx, req: &DirRequest) -> Result<DirOp, DirError> {
+        let shared = self.shared.lock();
+        let port = self.cfg.public_port;
+        match req {
+            DirRequest::CreateDir { columns } => {
+                if !(1..=4).contains(&columns.len()) {
+                    return Err(DirError::Malformed);
+                }
+                let check = ctx.with_rng(|r| r.next_u64()) | 1;
+                Ok(DirOp::Create {
+                    columns: columns.clone(),
+                    check,
+                })
+            }
+            DirRequest::DeleteDir { cap } => {
+                let object = validate_dir_cap(&shared, port, cap, Rights::ADMIN)?;
+                Ok(DirOp::Delete { object })
+            }
+            DirRequest::AppendRow {
+                dir,
+                name,
+                cap,
+                col_rights,
+            } => {
+                let object = validate_dir_cap(&shared, port, dir, Rights::MODIFY)?;
+                Ok(DirOp::Append {
+                    object,
+                    name: name.clone(),
+                    cap: *cap,
+                    col_rights: col_rights.clone(),
+                })
+            }
+            DirRequest::ChmodRow {
+                dir,
+                name,
+                col_rights,
+            } => {
+                let object = validate_dir_cap(&shared, port, dir, Rights::MODIFY)?;
+                Ok(DirOp::Chmod {
+                    object,
+                    name: name.clone(),
+                    col_rights: col_rights.clone(),
+                })
+            }
+            DirRequest::DeleteRow { dir, name } => {
+                let object = validate_dir_cap(&shared, port, dir, Rights::MODIFY)?;
+                Ok(DirOp::DeleteRow {
+                    object,
+                    name: name.clone(),
+                })
+            }
+            DirRequest::ReplaceSet { items } => {
+                let mut out = Vec::with_capacity(items.len());
+                for (dir, name, cap) in items {
+                    let object = validate_dir_cap(&shared, port, dir, Rights::MODIFY)?;
+                    out.push((object, name.clone(), *cap));
+                }
+                Ok(DirOp::ReplaceSet { items: out })
+            }
+            DirRequest::ListDir { .. } | DirRequest::LookupSet { .. } => {
+                Err(DirError::Malformed)
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Diagnostic test for service formation (kept as a regression test).
+
+use std::time::Duration;
+
+use amoeba_dir_core::cluster::{Cluster, ClusterParams, Variant};
+use amoeba_sim::Simulation;
+
+#[test]
+fn group_service_forms_within_five_seconds() {
+    let mut sim = Simulation::new(7);
+    let cluster = Cluster::start(&sim, ClusterParams::paper(Variant::Group));
+    sim.run_for(Duration::from_secs(5));
+    for i in 0..3 {
+        assert!(
+            cluster.group_server(i).is_normal(),
+            "server {i} not in normal operation after 5s"
+        );
+    }
+}

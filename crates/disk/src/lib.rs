@@ -1,0 +1,27 @@
+//! # amoeba-disk — the simulated storage subsystem
+//!
+//! Everything below the Bullet server and the directory service's raw
+//! partition in the paper's Fig. 3:
+//!
+//! * [`DiskParams`] — a Wren IV-class timing model (one small synchronous
+//!   write ≈ 41 ms, an order of magnitude above a packet: the §3.1 cost
+//!   ratio every experiment depends on).
+//! * [`VDisk`] — crash-persistent raw blocks (platters survive reboots).
+//! * [`DiskServer`] — the per-machine process that serializes access and
+//!   charges the model; [`RawPartition`] carves out the directory
+//!   service's commit-block + object-table area.
+//! * [`Nvram`] — the 24 KB battery-backed log of §4.1, with append/delete
+//!   annihilation and background-flush support.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod model;
+mod nvram;
+mod server;
+mod vdisk;
+
+pub use model::DiskParams;
+pub use nvram::{NvRecord, Nvram, NvramFull, NvramStats};
+pub use server::{DiskServer, RawPartition};
+pub use vdisk::{DiskStats, VDisk};

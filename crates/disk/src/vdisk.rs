@@ -1,0 +1,173 @@
+//! The persistent virtual disk: raw block storage that survives machine
+//! crashes (only processes die; the platters keep their bits).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Counters of physical operations performed on a disk — the §3.1
+/// cost-analysis currency ("disk operations per directory update").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Read operations served.
+    pub reads: u64,
+    /// Write operations served.
+    pub writes: u64,
+    /// Blocks transferred in either direction.
+    pub blocks: u64,
+}
+
+impl DiskStats {
+    /// Counter-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            blocks: self.blocks.saturating_sub(earlier.blocks),
+        }
+    }
+}
+
+struct VDiskInner {
+    blocks: HashMap<u64, Vec<u8>>,
+    nblocks: u64,
+    block_size: usize,
+    stats: DiskStats,
+}
+
+/// A crash-persistent block device. Cloning shares the same platters.
+///
+/// `VDisk` itself is *timeless* raw storage; timing and serialization are
+/// imposed by the [`DiskServer`](crate::DiskServer) process in front of it.
+#[derive(Clone)]
+pub struct VDisk {
+    inner: Arc<Mutex<VDiskInner>>,
+}
+
+impl std::fmt::Debug for VDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let i = self.inner.lock();
+        write!(f, "VDisk({} blocks of {}B)", i.nblocks, i.block_size)
+    }
+}
+
+impl VDisk {
+    /// Creates an empty disk of `nblocks` blocks of `block_size` bytes.
+    pub fn new(nblocks: u64, block_size: usize) -> Self {
+        VDisk {
+            inner: Arc::new(Mutex::new(VDiskInner {
+                blocks: HashMap::new(),
+                nblocks,
+                block_size,
+                stats: DiskStats::default(),
+            })),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn nblocks(&self) -> u64 {
+        self.inner.lock().nblocks
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.inner.lock().block_size
+    }
+
+    /// Reads a block (unwritten blocks read as zeroes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn read_block(&self, block: u64) -> Vec<u8> {
+        let mut i = self.inner.lock();
+        assert!(block < i.nblocks, "read past end of disk");
+        i.stats.reads += 1;
+        i.stats.blocks += 1;
+        let size = i.block_size;
+        i.blocks.get(&block).cloned().unwrap_or_else(|| vec![0; size])
+    }
+
+    /// Writes a block (shorter data is zero-padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range or `data` exceeds the block size.
+    pub fn write_block(&self, block: u64, data: &[u8]) {
+        let mut i = self.inner.lock();
+        assert!(block < i.nblocks, "write past end of disk");
+        assert!(data.len() <= i.block_size, "data larger than block");
+        i.stats.writes += 1;
+        i.stats.blocks += 1;
+        let mut buf = data.to_vec();
+        buf.resize(i.block_size, 0);
+        i.blocks.insert(block, buf);
+    }
+
+    /// Physical-operation counters.
+    pub fn stats(&self) -> DiskStats {
+        self.inner.lock().stats
+    }
+
+    /// Wipes the disk (a "head crash" for recovery experiments).
+    pub fn destroy_contents(&self) {
+        self.inner.lock().blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let d = VDisk::new(10, 64);
+        assert_eq!(d.read_block(3), vec![0; 64]);
+    }
+
+    #[test]
+    fn write_then_read_round_trips_with_padding() {
+        let d = VDisk::new(10, 8);
+        d.write_block(1, &[1, 2, 3]);
+        assert_eq!(d.read_block(1), vec![1, 2, 3, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn contents_shared_across_clones() {
+        let d = VDisk::new(4, 8);
+        let d2 = d.clone();
+        d.write_block(0, &[9]);
+        assert_eq!(d2.read_block(0)[0], 9);
+    }
+
+    #[test]
+    fn stats_count_ops() {
+        let d = VDisk::new(4, 8);
+        d.write_block(0, &[1]);
+        d.write_block(1, &[2]);
+        let _ = d.read_block(0);
+        let s = d.stats();
+        assert_eq!((s.reads, s.writes, s.blocks), (1, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn out_of_range_read_panics() {
+        VDisk::new(2, 8).read_block(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than block")]
+    fn oversized_write_panics() {
+        VDisk::new(2, 4).write_block(0, &[0; 5]);
+    }
+
+    #[test]
+    fn destroy_contents_zeroes_everything() {
+        let d = VDisk::new(2, 4);
+        d.write_block(0, &[7; 4]);
+        d.destroy_contents();
+        assert_eq!(d.read_block(0), vec![0; 4]);
+    }
+}

@@ -1,0 +1,81 @@
+//! FLIP-style addressing.
+//!
+//! FLIP (the Fast Local Internet Protocol underneath Amoeba) addresses
+//! identify *network service access points*, not machines. We model the two
+//! kinds the directory service needs: per-host unicast addresses and group
+//! (multicast) addresses, plus a broadcast destination used by the RPC
+//! locate protocol.
+
+use std::fmt;
+
+/// The unicast FLIP address of a host's protocol stack.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostAddr(pub u32);
+
+impl fmt::Debug for HostAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host:{}", self.0)
+    }
+}
+
+impl fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host:{}", self.0)
+    }
+}
+
+/// A multicast group address; hosts join and leave dynamically.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupAddr(pub u64);
+
+impl fmt::Debug for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group:{:x}", self.0)
+    }
+}
+
+impl fmt::Display for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group:{:x}", self.0)
+    }
+}
+
+/// Where a packet is headed.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Dest {
+    /// Exactly one host.
+    Unicast(HostAddr),
+    /// All current members of a multicast group (one packet on the wire).
+    Multicast(GroupAddr),
+    /// Every host on the network (used by the locate protocol).
+    Broadcast,
+}
+
+impl From<HostAddr> for Dest {
+    fn from(a: HostAddr) -> Dest {
+        Dest::Unicast(a)
+    }
+}
+
+impl From<GroupAddr> for Dest {
+    fn from(a: GroupAddr) -> Dest {
+        Dest::Multicast(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(HostAddr(3).to_string(), "host:3");
+        assert_eq!(GroupAddr(0xab).to_string(), "group:ab");
+    }
+
+    #[test]
+    fn dest_conversions() {
+        assert_eq!(Dest::from(HostAddr(1)), Dest::Unicast(HostAddr(1)));
+        assert_eq!(Dest::from(GroupAddr(2)), Dest::Multicast(GroupAddr(2)));
+    }
+}

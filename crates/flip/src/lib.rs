@@ -1,0 +1,34 @@
+//! # amoeba-flip — simulated FLIP internetwork
+//!
+//! A deterministic model of the network substrate the Amoeba directory
+//! service ran on: a 10 Mbit/s Ethernet carrying FLIP packets, with
+//! unicast, true multicast (one packet on the wire reaches every group
+//! member, the property Amoeba's group communication exploits), and
+//! broadcast (used by the RPC locate protocol).
+//!
+//! The fault model covers everything the ICDCS '93 paper assumes or
+//! evaluates: host crashes (fail-stop), **clean network partitions**,
+//! probabilistic packet loss and duplication, and latency jitter.
+//!
+//! See [`Network`] for the medium, [`NodeStack`] for a host's view of it,
+//! and [`wire`] for the explicit byte codec used by the protocol layers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod network;
+mod packet;
+mod params;
+mod port;
+mod stack;
+mod stats;
+pub mod wire;
+
+pub use addr::{Dest, GroupAddr, HostAddr};
+pub use network::Network;
+pub use packet::Packet;
+pub use params::NetParams;
+pub use port::Port;
+pub use stack::NodeStack;
+pub use stats::NetStats;

@@ -1,0 +1,256 @@
+//! The shared network medium: delivery, partitions, loss, host up/down.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use amoeba_sim::{MailboxTx, SimHandle, SimRng};
+use parking_lot::Mutex;
+
+use crate::addr::{Dest, GroupAddr, HostAddr};
+use crate::packet::Packet;
+use crate::params::NetParams;
+use crate::port::Port;
+use crate::stack::NodeStack;
+use crate::stats::NetStats;
+
+pub(crate) type EndpointTable = Arc<Mutex<HashMap<Port, MailboxTx<Packet>>>>;
+
+struct NetInner {
+    params: NetParams,
+    handle: SimHandle,
+    stacks: BTreeMap<HostAddr, EndpointTable>,
+    groups: BTreeMap<GroupAddr, BTreeSet<HostAddr>>,
+    /// Partition id per host; hosts can only talk within the same id.
+    partition: HashMap<HostAddr, u32>,
+    down: BTreeSet<HostAddr>,
+    rng: SimRng,
+    stats: NetStats,
+    next_host: u32,
+}
+
+/// The simulated LAN that all hosts attach to.
+///
+/// Cloning is cheap; all clones refer to the same medium.
+///
+/// # Examples
+///
+/// ```
+/// use amoeba_sim::Simulation;
+/// use amoeba_flip::{Network, NetParams, Port};
+///
+/// let mut sim = Simulation::new(1);
+/// let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 7);
+/// let a = net.attach();
+/// let b = net.attach();
+/// let port = Port::from_name("echo");
+/// let rx = b.bind(port);
+/// sim.spawn("sender", {
+///     let a = a.clone();
+///     let dst = b.addr();
+///     move |_ctx| a.send(dst, port, b"hi".to_vec())
+/// });
+/// let got = sim.spawn("receiver", move |ctx| rx.recv(ctx).payload);
+/// sim.run();
+/// assert_eq!(got.take(), Some(b"hi".to_vec()));
+/// ```
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Mutex<NetInner>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Network")
+            .field("hosts", &inner.stacks.len())
+            .field("down", &inner.down)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network medium on the given simulation.
+    pub fn new(handle: SimHandle, params: NetParams, seed: u64) -> Self {
+        Network {
+            inner: Arc::new(Mutex::new(NetInner {
+                params,
+                handle,
+                stacks: BTreeMap::new(),
+                groups: BTreeMap::new(),
+                partition: HashMap::new(),
+                down: BTreeSet::new(),
+                rng: SimRng::new(seed).fork(0xF11F),
+                stats: NetStats::default(),
+                next_host: 0,
+            })),
+        }
+    }
+
+    /// Attaches a new host and returns its protocol stack.
+    pub fn attach(&self) -> NodeStack {
+        let addr = {
+            let mut inner = self.inner.lock();
+            let addr = HostAddr(inner.next_host);
+            inner.next_host += 1;
+            inner
+                .stacks
+                .insert(addr, Arc::new(Mutex::new(HashMap::new())));
+            addr
+        };
+        NodeStack::new(addr, self.clone())
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.inner.lock().stats
+    }
+
+    /// Marks a host down: endpoints and group memberships are cleared (its
+    /// NIC forgot everything) and deliveries to it are dropped.
+    pub fn set_down(&self, host: HostAddr) {
+        let mut inner = self.inner.lock();
+        inner.down.insert(host);
+        if let Some(t) = inner.stacks.get(&host) {
+            t.lock().clear();
+        }
+        for members in inner.groups.values_mut() {
+            members.remove(&host);
+        }
+    }
+
+    /// Marks a host up again (it must re-bind its ports and re-join its
+    /// multicast groups).
+    pub fn set_up(&self, host: HostAddr) {
+        self.inner.lock().down.remove(&host);
+    }
+
+    /// Whether a host is currently up.
+    pub fn is_up(&self, host: HostAddr) -> bool {
+        !self.inner.lock().down.contains(&host)
+    }
+
+    /// Splits the network: hosts in `isolated` form one side, everyone else
+    /// the other. Replaces any previous partition.
+    pub fn isolate(&self, isolated: &[HostAddr]) {
+        let mut inner = self.inner.lock();
+        inner.partition.clear();
+        for h in isolated {
+            inner.partition.insert(*h, 1);
+        }
+    }
+
+    /// Installs an arbitrary partition: `sides[i]` lists the hosts in
+    /// partition `i + 1`; unlisted hosts are all in partition 0.
+    pub fn set_partition(&self, sides: &[&[HostAddr]]) {
+        let mut inner = self.inner.lock();
+        inner.partition.clear();
+        for (i, side) in sides.iter().enumerate() {
+            for h in *side {
+                inner.partition.insert(*h, i as u32 + 1);
+            }
+        }
+    }
+
+    /// Removes any partition; all hosts can talk again.
+    pub fn heal(&self) {
+        self.inner.lock().partition.clear();
+    }
+
+    /// Updates the fault model on the fly (loss, duplication, jitter...).
+    pub fn set_params(&self, params: NetParams) {
+        self.inner.lock().params = params;
+    }
+
+    pub(crate) fn join_group(&self, host: HostAddr, group: GroupAddr) {
+        self.inner.lock().groups.entry(group).or_default().insert(host);
+    }
+
+    pub(crate) fn leave_group(&self, host: HostAddr, group: GroupAddr) {
+        let mut inner = self.inner.lock();
+        if let Some(members) = inner.groups.get_mut(&group) {
+            members.remove(&host);
+        }
+    }
+
+    pub(crate) fn endpoints_of(&self, host: HostAddr) -> Option<EndpointTable> {
+        self.inner.lock().stacks.get(&host).cloned()
+    }
+
+    /// Core transmission path. Computes the target set, applies the fault
+    /// model per target, and schedules deliveries through the simulator.
+    pub(crate) fn transmit(&self, pkt: Packet) {
+        let mut inner = self.inner.lock();
+        let src = pkt.src;
+        // A down host cannot transmit (its processes are dead anyway).
+        if inner.down.contains(&src) {
+            return;
+        }
+        inner.stats.packets_sent += 1;
+        inner.stats.bytes_sent += (pkt.payload.len() + inner.params.header_bytes) as u64;
+        let targets: Vec<HostAddr> = match pkt.dst {
+            Dest::Unicast(h) => {
+                inner.stats.unicast_sent += 1;
+                vec![h]
+            }
+            Dest::Multicast(g) => {
+                inner.stats.multicast_sent += 1;
+                inner
+                    .groups
+                    .get(&g)
+                    .map(|m| m.iter().copied().collect())
+                    .unwrap_or_default()
+            }
+            Dest::Broadcast => {
+                inner.stats.broadcast_sent += 1;
+                inner.stacks.keys().copied().collect()
+            }
+        };
+        let src_part = inner.partition.get(&src).copied().unwrap_or(0);
+        let base_latency = inner.params.latency(pkt.payload.len());
+        for t in targets {
+            if inner.down.contains(&t) {
+                inner.stats.dropped_down += 1;
+                continue;
+            }
+            let t_part = inner.partition.get(&t).copied().unwrap_or(0);
+            if t_part != src_part {
+                inner.stats.dropped_partition += 1;
+                continue;
+            }
+            let loss = inner.params.loss_probability;
+            if inner.rng.chance(loss) {
+                inner.stats.dropped_loss += 1;
+                continue;
+            }
+            let tx = {
+                let table = match inner.stacks.get(&t) {
+                    Some(t) => Arc::clone(t),
+                    None => continue,
+                };
+                let guard = table.lock();
+                guard.get(&pkt.port).cloned()
+            };
+            let tx = match tx {
+                Some(tx) => tx,
+                None => {
+                    inner.stats.dropped_no_listener += 1;
+                    continue;
+                }
+            };
+            let jitter = inner.params.jitter;
+            let scale = 1.0 + inner.rng.next_f64() * jitter.max(0.0);
+            let latency = base_latency.mul_f64(scale);
+            inner.stats.deliveries += 1;
+            tx.send_after(latency, pkt.clone());
+            let dup = inner.params.duplicate_probability;
+            if inner.rng.chance(dup) {
+                inner.stats.duplicated += 1;
+                tx.send_after(latency.mul_f64(1.5), pkt.clone());
+            }
+        }
+    }
+
+    pub(crate) fn handle(&self) -> SimHandle {
+        self.inner.lock().handle.clone()
+    }
+}

@@ -1,0 +1,53 @@
+//! The unit of network transmission.
+
+use crate::addr::{Dest, HostAddr};
+use crate::port::Port;
+
+/// A FLIP packet: source, destination, service port, opaque payload.
+///
+/// Payloads are produced by the upper layers' explicit wire codecs, so
+/// `wire_size` is an honest measure for the timing model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The sending host.
+    pub src: HostAddr,
+    /// Unicast, multicast or broadcast destination.
+    pub dst: Dest,
+    /// The service port this packet is addressed to.
+    pub port: Port,
+    /// Upper-layer payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(src: HostAddr, dst: impl Into<Dest>, port: Port, payload: Vec<u8>) -> Self {
+        Packet {
+            src,
+            dst: dst.into(),
+            port,
+            payload,
+        }
+    }
+
+    /// Payload length in bytes (headers are charged by the timing model).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::GroupAddr;
+
+    #[test]
+    fn constructor_accepts_any_dest() {
+        let p = Packet::new(HostAddr(1), HostAddr(2), Port::from_raw(5), vec![1, 2]);
+        assert_eq!(p.dst, Dest::Unicast(HostAddr(2)));
+        assert_eq!(p.payload_len(), 2);
+
+        let q = Packet::new(HostAddr(1), GroupAddr(9), Port::from_raw(5), vec![]);
+        assert_eq!(q.dst, Dest::Multicast(GroupAddr(9)));
+    }
+}

@@ -1,0 +1,105 @@
+//! The network timing and fault model.
+
+use std::time::Duration;
+
+/// Parameters of the simulated LAN.
+///
+/// The defaults are calibrated so that the directory-service experiments
+/// reproduce the *shape* of the paper's numbers on hardware comparable to
+/// Sun3/60s on a 10 Mbit/s Ethernet: roughly 1 ms end-to-end per small
+/// packet, dominated by protocol-processing CPU time on each side, which is
+/// an order of magnitude cheaper than one disk operation (the paper's key
+/// cost ratio, §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetParams {
+    /// Sender-side protocol processing per packet.
+    pub send_cpu: Duration,
+    /// Receiver-side protocol processing per packet.
+    pub recv_cpu: Duration,
+    /// Signal propagation delay (negligible on a LAN).
+    pub propagation: Duration,
+    /// Wire bandwidth in bits per second (10 Mbit/s Ethernet).
+    pub bandwidth_bps: u64,
+    /// Link-layer + FLIP header bytes charged to every packet.
+    pub header_bytes: usize,
+    /// Probability that any individual delivery is silently lost.
+    pub loss_probability: f64,
+    /// Probability that a delivered packet is delivered twice.
+    pub duplicate_probability: f64,
+    /// Multiplicative latency jitter: each delivery is scaled by a factor
+    /// drawn uniformly from `[1, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl NetParams {
+    /// A quiet, reliable 10 Mbit/s Ethernet, as in the paper's testbed.
+    pub fn lan_10mbps() -> Self {
+        NetParams {
+            send_cpu: Duration::from_micros(430),
+            recv_cpu: Duration::from_micros(430),
+            propagation: Duration::from_micros(10),
+            bandwidth_bps: 10_000_000,
+            header_bytes: 60,
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            jitter: 0.03,
+        }
+    }
+
+    /// A lossy variant of the LAN for fault-injection tests.
+    pub fn lossy(loss: f64) -> Self {
+        NetParams {
+            loss_probability: loss,
+            ..Self::lan_10mbps()
+        }
+    }
+
+    /// One-way latency for a packet with `payload_len` payload bytes,
+    /// before jitter.
+    pub fn latency(&self, payload_len: usize) -> Duration {
+        let bits = (payload_len + self.header_bytes) as u64 * 8;
+        let wire_nanos = bits.saturating_mul(1_000_000_000) / self.bandwidth_bps.max(1);
+        self.send_cpu + Duration::from_nanos(wire_nanos) + self.propagation + self.recv_cpu
+    }
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        Self::lan_10mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_lan() {
+        assert_eq!(NetParams::default(), NetParams::lan_10mbps());
+    }
+
+    #[test]
+    fn small_packet_is_about_a_millisecond() {
+        let p = NetParams::lan_10mbps();
+        let lat = p.latency(100);
+        assert!(
+            lat >= Duration::from_micros(900) && lat <= Duration::from_micros(1200),
+            "latency {lat:?}"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_size() {
+        let p = NetParams::lan_10mbps();
+        assert!(p.latency(8000) > p.latency(100));
+        // 8 KB at 10 Mbit/s is ~6.4 ms of wire time alone.
+        assert!(p.latency(8000) > Duration::from_millis(6));
+    }
+
+    #[test]
+    fn lossy_preserves_timing() {
+        let p = NetParams::lossy(0.5);
+        assert_eq!(p.latency(10), NetParams::lan_10mbps().latency(10));
+        assert!((p.loss_probability - 0.5).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,84 @@
+//! The per-host protocol stack: port binding and transmission.
+
+use amoeba_sim::MailboxRx;
+
+use crate::addr::{Dest, GroupAddr, HostAddr};
+use crate::network::Network;
+use crate::packet::Packet;
+use crate::port::Port;
+
+/// A host's attachment to the network.
+///
+/// Cloning is cheap; clones refer to the same host. Binding a port yields a
+/// mailbox of incoming [`Packet`]s; binding an already-bound port replaces
+/// the previous binding (used when a crashed machine reboots).
+#[derive(Clone)]
+pub struct NodeStack {
+    addr: HostAddr,
+    net: Network,
+}
+
+impl std::fmt::Debug for NodeStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeStack({})", self.addr)
+    }
+}
+
+impl NodeStack {
+    pub(crate) fn new(addr: HostAddr, net: Network) -> Self {
+        NodeStack { addr, net }
+    }
+
+    /// This host's unicast address.
+    pub fn addr(&self) -> HostAddr {
+        self.addr
+    }
+
+    /// The network this stack is attached to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Binds `port`, returning the mailbox that receives its packets.
+    /// Replaces any previous binding for the port.
+    pub fn bind(&self, port: Port) -> MailboxRx<Packet> {
+        let (tx, rx) = self.net.handle().channel::<Packet>();
+        if let Some(table) = self.net.endpoints_of(self.addr) {
+            table.lock().insert(port, tx);
+        }
+        rx
+    }
+
+    /// Removes the binding for `port`; subsequent packets are dropped.
+    pub fn unbind(&self, port: Port) {
+        if let Some(table) = self.net.endpoints_of(self.addr) {
+            table.lock().remove(&port);
+        }
+    }
+
+    /// Whether anything is bound to `port` on this host.
+    pub fn is_bound(&self, port: Port) -> bool {
+        self.net
+            .endpoints_of(self.addr)
+            .map(|t| t.lock().contains_key(&port))
+            .unwrap_or(false)
+    }
+
+    /// Joins a multicast group; future multicasts to it are delivered here.
+    pub fn join_group(&self, group: GroupAddr) {
+        self.net.join_group(self.addr, group);
+    }
+
+    /// Leaves a multicast group.
+    pub fn leave_group(&self, group: GroupAddr) {
+        self.net.leave_group(self.addr, group);
+    }
+
+    /// Transmits a packet to `dst`/`port`. Delivery is asynchronous and
+    /// subject to the network's fault model; there is no error reporting,
+    /// exactly like a real datagram network.
+    pub fn send(&self, dst: impl Into<Dest>, port: Port, payload: Vec<u8>) {
+        self.net
+            .transmit(Packet::new(self.addr, dst.into(), port, payload));
+    }
+}

@@ -1,0 +1,77 @@
+//! Network traffic counters, used by the §3.1 cost-analysis experiment.
+
+/// Cumulative counters for everything the network medium has done.
+///
+/// Take two [`snapshots`](crate::Network::stats) and subtract to count the
+/// packets attributable to an operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Packets handed to the medium (one multicast counts once).
+    pub packets_sent: u64,
+    /// Unicast sends.
+    pub unicast_sent: u64,
+    /// Multicast sends.
+    pub multicast_sent: u64,
+    /// Broadcast sends.
+    pub broadcast_sent: u64,
+    /// Deliveries made to endpoints (a multicast to 3 hosts counts 3).
+    pub deliveries: u64,
+    /// Payload + header bytes placed on the wire.
+    pub bytes_sent: u64,
+    /// Deliveries suppressed by random loss.
+    pub dropped_loss: u64,
+    /// Deliveries suppressed because src and dst were in different
+    /// partitions.
+    pub dropped_partition: u64,
+    /// Deliveries suppressed because the destination host was down.
+    pub dropped_down: u64,
+    /// Deliveries dropped because nothing was bound to the port.
+    pub dropped_no_listener: u64,
+    /// Extra deliveries injected by random duplication.
+    pub duplicated: u64,
+}
+
+impl NetStats {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            packets_sent: self.packets_sent.saturating_sub(earlier.packets_sent),
+            unicast_sent: self.unicast_sent.saturating_sub(earlier.unicast_sent),
+            multicast_sent: self.multicast_sent.saturating_sub(earlier.multicast_sent),
+            broadcast_sent: self.broadcast_sent.saturating_sub(earlier.broadcast_sent),
+            deliveries: self.deliveries.saturating_sub(earlier.deliveries),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            dropped_loss: self.dropped_loss.saturating_sub(earlier.dropped_loss),
+            dropped_partition: self
+                .dropped_partition
+                .saturating_sub(earlier.dropped_partition),
+            dropped_down: self.dropped_down.saturating_sub(earlier.dropped_down),
+            dropped_no_listener: self
+                .dropped_no_listener
+                .saturating_sub(earlier.dropped_no_listener),
+            duplicated: self.duplicated.saturating_sub(earlier.duplicated),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = NetStats {
+            packets_sent: 10,
+            deliveries: 20,
+            ..Default::default()
+        };
+        let b = NetStats {
+            packets_sent: 4,
+            deliveries: 25,
+            ..Default::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.packets_sent, 6);
+        assert_eq!(d.deliveries, 0); // saturating
+    }
+}

@@ -1,0 +1,271 @@
+//! Explicit little-endian wire encoding used by every protocol layer.
+//!
+//! Hand-rolled rather than serde-based so the on-the-wire format is visible
+//! in the code (and so payload *sizes* — which drive the network timing
+//! model — are honest).
+
+use std::fmt;
+
+/// Error returned when decoding runs off the end of a buffer or finds an
+/// invalid value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was being decoded.
+    pub what: &'static str,
+}
+
+impl DecodeError {
+    /// Creates an error describing the field that failed to decode.
+    pub fn new(what: &'static str) -> Self {
+        DecodeError { what }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire data while decoding {}", self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Incrementally builds a wire buffer.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Appends a length-prefixed byte string (u32 length).
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(u32::try_from(v.len()).expect("wire bytes too long"));
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Finishes and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads typed values back out of a wire buffer.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError { what })?;
+        if end > self.buf.len() {
+            return Err(DecodeError { what });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        let s = self.take(2, what)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let s = self.take(8, what)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `bool` (must be exactly 0 or 1).
+    pub fn boolean(&mut self, what: &'static str) -> Result<bool, DecodeError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError { what }),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let b = self.bytes(what)?;
+        String::from_utf8(b).map_err(|_| DecodeError { what })
+    }
+
+    /// Whether the whole buffer has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fails unless the whole buffer was consumed (trailing-garbage check).
+    pub fn expect_end(&self, what: &'static str) -> Result<(), DecodeError> {
+        if self.is_at_end() {
+            Ok(())
+        } else {
+            Err(DecodeError { what })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = WireWriter::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40).boolean(true);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 300);
+        assert_eq!(r.u32("c").unwrap(), 70_000);
+        assert_eq!(r.u64("d").unwrap(), 1 << 40);
+        assert!(r.boolean("e").unwrap());
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn round_trip_strings_and_bytes() {
+        let mut w = WireWriter::new();
+        w.string("hello").bytes(&[1, 2, 3]).string("");
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.string("s").unwrap(), "hello");
+        assert_eq!(r.bytes("b").unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.string("e").unwrap(), "");
+        r.expect_end("tail").unwrap();
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let mut w = WireWriter::new();
+        w.u64(5);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf[..4]);
+        assert!(r.u64("x").is_err());
+    }
+
+    #[test]
+    fn bad_bool_errors() {
+        let buf = [2u8];
+        let mut r = WireReader::new(&buf);
+        assert!(r.boolean("flag").is_err());
+    }
+
+    #[test]
+    fn expect_end_catches_trailing_garbage() {
+        let buf = [0u8, 1];
+        let mut r = WireReader::new(&buf);
+        let _ = r.u8("x").unwrap();
+        assert!(r.expect_end("tail").is_err());
+    }
+
+    #[test]
+    fn length_prefix_beyond_buffer_errors() {
+        let mut w = WireWriter::new();
+        w.u32(1000); // claims 1000 bytes follow
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert!(r.bytes("b").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(a: u8, b: u16, c: u32, d: u64, flag: bool,
+                           s in ".{0,64}", v in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut w = WireWriter::new();
+            w.u8(a).u16(b).u32(c).u64(d).boolean(flag).string(&s).bytes(&v);
+            let buf = w.finish();
+            let mut r = WireReader::new(&buf);
+            prop_assert_eq!(r.u8("a").unwrap(), a);
+            prop_assert_eq!(r.u16("b").unwrap(), b);
+            prop_assert_eq!(r.u32("c").unwrap(), c);
+            prop_assert_eq!(r.u64("d").unwrap(), d);
+            prop_assert_eq!(r.boolean("f").unwrap(), flag);
+            prop_assert_eq!(r.string("s").unwrap(), s);
+            prop_assert_eq!(r.bytes("v").unwrap(), v);
+            prop_assert!(r.is_at_end());
+        }
+
+        #[test]
+        fn prop_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let mut r = WireReader::new(&data);
+            let _ = r.u64("a");
+            let _ = r.string("b");
+            let _ = r.bytes("c");
+            let _ = r.boolean("d");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Behavioural tests for the simulated network: delivery, multicast,
+//! broadcast, partitions, loss, host down/up, and stats accounting.
+
+use std::time::Duration;
+
+use amoeba_flip::{GroupAddr, NetParams, Network, Port};
+use amoeba_sim::{SimTime, Simulation};
+
+
+fn net(sim: &Simulation, params: NetParams) -> Network {
+    Network::new(sim.handle(), params, 99)
+}
+
+#[test]
+fn unicast_delivers_with_model_latency() {
+    let mut sim = Simulation::new(1);
+    let mut params = NetParams::lan_10mbps();
+    params.jitter = 0.0;
+    let n = net(&sim, params.clone());
+    let a = n.attach();
+    let b = n.attach();
+    let port = Port::from_name("t");
+    let rx = b.bind(port);
+    let dst = b.addr();
+    sim.spawn("send", move |_| a.send(dst, port, vec![0u8; 100]));
+    let got = sim.spawn("recv", move |ctx| {
+        let p = rx.recv(ctx);
+        (p.payload.len(), ctx.now())
+    });
+    sim.run();
+    let (len, t) = got.take().unwrap();
+    assert_eq!(len, 100);
+    let expect = params.latency(100);
+    assert_eq!(t, SimTime::ZERO + expect);
+}
+
+#[test]
+fn multicast_reaches_all_members_including_sender() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lan_10mbps());
+    let stacks: Vec<_> = (0..4).map(|_| n.attach()).collect();
+    let g = GroupAddr(7);
+    let port = Port::from_name("grp");
+    // Hosts 0..3 join; host 3 does not.
+    let mut rxs = Vec::new();
+    for s in &stacks[..3] {
+        s.join_group(g);
+        rxs.push(s.bind(port));
+    }
+    let outsider_rx = stacks[3].bind(port);
+    let sender = stacks[0].clone();
+    sim.spawn("send", move |_| sender.send(g, port, b"m".to_vec()));
+    let outs: Vec<_> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(i, rx)| sim.spawn(&format!("r{i}"), move |ctx| rx.recv(ctx).payload))
+        .collect();
+    sim.run_for(Duration::from_millis(50));
+    for o in outs {
+        assert_eq!(o.take(), Some(b"m".to_vec()));
+    }
+    assert!(outsider_rx.is_empty(), "non-member must not receive");
+    // One multicast = one packet sent, three deliveries.
+    let st = n.stats();
+    assert_eq!(st.multicast_sent, 1);
+    assert_eq!(st.deliveries, 3);
+}
+
+#[test]
+fn broadcast_reaches_every_bound_host() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lan_10mbps());
+    let port = Port::from_name("loc");
+    let a = n.attach();
+    let others: Vec<_> = (0..3).map(|_| n.attach()).collect();
+    let rxs: Vec<_> = others.iter().map(|s| s.bind(port)).collect();
+    sim.spawn("send", move |_| {
+        a.send(amoeba_flip::Dest::Broadcast, port, vec![9])
+    });
+    let outs: Vec<_> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(i, rx)| sim.spawn(&format!("r{i}"), move |ctx| rx.recv(ctx).payload))
+        .collect();
+    sim.run_for(Duration::from_millis(10));
+    for o in outs {
+        assert_eq!(o.take(), Some(vec![9]));
+    }
+}
+
+#[test]
+fn partition_blocks_cross_traffic_and_heals() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lan_10mbps());
+    let a = n.attach();
+    let b = n.attach();
+    let port = Port::from_name("t");
+    let rx = b.bind(port);
+    let b_addr = b.addr();
+    n.isolate(&[a.addr()]);
+    let n2 = n.clone();
+    let a2 = a.clone();
+    sim.spawn("send", move |ctx| {
+        a2.send(b_addr, port, vec![1]); // dropped: crosses the partition
+        ctx.sleep(Duration::from_millis(20));
+        n2.heal();
+        a2.send(b_addr, port, vec![2]); // delivered
+    });
+    let got = sim.spawn("recv", move |ctx| rx.recv(ctx).payload);
+    sim.run_for(Duration::from_millis(100));
+    assert_eq!(got.take(), Some(vec![2]));
+    assert_eq!(n.stats().dropped_partition, 1);
+}
+
+#[test]
+fn hosts_in_same_side_of_partition_can_talk() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lan_10mbps());
+    let a = n.attach();
+    let b = n.attach();
+    let c = n.attach();
+    let port = Port::from_name("t");
+    let rx = b.bind(port);
+    let b_addr = b.addr();
+    // a and b on side 1; c alone on side 0.
+    n.set_partition(&[&[a.addr(), b.addr()]]);
+    let _ = c;
+    sim.spawn("send", move |_| a.send(b_addr, port, vec![5]));
+    let got = sim.spawn("recv", move |ctx| rx.recv(ctx).payload);
+    sim.run_for(Duration::from_millis(10));
+    assert_eq!(got.take(), Some(vec![5]));
+}
+
+#[test]
+fn down_host_receives_nothing_and_loses_bindings() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lan_10mbps());
+    let a = n.attach();
+    let b = n.attach();
+    let g = GroupAddr(1);
+    let port = Port::from_name("t");
+    let _rx = b.bind(port);
+    b.join_group(g);
+    n.set_down(b.addr());
+    assert!(!n.is_up(b.addr()));
+    assert!(!b.is_bound(port));
+    let b_addr = b.addr();
+    sim.spawn("send", move |_| {
+        a.send(b_addr, port, vec![1]);
+        a.send(g, port, vec![2]);
+    });
+    sim.run_for(Duration::from_millis(10));
+    let st = n.stats();
+    assert_eq!(st.dropped_down, 1); // the unicast
+    assert_eq!(st.deliveries, 0); // multicast had no members left
+    // After set_up the host must re-bind to receive again.
+    n.set_up(b.addr());
+    let rx2 = b.bind(port);
+    let a2 = n.attach(); // fresh sender stack (same net)
+    sim.spawn("send2", move |_| a2.send(b_addr, port, vec![3]));
+    let got = sim.spawn("recv", move |ctx| rx2.recv(ctx).payload);
+    sim.run_for(Duration::from_millis(10));
+    assert_eq!(got.take(), Some(vec![3]));
+}
+
+#[test]
+fn down_host_cannot_send() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lan_10mbps());
+    let a = n.attach();
+    let b = n.attach();
+    let port = Port::from_name("t");
+    let rx = b.bind(port);
+    n.set_down(a.addr());
+    let b_addr = b.addr();
+    sim.spawn("send", move |_| a.send(b_addr, port, vec![1]));
+    sim.run_for(Duration::from_millis(10));
+    assert!(rx.is_empty());
+    assert_eq!(n.stats().packets_sent, 0);
+}
+
+#[test]
+fn unbound_port_drops_with_stat() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lan_10mbps());
+    let a = n.attach();
+    let b = n.attach();
+    let b_addr = b.addr();
+    sim.spawn("send", move |_| {
+        a.send(b_addr, Port::from_name("nobody"), vec![1])
+    });
+    sim.run();
+    assert_eq!(n.stats().dropped_no_listener, 1);
+}
+
+#[test]
+fn packet_loss_is_applied() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lossy(1.0)); // everything lost
+    let a = n.attach();
+    let b = n.attach();
+    let port = Port::from_name("t");
+    let rx = b.bind(port);
+    let b_addr = b.addr();
+    sim.spawn("send", move |_| {
+        for _ in 0..10 {
+            a.send(b_addr, port, vec![1]);
+        }
+    });
+    sim.run_for(Duration::from_millis(50));
+    assert!(rx.is_empty());
+    assert_eq!(n.stats().dropped_loss, 10);
+}
+
+#[test]
+fn rebinding_a_port_replaces_the_old_mailbox() {
+    let mut sim = Simulation::new(1);
+    let n = net(&sim, NetParams::lan_10mbps());
+    let a = n.attach();
+    let b = n.attach();
+    let port = Port::from_name("t");
+    let old_rx = b.bind(port);
+    let new_rx = b.bind(port);
+    let b_addr = b.addr();
+    sim.spawn("send", move |_| a.send(b_addr, port, vec![1]));
+    sim.run_for(Duration::from_millis(10));
+    assert!(old_rx.is_empty());
+    assert_eq!(new_rx.len(), 1);
+}
+
+#[test]
+fn larger_packets_take_longer() {
+    let mut sim = Simulation::new(1);
+    let mut params = NetParams::lan_10mbps();
+    params.jitter = 0.0;
+    let n = net(&sim, params);
+    let a = n.attach();
+    let b = n.attach();
+    let port = Port::from_name("t");
+    let rx = b.bind(port);
+    let b_addr = b.addr();
+    sim.spawn("send", move |_| {
+        a.send(b_addr, port, vec![0; 8000]); // sent first...
+        a.send(b_addr, port, vec![0; 10]); // ...but the small one wins
+    });
+    let got = sim.spawn("recv", move |ctx| {
+        let first = rx.recv(ctx).payload.len();
+        let second = rx.recv(ctx).payload.len();
+        (first, second)
+    });
+    sim.run_for(Duration::from_millis(100));
+    assert_eq!(got.take(), Some((10, 8000)));
+}

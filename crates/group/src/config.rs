@@ -1,0 +1,78 @@
+//! Tunables for the group protocol.
+
+use std::time::Duration;
+
+/// Configuration for a group member's protocol engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// Requested resilience degree *r*: `SendToGroup` completes only after
+    /// at least `r + 1` members hold the message, so it survives `r`
+    /// simultaneous crashes (paper §1). Effective resilience is capped at
+    /// `view size − 1`.
+    pub resilience: u32,
+    /// How often the sequencer multicasts heartbeats.
+    pub heartbeat_interval: Duration,
+    /// Silence longer than this marks a peer dead (group failure).
+    pub failure_timeout: Duration,
+    /// Sender retransmits an unacknowledged send request after this long.
+    pub ack_timeout: Duration,
+    /// A detected sequence gap triggers a retransmission request after
+    /// this long.
+    pub gap_timeout: Duration,
+    /// How long a `ResetGroup` coordinator collects votes.
+    pub reset_vote_window: Duration,
+    /// How many accepted messages each member keeps for retransmission.
+    pub history: u64,
+    /// Payloads at least this large use the BB method (sender multicasts
+    /// the data; the sequencer multicasts a short accept) instead of the
+    /// PB method (sender hands data to the sequencer, which multicasts it).
+    pub bb_threshold: usize,
+    /// Protocol engine tick granularity.
+    pub tick_interval: Duration,
+}
+
+impl GroupConfig {
+    /// Defaults tuned for the simulated 10 Mbit/s LAN.
+    pub fn lan() -> Self {
+        GroupConfig {
+            resilience: 0,
+            heartbeat_interval: Duration::from_millis(100),
+            failure_timeout: Duration::from_millis(400),
+            ack_timeout: Duration::from_millis(50),
+            gap_timeout: Duration::from_millis(25),
+            reset_vote_window: Duration::from_millis(150),
+            history: 65_536,
+            bb_threshold: 3_000,
+            tick_interval: Duration::from_millis(20),
+        }
+    }
+
+    /// LAN defaults with the given resilience degree.
+    pub fn with_resilience(r: u32) -> Self {
+        GroupConfig {
+            resilience: r,
+            ..Self::lan()
+        }
+    }
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_lan() {
+        assert_eq!(GroupConfig::default(), GroupConfig::lan());
+    }
+
+    #[test]
+    fn with_resilience_sets_r() {
+        assert_eq!(GroupConfig::with_resilience(2).resilience, 2);
+    }
+}

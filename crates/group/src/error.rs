@@ -1,0 +1,55 @@
+//! Group communication errors.
+
+use std::fmt;
+
+/// Errors surfaced by the Fig. 1 primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupError {
+    /// A member or the sequencer failed; the group must be rebuilt with
+    /// `ResetGroup` before further sends/receives.
+    Failed,
+    /// This member has been expelled or the instance dissolved; rejoin or
+    /// recreate the group.
+    Dead,
+    /// `ResetGroup` could not assemble the required number of members.
+    ResetFailed,
+    /// `JoinGroup` found no live group for the port within the timeout.
+    JoinTimeout,
+    /// The operation needs a view with a sequencer but there is none.
+    NoSequencer,
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GroupError::Failed => "group failed; ResetGroup required",
+            GroupError::Dead => "group membership lost; rejoin required",
+            GroupError::ResetFailed => "group reset could not reach the required size",
+            GroupError::JoinTimeout => "no group located within the join timeout",
+            GroupError::NoSequencer => "group has no sequencer",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_distinct() {
+        let all = [
+            GroupError::Failed,
+            GroupError::Dead,
+            GroupError::ResetFailed,
+            GroupError::JoinTimeout,
+            GroupError::NoSequencer,
+        ];
+        let mut texts: Vec<String> = all.iter().map(|e| e.to_string()).collect();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), all.len());
+    }
+}

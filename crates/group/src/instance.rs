@@ -1,0 +1,2075 @@
+//! The protocol engine for one group instance at one member.
+//!
+//! Pure state machine: inputs are messages (with arrival time and source
+//! host) and clock ticks; outputs are [`Action`]s that the peer layer
+//! executes (send packets, deliver events to the app, complete blocked
+//! calls). Keeping I/O out makes every protocol rule unit-testable.
+//!
+//! ## Protocol summary
+//!
+//! Total order comes from a **sequencer** — the lowest-id member of the
+//! current view. Two data paths (Kaashoek & Tanenbaum 1991):
+//!
+//! * **PB method** (small messages): sender unicasts `SendReq` to the
+//!   sequencer, which assigns the next sequence number and multicasts an
+//!   `Accept` carrying the data.
+//! * **BB method** (large messages): sender multicasts the data (`BbData`);
+//!   the sequencer multicasts a short `Accept` referencing it.
+//!
+//! With resilience degree *r* > 0, members acknowledge each accept and the
+//! sequencer notifies the sender (`Done`) only after `r + 1` members hold
+//! the message, so `SendToGroup` returning guarantees survival of `r`
+//! crashes (paper §1; 1 request + 1 multicast + (n−1) acks + 1 done = 5
+//! packets for n = 3, r = 2, the figure in §3.1).
+//!
+//! Membership changes are themselves sequenced (`Join`/`Leave` accept
+//! bodies), giving virtual synchrony. Failures are detected by heartbeat
+//! silence and announced with `FailNotice`; the group then refuses traffic
+//! until `ResetGroup` rebuilds it around the members that are still alive,
+//! choosing as state source a member holding the highest contiguous prefix.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use amoeba_flip::{HostAddr, Port};
+use amoeba_sim::SimTime;
+
+use crate::config::GroupConfig;
+use crate::error::GroupError;
+use crate::msg::{AcceptBody, GroupMsg};
+use crate::types::{GroupEvent, GroupInfo, Incarnation, MemberId, MemberInfo, SeqNo, View};
+
+/// Effects requested by the engine, executed by the peer layer.
+#[derive(Debug)]
+pub(crate) enum Action {
+    /// Send a message to one host.
+    Unicast(HostAddr, GroupMsg),
+    /// Multicast a message to the instance's group address.
+    Multicast(GroupMsg),
+    /// Hand an event to the application queue.
+    Deliver(GroupEvent),
+    /// Signal the application that the group failed (one sentinel).
+    NotifyFailure,
+    /// Complete a blocked `SendToGroup`.
+    CompleteSend(u64, Result<SeqNo, GroupError>),
+    /// Complete a blocked `ResetGroup`.
+    CompleteReset(Result<(), GroupError>),
+    /// Complete a blocked `LeaveGroup`.
+    CompleteLeave,
+    /// This member is gone (left or expelled); remove the instance.
+    Dissolve,
+}
+
+/// Protocol counters for diagnostics and the cost-analysis experiment.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GroupStats {
+    /// `SendToGroup` calls initiated here.
+    pub sends: u64,
+    /// Accepts applied (messages + view changes).
+    pub applied: u64,
+    /// Retransmission requests issued.
+    pub retrans_requests: u64,
+    /// Accepts re-sent to others.
+    pub retrans_served: u64,
+    /// Send requests retransmitted to the sequencer.
+    pub send_retries: u64,
+    /// Group failures observed.
+    pub failures: u64,
+    /// Successful resets.
+    pub resets: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AcceptRec {
+    pub incarnation: Incarnation,
+    pub from: MemberId,
+    pub from_tag: u64,
+    pub msgid: u64,
+    pub body: AcceptBody,
+}
+
+#[derive(Debug)]
+struct PendingSend {
+    data: Vec<u8>,
+    sent_at: SimTime,
+    bb: bool,
+}
+
+#[derive(Debug)]
+struct AckState {
+    acked: BTreeSet<MemberId>,
+    from: MemberId,
+    msgid: u64,
+    done_sent: bool,
+}
+
+#[derive(Debug)]
+struct ResetCoord {
+    round: u64,
+    min_size: usize,
+    votes: HashMap<MemberId, (MemberInfo, SeqNo)>,
+    deadline: SimTime,
+    announced: bool,
+}
+
+#[derive(Debug)]
+struct PendingInstall {
+    new_incarnation: Incarnation,
+    view: View,
+    cutoff: SeqNo,
+    source: HostAddr,
+}
+
+pub(crate) struct Instance {
+    pub id: u64,
+    pub port: Port,
+    pub cfg: GroupConfig,
+    pub me: MemberId,
+    pub my_tag: u64,
+    pub my_host: HostAddr,
+    pub incarnation: Incarnation,
+    pub view: View,
+    next_member_id: u32,
+    /// Sequencer only: the next sequence number to assign.
+    next_seq: SeqNo,
+    /// Received accepts by seqno (history and out-of-order future).
+    buffer: BTreeMap<SeqNo, AcceptRec>,
+    /// Everything `<= highest_contiguous` has been applied in order.
+    pub highest_contiguous: SeqNo,
+    /// Last seqno handed to the application.
+    pub delivered: SeqNo,
+    /// BB payloads waiting for (or paired with) their accept.
+    bb_store: HashMap<(MemberId, u64), Vec<u8>>,
+    /// (sender, msgid) → seq, for duplicate suppression.
+    seen_msgids: HashMap<(MemberId, u64), SeqNo>,
+    next_msgid: u64,
+    pending_sends: HashMap<u64, PendingSend>,
+    /// Sequencer only: ack bookkeeping per outstanding seqno.
+    pending_acks: BTreeMap<SeqNo, AckState>,
+    /// Liveness: member → last time we heard from it.
+    last_heard: HashMap<MemberId, SimTime>,
+    last_heartbeat_sent: SimTime,
+    pub failed: bool,
+    pub dissolved: bool,
+    failure_notified: bool,
+    /// When the current contiguity gap was first observed.
+    gap_since: Option<SimTime>,
+    /// Reset: my latched vote (coordinator, round, when).
+    voted: Option<(MemberId, u64, SimTime)>,
+    reset_coord: Option<ResetCoord>,
+    pending_install: Option<PendingInstall>,
+    next_reset_round: u64,
+    pub stats: GroupStats,
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("id", &self.id)
+            .field("me", &self.me)
+            .field("incarnation", &self.incarnation)
+            .field("view", &self.view.members.len())
+            .field("highest", &self.highest_contiguous)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl Instance {
+    /// Creates the founding member (member 0, sequencer) of a new instance.
+    pub fn create(
+        id: u64,
+        port: Port,
+        cfg: GroupConfig,
+        my_host: HostAddr,
+        my_tag: u64,
+        now: SimTime,
+    ) -> Instance {
+        let me = MemberId(0);
+        let mut view = View::default();
+        view.insert(MemberInfo {
+            id: me,
+            host: my_host,
+            tag: my_tag,
+        });
+        Instance {
+            id,
+            port,
+            cfg,
+            me,
+            my_tag,
+            my_host,
+            incarnation: 0,
+            view,
+            next_member_id: 1,
+            next_seq: 1,
+            buffer: BTreeMap::new(),
+            highest_contiguous: 0,
+            delivered: 0,
+            bb_store: HashMap::new(),
+            seen_msgids: HashMap::new(),
+            next_msgid: 1,
+            pending_sends: HashMap::new(),
+            pending_acks: BTreeMap::new(),
+            last_heard: HashMap::new(),
+            last_heartbeat_sent: now,
+            failed: false,
+            dissolved: false,
+            failure_notified: false,
+            gap_since: None,
+            voted: None,
+            reset_coord: None,
+            pending_install: None,
+            next_reset_round: 1,
+            stats: GroupStats::default(),
+        }
+    }
+
+    /// Creates a member that just joined via `JoinAck`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_join(
+        id: u64,
+        port: Port,
+        cfg: GroupConfig,
+        my_host: HostAddr,
+        my_tag: u64,
+        me: MemberId,
+        incarnation: Incarnation,
+        view: View,
+        start_seq: SeqNo,
+        now: SimTime,
+    ) -> Instance {
+        let next_member_id = view.members.iter().map(|m| m.id.0 + 1).max().unwrap_or(1);
+        let mut last_heard = HashMap::new();
+        for m in &view.members {
+            last_heard.insert(m.id, now);
+        }
+        Instance {
+            id,
+            port,
+            cfg,
+            me,
+            my_tag,
+            my_host,
+            incarnation,
+            view,
+            next_member_id,
+            next_seq: start_seq + 1,
+            buffer: BTreeMap::new(),
+            highest_contiguous: start_seq,
+            delivered: start_seq,
+            bb_store: HashMap::new(),
+            seen_msgids: HashMap::new(),
+            next_msgid: 1,
+            pending_sends: HashMap::new(),
+            pending_acks: BTreeMap::new(),
+            last_heard,
+            last_heartbeat_sent: now,
+            failed: false,
+            dissolved: false,
+            failure_notified: false,
+            gap_since: None,
+            voted: None,
+            reset_coord: None,
+            pending_install: None,
+            next_reset_round: 1,
+            stats: GroupStats::default(),
+        }
+    }
+
+
+    fn is_sequencer(&self) -> bool {
+        self.view.sequencer().map(|m| m.id) == Some(self.me)
+    }
+
+    fn sequencer_host(&self) -> Option<HostAddr> {
+        self.view.sequencer().map(|m| m.host)
+    }
+
+    /// Resilience capped by the current view size.
+    fn effective_r(&self) -> u32 {
+        (self.cfg.resilience).min(self.view.len().saturating_sub(1) as u32)
+    }
+
+    /// Snapshot for `GetInfoGroup`.
+    pub fn info(&self) -> GroupInfo {
+        GroupInfo {
+            me: self.me,
+            incarnation: self.incarnation,
+            view: self.view.clone(),
+            highest_contiguous: self.highest_contiguous,
+            delivered: self.delivered,
+            failed: self.failed,
+        }
+    }
+
+    // ==================================================================
+    // Application entry points.
+    // ==================================================================
+
+    /// `SendToGroup`: begins sending; completion arrives via
+    /// [`Action::CompleteSend`].
+    pub fn app_send(&mut self, now: SimTime, data: Vec<u8>) -> (u64, Vec<Action>) {
+        let msgid = self.next_msgid;
+        self.next_msgid += 1;
+        self.stats.sends += 1;
+        if self.failed || self.dissolved {
+            return (
+                msgid,
+                vec![Action::CompleteSend(msgid, Err(GroupError::Failed))],
+            );
+        }
+        let bb = data.len() >= self.cfg.bb_threshold;
+        // Register before sequencing: a sequencer's own r=0 send completes
+        // during the local apply inside sequence_message.
+        self.pending_sends.insert(
+            msgid,
+            PendingSend {
+                data: data.clone(),
+                sent_at: now,
+                bb,
+            },
+        );
+        let mut actions = Vec::new();
+        if bb {
+            actions.push(Action::Multicast(GroupMsg::BbData {
+                instance: self.id,
+                incarnation: self.incarnation,
+                from: self.me,
+                msgid,
+                data,
+            }));
+            // The sequencer learns of the message from the BbData itself.
+        } else if self.is_sequencer() {
+            let mut acts =
+                self.sequence_message(now, self.me, self.my_tag, msgid, AcceptBody::Data(data));
+            actions.append(&mut acts);
+        } else {
+            match self.sequencer_host() {
+                Some(h) => actions.push(Action::Unicast(
+                    h,
+                    GroupMsg::SendReq {
+                        instance: self.id,
+                        incarnation: self.incarnation,
+                        from: self.me,
+                        msgid,
+                        data,
+                    },
+                )),
+                None => {
+                    self.pending_sends.remove(&msgid);
+                    return (
+                        msgid,
+                        vec![Action::CompleteSend(msgid, Err(GroupError::NoSequencer))],
+                    );
+                }
+            }
+        }
+        (msgid, actions)
+    }
+
+    /// `LeaveGroup`.
+    pub fn app_leave(&mut self, now: SimTime) -> Vec<Action> {
+        if self.dissolved {
+            return vec![Action::CompleteLeave, Action::Dissolve];
+        }
+        if self.failed || self.view.len() == 1 {
+            // Alone or broken: dissolve unilaterally.
+            self.dissolved = true;
+            return vec![Action::CompleteLeave, Action::Dissolve];
+        }
+        if self.is_sequencer() {
+            self.sequence_message(now, self.me, self.my_tag, 0, AcceptBody::Leave(self.me))
+        } else {
+            match self.sequencer_host() {
+                Some(h) => vec![Action::Unicast(
+                    h,
+                    GroupMsg::LeaveRequest {
+                        instance: self.id,
+                        incarnation: self.incarnation,
+                        member: self.me,
+                    },
+                )],
+                None => {
+                    self.dissolved = true;
+                    vec![Action::CompleteLeave, Action::Dissolve]
+                }
+            }
+        }
+    }
+
+    /// `ResetGroup`: become a reset coordinator.
+    pub fn app_reset(&mut self, now: SimTime, min_size: usize) -> Vec<Action> {
+        if self.dissolved {
+            return vec![Action::CompleteReset(Err(GroupError::Dead))];
+        }
+        let round = self.next_reset_round;
+        self.next_reset_round += 1;
+        let mut votes = HashMap::new();
+        votes.insert(
+            self.me,
+            (
+                MemberInfo {
+                    id: self.me,
+                    host: self.my_host,
+                    tag: self.my_tag,
+                },
+                self.highest_contiguous,
+            ),
+        );
+        self.reset_coord = Some(ResetCoord {
+            round,
+            min_size,
+            votes,
+            deadline: now + self.cfg.reset_vote_window,
+            announced: false,
+        });
+        // Latch our own vote so lower-priority coordinators are ignored.
+        self.voted = Some((self.me, round, now));
+        vec![Action::Multicast(GroupMsg::ResetInvite {
+            instance: self.id,
+            old_incarnation: self.incarnation,
+            coord: self.me,
+            coord_host: self.my_host,
+            round,
+        })]
+    }
+
+    // ==================================================================
+    // Sequencer-side helpers.
+    // ==================================================================
+
+    /// Assigns the next slot to a message and multicasts its accept.
+    fn sequence_message(
+        &mut self,
+        now: SimTime,
+        from: MemberId,
+        from_tag: u64,
+        msgid: u64,
+        body: AcceptBody,
+    ) -> Vec<Action> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rec = AcceptRec {
+            incarnation: self.incarnation,
+            from,
+            from_tag,
+            msgid,
+            body: body.clone(),
+        };
+        let mut actions = vec![Action::Multicast(GroupMsg::Accept {
+            instance: self.id,
+            incarnation: self.incarnation,
+            seq,
+            from,
+            from_tag,
+            msgid,
+            body,
+        })];
+        // Track acks before applying: apply may complete r=0 sends.
+        let mut acked = BTreeSet::new();
+        acked.insert(self.me);
+        self.pending_acks.insert(
+            seq,
+            AckState {
+                acked,
+                from,
+                msgid,
+                done_sent: false,
+            },
+        );
+        self.insert_accept(seq, rec);
+        let mut more = self.advance(now);
+        actions.append(&mut more);
+        let mut done = self.check_resilience(seq);
+        actions.append(&mut done);
+        actions
+    }
+
+    /// If `seq` has reached r+1 holders, notify the sender.
+    fn check_resilience(&mut self, seq: SeqNo) -> Vec<Action> {
+        let r = self.effective_r();
+        let st = match self.pending_acks.get_mut(&seq) {
+            Some(s) => s,
+            None => return Vec::new(),
+        };
+        if st.done_sent || (st.acked.len() as u32) < r + 1 {
+            return Vec::new();
+        }
+        st.done_sent = true;
+        let (from, msgid) = (st.from, st.msgid);
+        if st.acked.len() >= self.view.len() {
+            self.pending_acks.remove(&seq);
+        }
+        if msgid == 0 {
+            return Vec::new(); // view changes have no sender to notify
+        }
+        if from == self.me {
+            if self.pending_sends.remove(&msgid).is_some() {
+                return vec![Action::CompleteSend(msgid, Ok(seq))];
+            }
+            return Vec::new();
+        }
+        match self.view.member(from) {
+            Some(m) => vec![Action::Unicast(
+                m.host,
+                GroupMsg::Done {
+                    instance: self.id,
+                    msgid,
+                    seq,
+                },
+            )],
+            None => Vec::new(),
+        }
+    }
+
+    // ==================================================================
+    // Receive path.
+    // ==================================================================
+
+    fn insert_accept(&mut self, seq: SeqNo, rec: AcceptRec) {
+        if seq > self.highest_contiguous {
+            self.buffer.entry(seq).or_insert(rec);
+        }
+    }
+
+    /// Applies buffered accepts in order; returns deliveries and acks.
+    fn advance(&mut self, now: SimTime) -> Vec<Action> {
+        let mut actions = Vec::new();
+        loop {
+            let next = self.highest_contiguous + 1;
+            let rec = match self.buffer.get(&next) {
+                Some(r) => r.clone(),
+                None => break,
+            };
+            // BB messages can only be applied once their data is here.
+            if matches!(rec.body, AcceptBody::BbRef)
+                && !self.bb_store.contains_key(&(rec.from, rec.msgid))
+            {
+                if self.gap_since.is_none() {
+                    self.gap_since = Some(now);
+                }
+                break;
+            }
+            self.highest_contiguous = next;
+            self.gap_since = None;
+            self.stats.applied += 1;
+            if rec.msgid != 0 {
+                self.seen_msgids.insert((rec.from, rec.msgid), next);
+            }
+            match rec.body.clone() {
+                AcceptBody::Data(data) => {
+                    actions.push(Action::Deliver(GroupEvent::Message {
+                        seq: next,
+                        from: rec.from,
+                        from_tag: rec.from_tag,
+                        data,
+                    }));
+                    self.delivered = next;
+                }
+                AcceptBody::BbRef => {
+                    let data = self
+                        .bb_store
+                        .get(&(rec.from, rec.msgid))
+                        .cloned()
+                        .unwrap_or_default();
+                    actions.push(Action::Deliver(GroupEvent::Message {
+                        seq: next,
+                        from: rec.from,
+                        from_tag: rec.from_tag,
+                        data,
+                    }));
+                    self.delivered = next;
+                }
+                AcceptBody::Join(m) => {
+                    self.view.insert(m);
+                    self.next_member_id = self.next_member_id.max(m.id.0 + 1);
+                    self.last_heard.insert(m.id, now);
+                    if m.id != self.me {
+                        actions.push(Action::Deliver(GroupEvent::Joined {
+                            seq: next,
+                            member: m,
+                        }));
+                        self.delivered = next;
+                    } else {
+                        self.delivered = next;
+                    }
+                }
+                AcceptBody::Leave(id) => {
+                    let info = self.view.member(id);
+                    self.view.remove(id);
+                    self.last_heard.remove(&id);
+                    if id == self.me {
+                        self.dissolved = true;
+                        actions.push(Action::CompleteLeave);
+                        actions.push(Action::Dissolve);
+                        return actions;
+                    }
+                    if let Some(m) = info {
+                        actions.push(Action::Deliver(GroupEvent::Left {
+                            seq: next,
+                            member: m,
+                        }));
+                    }
+                    self.delivered = next;
+                    // If the sequencer left, the new lowest id takes over.
+                    if self.is_sequencer() {
+                        self.next_seq = self.highest_contiguous + 1;
+                    }
+                }
+            }
+            // r > 0: acknowledge to the sequencer (it counts holders).
+            if self.effective_r() > 0 && !self.is_sequencer() {
+                if let Some(h) = self.sequencer_host() {
+                    actions.push(Action::Unicast(
+                        h,
+                        GroupMsg::Ack {
+                            instance: self.id,
+                            incarnation: self.incarnation,
+                            seq: next,
+                            member: self.me,
+                        },
+                    ));
+                }
+            }
+            // r == 0 senders complete on observing their own accept.
+            if rec.from == self.me && rec.msgid != 0 && self.effective_r() == 0 {
+                if self.pending_sends.remove(&rec.msgid).is_some() {
+                    actions.push(Action::CompleteSend(rec.msgid, Ok(next)));
+                }
+            }
+            // Prune old history.
+            let keep_from = self.highest_contiguous.saturating_sub(self.cfg.history);
+            while let Some((&first, _)) = self.buffer.iter().next() {
+                if first < keep_from {
+                    self.buffer.remove(&first);
+                } else {
+                    break;
+                }
+            }
+        }
+        // Check whether a pending reset can now be installed.
+        if let Some(p) = &self.pending_install {
+            if self.highest_contiguous >= p.cutoff {
+                let mut more = self.install_reset(now);
+                actions.append(&mut more);
+            }
+        }
+        actions
+    }
+
+    /// Marks the group failed and tells everyone.
+    fn fail_group(&mut self, suspect: MemberId) -> Vec<Action> {
+        if self.failed {
+            return Vec::new();
+        }
+        self.failed = true;
+        self.stats.failures += 1;
+        let mut actions = vec![Action::Multicast(GroupMsg::FailNotice {
+            instance: self.id,
+            incarnation: self.incarnation,
+            suspect,
+        })];
+        actions.append(&mut self.on_failed());
+        actions
+    }
+
+    /// Local bookkeeping when the group enters the failed state.
+    fn on_failed(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if !self.failure_notified {
+            self.failure_notified = true;
+            actions.push(Action::NotifyFailure);
+        }
+        actions
+    }
+
+    // ==================================================================
+    // Message handling.
+    // ==================================================================
+
+    /// Handles a message from the network.
+    pub fn handle(&mut self, now: SimTime, src: HostAddr, msg: GroupMsg) -> Vec<Action> {
+        if self.dissolved {
+            return Vec::new();
+        }
+        match msg {
+            GroupMsg::JoinRequest {
+                joiner,
+                tag,
+                join_id,
+                ..
+            } => self.on_join_request(now, joiner, tag, join_id),
+            GroupMsg::SendReq {
+                incarnation,
+                from,
+                msgid,
+                data,
+                ..
+            } => self.on_send_req(now, incarnation, from, msgid, data),
+            GroupMsg::BbData {
+                incarnation,
+                from,
+                msgid,
+                data,
+                ..
+            } => self.on_bb_data(now, incarnation, from, msgid, data),
+            GroupMsg::Accept {
+                incarnation,
+                seq,
+                from,
+                from_tag,
+                msgid,
+                body,
+                ..
+            } => self.on_accept(now, src, incarnation, seq, from, from_tag, msgid, body),
+            GroupMsg::Ack {
+                incarnation,
+                seq,
+                member,
+                ..
+            } => self.on_ack(now, incarnation, seq, member),
+            GroupMsg::Done { msgid, seq, .. } => self.on_done(msgid, seq),
+            GroupMsg::Retrans {
+                from_seq,
+                to_seq,
+                requester,
+                ..
+            } => self.on_retrans(from_seq, to_seq, requester),
+            GroupMsg::Heartbeat {
+                incarnation,
+                next_seq,
+                sequencer,
+                ..
+            } => self.on_heartbeat(now, src, incarnation, next_seq, sequencer),
+            GroupMsg::HeartbeatAck {
+                incarnation,
+                member,
+                ..
+            } => {
+                if incarnation == self.incarnation {
+                    self.last_heard.insert(member, now);
+                }
+                Vec::new()
+            }
+            GroupMsg::LeaveRequest {
+                incarnation,
+                member,
+                ..
+            } => {
+                if incarnation == self.incarnation && self.is_sequencer() && !self.failed {
+                    if let Some(m) = self.view.member(member) {
+                        return self.sequence_message(now, m.id, m.tag, 0, AcceptBody::Leave(member));
+                    }
+                }
+                Vec::new()
+            }
+            GroupMsg::FailNotice { incarnation, .. } => {
+                if incarnation == self.incarnation && !self.failed {
+                    self.failed = true;
+                    self.stats.failures += 1;
+                    return self.on_failed();
+                }
+                Vec::new()
+            }
+            GroupMsg::ResetInvite {
+                old_incarnation,
+                coord,
+                coord_host,
+                round,
+                ..
+            } => self.on_reset_invite(now, old_incarnation, coord, coord_host, round),
+            GroupMsg::ResetVote {
+                old_incarnation,
+                round,
+                coord,
+                voter,
+                highest,
+                ..
+            } => self.on_reset_vote(now, old_incarnation, round, coord, voter, highest),
+            GroupMsg::ResetResult {
+                old_incarnation,
+                round,
+                coord,
+                new_incarnation,
+                view,
+                cutoff,
+                source,
+                ..
+            } => self.on_reset_result(
+                now,
+                old_incarnation,
+                round,
+                coord,
+                new_incarnation,
+                view,
+                cutoff,
+                source,
+            ),
+            GroupMsg::ExpelNotice {
+                current_incarnation,
+                ..
+            } => {
+                if current_incarnation > self.incarnation {
+                    self.dissolved = true;
+                    let mut actions = self.on_failed();
+                    actions.push(Action::Dissolve);
+                    return actions;
+                }
+                Vec::new()
+            }
+            // Handled at the peer layer.
+            GroupMsg::JoinLocate { .. } | GroupMsg::JoinReply { .. } | GroupMsg::JoinAck { .. } => {
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_join_request(
+        &mut self,
+        now: SimTime,
+        joiner: HostAddr,
+        tag: u64,
+        join_id: u64,
+    ) -> Vec<Action> {
+        if !self.is_sequencer() || self.failed {
+            return Vec::new();
+        }
+        // Idempotence: a retried join from the same host re-uses its slot.
+        if let Some(existing) = self.view.members.iter().find(|m| m.host == joiner) {
+            let existing = *existing;
+            return vec![Action::Unicast(
+                joiner,
+                GroupMsg::JoinAck {
+                    instance: self.id,
+                    join_id,
+                    member_id: existing.id,
+                    incarnation: self.incarnation,
+                    view: self.view.clone(),
+                    start_seq: self.highest_contiguous,
+                },
+            )];
+        }
+        let member = MemberInfo {
+            id: MemberId(self.next_member_id),
+            host: joiner,
+            tag,
+        };
+        self.next_member_id += 1;
+        let mut actions =
+            self.sequence_message(now, member.id, tag, 0, AcceptBody::Join(member));
+        // The join accept was applied locally just now, so the view already
+        // contains the joiner and highest_contiguous is its start position.
+        actions.push(Action::Unicast(
+            joiner,
+            GroupMsg::JoinAck {
+                instance: self.id,
+                join_id,
+                member_id: member.id,
+                incarnation: self.incarnation,
+                view: self.view.clone(),
+                start_seq: self.highest_contiguous,
+            },
+        ));
+        actions
+    }
+
+    fn on_send_req(
+        &mut self,
+        now: SimTime,
+        incarnation: Incarnation,
+        from: MemberId,
+        msgid: u64,
+        data: Vec<u8>,
+    ) -> Vec<Action> {
+        if !self.is_sequencer() || self.failed {
+            return Vec::new();
+        }
+        if incarnation != self.incarnation {
+            if incarnation < self.incarnation && !self.view.contains(from) {
+                if let Some(h) = self.host_of_unknown(from) {
+                    return vec![Action::Unicast(
+                        h,
+                        GroupMsg::ExpelNotice {
+                            instance: self.id,
+                            current_incarnation: self.incarnation,
+                        },
+                    )];
+                }
+            }
+            return Vec::new();
+        }
+        // Duplicate suppression for sender retries.
+        if let Some(&seq) = self.seen_msgids.get(&(from, msgid)) {
+            if let Some(m) = self.view.member(from) {
+                return vec![Action::Unicast(
+                    m.host,
+                    GroupMsg::Done {
+                        instance: self.id,
+                        msgid,
+                        seq,
+                    },
+                )];
+            }
+            return Vec::new();
+        }
+        let tag = self.view.member(from).map(|m| m.tag).unwrap_or(0);
+        if !self.view.contains(from) {
+            return Vec::new();
+        }
+        self.sequence_message(now, from, tag, msgid, AcceptBody::Data(data))
+    }
+
+    fn on_bb_data(
+        &mut self,
+        now: SimTime,
+        incarnation: Incarnation,
+        from: MemberId,
+        msgid: u64,
+        data: Vec<u8>,
+    ) -> Vec<Action> {
+        if incarnation != self.incarnation {
+            return Vec::new();
+        }
+        self.bb_store.insert((from, msgid), data);
+        let mut actions = self.advance(now); // a stalled BbRef may now apply
+        if self.is_sequencer() && !self.failed && !self.seen_msgids.contains_key(&(from, msgid)) {
+            let tag = self.view.member(from).map(|m| m.tag).unwrap_or(0);
+            if self.view.contains(from) {
+                let mut more = self.sequence_message(now, from, tag, msgid, AcceptBody::BbRef);
+                actions.append(&mut more);
+            }
+        }
+        actions
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_accept(
+        &mut self,
+        now: SimTime,
+        src: HostAddr,
+        incarnation: Incarnation,
+        seq: SeqNo,
+        from: MemberId,
+        from_tag: u64,
+        msgid: u64,
+        body: AcceptBody,
+    ) -> Vec<Action> {
+        // Accepts from an older incarnation are only acceptable while we
+        // are catching up to a reset cutoff, and only from our view/source.
+        let acceptable = if incarnation == self.incarnation {
+            true
+        } else if let Some(p) = &self.pending_install {
+            incarnation < p.new_incarnation && seq <= p.cutoff && src == p.source
+        } else {
+            false
+        };
+        if !acceptable {
+            return Vec::new();
+        }
+        if seq <= self.highest_contiguous {
+            return Vec::new(); // duplicate
+        }
+        self.insert_accept(
+            seq,
+            AcceptRec {
+                incarnation,
+                from,
+                from_tag,
+                msgid,
+                body,
+            },
+        );
+        if seq > self.highest_contiguous + 1 && self.gap_since.is_none() {
+            self.gap_since = Some(now);
+        }
+        self.advance(now)
+    }
+
+    fn on_ack(
+        &mut self,
+        _now: SimTime,
+        incarnation: Incarnation,
+        seq: SeqNo,
+        member: MemberId,
+    ) -> Vec<Action> {
+        if incarnation != self.incarnation || !self.is_sequencer() {
+            return Vec::new();
+        }
+        if let Some(st) = self.pending_acks.get_mut(&seq) {
+            st.acked.insert(member);
+        }
+        self.check_resilience(seq)
+    }
+
+    fn on_done(&mut self, msgid: u64, seq: SeqNo) -> Vec<Action> {
+        if self.pending_sends.remove(&msgid).is_some() {
+            vec![Action::CompleteSend(msgid, Ok(seq))]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_retrans(&mut self, from_seq: SeqNo, to_seq: SeqNo, requester: HostAddr) -> Vec<Action> {
+        if requester == self.my_host {
+            return Vec::new();
+        }
+        // Only serve members of our view (keeps divergent partitioned
+        // histories from leaking across a heal).
+        let in_view = self.view.members.iter().any(|m| m.host == requester);
+        if !in_view {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        let span = to_seq.saturating_sub(from_seq);
+        if span > 10_000 {
+            return Vec::new();
+        }
+        for seq in from_seq..=to_seq {
+            if let Some(rec) = self.buffer.get(&seq) {
+                let body = match &rec.body {
+                    // Resolve BB references so the requester need not chase
+                    // the bulk data separately.
+                    AcceptBody::BbRef => match self.bb_store.get(&(rec.from, rec.msgid)) {
+                        Some(d) => AcceptBody::Data(d.clone()),
+                        None => continue,
+                    },
+                    other => other.clone(),
+                };
+                self.stats.retrans_served += 1;
+                actions.push(Action::Unicast(
+                    requester,
+                    GroupMsg::Accept {
+                        instance: self.id,
+                        incarnation: rec.incarnation,
+                        seq,
+                        from: rec.from,
+                        from_tag: rec.from_tag,
+                        msgid: rec.msgid,
+                        body,
+                    },
+                ));
+            }
+        }
+        actions
+    }
+
+    fn on_heartbeat(
+        &mut self,
+        now: SimTime,
+        src: HostAddr,
+        incarnation: Incarnation,
+        next_seq: SeqNo,
+        sequencer: MemberId,
+    ) -> Vec<Action> {
+        if incarnation != self.incarnation {
+            // A heartbeat from a stale incarnation means its sender was
+            // expelled by a reset it did not see.
+            if incarnation < self.incarnation {
+                return vec![Action::Unicast(
+                    src,
+                    GroupMsg::ExpelNotice {
+                        instance: self.id,
+                        current_incarnation: self.incarnation,
+                    },
+                )];
+            }
+            return Vec::new();
+        }
+        self.last_heard.insert(sequencer, now);
+        let mut actions = Vec::new();
+        if !self.is_sequencer() {
+            actions.push(Action::Unicast(
+                src,
+                GroupMsg::HeartbeatAck {
+                    instance: self.id,
+                    incarnation: self.incarnation,
+                    member: self.me,
+                },
+            ));
+            // Idle-period gap detection.
+            if next_seq > self.highest_contiguous + 1 && self.gap_since.is_none() {
+                self.gap_since = Some(now);
+            }
+        }
+        actions
+    }
+
+    // ==================================================================
+    // Reset protocol.
+    // ==================================================================
+
+    fn on_reset_invite(
+        &mut self,
+        now: SimTime,
+        old_incarnation: Incarnation,
+        coord: MemberId,
+        coord_host: HostAddr,
+        round: u64,
+    ) -> Vec<Action> {
+        if old_incarnation != self.incarnation {
+            return Vec::new();
+        }
+        // Vote latching: prefer the lowest member id as coordinator; a
+        // latched vote expires after two vote windows.
+        let latch_expired = match self.voted {
+            Some((_, _, at)) => now.saturating_since(at) > self.cfg.reset_vote_window * 2,
+            None => true,
+        };
+        let better = match self.voted {
+            Some((c, r, _)) => coord < c || (coord == c && round >= r),
+            None => true,
+        };
+        if !(latch_expired || better) {
+            return Vec::new();
+        }
+        self.voted = Some((coord, round, now));
+        vec![Action::Unicast(
+            coord_host,
+            GroupMsg::ResetVote {
+                instance: self.id,
+                old_incarnation,
+                round,
+                coord,
+                voter: MemberInfo {
+                    id: self.me,
+                    host: self.my_host,
+                    tag: self.my_tag,
+                },
+                highest: self.highest_contiguous,
+            },
+        )]
+    }
+
+    fn on_reset_vote(
+        &mut self,
+        now: SimTime,
+        old_incarnation: Incarnation,
+        round: u64,
+        coord: MemberId,
+        voter: MemberInfo,
+        highest: SeqNo,
+    ) -> Vec<Action> {
+        if old_incarnation != self.incarnation || coord != self.me {
+            return Vec::new();
+        }
+        let rc = match &mut self.reset_coord {
+            Some(rc) if rc.round == round && !rc.announced => rc,
+            _ => return Vec::new(),
+        };
+        rc.votes.insert(voter.id, (voter, highest));
+        // Announce as soon as every current-view member voted; otherwise
+        // the tick announces at the deadline if min_size is met.
+        if rc.votes.len() >= self.view.len() {
+            self.announce_reset(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Coordinator: finalize the reset with the votes collected so far.
+    fn announce_reset(&mut self, now: SimTime) -> Vec<Action> {
+        let rc = match &mut self.reset_coord {
+            Some(rc) if !rc.announced => rc,
+            _ => return Vec::new(),
+        };
+        if rc.votes.len() < rc.min_size {
+            return Vec::new();
+        }
+        rc.announced = true;
+        let round = rc.round;
+        let mut view = View::default();
+        let mut cutoff = 0;
+        let mut source = self.my_host;
+        let mut best = (0u64, u32::MAX); // (highest, member id) — prefer highest, tie lowest id
+        for (info, highest) in rc.votes.values() {
+            view.insert(*info);
+            if *highest > cutoff {
+                cutoff = *highest;
+            }
+            if *highest > best.0 || (*highest == best.0 && info.id.0 < best.1) {
+                best = (*highest, info.id.0);
+                source = info.host;
+            }
+        }
+        let new_incarnation = self.incarnation + 1;
+        let result = GroupMsg::ResetResult {
+            instance: self.id,
+            old_incarnation: self.incarnation,
+            round,
+            coord: self.me,
+            new_incarnation,
+            view: view.clone(),
+            cutoff,
+            source,
+        };
+        let mut actions = vec![Action::Multicast(result)];
+        // Apply locally as well (multicast loopback also arrives, but be
+        // robust to its loss).
+        let mut more = self.on_reset_result(
+            now,
+            self.incarnation,
+            round,
+            self.me,
+            new_incarnation,
+            view,
+            cutoff,
+            source,
+        );
+        actions.append(&mut more);
+        actions
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_reset_result(
+        &mut self,
+        now: SimTime,
+        old_incarnation: Incarnation,
+        _round: u64,
+        _coord: MemberId,
+        new_incarnation: Incarnation,
+        view: View,
+        cutoff: SeqNo,
+        source: HostAddr,
+    ) -> Vec<Action> {
+        if old_incarnation != self.incarnation || new_incarnation <= self.incarnation {
+            return Vec::new();
+        }
+        if !view.contains(self.me) {
+            // Expelled: dissolve.
+            self.dissolved = true;
+            let mut actions = self.on_failed();
+            actions.push(Action::CompleteReset(Err(GroupError::Dead)));
+            actions.push(Action::Dissolve);
+            return actions;
+        }
+        self.pending_install = Some(PendingInstall {
+            new_incarnation,
+            view,
+            cutoff,
+            source,
+        });
+        if self.highest_contiguous >= cutoff {
+            self.install_reset(now)
+        } else {
+            // Catch up from the source first.
+            self.stats.retrans_requests += 1;
+            vec![Action::Unicast(
+                source,
+                GroupMsg::Retrans {
+                    instance: self.id,
+                    from_seq: self.highest_contiguous + 1,
+                    to_seq: cutoff,
+                    requester: self.my_host,
+                },
+            )]
+        }
+    }
+
+    /// Installs a pending reset once caught up to the cutoff.
+    fn install_reset(&mut self, now: SimTime) -> Vec<Action> {
+        let p = match self.pending_install.take() {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        debug_assert!(self.highest_contiguous >= p.cutoff);
+        self.incarnation = p.new_incarnation;
+        self.view = p.view;
+        self.next_member_id = self
+            .view
+            .members
+            .iter()
+            .map(|m| m.id.0 + 1)
+            .max()
+            .unwrap_or(self.next_member_id);
+        self.next_seq = self.highest_contiguous + 1;
+        self.pending_acks.clear();
+        self.failed = false;
+        self.failure_notified = false;
+        self.reset_coord = None;
+        self.voted = None;
+        self.stats.resets += 1;
+        self.last_heard.clear();
+        for m in &self.view.members {
+            self.last_heard.insert(m.id, now);
+        }
+        let mut actions = vec![
+            Action::Deliver(GroupEvent::ResetDone {
+                view: self.view.clone(),
+                incarnation: self.incarnation,
+            }),
+            Action::CompleteReset(Ok(())),
+        ];
+        // Re-drive unfinished sends through the new sequencer (duplicate
+        // suppression via seen_msgids keeps this exactly-once).
+        let pending: Vec<(u64, Vec<u8>, bool)> = self
+            .pending_sends
+            .iter()
+            .map(|(id, p)| (*id, p.data.clone(), p.bb))
+            .collect();
+        for (msgid, data, bb) in pending {
+            if let Some(&seq) = self.seen_msgids.get(&(self.me, msgid)) {
+                self.pending_sends.remove(&msgid);
+                actions.push(Action::CompleteSend(msgid, Ok(seq)));
+                continue;
+            }
+            let mut resend = self.resend_pending(now, msgid, data, bb);
+            actions.append(&mut resend);
+        }
+        actions
+    }
+
+    fn resend_pending(
+        &mut self,
+        now: SimTime,
+        msgid: u64,
+        data: Vec<u8>,
+        bb: bool,
+    ) -> Vec<Action> {
+        self.stats.send_retries += 1;
+        if let Some(p) = self.pending_sends.get_mut(&msgid) {
+            p.sent_at = now;
+        }
+        if bb {
+            vec![Action::Multicast(GroupMsg::BbData {
+                instance: self.id,
+                incarnation: self.incarnation,
+                from: self.me,
+                msgid,
+                data,
+            })]
+        } else if self.is_sequencer() {
+            if self.seen_msgids.contains_key(&(self.me, msgid)) {
+                return Vec::new();
+            }
+            self.sequence_message(now, self.me, self.my_tag, msgid, AcceptBody::Data(data))
+        } else {
+            match self.sequencer_host() {
+                Some(h) => vec![Action::Unicast(
+                    h,
+                    GroupMsg::SendReq {
+                        instance: self.id,
+                        incarnation: self.incarnation,
+                        from: self.me,
+                        msgid,
+                        data,
+                    },
+                )],
+                None => Vec::new(),
+            }
+        }
+    }
+
+    // ==================================================================
+    // Periodic work.
+    // ==================================================================
+
+    /// Clock tick: heartbeats, liveness checks, retransmissions, reset
+    /// deadlines.
+    pub fn tick(&mut self, now: SimTime) -> Vec<Action> {
+        if self.dissolved {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        // Reset coordinator deadline.
+        let announce = match &self.reset_coord {
+            Some(rc) if !rc.announced && now >= rc.deadline => {
+                if rc.votes.len() >= rc.min_size {
+                    1
+                } else {
+                    2
+                }
+            }
+            _ => 0,
+        };
+        if announce == 1 {
+            actions.append(&mut self.announce_reset(now));
+        } else if announce == 2 {
+            self.reset_coord = None;
+            actions.push(Action::CompleteReset(Err(GroupError::ResetFailed)));
+        }
+        if self.failed {
+            return actions;
+        }
+        if self.is_sequencer() {
+            // Heartbeat.
+            if now.saturating_since(self.last_heartbeat_sent) >= self.cfg.heartbeat_interval {
+                self.last_heartbeat_sent = now;
+                actions.push(Action::Multicast(GroupMsg::Heartbeat {
+                    instance: self.id,
+                    incarnation: self.incarnation,
+                    next_seq: self.next_seq,
+                    sequencer: self.me,
+                }));
+            }
+            // Member liveness.
+            let dead: Vec<MemberId> = self
+                .view
+                .members
+                .iter()
+                .filter(|m| m.id != self.me)
+                .filter(|m| {
+                    self.last_heard
+                        .get(&m.id)
+                        .map(|t| now.saturating_since(*t) > self.cfg.failure_timeout)
+                        .unwrap_or(false)
+                })
+                .map(|m| m.id)
+                .collect();
+            if let Some(suspect) = dead.first() {
+                actions.append(&mut self.fail_group(*suspect));
+                return actions;
+            }
+        } else if let Some(seq_member) = self.view.sequencer() {
+            // Sequencer liveness (we only track it after hearing once).
+            if let Some(t) = self.last_heard.get(&seq_member.id) {
+                if now.saturating_since(*t) > self.cfg.failure_timeout {
+                    actions.append(&mut self.fail_group(seq_member.id));
+                    return actions;
+                }
+            } else {
+                self.last_heard.insert(seq_member.id, now);
+            }
+        }
+        // Gap recovery.
+        if let Some(since) = self.gap_since {
+            if now.saturating_since(since) >= self.cfg.gap_timeout {
+                self.gap_since = Some(now); // re-arm
+                self.stats.retrans_requests += 1;
+                let to = self
+                    .buffer
+                    .keys()
+                    .next_back()
+                    .copied()
+                    .unwrap_or(self.highest_contiguous + 1);
+                actions.push(Action::Multicast(GroupMsg::Retrans {
+                    instance: self.id,
+                    from_seq: self.highest_contiguous + 1,
+                    to_seq: to,
+                    requester: self.my_host,
+                }));
+            }
+        }
+        // Sender retransmission.
+        let stale: Vec<(u64, Vec<u8>, bool)> = self
+            .pending_sends
+            .iter()
+            .filter(|(_, p)| now.saturating_since(p.sent_at) >= self.cfg.ack_timeout)
+            .map(|(id, p)| (*id, p.data.clone(), p.bb))
+            .collect();
+        for (msgid, data, bb) in stale {
+            let mut resend = self.resend_pending(now, msgid, data, bb);
+            actions.append(&mut resend);
+        }
+        actions
+    }
+
+    /// Answers a join locate (peer layer decides whether to call this).
+    pub fn join_reply(&self, joiner: HostAddr, join_id: u64) -> Option<Action> {
+        if self.failed || self.dissolved {
+            return None;
+        }
+        let seq = self.view.sequencer()?;
+        Some(Action::Unicast(
+            joiner,
+            GroupMsg::JoinReply {
+                port: self.port,
+                instance: self.id,
+                members: self.view.len() as u32,
+                sequencer: seq.host,
+                incarnation: self.incarnation,
+                join_id,
+            },
+        ))
+    }
+
+    /// Fail all pending operations because the instance is being dropped.
+    pub fn fail_pending(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for msgid in self.pending_sends.keys().copied().collect::<Vec<_>>() {
+            actions.push(Action::CompleteSend(msgid, Err(GroupError::Dead)));
+        }
+        self.pending_sends.clear();
+        actions
+    }
+
+    /// We have no idea which host an unknown member lives on.
+    fn host_of_unknown(&self, _m: MemberId) -> Option<HostAddr> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const H0: HostAddr = HostAddr(0);
+    const H1: HostAddr = HostAddr(1);
+    const H2: HostAddr = HostAddr(2);
+    const T0: SimTime = SimTime::ZERO;
+
+    fn cfg(r: u32) -> GroupConfig {
+        GroupConfig::with_resilience(r)
+    }
+
+    /// Builds a 3-member instance as seen by the sequencer (member 0).
+    fn seq_with_three(r: u32) -> Instance {
+        let mut inst = Instance::create(1, Port::from_name("g"), cfg(r), H0, 100, T0);
+        for (host, tag, jid) in [(H1, 101, 1u64), (H2, 102, 2u64)] {
+            let _ = inst.on_join_request(T0, host, tag, jid);
+        }
+        assert_eq!(inst.view.len(), 3);
+        inst
+    }
+
+    fn deliver_count(actions: &[Action]) -> usize {
+        actions
+            .iter()
+            .filter(|a| matches!(a, Action::Deliver(GroupEvent::Message { .. })))
+            .count()
+    }
+
+    #[test]
+    fn create_makes_single_member_sequencer() {
+        let inst = Instance::create(1, Port::from_name("g"), cfg(0), H0, 7, T0);
+        assert!(inst.is_sequencer());
+        assert_eq!(inst.view.len(), 1);
+        assert_eq!(inst.effective_r(), 0);
+    }
+
+    #[test]
+    fn join_assigns_incrementing_ids_and_sequences_view_changes() {
+        let inst = seq_with_three(2);
+        let ids: Vec<u32> = inst.view.members.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Two join accepts were applied: seqnos 1 and 2.
+        assert_eq!(inst.highest_contiguous, 2);
+    }
+
+    #[test]
+    fn rejoin_same_host_reuses_member_id() {
+        let mut inst = seq_with_three(2);
+        let before = inst.view.len();
+        let actions = inst.on_join_request(T0, H1, 101, 9);
+        assert_eq!(inst.view.len(), before);
+        assert!(matches!(
+            actions.as_slice(),
+            [Action::Unicast(h, GroupMsg::JoinAck { member_id, .. })]
+                if *h == H1 && *member_id == MemberId(1)
+        ));
+    }
+
+    #[test]
+    fn sequencer_send_with_r0_completes_immediately() {
+        let mut inst = Instance::create(1, Port::from_name("g"), cfg(0), H0, 7, T0);
+        let (msgid, actions) = inst.app_send(T0, vec![1, 2]);
+        assert!(actions.iter().any(
+            |a| matches!(a, Action::CompleteSend(m, Ok(seq)) if *m == msgid && *seq == 1)
+        ));
+        assert_eq!(deliver_count(&actions), 1);
+    }
+
+    #[test]
+    fn r2_send_completes_only_after_both_acks() {
+        let mut inst = seq_with_three(2);
+        let (msgid, actions) = inst.app_send(T0, vec![9]);
+        // Not complete yet: only the sequencer holds it.
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, Action::CompleteSend(..))));
+        let a1 = inst.on_ack(T0, 0, 3, MemberId(1));
+        assert!(!a1.iter().any(|a| matches!(a, Action::CompleteSend(..))));
+        let a2 = inst.on_ack(T0, 0, 3, MemberId(2));
+        assert!(a2.iter().any(
+            |a| matches!(a, Action::CompleteSend(m, Ok(3)) if *m == msgid)
+        ));
+    }
+
+    #[test]
+    fn remote_send_req_gets_sequenced_and_done_after_acks() {
+        let mut inst = seq_with_three(2);
+        let actions = inst.on_send_req(T0, 0, MemberId(1), 50, vec![5]);
+        // Multicast accept, no done yet.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Multicast(GroupMsg::Accept { .. }))));
+        let _ = inst.on_ack(T0, 0, 3, MemberId(1));
+        let done = inst.on_ack(T0, 0, 3, MemberId(2));
+        assert!(done.iter().any(|a| matches!(
+            a,
+            Action::Unicast(h, GroupMsg::Done { msgid: 50, seq: 3, .. }) if *h == H1
+        )));
+    }
+
+    #[test]
+    fn duplicate_send_req_is_suppressed() {
+        let mut inst = seq_with_three(0);
+        let _ = inst.on_send_req(T0, 0, MemberId(1), 50, vec![5]);
+        let before = inst.highest_contiguous;
+        let actions = inst.on_send_req(T0, 0, MemberId(1), 50, vec![5]);
+        assert_eq!(inst.highest_contiguous, before, "must not re-sequence");
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Unicast(_, GroupMsg::Done { msgid: 50, .. })
+        )));
+    }
+
+    /// Builds a non-sequencer member (member 1 of 3, sequencer = member 0).
+    fn member_one(r: u32) -> Instance {
+        let mut view = View::default();
+        view.insert(MemberInfo {
+            id: MemberId(0),
+            host: H0,
+            tag: 100,
+        });
+        view.insert(MemberInfo {
+            id: MemberId(1),
+            host: H1,
+            tag: 101,
+        });
+        view.insert(MemberInfo {
+            id: MemberId(2),
+            host: H2,
+            tag: 102,
+        });
+        Instance::from_join(
+            1,
+            Port::from_name("g"),
+            cfg(r),
+            H1,
+            101,
+            MemberId(1),
+            0,
+            view,
+            0,
+            T0,
+        )
+    }
+
+    fn accept(seq: SeqNo, from: u32, msgid: u64, data: Vec<u8>) -> GroupMsg {
+        GroupMsg::Accept {
+            instance: 1,
+            incarnation: 0,
+            seq,
+            from: MemberId(from),
+            from_tag: 100 + u64::from(from),
+            msgid,
+            body: AcceptBody::Data(data),
+        }
+    }
+
+    fn feed(inst: &mut Instance, msg: GroupMsg) -> Vec<Action> {
+        inst.handle(T0, H0, msg)
+    }
+
+    #[test]
+    fn member_delivers_in_seq_order_despite_reordering() {
+        let mut inst = member_one(0);
+        let a2 = feed(&mut inst, accept(2, 0, 11, vec![2]));
+        assert_eq!(deliver_count(&a2), 0, "gap: must buffer");
+        let a1 = feed(&mut inst, accept(1, 0, 10, vec![1]));
+        assert_eq!(deliver_count(&a1), 2, "both deliver in order");
+        let seqs: Vec<SeqNo> = a1
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver(e) => e.seq(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn member_acks_when_r_positive() {
+        let mut inst = member_one(2);
+        let actions = feed(&mut inst, accept(1, 0, 10, vec![1]));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Unicast(h, GroupMsg::Ack { seq: 1, member: MemberId(1), .. }) if *h == H0
+        )));
+    }
+
+    #[test]
+    fn member_ignores_duplicate_accept() {
+        let mut inst = member_one(0);
+        let _ = feed(&mut inst, accept(1, 0, 10, vec![1]));
+        let dup = feed(&mut inst, accept(1, 0, 10, vec![1]));
+        assert_eq!(deliver_count(&dup), 0);
+    }
+
+    #[test]
+    fn member_ignores_wrong_incarnation_accept() {
+        let mut inst = member_one(0);
+        let msg = GroupMsg::Accept {
+            instance: 1,
+            incarnation: 5,
+            seq: 1,
+            from: MemberId(0),
+            from_tag: 100,
+            msgid: 10,
+            body: AcceptBody::Data(vec![1]),
+        };
+        let actions = feed(&mut inst, msg);
+        assert_eq!(deliver_count(&actions), 0);
+        assert_eq!(inst.highest_contiguous, 0);
+    }
+
+    #[test]
+    fn heartbeat_gap_triggers_retrans_request_on_tick() {
+        let mut inst = member_one(0);
+        let hb = GroupMsg::Heartbeat {
+            instance: 1,
+            incarnation: 0,
+            next_seq: 4, // we have nothing; 3 accepts missing
+            sequencer: MemberId(0),
+        };
+        let _ = feed(&mut inst, hb);
+        let later = T0 + inst.cfg.gap_timeout + Duration::from_millis(1);
+        let actions = inst.tick(later);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Multicast(GroupMsg::Retrans { from_seq: 1, .. })
+        )));
+    }
+
+    #[test]
+    fn retrans_served_from_buffer_for_view_members() {
+        let mut inst = member_one(0);
+        let _ = feed(&mut inst, accept(1, 0, 10, vec![1]));
+        let actions = inst.on_retrans(1, 1, H2);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Unicast(h, GroupMsg::Accept { seq: 1, .. }) if *h == H2
+        )));
+        // Unknown host gets nothing.
+        let nothing = inst.on_retrans(1, 1, HostAddr(99));
+        assert!(nothing.is_empty());
+    }
+
+    #[test]
+    fn sequencer_silence_fails_group_on_member() {
+        let mut inst = member_one(0);
+        let _ = feed(
+            &mut inst,
+            GroupMsg::Heartbeat {
+                instance: 1,
+                incarnation: 0,
+                next_seq: 1,
+                sequencer: MemberId(0),
+            },
+        );
+        let late = T0 + inst.cfg.failure_timeout + Duration::from_millis(50);
+        let actions = inst.tick(late);
+        assert!(inst.failed);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Multicast(GroupMsg::FailNotice { .. }))));
+        assert!(actions.iter().any(|a| matches!(a, Action::NotifyFailure)));
+    }
+
+    #[test]
+    fn member_silence_fails_group_on_sequencer() {
+        let mut inst = seq_with_three(2);
+        // Members never ack/heartbeat-ack.
+        let late = T0 + inst.cfg.failure_timeout + Duration::from_millis(50);
+        // last_heard was set at join time (T0).
+        let actions = inst.tick(late);
+        assert!(inst.failed);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Multicast(GroupMsg::FailNotice { .. }))));
+    }
+
+    #[test]
+    fn send_on_failed_group_errors() {
+        let mut inst = member_one(0);
+        let _ = feed(
+            &mut inst,
+            GroupMsg::FailNotice {
+                instance: 1,
+                incarnation: 0,
+                suspect: MemberId(0),
+            },
+        );
+        let (msgid, actions) = inst.app_send(T0, vec![1]);
+        assert!(actions.iter().any(
+            |a| matches!(a, Action::CompleteSend(m, Err(GroupError::Failed)) if *m == msgid)
+        ));
+    }
+
+    #[test]
+    fn reset_two_of_three_rebuilds_group() {
+        // Member 1 coordinates a reset after member 0 (sequencer) dies.
+        let mut m1 = member_one(2);
+        let mut m2 = Instance::from_join(
+            1,
+            Port::from_name("g"),
+            cfg(2),
+            H2,
+            102,
+            MemberId(2),
+            0,
+            m1.view.clone(),
+            0,
+            T0,
+        );
+        // Both see the failure.
+        for m in [&mut m1, &mut m2] {
+            let _ = m.handle(
+                T0,
+                H1,
+                GroupMsg::FailNotice {
+                    instance: 1,
+                    incarnation: 0,
+                    suspect: MemberId(0),
+                },
+            );
+            assert!(m.failed);
+        }
+        // m1 invites; m2 votes; m1 announces; both install.
+        let invite_actions = m1.app_reset(T0, 2);
+        let invite = invite_actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Multicast(m @ GroupMsg::ResetInvite { .. }) => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let vote_actions = m2.handle(T0, H1, invite);
+        let vote = vote_actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Unicast(_, m @ GroupMsg::ResetVote { .. }) => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // The dead member never votes, so the coordinator announces at the
+        // vote-window deadline.
+        let mut result_actions = m1.handle(T0, H2, vote);
+        result_actions
+            .extend(m1.tick(T0 + m1.cfg.reset_vote_window + Duration::from_millis(1)));
+        let result = result_actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Multicast(m @ GroupMsg::ResetResult { .. }) => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(
+            result_actions
+                .iter()
+                .any(|a| matches!(a, Action::CompleteReset(Ok(())))),
+            "coordinator completes its own reset"
+        );
+        assert!(!m1.failed);
+        assert_eq!(m1.incarnation, 1);
+        assert_eq!(m1.view.len(), 2);
+        // New sequencer is the lowest id: member 1.
+        assert!(m1.is_sequencer());
+
+        let m2_actions = m2.handle(T0, H1, result);
+        assert!(m2_actions
+            .iter()
+            .any(|a| matches!(a, Action::Deliver(GroupEvent::ResetDone { .. }))));
+        assert!(!m2.failed);
+        assert_eq!(m2.incarnation, 1);
+        assert_eq!(m2.view.len(), 2);
+        assert!(!m2.is_sequencer());
+    }
+
+    #[test]
+    fn reset_without_quorum_fails_at_deadline() {
+        let mut m1 = member_one(2);
+        m1.failed = true;
+        let _ = m1.app_reset(T0, 2); // needs 2 votes, gets only itself
+        let late = T0 + m1.cfg.reset_vote_window + Duration::from_millis(1);
+        let actions = m1.tick(late);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CompleteReset(Err(GroupError::ResetFailed)))));
+    }
+
+    #[test]
+    fn reset_catches_up_laggard_to_cutoff_before_install() {
+        // m2 lags: it never saw accept 1. Coordinator m1 has it.
+        let mut m1 = member_one(2);
+        let _ = feed(&mut m1, accept(1, 0, 10, vec![1]));
+        let mut m2 = Instance::from_join(
+            1,
+            Port::from_name("g"),
+            cfg(2),
+            H2,
+            102,
+            MemberId(2),
+            0,
+            m1.view.clone(),
+            0,
+            T0,
+        );
+        for m in [&mut m1, &mut m2] {
+            m.failed = true;
+        }
+        let invite_actions = m1.app_reset(T0, 2);
+        let invite = invite_actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Multicast(m @ GroupMsg::ResetInvite { .. }) => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let vote = m2
+            .handle(T0, H1, invite)
+            .into_iter()
+            .find_map(|a| match a {
+                Action::Unicast(_, m @ GroupMsg::ResetVote { .. }) => Some(m),
+                _ => None,
+            })
+            .unwrap();
+        let mut result_actions = m1.handle(T0, H2, vote);
+        result_actions
+            .extend(m1.tick(T0 + m1.cfg.reset_vote_window + Duration::from_millis(1)));
+        let result = result_actions
+            .into_iter()
+            .find_map(|a| match a {
+                Action::Multicast(m @ GroupMsg::ResetResult { .. }) => Some(m),
+                _ => None,
+            })
+            .unwrap();
+        // m2 receives the result but is behind cutoff=1: asks for retrans.
+        let m2_actions = m2.handle(T0, H1, result);
+        let retrans = m2_actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Unicast(h, m @ GroupMsg::Retrans { .. }) => Some((*h, m.clone())),
+                _ => None,
+            })
+            .expect("laggard must request retransmission");
+        assert_eq!(retrans.0, H1, "source is the up-to-date member");
+        assert_eq!(m2.incarnation, 0, "not installed yet");
+        // m1 serves the retrans (m2's host is in m1's new view).
+        let serve = m1.handle(T0, H2, retrans.1);
+        let acc = serve
+            .into_iter()
+            .find_map(|a| match a {
+                Action::Unicast(_, m @ GroupMsg::Accept { .. }) => Some(m),
+                _ => None,
+            })
+            .unwrap();
+        // The old-incarnation accept is accepted during catch-up and the
+        // reset installs.
+        let m2_final = m2.handle(T0, H1, acc);
+        assert!(m2_final
+            .iter()
+            .any(|a| matches!(a, Action::Deliver(GroupEvent::ResetDone { .. }))));
+        assert_eq!(m2.incarnation, 1);
+        assert_eq!(m2.highest_contiguous, 1);
+    }
+
+    #[test]
+    fn expelled_member_dissolves_on_notice() {
+        let mut inst = member_one(0);
+        let actions = feed(
+            &mut inst,
+            GroupMsg::ExpelNotice {
+                instance: 1,
+                current_incarnation: 3,
+            },
+        );
+        assert!(inst.dissolved);
+        assert!(actions.iter().any(|a| matches!(a, Action::Dissolve)));
+    }
+
+    #[test]
+    fn leave_of_sequencer_hands_over_and_dissolves() {
+        let mut inst = seq_with_three(0);
+        let actions = inst.app_leave(T0);
+        assert!(inst.dissolved);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Multicast(GroupMsg::Accept { body: AcceptBody::Leave(MemberId(0)), .. }))));
+        assert!(actions.iter().any(|a| matches!(a, Action::Dissolve)));
+    }
+
+    #[test]
+    fn follower_applies_leave_and_takes_over_sequencing() {
+        let mut m1 = member_one(0);
+        let leave = GroupMsg::Accept {
+            instance: 1,
+            incarnation: 0,
+            seq: 1,
+            from: MemberId(0),
+            from_tag: 100,
+            msgid: 0,
+            body: AcceptBody::Leave(MemberId(0)),
+        };
+        let actions = feed(&mut m1, leave);
+        assert!(m1.is_sequencer());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Deliver(GroupEvent::Left { .. }))));
+        // It can now sequence sends itself.
+        let (_, send_actions) = m1.app_send(T0, vec![7]);
+        assert!(send_actions
+            .iter()
+            .any(|a| matches!(a, Action::Multicast(GroupMsg::Accept { seq: 2, .. }))));
+    }
+
+    #[test]
+    fn bb_method_waits_for_data_then_delivers() {
+        let mut inst = member_one(0);
+        let bbref = GroupMsg::Accept {
+            instance: 1,
+            incarnation: 0,
+            seq: 1,
+            from: MemberId(2),
+            from_tag: 102,
+            msgid: 30,
+            body: AcceptBody::BbRef,
+        };
+        let a1 = feed(&mut inst, bbref);
+        assert_eq!(deliver_count(&a1), 0, "no data yet");
+        let data = GroupMsg::BbData {
+            instance: 1,
+            incarnation: 0,
+            from: MemberId(2),
+            msgid: 30,
+            data: vec![0; 5000],
+        };
+        let a2 = feed(&mut inst, data);
+        assert_eq!(deliver_count(&a2), 1);
+        assert_eq!(inst.highest_contiguous, 1);
+    }
+
+    #[test]
+    fn large_app_send_uses_bb() {
+        let mut inst = seq_with_three(0);
+        let big = vec![0u8; inst.cfg.bb_threshold + 1];
+        let (_, actions) = inst.app_send(T0, big);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Multicast(GroupMsg::BbData { .. }))));
+    }
+
+    #[test]
+    fn pending_send_retries_on_tick() {
+        let mut inst = member_one(0);
+        let (_msgid, _) = inst.app_send(T0, vec![1]);
+        let later = T0 + inst.cfg.ack_timeout + Duration::from_millis(1);
+        let actions = inst.tick(later);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Unicast(h, GroupMsg::SendReq { .. }) if *h == H0
+        )));
+        assert_eq!(inst.stats.send_retries, 1);
+    }
+
+    #[test]
+    fn info_reports_buffered() {
+        let mut inst = member_one(0);
+        let _ = feed(&mut inst, accept(1, 0, 10, vec![1]));
+        let info = inst.info();
+        assert_eq!(info.highest_contiguous, 1);
+        // delivered tracks what was handed to the app queue (the engine
+        // delivers immediately, so they coincide here).
+        assert_eq!(info.buffered(), 0);
+    }
+}

@@ -1,0 +1,806 @@
+//! Wire messages of the group protocol and their codec.
+
+use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_flip::{HostAddr, Port};
+
+use crate::types::{Incarnation, MemberId, MemberInfo, SeqNo, View};
+
+/// The body of a sequenced [`GroupMsg::Accept`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcceptBody {
+    /// An application message carried inline (PB method).
+    Data(Vec<u8>),
+    /// An application message whose data travelled separately as
+    /// [`GroupMsg::BbData`] (BB method); pair by `(from, msgid)`.
+    BbRef,
+    /// Membership change: a member joined.
+    Join(MemberInfo),
+    /// Membership change: a member left gracefully.
+    Leave(MemberId),
+}
+
+/// Everything that travels on the group port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on the protocol engine
+pub enum GroupMsg {
+    /// Broadcast: "who runs a group instance for this port?"
+    JoinLocate {
+        port: Port,
+        joiner: HostAddr,
+        join_id: u64,
+    },
+    /// Unicast answer to a locate from any live member.
+    JoinReply {
+        port: Port,
+        instance: u64,
+        members: u32,
+        sequencer: HostAddr,
+        incarnation: Incarnation,
+        join_id: u64,
+    },
+    /// Unicast to the sequencer: "add me".
+    JoinRequest {
+        instance: u64,
+        joiner: HostAddr,
+        tag: u64,
+        join_id: u64,
+    },
+    /// Unicast to the joiner: its id, the view, and where the order starts.
+    JoinAck {
+        instance: u64,
+        join_id: u64,
+        member_id: MemberId,
+        incarnation: Incarnation,
+        view: View,
+        start_seq: SeqNo,
+    },
+    /// Unicast to the sequencer: please sequence this message (PB).
+    SendReq {
+        instance: u64,
+        incarnation: Incarnation,
+        from: MemberId,
+        msgid: u64,
+        data: Vec<u8>,
+    },
+    /// Multicast by the sender: the bulk data of a BB-method message.
+    BbData {
+        instance: u64,
+        incarnation: Incarnation,
+        from: MemberId,
+        msgid: u64,
+        data: Vec<u8>,
+    },
+    /// Multicast by the sequencer: slot `seq` of the total order.
+    Accept {
+        instance: u64,
+        incarnation: Incarnation,
+        seq: SeqNo,
+        from: MemberId,
+        from_tag: u64,
+        msgid: u64,
+        body: AcceptBody,
+    },
+    /// Unicast to the sequencer: "I hold everything up to and including
+    /// `seq`" (sent per accept when r > 0).
+    Ack {
+        instance: u64,
+        incarnation: Incarnation,
+        seq: SeqNo,
+        member: MemberId,
+    },
+    /// Unicast to the original sender: the message is r-resilient.
+    Done {
+        instance: u64,
+        msgid: u64,
+        seq: SeqNo,
+    },
+    /// Multicast: "resend accepts in `[from_seq, to_seq]` to `requester`".
+    Retrans {
+        instance: u64,
+        from_seq: SeqNo,
+        to_seq: SeqNo,
+        requester: HostAddr,
+    },
+    /// Multicast by the sequencer when idle; carries `next_seq` so members
+    /// detect gaps.
+    Heartbeat {
+        instance: u64,
+        incarnation: Incarnation,
+        next_seq: SeqNo,
+        sequencer: MemberId,
+    },
+    /// Unicast liveness echo from member to sequencer.
+    HeartbeatAck {
+        instance: u64,
+        incarnation: Incarnation,
+        member: MemberId,
+    },
+    /// Unicast to the sequencer: "remove me".
+    LeaveRequest {
+        instance: u64,
+        incarnation: Incarnation,
+        member: MemberId,
+    },
+    /// Multicast by whoever detects a failure: the group is broken.
+    FailNotice {
+        instance: u64,
+        incarnation: Incarnation,
+        suspect: MemberId,
+    },
+    /// Multicast by a ResetGroup coordinator: please vote.
+    ResetInvite {
+        instance: u64,
+        old_incarnation: Incarnation,
+        coord: MemberId,
+        coord_host: HostAddr,
+        round: u64,
+    },
+    /// Unicast to the coordinator: "count me in; I hold up to `highest`".
+    ResetVote {
+        instance: u64,
+        old_incarnation: Incarnation,
+        round: u64,
+        coord: MemberId,
+        voter: MemberInfo,
+        highest: SeqNo,
+    },
+    /// Multicast by the coordinator: the new view.
+    ResetResult {
+        instance: u64,
+        old_incarnation: Incarnation,
+        round: u64,
+        coord: MemberId,
+        new_incarnation: Incarnation,
+        view: View,
+        cutoff: SeqNo,
+        /// Host holding everything up to `cutoff` (the new sequencer).
+        source: HostAddr,
+    },
+    /// Unicast to a stale member: "you are no longer part of this group".
+    ExpelNotice {
+        instance: u64,
+        current_incarnation: Incarnation,
+    },
+}
+
+fn write_member(w: &mut WireWriter, m: &MemberInfo) {
+    w.u32(m.id.0).u32(m.host.0).u64(m.tag);
+}
+
+fn read_member(r: &mut WireReader<'_>) -> Result<MemberInfo, DecodeError> {
+    Ok(MemberInfo {
+        id: MemberId(r.u32("member id")?),
+        host: HostAddr(r.u32("member host")?),
+        tag: r.u64("member tag")?,
+    })
+}
+
+fn write_view(w: &mut WireWriter, v: &View) {
+    w.u32(v.members.len() as u32);
+    for m in &v.members {
+        write_member(w, m);
+    }
+}
+
+fn read_view(r: &mut WireReader<'_>) -> Result<View, DecodeError> {
+    let n = r.u32("view len")?;
+    if n > 4096 {
+        return Err(DecodeError::new("view len"));
+    }
+    let mut v = View::default();
+    for _ in 0..n {
+        v.insert(read_member(r)?);
+    }
+    Ok(v)
+}
+
+const T_JOIN_LOCATE: u8 = 1;
+const T_JOIN_REPLY: u8 = 2;
+const T_JOIN_REQUEST: u8 = 3;
+const T_JOIN_ACK: u8 = 4;
+const T_SEND_REQ: u8 = 5;
+const T_BB_DATA: u8 = 6;
+const T_ACCEPT: u8 = 7;
+const T_ACK: u8 = 8;
+const T_DONE: u8 = 9;
+const T_RETRANS: u8 = 10;
+const T_HEARTBEAT: u8 = 11;
+const T_HEARTBEAT_ACK: u8 = 12;
+const T_LEAVE_REQUEST: u8 = 13;
+const T_FAIL_NOTICE: u8 = 14;
+const T_RESET_INVITE: u8 = 15;
+const T_RESET_VOTE: u8 = 16;
+const T_RESET_RESULT: u8 = 17;
+const T_EXPEL_NOTICE: u8 = 18;
+
+const B_DATA: u8 = 0;
+const B_BBREF: u8 = 1;
+const B_JOIN: u8 = 2;
+const B_LEAVE: u8 = 3;
+
+impl GroupMsg {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            GroupMsg::JoinLocate {
+                port,
+                joiner,
+                join_id,
+            } => {
+                w.u8(T_JOIN_LOCATE)
+                    .u64(port.as_raw())
+                    .u32(joiner.0)
+                    .u64(*join_id);
+            }
+            GroupMsg::JoinReply {
+                port,
+                instance,
+                members,
+                sequencer,
+                incarnation,
+                join_id,
+            } => {
+                w.u8(T_JOIN_REPLY)
+                    .u64(port.as_raw())
+                    .u64(*instance)
+                    .u32(*members)
+                    .u32(sequencer.0)
+                    .u64(*incarnation)
+                    .u64(*join_id);
+            }
+            GroupMsg::JoinRequest {
+                instance,
+                joiner,
+                tag,
+                join_id,
+            } => {
+                w.u8(T_JOIN_REQUEST)
+                    .u64(*instance)
+                    .u32(joiner.0)
+                    .u64(*tag)
+                    .u64(*join_id);
+            }
+            GroupMsg::JoinAck {
+                instance,
+                join_id,
+                member_id,
+                incarnation,
+                view,
+                start_seq,
+            } => {
+                w.u8(T_JOIN_ACK)
+                    .u64(*instance)
+                    .u64(*join_id)
+                    .u32(member_id.0)
+                    .u64(*incarnation);
+                write_view(&mut w, view);
+                w.u64(*start_seq);
+            }
+            GroupMsg::SendReq {
+                instance,
+                incarnation,
+                from,
+                msgid,
+                data,
+            } => {
+                w.u8(T_SEND_REQ)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u32(from.0)
+                    .u64(*msgid)
+                    .bytes(data);
+            }
+            GroupMsg::BbData {
+                instance,
+                incarnation,
+                from,
+                msgid,
+                data,
+            } => {
+                w.u8(T_BB_DATA)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u32(from.0)
+                    .u64(*msgid)
+                    .bytes(data);
+            }
+            GroupMsg::Accept {
+                instance,
+                incarnation,
+                seq,
+                from,
+                from_tag,
+                msgid,
+                body,
+            } => {
+                w.u8(T_ACCEPT)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u64(*seq)
+                    .u32(from.0)
+                    .u64(*from_tag)
+                    .u64(*msgid);
+                match body {
+                    AcceptBody::Data(d) => {
+                        w.u8(B_DATA).bytes(d);
+                    }
+                    AcceptBody::BbRef => {
+                        w.u8(B_BBREF);
+                    }
+                    AcceptBody::Join(m) => {
+                        w.u8(B_JOIN);
+                        write_member(&mut w, m);
+                    }
+                    AcceptBody::Leave(id) => {
+                        w.u8(B_LEAVE).u32(id.0);
+                    }
+                }
+            }
+            GroupMsg::Ack {
+                instance,
+                incarnation,
+                seq,
+                member,
+            } => {
+                w.u8(T_ACK)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u64(*seq)
+                    .u32(member.0);
+            }
+            GroupMsg::Done {
+                instance,
+                msgid,
+                seq,
+            } => {
+                w.u8(T_DONE).u64(*instance).u64(*msgid).u64(*seq);
+            }
+            GroupMsg::Retrans {
+                instance,
+                from_seq,
+                to_seq,
+                requester,
+            } => {
+                w.u8(T_RETRANS)
+                    .u64(*instance)
+                    .u64(*from_seq)
+                    .u64(*to_seq)
+                    .u32(requester.0);
+            }
+            GroupMsg::Heartbeat {
+                instance,
+                incarnation,
+                next_seq,
+                sequencer,
+            } => {
+                w.u8(T_HEARTBEAT)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u64(*next_seq)
+                    .u32(sequencer.0);
+            }
+            GroupMsg::HeartbeatAck {
+                instance,
+                incarnation,
+                member,
+            } => {
+                w.u8(T_HEARTBEAT_ACK)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u32(member.0);
+            }
+            GroupMsg::LeaveRequest {
+                instance,
+                incarnation,
+                member,
+            } => {
+                w.u8(T_LEAVE_REQUEST)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u32(member.0);
+            }
+            GroupMsg::FailNotice {
+                instance,
+                incarnation,
+                suspect,
+            } => {
+                w.u8(T_FAIL_NOTICE)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u32(suspect.0);
+            }
+            GroupMsg::ResetInvite {
+                instance,
+                old_incarnation,
+                coord,
+                coord_host,
+                round,
+            } => {
+                w.u8(T_RESET_INVITE)
+                    .u64(*instance)
+                    .u64(*old_incarnation)
+                    .u32(coord.0)
+                    .u32(coord_host.0)
+                    .u64(*round);
+            }
+            GroupMsg::ResetVote {
+                instance,
+                old_incarnation,
+                round,
+                coord,
+                voter,
+                highest,
+            } => {
+                w.u8(T_RESET_VOTE)
+                    .u64(*instance)
+                    .u64(*old_incarnation)
+                    .u64(*round)
+                    .u32(coord.0);
+                write_member(&mut w, voter);
+                w.u64(*highest);
+            }
+            GroupMsg::ResetResult {
+                instance,
+                old_incarnation,
+                round,
+                coord,
+                new_incarnation,
+                view,
+                cutoff,
+                source,
+            } => {
+                w.u8(T_RESET_RESULT)
+                    .u64(*instance)
+                    .u64(*old_incarnation)
+                    .u64(*round)
+                    .u32(coord.0)
+                    .u64(*new_incarnation);
+                write_view(&mut w, view);
+                w.u64(*cutoff).u32(source.0);
+            }
+            GroupMsg::ExpelNotice {
+                instance,
+                current_incarnation,
+            } => {
+                w.u8(T_EXPEL_NOTICE).u64(*instance).u64(*current_incarnation);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, unknown tags, or trailing
+    /// garbage.
+    pub fn decode(buf: &[u8]) -> Result<GroupMsg, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let msg = match r.u8("group tag")? {
+            T_JOIN_LOCATE => GroupMsg::JoinLocate {
+                port: Port::from_raw(r.u64("port")?),
+                joiner: HostAddr(r.u32("joiner")?),
+                join_id: r.u64("join id")?,
+            },
+            T_JOIN_REPLY => GroupMsg::JoinReply {
+                port: Port::from_raw(r.u64("port")?),
+                instance: r.u64("instance")?,
+                members: r.u32("members")?,
+                sequencer: HostAddr(r.u32("sequencer")?),
+                incarnation: r.u64("incarnation")?,
+                join_id: r.u64("join id")?,
+            },
+            T_JOIN_REQUEST => GroupMsg::JoinRequest {
+                instance: r.u64("instance")?,
+                joiner: HostAddr(r.u32("joiner")?),
+                tag: r.u64("tag")?,
+                join_id: r.u64("join id")?,
+            },
+            T_JOIN_ACK => GroupMsg::JoinAck {
+                instance: r.u64("instance")?,
+                join_id: r.u64("join id")?,
+                member_id: MemberId(r.u32("member id")?),
+                incarnation: r.u64("incarnation")?,
+                view: read_view(&mut r)?,
+                start_seq: r.u64("start seq")?,
+            },
+            T_SEND_REQ => GroupMsg::SendReq {
+                instance: r.u64("instance")?,
+                incarnation: r.u64("incarnation")?,
+                from: MemberId(r.u32("from")?),
+                msgid: r.u64("msgid")?,
+                data: r.bytes("data")?,
+            },
+            T_BB_DATA => GroupMsg::BbData {
+                instance: r.u64("instance")?,
+                incarnation: r.u64("incarnation")?,
+                from: MemberId(r.u32("from")?),
+                msgid: r.u64("msgid")?,
+                data: r.bytes("data")?,
+            },
+            T_ACCEPT => {
+                let instance = r.u64("instance")?;
+                let incarnation = r.u64("incarnation")?;
+                let seq = r.u64("seq")?;
+                let from = MemberId(r.u32("from")?);
+                let from_tag = r.u64("from tag")?;
+                let msgid = r.u64("msgid")?;
+                let body = match r.u8("body tag")? {
+                    B_DATA => AcceptBody::Data(r.bytes("body data")?),
+                    B_BBREF => AcceptBody::BbRef,
+                    B_JOIN => AcceptBody::Join(read_member(&mut r)?),
+                    B_LEAVE => AcceptBody::Leave(MemberId(r.u32("leave id")?)),
+                    _ => return Err(DecodeError::new("body tag")),
+                };
+                GroupMsg::Accept {
+                    instance,
+                    incarnation,
+                    seq,
+                    from,
+                    from_tag,
+                    msgid,
+                    body,
+                }
+            }
+            T_ACK => GroupMsg::Ack {
+                instance: r.u64("instance")?,
+                incarnation: r.u64("incarnation")?,
+                seq: r.u64("seq")?,
+                member: MemberId(r.u32("member")?),
+            },
+            T_DONE => GroupMsg::Done {
+                instance: r.u64("instance")?,
+                msgid: r.u64("msgid")?,
+                seq: r.u64("seq")?,
+            },
+            T_RETRANS => GroupMsg::Retrans {
+                instance: r.u64("instance")?,
+                from_seq: r.u64("from seq")?,
+                to_seq: r.u64("to seq")?,
+                requester: HostAddr(r.u32("requester")?),
+            },
+            T_HEARTBEAT => GroupMsg::Heartbeat {
+                instance: r.u64("instance")?,
+                incarnation: r.u64("incarnation")?,
+                next_seq: r.u64("next seq")?,
+                sequencer: MemberId(r.u32("sequencer")?),
+            },
+            T_HEARTBEAT_ACK => GroupMsg::HeartbeatAck {
+                instance: r.u64("instance")?,
+                incarnation: r.u64("incarnation")?,
+                member: MemberId(r.u32("member")?),
+            },
+            T_LEAVE_REQUEST => GroupMsg::LeaveRequest {
+                instance: r.u64("instance")?,
+                incarnation: r.u64("incarnation")?,
+                member: MemberId(r.u32("member")?),
+            },
+            T_FAIL_NOTICE => GroupMsg::FailNotice {
+                instance: r.u64("instance")?,
+                incarnation: r.u64("incarnation")?,
+                suspect: MemberId(r.u32("suspect")?),
+            },
+            T_RESET_INVITE => GroupMsg::ResetInvite {
+                instance: r.u64("instance")?,
+                old_incarnation: r.u64("old incarnation")?,
+                coord: MemberId(r.u32("coord")?),
+                coord_host: HostAddr(r.u32("coord host")?),
+                round: r.u64("round")?,
+            },
+            T_RESET_VOTE => GroupMsg::ResetVote {
+                instance: r.u64("instance")?,
+                old_incarnation: r.u64("old incarnation")?,
+                round: r.u64("round")?,
+                coord: MemberId(r.u32("coord")?),
+                voter: read_member(&mut r)?,
+                highest: r.u64("highest")?,
+            },
+            T_RESET_RESULT => GroupMsg::ResetResult {
+                instance: r.u64("instance")?,
+                old_incarnation: r.u64("old incarnation")?,
+                round: r.u64("round")?,
+                coord: MemberId(r.u32("coord")?),
+                new_incarnation: r.u64("new incarnation")?,
+                view: read_view(&mut r)?,
+                cutoff: r.u64("cutoff")?,
+                source: HostAddr(r.u32("source")?),
+            },
+            T_EXPEL_NOTICE => GroupMsg::ExpelNotice {
+                instance: r.u64("instance")?,
+                current_incarnation: r.u64("current incarnation")?,
+            },
+            _ => return Err(DecodeError::new("group tag")),
+        };
+        r.expect_end("group trailing")?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mi(id: u32) -> MemberInfo {
+        MemberInfo {
+            id: MemberId(id),
+            host: HostAddr(id * 10),
+            tag: u64::from(id) + 100,
+        }
+    }
+
+    fn sample_view() -> View {
+        let mut v = View::default();
+        v.insert(mi(0));
+        v.insert(mi(1));
+        v.insert(mi(2));
+        v
+    }
+
+    fn round_trip(m: GroupMsg) {
+        let bytes = m.encode();
+        assert_eq!(GroupMsg::decode(&bytes).unwrap(), m, "round trip failed");
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(GroupMsg::JoinLocate {
+            port: Port::from_name("dir"),
+            joiner: HostAddr(1),
+            join_id: 7,
+        });
+        round_trip(GroupMsg::JoinReply {
+            port: Port::from_name("dir"),
+            instance: 9,
+            members: 3,
+            sequencer: HostAddr(0),
+            incarnation: 2,
+            join_id: 7,
+        });
+        round_trip(GroupMsg::JoinRequest {
+            instance: 9,
+            joiner: HostAddr(1),
+            tag: 5,
+            join_id: 7,
+        });
+        round_trip(GroupMsg::JoinAck {
+            instance: 9,
+            join_id: 7,
+            member_id: MemberId(3),
+            incarnation: 2,
+            view: sample_view(),
+            start_seq: 42,
+        });
+        round_trip(GroupMsg::SendReq {
+            instance: 9,
+            incarnation: 2,
+            from: MemberId(1),
+            msgid: 88,
+            data: vec![1, 2, 3],
+        });
+        round_trip(GroupMsg::BbData {
+            instance: 9,
+            incarnation: 2,
+            from: MemberId(1),
+            msgid: 88,
+            data: vec![0; 5000],
+        });
+        for body in [
+            AcceptBody::Data(vec![9, 9]),
+            AcceptBody::BbRef,
+            AcceptBody::Join(mi(4)),
+            AcceptBody::Leave(MemberId(2)),
+        ] {
+            round_trip(GroupMsg::Accept {
+                instance: 9,
+                incarnation: 2,
+                seq: 10,
+                from: MemberId(1),
+                from_tag: 101,
+                msgid: 88,
+                body,
+            });
+        }
+        round_trip(GroupMsg::Ack {
+            instance: 9,
+            incarnation: 2,
+            seq: 10,
+            member: MemberId(2),
+        });
+        round_trip(GroupMsg::Done {
+            instance: 9,
+            msgid: 88,
+            seq: 10,
+        });
+        round_trip(GroupMsg::Retrans {
+            instance: 9,
+            from_seq: 5,
+            to_seq: 9,
+            requester: HostAddr(1),
+        });
+        round_trip(GroupMsg::Heartbeat {
+            instance: 9,
+            incarnation: 2,
+            next_seq: 11,
+            sequencer: MemberId(0),
+        });
+        round_trip(GroupMsg::HeartbeatAck {
+            instance: 9,
+            incarnation: 2,
+            member: MemberId(1),
+        });
+        round_trip(GroupMsg::LeaveRequest {
+            instance: 9,
+            incarnation: 2,
+            member: MemberId(1),
+        });
+        round_trip(GroupMsg::FailNotice {
+            instance: 9,
+            incarnation: 2,
+            suspect: MemberId(0),
+        });
+        round_trip(GroupMsg::ResetInvite {
+            instance: 9,
+            old_incarnation: 2,
+            coord: MemberId(1),
+            coord_host: HostAddr(10),
+            round: 3,
+        });
+        round_trip(GroupMsg::ResetVote {
+            instance: 9,
+            old_incarnation: 2,
+            round: 3,
+            coord: MemberId(1),
+            voter: mi(2),
+            highest: 40,
+        });
+        round_trip(GroupMsg::ResetResult {
+            instance: 9,
+            old_incarnation: 2,
+            round: 3,
+            coord: MemberId(1),
+            new_incarnation: 3,
+            view: sample_view(),
+            cutoff: 41,
+            source: HostAddr(20),
+        });
+        round_trip(GroupMsg::ExpelNotice {
+            instance: 9,
+            current_incarnation: 4,
+        });
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        assert!(GroupMsg::decode(&[200]).is_err());
+    }
+
+    #[test]
+    fn oversized_view_rejected() {
+        let mut w = WireWriter::new();
+        w.u8(T_JOIN_ACK).u64(1).u64(1).u32(1).u64(1).u32(1_000_000);
+        assert!(GroupMsg::decode(&w.finish()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_accept_data_round_trip(instance: u64, incarnation: u64, seq: u64,
+                                       from: u32, tag: u64, msgid: u64,
+                                       data in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let m = GroupMsg::Accept {
+                instance, incarnation, seq,
+                from: MemberId(from),
+                from_tag: tag,
+                msgid,
+                body: AcceptBody::Data(data),
+            };
+            prop_assert_eq!(GroupMsg::decode(&m.encode()).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = GroupMsg::decode(&data);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The per-machine group-communication kernel: packet dispatch, timers,
+//! and the app-facing primitive implementations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amoeba_flip::{Dest, GroupAddr, HostAddr, NodeStack, Packet, Port};
+use amoeba_sim::{Ctx, MailboxRx, MailboxTx, NodeId, SimHandle, Spawn};
+use parking_lot::Mutex;
+
+use crate::config::GroupConfig;
+use crate::error::GroupError;
+use crate::instance::{Action, GroupStats, Instance};
+use crate::msg::GroupMsg;
+use crate::types::{GroupEvent, GroupInfo, SeqNo};
+
+/// The well-known FLIP port for all group-communication traffic.
+pub const GROUP_PORT: Port = Port::from_raw(0x0047_5250); // "GRP"
+
+type AppItem = Result<GroupEvent, GroupError>;
+
+pub(crate) struct InstanceSlot {
+    pub inst: Instance,
+    pub app_tx: MailboxTx<AppItem>,
+    pub send_waiters: HashMap<u64, MailboxTx<Result<SeqNo, GroupError>>>,
+    pub reset_waiter: Option<MailboxTx<Result<(), GroupError>>>,
+    pub leave_waiter: Option<MailboxTx<()>>,
+}
+
+pub(crate) struct PeerInner {
+    pub instances: HashMap<u64, InstanceSlot>,
+    pub join_reply_waiters: HashMap<u64, MailboxTx<GroupMsg>>,
+    pub join_ack_waiters: HashMap<u64, MailboxTx<GroupMsg>>,
+    pub next_local_id: u64,
+}
+
+/// One machine's group-communication kernel.
+///
+/// Start with [`GroupPeer::start`]; then use
+/// [`create`](GroupPeer::create) / [`join`](GroupPeer::join) to obtain
+/// [`Group`](crate::Group) handles. Cloning is cheap. All protocol state
+/// dies with the machine (spawn a fresh peer after a reboot).
+#[derive(Clone)]
+pub struct GroupPeer {
+    pub(crate) stack: NodeStack,
+    pub(crate) handle: SimHandle,
+    pub(crate) cfg: GroupConfig,
+    pub(crate) inner: Arc<Mutex<PeerInner>>,
+}
+
+impl std::fmt::Debug for GroupPeer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GroupPeer({})", self.stack.addr())
+    }
+}
+
+impl GroupPeer {
+    /// Binds the group port and starts the dispatcher and ticker processes
+    /// on `sim_node` (they die when the machine crashes).
+    pub fn start(
+        spawner: &impl Spawn,
+        sim_node: NodeId,
+        stack: NodeStack,
+        cfg: GroupConfig,
+    ) -> GroupPeer {
+        let handle = spawner.sim_handle();
+        let rx = stack.bind(GROUP_PORT);
+        let peer = GroupPeer {
+            stack,
+            handle,
+            cfg,
+            inner: Arc::new(Mutex::new(PeerInner {
+                instances: HashMap::new(),
+                join_reply_waiters: HashMap::new(),
+                join_ack_waiters: HashMap::new(),
+                next_local_id: 1,
+            })),
+        };
+        let dispatcher = peer.clone();
+        spawner.spawn_boxed(
+            Some(sim_node),
+            &format!("grp-dispatch@{}", peer.stack.addr()),
+            Box::new(move |ctx| dispatcher.dispatch_loop(ctx, rx)),
+        );
+        let ticker = peer.clone();
+        spawner.spawn_boxed(
+            Some(sim_node),
+            &format!("grp-tick@{}", peer.stack.addr()),
+            Box::new(move |ctx| ticker.tick_loop(ctx)),
+        );
+        peer
+    }
+
+    /// This machine's host address.
+    pub fn addr(&self) -> HostAddr {
+        self.stack.addr()
+    }
+
+    /// Protocol statistics for the instance backing `group`.
+    pub fn stats_of(&self, instance: u64) -> Option<GroupStats> {
+        self.inner
+            .lock()
+            .instances
+            .get(&instance)
+            .map(|s| s.inst.stats)
+    }
+
+    fn dispatch_loop(&self, ctx: &Ctx, rx: MailboxRx<Packet>) {
+        loop {
+            let pkt = rx.recv(ctx);
+            let msg = match GroupMsg::decode(&pkt.payload) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            self.handle_msg(ctx, pkt.src, msg);
+        }
+    }
+
+    fn handle_msg(&self, ctx: &Ctx, src: HostAddr, msg: GroupMsg) {
+        match &msg {
+            GroupMsg::JoinLocate {
+                port,
+                joiner,
+                join_id,
+            } => {
+                if *joiner == self.stack.addr() {
+                    return; // our own broadcast
+                }
+                let replies: Vec<(u64, Action)> = {
+                    let inner = self.inner.lock();
+                    inner
+                        .instances
+                        .values()
+                        .filter(|s| s.inst.port == *port)
+                        .filter_map(|s| s.inst.join_reply(*joiner, *join_id).map(|a| (s.inst.id, a)))
+                        .collect()
+                };
+                for (id, action) in replies {
+                    self.execute(ctx, id, action);
+                }
+            }
+            GroupMsg::JoinReply { join_id, .. } => {
+                let waiter = self.inner.lock().join_reply_waiters.remove(join_id);
+                if let Some(w) = waiter {
+                    w.send(msg);
+                }
+            }
+            GroupMsg::JoinAck { join_id, .. } => {
+                let waiter = self.inner.lock().join_ack_waiters.remove(join_id);
+                if let Some(w) = waiter {
+                    w.send(msg);
+                }
+            }
+            other => {
+                let instance = match instance_of(other) {
+                    Some(i) => i,
+                    None => return,
+                };
+                let now = self.handle.now();
+                let actions = {
+                    let mut inner = self.inner.lock();
+                    match inner.instances.get_mut(&instance) {
+                        Some(slot) => slot.inst.handle(now, src, other.clone()),
+                        None => Vec::new(),
+                    }
+                };
+                for a in actions {
+                    self.execute(ctx, instance, a);
+                }
+            }
+        }
+    }
+
+    fn tick_loop(&self, ctx: &Ctx) {
+        let interval = self.cfg.tick_interval;
+        loop {
+            ctx.sleep(interval);
+            let now = self.handle.now();
+            let work: Vec<(u64, Vec<Action>)> = {
+                let mut inner = self.inner.lock();
+                inner
+                    .instances
+                    .iter_mut()
+                    .map(|(id, slot)| (*id, slot.inst.tick(now)))
+                    .collect()
+            };
+            for (id, actions) in work {
+                for a in actions {
+                    self.execute(ctx, id, a);
+                }
+            }
+        }
+    }
+
+    /// Executes one engine action. Must NOT be called with `inner` locked.
+    pub(crate) fn execute(&self, _ctx: &Ctx, instance: u64, action: Action) {
+        match action {
+            Action::Unicast(host, msg) => {
+                self.stack.send(Dest::Unicast(host), GROUP_PORT, msg.encode());
+            }
+            Action::Multicast(msg) => {
+                self.stack
+                    .send(Dest::Multicast(GroupAddr(instance)), GROUP_PORT, msg.encode());
+            }
+            Action::Deliver(event) => {
+                let tx = self
+                    .inner
+                    .lock()
+                    .instances
+                    .get(&instance)
+                    .map(|s| s.app_tx.clone());
+                if let Some(tx) = tx {
+                    tx.send(Ok(event));
+                }
+            }
+            Action::NotifyFailure => {
+                let tx = self
+                    .inner
+                    .lock()
+                    .instances
+                    .get(&instance)
+                    .map(|s| s.app_tx.clone());
+                if let Some(tx) = tx {
+                    tx.send(Err(GroupError::Failed));
+                }
+            }
+            Action::CompleteSend(msgid, result) => {
+                let w = self
+                    .inner
+                    .lock()
+                    .instances
+                    .get_mut(&instance)
+                    .and_then(|s| s.send_waiters.remove(&msgid));
+                if let Some(w) = w {
+                    w.send(result);
+                }
+            }
+            Action::CompleteReset(result) => {
+                let w = self
+                    .inner
+                    .lock()
+                    .instances
+                    .get_mut(&instance)
+                    .and_then(|s| s.reset_waiter.take());
+                if let Some(w) = w {
+                    w.send(result);
+                }
+            }
+            Action::CompleteLeave => {
+                let w = self
+                    .inner
+                    .lock()
+                    .instances
+                    .get_mut(&instance)
+                    .and_then(|s| s.leave_waiter.take());
+                if let Some(w) = w {
+                    w.send(());
+                }
+            }
+            Action::Dissolve => {
+                let slot = self.inner.lock().instances.remove(&instance);
+                if let Some(mut slot) = slot {
+                    self.stack.leave_group(GroupAddr(instance));
+                    // Fail anything still blocked on this instance.
+                    for a in slot.inst.fail_pending() {
+                        if let Action::CompleteSend(msgid, result) = a {
+                            if let Some(w) = slot.send_waiters.remove(&msgid) {
+                                w.send(result);
+                            }
+                        }
+                    }
+                    slot.app_tx.send(Err(GroupError::Dead));
+                    if let Some(w) = slot.reset_waiter.take() {
+                        w.send(Err(GroupError::Dead));
+                    }
+                    if let Some(w) = slot.leave_waiter.take() {
+                        w.send(());
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn with_slot<T>(
+        &self,
+        instance: u64,
+        f: impl FnOnce(&mut InstanceSlot) -> T,
+    ) -> Option<T> {
+        self.inner.lock().instances.get_mut(&instance).map(f)
+    }
+
+    pub(crate) fn info_of(&self, instance: u64) -> Option<GroupInfo> {
+        self.inner
+            .lock()
+            .instances
+            .get(&instance)
+            .map(|s| s.inst.info())
+    }
+
+    /// Runs engine actions produced while holding the lock, after release.
+    pub(crate) fn run_actions(&self, ctx: &Ctx, instance: u64, actions: Vec<Action>) {
+        for a in actions {
+            self.execute(ctx, instance, a);
+        }
+    }
+}
+
+/// Extracts the instance id from any instance-scoped message.
+fn instance_of(msg: &GroupMsg) -> Option<u64> {
+    match msg {
+        GroupMsg::JoinLocate { .. } | GroupMsg::JoinReply { .. } | GroupMsg::JoinAck { .. } => None,
+        GroupMsg::JoinRequest { instance, .. }
+        | GroupMsg::SendReq { instance, .. }
+        | GroupMsg::BbData { instance, .. }
+        | GroupMsg::Accept { instance, .. }
+        | GroupMsg::Ack { instance, .. }
+        | GroupMsg::Done { instance, .. }
+        | GroupMsg::Retrans { instance, .. }
+        | GroupMsg::Heartbeat { instance, .. }
+        | GroupMsg::HeartbeatAck { instance, .. }
+        | GroupMsg::LeaveRequest { instance, .. }
+        | GroupMsg::FailNotice { instance, .. }
+        | GroupMsg::ResetInvite { instance, .. }
+        | GroupMsg::ResetVote { instance, .. }
+        | GroupMsg::ResetResult { instance, .. }
+        | GroupMsg::ExpelNotice { instance, .. } => Some(*instance),
+    }
+}
+

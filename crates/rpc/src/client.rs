@@ -1,0 +1,138 @@
+//! The client side of Amoeba RPC: `trans`.
+
+use std::time::Duration;
+
+use amoeba_flip::{Dest, HostAddr, Port};
+use amoeba_sim::Ctx;
+
+use crate::error::RpcError;
+use crate::msg::RpcMsg;
+use crate::node::{CallEvent, RpcNode, RPC_PORT};
+
+/// Tunables for the client transaction logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcParams {
+    /// How long to wait for a HEREIS after broadcasting a locate.
+    pub locate_timeout: Duration,
+    /// How long to wait for a reply before suspecting a server crash.
+    pub reply_timeout: Duration,
+    /// Attempts (locates + sends) before giving up.
+    pub max_attempts: u32,
+    /// Upper bound of the random dither before a re-locate, which keeps
+    /// competing clients from thundering in lockstep.
+    pub relocate_jitter: Duration,
+}
+
+impl Default for RpcParams {
+    fn default() -> Self {
+        RpcParams {
+            locate_timeout: Duration::from_millis(60),
+            reply_timeout: Duration::from_millis(500),
+            max_attempts: 200,
+            relocate_jitter: Duration::from_millis(3),
+        }
+    }
+}
+
+/// An RPC client bound to one machine's kernel.
+///
+/// `trans` implements the paper's behaviour: consult the kernel port cache,
+/// otherwise broadcast-locate and take the first HEREIS; on NOTHERE evict
+/// the server from the cache and try another (or re-locate); on silence
+/// evict and retry.
+#[derive(Debug, Clone)]
+pub struct RpcClient {
+    node: RpcNode,
+    params: RpcParams,
+}
+
+impl RpcClient {
+    /// Creates a client on `node` with default parameters.
+    pub fn new(node: &RpcNode) -> Self {
+        Self::with_params(node, RpcParams::default())
+    }
+
+    /// Creates a client with explicit parameters.
+    pub fn with_params(node: &RpcNode, params: RpcParams) -> Self {
+        RpcClient {
+            node: node.clone(),
+            params,
+        }
+    }
+
+    /// The host this client runs on.
+    pub fn addr(&self) -> HostAddr {
+        self.node.addr()
+    }
+
+    /// Performs one request/reply transaction with any server of `service`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Unreachable`] if no server answered within
+    /// `max_attempts` tries.
+    pub fn trans(&self, ctx: &Ctx, service: Port, request: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > self.params.max_attempts {
+                return Err(RpcError::Unreachable { service, attempts });
+            }
+            let server = match self.node.cache_first(service) {
+                Some(s) => s,
+                None => match self.locate(ctx, service) {
+                    Some(s) => s,
+                    None => continue, // locate timed out; try again
+                },
+            };
+            let (tid, rx) = self.node.register_call();
+            self.node.stack().send(
+                Dest::Unicast(server),
+                RPC_PORT,
+                RpcMsg::Request {
+                    service,
+                    client: self.node.addr(),
+                    tid,
+                    data: request.clone(),
+                }
+                .encode(),
+            );
+            match rx.recv_timeout(ctx, self.params.reply_timeout) {
+                Some(CallEvent::Reply(data)) => return Ok(data),
+                Some(CallEvent::NotHere) => {
+                    // Kernel said nobody is listening there right now.
+                    self.node.cache_remove(service, server);
+                }
+                None => {
+                    // Silence: the server host probably crashed.
+                    self.node.unregister_call(tid);
+                    self.node.cache_remove(service, server);
+                }
+            }
+        }
+    }
+
+    /// Broadcasts a locate and waits for the first HEREIS.
+    fn locate(&self, ctx: &Ctx, service: Port) -> Option<HostAddr> {
+        // Dither to avoid lockstep among competing clients.
+        let jitter_nanos = self.params.relocate_jitter.as_nanos() as u64;
+        if jitter_nanos > 0 {
+            let d = ctx.with_rng(|r| r.next_below(jitter_nanos));
+            ctx.sleep(Duration::from_nanos(d));
+        }
+        let (lid, rx) = self.node.register_locate();
+        self.node.stack().send(
+            Dest::Broadcast,
+            RPC_PORT,
+            RpcMsg::Locate {
+                service,
+                client: self.node.addr(),
+                locate_id: lid,
+            }
+            .encode(),
+        );
+        let r = rx.recv_timeout(ctx, self.params.locate_timeout);
+        self.node.unregister_locate(lid);
+        r
+    }
+}

@@ -1,0 +1,44 @@
+//! RPC error types.
+
+use std::fmt;
+
+use amoeba_flip::Port;
+
+/// Errors surfaced by [`trans`](crate::RpcClient::trans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// No server for the service could be reached.
+    Unreachable {
+        /// The service that could not be reached.
+        service: Port,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Unreachable { service, attempts } => {
+                write!(f, "no server reachable for {service} after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_service() {
+        let e = RpcError::Unreachable {
+            service: Port::from_raw(0xab),
+            attempts: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("after 3 attempts"), "{s}");
+    }
+}

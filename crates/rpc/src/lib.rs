@@ -1,0 +1,34 @@
+//! # amoeba-rpc — Amoeba-style remote procedure call over simulated FLIP
+//!
+//! Reproduces the RPC machinery the ICDCS '93 paper's baseline directory
+//! service (and its clients) are built on:
+//!
+//! * **`trans`** ([`RpcClient::trans`]): one request/reply transaction with
+//!   *some* server of a service port.
+//! * **`getreq`/`putrep`** ([`RpcServer`]): the server-thread loop.
+//! * **Locate protocol**: the client kernel broadcasts a locate; every
+//!   machine with a thread listening on the port answers HEREIS; the client
+//!   caches every answer and uses the *first* replier.
+//! * **NOTHERE**: a machine whose service has no listening thread refuses
+//!   requests at kernel level; the client evicts it from the port cache and
+//!   picks another server — the (deliberately imperfect) load-spreading
+//!   heuristic whose effect the paper measures in Fig. 8.
+//!
+//! A per-machine [`RpcNode`] plays the role of the Amoeba kernel's RPC
+//! layer and dies with the machine, losing the port cache and call state,
+//! exactly like the real thing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod error;
+mod msg;
+mod node;
+mod server;
+
+pub use client::{RpcClient, RpcParams};
+pub use error::RpcError;
+pub use msg::RpcMsg;
+pub use node::{IncomingRequest, RpcNode, RPC_PORT};
+pub use server::RpcServer;

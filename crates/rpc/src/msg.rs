@@ -1,0 +1,220 @@
+//! RPC wire messages and their codec.
+
+use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_flip::{HostAddr, Port};
+
+/// Everything that travels on the per-host RPC port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcMsg {
+    /// Broadcast by a client kernel: "who serves `service`?"
+    Locate {
+        /// The service port being located.
+        service: Port,
+        /// Who is asking (replies go here).
+        client: HostAddr,
+        /// Correlates HEREIS replies with the locate.
+        locate_id: u64,
+    },
+    /// Unicast answer to a locate: "I am listening on `service`".
+    HereIs {
+        /// The located service port.
+        service: Port,
+        /// The answering server host.
+        server: HostAddr,
+        /// Echoed locate id.
+        locate_id: u64,
+    },
+    /// A client request for one transaction.
+    Request {
+        /// Target service port.
+        service: Port,
+        /// Requesting host (the reply destination).
+        client: HostAddr,
+        /// Transaction id, unique per client host.
+        tid: u64,
+        /// Marshalled request bytes.
+        data: Vec<u8>,
+    },
+    /// The server's answer to a request.
+    Reply {
+        /// Echoed transaction id.
+        tid: u64,
+        /// Marshalled reply bytes.
+        data: Vec<u8>,
+    },
+    /// Kernel-level refusal: no thread is listening on the port right now.
+    NotHere {
+        /// Echoed transaction id.
+        tid: u64,
+        /// The service that was not listening.
+        service: Port,
+    },
+}
+
+const TAG_LOCATE: u8 = 1;
+const TAG_HEREIS: u8 = 2;
+const TAG_REQUEST: u8 = 3;
+const TAG_REPLY: u8 = 4;
+const TAG_NOTHERE: u8 = 5;
+
+impl RpcMsg {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            RpcMsg::Locate {
+                service,
+                client,
+                locate_id,
+            } => {
+                w.u8(TAG_LOCATE)
+                    .u64(service.as_raw())
+                    .u32(client.0)
+                    .u64(*locate_id);
+            }
+            RpcMsg::HereIs {
+                service,
+                server,
+                locate_id,
+            } => {
+                w.u8(TAG_HEREIS)
+                    .u64(service.as_raw())
+                    .u32(server.0)
+                    .u64(*locate_id);
+            }
+            RpcMsg::Request {
+                service,
+                client,
+                tid,
+                data,
+            } => {
+                w.u8(TAG_REQUEST)
+                    .u64(service.as_raw())
+                    .u32(client.0)
+                    .u64(*tid)
+                    .bytes(data);
+            }
+            RpcMsg::Reply { tid, data } => {
+                w.u8(TAG_REPLY).u64(*tid).bytes(data);
+            }
+            RpcMsg::NotHere { tid, service } => {
+                w.u8(TAG_NOTHERE).u64(*tid).u64(service.as_raw());
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, unknown tags, or trailing
+    /// garbage.
+    pub fn decode(buf: &[u8]) -> Result<RpcMsg, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let msg = match r.u8("rpc tag")? {
+            TAG_LOCATE => RpcMsg::Locate {
+                service: Port::from_raw(r.u64("locate service")?),
+                client: HostAddr(r.u32("locate client")?),
+                locate_id: r.u64("locate id")?,
+            },
+            TAG_HEREIS => RpcMsg::HereIs {
+                service: Port::from_raw(r.u64("hereis service")?),
+                server: HostAddr(r.u32("hereis server")?),
+                locate_id: r.u64("hereis id")?,
+            },
+            TAG_REQUEST => RpcMsg::Request {
+                service: Port::from_raw(r.u64("req service")?),
+                client: HostAddr(r.u32("req client")?),
+                tid: r.u64("req tid")?,
+                data: r.bytes("req data")?,
+            },
+            TAG_REPLY => RpcMsg::Reply {
+                tid: r.u64("rep tid")?,
+                data: r.bytes("rep data")?,
+            },
+            TAG_NOTHERE => RpcMsg::NotHere {
+                tid: r.u64("nothere tid")?,
+                service: Port::from_raw(r.u64("nothere service")?),
+            },
+            _ => return Err(DecodeError::new("rpc tag")),
+        };
+        r.expect_end("rpc trailing")?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(m: RpcMsg) {
+        let bytes = m.encode();
+        assert_eq!(RpcMsg::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(RpcMsg::Locate {
+            service: Port::from_name("dir"),
+            client: HostAddr(4),
+            locate_id: 77,
+        });
+        round_trip(RpcMsg::HereIs {
+            service: Port::from_name("dir"),
+            server: HostAddr(2),
+            locate_id: 77,
+        });
+        round_trip(RpcMsg::Request {
+            service: Port::from_name("dir"),
+            client: HostAddr(4),
+            tid: 1,
+            data: vec![1, 2, 3],
+        });
+        round_trip(RpcMsg::Reply {
+            tid: 1,
+            data: vec![],
+        });
+        round_trip(RpcMsg::NotHere {
+            tid: 9,
+            service: Port::from_name("dir"),
+        });
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        assert!(RpcMsg::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let mut bytes = RpcMsg::Reply {
+            tid: 1,
+            data: vec![],
+        }
+        .encode();
+        bytes.push(0);
+        assert!(RpcMsg::decode(&bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_request_round_trip(service: u64, client: u32, tid: u64,
+                                   data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let m = RpcMsg::Request {
+                service: Port::from_raw(service),
+                client: HostAddr(client),
+                tid,
+                data,
+            };
+            let bytes = m.encode();
+            prop_assert_eq!(RpcMsg::decode(&bytes).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = RpcMsg::decode(&data);
+        }
+    }
+}

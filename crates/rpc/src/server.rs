@@ -1,0 +1,55 @@
+//! The server side of Amoeba RPC: `getreq` / `putrep`.
+
+use amoeba_flip::{Dest, Port};
+use amoeba_sim::Ctx;
+
+use crate::msg::RpcMsg;
+use crate::node::{IncomingRequest, RpcNode, RPC_PORT};
+
+/// A server's attachment to a service port.
+///
+/// Each server *thread* loops `getreq` → handle → `putrep`, exactly as in
+/// Amoeba. While no thread of a machine is blocked in `getreq`, that
+/// machine's kernel answers requests with NOTHERE and stays silent on
+/// locates — the load-spreading mechanism measured in the paper's Fig. 8.
+#[derive(Debug, Clone)]
+pub struct RpcServer {
+    node: RpcNode,
+    service: Port,
+}
+
+impl RpcServer {
+    /// Registers `service` on the node and returns the server handle.
+    pub fn new(node: &RpcNode, service: Port) -> Self {
+        node.register_service(service);
+        RpcServer {
+            node: node.clone(),
+            service,
+        }
+    }
+
+    /// The service port this server answers on.
+    pub fn service(&self) -> Port {
+        self.service
+    }
+
+    /// Blocks until a request arrives for this service.
+    pub fn getreq(&self, ctx: &Ctx) -> IncomingRequest {
+        let (tx, rx) = ctx.handle().channel();
+        self.node.push_listener(self.service, tx);
+        rx.recv(ctx)
+    }
+
+    /// Sends the reply for a previously received request.
+    pub fn putrep(&self, req: &IncomingRequest, data: Vec<u8>) {
+        self.node.stack().send(
+            Dest::Unicast(req.client),
+            RPC_PORT,
+            RpcMsg::Reply {
+                tid: req.tid,
+                data,
+            }
+            .encode(),
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end RPC behaviour: locate, transactions, NOTHERE spreading,
+//! crash handling.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use amoeba_flip::{NetParams, Network, NodeStack, Port};
+use amoeba_sim::{NodeId, Simulation, Spawn};
+use amoeba_rpc::{RpcClient, RpcNode, RpcServer};
+use parking_lot::Mutex;
+
+struct Host {
+    node: RpcNode,
+    sim_node: NodeId,
+    #[allow(dead_code)]
+    stack: NodeStack,
+}
+
+fn host(sim: &Simulation, net: &Network, name: &str) -> Host {
+    let sim_node = sim.add_node(name);
+    let stack = net.attach();
+    let node = RpcNode::start(sim, sim_node, stack.clone());
+    Host {
+        node,
+        sim_node,
+        stack,
+    }
+}
+
+fn echo_server(sim: &Simulation, h: &Host, service: Port) {
+    let srv = RpcServer::new(&h.node, service);
+    sim.spawn_on(h.sim_node, "echo-server", move |ctx| loop {
+        let req = srv.getreq(ctx);
+        let mut data = req.data.clone();
+        data.reverse();
+        srv.putrep(&req, data);
+    });
+}
+
+#[test]
+fn basic_trans_round_trip() {
+    let mut sim = Simulation::new(1);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 2);
+    let service = Port::from_name("echo");
+    let s = host(&sim, &net, "server");
+    let c = host(&sim, &net, "client");
+    echo_server(&sim, &s, service);
+    let client = RpcClient::new(&c.node);
+    let out = sim.spawn("client", move |ctx| {
+        client.trans(ctx, service, vec![1, 2, 3]).unwrap()
+    });
+    sim.run_for(Duration::from_secs(2));
+    assert_eq!(out.take(), Some(vec![3, 2, 1]));
+}
+
+#[test]
+fn locate_fills_port_cache_with_all_repliers() {
+    let mut sim = Simulation::new(1);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 2);
+    let service = Port::from_name("echo");
+    let servers: Vec<Host> = (0..3).map(|i| host(&sim, &net, &format!("s{i}"))).collect();
+    for s in &servers {
+        echo_server(&sim, s, service);
+    }
+    let c = host(&sim, &net, "client");
+    let client = RpcClient::new(&c.node);
+    let node = c.node.clone();
+    let cached = sim.spawn("client", move |ctx| {
+        client.trans(ctx, service, vec![0]).unwrap();
+        // All three HEREIS replies should have been cached by now (the
+        // first triggered the send; the others arrived concurrently).
+        ctx.sleep(Duration::from_millis(20));
+        node.cached_servers(service).len()
+    });
+    sim.run_for(Duration::from_secs(2));
+    assert_eq!(cached.take(), Some(3));
+}
+
+#[test]
+fn nothere_moves_client_to_free_server() {
+    let mut sim = Simulation::new(7);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 2);
+    let service = Port::from_name("slow");
+    let s1 = host(&sim, &net, "s1");
+    let s2 = host(&sim, &net, "s2");
+    // s1: single thread, very slow (holds the only listener for 300 ms).
+    let srv1 = RpcServer::new(&s1.node, service);
+    let served_by = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+    let log1 = Arc::clone(&served_by);
+    sim.spawn_on(s1.sim_node, "slow-server", move |ctx| loop {
+        let req = srv1.getreq(ctx);
+        ctx.sleep(Duration::from_millis(300));
+        log1.lock().push("s1");
+        srv1.putrep(&req, vec![1]);
+    });
+    // s2: fast server.
+    let srv2 = RpcServer::new(&s2.node, service);
+    let log2 = Arc::clone(&served_by);
+    sim.spawn_on(s2.sim_node, "fast-server", move |ctx| loop {
+        let req = srv2.getreq(ctx);
+        ctx.sleep(Duration::from_millis(1));
+        log2.lock().push("s2");
+        srv2.putrep(&req, vec![2]);
+    });
+    // Two clients: the first occupies s1 (or s2); the second must end up on
+    // the free server rather than queueing.
+    let c1 = host(&sim, &net, "c1");
+    let c2 = host(&sim, &net, "c2");
+    let cl1 = RpcClient::new(&c1.node);
+    let cl2 = RpcClient::new(&c2.node);
+    let o1 = sim.spawn("c1", move |ctx| cl1.trans(ctx, service, vec![0]).unwrap());
+    let o2 = sim.spawn("c2", move |ctx| {
+        ctx.sleep(Duration::from_millis(5)); // let c1 claim a server first
+        cl2.trans(ctx, service, vec![0]).unwrap()
+    });
+    sim.run_for(Duration::from_secs(3));
+    let r1 = o1.take().unwrap();
+    let r2 = o2.take().unwrap();
+    // Both completed, on *different* servers.
+    assert_ne!(r1, r2, "clients should have been spread across servers");
+}
+
+#[test]
+fn trans_fails_cleanly_when_no_server_exists() {
+    let mut sim = Simulation::new(1);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 2);
+    let c = host(&sim, &net, "client");
+    let mut params = amoeba_rpc::RpcParams::default();
+    params.max_attempts = 3;
+    let client = RpcClient::with_params(&c.node, params);
+    let out = sim.spawn("client", move |ctx| {
+        client.trans(ctx, Port::from_name("ghost"), vec![]).is_err()
+    });
+    sim.run_for(Duration::from_secs(5));
+    assert_eq!(out.take(), Some(true));
+}
+
+#[test]
+fn client_fails_over_when_server_crashes() {
+    let mut sim = Simulation::new(3);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 2);
+    let service = Port::from_name("echo");
+    let s1 = host(&sim, &net, "s1");
+    let s2 = host(&sim, &net, "s2");
+    echo_server(&sim, &s1, service);
+    echo_server(&sim, &s2, service);
+    let c = host(&sim, &net, "client");
+    let client = RpcClient::new(&c.node);
+    let out = sim.spawn("client", move |ctx| {
+        let a = client.trans(ctx, service, vec![1]).is_ok();
+        ctx.sleep(Duration::from_millis(500));
+        let b = client.trans(ctx, service, vec![2]).is_ok();
+        (a, b)
+    });
+    // Crash s1 shortly after the first transaction; mark it down in the
+    // network too (machine crash = NIC silent).
+    let crash_at = Duration::from_millis(100);
+    let s1_addr = s1.node.addr();
+    let s1_sim = s1.sim_node;
+    let net2 = net.clone();
+    sim.spawn("chaos", move |ctx| {
+        ctx.sleep(crash_at);
+        net2.set_down(s1_addr);
+        ctx.crash_node(s1_sim);
+    });
+    sim.run_for(Duration::from_secs(10));
+    assert_eq!(out.take(), Some((true, true)));
+}
+
+#[test]
+fn concurrent_clients_all_complete() {
+    let mut sim = Simulation::new(11);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 2);
+    let service = Port::from_name("echo");
+    for i in 0..2 {
+        let s = host(&sim, &net, &format!("s{i}"));
+        // Two threads per server.
+        let srv = RpcServer::new(&s.node, service);
+        for t in 0..2 {
+            let srv = srv.clone();
+            sim.spawn_on(s.sim_node, &format!("srv{i}t{t}"), move |ctx| loop {
+                let req = srv.getreq(ctx);
+                ctx.sleep(Duration::from_millis(2));
+                srv.putrep(&req, req.data.clone());
+            });
+        }
+    }
+    let mut outs = Vec::new();
+    for i in 0..6 {
+        let c = host(&sim, &net, &format!("c{i}"));
+        let client = RpcClient::new(&c.node);
+        outs.push(sim.spawn(&format!("client{i}"), move |ctx| {
+            let mut ok = 0;
+            for k in 0..20u8 {
+                if client.trans(ctx, service, vec![k]) == Ok(vec![k]) {
+                    ok += 1;
+                }
+            }
+            ok
+        }));
+    }
+    sim.run_for(Duration::from_secs(30));
+    for o in outs {
+        assert_eq!(o.take(), Some(20));
+    }
+}

@@ -1,0 +1,251 @@
+//! The process-side API: everything a simulated process may do.
+
+use std::cell::RefCell;
+use std::panic::panic_any;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::ids::{MailboxId, NodeId, ProcId};
+use crate::kernel::{Kernel, KillToken, Resume, WakeReason, YieldKind, YieldMsg};
+use crate::mailbox::{channel_impl, MailboxRx, MailboxTx};
+use crate::process::ProcOutput;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// The execution context handed to every simulated process.
+///
+/// All blocking calls (`sleep`, `recv`, …) yield to the simulator kernel; no
+/// real time passes. A `Ctx` is only usable from the process it was created
+/// for and must never be sent elsewhere.
+///
+/// # Crash semantics
+///
+/// If this process's node is crashed, the next blocking or kernel-touching
+/// call never returns: the process unwinds and is reaped by the kernel. Code
+/// must therefore not hold locks across blocking calls.
+pub struct Ctx {
+    pid: ProcId,
+    node: Option<NodeId>,
+    name: String,
+    shared: Arc<Mutex<Kernel>>,
+    yield_tx: Sender<YieldMsg>,
+    resume_rx: Receiver<Resume>,
+    rng: RefCell<SimRng>,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl Ctx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        pid: ProcId,
+        node: Option<NodeId>,
+        name: String,
+        shared: Arc<Mutex<Kernel>>,
+        yield_tx: Sender<YieldMsg>,
+        resume_rx: Receiver<Resume>,
+        rng: SimRng,
+    ) -> Self {
+        Ctx {
+            pid,
+            node,
+            name,
+            shared,
+            yield_tx,
+            resume_rx,
+            rng: RefCell::new(rng),
+        }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// The node this process runs on, if it was spawned on one.
+    pub fn node(&self) -> Option<NodeId> {
+        self.node
+    }
+
+    /// The name given at spawn time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.check_alive();
+        self.shared.lock().now
+    }
+
+    /// Runs `f` with this process's deterministic RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SimRng) -> T) -> T {
+        f(&mut self.rng.borrow_mut())
+    }
+
+    /// Suspends this process for `d` of virtual time.
+    pub fn sleep(&self, d: Duration) {
+        let until = self.now() + d;
+        self.sleep_until(until);
+    }
+
+    /// Suspends this process until the given instant (no-op if in the past).
+    pub fn sleep_until(&self, until: SimTime) {
+        self.check_alive();
+        let reason = self.block(YieldKind::Sleep { until });
+        debug_assert_eq!(reason, WakeReason::Slept);
+    }
+
+    /// Yields the CPU, letting all other work scheduled for the current
+    /// instant run before this process continues.
+    pub fn yield_now(&self) {
+        let now = self.now();
+        self.sleep_until(now);
+    }
+
+    /// Spawns a sibling process on the same node.
+    pub fn spawn<F, R>(&self, name: &str, f: F) -> ProcOutput<R>
+    where
+        F: FnOnce(&Ctx) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.check_alive();
+        crate::kernel::spawn_proc(&self.shared, name, self.node, f)
+    }
+
+    /// Spawns a process on an explicit node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is crashed.
+    pub fn spawn_on<F, R>(&self, node: NodeId, name: &str, f: F) -> ProcOutput<R>
+    where
+        F: FnOnce(&Ctx) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.check_alive();
+        crate::kernel::spawn_proc(&self.shared, name, Some(node), f)
+    }
+
+    /// Creates a new typed mailbox; the receiver should be owned by exactly
+    /// one process at a time.
+    pub fn channel<T: Send + 'static>(&self) -> (MailboxTx<T>, MailboxRx<T>) {
+        self.check_alive();
+        channel_impl(&self.shared)
+    }
+
+    /// A cloneable handle for creating mailboxes and reading the clock.
+    pub fn handle(&self) -> crate::handle::SimHandle {
+        crate::handle::SimHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Crashes a node: every process on it is killed, its RAM state is lost.
+    /// Persistent objects (simulated disks, NVRAM) survive.
+    pub fn crash_node(&self, node: NodeId) {
+        self.check_alive();
+        self.shared.lock().crash_node(node);
+        // If we crashed our own node, die right here.
+        self.check_alive();
+    }
+
+    /// Reboots a crashed node so processes can be spawned on it again.
+    pub fn revive_node(&self, node: NodeId) {
+        self.check_alive();
+        self.shared.lock().revive_node(node);
+    }
+
+    /// Whether a node is currently alive.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.check_alive();
+        self.shared.lock().node_alive(node)
+    }
+
+    /// Appends a message to the simulation trace (if tracing is enabled).
+    pub fn trace(&self, msg: impl Into<String>) {
+        let mut k = self.shared.lock();
+        let line = format!("[{}] {}", self.name, msg.into());
+        k.trace_log(line);
+    }
+
+    // ------------------------------------------------------------------
+    // Internal plumbing.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn shared(&self) -> &Arc<Mutex<Kernel>> {
+        &self.shared
+    }
+
+    pub(crate) fn yield_tx(&self) -> &Sender<YieldMsg> {
+        &self.yield_tx
+    }
+
+    /// Blocks in the initial handshake; `None` means killed before start.
+    pub(crate) fn wait_first(&self) -> Option<()> {
+        match self.resume_rx.recv() {
+            Ok(Resume::Go(_)) => Some(()),
+            _ => None,
+        }
+    }
+
+    /// Unwinds this thread because its node crashed.
+    fn die(&self) -> ! {
+        panic_any(KillToken)
+    }
+
+    /// Panics with [`KillToken`] if this process has been marked dead.
+    pub(crate) fn check_alive(&self) {
+        let dead = self
+            .shared
+            .lock()
+            .procs
+            .get(&self.pid)
+            .map(|p| p.dead)
+            .unwrap_or(true);
+        if dead {
+            self.die();
+        }
+    }
+
+    /// Yields to the kernel and blocks until resumed.
+    pub(crate) fn block(&self, kind: YieldKind) -> WakeReason {
+        if self
+            .yield_tx
+            .send(YieldMsg {
+                pid: self.pid,
+                kind,
+            })
+            .is_err()
+        {
+            // The simulation was dropped; unwind quietly.
+            self.die();
+        }
+        match self.resume_rx.recv() {
+            Ok(Resume::Go(reason)) => reason,
+            _ => self.die(),
+        }
+    }
+
+    /// Blocks until one of `boxes` is non-empty or `deadline` passes.
+    /// The caller must have checked that all the boxes are currently empty.
+    pub(crate) fn block_wait(
+        &self,
+        boxes: Vec<MailboxId>,
+        deadline: Option<SimTime>,
+    ) -> WakeReason {
+        self.check_alive();
+        self.block(YieldKind::Wait { boxes, deadline })
+    }
+}

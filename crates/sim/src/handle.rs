@@ -1,0 +1,48 @@
+//! A cloneable, thread-safe handle to a running simulation.
+//!
+//! Library layers (network stacks, servers) need to create mailboxes and
+//! read the clock from constructors that may be called either from setup
+//! code (with a [`crate::Simulation`]) or from inside a process (with a
+//! [`crate::Ctx`]). `SimHandle` is the common denominator both can produce.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::Kernel;
+use crate::mailbox::{channel_impl, MailboxRx, MailboxTx};
+use crate::time::SimTime;
+
+/// A capability to create mailboxes and read the virtual clock.
+///
+/// Obtained from [`Simulation::handle`](crate::Simulation::handle) or
+/// [`Ctx::handle`](crate::Ctx::handle); freely cloneable and sendable.
+pub struct SimHandle {
+    pub(crate) shared: Arc<Mutex<Kernel>>,
+}
+
+impl Clone for SimHandle {
+    fn clone(&self) -> Self {
+        SimHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl std::fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimHandle(now={})", self.now())
+    }
+}
+
+impl SimHandle {
+    /// Creates a new typed mailbox.
+    pub fn channel<T: Send + 'static>(&self) -> (MailboxTx<T>, MailboxRx<T>) {
+        channel_impl(&self.shared)
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.lock().now
+    }
+}

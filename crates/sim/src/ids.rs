@@ -1,0 +1,53 @@
+//! Identifiers for simulator entities.
+
+use std::fmt;
+
+/// Identifies a simulated process (a green thread driven by the kernel).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub(crate) u64);
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// Identifies a simulated machine: a crash/restart failure domain that owns
+/// a set of processes.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// A small stable integer for this node, useful in logs and tests.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Identifies a mailbox inside the kernel's wake tables.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct MailboxId(pub(crate) u64);
+
+impl fmt::Debug for MailboxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mbox#{}", self.0)
+    }
+}

@@ -1,0 +1,66 @@
+//! # amoeba-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate for the Amoeba directory-service reproduction: a
+//! discrete-event simulator whose "processes" are green threads (one OS
+//! thread each) driven by a strict resume/yield handshake, so that **exactly
+//! one thread runs at any instant** and execution is bit-exactly
+//! deterministic for a given seed.
+//!
+//! Protocol code written against this crate reads like ordinary blocking
+//! code — `ctx.sleep(..)`, `rx.recv(ctx)`, `tx.send(msg)` — exactly the
+//! style of the pseudocode in the ICDCS '93 paper (initiator threads that
+//! block until the group thread has executed a request, and so on).
+//!
+//! ## Features
+//!
+//! * Virtual time ([`SimTime`]) with nanosecond resolution.
+//! * Typed, deterministic [`mailboxes`](MailboxTx) with optional delivery
+//!   delays — the basis for the simulated network and disks.
+//! * Crashable [`nodes`](NodeId): failure domains whose processes are killed
+//!   together, losing all RAM state, while shared persistent objects
+//!   survive — the paper's fail-stop model.
+//! * A tiny deterministic PRNG ([`SimRng`]) so results do not depend on any
+//!   external crate's stream stability.
+//!
+//! ## Example
+//!
+//! ```
+//! use amoeba_sim::Simulation;
+//! use std::time::Duration;
+//!
+//! let mut sim = Simulation::new(7);
+//! let (tx, rx) = sim.channel::<u32>();
+//! sim.spawn("producer", move |ctx| {
+//!     ctx.sleep(Duration::from_millis(2));
+//!     tx.send(99);
+//! });
+//! let got = sim.spawn("consumer", move |ctx| rx.recv(ctx));
+//! sim.run();
+//! assert_eq!(got.take(), Some(99));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ctx;
+mod handle;
+mod ids;
+mod kernel;
+mod mailbox;
+mod process;
+mod resource;
+mod rng;
+mod sim;
+mod spawn;
+mod time;
+
+pub use ctx::Ctx;
+pub use handle::SimHandle;
+pub use resource::Resource;
+pub use spawn::Spawn;
+pub use ids::{NodeId, ProcId};
+pub use mailbox::{select2, select2_deadline, Either, MailboxRx, MailboxTx};
+pub use process::ProcOutput;
+pub use rng::SimRng;
+pub use sim::{RunStats, Simulation};
+pub use time::SimTime;

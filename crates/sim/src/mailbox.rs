@@ -1,0 +1,197 @@
+//! Typed mailboxes: the only inter-process communication primitive.
+//!
+//! A mailbox is an unbounded FIFO queue with exactly one consumer process.
+//! Senders are cheap clones usable from any process *or* from outside the
+//! simulation (e.g. test setup code); a send schedules delivery through the
+//! kernel event queue, optionally after a delay, so message arrival order is
+//! always deterministic.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::ctx::Ctx;
+use crate::ids::MailboxId;
+use crate::kernel::{Kernel, WakeReason};
+use crate::time::SimTime;
+
+/// The sending half of a mailbox. Clonable and usable from anywhere.
+pub struct MailboxTx<T> {
+    id: MailboxId,
+    queue: Arc<Mutex<VecDeque<T>>>,
+    shared: Arc<Mutex<Kernel>>,
+}
+
+impl<T> Clone for MailboxTx<T> {
+    fn clone(&self) -> Self {
+        MailboxTx {
+            id: self.id,
+            queue: Arc::clone(&self.queue),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for MailboxTx<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MailboxTx({:?})", self.id)
+    }
+}
+
+impl<T: Send + 'static> MailboxTx<T> {
+    /// Delivers `msg` at the current instant (after already-queued events).
+    pub fn send(&self, msg: T) {
+        self.send_after(Duration::ZERO, msg);
+    }
+
+    /// Delivers `msg` after `delay` of virtual time.
+    pub fn send_after(&self, delay: Duration, msg: T) {
+        let queue = Arc::clone(&self.queue);
+        let id = self.id;
+        let mut k = self.shared.lock();
+        let t = k.now + delay;
+        k.schedule_action(t, move |k| {
+            queue.lock().push_back(msg);
+            k.mailbox_ready(id)
+        });
+    }
+}
+
+/// The receiving half of a mailbox; owned by one process at a time.
+pub struct MailboxRx<T> {
+    id: MailboxId,
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> std::fmt::Debug for MailboxRx<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MailboxRx({:?})", self.id)
+    }
+}
+
+impl<T: Send + 'static> MailboxRx<T> {
+    /// Removes the next message without blocking.
+    pub fn try_recv(&self) -> Option<T> {
+        self.queue.lock().pop_front()
+    }
+
+    /// The number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Blocks until a message is available and returns it.
+    pub fn recv(&self, ctx: &Ctx) -> T {
+        loop {
+            if let Some(v) = self.try_recv() {
+                return v;
+            }
+            let _ = ctx.block_wait(vec![self.id], None);
+        }
+    }
+
+    /// Blocks until a message arrives or `deadline` passes.
+    pub fn recv_deadline(&self, ctx: &Ctx, deadline: SimTime) -> Option<T> {
+        loop {
+            if let Some(v) = self.try_recv() {
+                return Some(v);
+            }
+            if ctx.now() >= deadline {
+                return None;
+            }
+            match ctx.block_wait(vec![self.id], Some(deadline)) {
+                WakeReason::TimedOut => return self.try_recv(),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, ctx: &Ctx, timeout: Duration) -> Option<T> {
+        let deadline = ctx.now() + timeout;
+        self.recv_deadline(ctx, deadline)
+    }
+
+    pub(crate) fn id(&self) -> MailboxId {
+        self.id
+    }
+}
+
+/// The result of a two-way select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first mailbox produced a message.
+    Left(A),
+    /// The second mailbox produced a message.
+    Right(B),
+}
+
+/// Blocks until either mailbox has a message; the first (left) mailbox wins
+/// ties deterministically.
+pub fn select2<A: Send + 'static, B: Send + 'static>(
+    ctx: &Ctx,
+    a: &MailboxRx<A>,
+    b: &MailboxRx<B>,
+) -> Either<A, B> {
+    loop {
+        if let Some(v) = a.try_recv() {
+            return Either::Left(v);
+        }
+        if let Some(v) = b.try_recv() {
+            return Either::Right(v);
+        }
+        let _ = ctx.block_wait(vec![a.id(), b.id()], None);
+    }
+}
+
+/// Like [`select2`] but gives up at `deadline`, returning `None`.
+pub fn select2_deadline<A: Send + 'static, B: Send + 'static>(
+    ctx: &Ctx,
+    a: &MailboxRx<A>,
+    b: &MailboxRx<B>,
+    deadline: SimTime,
+) -> Option<Either<A, B>> {
+    loop {
+        if let Some(v) = a.try_recv() {
+            return Some(Either::Left(v));
+        }
+        if let Some(v) = b.try_recv() {
+            return Some(Either::Right(v));
+        }
+        if ctx.now() >= deadline {
+            return None;
+        }
+        if ctx.block_wait(vec![a.id(), b.id()], Some(deadline)) == WakeReason::TimedOut {
+            // Final re-check: a message may have landed with the timeout.
+            if let Some(v) = a.try_recv() {
+                return Some(Either::Left(v));
+            }
+            if let Some(v) = b.try_recv() {
+                return Some(Either::Right(v));
+            }
+            return None;
+        }
+    }
+}
+
+pub(crate) fn channel_impl<T: Send + 'static>(
+    shared: &Arc<Mutex<Kernel>>,
+) -> (MailboxTx<T>, MailboxRx<T>) {
+    let id = shared.lock().alloc_mailbox();
+    let queue = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        MailboxTx {
+            id,
+            queue: Arc::clone(&queue),
+            shared: Arc::clone(shared),
+        },
+        MailboxRx { id, queue },
+    )
+}

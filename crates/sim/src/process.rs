@@ -1,0 +1,144 @@
+//! Process spawning: each simulated process is an OS thread that only runs
+//! while the kernel has explicitly resumed it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crossbeam_channel::unbounded;
+use parking_lot::Mutex;
+
+use crate::ctx::Ctx;
+use crate::ids::{NodeId, ProcId};
+use crate::kernel::{
+    panic_message, BlockKind, EventKind, Kernel, KillToken, ProcRec, ProcState, Resume, YieldKind,
+    YieldMsg,
+};
+
+/// Handle to a spawned process's eventual return value.
+///
+/// The value becomes available once the process body has returned and the
+/// simulation has been stepped past that point; see [`ProcOutput::take`].
+#[derive(Debug)]
+pub struct ProcOutput<R> {
+    pid: ProcId,
+    cell: Arc<Mutex<Option<R>>>,
+}
+
+impl<R> ProcOutput<R> {
+    /// The process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Takes the return value if the process has finished normally.
+    ///
+    /// Returns `None` while the process is still running, or if it was
+    /// killed by a node crash, or if the value was already taken.
+    pub fn take(&self) -> Option<R> {
+        self.cell.lock().take()
+    }
+
+    /// Whether the return value is available (process finished normally and
+    /// the value has not been taken yet).
+    pub fn is_ready(&self) -> bool {
+        self.cell.lock().is_some()
+    }
+}
+
+impl<R> Clone for ProcOutput<R> {
+    fn clone(&self) -> Self {
+        ProcOutput {
+            pid: self.pid,
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+pub(crate) fn spawn_impl<F, R>(
+    shared: &Arc<Mutex<Kernel>>,
+    name: &str,
+    node: Option<NodeId>,
+    f: F,
+) -> ProcOutput<R>
+where
+    F: FnOnce(&Ctx) -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let (resume_tx, resume_rx) = unbounded::<Resume>();
+    let cell: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+
+    let (pid, yield_tx, rng, start_time) = {
+        let mut k = shared.lock();
+        let pid = k.alloc_pid();
+        if let Some(n) = node {
+            let nrec = k.nodes.get_mut(&n).expect("spawn_on unknown node");
+            assert!(nrec.alive, "cannot spawn on crashed node {n}");
+            nrec.procs.insert(pid);
+        }
+        let rng = k.proc_rng(pid);
+        (pid, k.yield_tx.clone(), rng, k.now)
+    };
+
+    let ctx = Ctx::new(
+        pid,
+        node,
+        name.to_owned(),
+        Arc::clone(shared),
+        yield_tx.clone(),
+        resume_rx,
+        rng,
+    );
+
+    let cell_in = Arc::clone(&cell);
+    let thread_name = format!("sim-{}-{}", name, pid);
+    let join = std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            // Wait for the first activation (or an early kill).
+            let go = matches!(ctx.wait_first(), Some(())); // None => killed before start
+            let panic_msg = if go {
+                match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                    Ok(val) => {
+                        *cell_in.lock() = Some(val);
+                        None
+                    }
+                    Err(payload) => {
+                        if payload.is::<KillToken>() {
+                            None
+                        } else {
+                            Some(panic_message(payload))
+                        }
+                    }
+                }
+            } else {
+                None
+            };
+            // Final ack to the kernel; ignore send failure at teardown.
+            let _ = ctx.yield_tx().send(YieldMsg {
+                pid,
+                kind: YieldKind::Exited { panic: panic_msg },
+            });
+        })
+        .expect("failed to spawn simulator thread");
+
+    {
+        let mut k = shared.lock();
+        k.procs.insert(
+            pid,
+            ProcRec {
+                name: name.to_owned(),
+                node,
+                resume_tx,
+                join: Some(join),
+                state: ProcState::Ready,
+                block: BlockKind::None,
+                gen: 0,
+                wait_boxes: Vec::new(),
+                dead: false,
+            },
+        );
+        k.schedule(start_time, EventKind::Start(pid));
+    }
+
+    ProcOutput { pid, cell }
+}

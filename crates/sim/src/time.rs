@@ -1,0 +1,204 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! [`SimTime`] is an absolute instant measured in nanoseconds since the start
+//! of the simulation. Durations are ordinary [`std::time::Duration`] values,
+//! so protocol code reads naturally (`ctx.sleep(Duration::from_millis(3))`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An absolute instant of virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is totally ordered and cheap to copy. Arithmetic with
+/// [`Duration`] is saturating-free: overflowing 584 years of simulated time
+/// panics in debug builds, which is far beyond any workload in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use amoeba_sim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(5);
+/// assert_eq!(t.as_nanos(), 5_000_000);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(5));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `nanos` nanoseconds after simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates an instant `secs` seconds after simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds since simulation start, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The elapsed duration since an earlier instant.
+    ///
+    /// Returns [`Duration::ZERO`] if `earlier` is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, returning `None` on overflow.
+    pub fn checked_add(self, d: Duration) -> Option<SimTime> {
+        let nanos = u64::try_from(d.as_nanos()).ok()?;
+        self.0.checked_add(nanos).map(SimTime)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        self.checked_add(rhs).expect("SimTime overflow")
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.6}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::ZERO + Duration::from_millis(3);
+        assert_eq!(t.as_nanos(), 3_000_000);
+        let t2 = t + Duration::from_micros(5);
+        assert_eq!(t2.as_nanos(), 3_005_000);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::from_millis(1);
+        t += Duration::from_millis(2);
+        assert_eq!(t, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn subtraction_gives_duration() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!(a - b, Duration::from_millis(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn saturating_since() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimTime::from_secs(1) > SimTime::from_millis(999));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimTime::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", SimTime::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(5)), "5.000000s");
+    }
+
+    #[test]
+    fn float_conversions() {
+        let t = SimTime::from_millis(1500);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((t.as_millis_f64() - 1500.0).abs() < 1e-9);
+        assert!((t.as_micros_f64() - 1_500_000.0).abs() < 1e-6);
+    }
+}

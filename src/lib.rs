@@ -1,0 +1,28 @@
+//! # amoeba-dirsvc — umbrella crate
+//!
+//! A full reproduction of *"Using Group Communication to Implement a
+//! Fault-Tolerant Directory Service"* (Kaashoek, Tanenbaum & Verstoep,
+//! ICDCS 1993), including every substrate the paper runs on, built from
+//! scratch in Rust over a deterministic discrete-event simulator.
+//!
+//! This crate re-exports the workspace members under stable names and
+//! hosts the repository-level examples and integration tests. Start with
+//! [`dir::cluster::Cluster`] and the `examples/` directory.
+//!
+//! | Layer | Crate |
+//! |---|---|
+//! | Deterministic simulator | [`sim`] |
+//! | FLIP network | [`flip`] |
+//! | Amoeba RPC (`trans`) | [`rpc`] |
+//! | Group communication | [`group`] |
+//! | Disks + NVRAM | [`disk`] |
+//! | Bullet file server | [`bullet`] |
+//! | The directory service | [`dir`] |
+
+pub use amoeba_bullet as bullet;
+pub use amoeba_dir_core as dir;
+pub use amoeba_disk as disk;
+pub use amoeba_flip as flip;
+pub use amoeba_group as group;
+pub use amoeba_rpc as rpc;
+pub use amoeba_sim as sim;

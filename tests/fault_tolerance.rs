@@ -1,0 +1,271 @@
+//! Crash, reboot and recovery scenarios, including the exact §3.2 cases.
+
+use std::time::Duration;
+
+use amoeba_dirsvc::dir::cluster::{Cluster, ClusterParams, Variant};
+use amoeba_dirsvc::dir::{Capability, DirClient, Rights};
+use amoeba_dirsvc::sim::{Ctx, Simulation};
+
+fn ready_root(ctx: &Ctx, client: &DirClient) -> Capability {
+    loop {
+        match client.create_dir(ctx, &["owner"]) {
+            Ok(c) => return c,
+            Err(_) => ctx.sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+fn form_cluster(seed: u64) -> (Simulation, Cluster, DirClient, Capability) {
+    let mut sim = Simulation::new(seed);
+    let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::Group));
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let out = sim.spawn("form", move |ctx| ready_root(ctx, &c2));
+    sim.run_for(Duration::from_secs(20));
+    let root = out.take().expect("service formed");
+    (sim, cluster, client, root)
+}
+
+#[test]
+fn service_survives_one_crash_and_recovers_the_server() {
+    let (mut sim, mut cluster, client, root) = form_cluster(41);
+    // Write something before the crash.
+    let c2 = client.clone();
+    let pre = sim.spawn("pre", move |ctx| {
+        c2.append_row(ctx, root, "before", root, vec![Rights::ALL])
+            .is_ok()
+    });
+    sim.run_for(Duration::from_secs(5));
+    assert_eq!(pre.take(), Some(true));
+
+    cluster.crash_server(&sim, 2);
+    let c3 = client.clone();
+    let during = sim.spawn("during", move |ctx| {
+        ctx.sleep(Duration::from_secs(1));
+        // Majority (2 of 3) still serves reads and writes.
+        let r1 = c3.lookup(ctx, root, "before").unwrap().is_some();
+        let r2 = c3
+            .append_row(ctx, root, "during", root, vec![Rights::ALL])
+            .is_ok();
+        (r1, r2)
+    });
+    sim.run_for(Duration::from_secs(15));
+    assert_eq!(during.take(), Some((true, true)));
+
+    // Reboot: the server recovers via Fig. 6 and catches up.
+    cluster.restart_server(&sim, 2);
+    sim.run_for(Duration::from_secs(15));
+    assert!(cluster.group_server(2).is_normal(), "server 2 recovered");
+    assert_eq!(
+        cluster.group_server(2).update_seq(),
+        cluster.group_server(0).update_seq(),
+        "recovered server caught up"
+    );
+}
+
+#[test]
+fn two_simultaneous_crashes_require_all_servers_back() {
+    // Servers 1 and 2 crash at the same instant, so no surviving
+    // configuration vector records either death. Under the strict Fig. 6
+    // rule the last set stays {0,1,2}: bringing back only server 1 is NOT
+    // enough (server 2 might hold the newest update); service resumes
+    // only once every member of the last set is reachable.
+    let (mut sim, mut cluster, client, root) = form_cluster(43);
+    cluster.crash_server(&sim, 1);
+    cluster.crash_server(&sim, 2);
+    let c2 = client.clone();
+    let minority = sim.spawn("minority", move |ctx| {
+        ctx.sleep(Duration::from_secs(2)); // let failure detection run
+        // Reads are refused too (paper §3.1: a partitioned survivor could
+        // otherwise resurrect deleted directories).
+        c2.lookup(ctx, root, "whatever")
+    });
+    sim.run_for(Duration::from_secs(20));
+    let refused = minority.take().expect("minority lookup returned");
+    assert!(refused.is_err(), "a lone server must refuse reads: {refused:?}");
+
+    // Server 1 returns: majority exists, but the strict last-set check
+    // still blocks (server 2 may have performed the last update).
+    cluster.restart_server(&sim, 1);
+    sim.run_for(Duration::from_secs(25));
+    assert!(
+        !cluster.group_server(0).is_normal(),
+        "strict rule: {{0,1}} may not serve while 2's fate is unrecorded"
+    );
+
+    // Server 2 returns: the full last set is assembled; service resumes.
+    cluster.restart_server(&sim, 2);
+    sim.run_for(Duration::from_secs(25));
+    let c3 = client.clone();
+    let resumed = sim.spawn("resumed", move |ctx| {
+        for _ in 0..50 {
+            if c3
+                .append_row(ctx, root, "resumed", root, vec![Rights::ALL])
+                .is_ok()
+            {
+                return true;
+            }
+            ctx.sleep(Duration::from_millis(200));
+        }
+        false
+    });
+    sim.run_for(Duration::from_secs(30));
+    assert_eq!(resumed.take(), Some(true), "service resumed with full last set");
+}
+
+#[test]
+fn improved_rule_lets_a_stayed_up_server_recover_with_one_reboot() {
+    // §3.2's improvement: server 0 never crashed, so it has every update
+    // servers 1/2 could have performed; with the improved rule enabled it
+    // may pair with a rebooted server instead of waiting for both.
+    let mut sim = Simulation::new(45);
+    let mut params = ClusterParams::paper(Variant::Group);
+    params.dir.improved_recovery = true;
+    let mut cluster = Cluster::start(&sim, params);
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let setup = sim.spawn("setup", move |ctx| {
+        let root = ready_root(ctx, &c2);
+        c2.append_row(ctx, root, "kept", root, vec![Rights::ALL])
+            .unwrap();
+        root
+    });
+    sim.run_for(Duration::from_secs(20));
+    let root = setup.take().expect("formed");
+
+    cluster.crash_server(&sim, 1);
+    cluster.crash_server(&sim, 2);
+    sim.run_for(Duration::from_secs(5));
+    // Only server 1 returns; server 0 stayed up with the newest state.
+    cluster.restart_server(&sim, 1);
+    sim.run_for(Duration::from_secs(30));
+    assert!(
+        cluster.group_server(0).is_normal(),
+        "improved rule: stayed-up server 0 + rebooted server 1 may serve"
+    );
+    let c3 = client.clone();
+    let check = sim.spawn("check", move |ctx| {
+        c3.lookup(ctx, root, "kept").unwrap().is_some()
+    });
+    sim.run_for(Duration::from_secs(10));
+    assert_eq!(check.take(), Some(true), "no update was lost");
+}
+
+#[test]
+fn section_3_2_scenario_one_and_two_may_not_recover_alone() {
+    // Paper §3.2: servers 1,2,3 up; 3 crashes; then 1 and 2 crash.
+    // When 1 and 3 come back (2 still down), they must NOT form a
+    // service: 2 may have performed the last update.
+    let (mut sim, mut cluster, client, root) = form_cluster(47);
+    let c2 = client.clone();
+    let w = sim.spawn("w", move |ctx| {
+        c2.append_row(ctx, root, "x", root, vec![Rights::ALL]).is_ok()
+    });
+    sim.run_for(Duration::from_secs(5));
+    assert_eq!(w.take(), Some(true));
+
+    // Crash 3 (index 2); let 1,2 rebuild (config vector 110).
+    cluster.crash_server(&sim, 2);
+    sim.run_for(Duration::from_secs(5));
+    // Crash 1 and 2 (indexes 0, 1).
+    cluster.crash_server(&sim, 0);
+    cluster.crash_server(&sim, 1);
+    sim.run_for(Duration::from_secs(2));
+
+    // Restart 0 and 2 only.
+    cluster.restart_server(&sim, 0);
+    cluster.restart_server(&sim, 2);
+    sim.run_for(Duration::from_secs(25));
+    // Neither may enter normal operation: server 1 (who possibly performed
+    // the last update) is in both last sets.
+    assert!(
+        !cluster.group_server(0).is_normal(),
+        "server 0 must keep waiting for server 1"
+    );
+    assert!(
+        !cluster.group_server(2).is_normal(),
+        "server 2 must keep waiting for server 1"
+    );
+    // Client requests are refused meanwhile.
+    let c3 = client.clone();
+    let refused = sim.spawn("refused", move |ctx| c3.lookup(ctx, root, "x").is_err());
+    sim.run_for(Duration::from_secs(10));
+    assert_eq!(refused.take(), Some(true));
+
+    // Server 1 returns: now recovery completes and data is intact.
+    cluster.restart_server(&sim, 1);
+    sim.run_for(Duration::from_secs(30));
+    assert!(cluster.group_server(0).is_normal());
+    let c4 = client.clone();
+    let intact = sim.spawn("intact", move |ctx| {
+        c4.lookup(ctx, root, "x").unwrap().is_some()
+    });
+    sim.run_for(Duration::from_secs(10));
+    assert_eq!(intact.take(), Some(true), "the update survived");
+}
+
+#[test]
+fn section_3_2_scenario_one_and_two_recover_without_three() {
+    // Paper §3.2: 3 crashes first (vectors become 110), then 1 and 2
+    // crash. When 1 and 2 come back, they know 3 crashed before them and
+    // recover WITHOUT 3.
+    let (mut sim, mut cluster, client, root) = form_cluster(53);
+    let c2 = client.clone();
+    let w = sim.spawn("w", move |ctx| {
+        c2.append_row(ctx, root, "y", root, vec![Rights::ALL]).is_ok()
+    });
+    sim.run_for(Duration::from_secs(5));
+    assert_eq!(w.take(), Some(true));
+
+    cluster.crash_server(&sim, 2);
+    // Give 0 and 1 time to reset and write config vectors (110).
+    sim.run_for(Duration::from_secs(8));
+    cluster.crash_server(&sim, 0);
+    cluster.crash_server(&sim, 1);
+    sim.run_for(Duration::from_secs(2));
+
+    // Only 0 and 1 return; 2 stays down.
+    cluster.restart_server(&sim, 0);
+    cluster.restart_server(&sim, 1);
+    sim.run_for(Duration::from_secs(40));
+    assert!(
+        cluster.group_server(0).is_normal() && cluster.group_server(1).is_normal(),
+        "servers 0 and 1 must recover without server 2"
+    );
+    let c3 = client.clone();
+    let intact = sim.spawn("intact", move |ctx| {
+        c3.lookup(ctx, root, "y").unwrap().is_some()
+    });
+    sim.run_for(Duration::from_secs(10));
+    assert_eq!(intact.take(), Some(true));
+}
+
+#[test]
+fn updates_written_while_one_server_down_reach_it_after_recovery() {
+    let (mut sim, mut cluster, client, root) = form_cluster(59);
+    cluster.crash_server(&sim, 0);
+    let c2 = client.clone();
+    let w = sim.spawn("w", move |ctx| {
+        ctx.sleep(Duration::from_secs(1));
+        let mut ok = 0;
+        for i in 0..5 {
+            if c2
+                .append_row(ctx, root, &format!("offline{i}"), root, vec![Rights::ALL])
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        ok
+    });
+    sim.run_for(Duration::from_secs(20));
+    assert_eq!(w.take(), Some(5));
+    cluster.restart_server(&sim, 0);
+    sim.run_for(Duration::from_secs(20));
+    assert!(cluster.group_server(0).is_normal());
+    assert_eq!(
+        cluster.group_server(0).update_seq(),
+        cluster.group_server(1).update_seq(),
+        "recovered replica must hold the offline-period updates"
+    );
+}

@@ -1,0 +1,187 @@
+//! One-copy serializability: random operation sequences executed against
+//! the replicated service must match the sequential in-memory model.
+
+use std::time::Duration;
+
+use amoeba_dirsvc::dir::cluster::{Cluster, ClusterParams, Variant};
+use amoeba_dirsvc::dir::model::DirModel;
+use amoeba_dirsvc::dir::{Capability, DirClientError, DirError, DirOp, Rights};
+use amoeba_dirsvc::sim::Simulation;
+use proptest::prelude::*;
+
+/// A client-visible operation in the generated workload.
+#[derive(Debug, Clone)]
+enum WorkloadOp {
+    Create,
+    /// Append `name` to the directory created by the `k`-th create.
+    Append { dir: usize, name: String },
+    DeleteRow { dir: usize, name: String },
+    Chmod { dir: usize, name: String },
+    DeleteDir { dir: usize },
+    Lookup { dir: usize, name: String },
+}
+
+fn op_strategy() -> impl Strategy<Value = WorkloadOp> {
+    let name = proptest::sample::select(vec!["a", "b", "c", "d"]);
+    let dir = 0..4usize;
+    prop_oneof![
+        1 => Just(WorkloadOp::Create),
+        4 => (dir.clone(), name.clone()).prop_map(|(dir, name)| WorkloadOp::Append {
+            dir,
+            name: name.to_owned()
+        }),
+        3 => (dir.clone(), name.clone()).prop_map(|(dir, name)| WorkloadOp::DeleteRow {
+            dir,
+            name: name.to_owned()
+        }),
+        2 => (dir.clone(), name.clone()).prop_map(|(dir, name)| WorkloadOp::Chmod {
+            dir,
+            name: name.to_owned()
+        }),
+        1 => dir.clone().prop_map(|dir| WorkloadOp::DeleteDir { dir }),
+        4 => (dir, name).prop_map(|(dir, name)| WorkloadOp::Lookup {
+            dir,
+            name: name.to_owned()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case spins up a whole simulated cluster
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn replicated_service_matches_sequential_model(
+        ops in proptest::collection::vec(op_strategy(), 1..25),
+        seed in 0u64..1000,
+    ) {
+        run_case(ops, seed)?;
+    }
+}
+
+fn run_case(ops: Vec<WorkloadOp>, seed: u64) -> Result<(), TestCaseError> {
+    let mut sim = Simulation::new(seed);
+    let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::Group));
+    let (client, _) = cluster.client(&sim);
+    let out = sim.spawn("workload", move |ctx| {
+        // Wait for formation.
+        let mut created: Vec<Option<Capability>> = Vec::new();
+        let mut model = DirModel::new();
+        loop {
+            match client.create_dir(ctx, &["owner"]) {
+                Ok(c) => {
+                    let expected = model.apply(&DirOp::Create {
+                        columns: vec!["owner".into()],
+                        check: 0,
+                    });
+                    assert_eq!(expected.unwrap().unwrap(), c.object);
+                    created.push(Some(c));
+                    break;
+                }
+                Err(_) => ctx.sleep(Duration::from_millis(100)),
+            }
+        }
+        let mut failures = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                WorkloadOp::Create => {
+                    let got = client.create_dir(ctx, &["owner"]);
+                    let expected = model.apply(&DirOp::Create {
+                        columns: vec!["owner".into()],
+                        check: 0,
+                    });
+                    match (expected, &got) {
+                        (Ok(Some(obj)), Ok(cap)) if cap.object == obj => {
+                            created.push(Some(*cap));
+                        }
+                        other => failures.push(format!("op {i} Create mismatch: {other:?}")),
+                    }
+                }
+                WorkloadOp::Append { dir, name } => {
+                    let target = created.get(*dir).copied().flatten();
+                    let Some(cap) = target else { continue };
+                    let got = client.append_row(ctx, cap, name, cap, vec![Rights::ALL]);
+                    let expected = model.apply(&DirOp::Append {
+                        object: cap.object,
+                        name: name.clone(),
+                        cap,
+                        col_rights: vec![Rights::ALL],
+                    });
+                    check(&mut failures, i, "Append", expected, got);
+                }
+                WorkloadOp::DeleteRow { dir, name } => {
+                    let Some(cap) = created.get(*dir).copied().flatten() else { continue };
+                    let got = client.delete_row(ctx, cap, name);
+                    let expected = model.apply(&DirOp::DeleteRow {
+                        object: cap.object,
+                        name: name.clone(),
+                    });
+                    check(&mut failures, i, "DeleteRow", expected, got);
+                }
+                WorkloadOp::Chmod { dir, name } => {
+                    let Some(cap) = created.get(*dir).copied().flatten() else { continue };
+                    let got = client.chmod_row(ctx, cap, name, vec![Rights::MODIFY]);
+                    let expected = model.apply(&DirOp::Chmod {
+                        object: cap.object,
+                        name: name.clone(),
+                        col_rights: vec![Rights::MODIFY],
+                    });
+                    check(&mut failures, i, "Chmod", expected, got);
+                }
+                WorkloadOp::DeleteDir { dir } => {
+                    let Some(cap) = created.get(*dir).copied().flatten() else { continue };
+                    let got = client.delete_dir(ctx, cap);
+                    let expected = model.apply(&DirOp::Delete { object: cap.object });
+                    if got.is_ok() {
+                        created[*dir] = None;
+                    }
+                    check(&mut failures, i, "DeleteDir", expected, got);
+                }
+                WorkloadOp::Lookup { dir, name } => {
+                    let Some(cap) = created.get(*dir).copied().flatten() else { continue };
+                    let got = client.lookup(ctx, cap, name);
+                    let expected_present = model
+                        .dir(cap.object)
+                        .map(|d| d.find(name).is_some())
+                        .unwrap_or(false);
+                    match got {
+                        Ok(found) => {
+                            if found.is_some() != expected_present {
+                                failures.push(format!(
+                                    "op {i} Lookup({name}): service {} model {}",
+                                    found.is_some(),
+                                    expected_present
+                                ));
+                            }
+                        }
+                        Err(e) => failures.push(format!("op {i} Lookup error: {e}")),
+                    }
+                }
+            }
+        }
+        failures
+    });
+    sim.run_for(Duration::from_secs(120));
+    let failures = out.take().expect("workload finished");
+    prop_assert!(failures.is_empty(), "divergences: {failures:?}");
+    Ok(())
+}
+
+fn check(
+    failures: &mut Vec<String>,
+    i: usize,
+    what: &str,
+    expected: Result<Option<u64>, DirError>,
+    got: Result<(), DirClientError>,
+) {
+    let matches = match (&expected, &got) {
+        (Ok(None), Ok(())) => true,
+        (Err(e), Err(DirClientError::Service(s))) => e == s,
+        _ => false,
+    };
+    if !matches {
+        failures.push(format!("op {i} {what}: model {expected:?} vs service {got:?}"));
+    }
+}

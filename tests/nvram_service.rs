@@ -1,0 +1,140 @@
+//! NVRAM-variant behaviour: crash persistence, annihilation, background
+//! flushing (paper §4.1).
+
+use std::time::Duration;
+
+use amoeba_dirsvc::dir::cluster::{Cluster, ClusterParams, Variant};
+use amoeba_dirsvc::dir::{Capability, DirClient, Rights};
+use amoeba_dirsvc::sim::{Ctx, Simulation};
+
+fn ready_root(ctx: &Ctx, client: &DirClient) -> Capability {
+    loop {
+        match client.create_dir(ctx, &["owner"]) {
+            Ok(c) => return c,
+            Err(_) => ctx.sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+#[test]
+fn nvram_service_serves_all_operations() {
+    let mut sim = Simulation::new(81);
+    let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::GroupNvram));
+    let (client, _) = cluster.client(&sim);
+    let out = sim.spawn("app", move |ctx| {
+        let root = ready_root(ctx, &client);
+        client
+            .append_row(ctx, root, "a", root, vec![Rights::ALL])
+            .unwrap();
+        let hit = client.lookup(ctx, root, "a").unwrap();
+        client.delete_row(ctx, root, "a").unwrap();
+        let gone = client.lookup(ctx, root, "a").unwrap();
+        (hit.is_some(), gone.is_none())
+    });
+    sim.run_for(Duration::from_secs(30));
+    assert_eq!(out.take(), Some((true, true)));
+}
+
+#[test]
+fn append_delete_pairs_annihilate_without_disk_writes() {
+    let mut sim = Simulation::new(83);
+    let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::GroupNvram));
+    let (client, _) = cluster.client(&sim);
+    let disks: Vec<_> = cluster.columns.iter().map(|c| c.vdisk.clone()).collect();
+    let nvrams: Vec<_> = cluster.columns.iter().map(|c| c.nvram.clone()).collect();
+    let out = sim.spawn("app", move |ctx| {
+        let root = ready_root(ctx, &client);
+        ctx.sleep(Duration::from_millis(800)); // flush the root create
+        let before: u64 = disks.iter().map(|d| d.stats().writes).sum();
+        for i in 0..10 {
+            let name = format!("tmp{i}");
+            client
+                .append_row(ctx, root, &name, root, vec![Rights::ALL])
+                .unwrap();
+            client.delete_row(ctx, root, &name).unwrap();
+        }
+        let after: u64 = disks.iter().map(|d| d.stats().writes).sum();
+        let annihilated: u64 = nvrams.iter().map(|n| n.stats().annihilated).sum();
+        (after - before, annihilated)
+    });
+    sim.run_for(Duration::from_secs(60));
+    let (disk_writes, annihilated) = out.take().expect("workload finished");
+    assert!(
+        annihilated >= 3 * 10,
+        "each replica must annihilate each pair (saw {annihilated})"
+    );
+    assert!(
+        disk_writes <= 6,
+        "annihilated pairs must not reach the disk (saw {disk_writes} writes)"
+    );
+}
+
+#[test]
+fn updates_survive_crash_via_nvram_replay() {
+    // Commit to NVRAM only, crash a server before any flush, restart:
+    // the update must still be there (NVRAM is battery-backed).
+    let mut sim = Simulation::new(89);
+    let mut params = ClusterParams::paper(Variant::GroupNvram);
+    // Keep the flusher lazy so the update is only in NVRAM at crash time.
+    params.dir.nvram_idle_flush = Duration::from_secs(300);
+    let mut cluster = Cluster::start(&sim, params);
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let setup = sim.spawn("setup", move |ctx| {
+        let root = ready_root(ctx, &c2);
+        c2.append_row(ctx, root, "persist-me", root, vec![Rights::ALL])
+            .unwrap();
+        root
+    });
+    sim.run_for(Duration::from_secs(20));
+    let root = setup.take().expect("written");
+
+    // Crash ALL servers (so recovery must come from local state), then
+    // restart them.
+    for i in 0..3 {
+        cluster.crash_server(&sim, i);
+    }
+    sim.run_for(Duration::from_secs(2));
+    for i in 0..3 {
+        cluster.restart_server(&sim, i);
+    }
+    sim.run_for(Duration::from_secs(30));
+    let c3 = client.clone();
+    let check = sim.spawn("check", move |ctx| {
+        for _ in 0..100 {
+            match c3.lookup(ctx, root, "persist-me") {
+                Ok(Some(_)) => return true,
+                Ok(None) => return false,
+                Err(_) => ctx.sleep(Duration::from_millis(200)),
+            }
+        }
+        false
+    });
+    sim.run_for(Duration::from_secs(40));
+    assert_eq!(
+        check.take(),
+        Some(true),
+        "an NVRAM-committed update must survive a full-cluster crash"
+    );
+}
+
+#[test]
+fn updates_eventually_reach_the_disk() {
+    let mut sim = Simulation::new(97);
+    let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::GroupNvram));
+    let (client, _) = cluster.client(&sim);
+    let disks: Vec<_> = cluster.columns.iter().map(|c| c.vdisk.clone()).collect();
+    let out = sim.spawn("app", move |ctx| {
+        let root = ready_root(ctx, &client);
+        client
+            .append_row(ctx, root, "durable", root, vec![Rights::ALL])
+            .unwrap();
+        let before: u64 = disks.iter().map(|d| d.stats().writes).sum();
+        // Idle: the background flusher must apply the log to disk.
+        ctx.sleep(Duration::from_secs(2));
+        let after: u64 = disks.iter().map(|d| d.stats().writes).sum();
+        after > before || before > 0
+    });
+    sim.run_for(Duration::from_secs(30));
+    assert_eq!(out.take(), Some(true), "idle flusher must write to disk");
+}

@@ -1,0 +1,140 @@
+//! Network-partition behaviour: the paper's accessible-copies majority
+//! rule (§3.1) and post-heal convergence.
+
+use std::time::Duration;
+
+use amoeba_dirsvc::dir::cluster::{Cluster, ClusterParams, Variant};
+use amoeba_dirsvc::dir::{Capability, DirClient, Rights};
+use amoeba_dirsvc::sim::{Ctx, Simulation};
+
+fn ready_root(ctx: &Ctx, client: &DirClient) -> Capability {
+    loop {
+        match client.create_dir(ctx, &["owner"]) {
+            Ok(c) => return c,
+            Err(_) => ctx.sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+#[test]
+fn majority_side_serves_minority_side_refuses() {
+    let mut sim = Simulation::new(61);
+    let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::Group));
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let setup = sim.spawn("setup", move |ctx| ready_root(ctx, &c2));
+    sim.run_for(Duration::from_secs(15));
+    let root = setup.take().expect("formed");
+
+    // Server 2 alone on one side; the client stays with the majority.
+    cluster.isolate_server(2);
+    let c3 = client.clone();
+    let out = sim.spawn("during", move |ctx| {
+        ctx.sleep(Duration::from_secs(2));
+        let write_ok = c3
+            .append_row(ctx, root, "partitioned-write", root, vec![Rights::ALL])
+            .is_ok();
+        let read_ok = c3.lookup(ctx, root, "partitioned-write").unwrap().is_some();
+        (write_ok, read_ok)
+    });
+    sim.run_for(Duration::from_secs(15));
+    assert_eq!(out.take(), Some((true, true)));
+    // The isolated server must NOT be serving (its group lost majority).
+    assert!(
+        !cluster.group_server(2).is_normal(),
+        "isolated server must leave normal operation"
+    );
+}
+
+#[test]
+fn paper_motivating_case_deleted_directory_stays_deleted() {
+    // §3.1's rationale for refusing reads without a majority: delete a
+    // directory while one server is partitioned away; after healing, that
+    // server must never answer a read with the deleted directory.
+    let mut sim = Simulation::new(67);
+    let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::Group));
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let setup = sim.spawn("setup", move |ctx| {
+        let root = ready_root(ctx, &c2);
+        let doomed = c2.create_dir(ctx, &["owner"]).unwrap();
+        c2.append_row(ctx, root, "foo", doomed, vec![Rights::ALL])
+            .unwrap();
+        (root, doomed)
+    });
+    sim.run_for(Duration::from_secs(15));
+    let (root, doomed) = setup.take().expect("setup done");
+
+    cluster.isolate_server(0);
+    let c3 = client.clone();
+    let during = sim.spawn("during", move |ctx| {
+        ctx.sleep(Duration::from_secs(2));
+        // Delete the directory on the majority side.
+        c3.delete_dir(ctx, doomed).unwrap();
+        c3.delete_row(ctx, root, "foo").unwrap();
+        true
+    });
+    sim.run_for(Duration::from_secs(15));
+    assert_eq!(during.take(), Some(true));
+
+    cluster.heal();
+    sim.run_for(Duration::from_secs(15));
+    // Server 0 rejoined and caught up.
+    assert!(cluster.group_server(0).is_normal());
+    let c4 = client.clone();
+    let after = sim.spawn("after", move |ctx| {
+        // Hammer lookups so every server answers at least once.
+        for _ in 0..20 {
+            if c4.lookup(ctx, root, "foo").unwrap().is_some() {
+                return false; // resurrection!
+            }
+            let gone = c4.list(ctx, doomed);
+            if gone.is_ok() {
+                return false;
+            }
+        }
+        true
+    });
+    sim.run_for(Duration::from_secs(20));
+    assert_eq!(after.take(), Some(true), "deleted state must stay deleted");
+}
+
+#[test]
+fn three_way_partition_stops_everything_then_recovers() {
+    let mut sim = Simulation::new(71);
+    let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::Group));
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let setup = sim.spawn("setup", move |ctx| ready_root(ctx, &c2));
+    sim.run_for(Duration::from_secs(15));
+    let root = setup.take().expect("formed");
+
+    // Every server on its own island (clients with nobody).
+    let hosts: Vec<_> = cluster.columns.iter().map(|c| c.host).collect();
+    cluster.net.set_partition(&[&[hosts[0]], &[hosts[1]], &[hosts[2]]]);
+    let c3 = client.clone();
+    let during = sim.spawn("during", move |ctx| {
+        ctx.sleep(Duration::from_secs(3));
+        c3.lookup(ctx, root, "x").is_err()
+    });
+    sim.run_for(Duration::from_secs(25));
+    assert_eq!(during.take(), Some(true), "no island may serve");
+
+    cluster.heal();
+    sim.run_for(Duration::from_secs(30));
+    let c4 = client.clone();
+    let after = sim.spawn("after", move |ctx| {
+        for _ in 0..100 {
+            if c4
+                .append_row(ctx, root, "healed", root, vec![Rights::ALL])
+                .is_ok()
+            {
+                return true;
+            }
+            ctx.sleep(Duration::from_millis(200));
+        }
+        false
+    });
+    sim.run_for(Duration::from_secs(40));
+    assert_eq!(after.take(), Some(true), "service must re-form after heal");
+}
