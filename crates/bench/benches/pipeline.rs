@@ -1,0 +1,6 @@
+//! Micro-benchmarks of the message pipeline (placeholder; filled in with
+//! the zero-copy refactor).
+
+fn main() {
+    println!("pipeline bench: see crates/bench/src/bin/pipeline.rs");
+}

@@ -1,75 +1,69 @@
-//! Criterion benchmarks of whole simulated service operations: how much
-//! host time one simulated directory operation costs, per variant. These
-//! gate regressions in the protocol stack's real-time efficiency.
+//! Benchmarks of whole simulated service operations: how much host time
+//! one simulated directory operation costs, per variant. These gate
+//! regressions in the protocol stack's real-time efficiency.
+//!
+//! Run with: `cargo bench -p amoeba-bench --bench service_ops`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
+use amoeba_bench::microbench::bench_with_setup;
 use amoeba_bench::testbed;
 use amoeba_dir_core::cluster::Variant;
 use amoeba_dir_core::Rights;
 
-fn bench_service(c: &mut Criterion) {
-    let mut g = c.benchmark_group("service_ops");
-    g.sample_size(10);
+fn main() {
     for variant in [Variant::Group, Variant::GroupNvram, Variant::Nfs] {
-        g.bench_function(format!("lookup_{}", variant.label()), |b| {
-            b.iter_batched(
-                || {
-                    let mut tb = testbed(variant, 42);
-                    let client = tb.client.clone();
-                    let root = tb.root;
-                    let out = tb.sim.spawn("seed", move |ctx| {
-                        client
-                            .append_row(ctx, root, "t", root, vec![Rights::ALL, Rights::NONE])
-                            .is_ok()
-                    });
-                    tb.sim.run_for(Duration::from_secs(10));
-                    assert_eq!(out.take(), Some(true));
-                    tb
-                },
-                |mut tb| {
-                    let client = tb.client.clone();
-                    let root = tb.root;
-                    let out = tb.sim.spawn("probe", move |ctx| {
-                        for _ in 0..20 {
-                            let _ = client.lookup(ctx, root, "t");
-                        }
-                    });
-                    tb.sim.run_for(Duration::from_secs(30));
-                    black_box(out.is_ready());
-                },
-                BatchSize::PerIteration,
-            )
-        });
-    }
-    g.bench_function("append_delete_Group(3)", |b| {
-        b.iter_batched(
-            || testbed(Variant::Group, 42),
+        bench_with_setup(
+            &format!("service_ops/lookup_{}", variant.label()),
+            10,
+            || {
+                let mut tb = testbed(variant, 42);
+                let client = tb.client.clone();
+                let root = tb.root;
+                let out = tb.sim.spawn("seed", move |ctx| {
+                    client
+                        .append_row(ctx, root, "t", root, vec![Rights::ALL, Rights::NONE])
+                        .is_ok()
+                });
+                tb.sim.run_for(Duration::from_secs(10));
+                assert_eq!(out.take(), Some(true));
+                tb
+            },
             |mut tb| {
                 let client = tb.client.clone();
                 let root = tb.root;
                 let out = tb.sim.spawn("probe", move |ctx| {
-                    for i in 0..5 {
-                        let _ = client.append_row(
-                            ctx,
-                            root,
-                            &format!("x{i}"),
-                            root,
-                            vec![Rights::ALL, Rights::NONE],
-                        );
-                        let _ = client.delete_row(ctx, root, &format!("x{i}"));
+                    for _ in 0..20 {
+                        let _ = client.lookup(ctx, root, "t");
                     }
                 });
                 tb.sim.run_for(Duration::from_secs(30));
                 black_box(out.is_ready());
             },
-            BatchSize::PerIteration,
-        )
-    });
-    g.finish();
+        );
+    }
+    bench_with_setup(
+        "service_ops/append_delete_Group(3)",
+        10,
+        || testbed(Variant::Group, 42),
+        |mut tb| {
+            let client = tb.client.clone();
+            let root = tb.root;
+            let out = tb.sim.spawn("probe", move |ctx| {
+                for i in 0..5 {
+                    let _ = client.append_row(
+                        ctx,
+                        root,
+                        &format!("x{i}"),
+                        root,
+                        vec![Rights::ALL, Rights::NONE],
+                    );
+                    let _ = client.delete_row(ctx, root, &format!("x{i}"));
+                }
+            });
+            tb.sim.run_for(Duration::from_secs(30));
+            black_box(out.is_ready());
+        },
+    );
 }
-
-criterion_group!(benches, bench_service);
-criterion_main!(benches);

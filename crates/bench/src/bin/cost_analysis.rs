@@ -37,7 +37,9 @@ fn main() {
                 println!(
                     "  disk ops per server     measured {disk_per_server:>5.1}   (paper: 3 incl. the intentions write,"
                 );
-                println!("      which this model charges as log-append latency, not a table write)");
+                println!(
+                    "      which this model charges as log-append latency, not a table write)"
+                );
             }
         }
         println!();
@@ -68,7 +70,13 @@ fn run_variant(variant: Variant) -> (f64, f64) {
         let disk0: u64 = disks.iter().map(|d| d.stats().writes).sum();
         for i in 0..iters {
             client
-                .append_row(ctx, root, &format!("c{i}"), root, vec![Rights::ALL, Rights::NONE])
+                .append_row(
+                    ctx,
+                    root,
+                    &format!("c{i}"),
+                    root,
+                    vec![Rights::ALL, Rights::NONE],
+                )
                 .unwrap();
         }
         ctx.sleep(Duration::from_millis(500)); // let lazy applies land

@@ -58,7 +58,7 @@ fn main() {
 }
 
 fn run_variant(variant: Variant) -> (f64, f64, f64) {
-    let mut tb = testbed(variant, 0xF16_7 ^ variant.servers() as u64);
+    let mut tb = testbed(variant, 0xF167 ^ variant.servers() as u64);
 
     // --- Append-delete pair ---------------------------------------
     let ad = mean_latency_ms(&mut tb, 10, move |ctx, client, root, i| {
@@ -125,7 +125,10 @@ fn run_variant(variant: Variant) -> (f64, f64, f64) {
             client
                 .append_row(ctx, root, &name, as_cap, vec![Rights::ALL, Rights::NONE])
                 .expect("register");
-            let got = client.lookup(ctx, root, &name).expect("lookup").expect("present");
+            let got = client
+                .lookup(ctx, root, &name)
+                .expect("lookup")
+                .expect("present");
             let back = amoeba_bullet::FileCap {
                 object: got.object,
                 check: got.check,

@@ -62,10 +62,7 @@ fn run_point(variant: Variant, n_clients: usize) -> f64 {
                         root,
                         &format!("client{c}"),
                         d,
-                        vec![
-                            amoeba_dir_core::Rights::ALL,
-                            amoeba_dir_core::Rights::NONE,
-                        ],
+                        vec![amoeba_dir_core::Rights::ALL, amoeba_dir_core::Rights::NONE],
                     )
                     .unwrap();
                 v.push(d);

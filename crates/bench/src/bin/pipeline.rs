@@ -1,0 +1,196 @@
+//! The message-pipeline benchmark behind `BENCH_pipeline.json`.
+//!
+//! Measures, for each service variant, Fig. 8-style lookup throughput
+//! and an update (append+delete) throughput at a fixed client count,
+//! plus mean lookup/update latencies — all on the **simulated** clock,
+//! so numbers reflect protocol cost (packets, per-packet protocol CPU,
+//! wire occupancy), not host speed — and appends one labelled run to
+//! `BENCH_pipeline.json` so successive PRs can diff pipeline
+//! performance. A second run with sequencer batching disabled
+//! (`max_batch = 1`) quantifies what accept coalescing + cumulative
+//! acks buy on the update path.
+//!
+//! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use amoeba_bench::summary::{append_run, RunSummary, VariantSummary};
+use amoeba_bench::{append_delete_pair, lookup_once, mean_latency_ms, testbed_with, throughput};
+use amoeba_dir_core::cluster::Variant;
+use amoeba_dir_core::Rights;
+
+/// Clients for the throughput windows (a mid-curve Fig. 8 point).
+const N_CLIENTS: usize = 5;
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "unlabelled".to_owned());
+    let out_path = std::env::args()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
+    println!("pipeline bench — run '{label}'");
+    let mut run = RunSummary {
+        label: label.clone(),
+        ..Default::default()
+    };
+    for variant in [Variant::Group, Variant::GroupNvram, Variant::Rpc] {
+        run.variants.push(measure(variant, None));
+    }
+    run.group_pipeline = group_layer_points(16);
+    run.micro = micro_points();
+    append_run(&out_path, "pipeline", &run).expect("write BENCH_pipeline.json");
+
+    // The A/B: same build, sequencer batching off. Only group variants
+    // have a sequencer.
+    let mut nobatch = RunSummary {
+        label: format!("{label}+nobatch"),
+        ..Default::default()
+    };
+    for variant in [Variant::Group, Variant::GroupNvram] {
+        nobatch.variants.push(measure(variant, Some(1)));
+    }
+    nobatch.group_pipeline = group_layer_points(1);
+    append_run(&out_path, "pipeline", &nobatch).expect("write BENCH_pipeline.json");
+    println!("appended runs to {}", out_path.display());
+}
+
+/// Host-time micro-benchmarks of the zero-copy codec path (these, unlike
+/// the simulated-clock numbers, shrink with the `Payload` refactor).
+fn micro_points() -> Vec<(String, f64)> {
+    use amoeba_bench::microbench::bench;
+    use amoeba_dir_core::{Capability, DirOp, Rights};
+    use amoeba_flip::{Payload, Port};
+    use amoeba_group::{AcceptBody, GroupMsg, MemberId};
+    use std::hint::black_box;
+
+    let op = DirOp::Append {
+        object: 5,
+        name: "some-file-name".into(),
+        cap: Capability::owner(Port::from_name("bullet"), 9, 31),
+        col_rights: vec![Rights::ALL, Rights::NONE],
+    };
+    let mut out = Vec::new();
+    let r = bench("micro/dir_op_encode", || {
+        black_box(op.encode());
+    });
+    out.push((r.name, r.ns_per_op));
+    let accept = GroupMsg::Accept {
+        instance: 1,
+        incarnation: 0,
+        seq: 42,
+        from: MemberId(1),
+        from_tag: 1,
+        msgid: 7,
+        body: AcceptBody::Data(vec![0u8; 256].into()),
+    };
+    let wire = accept.encode();
+    let r = bench("micro/group_accept_decode_256B", || {
+        black_box(GroupMsg::decode(&wire).unwrap());
+    });
+    out.push((r.name, r.ns_per_op));
+    let payload = Payload::from(vec![0u8; 4096]);
+    let r = bench("micro/payload_clone_4KiB", || {
+        black_box(payload.clone());
+    });
+    out.push((r.name, r.ns_per_op));
+    let r = bench("micro/payload_slice_4KiB", || {
+        black_box(payload.slice(64..1024));
+    });
+    out.push((r.name, r.ns_per_op));
+    out
+}
+
+/// Raw `SendToGroup` throughput (the layer accept batching optimizes),
+/// at two member counts, with `max_batch` under test.
+fn group_layer_points(max_batch: usize) -> Vec<(String, f64, f64)> {
+    use amoeba_bench::group_pipeline::group_send_throughput;
+    let mut out = Vec::new();
+    for (members, senders) in [(3usize, 3usize), (6, 2)] {
+        let r = group_send_throughput(max_batch, members, senders, 64, 0, 0x6E0);
+        println!(
+            "  group layer: {members} members × {senders} senders, batch={max_batch}: \
+             {:.0} msgs/s, {:.2} packets/msg",
+            r.msgs_per_sec, r.packets_per_msg
+        );
+        out.push((
+            format!("members={members}/senders={senders}/batch={max_batch}"),
+            r.msgs_per_sec,
+            r.packets_per_msg,
+        ));
+    }
+    out
+}
+
+fn measure(variant: Variant, max_batch: Option<usize>) -> VariantSummary {
+    let mut label = variant.label().to_owned();
+    if let Some(b) = max_batch {
+        label.push_str(&format!("/batch={b}"));
+    }
+    println!("  variant {label}...");
+    let tweak = move |p: &mut amoeba_dir_core::cluster::ClusterParams| {
+        if let Some(b) = max_batch {
+            p.group.max_batch = b;
+        }
+    };
+
+    // Latencies from a single unloaded client.
+    let mut tb = testbed_with(variant, 0xBA5E, tweak);
+    seed_target(&mut tb);
+    let lookup_latency_ms = mean_latency_ms(&mut tb, 50, |ctx, client, root, _i| {
+        lookup_once(ctx, client, root, "target");
+    });
+    let update_latency_ms = mean_latency_ms(&mut tb, 30, |ctx, client, root, i| {
+        append_delete_pair(ctx, client, root, format!("lat-{i}"));
+    });
+
+    // Fig. 8-style lookup throughput at N_CLIENTS closed-loop clients.
+    let mut tb = testbed_with(variant, 0xF18 + N_CLIENTS as u64, tweak);
+    seed_target(&mut tb);
+    let lookup_ops_per_sec = throughput(
+        &mut tb,
+        N_CLIENTS,
+        Duration::from_secs(1),
+        Duration::from_secs(5),
+        |ctx, client, root, _c, _k| lookup_once(ctx, client, root, "target"),
+    );
+
+    // Update throughput: the sequencer-bound path accept batching helps.
+    let mut tb = testbed_with(variant, 0x0BD8 + N_CLIENTS as u64, tweak);
+    seed_target(&mut tb);
+    let update_ops_per_sec = throughput(
+        &mut tb,
+        N_CLIENTS,
+        Duration::from_secs(1),
+        Duration::from_secs(5),
+        |ctx, client, root, c, k| append_delete_pair(ctx, client, root, format!("u{c}-{k}")),
+    );
+    println!(
+        "    lookup {lookup_ops_per_sec:.0}/s, updates {update_ops_per_sec:.0}/s at \
+         {N_CLIENTS} clients; latency lookup {lookup_latency_ms:.2} ms, \
+         update {update_latency_ms:.2} ms"
+    );
+    VariantSummary {
+        variant: label,
+        n_clients: N_CLIENTS,
+        lookup_ops_per_sec,
+        update_ops_per_sec,
+        lookup_latency_ms,
+        update_latency_ms,
+    }
+}
+
+/// Seeds the row the lookup workload resolves.
+fn seed_target(tb: &mut amoeba_bench::Testbed) {
+    let client = tb.client.clone();
+    let root = tb.root;
+    let out = tb.sim.spawn("seed", move |ctx| {
+        client
+            .append_row(ctx, root, "target", root, vec![Rights::ALL, Rights::NONE])
+            .is_ok()
+    });
+    tb.sim.run_for(Duration::from_secs(10));
+    assert_eq!(out.take(), Some(true), "seed append failed");
+}

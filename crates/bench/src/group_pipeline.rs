@@ -1,0 +1,140 @@
+//! Raw group-communication throughput: the message pipeline measured at
+//! the `SendToGroup` layer, below the directory service (whose update
+//! path is disk-apply-bound and so hides network-protocol cost).
+//!
+//! This is where sequencer accept-batching and cumulative acks show up
+//! on the simulated clock: the sequencer's NIC serializes per-packet
+//! protocol CPU, so coalescing k accepts into one multicast (and k acks
+//! into one) raises messages/second and lowers packets/message — the
+//! §3.1-style protocol cost the paper counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use amoeba_flip::{NetParams, Network, Port};
+use amoeba_group::{Group, GroupConfig, GroupEvent, GroupPeer};
+use amoeba_sim::Simulation;
+
+/// Result of one group-layer throughput run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupPipelineResult {
+    /// Application messages delivered per simulated second (at member 0).
+    pub msgs_per_sec: f64,
+    /// Network packets per delivered message over the window (§3.1-style
+    /// protocol cost; lower is better).
+    pub packets_per_msg: f64,
+}
+
+/// Runs `members` group members; every non-sequencer member runs
+/// `senders_per_member` closed-loop sender processes of
+/// `payload_len`-byte messages for a fixed simulated window. Reports
+/// delivered throughput and packet cost. `max_batch` is the sequencer
+/// batching knob under test.
+pub fn group_send_throughput(
+    max_batch: usize,
+    members: usize,
+    senders_per_member: usize,
+    payload_len: usize,
+    resilience: u32,
+    seed: u64,
+) -> GroupPipelineResult {
+    let mut sim = Simulation::new(seed);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), seed);
+    let mut cfg = GroupConfig::with_resilience(resilience);
+    cfg.max_batch = max_batch;
+    let port = Port::from_name("bench-group");
+
+    let t_start = Duration::from_secs(1);
+    let window = Duration::from_secs(2);
+    let t_end = t_start + window;
+    let delivered = Arc::new(AtomicU64::new(0));
+
+    for i in 0..members {
+        let sim_node = sim.add_node(&format!("m{i}"));
+        let stack = net.attach();
+        let peer = GroupPeer::start(&sim, sim_node, stack, cfg.clone());
+        let delivered = Arc::clone(&delivered);
+        sim.spawn_on(sim_node, &format!("app{i}"), move |ctx| {
+            let g = if i == 0 {
+                peer.create(port, i as u64)
+            } else {
+                ctx.sleep(Duration::from_millis(10 * i as u64));
+                peer.join(ctx, port, i as u64, Duration::from_secs(5))
+                    .expect("join failed")
+            };
+            while g.info().unwrap().view.len() < members {
+                ctx.sleep(Duration::from_millis(5));
+            }
+            let g = Arc::new(g);
+            // Extra pipelined senders, only on non-sequencer machines:
+            // remote senders are flow-controlled by their own accept
+            // round-trip, while a sequencer-local r = 0 send completes
+            // without touching the network and would flood it open-loop.
+            if i != 0 {
+                for s in 1..senders_per_member {
+                    let g = Arc::clone(&g);
+                    ctx.spawn(&format!("send{i}-{s}"), move |ctx| {
+                        sender_loop(&g, ctx, payload_len, t_end);
+                    });
+                }
+            }
+            if i == 0 {
+                // Member 0 counts deliveries inside the window; its own
+                // sends ride on the extra sender processes only.
+                loop {
+                    let now = ctx.now();
+                    if now.saturating_since(amoeba_sim::SimTime::ZERO) >= t_end {
+                        break;
+                    }
+                    match g.recv_timeout(ctx, Duration::from_millis(100)) {
+                        Some(Ok(GroupEvent::Message { .. })) => {
+                            let t = ctx.now().saturating_since(amoeba_sim::SimTime::ZERO);
+                            if t >= t_start && t < t_end {
+                                delivered.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Some(Ok(_)) => {}
+                        Some(Err(e)) => panic!("group error during bench: {e}"),
+                        None => {}
+                    }
+                }
+            } else {
+                sender_loop(&g, ctx, payload_len, t_end);
+            }
+        });
+    }
+
+    sim.run_for(t_start);
+    let stats_start = net.stats();
+    sim.run_for(window);
+    let stats_end = net.stats();
+    sim.run_for(Duration::from_secs(1)); // drain
+    let msgs = delivered.load(Ordering::Relaxed);
+    let packets = stats_end.since(&stats_start).packets_sent;
+    GroupPipelineResult {
+        msgs_per_sec: msgs as f64 / window.as_secs_f64(),
+        packets_per_msg: if msgs == 0 {
+            f64::NAN
+        } else {
+            packets as f64 / msgs as f64
+        },
+    }
+}
+
+fn sender_loop(g: &Group, ctx: &amoeba_sim::Ctx, payload_len: usize, t_end: Duration) {
+    let payload = vec![0xA5u8; payload_len];
+    loop {
+        if ctx.now().saturating_since(amoeba_sim::SimTime::ZERO) >= t_end {
+            return;
+        }
+        if g.send(ctx, payload.clone()).is_err() {
+            ctx.sleep(Duration::from_millis(10));
+        }
+        // Application think time. Also keeps virtual time advancing for
+        // a sender co-located with the sequencer, whose r = 0 sends
+        // complete synchronously (the local apply needs no network
+        // round-trip).
+        ctx.sleep(Duration::from_micros(200));
+    }
+}

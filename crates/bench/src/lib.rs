@@ -5,6 +5,10 @@
 //! virtual time, and reports latencies/throughputs measured on the
 //! simulated clock — the same quantities the paper's Figs. 7–9 report.
 
+pub mod group_pipeline;
+pub mod microbench;
+pub mod summary;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -98,11 +102,7 @@ where
 
 /// Advances the simulation in slices until the probe's value is ready,
 /// without burning virtual time on idle background timers afterwards.
-pub fn run_until_ready<R>(
-    tb: &mut Testbed,
-    out: &amoeba_sim::ProcOutput<R>,
-    limit: Duration,
-) {
+pub fn run_until_ready<R>(tb: &mut Testbed, out: &amoeba_sim::ProcOutput<R>, limit: Duration) {
     let deadline = tb.sim.now() + limit;
     while !out.is_ready() && tb.sim.now() < deadline {
         tb.sim.run_for(Duration::from_millis(500));
@@ -114,7 +114,13 @@ pub fn run_until_ready<R>(
 ///
 /// Each client runs on its own machine (its own kernel port cache), like
 /// the paper's workstations.
-pub fn throughput<F>(tb: &mut Testbed, n_clients: usize, warmup: Duration, window: Duration, op: F) -> f64
+pub fn throughput<F>(
+    tb: &mut Testbed,
+    n_clients: usize,
+    warmup: Duration,
+    window: Duration,
+    op: F,
+) -> f64
 where
     F: Fn(&Ctx, &DirClient, Capability, usize, usize) -> bool + Send + Sync + Clone + 'static,
 {

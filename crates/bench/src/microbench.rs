@@ -1,0 +1,74 @@
+//! A tiny host-time micro-benchmark harness (offline criterion stand-in).
+//!
+//! Measures *real* (host) time: how fast the reproduction itself runs, as
+//! opposed to the figure binaries, which report virtual time. Results are
+//! printed one line per benchmark as `name  <mean>  ns/op  (<iters> iters)`
+//! and also returned so callers can write machine-readable summaries.
+
+use std::time::{Duration, Instant};
+
+/// The outcome of one micro-benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+/// Times `f`, auto-scaling the iteration count until the timed run lasts
+/// at least `budget`. Returns the mean ns/op and prints a summary line.
+pub fn bench_for(name: &str, budget: Duration, mut f: impl FnMut()) -> BenchResult {
+    // Warm-up and calibration: double iterations until the budget is hit.
+    let mut iters: u64 = 1;
+    let elapsed = loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt >= budget || iters >= 1 << 30 {
+            break dt;
+        }
+        let grow = (budget.as_secs_f64() / dt.as_secs_f64().max(1e-9)).clamp(1.5, 16.0);
+        iters = ((iters as f64 * grow) as u64).max(iters + 1);
+    };
+    let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {ns_per_op:>14.1} ns/op   ({iters} iters)");
+    BenchResult {
+        name: name.to_owned(),
+        ns_per_op,
+        iters,
+    }
+}
+
+/// [`bench_for`] with the default 200 ms budget.
+pub fn bench(name: &str, f: impl FnMut()) -> BenchResult {
+    bench_for(name, Duration::from_millis(200), f)
+}
+
+/// Times `samples` runs of `setup`+`routine`, charging only the routine.
+/// For benchmarks whose per-iteration state is expensive to build.
+pub fn bench_with_setup<S>(
+    name: &str,
+    samples: u64,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S),
+) -> BenchResult {
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let state = setup();
+        let t0 = Instant::now();
+        routine(state);
+        total += t0.elapsed();
+    }
+    let ns_per_op = total.as_nanos() as f64 / samples.max(1) as f64;
+    println!("{name:<44} {ns_per_op:>14.1} ns/op   ({samples} samples)");
+    BenchResult {
+        name: name.to_owned(),
+        ns_per_op,
+        iters: samples,
+    }
+}

@@ -1,0 +1,202 @@
+//! Machine-readable benchmark summaries (`BENCH_*.json`).
+//!
+//! Hand-rolled JSON emission (the build environment has no serde): the
+//! file is a single object with a `runs` array; each run records a label
+//! (e.g. a refactor stage), per-variant throughput and latency on the
+//! simulated clock, and optional host-time micro-benchmark results, so
+//! future PRs can diff against any earlier stage and detect regressions.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One measured service variant in a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSummary {
+    /// Variant label (e.g. `Group(3)`).
+    pub variant: String,
+    /// Closed-loop clients used for the throughput window.
+    pub n_clients: usize,
+    /// Completed lookups per simulated second.
+    pub lookup_ops_per_sec: f64,
+    /// Completed append+delete pairs per simulated second (the
+    /// sequencer-bound workload that accept batching amortizes).
+    pub update_ops_per_sec: f64,
+    /// Mean lookup latency in simulated milliseconds.
+    pub lookup_latency_ms: f64,
+    /// Mean append+delete pair latency in simulated milliseconds.
+    pub update_latency_ms: f64,
+}
+
+/// One labelled benchmark run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSummary {
+    /// What this run measures (e.g. `baseline-pre-zero-copy`).
+    pub label: String,
+    /// Per-variant simulated-clock results.
+    pub variants: Vec<VariantSummary>,
+    /// Group-layer pipeline results: (config label, delivered msgs per
+    /// simulated second, packets per message).
+    pub group_pipeline: Vec<(String, f64, f64)>,
+    /// Host-time micro-benchmarks: (name, ns/op).
+    pub micro: Vec<(String, f64)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl RunSummary {
+    fn to_json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        let i2 = format!("{indent}  ");
+        let i3 = format!("{indent}    ");
+        let _ = writeln!(s, "{indent}{{");
+        let _ = writeln!(s, "{i2}\"label\": \"{}\",", json_escape(&self.label));
+        let _ = writeln!(s, "{i2}\"variants\": [");
+        for (k, v) in self.variants.iter().enumerate() {
+            let comma = if k + 1 < self.variants.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "{i3}{{\"variant\": \"{}\", \"n_clients\": {}, \"lookup_ops_per_sec\": {}, \
+                 \"update_ops_per_sec\": {}, \"lookup_latency_ms\": {}, \
+                 \"update_latency_ms\": {}}}{comma}",
+                json_escape(&v.variant),
+                v.n_clients,
+                fmt_f64(v.lookup_ops_per_sec),
+                fmt_f64(v.update_ops_per_sec),
+                fmt_f64(v.lookup_latency_ms),
+                fmt_f64(v.update_latency_ms),
+            );
+        }
+        let _ = writeln!(s, "{i2}],");
+        let _ = writeln!(s, "{i2}\"group_pipeline\": [");
+        for (k, (name, mps, ppm)) in self.group_pipeline.iter().enumerate() {
+            let comma = if k + 1 < self.group_pipeline.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "{i3}{{\"config\": \"{}\", \"msgs_per_sec\": {}, \"packets_per_msg\": {}}}{comma}",
+                json_escape(name),
+                fmt_f64(*mps),
+                fmt_f64(*ppm),
+            );
+        }
+        let _ = writeln!(s, "{i2}],");
+        let _ = writeln!(s, "{i2}\"micro\": [");
+        for (k, (name, ns)) in self.micro.iter().enumerate() {
+            let comma = if k + 1 < self.micro.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "{i3}{{\"name\": \"{}\", \"ns_per_op\": {}}}{comma}",
+                json_escape(name),
+                fmt_f64(*ns),
+            );
+        }
+        let _ = writeln!(s, "{i2}]");
+        let _ = write!(s, "{indent}}}");
+        s
+    }
+}
+
+const FOOTER: &str = "\n  ]\n}\n";
+
+/// Appends `run` to the summary file at `path`, creating it if absent.
+///
+/// The file layout is fixed by this writer, which lets the append splice
+/// before the footer without a JSON parser.
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails if an existing file was not produced by
+/// this writer.
+pub fn append_run(path: &Path, bench_name: &str, run: &RunSummary) -> io::Result<()> {
+    let run_json = run.to_json("    ");
+    let text = match fs::read_to_string(path) {
+        Ok(existing) => {
+            let stem = existing.strip_suffix(FOOTER).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} was not produced by this writer", path.display()),
+                )
+            })?;
+            format!("{stem},\n{run_json}{FOOTER}")
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => format!(
+            "{{\n  \"bench\": \"{}\",\n  \"runs\": [\n{run_json}{FOOTER}",
+            json_escape(bench_name)
+        ),
+        Err(e) => return Err(e),
+    };
+    fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: &str) -> RunSummary {
+        RunSummary {
+            label: label.into(),
+            variants: vec![VariantSummary {
+                variant: "Group(3)".into(),
+                n_clients: 5,
+                lookup_ops_per_sec: 123.4,
+                update_ops_per_sec: 55.0,
+                lookup_latency_ms: 5.1,
+                update_latency_ms: 31.0,
+            }],
+            group_pipeline: vec![("members=3/batch=16".into(), 900.0, 2.5)],
+            micro: vec![("encode".into(), 42.5)],
+        }
+    }
+
+    #[test]
+    fn create_then_append_round_trips() {
+        let dir = std::env::temp_dir().join(format!("bench-summary-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let _ = fs::remove_file(&path);
+        append_run(&path, "pipeline", &sample("baseline")).unwrap();
+        append_run(&path, "pipeline", &sample("after")).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"label\"").count(), 2);
+        assert!(text.ends_with(FOOTER));
+        assert!(text.starts_with("{\n  \"bench\": \"pipeline\""));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_to_foreign_file_fails() {
+        let dir = std::env::temp_dir().join(format!("bench-summary-f-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_foreign.json");
+        fs::write(&path, "{}").unwrap();
+        assert!(append_run(&path, "pipeline", &sample("x")).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,6 +1,7 @@
 //! Wire messages of the Bullet protocol.
 
 use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_flip::Payload;
 
 use crate::cap::FileCap;
 
@@ -9,8 +10,8 @@ use crate::cap::FileCap;
 pub enum BulletRequest {
     /// Create an immutable file holding `data`; returns its capability.
     Create {
-        /// File contents.
-        data: Vec<u8>,
+        /// File contents (shared, zero-copy).
+        data: Payload,
     },
     /// Read the whole file.
     Read {
@@ -39,8 +40,8 @@ pub enum BulletReply {
     },
     /// File contents.
     Data {
-        /// The bytes.
-        data: Vec<u8>,
+        /// The bytes (shared with the wire buffer they arrived in).
+        data: Payload,
     },
     /// File size.
     Size {
@@ -76,10 +77,22 @@ const RP_SIZE: u8 = 3;
 const RP_DONE: u8 = 4;
 const RP_ERROR: u8 = 5;
 
+const CAP_LEN: usize = 8 + 8;
+
 impl BulletRequest {
-    /// Encodes to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    /// Exact encoded size, used as the writer's single-allocation hint.
+    fn encoded_len(&self) -> usize {
+        match self {
+            BulletRequest::Create { data } => 1 + 4 + data.len(),
+            BulletRequest::Read { .. }
+            | BulletRequest::Size { .. }
+            | BulletRequest::Delete { .. } => 1 + CAP_LEN,
+        }
+    }
+
+    /// Encodes into a shared buffer in a single allocation.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
         match self {
             BulletRequest::Create { data } => {
                 w.u8(RQ_CREATE).bytes(data);
@@ -97,19 +110,21 @@ impl BulletRequest {
                 cap.write(&mut w);
             }
         }
-        w.finish()
+        debug_assert_eq!(w.len(), self.encoded_len());
+        w.finish_payload()
     }
 
-    /// Decodes from wire bytes.
+    /// Decodes from a shared wire buffer; file contents come back as a
+    /// zero-copy slice of `buf`.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] for malformed input.
-    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
-        let mut r = WireReader::new(buf);
+    pub fn decode(buf: &Payload) -> Result<Self, DecodeError> {
+        let mut r = WireReader::of(buf);
         let req = match r.u8("bullet req tag")? {
             RQ_CREATE => BulletRequest::Create {
-                data: r.bytes("create data")?,
+                data: r.payload("create data")?,
             },
             RQ_READ => BulletRequest::Read {
                 cap: FileCap::read(&mut r)?,
@@ -128,9 +143,20 @@ impl BulletRequest {
 }
 
 impl BulletReply {
-    /// Encodes to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    /// Exact encoded size, used as the writer's single-allocation hint.
+    fn encoded_len(&self) -> usize {
+        match self {
+            BulletReply::Created { .. } => 1 + CAP_LEN,
+            BulletReply::Data { data } => 1 + 4 + data.len(),
+            BulletReply::Size { .. } => 1 + 8,
+            BulletReply::Done => 1,
+            BulletReply::Error { .. } => 1 + 1,
+        }
+    }
+
+    /// Encodes into a shared buffer in a single allocation.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
         match self {
             BulletReply::Created { cap } => {
                 w.u8(RP_CREATED);
@@ -152,22 +178,24 @@ impl BulletReply {
                 });
             }
         }
-        w.finish()
+        debug_assert_eq!(w.len(), self.encoded_len());
+        w.finish_payload()
     }
 
-    /// Decodes from wire bytes.
+    /// Decodes from a shared wire buffer; file contents come back as a
+    /// zero-copy slice of `buf`.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] for malformed input.
-    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
-        let mut r = WireReader::new(buf);
+    pub fn decode(buf: &Payload) -> Result<Self, DecodeError> {
+        let mut r = WireReader::of(buf);
         let rep = match r.u8("bullet rep tag")? {
             RP_CREATED => BulletReply::Created {
                 cap: FileCap::read(&mut r)?,
             },
             RP_DATA => BulletReply::Data {
-                data: r.bytes("rep data")?,
+                data: r.payload("rep data")?,
             },
             RP_SIZE => BulletReply::Size {
                 len: r.u64("rep size")?,
@@ -190,7 +218,7 @@ impl BulletReply {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use amoeba_testkit::{check, Gen};
 
     #[test]
     fn requests_round_trip() {
@@ -199,7 +227,9 @@ mod tests {
             check: 0xAB,
         };
         for req in [
-            BulletRequest::Create { data: vec![1, 2] },
+            BulletRequest::Create {
+                data: vec![1, 2].into(),
+            },
             BulletRequest::Read { cap },
             BulletRequest::Size { cap },
             BulletRequest::Delete { cap },
@@ -216,7 +246,9 @@ mod tests {
         };
         for rep in [
             BulletReply::Created { cap },
-            BulletReply::Data { data: vec![3] },
+            BulletReply::Data {
+                data: vec![3].into(),
+            },
             BulletReply::Size { len: 77 },
             BulletReply::Done,
             BulletReply::Error {
@@ -230,11 +262,12 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+    #[test]
+    fn prop_decode_never_panics() {
+        check("bullet decode never panics", 256, |g: &mut Gen| {
+            let data: Payload = g.bytes(64).into();
             let _ = BulletRequest::decode(&data);
             let _ = BulletReply::decode(&data);
-        }
+        });
     }
 }

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use amoeba_disk::DiskServer;
-use amoeba_flip::Port;
+use amoeba_flip::{Payload, Port};
 use amoeba_rpc::{RpcClient, RpcError, RpcNode, RpcServer};
 use amoeba_sim::{Ctx, NodeId, Spawn};
 
@@ -48,6 +48,7 @@ impl From<RpcError> for BulletError {
 ///
 /// The RAM file cache lives inside the server processes and is lost on a
 /// machine crash; `store` and the disk contents survive.
+#[allow(clippy::too_many_arguments)] // deployment wiring, one call site per cluster
 pub fn start_bullet_server(
     spawner: &impl Spawn,
     sim_node: NodeId,
@@ -58,7 +59,7 @@ pub fn start_bullet_server(
     base_block: u64,
     threads: usize,
 ) {
-    let cache: std::sync::Arc<parking_lot::Mutex<HashMap<u64, Vec<u8>>>> =
+    let cache: std::sync::Arc<parking_lot::Mutex<HashMap<u64, Payload>>> =
         std::sync::Arc::new(parking_lot::Mutex::new(HashMap::new()));
     for t in 0..threads.max(1) {
         let srv = RpcServer::new(rpc, service);
@@ -86,7 +87,7 @@ fn handle(
     ctx: &Ctx,
     disk: &DiskServer,
     store: &BulletStore,
-    cache: &parking_lot::Mutex<HashMap<u64, Vec<u8>>>,
+    cache: &parking_lot::Mutex<HashMap<u64, Payload>>,
     base_block: u64,
     req: BulletRequest,
 ) -> BulletReply {
@@ -125,6 +126,7 @@ fn handle(
                 let blocks = disk.read_run(ctx, base_block + inode.start_block, nblocks);
                 let mut data: Vec<u8> = blocks.into_iter().flatten().collect();
                 data.truncate(inode.len_bytes);
+                let data = Payload::from(data);
                 cache.lock().insert(cap.object, data.clone());
                 BulletReply::Data { data }
             }
@@ -171,14 +173,15 @@ impl BulletClient {
         BulletReply::decode(&bytes).map_err(|_| BulletError::Protocol)
     }
 
-    /// Creates an immutable file.
+    /// Creates an immutable file. The contents are shared, not copied,
+    /// on their way to the wire.
     ///
     /// # Errors
     ///
     /// [`BulletError::NoSpace`] if the server's file area is exhausted;
     /// transport errors if the server is unreachable.
-    pub fn create(&self, ctx: &Ctx, data: Vec<u8>) -> Result<FileCap, BulletError> {
-        match self.call(ctx, BulletRequest::Create { data })? {
+    pub fn create(&self, ctx: &Ctx, data: impl Into<Payload>) -> Result<FileCap, BulletError> {
+        match self.call(ctx, BulletRequest::Create { data: data.into() })? {
             BulletReply::Created { cap } => Ok(cap),
             BulletReply::Error { kind } => Err(kind.into()),
             _ => Err(BulletError::Protocol),
@@ -190,7 +193,7 @@ impl BulletClient {
     /// # Errors
     ///
     /// [`BulletError::BadCapability`] for unknown/forged capabilities.
-    pub fn read(&self, ctx: &Ctx, cap: FileCap) -> Result<Vec<u8>, BulletError> {
+    pub fn read(&self, ctx: &Ctx, cap: FileCap) -> Result<Payload, BulletError> {
         match self.call(ctx, BulletRequest::Read { cap })? {
             BulletReply::Data { data } => Ok(data),
             BulletReply::Error { kind } => Err(kind.into()),

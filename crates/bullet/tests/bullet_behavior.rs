@@ -100,7 +100,10 @@ fn cached_read_does_no_disk_io() {
     let (len, reads, read_time) = out.take().unwrap();
     assert_eq!(len, 64);
     assert_eq!(reads, 0, "served from RAM cache");
-    assert!(read_time < Duration::from_millis(5), "cached read {read_time:?}");
+    assert!(
+        read_time < Duration::from_millis(5),
+        "cached read {read_time:?}"
+    );
 }
 
 #[test]
@@ -139,7 +142,7 @@ fn files_are_immutable_and_independent() {
         client.read(ctx, b).unwrap()
     });
     sim.run_for(Duration::from_secs(5));
-    assert_eq!(out.take(), Some(vec![2; 20]));
+    assert_eq!(out.take(), Some(amoeba_flip::Payload::from(vec![2; 20])));
 }
 
 #[test]
@@ -154,5 +157,5 @@ fn large_file_round_trips_across_blocks() {
         client.read(ctx, cap).unwrap()
     });
     sim.run_for(Duration::from_secs(5));
-    assert_eq!(out.take(), Some(expected));
+    assert_eq!(out.take(), Some(amoeba_flip::Payload::from(expected)));
 }

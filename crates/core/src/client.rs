@@ -84,11 +84,7 @@ impl DirClient {
     /// # Errors
     ///
     /// Service errors ([`DirError`]) or transport failures.
-    pub fn create_dir(
-        &self,
-        ctx: &Ctx,
-        columns: &[&str],
-    ) -> Result<Capability, DirClientError> {
+    pub fn create_dir(&self, ctx: &Ctx, columns: &[&str]) -> Result<Capability, DirClientError> {
         let req = DirRequest::CreateDir {
             columns: columns.iter().map(|s| (*s).to_owned()).collect(),
         };
@@ -172,12 +168,7 @@ impl DirClient {
     /// # Errors
     ///
     /// Service errors or transport failures.
-    pub fn delete_row(
-        &self,
-        ctx: &Ctx,
-        dir: Capability,
-        name: &str,
-    ) -> Result<(), DirClientError> {
+    pub fn delete_row(&self, ctx: &Ctx, dir: Capability, name: &str) -> Result<(), DirClientError> {
         self.expect_ok(
             ctx,
             &DirRequest::DeleteRow {

@@ -7,6 +7,7 @@
 //! masks in the visible columns.
 
 use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_flip::Payload;
 
 use crate::capability::Capability;
 use crate::rights::Rights;
@@ -150,9 +151,19 @@ impl Directory {
         }
     }
 
-    /// Serializes for storage in a Bullet file.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    /// Serializes for storage in a Bullet file, sized up front so even a
+    /// large directory marshals in a single allocation.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::with_capacity(
+            8 + 1
+                + self.columns.iter().map(|c| 4 + c.len()).sum::<usize>()
+                + 4
+                + self
+                    .rows
+                    .iter()
+                    .map(|r| 4 + r.name.len() + (8 + 8 + 1 + 8) + 1 + r.col_rights.len())
+                    .sum::<usize>(),
+        );
         w.u64(self.seqno);
         w.u8(self.columns.len() as u8);
         for c in &self.columns {
@@ -167,7 +178,7 @@ impl Directory {
                 w.u8(m.0);
             }
         }
-        w.finish()
+        w.finish_payload()
     }
 
     /// Deserializes from a Bullet file.
@@ -245,7 +256,7 @@ impl std::error::Error for DirStructureError {}
 mod tests {
     use super::*;
     use amoeba_flip::Port;
-    use proptest::prelude::*;
+    use amoeba_testkit::{check, Gen};
 
     fn cap(object: u64) -> Capability {
         Capability::owner(Port::from_name("x"), object, object * 77)
@@ -287,12 +298,8 @@ mod tests {
     #[test]
     fn effective_rights_unions_visible_columns() {
         let mut d = two_col();
-        d.append_row(
-            "a".into(),
-            cap(1),
-            vec![Rights::ALL, Rights::column(0)],
-        )
-        .unwrap();
+        d.append_row("a".into(), cap(1), vec![Rights::ALL, Rights::column(0)])
+            .unwrap();
         let row = d.find("a").unwrap();
         // Holder sees only column 1 ("other"): gets that mask.
         assert_eq!(
@@ -300,10 +307,7 @@ mod tests {
             Rights::column(0)
         );
         // Holder sees both columns: union.
-        assert_eq!(
-            d.effective_rights(row, Rights::columns(2)),
-            Rights::ALL
-        );
+        assert_eq!(d.effective_rights(row, Rights::columns(2)), Rights::ALL);
         // Holder sees no columns: nothing.
         assert_eq!(d.effective_rights(row, Rights::MODIFY), Rights::NONE);
     }
@@ -337,14 +341,15 @@ mod tests {
         let _ = Directory::new(vec![]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_encode_decode(seqno: u64,
-                              names in proptest::collection::vec("[a-z]{1,12}", 0..20)) {
+    #[test]
+    fn prop_encode_decode() {
+        check("directory encode/decode", 128, |g: &mut Gen| {
             let mut d = Directory::new(vec!["owner".into(), "group".into(), "other".into()]);
-            d.seqno = seqno;
-            for (i, n) in names.iter().enumerate() {
+            d.seqno = g.u64();
+            let names = g.below(20);
+            for i in 0..names {
                 // Duplicates are rejected; only insert fresh names.
+                let n = g.string(12);
                 let _ = d.append_row(
                     format!("{n}{i}"),
                     cap(i as u64),
@@ -352,12 +357,14 @@ mod tests {
                 );
             }
             let bytes = d.encode();
-            prop_assert_eq!(Directory::decode(&bytes).unwrap(), d);
-        }
+            assert_eq!(Directory::decode(&bytes).unwrap(), d);
+        });
+    }
 
-        #[test]
-        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let _ = Directory::decode(&data);
-        }
+    #[test]
+    fn prop_decode_never_panics() {
+        check("directory decode never panics", 256, |g: &mut Gen| {
+            let _ = Directory::decode(&g.bytes(256));
+        });
     }
 }

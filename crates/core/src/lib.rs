@@ -22,6 +22,37 @@
 //! directory + Bullet + disk server per replica) inside the deterministic
 //! simulator, with crash, reboot, disk-destruction and partition controls.
 //!
+//! ## The message pipeline (zero-copy invariants)
+//!
+//! A directory update travels flip → rpc → group → core as a shared
+//! [`Payload`](amoeba_flip::Payload) — an `Arc`-backed buffer with
+//! zero-copy slicing — and the pipeline maintains these invariants:
+//!
+//! 1. **Encode once.** [`DirOp::encode`] sizes its `WireWriter` exactly
+//!    and produces the update's bytes in a single allocation; the same
+//!    holds for every payload-bearing wire message (`RpcMsg`,
+//!    `GroupMsg`, `BulletRequest`/`Reply`).
+//! 2. **Never copy on the way down.** `RpcClient::trans`, `Group::send`
+//!    and `BulletClient::create` accept `impl Into<Payload>`; retries,
+//!    the sequencer's history buffer, BB stores and app-delivery queues
+//!    all hold clones of the same buffer (`Payload::clone` is an `Arc`
+//!    bump, never a byte copy).
+//! 3. **Never copy on the way up.** Decoders run over the packet's
+//!    shared buffer (`WireReader::of`) and return embedded byte strings
+//!    as zero-copy sub-payloads (`WireReader::payload`), so the op bytes
+//!    a replica applies alias the wire buffer they arrived in. Multicast
+//!    fan-out clones [`Packet`](amoeba_flip::Packet)s at `Arc` cost.
+//! 4. **Structured decode may allocate.** Parsing a `DirOp` or
+//!    `Directory` into strings/capabilities allocates for the *parsed
+//!    values* — never for the payload bytes themselves.
+//!
+//! The only deliberate byte copies on a hot path are at the storage
+//! boundary (chunking file contents into simulated disk blocks) — see
+//! `amoeba-bullet`. On top of the zero-copy spine, the group layer
+//! coalesces accepts into `AcceptBatch` multicasts with cumulative acks
+//! (see `amoeba_group::GroupConfig::max_batch`), which is what amortizes
+//! per-packet protocol cost under concurrent update load.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -85,7 +85,8 @@ impl DirModel {
                 col_rights,
             } => {
                 let dir = self.dirs.get_mut(object).ok_or(DirError::BadCapability)?;
-                dir.chmod_row(name, col_rights.clone()).map_err(|_| DirError::NoSuchName)?;
+                dir.chmod_row(name, col_rights.clone())
+                    .map_err(|_| DirError::NoSuchName)?;
                 Ok(None)
             }
             DirOp::DeleteRow { object, name } => {

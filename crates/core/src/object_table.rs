@@ -167,7 +167,11 @@ impl ObjectTable {
 fn encode_entry(w: &mut WireWriter, e: &Option<ObjEntry>) {
     match e {
         Some(e) => {
-            w.u8(1).u64(e.file_cap.object).u64(e.file_cap.check).u64(e.seqno).u64(e.check);
+            w.u8(1)
+                .u64(e.file_cap.object)
+                .u64(e.file_cap.check)
+                .u64(e.seqno)
+                .u64(e.check);
             // Pad to the fixed entry size.
             for _ in 0..(ENTRY_BYTES - 33) {
                 w.u8(0);

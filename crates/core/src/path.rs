@@ -76,9 +76,7 @@ pub fn create_all(
                         let _ = client.delete_dir(ctx, new_dir);
                         match client.lookup(ctx, cur, comp)? {
                             Some(cap) => cur = cap,
-                            None => {
-                                return Err(DirClientError::Service(DirError::NoSuchName))
-                            }
+                            None => return Err(DirClientError::Service(DirError::NoSuchName)),
                         }
                     }
                     Err(e) => return Err(e),

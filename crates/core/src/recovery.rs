@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use amoeba_bullet::FileCap;
 use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_flip::Payload;
 use amoeba_group::{Group, GroupPeer};
 use amoeba_rpc::{RpcClient, RpcServer};
 use amoeba_sim::Ctx;
@@ -72,8 +73,9 @@ pub(crate) enum InternalMsg {
         applied_group_seq: u64,
         update_seq: u64,
         commit_seq: u64,
-        /// (object, check, dir bytes) for every live directory.
-        entries: Vec<(u64, u64, Vec<u8>)>,
+        /// (object, check, dir bytes) for every live directory; the
+        /// bytes are shared slices of the state-transfer wire buffer.
+        entries: Vec<(u64, u64, Payload)>,
     },
     /// The server cannot answer right now.
     Busy,
@@ -101,8 +103,20 @@ fn read_bools(r: &mut WireReader<'_>) -> Result<Vec<bool>, DecodeError> {
 }
 
 impl InternalMsg {
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    pub fn encode(&self) -> Payload {
+        let mut w = match self {
+            // State transfer can be large: size the buffer up front so
+            // the whole snapshot is marshalled in one allocation.
+            InternalMsg::State { entries, .. } => WireWriter::with_capacity(
+                1 + 8 * 4
+                    + 4
+                    + entries
+                        .iter()
+                        .map(|(_, _, bytes)| 8 + 8 + 4 + bytes.len())
+                        .sum::<usize>(),
+            ),
+            _ => WireWriter::new(),
+        };
         match self {
             InternalMsg::Exchange {
                 from,
@@ -147,11 +161,11 @@ impl InternalMsg {
                 w.u8(I_BUSY);
             }
         }
-        w.finish()
+        w.finish_payload()
     }
 
-    pub fn decode(buf: &[u8]) -> Result<InternalMsg, DecodeError> {
-        let mut r = WireReader::new(buf);
+    pub fn decode(buf: &Payload) -> Result<InternalMsg, DecodeError> {
+        let mut r = WireReader::of(buf);
         let m = match r.u8("internal tag")? {
             I_EXCHANGE => InternalMsg::Exchange {
                 from: r.u32("from")?,
@@ -178,7 +192,7 @@ impl InternalMsg {
                 for _ in 0..n {
                     let object = r.u64("object")?;
                     let check = r.u64("check")?;
-                    let bytes = r.bytes("dir bytes")?;
+                    let bytes = r.payload("dir bytes")?;
                     entries.push((object, check, bytes));
                 }
                 InternalMsg::State {
@@ -198,12 +212,7 @@ impl InternalMsg {
 }
 
 /// The always-on internal RPC service of one server.
-pub(crate) fn serve_internal(
-    ctx: &Ctx,
-    srv: &RpcServer,
-    applier: &Applier,
-    cfg: &ServiceConfig,
-) {
+pub(crate) fn serve_internal(ctx: &Ctx, srv: &RpcServer, applier: &Applier, cfg: &ServiceConfig) {
     loop {
         let incoming = srv.getreq(ctx);
         let reply = match InternalMsg::decode(&incoming.data) {
@@ -226,7 +235,7 @@ pub(crate) fn serve_internal(
                     let _ = applier.load_dir(ctx, *o);
                 }
                 let shared = applier.shared.lock();
-                let entries: Vec<(u64, u64, Vec<u8>)> = shared
+                let entries: Vec<(u64, u64, Payload)> = shared
                     .table
                     .iter()
                     .filter_map(|(object, entry)| {
@@ -236,11 +245,7 @@ pub(crate) fn serve_internal(
                             .map(|d| (object, entry.check, d.encode()))
                     })
                     .collect();
-                let instance = shared
-                    .group
-                    .as_ref()
-                    .map(|g| g.instance_id())
-                    .unwrap_or(0);
+                let instance = shared.group.as_ref().map(|g| g.instance_id()).unwrap_or(0);
                 InternalMsg::State {
                     instance,
                     applied_group_seq: shared.applied_group_seq,
@@ -285,16 +290,24 @@ pub(crate) fn run_recovery(ctx: &Ctx, applier: &Applier, deps: &RecoveryDeps) ->
         // "re-join server group or create it". Join patience grows with
         // the server index so concurrent cold boots converge on server
         // 0's instance instead of racing three singleton groups.
-        let patience = params.recovery_join_timeout
-            + params.recovery_join_timeout / 2 * (cfg.me as u32);
+        let patience =
+            params.recovery_join_timeout + params.recovery_join_timeout / 2 * (cfg.me as u32);
         let group = match deps.peer.join(ctx, cfg.group_port, cfg.me as u64, patience) {
             Ok(g) => {
-                ctx.trace(format!("recovery[{}]: joined instance {}", cfg.me, g.instance_id()));
+                ctx.trace(format!(
+                    "recovery[{}]: joined instance {}",
+                    cfg.me,
+                    g.instance_id()
+                ));
                 g
             }
             Err(_) => {
                 let g = deps.peer.create(cfg.group_port, cfg.me as u64);
-                ctx.trace(format!("recovery[{}]: created instance {}", cfg.me, g.instance_id()));
+                ctx.trace(format!(
+                    "recovery[{}]: created instance {}",
+                    cfg.me,
+                    g.instance_id()
+                ));
                 g
             }
         };
@@ -610,7 +623,6 @@ fn applier_store(ctx: &Ctx, applier: &Applier, object: u64, dir: &Directory) {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,7 +647,7 @@ mod tests {
                 applied_group_seq: 5,
                 update_seq: 11,
                 commit_seq: 2,
-                entries: vec![(1, 99, vec![1, 2, 3])],
+                entries: vec![(1, 99, vec![1, 2, 3].into())],
             },
             InternalMsg::Busy,
         ];
@@ -646,7 +658,7 @@ mod tests {
 
     #[test]
     fn decode_garbage_fails_cleanly() {
-        assert!(InternalMsg::decode(&[77]).is_err());
-        assert!(InternalMsg::decode(&[]).is_err());
+        assert!(InternalMsg::decode(&Payload::from(vec![77])).is_err());
+        assert!(InternalMsg::decode(&Payload::empty()).is_err());
     }
 }

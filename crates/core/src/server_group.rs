@@ -134,9 +134,7 @@ pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupD
         spawner.spawn_boxed(
             Some(sim_node),
             &format!("dir{}-main", cfg.me),
-            Box::new(move |ctx| {
-                main_loop(ctx, &applier, &cfg, &params, &peer, &rpc_client, &cpu)
-            }),
+            Box::new(move |ctx| main_loop(ctx, &applier, &cfg, &params, &peer, &rpc_client, &cpu)),
         );
     }
     server

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use amoeba_bullet::BulletClient;
 use amoeba_disk::RawPartition;
 use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_flip::Payload;
 use amoeba_rpc::{RpcClient, RpcNode, RpcServer};
 use amoeba_sim::{Ctx, MailboxTx, NodeId, Resource, Spawn};
 use parking_lot::Mutex;
@@ -30,12 +31,18 @@ use crate::state::{Applier, Mode, Shared};
 #[derive(Debug, Clone, PartialEq)]
 enum PeerMsg {
     /// "I intend to perform this update" (locks the directory remotely).
-    Intent { useq: u64, op: Vec<u8> },
+    Intent {
+        useq: u64,
+        op: Payload,
+    },
     IntentOk,
     /// A conflicting operation is in progress; retry.
     IntentBusy,
     /// Lazy replication: apply this update for real.
-    ApplyLazy { useq: u64, op: Vec<u8> },
+    ApplyLazy {
+        useq: u64,
+        op: Payload,
+    },
     ApplyOk,
 }
 
@@ -46,8 +53,11 @@ const P_APPLY: u8 = 4;
 const P_APPLY_OK: u8 = 5;
 
 impl PeerMsg {
-    fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    fn encode(&self) -> Payload {
+        let mut w = WireWriter::with_capacity(match self {
+            PeerMsg::Intent { op, .. } | PeerMsg::ApplyLazy { op, .. } => 1 + 8 + 4 + op.len(),
+            _ => 1,
+        });
         match self {
             PeerMsg::Intent { useq, op } => {
                 w.u8(P_INTENT).u64(*useq).bytes(op);
@@ -65,21 +75,21 @@ impl PeerMsg {
                 w.u8(P_APPLY_OK);
             }
         }
-        w.finish()
+        w.finish_payload()
     }
 
-    fn decode(buf: &[u8]) -> Result<PeerMsg, DecodeError> {
-        let mut r = WireReader::new(buf);
+    fn decode(buf: &Payload) -> Result<PeerMsg, DecodeError> {
+        let mut r = WireReader::of(buf);
         let m = match r.u8("peer tag")? {
             P_INTENT => PeerMsg::Intent {
                 useq: r.u64("useq")?,
-                op: r.bytes("op")?,
+                op: r.payload("op")?,
             },
             P_INTENT_OK => PeerMsg::IntentOk,
             P_INTENT_BUSY => PeerMsg::IntentBusy,
             P_APPLY => PeerMsg::ApplyLazy {
                 useq: r.u64("useq")?,
-                op: r.bytes("op")?,
+                op: r.payload("op")?,
             },
             P_APPLY_OK => PeerMsg::ApplyOk,
             _ => return Err(DecodeError::new("peer tag")),
@@ -95,7 +105,7 @@ struct RpcCoord {
     /// the allocation lock taken by creates).
     locked: HashSet<u64>,
     /// Intentions accepted from the peer and not yet applied lazily.
-    pending_intents: Vec<(u64, Vec<u8>)>,
+    pending_intents: Vec<(u64, Payload)>,
 }
 
 /// Handle to one running RPC directory server.
@@ -183,14 +193,14 @@ pub fn start_rpc_server(spawner: &impl Spawn, deps: RpcServerDeps) -> RpcDirServ
     };
     // Lazy-apply queue: the background thread that creates the second
     // replica of updated directories.
-    let (lazy_tx, lazy_rx) = spawner.sim_handle().channel::<(u64, Vec<u8>)>();
+    let (lazy_tx, lazy_rx) = spawner.sim_handle().channel::<(u64, Payload)>();
 
     // Peer service: intentions and lazy applies from the other server.
     // ApplyLazy is queued to a background worker so producing the second
     // replica never delays the next update's intentions (the "lazy
     // replication" of §1); two threads keep the port listening while an
     // intention's log write is in progress.
-    let (apply_tx, apply_rx) = spawner.sim_handle().channel::<(u64, Vec<u8>)>();
+    let (apply_tx, apply_rx) = spawner.sim_handle().channel::<(u64, Payload)>();
     {
         let applier = Arc::clone(&applier);
         let coord = Arc::clone(&coord);
@@ -336,7 +346,7 @@ fn rpc_initiator_loop(
     cpu: &Resource,
     rpc_client: &RpcClient,
     peer_port: amoeba_flip::Port,
-    lazy_tx: &MailboxTx<(u64, Vec<u8>)>,
+    lazy_tx: &MailboxTx<(u64, Payload)>,
 ) {
     loop {
         let incoming = srv.getreq(ctx);
@@ -365,7 +375,7 @@ fn rpc_write(
     coord: &Mutex<RpcCoord>,
     rpc_client: &RpcClient,
     peer_port: amoeba_flip::Port,
-    lazy_tx: &MailboxTx<(u64, Vec<u8>)>,
+    lazy_tx: &MailboxTx<(u64, Payload)>,
     req: &DirRequest,
 ) -> DirReply {
     let op = match applier.prepare_write(ctx, req) {

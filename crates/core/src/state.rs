@@ -146,7 +146,10 @@ pub(crate) fn validate_dir_cap(
     if cap.port != public_port {
         return Err(DirError::BadCapability);
     }
-    let entry = shared.table.get(cap.object).ok_or(DirError::BadCapability)?;
+    let entry = shared
+        .table
+        .get(cap.object)
+        .ok_or(DirError::BadCapability)?;
     if !cap.validate(entry.check) {
         return Err(DirError::BadCapability);
     }
@@ -187,7 +190,7 @@ fn decode_nv_record(data: &[u8]) -> Option<(u64, DirOp)> {
     let mut r = WireReader::new(data);
     let useq = r.u64("nv seq").ok()?;
     let bytes = r.bytes("nv op").ok()?;
-    let op = DirOp::decode(&bytes).ok()?;
+    let op = DirOp::decode(bytes).ok()?;
     Some((useq, op))
 }
 
@@ -314,7 +317,11 @@ impl Applier {
                     },
                 );
                 let cap = Capability::owner(self.cfg.public_port, object, *check);
-                Ok((DirReply::Cap(cap), vec![Effect::StoreDir { object, dir }], useq))
+                Ok((
+                    DirReply::Cap(cap),
+                    vec![Effect::StoreDir { object, dir }],
+                    useq,
+                ))
             }
             DirOp::Delete { object } => {
                 let entry = shared.table.get(*object).ok_or(DirError::BadCapability)?;
@@ -356,7 +363,8 @@ impl Applier {
                 col_rights,
             } => {
                 let mut dir = self.dir_for_plan(shared, *object)?;
-                dir.chmod_row(name, col_rights.clone()).map_err(structure_err)?;
+                dir.chmod_row(name, col_rights.clone())
+                    .map_err(structure_err)?;
                 dir.seqno = useq;
                 shared.cache.insert(*object, dir.clone());
                 Ok((
@@ -417,11 +425,7 @@ impl Applier {
         if shared.table.get(object).is_none() {
             return Err(DirError::BadCapability);
         }
-        shared
-            .cache
-            .get(&object)
-            .cloned()
-            .ok_or(DirError::Internal)
+        shared.cache.get(&object).cloned().ok_or(DirError::Internal)
     }
 
     /// Disk-path storage effect.
@@ -499,18 +503,14 @@ impl Applier {
                         append_uid = Some(rec.uid);
                         delete_uid = None;
                     }
-                    DirOp::DeleteRow { name: n, .. } if n == name => {
-                        if append_uid.is_some() {
-                            delete_uid = Some(rec.uid);
-                        }
+                    DirOp::DeleteRow { name: n, .. } if n == name && append_uid.is_some() => {
+                        delete_uid = Some(rec.uid);
                     }
                     DirOp::Chmod { name: n, .. } if n == name => {
                         append_uid = None;
                         delete_uid = None;
                     }
-                    DirOp::ReplaceSet { items }
-                        if items.iter().any(|(_, n, _)| n == name) =>
-                    {
+                    DirOp::ReplaceSet { items } if items.iter().any(|(_, n, _)| n == name) => {
                         append_uid = None;
                         delete_uid = None;
                     }
@@ -773,9 +773,7 @@ impl Applier {
                 }
                 Ok(DirOp::ReplaceSet { items: out })
             }
-            DirRequest::ListDir { .. } | DirRequest::LookupSet { .. } => {
-                Err(DirError::Malformed)
-            }
+            DirRequest::ListDir { .. } | DirRequest::LookupSet { .. } => Err(DirError::Malformed),
         }
     }
 }

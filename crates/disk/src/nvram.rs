@@ -270,7 +270,10 @@ mod tests {
         });
         sim.run();
         let drained = nv.drain_all();
-        assert_eq!(drained.iter().map(|r| r.tag).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            drained.iter().map(|r| r.tag).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert_eq!(nv.used(), 0);
         assert_eq!(nv.stats().flushed, 4);
     }

@@ -86,7 +86,10 @@ impl VDisk {
         i.stats.reads += 1;
         i.stats.blocks += 1;
         let size = i.block_size;
-        i.blocks.get(&block).cloned().unwrap_or_else(|| vec![0; size])
+        i.blocks
+            .get(&block)
+            .cloned()
+            .unwrap_or_else(|| vec![0; size])
     }
 
     /// Writes a block (shorter data is zero-padded).

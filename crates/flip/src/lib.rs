@@ -11,12 +11,14 @@
 //! probabilistic packet loss and duplication, and latency jitter.
 //!
 //! See [`Network`] for the medium, [`NodeStack`] for a host's view of it,
-//! and [`wire`] for the explicit byte codec used by the protocol layers.
+//! [`wire`] for the explicit byte codec used by the protocol layers, and
+//! [`bytes`] for the zero-copy [`Payload`] buffers every layer exchanges.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod addr;
+pub mod bytes;
 mod network;
 mod packet;
 mod params;
@@ -26,6 +28,7 @@ mod stats;
 pub mod wire;
 
 pub use addr::{Dest, GroupAddr, HostAddr};
+pub use bytes::Payload;
 pub use network::Network;
 pub use packet::Packet;
 pub use params::NetParams;

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use amoeba_sim::{MailboxTx, SimHandle, SimRng};
+use amoeba_sim::{MailboxTx, SimHandle, SimRng, SimTime};
 use parking_lot::Mutex;
 
 use crate::addr::{Dest, GroupAddr, HostAddr};
@@ -26,6 +26,15 @@ struct NetInner {
     rng: SimRng,
     stats: NetStats,
     next_host: u32,
+    /// Occupancy model: when each host's sending side is free again
+    /// (protocol-processing CPU serializes per host, paper §4.2).
+    tx_free: HashMap<HostAddr, SimTime>,
+    /// When the shared ether is free again (one packet on the wire at a
+    /// time; a multicast occupies it once, however many hosts listen —
+    /// the hardware property the group protocol exploits).
+    wire_free: SimTime,
+    /// When each host's receiving side is free again.
+    rx_free: HashMap<HostAddr, SimTime>,
 }
 
 /// The simulated LAN that all hosts attach to.
@@ -51,7 +60,7 @@ struct NetInner {
 /// });
 /// let got = sim.spawn("receiver", move |ctx| rx.recv(ctx).payload);
 /// sim.run();
-/// assert_eq!(got.take(), Some(b"hi".to_vec()));
+/// assert_eq!(got.take(), Some(amoeba_flip::Payload::from(b"hi")));
 /// ```
 #[derive(Clone)]
 pub struct Network {
@@ -82,6 +91,9 @@ impl Network {
                 rng: SimRng::new(seed).fork(0xF11F),
                 stats: NetStats::default(),
                 next_host: 0,
+                tx_free: HashMap::new(),
+                wire_free: SimTime::ZERO,
+                rx_free: HashMap::new(),
             })),
         }
     }
@@ -116,6 +128,9 @@ impl Network {
         for members in inner.groups.values_mut() {
             members.remove(&host);
         }
+        // The NIC forgets its queue along with everything else.
+        inner.tx_free.remove(&host);
+        inner.rx_free.remove(&host);
     }
 
     /// Marks a host up again (it must re-bind its ports and re-join its
@@ -162,7 +177,12 @@ impl Network {
     }
 
     pub(crate) fn join_group(&self, host: HostAddr, group: GroupAddr) {
-        self.inner.lock().groups.entry(group).or_default().insert(host);
+        self.inner
+            .lock()
+            .groups
+            .entry(group)
+            .or_default()
+            .insert(host);
     }
 
     pub(crate) fn leave_group(&self, host: HostAddr, group: GroupAddr) {
@@ -176,8 +196,18 @@ impl Network {
         self.inner.lock().stacks.get(&host).cloned()
     }
 
-    /// Core transmission path. Computes the target set, applies the fault
-    /// model per target, and schedules deliveries through the simulator.
+    /// Core transmission path. Computes the target set, applies the
+    /// occupancy model (sender NIC → shared wire → receiver NIC, each a
+    /// serialized resource) and the fault model per target, and schedules
+    /// deliveries through the simulator.
+    ///
+    /// On an idle network a packet's end-to-end latency is exactly
+    /// [`NetParams::latency`]; under load, queueing at any of the three
+    /// resources adds to it. This is what makes packet *count* a real
+    /// cost: coalescing k messages into one packet saves k−1 sender-CPU
+    /// charges, k−1 header transmissions, and k−1 receiver-CPU charges
+    /// per receiver — the amortization the sequencer's accept batching
+    /// exploits.
     pub(crate) fn transmit(&self, pkt: Packet) {
         let mut inner = self.inner.lock();
         let src = pkt.src;
@@ -185,6 +215,7 @@ impl Network {
         if inner.down.contains(&src) {
             return;
         }
+        let now = inner.handle.now();
         inner.stats.packets_sent += 1;
         inner.stats.bytes_sent += (pkt.payload.len() + inner.params.header_bytes) as u64;
         let targets: Vec<HostAddr> = match pkt.dst {
@@ -205,6 +236,23 @@ impl Network {
                 inner.stacks.keys().copied().collect()
             }
         };
+        // Sender-side protocol processing: one packet at a time per host.
+        let tx_start = inner
+            .tx_free
+            .get(&src)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(now);
+        let tx_done = tx_start + inner.params.send_cpu;
+        inner.tx_free.insert(src, tx_done);
+        // The shared ether: one frame on the wire at a time; a multicast
+        // occupies it exactly once regardless of the receiver count.
+        let wire_time = inner.params.wire_time(pkt.payload.len());
+        let wire_start = inner.wire_free.max(tx_done);
+        let wire_done = wire_start + wire_time;
+        inner.wire_free = wire_done;
+        inner.stats.wire_busy_nanos += wire_time.as_nanos() as u64;
+        let arrival = wire_done + inner.params.propagation;
         let src_part = inner.partition.get(&src).copied().unwrap_or(0);
         let base_latency = inner.params.latency(pkt.payload.len());
         for t in targets {
@@ -237,15 +285,28 @@ impl Network {
                     continue;
                 }
             };
+            // Receiver-side protocol processing, serialized per host.
+            let rx_start = inner
+                .rx_free
+                .get(&t)
+                .copied()
+                .unwrap_or(SimTime::ZERO)
+                .max(arrival);
+            let rx_done = rx_start + inner.params.recv_cpu;
+            inner.rx_free.insert(t, rx_done);
+            // OS-scheduling jitter on top of the physical model.
             let jitter = inner.params.jitter;
-            let scale = 1.0 + inner.rng.next_f64() * jitter.max(0.0);
-            let latency = base_latency.mul_f64(scale);
+            let extra = base_latency.mul_f64(inner.rng.next_f64() * jitter.max(0.0));
+            let deliver_at = rx_done + extra;
             inner.stats.deliveries += 1;
-            tx.send_after(latency, pkt.clone());
+            tx.send_after(deliver_at.saturating_since(now), pkt.clone());
             let dup = inner.params.duplicate_probability;
             if inner.rng.chance(dup) {
                 inner.stats.duplicated += 1;
-                tx.send_after(latency.mul_f64(1.5), pkt.clone());
+                tx.send_after(
+                    (deliver_at + base_latency.mul_f64(0.5)).saturating_since(now),
+                    pkt.clone(),
+                );
             }
         }
     }

@@ -1,12 +1,15 @@
 //! The unit of network transmission.
 
 use crate::addr::{Dest, HostAddr};
+use crate::bytes::Payload;
 use crate::port::Port;
 
 /// A FLIP packet: source, destination, service port, opaque payload.
 ///
 /// Payloads are produced by the upper layers' explicit wire codecs, so
-/// `wire_size` is an honest measure for the timing model.
+/// `wire_size` is an honest measure for the timing model. The payload is
+/// a shared [`Payload`], so cloning a packet (multicast fan-out clones it
+/// once per receiver) copies no bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// The sending host.
@@ -15,18 +18,23 @@ pub struct Packet {
     pub dst: Dest,
     /// The service port this packet is addressed to.
     pub port: Port,
-    /// Upper-layer payload bytes.
-    pub payload: Vec<u8>,
+    /// Upper-layer payload bytes (shared, zero-copy).
+    pub payload: Payload,
 }
 
 impl Packet {
     /// Creates a packet.
-    pub fn new(src: HostAddr, dst: impl Into<Dest>, port: Port, payload: Vec<u8>) -> Self {
+    pub fn new(
+        src: HostAddr,
+        dst: impl Into<Dest>,
+        port: Port,
+        payload: impl Into<Payload>,
+    ) -> Self {
         Packet {
             src,
             dst: dst.into(),
             port,
-            payload,
+            payload: payload.into(),
         }
     }
 

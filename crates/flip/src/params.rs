@@ -54,12 +54,19 @@ impl NetParams {
         }
     }
 
-    /// One-way latency for a packet with `payload_len` payload bytes,
-    /// before jitter.
-    pub fn latency(&self, payload_len: usize) -> Duration {
+    /// Time the packet occupies the shared wire (header + payload bits
+    /// at `bandwidth_bps`).
+    pub fn wire_time(&self, payload_len: usize) -> Duration {
         let bits = (payload_len + self.header_bytes) as u64 * 8;
-        let wire_nanos = bits.saturating_mul(1_000_000_000) / self.bandwidth_bps.max(1);
-        self.send_cpu + Duration::from_nanos(wire_nanos) + self.propagation + self.recv_cpu
+        Duration::from_nanos(bits.saturating_mul(1_000_000_000) / self.bandwidth_bps.max(1))
+    }
+
+    /// One-way latency for a packet with `payload_len` payload bytes on
+    /// an otherwise idle network, before jitter. Under load, sender-NIC,
+    /// wire and receiver-NIC occupancy (see [`Network`](crate::Network))
+    /// add queueing on top of this.
+    pub fn latency(&self, payload_len: usize) -> Duration {
+        self.send_cpu + self.wire_time(payload_len) + self.propagation + self.recv_cpu
     }
 }
 

@@ -3,6 +3,7 @@
 use amoeba_sim::MailboxRx;
 
 use crate::addr::{Dest, GroupAddr, HostAddr};
+use crate::bytes::Payload;
 use crate::network::Network;
 use crate::packet::Packet;
 use crate::port::Port;
@@ -77,7 +78,7 @@ impl NodeStack {
     /// Transmits a packet to `dst`/`port`. Delivery is asynchronous and
     /// subject to the network's fault model; there is no error reporting,
     /// exactly like a real datagram network.
-    pub fn send(&self, dst: impl Into<Dest>, port: Port, payload: Vec<u8>) {
+    pub fn send(&self, dst: impl Into<Dest>, port: Port, payload: impl Into<Payload>) {
         self.net
             .transmit(Packet::new(self.addr, dst.into(), port, payload));
     }

@@ -29,6 +29,9 @@ pub struct NetStats {
     pub dropped_no_listener: u64,
     /// Extra deliveries injected by random duplication.
     pub duplicated: u64,
+    /// Nanoseconds the shared wire spent transmitting (utilization =
+    /// `wire_busy_nanos / elapsed`).
+    pub wire_busy_nanos: u64,
 }
 
 impl NetStats {
@@ -50,6 +53,7 @@ impl NetStats {
                 .dropped_no_listener
                 .saturating_sub(earlier.dropped_no_listener),
             duplicated: self.duplicated.saturating_sub(earlier.duplicated),
+            wire_busy_nanos: self.wire_busy_nanos.saturating_sub(earlier.wire_busy_nanos),
         }
     }
 }

@@ -3,8 +3,17 @@
 //! Hand-rolled rather than serde-based so the on-the-wire format is visible
 //! in the code (and so payload *sizes* — which drive the network timing
 //! model — are honest).
+//!
+//! Encoders that know their size use [`WireWriter::with_capacity`] and
+//! finish with [`WireWriter::finish_payload`], producing the whole message
+//! in a single allocation. Decoders over a [`Payload`] are built with
+//! [`WireReader::of`] so embedded byte strings come back as zero-copy
+//! sub-payloads ([`WireReader::payload`]); [`WireReader::bytes`] likewise
+//! borrows from the buffer rather than copying.
 
 use std::fmt;
+
+use crate::bytes::Payload;
 
 /// Error returned when decoding runs off the end of a buffer or finds an
 /// invalid value.
@@ -39,6 +48,15 @@ impl WireWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a writer whose buffer holds `capacity` bytes up front, so
+    /// an encoder with an exact (or conservative) size hint performs a
+    /// single allocation for the whole message.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends a `u8`.
@@ -87,23 +105,60 @@ impl WireWriter {
         &self.buf
     }
 
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Finishes and returns the buffer.
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
+
+    /// Finishes into a shared [`Payload`] without copying the buffer.
+    pub fn finish_payload(self) -> Payload {
+        Payload::new(self.buf)
+    }
 }
 
 /// Reads typed values back out of a wire buffer.
+///
+/// Built with [`new`](WireReader::new) over any borrowed slice, or with
+/// [`of`](WireReader::of) over a [`Payload`] — the latter lets
+/// [`payload`](WireReader::payload) return zero-copy sub-payloads of the
+/// source buffer.
 #[derive(Debug)]
 pub struct WireReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Set when reading out of a shared buffer; enables zero-copy
+    /// [`payload`](WireReader::payload) slices.
+    src: Option<&'a Payload>,
 }
 
 impl<'a> WireReader<'a> {
     /// Starts reading at the beginning of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        WireReader { buf, pos: 0 }
+        WireReader {
+            buf,
+            pos: 0,
+            src: None,
+        }
+    }
+
+    /// Starts reading at the beginning of a shared buffer;
+    /// [`payload`](WireReader::payload) reads will share it zero-copy.
+    pub fn of(src: &'a Payload) -> Self {
+        WireReader {
+            buf: src.as_slice(),
+            pos: 0,
+            src: Some(src),
+        }
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
@@ -150,16 +205,32 @@ impl<'a> WireReader<'a> {
         }
     }
 
-    /// Reads a length-prefixed byte string.
-    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, DecodeError> {
+    /// Reads a length-prefixed byte string, borrowing from the buffer
+    /// (no copy).
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], DecodeError> {
         let len = self.u32(what)? as usize;
-        Ok(self.take(len, what)?.to_vec())
+        self.take(len, what)
+    }
+
+    /// Reads a length-prefixed byte string as a [`Payload`].
+    ///
+    /// When the reader was built with [`of`](WireReader::of) this is a
+    /// zero-copy slice of the source buffer; over a plain borrowed slice
+    /// it falls back to one copy.
+    pub fn payload(&mut self, what: &'static str) -> Result<Payload, DecodeError> {
+        let len = self.u32(what)? as usize;
+        let start = self.pos;
+        let raw = self.take(len, what)?;
+        Ok(match self.src {
+            Some(p) => p.slice(start..start + len),
+            None => Payload::copy_from_slice(raw),
+        })
     }
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn string(&mut self, what: &'static str) -> Result<String, DecodeError> {
         let b = self.bytes(what)?;
-        String::from_utf8(b).map_err(|_| DecodeError { what })
+        String::from_utf8(b.to_owned()).map_err(|_| DecodeError { what })
     }
 
     /// Whether the whole buffer has been consumed.
@@ -180,7 +251,7 @@ impl<'a> WireReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use amoeba_testkit::{check, Gen};
 
     #[test]
     fn round_trip_scalars() {
@@ -241,31 +312,118 @@ mod tests {
         assert!(r.bytes("b").is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(a: u8, b: u16, c: u32, d: u64, flag: bool,
-                           s in ".{0,64}", v in proptest::collection::vec(any::<u8>(), 0..256)) {
+    #[test]
+    fn prop_round_trip() {
+        check("wire round trip", 256, |g: &mut Gen| {
+            let (a, b, c, d, flag) = (g.u8(), g.u16(), g.u32(), g.u64(), g.boolean());
+            let s = g.utf8(64);
+            let v = g.bytes(256);
             let mut w = WireWriter::new();
-            w.u8(a).u16(b).u32(c).u64(d).boolean(flag).string(&s).bytes(&v);
+            w.u8(a)
+                .u16(b)
+                .u32(c)
+                .u64(d)
+                .boolean(flag)
+                .string(&s)
+                .bytes(&v);
             let buf = w.finish();
             let mut r = WireReader::new(&buf);
-            prop_assert_eq!(r.u8("a").unwrap(), a);
-            prop_assert_eq!(r.u16("b").unwrap(), b);
-            prop_assert_eq!(r.u32("c").unwrap(), c);
-            prop_assert_eq!(r.u64("d").unwrap(), d);
-            prop_assert_eq!(r.boolean("f").unwrap(), flag);
-            prop_assert_eq!(r.string("s").unwrap(), s);
-            prop_assert_eq!(r.bytes("v").unwrap(), v);
-            prop_assert!(r.is_at_end());
-        }
+            assert_eq!(r.u8("a").unwrap(), a);
+            assert_eq!(r.u16("b").unwrap(), b);
+            assert_eq!(r.u32("c").unwrap(), c);
+            assert_eq!(r.u64("d").unwrap(), d);
+            assert_eq!(r.boolean("f").unwrap(), flag);
+            assert_eq!(r.string("s").unwrap(), s);
+            assert_eq!(r.bytes("v").unwrap(), v);
+            assert!(r.is_at_end());
+        });
+    }
 
-        #[test]
-        fn prop_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+    #[test]
+    fn payload_read_is_zero_copy_over_shared_buffer() {
+        let mut w = WireWriter::with_capacity(4 + 3 + 4);
+        w.bytes(&[7, 8, 9]).u32(5);
+        let src = w.finish_payload();
+        let mut r = WireReader::of(&src);
+        let p = r.payload("p").unwrap();
+        assert_eq!(p.as_slice(), &[7, 8, 9]);
+        // Same backing buffer: the slice starts 4 bytes (length prefix)
+        // into the source.
+        assert_eq!(p.as_slice().as_ptr(), unsafe {
+            src.as_slice().as_ptr().add(4)
+        });
+        assert_eq!(r.u32("tail").unwrap(), 5);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn payload_read_over_borrowed_slice_copies_once() {
+        let mut w = WireWriter::new();
+        w.bytes(&[1, 2]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.payload("p").unwrap().as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn truncated_payload_read_errors() {
+        let mut w = WireWriter::new();
+        w.u32(10); // claims 10 bytes follow; none do
+        let src = w.finish_payload();
+        let mut r = WireReader::of(&src);
+        assert!(r.payload("p").is_err());
+    }
+
+    #[test]
+    fn with_capacity_hint_is_single_allocation() {
+        let data = vec![0u8; 100];
+        let mut w = WireWriter::with_capacity(1 + 8 + 4 + data.len());
+        w.u8(3).u64(42).bytes(&data);
+        assert_eq!(w.len(), 1 + 8 + 4 + 100);
+        let cap = {
+            let before = w.as_slice().as_ptr();
+            let p = w.finish_payload();
+            assert_eq!(p.as_slice().as_ptr(), before, "finish must not reallocate");
+            p
+        };
+        assert_eq!(cap.len(), 113);
+    }
+
+    #[test]
+    fn prop_payload_round_trip() {
+        check(
+            "payload round trip via shared buffer",
+            256,
+            |g: &mut Gen| {
+                let head = g.bytes(64);
+                let tail = g.bytes(64);
+                let mut w = WireWriter::with_capacity(8 + head.len() + tail.len());
+                w.bytes(&head).bytes(&tail);
+                let src = w.finish_payload();
+                let mut r = WireReader::of(&src);
+                let p1 = r.payload("head").unwrap();
+                let p2 = r.payload("tail").unwrap();
+                assert_eq!(p1.as_slice(), head.as_slice());
+                assert_eq!(p2.as_slice(), tail.as_slice());
+                r.expect_end("end").unwrap();
+                // Slices of slices still compare by content.
+                if !head.is_empty() {
+                    let k = g.below(head.len()) + 1;
+                    assert_eq!(p1.slice(..k).as_slice(), &head[..k]);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn prop_decoder_never_panics() {
+        check("wire decoder never panics", 256, |g: &mut Gen| {
+            let data = g.bytes(128);
             let mut r = WireReader::new(&data);
             let _ = r.u64("a");
             let _ = r.string("b");
             let _ = r.bytes("c");
             let _ = r.boolean("d");
-        }
+        });
     }
 }

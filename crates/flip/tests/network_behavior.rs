@@ -3,9 +3,8 @@
 
 use std::time::Duration;
 
-use amoeba_flip::{GroupAddr, NetParams, Network, Port};
+use amoeba_flip::{GroupAddr, NetParams, Network, Payload, Port};
 use amoeba_sim::{SimTime, Simulation};
-
 
 fn net(sim: &Simulation, params: NetParams) -> Network {
     Network::new(sim.handle(), params, 99)
@@ -57,7 +56,7 @@ fn multicast_reaches_all_members_including_sender() {
         .collect();
     sim.run_for(Duration::from_millis(50));
     for o in outs {
-        assert_eq!(o.take(), Some(b"m".to_vec()));
+        assert_eq!(o.take(), Some(Payload::from(b"m")));
     }
     assert!(outsider_rx.is_empty(), "non-member must not receive");
     // One multicast = one packet sent, three deliveries.
@@ -84,7 +83,7 @@ fn broadcast_reaches_every_bound_host() {
         .collect();
     sim.run_for(Duration::from_millis(10));
     for o in outs {
-        assert_eq!(o.take(), Some(vec![9]));
+        assert_eq!(o.take(), Some(Payload::from(vec![9])));
     }
 }
 
@@ -108,7 +107,7 @@ fn partition_blocks_cross_traffic_and_heals() {
     });
     let got = sim.spawn("recv", move |ctx| rx.recv(ctx).payload);
     sim.run_for(Duration::from_millis(100));
-    assert_eq!(got.take(), Some(vec![2]));
+    assert_eq!(got.take(), Some(Payload::from(vec![2])));
     assert_eq!(n.stats().dropped_partition, 1);
 }
 
@@ -128,7 +127,7 @@ fn hosts_in_same_side_of_partition_can_talk() {
     sim.spawn("send", move |_| a.send(b_addr, port, vec![5]));
     let got = sim.spawn("recv", move |ctx| rx.recv(ctx).payload);
     sim.run_for(Duration::from_millis(10));
-    assert_eq!(got.take(), Some(vec![5]));
+    assert_eq!(got.take(), Some(Payload::from(vec![5])));
 }
 
 #[test]
@@ -153,14 +152,14 @@ fn down_host_receives_nothing_and_loses_bindings() {
     let st = n.stats();
     assert_eq!(st.dropped_down, 1); // the unicast
     assert_eq!(st.deliveries, 0); // multicast had no members left
-    // After set_up the host must re-bind to receive again.
+                                  // After set_up the host must re-bind to receive again.
     n.set_up(b.addr());
     let rx2 = b.bind(port);
     let a2 = n.attach(); // fresh sender stack (same net)
     sim.spawn("send2", move |_| a2.send(b_addr, port, vec![3]));
     let got = sim.spawn("recv", move |ctx| rx2.recv(ctx).payload);
     sim.run_for(Duration::from_millis(10));
-    assert_eq!(got.take(), Some(vec![3]));
+    assert_eq!(got.take(), Some(Payload::from(vec![3])));
 }
 
 #[test]
@@ -229,25 +228,40 @@ fn rebinding_a_port_replaces_the_old_mailbox() {
 }
 
 #[test]
-fn larger_packets_take_longer() {
+fn wire_serializes_back_to_back_sends() {
+    // The shared ether carries one frame at a time: a big packet sent
+    // first delays a small one behind it (no magic reordering on a
+    // single segment), and the pair arrives strictly FIFO.
     let mut sim = Simulation::new(1);
     let mut params = NetParams::lan_10mbps();
     params.jitter = 0.0;
-    let n = net(&sim, params);
+    let n = net(&sim, params.clone());
     let a = n.attach();
     let b = n.attach();
     let port = Port::from_name("t");
     let rx = b.bind(port);
     let b_addr = b.addr();
     sim.spawn("send", move |_| {
-        a.send(b_addr, port, vec![0; 8000]); // sent first...
-        a.send(b_addr, port, vec![0; 10]); // ...but the small one wins
+        a.send(b_addr, port, vec![0; 8000]); // occupies the wire ~6.4 ms
+        a.send(b_addr, port, vec![0; 10]); // queues behind it
     });
     let got = sim.spawn("recv", move |ctx| {
-        let first = rx.recv(ctx).payload.len();
-        let second = rx.recv(ctx).payload.len();
+        let first = (rx.recv(ctx).payload.len(), ctx.now());
+        let second = (rx.recv(ctx).payload.len(), ctx.now());
         (first, second)
     });
     sim.run_for(Duration::from_millis(100));
-    assert_eq!(got.take(), Some((10, 8000)));
+    let ((first_len, t1), (second_len, t2)) = got.take().unwrap();
+    assert_eq!((first_len, second_len), (8000, 10));
+    // The small packet waited for the big one's wire time.
+    assert!(t2 >= t1, "FIFO per wire");
+    assert!(
+        t2.saturating_since(SimTime::ZERO) >= params.wire_time(8000),
+        "small packet must queue behind the large one"
+    );
+    // Utilization accounting saw both frames.
+    assert_eq!(
+        n.stats().wire_busy_nanos,
+        (params.wire_time(8000) + params.wire_time(10)).as_nanos() as u64
+    );
 }

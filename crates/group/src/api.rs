@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use amoeba_flip::{Dest, GroupAddr, Port};
+use amoeba_flip::{Dest, GroupAddr, Payload, Port};
 use amoeba_sim::{Ctx, MailboxRx};
 
 use crate::error::GroupError;
@@ -74,7 +74,13 @@ impl GroupPeer {
     ///
     /// [`GroupError::JoinTimeout`] if no instance answered or the join
     /// handshake did not complete within `timeout`.
-    pub fn join(&self, ctx: &Ctx, port: Port, tag: u64, timeout: Duration) -> Result<Group, GroupError> {
+    pub fn join(
+        &self,
+        ctx: &Ctx,
+        port: Port,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Group, GroupError> {
         let deadline = ctx.now() + timeout;
         // Phase 1: locate an instance, rebroadcasting periodically (an
         // instance may be created after our first locate).
@@ -192,13 +198,17 @@ impl Group {
     /// `SendToGroup`: sends `data` to every member in total order. Blocks
     /// until the message is *r*-resilient (held by at least r+1 members).
     ///
+    /// The payload is shared from here to every member's delivery queue:
+    /// no byte of it is copied again inside the group stack.
+    ///
     /// # Errors
     ///
     /// [`GroupError::Failed`] if the group failed (call
     /// [`reset`](Group::reset)); [`GroupError::Dead`] if this member was
     /// expelled or the instance dissolved.
-    pub fn send(&self, ctx: &Ctx, data: Vec<u8>) -> Result<SeqNo, GroupError> {
+    pub fn send(&self, ctx: &Ctx, data: impl Into<Payload>) -> Result<SeqNo, GroupError> {
         let now = ctx.now();
+        let data = data.into();
         let (rx, actions) = {
             let (tx, rx) = self.peer.handle.channel();
             let r = self.peer.with_slot(self.instance, |slot| {
@@ -270,7 +280,12 @@ impl Group {
     ///
     /// [`GroupError::ResetFailed`] if fewer than `min_size` members
     /// answered within the vote window (`timeout` bounds the total wait).
-    pub fn reset(&self, ctx: &Ctx, min_size: usize, timeout: Duration) -> Result<GroupInfo, GroupError> {
+    pub fn reset(
+        &self,
+        ctx: &Ctx,
+        min_size: usize,
+        timeout: Duration,
+    ) -> Result<GroupInfo, GroupError> {
         let deadline = ctx.now() + timeout;
         loop {
             let now = ctx.now();

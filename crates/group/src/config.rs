@@ -29,6 +29,17 @@ pub struct GroupConfig {
     pub bb_threshold: usize,
     /// Protocol engine tick granularity.
     pub tick_interval: Duration,
+    /// Most accepts the sequencer coalesces into one multicast. Send
+    /// requests arriving within one coalescing window are sequenced into
+    /// a single `AcceptBatch` packet, amortizing per-packet protocol
+    /// cost across messages (with cumulative acks amortizing the reply
+    /// direction). `1` disables batching.
+    pub max_batch: usize,
+    /// How long the sequencer may hold a sequenced accept waiting for
+    /// more to coalesce. Zero flushes after every packet; the flush also
+    /// happens as soon as `max_batch` accepts are pending. Bounded well
+    /// below `gap_timeout` so held accepts are never mistaken for loss.
+    pub batch_delay: Duration,
 }
 
 impl GroupConfig {
@@ -44,6 +55,8 @@ impl GroupConfig {
             history: 65_536,
             bb_threshold: 3_000,
             tick_interval: Duration::from_millis(20),
+            max_batch: 16,
+            batch_delay: Duration::from_micros(500),
         }
     }
 
@@ -74,5 +87,10 @@ mod tests {
     #[test]
     fn with_resilience_sets_r() {
         assert_eq!(GroupConfig::with_resilience(2).resilience, 2);
+    }
+
+    #[test]
+    fn batching_is_on_by_default() {
+        assert!(GroupConfig::default().max_batch > 1);
     }
 }

@@ -28,14 +28,19 @@
 //! until `ResetGroup` rebuilds it around the members that are still alive,
 //! choosing as state source a member holding the highest contiguous prefix.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-use amoeba_flip::{HostAddr, Port};
+use amoeba_flip::{HostAddr, Payload, Port};
 use amoeba_sim::SimTime;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::config::GroupConfig;
 use crate::error::GroupError;
-use crate::msg::{AcceptBody, GroupMsg};
+use crate::msg::{AcceptBody, AcceptItem, GroupMsg, MAX_ACCEPT_BATCH_ITEMS};
 use crate::types::{GroupEvent, GroupInfo, Incarnation, MemberId, MemberInfo, SeqNo, View};
+
+/// Most slots one retransmission request may cover: servers refuse wider
+/// requests, and requesters clamp to it so a deep laggard recovers in
+/// chunks rather than stalling on an over-wide ask.
+const MAX_RETRANS_SPAN: u64 = 10_000;
 
 /// Effects requested by the engine, executed by the peer layer.
 #[derive(Debug)]
@@ -88,7 +93,8 @@ pub(crate) struct AcceptRec {
 
 #[derive(Debug)]
 struct PendingSend {
-    data: Vec<u8>,
+    /// Shared payload; retries re-send the same buffer.
+    data: Payload,
     sent_at: SimTime,
     bb: bool,
 }
@@ -134,14 +140,22 @@ pub(crate) struct Instance {
     buffer: BTreeMap<SeqNo, AcceptRec>,
     /// Everything `<= highest_contiguous` has been applied in order.
     pub highest_contiguous: SeqNo,
+    /// Highest sequence number known to have been assigned anywhere
+    /// (from buffered accepts and heartbeat `next_seq`); the upper bound
+    /// for gap-recovery retransmission requests.
+    highest_seen: SeqNo,
     /// Last seqno handed to the application.
     pub delivered: SeqNo,
     /// BB payloads waiting for (or paired with) their accept.
-    bb_store: HashMap<(MemberId, u64), Vec<u8>>,
+    bb_store: HashMap<(MemberId, u64), Payload>,
     /// (sender, msgid) → seq, for duplicate suppression.
     seen_msgids: HashMap<(MemberId, u64), SeqNo>,
     next_msgid: u64,
     pending_sends: HashMap<u64, PendingSend>,
+    /// Sequencer only: accepts assigned a slot but not yet multicast,
+    /// awaiting coalescing into one packet (flushed at the end of every
+    /// entry point, or earlier when `cfg.max_batch` is reached).
+    pending_batch: Vec<(SeqNo, AcceptRec)>,
     /// Sequencer only: ack bookkeeping per outstanding seqno.
     pending_acks: BTreeMap<SeqNo, AckState>,
     /// Liveness: member → last time we heard from it.
@@ -203,11 +217,13 @@ impl Instance {
             next_seq: 1,
             buffer: BTreeMap::new(),
             highest_contiguous: 0,
+            highest_seen: 0,
             delivered: 0,
             bb_store: HashMap::new(),
             seen_msgids: HashMap::new(),
             next_msgid: 1,
             pending_sends: HashMap::new(),
+            pending_batch: Vec::new(),
             pending_acks: BTreeMap::new(),
             last_heard: HashMap::new(),
             last_heartbeat_sent: now,
@@ -255,11 +271,13 @@ impl Instance {
             next_seq: start_seq + 1,
             buffer: BTreeMap::new(),
             highest_contiguous: start_seq,
+            highest_seen: start_seq,
             delivered: start_seq,
             bb_store: HashMap::new(),
             seen_msgids: HashMap::new(),
             next_msgid: 1,
             pending_sends: HashMap::new(),
+            pending_batch: Vec::new(),
             pending_acks: BTreeMap::new(),
             last_heard,
             last_heartbeat_sent: now,
@@ -274,7 +292,6 @@ impl Instance {
             stats: GroupStats::default(),
         }
     }
-
 
     fn is_sequencer(&self) -> bool {
         self.view.sequencer().map(|m| m.id) == Some(self.me)
@@ -306,8 +323,9 @@ impl Instance {
     // ==================================================================
 
     /// `SendToGroup`: begins sending; completion arrives via
-    /// [`Action::CompleteSend`].
-    pub fn app_send(&mut self, now: SimTime, data: Vec<u8>) -> (u64, Vec<Action>) {
+    /// [`Action::CompleteSend`]. The payload is shared from here on:
+    /// retries, sequencing and delivery never copy the bytes again.
+    pub fn app_send(&mut self, now: SimTime, data: Payload) -> (u64, Vec<Action>) {
         let msgid = self.next_msgid;
         self.next_msgid += 1;
         self.stats.sends += 1;
@@ -363,6 +381,7 @@ impl Instance {
                 }
             }
         }
+        actions.extend(self.flush_pending_batch());
         (msgid, actions)
     }
 
@@ -377,7 +396,10 @@ impl Instance {
             return vec![Action::CompleteLeave, Action::Dissolve];
         }
         if self.is_sequencer() {
-            self.sequence_message(now, self.me, self.my_tag, 0, AcceptBody::Leave(self.me))
+            let mut actions =
+                self.sequence_message(now, self.me, self.my_tag, 0, AcceptBody::Leave(self.me));
+            actions.extend(self.flush_pending_batch());
+            actions
         } else {
             match self.sequencer_host() {
                 Some(h) => vec![Action::Unicast(
@@ -437,7 +459,11 @@ impl Instance {
     // Sequencer-side helpers.
     // ==================================================================
 
-    /// Assigns the next slot to a message and multicasts its accept.
+    /// Assigns the next slot to a message and queues its accept for the
+    /// next multicast flush. Consecutive sequencing calls within one
+    /// network round coalesce into a single [`GroupMsg::AcceptBatch`]
+    /// packet; the flush happens at the end of every protocol entry
+    /// point, or immediately once `cfg.max_batch` slots are pending.
     fn sequence_message(
         &mut self,
         now: SimTime,
@@ -453,17 +479,16 @@ impl Instance {
             from,
             from_tag,
             msgid,
-            body: body.clone(),
-        };
-        let mut actions = vec![Action::Multicast(GroupMsg::Accept {
-            instance: self.id,
-            incarnation: self.incarnation,
-            seq,
-            from,
-            from_tag,
-            msgid,
             body,
-        })];
+        };
+        self.pending_batch.push((seq, rec.clone()));
+        let mut actions = Vec::new();
+        // The wire format caps a batch at MAX_ACCEPT_BATCH_ITEMS; clamp
+        // however large the knob is set, or oversized batches would be
+        // undecodable and silently dropped by every member.
+        if self.pending_batch.len() >= self.cfg.max_batch.clamp(1, MAX_ACCEPT_BATCH_ITEMS) {
+            actions.extend(self.flush_pending_batch());
+        }
         // Track acks before applying: apply may complete r=0 sends.
         let mut acked = BTreeSet::new();
         acked.insert(self.me);
@@ -482,6 +507,49 @@ impl Instance {
         let mut done = self.check_resilience(seq);
         actions.append(&mut done);
         actions
+    }
+
+    /// Multicasts everything queued by [`sequence_message`] as one
+    /// packet: a plain `Accept` for a single slot, an `AcceptBatch` for
+    /// several consecutive slots.
+    fn flush_pending_batch(&mut self) -> Vec<Action> {
+        if self.pending_batch.is_empty() {
+            return Vec::new();
+        }
+        let batch = std::mem::take(&mut self.pending_batch);
+        debug_assert!(
+            batch.windows(2).all(|w| w[1].0 == w[0].0 + 1),
+            "batched accepts must hold consecutive slots"
+        );
+        if batch.len() == 1 {
+            let (seq, rec) = batch.into_iter().next().expect("len checked");
+            return vec![Action::Multicast(GroupMsg::Accept {
+                instance: self.id,
+                incarnation: rec.incarnation,
+                seq,
+                from: rec.from,
+                from_tag: rec.from_tag,
+                msgid: rec.msgid,
+                body: rec.body,
+            })];
+        }
+        let first_seq = batch[0].0;
+        let incarnation = batch[0].1.incarnation;
+        let items = batch
+            .into_iter()
+            .map(|(_, rec)| AcceptItem {
+                from: rec.from,
+                from_tag: rec.from_tag,
+                msgid: rec.msgid,
+                body: rec.body,
+            })
+            .collect();
+        vec![Action::Multicast(GroupMsg::AcceptBatch {
+            instance: self.id,
+            incarnation,
+            first_seq,
+            items,
+        })]
     }
 
     /// If `seq` has reached r+1 holders, notify the sender.
@@ -526,14 +594,38 @@ impl Instance {
     // ==================================================================
 
     fn insert_accept(&mut self, seq: SeqNo, rec: AcceptRec) {
+        self.highest_seen = self.highest_seen.max(seq);
         if seq > self.highest_contiguous {
-            self.buffer.entry(seq).or_insert(rec);
+            match self.buffer.entry(seq) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(rec);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    // A retransmission may resolve a buffered `BbRef` into
+                    // inline data (the server substitutes the bulk bytes,
+                    // see `on_retrans`); the upgrade must win or a member
+                    // whose BbData was lost would stall on the stale
+                    // reference forever. Same slot, same message —
+                    // everything else about the record is identical.
+                    let existing = e.get();
+                    if matches!(existing.body, AcceptBody::BbRef)
+                        && matches!(rec.body, AcceptBody::Data(_))
+                        && existing.from == rec.from
+                        && existing.msgid == rec.msgid
+                    {
+                        e.insert(rec);
+                    }
+                }
+            }
         }
     }
 
-    /// Applies buffered accepts in order; returns deliveries and acks.
+    /// Applies buffered accepts in order; returns deliveries plus, when
+    /// r > 0, one **cumulative** ack for the highest slot applied (one
+    /// ack per batch of progress, not one per accept).
     fn advance(&mut self, now: SimTime) -> Vec<Action> {
         let mut actions = Vec::new();
+        let start_contiguous = self.highest_contiguous;
         loop {
             let next = self.highest_contiguous + 1;
             let rec = match self.buffer.get(&next) {
@@ -616,25 +708,13 @@ impl Instance {
                     }
                 }
             }
-            // r > 0: acknowledge to the sequencer (it counts holders).
-            if self.effective_r() > 0 && !self.is_sequencer() {
-                if let Some(h) = self.sequencer_host() {
-                    actions.push(Action::Unicast(
-                        h,
-                        GroupMsg::Ack {
-                            instance: self.id,
-                            incarnation: self.incarnation,
-                            seq: next,
-                            member: self.me,
-                        },
-                    ));
-                }
-            }
             // r == 0 senders complete on observing their own accept.
-            if rec.from == self.me && rec.msgid != 0 && self.effective_r() == 0 {
-                if self.pending_sends.remove(&rec.msgid).is_some() {
-                    actions.push(Action::CompleteSend(rec.msgid, Ok(next)));
-                }
+            if rec.from == self.me
+                && rec.msgid != 0
+                && self.effective_r() == 0
+                && self.pending_sends.remove(&rec.msgid).is_some()
+            {
+                actions.push(Action::CompleteSend(rec.msgid, Ok(next)));
             }
             // Prune old history.
             let keep_from = self.highest_contiguous.saturating_sub(self.cfg.history);
@@ -644,6 +724,24 @@ impl Instance {
                 } else {
                     break;
                 }
+            }
+        }
+        // r > 0: acknowledge all progress to the sequencer with a single
+        // cumulative ack (it counts holders per slot up to this seqno).
+        if self.highest_contiguous > start_contiguous
+            && self.effective_r() > 0
+            && !self.is_sequencer()
+        {
+            if let Some(h) = self.sequencer_host() {
+                actions.push(Action::Unicast(
+                    h,
+                    GroupMsg::Ack {
+                        instance: self.id,
+                        incarnation: self.incarnation,
+                        seq: self.highest_contiguous,
+                        member: self.me,
+                    },
+                ));
             }
         }
         // Check whether a pending reset can now be installed.
@@ -663,11 +761,14 @@ impl Instance {
         }
         self.failed = true;
         self.stats.failures += 1;
-        let mut actions = vec![Action::Multicast(GroupMsg::FailNotice {
+        // Push out any accepts still waiting on a batch flush first, so
+        // members hold as much of the order as possible going into reset.
+        let mut actions = self.flush_pending_batch();
+        actions.push(Action::Multicast(GroupMsg::FailNotice {
             instance: self.id,
             incarnation: self.incarnation,
             suspect,
-        })];
+        }));
         actions.append(&mut self.on_failed());
         actions
     }
@@ -686,8 +787,25 @@ impl Instance {
     // Message handling.
     // ==================================================================
 
-    /// Handles a message from the network.
+    /// Handles a message from the network, flushing any accepts the
+    /// message caused to be sequenced.
     pub fn handle(&mut self, now: SimTime, src: HostAddr, msg: GroupMsg) -> Vec<Action> {
+        let mut actions = self.handle_deferred(now, src, msg);
+        actions.extend(self.flush_pending_batch());
+        actions
+    }
+
+    /// [`handle`](Instance::handle) without the trailing flush: the peer
+    /// layer uses this while draining a burst of same-instant packets so
+    /// the sequencer coalesces their accepts into one multicast, then
+    /// calls [`flush_pending`](Instance::flush_pending) once at the end
+    /// of the burst.
+    pub(crate) fn handle_deferred(
+        &mut self,
+        now: SimTime,
+        src: HostAddr,
+        msg: GroupMsg,
+    ) -> Vec<Action> {
         if self.dissolved {
             return Vec::new();
         }
@@ -721,6 +839,12 @@ impl Instance {
                 body,
                 ..
             } => self.on_accept(now, src, incarnation, seq, from, from_tag, msgid, body),
+            GroupMsg::AcceptBatch {
+                incarnation,
+                first_seq,
+                items,
+                ..
+            } => self.on_accept_batch(now, src, incarnation, first_seq, items),
             GroupMsg::Ack {
                 incarnation,
                 seq,
@@ -757,7 +881,13 @@ impl Instance {
             } => {
                 if incarnation == self.incarnation && self.is_sequencer() && !self.failed {
                     if let Some(m) = self.view.member(member) {
-                        return self.sequence_message(now, m.id, m.tag, 0, AcceptBody::Leave(member));
+                        return self.sequence_message(
+                            now,
+                            m.id,
+                            m.tag,
+                            0,
+                            AcceptBody::Leave(member),
+                        );
                     }
                 }
                 Vec::new()
@@ -854,8 +984,10 @@ impl Instance {
             tag,
         };
         self.next_member_id += 1;
-        let mut actions =
-            self.sequence_message(now, member.id, tag, 0, AcceptBody::Join(member));
+        let mut actions = self.sequence_message(now, member.id, tag, 0, AcceptBody::Join(member));
+        // View changes leave the batch immediately (joins are rare and
+        // existing members must learn of the new view without delay).
+        actions.extend(self.flush_pending_batch());
         // The join accept was applied locally just now, so the view already
         // contains the joiner and highest_contiguous is its start position.
         actions.push(Action::Unicast(
@@ -878,7 +1010,7 @@ impl Instance {
         incarnation: Incarnation,
         from: MemberId,
         msgid: u64,
-        data: Vec<u8>,
+        data: Payload,
     ) -> Vec<Action> {
         if !self.is_sequencer() || self.failed {
             return Vec::new();
@@ -924,7 +1056,7 @@ impl Instance {
         incarnation: Incarnation,
         from: MemberId,
         msgid: u64,
-        data: Vec<u8>,
+        data: Payload,
     ) -> Vec<Action> {
         if incarnation != self.incarnation {
             return Vec::new();
@@ -941,6 +1073,19 @@ impl Instance {
         actions
     }
 
+    /// Whether an incoming accept for `seq` may enter the buffer.
+    /// Accepts from an older incarnation are only acceptable while we
+    /// are catching up to a reset cutoff, and only from our view/source.
+    fn accept_admissible(&self, incarnation: Incarnation, seq: SeqNo, src: HostAddr) -> bool {
+        if incarnation == self.incarnation {
+            true
+        } else if let Some(p) = &self.pending_install {
+            incarnation < p.new_incarnation && seq <= p.cutoff && src == p.source
+        } else {
+            false
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn on_accept(
         &mut self,
@@ -953,16 +1098,7 @@ impl Instance {
         msgid: u64,
         body: AcceptBody,
     ) -> Vec<Action> {
-        // Accepts from an older incarnation are only acceptable while we
-        // are catching up to a reset cutoff, and only from our view/source.
-        let acceptable = if incarnation == self.incarnation {
-            true
-        } else if let Some(p) = &self.pending_install {
-            incarnation < p.new_incarnation && seq <= p.cutoff && src == p.source
-        } else {
-            false
-        };
-        if !acceptable {
+        if !self.accept_admissible(incarnation, seq, src) {
             return Vec::new();
         }
         if seq <= self.highest_contiguous {
@@ -984,6 +1120,47 @@ impl Instance {
         self.advance(now)
     }
 
+    /// Handles a coalesced batch of consecutive accepts: buffer every
+    /// admissible slot, then apply once — producing one cumulative ack
+    /// for the whole batch instead of one per slot.
+    fn on_accept_batch(
+        &mut self,
+        now: SimTime,
+        src: HostAddr,
+        incarnation: Incarnation,
+        first_seq: SeqNo,
+        items: Vec<AcceptItem>,
+    ) -> Vec<Action> {
+        let mut any = false;
+        for (i, item) in items.into_iter().enumerate() {
+            let seq = first_seq + i as SeqNo;
+            if !self.accept_admissible(incarnation, seq, src) {
+                continue;
+            }
+            if seq <= self.highest_contiguous {
+                continue; // duplicate
+            }
+            self.insert_accept(
+                seq,
+                AcceptRec {
+                    incarnation,
+                    from: item.from,
+                    from_tag: item.from_tag,
+                    msgid: item.msgid,
+                    body: item.body,
+                },
+            );
+            any = true;
+        }
+        if !any {
+            return Vec::new();
+        }
+        if first_seq > self.highest_contiguous + 1 && self.gap_since.is_none() {
+            self.gap_since = Some(now);
+        }
+        self.advance(now)
+    }
+
     fn on_ack(
         &mut self,
         _now: SimTime,
@@ -994,10 +1171,17 @@ impl Instance {
         if incarnation != self.incarnation || !self.is_sequencer() {
             return Vec::new();
         }
-        if let Some(st) = self.pending_acks.get_mut(&seq) {
-            st.acked.insert(member);
+        // Acks are cumulative: `seq` covers every outstanding slot up to
+        // and including it.
+        let covered: Vec<SeqNo> = self.pending_acks.range(..=seq).map(|(s, _)| *s).collect();
+        let mut actions = Vec::new();
+        for s in covered {
+            if let Some(st) = self.pending_acks.get_mut(&s) {
+                st.acked.insert(member);
+            }
+            actions.extend(self.check_resilience(s));
         }
-        self.check_resilience(seq)
+        actions
     }
 
     fn on_done(&mut self, msgid: u64, seq: SeqNo) -> Vec<Action> {
@@ -1020,7 +1204,7 @@ impl Instance {
         }
         let mut actions = Vec::new();
         let span = to_seq.saturating_sub(from_seq);
-        if span > 10_000 {
+        if span > MAX_RETRANS_SPAN {
             return Vec::new();
         }
         for seq in from_seq..=to_seq {
@@ -1075,6 +1259,7 @@ impl Instance {
             return Vec::new();
         }
         self.last_heard.insert(sequencer, now);
+        self.highest_seen = self.highest_seen.max(next_seq.saturating_sub(1));
         let mut actions = Vec::new();
         if !self.is_sequencer() {
             actions.push(Action::Unicast(
@@ -1271,6 +1456,19 @@ impl Instance {
             None => return Vec::new(),
         };
         debug_assert!(self.highest_contiguous >= p.cutoff);
+        // Any accepts still queued under the old incarnation are covered
+        // by our own history buffer (we applied them locally); drop the
+        // stale multicast rather than leak the old incarnation.
+        self.pending_batch.clear();
+        // Out-of-order buffer entries beyond what the reset agreed on are
+        // abandoned old-incarnation slots. They must not survive: the new
+        // sequencer will reassign those sequence numbers, and a stale
+        // record would shadow the new accept via `insert_accept`'s
+        // or_insert and break total order. `highest_seen` likewise resets
+        // to the agreed prefix.
+        let hc = self.highest_contiguous;
+        self.buffer.retain(|seq, _| *seq <= hc);
+        self.highest_seen = hc;
         self.incarnation = p.new_incarnation;
         self.view = p.view;
         self.next_member_id = self
@@ -1300,7 +1498,7 @@ impl Instance {
         ];
         // Re-drive unfinished sends through the new sequencer (duplicate
         // suppression via seen_msgids keeps this exactly-once).
-        let pending: Vec<(u64, Vec<u8>, bool)> = self
+        let pending: Vec<(u64, Payload, bool)> = self
             .pending_sends
             .iter()
             .map(|(id, p)| (*id, p.data.clone(), p.bb))
@@ -1317,13 +1515,7 @@ impl Instance {
         actions
     }
 
-    fn resend_pending(
-        &mut self,
-        now: SimTime,
-        msgid: u64,
-        data: Vec<u8>,
-        bb: bool,
-    ) -> Vec<Action> {
+    fn resend_pending(&mut self, now: SimTime, msgid: u64, data: Payload, bb: bool) -> Vec<Action> {
         self.stats.send_retries += 1;
         if let Some(p) = self.pending_sends.get_mut(&msgid) {
             p.sent_at = now;
@@ -1434,12 +1626,15 @@ impl Instance {
             if now.saturating_since(since) >= self.cfg.gap_timeout {
                 self.gap_since = Some(now); // re-arm
                 self.stats.retrans_requests += 1;
+                // Ask for everything up to the highest slot we know was
+                // assigned — the buffer alone understates an
+                // end-of-order gap (its last key may already be applied
+                // history below the gap) — clamped to what a server is
+                // willing to serve in one request.
                 let to = self
-                    .buffer
-                    .keys()
-                    .next_back()
-                    .copied()
-                    .unwrap_or(self.highest_contiguous + 1);
+                    .highest_seen
+                    .min(self.highest_contiguous + MAX_RETRANS_SPAN)
+                    .max(self.highest_contiguous + 1);
                 actions.push(Action::Multicast(GroupMsg::Retrans {
                     instance: self.id,
                     from_seq: self.highest_contiguous + 1,
@@ -1449,7 +1644,7 @@ impl Instance {
             }
         }
         // Sender retransmission.
-        let stale: Vec<(u64, Vec<u8>, bool)> = self
+        let stale: Vec<(u64, Payload, bool)> = self
             .pending_sends
             .iter()
             .filter(|(_, p)| now.saturating_since(p.sent_at) >= self.cfg.ack_timeout)
@@ -1459,7 +1654,19 @@ impl Instance {
             let mut resend = self.resend_pending(now, msgid, data, bb);
             actions.append(&mut resend);
         }
+        actions.extend(self.flush_pending_batch());
         actions
+    }
+
+    /// Multicasts any accepts still queued for batching; the peer layer
+    /// calls this at the end of a packet burst or coalescing window.
+    pub(crate) fn flush_pending(&mut self) -> Vec<Action> {
+        self.flush_pending_batch()
+    }
+
+    /// Whether accepts are queued awaiting a batch flush.
+    pub(crate) fn has_pending_batch(&self) -> bool {
+        !self.pending_batch.is_empty()
     }
 
     /// Answers a join locate (peer layer decides whether to call this).
@@ -1561,17 +1768,17 @@ mod tests {
     #[test]
     fn sequencer_send_with_r0_completes_immediately() {
         let mut inst = Instance::create(1, Port::from_name("g"), cfg(0), H0, 7, T0);
-        let (msgid, actions) = inst.app_send(T0, vec![1, 2]);
-        assert!(actions.iter().any(
-            |a| matches!(a, Action::CompleteSend(m, Ok(seq)) if *m == msgid && *seq == 1)
-        ));
+        let (msgid, actions) = inst.app_send(T0, vec![1, 2].into());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CompleteSend(m, Ok(seq)) if *m == msgid && *seq == 1)));
         assert_eq!(deliver_count(&actions), 1);
     }
 
     #[test]
     fn r2_send_completes_only_after_both_acks() {
         let mut inst = seq_with_three(2);
-        let (msgid, actions) = inst.app_send(T0, vec![9]);
+        let (msgid, actions) = inst.app_send(T0, vec![9].into());
         // Not complete yet: only the sequencer holds it.
         assert!(!actions
             .iter()
@@ -1579,15 +1786,25 @@ mod tests {
         let a1 = inst.on_ack(T0, 0, 3, MemberId(1));
         assert!(!a1.iter().any(|a| matches!(a, Action::CompleteSend(..))));
         let a2 = inst.on_ack(T0, 0, 3, MemberId(2));
-        assert!(a2.iter().any(
-            |a| matches!(a, Action::CompleteSend(m, Ok(3)) if *m == msgid)
-        ));
+        assert!(a2
+            .iter()
+            .any(|a| matches!(a, Action::CompleteSend(m, Ok(3)) if *m == msgid)));
     }
 
     #[test]
     fn remote_send_req_gets_sequenced_and_done_after_acks() {
         let mut inst = seq_with_three(2);
-        let actions = inst.on_send_req(T0, 0, MemberId(1), 50, vec![5]);
+        let actions = inst.handle(
+            T0,
+            H1,
+            GroupMsg::SendReq {
+                instance: 1,
+                incarnation: 0,
+                from: MemberId(1),
+                msgid: 50,
+                data: vec![5].into(),
+            },
+        );
         // Multicast accept, no done yet.
         assert!(actions
             .iter()
@@ -1601,16 +1818,262 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_send_req_is_suppressed() {
+    fn deferred_send_reqs_coalesce_into_one_accept_batch() {
         let mut inst = seq_with_three(0);
-        let _ = inst.on_send_req(T0, 0, MemberId(1), 50, vec![5]);
-        let before = inst.highest_contiguous;
-        let actions = inst.on_send_req(T0, 0, MemberId(1), 50, vec![5]);
-        assert_eq!(inst.highest_contiguous, before, "must not re-sequence");
+        let sr = |from: u32, msgid: u64, byte: u8| GroupMsg::SendReq {
+            instance: 1,
+            incarnation: 0,
+            from: MemberId(from),
+            msgid,
+            data: vec![byte].into(),
+        };
+        // A burst: two send requests handled without an intermediate
+        // flush (what the peer does while more packets are queued).
+        let a1 = inst.handle_deferred(T0, H1, sr(1, 50, 5));
+        let a2 = inst.handle_deferred(T0, H2, sr(2, 60, 6));
+        assert!(
+            !a1.iter()
+                .chain(a2.iter())
+                .any(|a| matches!(a, Action::Multicast(_))),
+            "no multicast before the flush"
+        );
+        let flushed = inst.flush_pending();
+        let [Action::Multicast(GroupMsg::AcceptBatch {
+            first_seq, items, ..
+        })] = flushed.as_slice()
+        else {
+            panic!("expected one AcceptBatch, got {flushed:?}");
+        };
+        // Joins took slots 1 and 2; the burst occupies 3 and 4.
+        assert_eq!(*first_seq, 3);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].msgid, 50);
+        assert_eq!(items[1].msgid, 60);
+        // Nothing left pending after the flush.
+        assert!(inst.flush_pending().is_empty());
+    }
+
+    #[test]
+    fn accept_batch_applies_in_order_with_one_cumulative_ack() {
+        let mut inst = member_one(2);
+        let batch = GroupMsg::AcceptBatch {
+            instance: 1,
+            incarnation: 0,
+            first_seq: 1,
+            items: (0..3)
+                .map(|k| crate::msg::AcceptItem {
+                    from: MemberId(0),
+                    from_tag: 100,
+                    msgid: 10 + k,
+                    body: AcceptBody::Data(vec![k as u8].into()),
+                })
+                .collect(),
+        };
+        let actions = feed(&mut inst, batch);
+        assert_eq!(deliver_count(&actions), 3);
+        assert_eq!(inst.highest_contiguous, 3);
+        // Exactly one (cumulative) ack for the whole batch.
+        let acks: Vec<SeqNo> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Unicast(_, GroupMsg::Ack { seq, .. }) => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, vec![3]);
+    }
+
+    #[test]
+    fn retrans_resolved_data_upgrades_buffered_bbref() {
+        // A member buffered the short BbRef accept but its BbData was
+        // lost; the retransmission substitutes inline data for the same
+        // slot — the upgrade must replace the stale reference.
+        let mut inst = member_one(0);
+        // Out of order so the BbRef stays buffered instead of applying.
+        let bbref = GroupMsg::Accept {
+            instance: 1,
+            incarnation: 0,
+            seq: 2,
+            from: MemberId(2),
+            from_tag: 102,
+            msgid: 30,
+            body: AcceptBody::BbRef,
+        };
+        let a = feed(&mut inst, bbref);
+        assert_eq!(deliver_count(&a), 0);
+        // Retrans-served accept for the same slot carries the data.
+        let resolved = GroupMsg::Accept {
+            instance: 1,
+            incarnation: 0,
+            seq: 2,
+            from: MemberId(2),
+            from_tag: 102,
+            msgid: 30,
+            body: AcceptBody::Data(vec![7, 7].into()),
+        };
+        let _ = feed(&mut inst, resolved);
+        // Fill the gap; both must now deliver — seq 2 with the data.
+        let actions = feed(&mut inst, accept(1, 0, 10, vec![1]));
+        assert_eq!(deliver_count(&actions), 2);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Unicast(_, GroupMsg::Done { msgid: 50, .. })
+            Action::Deliver(GroupEvent::Message { seq: 2, data, .. }) if data.as_slice() == [7, 7]
         )));
+    }
+
+    #[test]
+    fn oversized_max_batch_is_clamped_to_wire_limit() {
+        let mut cfg = cfg(0);
+        cfg.max_batch = 100_000; // far beyond what the wire format allows
+        let mut inst = Instance::create(1, Port::from_name("g"), cfg, H0, 100, T0);
+        let _ = inst.on_join_request(T0, H1, 101, 1);
+        let mut batches = Vec::new();
+        for k in 0..(MAX_ACCEPT_BATCH_ITEMS as u64 + 10) {
+            let actions = inst.handle_deferred(
+                T0,
+                H1,
+                GroupMsg::SendReq {
+                    instance: 1,
+                    incarnation: 0,
+                    from: MemberId(1),
+                    msgid: 100 + k,
+                    data: vec![1].into(),
+                },
+            );
+            for a in actions {
+                if let Action::Multicast(m @ GroupMsg::AcceptBatch { .. }) = a {
+                    batches.push(m);
+                }
+            }
+        }
+        batches.extend(inst.flush_pending().into_iter().filter_map(|a| match a {
+            Action::Multicast(m @ GroupMsg::AcceptBatch { .. }) => Some(m),
+            _ => None,
+        }));
+        assert!(!batches.is_empty(), "clamp must force an early flush");
+        for b in &batches {
+            let GroupMsg::AcceptBatch { items, .. } = b else {
+                unreachable!()
+            };
+            assert!(items.len() <= MAX_ACCEPT_BATCH_ITEMS);
+            // Every emitted batch must survive the wire round trip.
+            assert_eq!(&GroupMsg::decode(&b.encode()).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn install_reset_purges_stale_out_of_order_buffer() {
+        // m1 buffered an out-of-order accept (seq 2) that the reset then
+        // abandons (cutoff 0): the stale record must not shadow the new
+        // incarnation's slot 2.
+        let mut inst = member_one(0);
+        let _ = feed(&mut inst, accept(2, 0, 11, vec![0xEE]));
+        assert_eq!(inst.highest_contiguous, 0, "gap: seq 2 only buffered");
+        let _ = inst.handle(
+            T0,
+            H0,
+            GroupMsg::ResetResult {
+                instance: 1,
+                old_incarnation: 0,
+                round: 1,
+                coord: MemberId(0),
+                new_incarnation: 1,
+                view: inst.view.clone(),
+                cutoff: 0,
+                source: H0,
+            },
+        );
+        assert_eq!(inst.incarnation, 1);
+        assert_eq!(inst.highest_seen, 0, "frontier reset to the agreed prefix");
+        // The new sequencer reassigns slots 1 and 2; the fresh data must
+        // win over the abandoned pre-reset record.
+        let mk = |seq: SeqNo, msgid: u64, byte: u8| GroupMsg::Accept {
+            instance: 1,
+            incarnation: 1,
+            seq,
+            from: MemberId(0),
+            from_tag: 100,
+            msgid,
+            body: AcceptBody::Data(vec![byte].into()),
+        };
+        let _ = feed(&mut inst, mk(1, 20, 1));
+        let a2 = feed(&mut inst, mk(2, 21, 2));
+        let delivered: Vec<Vec<u8>> = a2
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver(GroupEvent::Message { data, .. }) => Some(data.to_vec()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            delivered,
+            vec![vec![2u8]],
+            "stale record must not resurface"
+        );
+    }
+
+    #[test]
+    fn gap_recovery_request_is_clamped_to_serveable_span() {
+        let mut inst = member_one(0);
+        // A heartbeat advertises a frontier far beyond what one retrans
+        // request may cover.
+        let _ = feed(
+            &mut inst,
+            GroupMsg::Heartbeat {
+                instance: 1,
+                incarnation: 0,
+                next_seq: 50_000,
+                sequencer: MemberId(0),
+            },
+        );
+        let later = T0 + inst.cfg.gap_timeout + Duration::from_millis(1);
+        let actions = inst.tick(later);
+        let req = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Multicast(GroupMsg::Retrans {
+                    from_seq, to_seq, ..
+                }) => Some((*from_seq, *to_seq)),
+                _ => None,
+            })
+            .expect("gap must trigger a retrans request");
+        assert_eq!(req.0, 1);
+        assert!(
+            req.1 - req.0 <= MAX_RETRANS_SPAN,
+            "request {req:?} wider than servers will serve"
+        );
+    }
+
+    #[test]
+    fn cumulative_ack_covers_all_outstanding_slots() {
+        let mut inst = seq_with_three(2);
+        // Two sends occupy slots 3 and 4.
+        let (m1, _) = inst.app_send(T0, vec![1].into());
+        let (m2, _) = inst.app_send(T0, vec![2].into());
+        // One cumulative ack per member for slot 4 completes both.
+        let a1 = inst.on_ack(T0, 0, 4, MemberId(1));
+        assert!(!a1.iter().any(|a| matches!(a, Action::CompleteSend(..))));
+        let a2 = inst.on_ack(T0, 0, 4, MemberId(2));
+        let completed: Vec<u64> = a2
+            .iter()
+            .filter_map(|a| match a {
+                Action::CompleteSend(id, Ok(_)) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed, vec![m1, m2]);
+    }
+
+    #[test]
+    fn duplicate_send_req_is_suppressed() {
+        let mut inst = seq_with_three(0);
+        let _ = inst.on_send_req(T0, 0, MemberId(1), 50, vec![5].into());
+        let before = inst.highest_contiguous;
+        let actions = inst.on_send_req(T0, 0, MemberId(1), 50, vec![5].into());
+        assert_eq!(inst.highest_contiguous, before, "must not re-sequence");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Unicast(_, GroupMsg::Done { msgid: 50, .. }))));
     }
 
     /// Builds a non-sequencer member (member 1 of 3, sequencer = member 0).
@@ -1653,7 +2116,7 @@ mod tests {
             from: MemberId(from),
             from_tag: 100 + u64::from(from),
             msgid,
-            body: AcceptBody::Data(data),
+            body: AcceptBody::Data(data.into()),
         }
     }
 
@@ -1706,7 +2169,7 @@ mod tests {
             from: MemberId(0),
             from_tag: 100,
             msgid: 10,
-            body: AcceptBody::Data(vec![1]),
+            body: AcceptBody::Data(vec![1].into()),
         };
         let actions = feed(&mut inst, msg);
         assert_eq!(deliver_count(&actions), 0);
@@ -1725,10 +2188,9 @@ mod tests {
         let _ = feed(&mut inst, hb);
         let later = T0 + inst.cfg.gap_timeout + Duration::from_millis(1);
         let actions = inst.tick(later);
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Multicast(GroupMsg::Retrans { from_seq: 1, .. })
-        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Multicast(GroupMsg::Retrans { from_seq: 1, .. }))));
     }
 
     #[test]
@@ -1790,10 +2252,10 @@ mod tests {
                 suspect: MemberId(0),
             },
         );
-        let (msgid, actions) = inst.app_send(T0, vec![1]);
-        assert!(actions.iter().any(
-            |a| matches!(a, Action::CompleteSend(m, Err(GroupError::Failed)) if *m == msgid)
-        ));
+        let (msgid, actions) = inst.app_send(T0, vec![1].into());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CompleteSend(m, Err(GroupError::Failed)) if *m == msgid)));
     }
 
     #[test]
@@ -1845,8 +2307,7 @@ mod tests {
         // The dead member never votes, so the coordinator announces at the
         // vote-window deadline.
         let mut result_actions = m1.handle(T0, H2, vote);
-        result_actions
-            .extend(m1.tick(T0 + m1.cfg.reset_vote_window + Duration::from_millis(1)));
+        result_actions.extend(m1.tick(T0 + m1.cfg.reset_vote_window + Duration::from_millis(1)));
         let result = result_actions
             .iter()
             .find_map(|a| match a {
@@ -1925,8 +2386,7 @@ mod tests {
             })
             .unwrap();
         let mut result_actions = m1.handle(T0, H2, vote);
-        result_actions
-            .extend(m1.tick(T0 + m1.cfg.reset_vote_window + Duration::from_millis(1)));
+        result_actions.extend(m1.tick(T0 + m1.cfg.reset_vote_window + Duration::from_millis(1)));
         let result = result_actions
             .into_iter()
             .find_map(|a| match a {
@@ -1983,9 +2443,13 @@ mod tests {
         let mut inst = seq_with_three(0);
         let actions = inst.app_leave(T0);
         assert!(inst.dissolved);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Multicast(GroupMsg::Accept { body: AcceptBody::Leave(MemberId(0)), .. }))));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Multicast(GroupMsg::Accept {
+                body: AcceptBody::Leave(MemberId(0)),
+                ..
+            })
+        )));
         assert!(actions.iter().any(|a| matches!(a, Action::Dissolve)));
     }
 
@@ -2007,7 +2471,7 @@ mod tests {
             .iter()
             .any(|a| matches!(a, Action::Deliver(GroupEvent::Left { .. }))));
         // It can now sequence sends itself.
-        let (_, send_actions) = m1.app_send(T0, vec![7]);
+        let (_, send_actions) = m1.app_send(T0, vec![7].into());
         assert!(send_actions
             .iter()
             .any(|a| matches!(a, Action::Multicast(GroupMsg::Accept { seq: 2, .. }))));
@@ -2032,7 +2496,7 @@ mod tests {
             incarnation: 0,
             from: MemberId(2),
             msgid: 30,
-            data: vec![0; 5000],
+            data: vec![0; 5000].into(),
         };
         let a2 = feed(&mut inst, data);
         assert_eq!(deliver_count(&a2), 1);
@@ -2043,7 +2507,7 @@ mod tests {
     fn large_app_send_uses_bb() {
         let mut inst = seq_with_three(0);
         let big = vec![0u8; inst.cfg.bb_threshold + 1];
-        let (_, actions) = inst.app_send(T0, big);
+        let (_, actions) = inst.app_send(T0, big.into());
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::Multicast(GroupMsg::BbData { .. }))));
@@ -2052,7 +2516,7 @@ mod tests {
     #[test]
     fn pending_send_retries_on_tick() {
         let mut inst = member_one(0);
-        let (_msgid, _) = inst.app_send(T0, vec![1]);
+        let (_msgid, _) = inst.app_send(T0, vec![1].into());
         let later = T0 + inst.cfg.ack_timeout + Duration::from_millis(1);
         let actions = inst.tick(later);
         assert!(actions.iter().any(|a| matches!(

@@ -1,15 +1,17 @@
 //! Wire messages of the group protocol and their codec.
 
 use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
-use amoeba_flip::{HostAddr, Port};
+use amoeba_flip::{HostAddr, Payload, Port};
 
 use crate::types::{Incarnation, MemberId, MemberInfo, SeqNo, View};
 
 /// The body of a sequenced [`GroupMsg::Accept`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AcceptBody {
-    /// An application message carried inline (PB method).
-    Data(Vec<u8>),
+    /// An application message carried inline (PB method). The payload is
+    /// shared: sequencing, history buffering and delivery all clone the
+    /// same buffer.
+    Data(Payload),
     /// An application message whose data travelled separately as
     /// [`GroupMsg::BbData`] (BB method); pair by `(from, msgid)`.
     BbRef,
@@ -17,6 +19,20 @@ pub enum AcceptBody {
     Join(MemberInfo),
     /// Membership change: a member left gracefully.
     Leave(MemberId),
+}
+
+/// One slot of a [`GroupMsg::AcceptBatch`]: everything an `Accept`
+/// carries except the instance/incarnation/seq shared by the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptItem {
+    /// The original sender.
+    pub from: MemberId,
+    /// The sender's application tag.
+    pub from_tag: u64,
+    /// The sender's message id (0 for view changes).
+    pub msgid: u64,
+    /// The sequenced body.
+    pub body: AcceptBody,
 }
 
 /// Everything that travels on the group port.
@@ -60,7 +76,7 @@ pub enum GroupMsg {
         incarnation: Incarnation,
         from: MemberId,
         msgid: u64,
-        data: Vec<u8>,
+        data: Payload,
     },
     /// Multicast by the sender: the bulk data of a BB-method message.
     BbData {
@@ -68,7 +84,7 @@ pub enum GroupMsg {
         incarnation: Incarnation,
         from: MemberId,
         msgid: u64,
-        data: Vec<u8>,
+        data: Payload,
     },
     /// Multicast by the sequencer: slot `seq` of the total order.
     Accept {
@@ -80,8 +96,19 @@ pub enum GroupMsg {
         msgid: u64,
         body: AcceptBody,
     },
+    /// Multicast by the sequencer: a batch of consecutive slots of the
+    /// total order, coalesced into one packet (one network round may
+    /// sequence many messages; the paper's amortization argument).
+    /// Slot `i` of `items` has sequence number `first_seq + i`.
+    AcceptBatch {
+        instance: u64,
+        incarnation: Incarnation,
+        first_seq: SeqNo,
+        items: Vec<AcceptItem>,
+    },
     /// Unicast to the sequencer: "I hold everything up to and including
-    /// `seq`" (sent per accept when r > 0).
+    /// `seq`" — a **cumulative** acknowledgement covering every earlier
+    /// slot too, so one ack suffices per delivered batch.
     Ack {
         instance: u64,
         incarnation: Incarnation,
@@ -212,16 +239,100 @@ const T_RESET_INVITE: u8 = 15;
 const T_RESET_VOTE: u8 = 16;
 const T_RESET_RESULT: u8 = 17;
 const T_EXPEL_NOTICE: u8 = 18;
+const T_ACCEPT_BATCH: u8 = 19;
+
+/// Most items one `AcceptBatch` may carry on the wire; the decoder
+/// rejects anything larger and the sequencer never exceeds it however
+/// large `GroupConfig::max_batch` is set.
+pub(crate) const MAX_ACCEPT_BATCH_ITEMS: usize = 4096;
 
 const B_DATA: u8 = 0;
 const B_BBREF: u8 = 1;
 const B_JOIN: u8 = 2;
 const B_LEAVE: u8 = 3;
 
+const MEMBER_LEN: usize = 4 + 4 + 8;
+
+fn view_len(v: &View) -> usize {
+    4 + MEMBER_LEN * v.members.len()
+}
+
+fn body_len(b: &AcceptBody) -> usize {
+    1 + match b {
+        AcceptBody::Data(d) => 4 + d.len(),
+        AcceptBody::BbRef => 0,
+        AcceptBody::Join(_) => MEMBER_LEN,
+        AcceptBody::Leave(_) => 4,
+    }
+}
+
+fn write_body(w: &mut WireWriter, body: &AcceptBody) {
+    match body {
+        AcceptBody::Data(d) => {
+            w.u8(B_DATA).bytes(d);
+        }
+        AcceptBody::BbRef => {
+            w.u8(B_BBREF);
+        }
+        AcceptBody::Join(m) => {
+            w.u8(B_JOIN);
+            write_member(w, m);
+        }
+        AcceptBody::Leave(id) => {
+            w.u8(B_LEAVE).u32(id.0);
+        }
+    }
+}
+
+fn read_body(r: &mut WireReader<'_>) -> Result<AcceptBody, DecodeError> {
+    Ok(match r.u8("body tag")? {
+        B_DATA => AcceptBody::Data(r.payload("body data")?),
+        B_BBREF => AcceptBody::BbRef,
+        B_JOIN => AcceptBody::Join(read_member(r)?),
+        B_LEAVE => AcceptBody::Leave(MemberId(r.u32("leave id")?)),
+        _ => return Err(DecodeError::new("body tag")),
+    })
+}
+
 impl GroupMsg {
-    /// Encodes to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    /// Exact encoded size, used as the writer's single-allocation hint.
+    fn encoded_len(&self) -> usize {
+        match self {
+            GroupMsg::JoinLocate { .. } => 1 + 8 + 4 + 8,
+            GroupMsg::JoinReply { .. } => 1 + 8 + 8 + 4 + 4 + 8 + 8,
+            GroupMsg::JoinRequest { .. } => 1 + 8 + 4 + 8 + 8,
+            GroupMsg::JoinAck { view, .. } => 1 + 8 + 8 + 4 + 8 + view_len(view) + 8,
+            GroupMsg::SendReq { data, .. } | GroupMsg::BbData { data, .. } => {
+                1 + 8 + 8 + 4 + 8 + 4 + data.len()
+            }
+            GroupMsg::Accept { body, .. } => 1 + 8 + 8 + 8 + 4 + 8 + 8 + body_len(body),
+            GroupMsg::AcceptBatch { items, .. } => {
+                1 + 8
+                    + 8
+                    + 8
+                    + 4
+                    + items
+                        .iter()
+                        .map(|i| 4 + 8 + 8 + body_len(&i.body))
+                        .sum::<usize>()
+            }
+            GroupMsg::Ack { .. } => 1 + 8 + 8 + 8 + 4,
+            GroupMsg::Done { .. } => 1 + 8 + 8 + 8,
+            GroupMsg::Retrans { .. } => 1 + 8 + 8 + 8 + 4,
+            GroupMsg::Heartbeat { .. } => 1 + 8 + 8 + 8 + 4,
+            GroupMsg::HeartbeatAck { .. } => 1 + 8 + 8 + 4,
+            GroupMsg::LeaveRequest { .. } => 1 + 8 + 8 + 4,
+            GroupMsg::FailNotice { .. } => 1 + 8 + 8 + 4,
+            GroupMsg::ResetInvite { .. } => 1 + 8 + 8 + 4 + 4 + 8,
+            GroupMsg::ResetVote { .. } => 1 + 8 + 8 + 8 + 4 + MEMBER_LEN + 8,
+            GroupMsg::ResetResult { view, .. } => 1 + 8 + 8 + 8 + 4 + 8 + view_len(view) + 8 + 4,
+            GroupMsg::ExpelNotice { .. } => 1 + 8 + 8,
+        }
+    }
+
+    /// Encodes into a shared buffer in a single allocation.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
         match self {
             GroupMsg::JoinLocate {
                 port,
@@ -321,20 +432,22 @@ impl GroupMsg {
                     .u32(from.0)
                     .u64(*from_tag)
                     .u64(*msgid);
-                match body {
-                    AcceptBody::Data(d) => {
-                        w.u8(B_DATA).bytes(d);
-                    }
-                    AcceptBody::BbRef => {
-                        w.u8(B_BBREF);
-                    }
-                    AcceptBody::Join(m) => {
-                        w.u8(B_JOIN);
-                        write_member(&mut w, m);
-                    }
-                    AcceptBody::Leave(id) => {
-                        w.u8(B_LEAVE).u32(id.0);
-                    }
+                write_body(&mut w, body);
+            }
+            GroupMsg::AcceptBatch {
+                instance,
+                incarnation,
+                first_seq,
+                items,
+            } => {
+                w.u8(T_ACCEPT_BATCH)
+                    .u64(*instance)
+                    .u64(*incarnation)
+                    .u64(*first_seq)
+                    .u32(items.len() as u32);
+                for item in items {
+                    w.u32(item.from.0).u64(item.from_tag).u64(item.msgid);
+                    write_body(&mut w, &item.body);
                 }
             }
             GroupMsg::Ack {
@@ -463,20 +576,24 @@ impl GroupMsg {
                 instance,
                 current_incarnation,
             } => {
-                w.u8(T_EXPEL_NOTICE).u64(*instance).u64(*current_incarnation);
+                w.u8(T_EXPEL_NOTICE)
+                    .u64(*instance)
+                    .u64(*current_incarnation);
             }
         }
-        w.finish()
+        debug_assert_eq!(w.len(), self.encoded_len());
+        w.finish_payload()
     }
 
-    /// Decodes from wire bytes.
+    /// Decodes from a shared wire buffer; embedded payload bytes come
+    /// back as zero-copy slices of `buf`.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] on truncation, unknown tags, or trailing
     /// garbage.
-    pub fn decode(buf: &[u8]) -> Result<GroupMsg, DecodeError> {
-        let mut r = WireReader::new(buf);
+    pub fn decode(buf: &Payload) -> Result<GroupMsg, DecodeError> {
+        let mut r = WireReader::of(buf);
         let msg = match r.u8("group tag")? {
             T_JOIN_LOCATE => GroupMsg::JoinLocate {
                 port: Port::from_raw(r.u64("port")?),
@@ -510,14 +627,14 @@ impl GroupMsg {
                 incarnation: r.u64("incarnation")?,
                 from: MemberId(r.u32("from")?),
                 msgid: r.u64("msgid")?,
-                data: r.bytes("data")?,
+                data: r.payload("data")?,
             },
             T_BB_DATA => GroupMsg::BbData {
                 instance: r.u64("instance")?,
                 incarnation: r.u64("incarnation")?,
                 from: MemberId(r.u32("from")?),
                 msgid: r.u64("msgid")?,
-                data: r.bytes("data")?,
+                data: r.payload("data")?,
             },
             T_ACCEPT => {
                 let instance = r.u64("instance")?;
@@ -526,13 +643,7 @@ impl GroupMsg {
                 let from = MemberId(r.u32("from")?);
                 let from_tag = r.u64("from tag")?;
                 let msgid = r.u64("msgid")?;
-                let body = match r.u8("body tag")? {
-                    B_DATA => AcceptBody::Data(r.bytes("body data")?),
-                    B_BBREF => AcceptBody::BbRef,
-                    B_JOIN => AcceptBody::Join(read_member(&mut r)?),
-                    B_LEAVE => AcceptBody::Leave(MemberId(r.u32("leave id")?)),
-                    _ => return Err(DecodeError::new("body tag")),
-                };
+                let body = read_body(&mut r)?;
                 GroupMsg::Accept {
                     instance,
                     incarnation,
@@ -541,6 +652,30 @@ impl GroupMsg {
                     from_tag,
                     msgid,
                     body,
+                }
+            }
+            T_ACCEPT_BATCH => {
+                let instance = r.u64("instance")?;
+                let incarnation = r.u64("incarnation")?;
+                let first_seq = r.u64("first seq")?;
+                let n = r.u32("batch len")?;
+                if n as usize > MAX_ACCEPT_BATCH_ITEMS {
+                    return Err(DecodeError::new("batch len"));
+                }
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    items.push(AcceptItem {
+                        from: MemberId(r.u32("item from")?),
+                        from_tag: r.u64("item from tag")?,
+                        msgid: r.u64("item msgid")?,
+                        body: read_body(&mut r)?,
+                    });
+                }
+                GroupMsg::AcceptBatch {
+                    instance,
+                    incarnation,
+                    first_seq,
+                    items,
                 }
             }
             T_ACK => GroupMsg::Ack {
@@ -620,7 +755,7 @@ impl GroupMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use amoeba_testkit::{check, Gen};
 
     fn mi(id: u32) -> MemberInfo {
         MemberInfo {
@@ -677,17 +812,17 @@ mod tests {
             incarnation: 2,
             from: MemberId(1),
             msgid: 88,
-            data: vec![1, 2, 3],
+            data: vec![1, 2, 3].into(),
         });
         round_trip(GroupMsg::BbData {
             instance: 9,
             incarnation: 2,
             from: MemberId(1),
             msgid: 88,
-            data: vec![0; 5000],
+            data: vec![0; 5000].into(),
         });
         for body in [
-            AcceptBody::Data(vec![9, 9]),
+            AcceptBody::Data(vec![9, 9].into()),
             AcceptBody::BbRef,
             AcceptBody::Join(mi(4)),
             AcceptBody::Leave(MemberId(2)),
@@ -772,35 +907,73 @@ mod tests {
     }
 
     #[test]
+    fn accept_batch_round_trips() {
+        round_trip(GroupMsg::AcceptBatch {
+            instance: 9,
+            incarnation: 2,
+            first_seq: 10,
+            items: vec![
+                AcceptItem {
+                    from: MemberId(1),
+                    from_tag: 101,
+                    msgid: 88,
+                    body: AcceptBody::Data(vec![1, 2].into()),
+                },
+                AcceptItem {
+                    from: MemberId(2),
+                    from_tag: 102,
+                    msgid: 0,
+                    body: AcceptBody::Join(mi(4)),
+                },
+                AcceptItem {
+                    from: MemberId(1),
+                    from_tag: 101,
+                    msgid: 89,
+                    body: AcceptBody::BbRef,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn oversized_accept_batch_rejected() {
+        let mut w = WireWriter::new();
+        w.u8(T_ACCEPT_BATCH).u64(1).u64(1).u64(1).u32(1_000_000);
+        assert!(GroupMsg::decode(&w.finish_payload()).is_err());
+    }
+
+    #[test]
     fn unknown_tag_errors() {
-        assert!(GroupMsg::decode(&[200]).is_err());
+        assert!(GroupMsg::decode(&Payload::from(vec![200])).is_err());
     }
 
     #[test]
     fn oversized_view_rejected() {
         let mut w = WireWriter::new();
         w.u8(T_JOIN_ACK).u64(1).u64(1).u32(1).u64(1).u32(1_000_000);
-        assert!(GroupMsg::decode(&w.finish()).is_err());
+        assert!(GroupMsg::decode(&w.finish_payload()).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_accept_data_round_trip(instance: u64, incarnation: u64, seq: u64,
-                                       from: u32, tag: u64, msgid: u64,
-                                       data in proptest::collection::vec(any::<u8>(), 0..300)) {
+    #[test]
+    fn prop_accept_data_round_trip() {
+        check("accept data round trip", 256, |g: &mut Gen| {
             let m = GroupMsg::Accept {
-                instance, incarnation, seq,
-                from: MemberId(from),
-                from_tag: tag,
-                msgid,
-                body: AcceptBody::Data(data),
+                instance: g.u64(),
+                incarnation: g.u64(),
+                seq: g.u64(),
+                from: MemberId(g.u32()),
+                from_tag: g.u64(),
+                msgid: g.u64(),
+                body: AcceptBody::Data(g.bytes(300).into()),
             };
-            prop_assert_eq!(GroupMsg::decode(&m.encode()).unwrap(), m);
-        }
+            assert_eq!(GroupMsg::decode(&m.encode()).unwrap(), m);
+        });
+    }
 
-        #[test]
-        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
-            let _ = GroupMsg::decode(&data);
-        }
+    #[test]
+    fn prop_decode_never_panics() {
+        check("group decode never panics", 256, |g: &mut Gen| {
+            let _ = GroupMsg::decode(&g.bytes(128).into());
+        });
     }
 }

@@ -77,10 +77,11 @@ impl GroupPeer {
             })),
         };
         let dispatcher = peer.clone();
+        let (flush_tx, flush_rx) = peer.handle.channel::<()>();
         spawner.spawn_boxed(
             Some(sim_node),
             &format!("grp-dispatch@{}", peer.stack.addr()),
-            Box::new(move |ctx| dispatcher.dispatch_loop(ctx, rx)),
+            Box::new(move |ctx| dispatcher.dispatch_loop(ctx, rx, flush_tx, flush_rx)),
         );
         let ticker = peer.clone();
         spawner.spawn_boxed(
@@ -105,18 +106,81 @@ impl GroupPeer {
             .map(|s| s.inst.stats)
     }
 
-    fn dispatch_loop(&self, ctx: &Ctx, rx: MailboxRx<Packet>) {
+    fn dispatch_loop(
+        &self,
+        ctx: &Ctx,
+        rx: MailboxRx<Packet>,
+        flush_tx: MailboxTx<()>,
+        flush_rx: MailboxRx<()>,
+    ) {
+        // With a coalescing window configured, packet handling defers the
+        // sequencer's accept multicasts; a one-shot timer flushes what
+        // accumulated. (The engine itself still flushes early the moment
+        // `max_batch` accepts are pending, and the 20 ms tick is the
+        // fallback bound.)
+        let batch_delay = self.cfg.batch_delay;
+        let windowed = self.cfg.max_batch > 1 && !batch_delay.is_zero();
+        let mut flush_scheduled = false;
         loop {
-            let pkt = rx.recv(ctx);
-            let msg = match GroupMsg::decode(&pkt.payload) {
-                Ok(m) => m,
-                Err(_) => continue,
-            };
-            self.handle_msg(ctx, pkt.src, msg);
+            match amoeba_sim::select2(ctx, &rx, &flush_rx) {
+                amoeba_sim::Either::Left(first) => {
+                    // Drain the burst: every packet already queued arrived
+                    // in the same network round and batches regardless of
+                    // the window.
+                    let mut pkt = first;
+                    loop {
+                        let more_pending = !rx.is_empty();
+                        if let Ok(msg) = GroupMsg::decode(&pkt.payload) {
+                            self.handle_msg(ctx, pkt.src, msg, windowed || more_pending);
+                        }
+                        match rx.try_recv() {
+                            Some(next) => pkt = next,
+                            None => break,
+                        }
+                    }
+                    if !windowed {
+                        self.flush_all(ctx);
+                    } else if !flush_scheduled && self.any_pending_batch() {
+                        flush_tx.send_after(batch_delay, ());
+                        flush_scheduled = true;
+                    }
+                }
+                amoeba_sim::Either::Right(()) => {
+                    flush_scheduled = false;
+                    self.flush_all(ctx);
+                }
+            }
         }
     }
 
-    fn handle_msg(&self, ctx: &Ctx, src: HostAddr, msg: GroupMsg) {
+    /// Whether any instance holds accepts awaiting a batch flush.
+    fn any_pending_batch(&self) -> bool {
+        self.inner
+            .lock()
+            .instances
+            .values()
+            .any(|s| s.inst.has_pending_batch())
+    }
+
+    /// Flushes every instance's pending accept batch (end of a burst).
+    fn flush_all(&self, ctx: &Ctx) {
+        let work: Vec<(u64, Vec<Action>)> = {
+            let mut inner = self.inner.lock();
+            inner
+                .instances
+                .iter_mut()
+                .map(|(id, slot)| (*id, slot.inst.flush_pending()))
+                .filter(|(_, actions)| !actions.is_empty())
+                .collect()
+        };
+        for (id, actions) in work {
+            for a in actions {
+                self.execute(ctx, id, a);
+            }
+        }
+    }
+
+    fn handle_msg(&self, ctx: &Ctx, src: HostAddr, msg: GroupMsg, defer_flush: bool) {
         match &msg {
             GroupMsg::JoinLocate {
                 port,
@@ -132,7 +196,9 @@ impl GroupPeer {
                         .instances
                         .values()
                         .filter(|s| s.inst.port == *port)
-                        .filter_map(|s| s.inst.join_reply(*joiner, *join_id).map(|a| (s.inst.id, a)))
+                        .filter_map(|s| {
+                            s.inst.join_reply(*joiner, *join_id).map(|a| (s.inst.id, a))
+                        })
                         .collect()
                 };
                 for (id, action) in replies {
@@ -160,6 +226,9 @@ impl GroupPeer {
                 let actions = {
                     let mut inner = self.inner.lock();
                     match inner.instances.get_mut(&instance) {
+                        Some(slot) if defer_flush => {
+                            slot.inst.handle_deferred(now, src, other.clone())
+                        }
                         Some(slot) => slot.inst.handle(now, src, other.clone()),
                         None => Vec::new(),
                     }
@@ -196,11 +265,15 @@ impl GroupPeer {
     pub(crate) fn execute(&self, _ctx: &Ctx, instance: u64, action: Action) {
         match action {
             Action::Unicast(host, msg) => {
-                self.stack.send(Dest::Unicast(host), GROUP_PORT, msg.encode());
+                self.stack
+                    .send(Dest::Unicast(host), GROUP_PORT, msg.encode());
             }
             Action::Multicast(msg) => {
-                self.stack
-                    .send(Dest::Multicast(GroupAddr(instance)), GROUP_PORT, msg.encode());
+                self.stack.send(
+                    Dest::Multicast(GroupAddr(instance)),
+                    GROUP_PORT,
+                    msg.encode(),
+                );
             }
             Action::Deliver(event) => {
                 let tx = self
@@ -313,6 +386,7 @@ fn instance_of(msg: &GroupMsg) -> Option<u64> {
         | GroupMsg::SendReq { instance, .. }
         | GroupMsg::BbData { instance, .. }
         | GroupMsg::Accept { instance, .. }
+        | GroupMsg::AcceptBatch { instance, .. }
         | GroupMsg::Ack { instance, .. }
         | GroupMsg::Done { instance, .. }
         | GroupMsg::Retrans { instance, .. }
@@ -326,4 +400,3 @@ fn instance_of(msg: &GroupMsg) -> Option<u64> {
         | GroupMsg::ExpelNotice { instance, .. } => Some(*instance),
     }
 }
-

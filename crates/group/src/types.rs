@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use amoeba_flip::HostAddr;
+use amoeba_flip::{HostAddr, Payload};
 
 /// Sequence number in the group's total order. Every event — application
 /// message or membership change — consumes exactly one.
@@ -127,8 +127,8 @@ pub enum GroupEvent {
         from: MemberId,
         /// Sender's application tag.
         from_tag: u64,
-        /// The payload.
-        data: Vec<u8>,
+        /// The payload (shared with the wire buffer it arrived in).
+        data: Payload,
     },
     /// A member joined (not delivered to the joiner itself).
     Joined {
@@ -229,7 +229,7 @@ mod tests {
             seq: 4,
             from: MemberId(1),
             from_tag: 0,
-            data: vec![],
+            data: Payload::empty(),
         };
         assert_eq!(e.seq(), Some(4));
         let r = GroupEvent::ResetDone {

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use amoeba_flip::{NetParams, Network, Port};
 use amoeba_group::{Group, GroupConfig, GroupError, GroupEvent, GroupPeer};
-use amoeba_sim::{NodeId, Simulation, Spawn};
+use amoeba_sim::{NodeId, Simulation};
 use parking_lot::Mutex;
 
 struct Machine {
@@ -81,7 +81,7 @@ fn all_members_see_same_total_order() {
         }
         // Everyone sends concurrently and collects what it receives.
         let sender_g = Arc::new(g);
-        let mut log: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut log: Vec<(u64, amoeba_flip::Payload)> = Vec::new();
         // Interleave sends and receives in one process: send all, then
         // drain until we have n * sends_per_member messages.
         for k in 0..sends_per_member {
@@ -100,7 +100,10 @@ fn all_members_see_same_total_order() {
         log
     });
     sim.run_for(Duration::from_secs(30));
-    let logs: Vec<_> = outs.iter().map(|o| o.take().expect("member finished")).collect();
+    let logs: Vec<_> = outs
+        .iter()
+        .map(|o| o.take().expect("member finished"))
+        .collect();
     // Every member delivered the same messages in the same seq order.
     assert_eq!(logs[0], logs[1]);
     assert_eq!(logs[1], logs[2]);
@@ -144,7 +147,11 @@ fn send_with_r2_takes_five_packets() {
     });
     sim.run_for(Duration::from_secs(5));
     let _ = outs;
-    assert_eq!(counted.lock().unwrap_or(0), 5, "PB send with r=2 costs 5 packets");
+    assert_eq!(
+        counted.lock().unwrap_or(0),
+        5,
+        "PB send with r=2 costs 5 packets"
+    );
 }
 
 #[test]
@@ -160,11 +167,17 @@ fn membership_events_are_ordered_and_visible() {
                 }
             }
             let info = g.info().unwrap();
-            (info.view.len(), info.view.members.iter().map(|m| m.tag).collect::<Vec<_>>())
+            (
+                info.view.len(),
+                info.view.members.iter().map(|m| m.tag).collect::<Vec<_>>(),
+            )
         } else {
             ctx.sleep(Duration::from_millis(300));
             let info = g.info().unwrap();
-            (info.view.len(), info.view.members.iter().map(|m| m.tag).collect::<Vec<_>>())
+            (
+                info.view.len(),
+                info.view.members.iter().map(|m| m.tag).collect::<Vec<_>>(),
+            )
         }
     });
     sim.run_for(Duration::from_secs(5));
@@ -195,7 +208,8 @@ fn crash_of_member_fails_group_and_reset_rebuilds_majority() {
                 peer.create(port, i as u64)
             } else {
                 ctx.sleep(Duration::from_millis(10 * i as u64));
-                peer.join(ctx, port, i as u64, Duration::from_secs(2)).unwrap()
+                peer.join(ctx, port, i as u64, Duration::from_secs(2))
+                    .unwrap()
             };
             // Run the Fig. 5 group-thread loop: receive until failure, then
             // reset with majority (2 of 3).
@@ -230,8 +244,14 @@ fn crash_of_member_fails_group_and_reset_rebuilds_majority() {
         let (resets, received) = o.take().expect("survivor finished");
         assert_eq!(resets, 1, "member {i} reset once");
         // Both survivors saw both post-reset messages, in the same order.
-        assert!(received.contains(&vec![100]), "member {i}: {received:?}");
-        assert!(received.contains(&vec![101]), "member {i}: {received:?}");
+        assert!(
+            received.iter().any(|d| d.as_slice() == [100]),
+            "member {i}: {received:?}"
+        );
+        assert!(
+            received.iter().any(|d| d.as_slice() == [101]),
+            "member {i}: {received:?}"
+        );
     }
     let a = outs[0].take();
     let b = outs[1].take();
@@ -257,7 +277,8 @@ fn minority_partition_cannot_reset_majority_can() {
                 peer.create(port, i as u64)
             } else {
                 ctx.sleep(Duration::from_millis(10 * i as u64));
-                peer.join(ctx, port, i as u64, Duration::from_secs(2)).unwrap()
+                peer.join(ctx, port, i as u64, Duration::from_secs(2))
+                    .unwrap()
             };
             loop {
                 match g.recv_timeout(ctx, Duration::from_secs(4)) {
@@ -337,7 +358,8 @@ fn sequencer_crash_is_survivable() {
                 peer.create(port, i as u64)
             } else {
                 ctx.sleep(Duration::from_millis(10 * i as u64));
-                peer.join(ctx, port, i as u64, Duration::from_secs(2)).unwrap()
+                peer.join(ctx, port, i as u64, Duration::from_secs(2))
+                    .unwrap()
             };
             loop {
                 match g.recv_timeout(ctx, Duration::from_secs(4)) {
@@ -421,5 +443,148 @@ fn big_messages_use_bb_and_still_order() {
     sim.run_for(Duration::from_secs(20));
     for o in outs {
         assert_eq!(o.take(), Some(vec![10, 5000, 10]), "send order preserved");
+    }
+}
+
+#[test]
+fn batched_delivery_preserves_total_order_across_crash_and_rejoin() {
+    // Concurrent senders drive the sequencer's accept batching; a member
+    // crashes mid-stream (group fails, survivors reset) and its host
+    // later reboots and rejoins. Every log must agree on the total
+    // order, batched or not.
+    let mut sim = Simulation::new(77);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 5);
+    let mut cfg = cfg_r(0);
+    cfg.max_batch = 8; // batching on (also the default)
+    let port = Port::from_name("test-group");
+
+    type Log = Vec<(u64, amoeba_flip::Payload)>;
+    let collect = |g: &Group, ctx: &amoeba_sim::Ctx, log: &mut Log, quiet: Duration| loop {
+        match g.recv_timeout(ctx, quiet) {
+            Some(Ok(GroupEvent::Message { seq, data, .. })) => log.push((seq, data)),
+            Some(Ok(_)) => continue,
+            Some(Err(GroupError::Failed)) => {
+                if g.reset(ctx, 3, Duration::from_secs(5)).is_err() {
+                    return;
+                }
+            }
+            Some(Err(_)) | None => return,
+        }
+    };
+
+    let machines: Vec<Machine> = (0..3)
+        .map(|i| machine(&sim, &net, &format!("m{i}"), &cfg))
+        .collect();
+    let mut outs = Vec::new();
+    for (i, m) in machines.iter().enumerate() {
+        let peer = m.peer.clone();
+        outs.push(sim.spawn_on(m.sim_node, &format!("app{i}"), move |ctx| {
+            let g = if i == 0 {
+                peer.create(port, i as u64)
+            } else {
+                ctx.sleep(Duration::from_millis(10 * i as u64));
+                peer.join(ctx, port, i as u64, Duration::from_secs(2))
+                    .expect("join failed")
+            };
+            while g.info().unwrap().view.len() < 4 {
+                ctx.sleep(Duration::from_millis(5));
+            }
+            let g = std::sync::Arc::new(g);
+            // Two pipelined senders per member: bursts that the
+            // sequencer coalesces. Phase 2 runs after the rejoin so the
+            // rebooted member sees fresh traffic.
+            for s in 0..2u8 {
+                let g = std::sync::Arc::clone(&g);
+                ctx.spawn(&format!("send{i}-{s}"), move |ctx| {
+                    for phase in 0..2u8 {
+                        if phase == 1 {
+                            let wake = amoeba_sim::SimTime::ZERO + Duration::from_millis(2500);
+                            ctx.sleep_until(wake);
+                        }
+                        let mut k = 0u8;
+                        while k < 8 {
+                            match g.send(ctx, vec![i as u8, s, phase, k]) {
+                                Ok(_) => k += 1,
+                                Err(GroupError::Dead) => return,
+                                Err(_) => ctx.sleep(Duration::from_millis(40)),
+                            }
+                        }
+                    }
+                });
+            }
+            let mut log = Log::new();
+            collect(&g, ctx, &mut log, Duration::from_secs(2));
+            log
+        }));
+    }
+
+    // Member 3: joins, crashes at 700 ms, host reboots and rejoins.
+    let m3 = machine(&sim, &net, "m3", &cfg);
+    let crash_host = m3.host;
+    let crash_node = m3.sim_node;
+    {
+        let peer = m3.peer.clone();
+        sim.spawn_on(m3.sim_node, "app3", move |ctx| {
+            ctx.sleep(Duration::from_millis(30));
+            let g = peer
+                .join(ctx, port, 3, Duration::from_secs(2))
+                .expect("initial join failed");
+            loop {
+                let _ = g.recv(ctx); // consume until the crash kills us
+            }
+        });
+    }
+    let net2 = net.clone();
+    sim.spawn("chaos", move |ctx| {
+        ctx.sleep(Duration::from_millis(700));
+        net2.set_down(crash_host);
+        ctx.crash_node(crash_node);
+    });
+    // The reboot: same simulation, fresh machine (fresh NIC + peer), at
+    // 1.8 s — after the survivors' reset settles.
+    let rejoin_log = {
+        let rejoin = machine(&sim, &net, "m3-reborn", &cfg);
+        let peer = rejoin.peer.clone();
+        sim.spawn_on(rejoin.sim_node, "app3-reborn", move |ctx| {
+            ctx.sleep(Duration::from_millis(1800));
+            let g = peer
+                .join(ctx, port, 33, Duration::from_secs(5))
+                .expect("rejoin failed");
+            let mut log = Log::new();
+            collect(&g, ctx, &mut log, Duration::from_secs(2));
+            log
+        })
+    };
+
+    sim.run_for(Duration::from_secs(20));
+    let logs: Vec<Log> = outs.iter().map(|o| o.take().expect("finished")).collect();
+    let reborn = rejoin_log.take().expect("rejoined member finished");
+
+    // Survivors agree exactly.
+    assert!(!logs[0].is_empty());
+    assert_eq!(logs[0], logs[1], "members 0 and 1 diverge");
+    assert_eq!(logs[1], logs[2], "members 1 and 2 diverge");
+    // Sequence numbers strictly increase (no duplicates, no reorders).
+    for (i, log) in logs.iter().enumerate() {
+        assert!(
+            log.windows(2).all(|w| w[0].0 < w[1].0),
+            "member {i}: non-monotonic seqs"
+        );
+    }
+    // Phase-2 traffic flowed after the crash/reset/rejoin.
+    assert!(
+        logs[0].iter().any(|(_, d)| d.len() == 4 && d[2] == 1),
+        "no post-rejoin messages observed"
+    );
+    // The rebooted member's log is a slice of the survivors' order: every
+    // entry matches the survivors' entry at the same seq.
+    assert!(!reborn.is_empty(), "rejoined member saw no messages");
+    for (seq, data) in &reborn {
+        let matching = logs[0].iter().find(|(s, _)| s == seq);
+        assert_eq!(
+            matching.map(|(_, d)| d),
+            Some(data),
+            "rejoined member disagrees at seq {seq}"
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use amoeba_flip::{Dest, HostAddr, Port};
+use amoeba_flip::{Dest, HostAddr, Payload, Port};
 use amoeba_sim::Ctx;
 
 use crate::error::RpcError;
@@ -67,11 +67,20 @@ impl RpcClient {
 
     /// Performs one request/reply transaction with any server of `service`.
     ///
+    /// The request is encoded once by the caller; retries re-send the
+    /// same shared buffer without copying it.
+    ///
     /// # Errors
     ///
     /// [`RpcError::Unreachable`] if no server answered within
     /// `max_attempts` tries.
-    pub fn trans(&self, ctx: &Ctx, service: Port, request: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+    pub fn trans(
+        &self,
+        ctx: &Ctx,
+        service: Port,
+        request: impl Into<Payload>,
+    ) -> Result<Payload, RpcError> {
+        let request = request.into();
         let mut attempts = 0u32;
         loop {
             attempts += 1;

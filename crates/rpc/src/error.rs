@@ -20,7 +20,10 @@ impl fmt::Display for RpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RpcError::Unreachable { service, attempts } => {
-                write!(f, "no server reachable for {service} after {attempts} attempts")
+                write!(
+                    f,
+                    "no server reachable for {service} after {attempts} attempts"
+                )
             }
         }
     }

@@ -1,7 +1,7 @@
 //! RPC wire messages and their codec.
 
 use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
-use amoeba_flip::{HostAddr, Port};
+use amoeba_flip::{HostAddr, Payload, Port};
 
 /// Everything that travels on the per-host RPC port.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,15 +32,15 @@ pub enum RpcMsg {
         client: HostAddr,
         /// Transaction id, unique per client host.
         tid: u64,
-        /// Marshalled request bytes.
-        data: Vec<u8>,
+        /// Marshalled request bytes (shared, zero-copy).
+        data: Payload,
     },
     /// The server's answer to a request.
     Reply {
         /// Echoed transaction id.
         tid: u64,
-        /// Marshalled reply bytes.
-        data: Vec<u8>,
+        /// Marshalled reply bytes (shared, zero-copy).
+        data: Payload,
     },
     /// Kernel-level refusal: no thread is listening on the port right now.
     NotHere {
@@ -58,9 +58,19 @@ const TAG_REPLY: u8 = 4;
 const TAG_NOTHERE: u8 = 5;
 
 impl RpcMsg {
-    /// Encodes to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    /// Exact encoded size, used as the writer's single-allocation hint.
+    fn encoded_len(&self) -> usize {
+        match self {
+            RpcMsg::Locate { .. } | RpcMsg::HereIs { .. } => 1 + 8 + 4 + 8,
+            RpcMsg::Request { data, .. } => 1 + 8 + 4 + 8 + 4 + data.len(),
+            RpcMsg::Reply { data, .. } => 1 + 8 + 4 + data.len(),
+            RpcMsg::NotHere { .. } => 1 + 8 + 8,
+        }
+    }
+
+    /// Encodes into a shared buffer in a single allocation.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
         match self {
             RpcMsg::Locate {
                 service,
@@ -101,17 +111,19 @@ impl RpcMsg {
                 w.u8(TAG_NOTHERE).u64(*tid).u64(service.as_raw());
             }
         }
-        w.finish()
+        debug_assert_eq!(w.len(), self.encoded_len());
+        w.finish_payload()
     }
 
-    /// Decodes from wire bytes.
+    /// Decodes from a shared wire buffer; embedded payload bytes come
+    /// back as zero-copy slices of `buf`.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] on truncation, unknown tags, or trailing
     /// garbage.
-    pub fn decode(buf: &[u8]) -> Result<RpcMsg, DecodeError> {
-        let mut r = WireReader::new(buf);
+    pub fn decode(buf: &Payload) -> Result<RpcMsg, DecodeError> {
+        let mut r = WireReader::of(buf);
         let msg = match r.u8("rpc tag")? {
             TAG_LOCATE => RpcMsg::Locate {
                 service: Port::from_raw(r.u64("locate service")?),
@@ -127,11 +139,11 @@ impl RpcMsg {
                 service: Port::from_raw(r.u64("req service")?),
                 client: HostAddr(r.u32("req client")?),
                 tid: r.u64("req tid")?,
-                data: r.bytes("req data")?,
+                data: r.payload("req data")?,
             },
             TAG_REPLY => RpcMsg::Reply {
                 tid: r.u64("rep tid")?,
-                data: r.bytes("rep data")?,
+                data: r.payload("rep data")?,
             },
             TAG_NOTHERE => RpcMsg::NotHere {
                 tid: r.u64("nothere tid")?,
@@ -147,7 +159,7 @@ impl RpcMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use amoeba_testkit::{check, Gen};
 
     fn round_trip(m: RpcMsg) {
         let bytes = m.encode();
@@ -170,11 +182,11 @@ mod tests {
             service: Port::from_name("dir"),
             client: HostAddr(4),
             tid: 1,
-            data: vec![1, 2, 3],
+            data: vec![1, 2, 3].into(),
         });
         round_trip(RpcMsg::Reply {
             tid: 1,
-            data: vec![],
+            data: Payload::empty(),
         });
         round_trip(RpcMsg::NotHere {
             tid: 9,
@@ -184,37 +196,56 @@ mod tests {
 
     #[test]
     fn unknown_tag_errors() {
-        assert!(RpcMsg::decode(&[99]).is_err());
+        assert!(RpcMsg::decode(&Payload::from(vec![99])).is_err());
     }
 
     #[test]
     fn trailing_garbage_errors() {
         let mut bytes = RpcMsg::Reply {
             tid: 1,
-            data: vec![],
+            data: Payload::empty(),
         }
-        .encode();
+        .encode()
+        .as_slice()
+        .to_owned();
         bytes.push(0);
-        assert!(RpcMsg::decode(&bytes).is_err());
+        assert!(RpcMsg::decode(&Payload::from(bytes)).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_request_round_trip(service: u64, client: u32, tid: u64,
-                                   data in proptest::collection::vec(any::<u8>(), 0..512)) {
+    #[test]
+    fn decoded_request_data_shares_wire_buffer() {
+        let m = RpcMsg::Request {
+            service: Port::from_raw(1),
+            client: HostAddr(2),
+            tid: 3,
+            data: vec![5u8; 64].into(),
+        };
+        let wire = m.encode();
+        let RpcMsg::Request { data, .. } = RpcMsg::decode(&wire).unwrap() else {
+            panic!("wrong variant");
+        };
+        let off = data.as_slice().as_ptr() as usize - wire.as_slice().as_ptr() as usize;
+        assert!(off < wire.len(), "decoded data must alias the wire buffer");
+    }
+
+    #[test]
+    fn prop_request_round_trip() {
+        check("rpc request round trip", 256, |g: &mut Gen| {
             let m = RpcMsg::Request {
-                service: Port::from_raw(service),
-                client: HostAddr(client),
-                tid,
-                data,
+                service: Port::from_raw(g.u64()),
+                client: HostAddr(g.u32()),
+                tid: g.u64(),
+                data: g.bytes(512).into(),
             };
             let bytes = m.encode();
-            prop_assert_eq!(RpcMsg::decode(&bytes).unwrap(), m);
-        }
+            assert_eq!(RpcMsg::decode(&bytes).unwrap(), m);
+        });
+    }
 
-        #[test]
-        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
-            let _ = RpcMsg::decode(&data);
-        }
+    #[test]
+    fn prop_decode_never_panics() {
+        check("rpc decode never panics", 256, |g: &mut Gen| {
+            let _ = RpcMsg::decode(&g.bytes(64).into());
+        });
     }
 }

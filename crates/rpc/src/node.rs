@@ -9,7 +9,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use amoeba_flip::{Dest, HostAddr, NodeStack, Port};
+use amoeba_flip::{Dest, HostAddr, NodeStack, Payload, Port};
 use amoeba_sim::{MailboxRx, MailboxTx, NodeId, SimHandle, Spawn};
 use parking_lot::Mutex;
 
@@ -27,14 +27,14 @@ pub struct IncomingRequest {
     pub client: HostAddr,
     /// Transaction id to echo in the reply.
     pub tid: u64,
-    /// Marshalled request bytes.
-    pub data: Vec<u8>,
+    /// Marshalled request bytes (shared, zero-copy).
+    pub data: Payload,
 }
 
 /// Events delivered to a blocked client transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum CallEvent {
-    Reply(Vec<u8>),
+    Reply(Payload),
     NotHere,
 }
 

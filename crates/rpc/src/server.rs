@@ -1,6 +1,6 @@
 //! The server side of Amoeba RPC: `getreq` / `putrep`.
 
-use amoeba_flip::{Dest, Port};
+use amoeba_flip::{Dest, Payload, Port};
 use amoeba_sim::Ctx;
 
 use crate::msg::RpcMsg;
@@ -40,14 +40,15 @@ impl RpcServer {
         rx.recv(ctx)
     }
 
-    /// Sends the reply for a previously received request.
-    pub fn putrep(&self, req: &IncomingRequest, data: Vec<u8>) {
+    /// Sends the reply for a previously received request. The reply
+    /// bytes are shared, not copied, on their way to the wire.
+    pub fn putrep(&self, req: &IncomingRequest, data: impl Into<Payload>) {
         self.node.stack().send(
             Dest::Unicast(req.client),
             RPC_PORT,
             RpcMsg::Reply {
                 tid: req.tid,
-                data,
+                data: data.into(),
             }
             .encode(),
         );

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use amoeba_flip::{NetParams, Network, NodeStack, Port};
-use amoeba_sim::{NodeId, Simulation, Spawn};
 use amoeba_rpc::{RpcClient, RpcNode, RpcServer};
+use amoeba_sim::{NodeId, Simulation};
 use parking_lot::Mutex;
 
 struct Host {
@@ -31,7 +31,7 @@ fn echo_server(sim: &Simulation, h: &Host, service: Port) {
     let srv = RpcServer::new(&h.node, service);
     sim.spawn_on(h.sim_node, "echo-server", move |ctx| loop {
         let req = srv.getreq(ctx);
-        let mut data = req.data.clone();
+        let mut data = req.data.to_vec();
         data.reverse();
         srv.putrep(&req, data);
     });
@@ -50,7 +50,7 @@ fn basic_trans_round_trip() {
         client.trans(ctx, service, vec![1, 2, 3]).unwrap()
     });
     sim.run_for(Duration::from_secs(2));
-    assert_eq!(out.take(), Some(vec![3, 2, 1]));
+    assert_eq!(out.take(), Some(amoeba_flip::Payload::from(vec![3, 2, 1])));
 }
 
 #[test]
@@ -125,8 +125,10 @@ fn trans_fails_cleanly_when_no_server_exists() {
     let mut sim = Simulation::new(1);
     let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 2);
     let c = host(&sim, &net, "client");
-    let mut params = amoeba_rpc::RpcParams::default();
-    params.max_attempts = 3;
+    let params = amoeba_rpc::RpcParams {
+        max_attempts: 3,
+        ..Default::default()
+    };
     let client = RpcClient::with_params(&c.node, params);
     let out = sim.spawn("client", move |ctx| {
         client.trans(ctx, Port::from_name("ghost"), vec![]).is_err()
@@ -192,7 +194,7 @@ fn concurrent_clients_all_complete() {
         outs.push(sim.spawn(&format!("client{i}"), move |ctx| {
             let mut ok = 0;
             for k in 0..20u8 {
-                if client.trans(ctx, service, vec![k]) == Ok(vec![k]) {
+                if client.trans(ctx, service, vec![k]) == Ok(amoeba_flip::Payload::from(vec![k])) {
                     ok += 1;
                 }
             }

@@ -1,0 +1,80 @@
+//! Offline stand-in for the subset of `crossbeam-channel` this workspace
+//! uses: `unbounded()` with cloneable senders and a blocking receiver.
+//!
+//! Backed by `std::sync::mpsc`, which provides exactly these semantics
+//! for a multi-producer single-consumer unbounded FIFO. The simulator's
+//! strict resume/yield handshake means a channel never has more than one
+//! consumer, so nothing beyond the mpsc surface is required.
+
+#![warn(missing_docs)]
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// The sending half of an unbounded channel. Cloneable.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, failing only if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value)
+    }
+}
+
+/// The receiving half of an unbounded channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value is available or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Removes the next value without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+}
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn recv_fails_when_senders_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -56,11 +56,11 @@ mod time;
 
 pub use ctx::Ctx;
 pub use handle::SimHandle;
-pub use resource::Resource;
-pub use spawn::Spawn;
 pub use ids::{NodeId, ProcId};
 pub use mailbox::{select2, select2_deadline, Either, MailboxRx, MailboxTx};
 pub use process::ProcOutput;
+pub use resource::Resource;
 pub use rng::SimRng;
 pub use sim::{RunStats, Simulation};
+pub use spawn::Spawn;
 pub use time::SimTime;

@@ -155,10 +155,7 @@ mod tests {
         sim.run();
         let order = order.lock();
         assert_eq!(
-            order
-                .iter()
-                .map(|(i, _)| *i)
-                .collect::<Vec<_>>(),
+            order.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
             vec![0, 1, 2, 3]
         );
         // Back-to-back occupancy: finishes at 5, 10, 15, 20 ms.

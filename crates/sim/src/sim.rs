@@ -215,9 +215,7 @@ impl Simulation {
                     let reason = {
                         let k = self.shared.lock();
                         match k.procs.get(&pid) {
-                            Some(p)
-                                if !p.dead && p.state == ProcState::Blocked && p.gen == gen =>
-                            {
+                            Some(p) if !p.dead && p.state == ProcState::Blocked && p.gen == gen => {
                                 match p.block {
                                     BlockKind::Sleep => Some(WakeReason::Slept),
                                     BlockKind::Wait => Some(WakeReason::TimedOut),

@@ -190,11 +190,9 @@ fn crash_kills_node_processes_and_preserves_shared_state() {
     let persistent = Arc::new(Mutex::new(Vec::new()));
 
     let p = Arc::clone(&persistent);
-    sim.spawn_on(node, "writer", move |ctx| {
-        loop {
-            p.lock().push(ctx.now());
-            ctx.sleep(MS);
-        }
+    sim.spawn_on(node, "writer", move |ctx| loop {
+        p.lock().push(ctx.now());
+        ctx.sleep(MS);
     });
     sim.spawn("chaos", move |ctx| {
         ctx.sleep(Duration::from_micros(4500));

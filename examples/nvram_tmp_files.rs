@@ -42,11 +42,7 @@ fn main() {
         let disk_writes_after: u64 = disks.iter().map(|d| d.stats().writes).sum();
         let annihilated: u64 = nvrams.iter().map(|n| n.stats().annihilated).sum();
         let mean = pair_times.iter().sum::<f64>() / pair_times.len() as f64;
-        (
-            mean,
-            disk_writes_after - disk_writes_before,
-            annihilated,
-        )
+        (mean, disk_writes_after - disk_writes_before, annihilated)
     });
     sim.run_for(Duration::from_secs(30));
     let (mean_ms, disk_writes, annihilated) = out.take().expect("workload finished");

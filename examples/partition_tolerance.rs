@@ -37,13 +37,16 @@ fn main() {
     let majority_client = client.clone();
     let during = sim.spawn("during-partition", move |ctx| {
         ctx.sleep(Duration::from_secs(2)); // let failure detection settle
-        // The majority side still commits updates.
+                                           // The majority side still commits updates.
         let sub = majority_client.create_dir(ctx, &["owner"]).unwrap();
         majority_client
             .append_row(ctx, root, "during-partition", sub, vec![Rights::ALL])
             .unwrap();
         println!("majority side committed an update during the partition");
-        majority_client.lookup(ctx, root, "during-partition").unwrap().is_some()
+        majority_client
+            .lookup(ctx, root, "during-partition")
+            .unwrap()
+            .is_some()
     });
     sim.run_for(Duration::from_secs(10));
     assert_eq!(during.take(), Some(true));
@@ -64,7 +67,10 @@ fn main() {
     assert_eq!(v0, v2, "replicas must converge");
 
     let check = sim.spawn("check", move |ctx| {
-        client.lookup(ctx, root, "during-partition").unwrap().is_some()
+        client
+            .lookup(ctx, root, "during-partition")
+            .unwrap()
+            .is_some()
     });
     sim.run_for(Duration::from_secs(3));
     assert_eq!(check.take(), Some(true));

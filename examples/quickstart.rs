@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use amoeba_dirsvc::dir::cluster::{Cluster, ClusterParams, Variant};
-use amoeba_dirsvc::dir::{DirClient, Rights};
+use amoeba_dirsvc::dir::Rights;
 use amoeba_dirsvc::sim::{Ctx, SimTime, Simulation};
 
 /// Retries an operation until the service has formed.
@@ -36,7 +36,9 @@ fn main() {
 
         // Store a few capabilities under names.
         for name in ["bin", "etc", "home"] {
-            let sub = client.create_dir(ctx, &["owner", "group", "other"]).unwrap();
+            let sub = client
+                .create_dir(ctx, &["owner", "group", "other"])
+                .unwrap();
             client
                 .append_row(
                     ctx,
@@ -69,11 +71,21 @@ fn main() {
         // Give failure detection + ResetGroup a moment, then the two
         // surviving servers (a majority) answer again.
         let hit = until_ready(ctx, || client.lookup(ctx, root, "etc"));
-        println!("[{}] lookup 'etc' after crash: {:?}", ctx.now(), hit.is_some());
+        println!(
+            "[{}] lookup 'etc' after crash: {:?}",
+            ctx.now(),
+            hit.is_some()
+        );
         // And updates still commit.
         let tmp = until_ready(ctx, || client.create_dir(ctx, &["owner"]));
         client
-            .append_row(ctx, root, "written-during-crash", tmp, vec![Rights::ALL, Rights::columns(3), Rights::column(2)])
+            .append_row(
+                ctx,
+                root,
+                "written-during-crash",
+                tmp,
+                vec![Rights::ALL, Rights::columns(3), Rights::column(2)],
+            )
             .unwrap();
         println!("[{}] update committed with one server down", ctx.now());
         client
@@ -98,7 +110,5 @@ fn main() {
     sim.run_for(Duration::from_secs(3));
     assert_eq!(final_check.take(), Some(true));
     let elapsed: SimTime = sim.now();
-    println!(
-        "== done: the update survived; total virtual time {elapsed}, crash at {t_crash} =="
-    );
+    println!("== done: the update survived; total virtual time {elapsed}, crash at {t_crash} ==");
 }

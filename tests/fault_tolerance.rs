@@ -75,14 +75,18 @@ fn two_simultaneous_crashes_require_all_servers_back() {
     cluster.crash_server(&sim, 2);
     let c2 = client.clone();
     let minority = sim.spawn("minority", move |ctx| {
-        ctx.sleep(Duration::from_secs(2)); // let failure detection run
-        // Reads are refused too (paper §3.1: a partitioned survivor could
-        // otherwise resurrect deleted directories).
+        // Let failure detection run first. Reads are refused too (paper
+        // §3.1: a partitioned survivor could otherwise resurrect deleted
+        // directories).
+        ctx.sleep(Duration::from_secs(2));
         c2.lookup(ctx, root, "whatever")
     });
     sim.run_for(Duration::from_secs(20));
     let refused = minority.take().expect("minority lookup returned");
-    assert!(refused.is_err(), "a lone server must refuse reads: {refused:?}");
+    assert!(
+        refused.is_err(),
+        "a lone server must refuse reads: {refused:?}"
+    );
 
     // Server 1 returns: majority exists, but the strict last-set check
     // still blocks (server 2 may have performed the last update).
@@ -110,7 +114,11 @@ fn two_simultaneous_crashes_require_all_servers_back() {
         false
     });
     sim.run_for(Duration::from_secs(30));
-    assert_eq!(resumed.take(), Some(true), "service resumed with full last set");
+    assert_eq!(
+        resumed.take(),
+        Some(true),
+        "service resumed with full last set"
+    );
 }
 
 #[test]
@@ -159,7 +167,8 @@ fn section_3_2_scenario_one_and_two_may_not_recover_alone() {
     let (mut sim, mut cluster, client, root) = form_cluster(47);
     let c2 = client.clone();
     let w = sim.spawn("w", move |ctx| {
-        c2.append_row(ctx, root, "x", root, vec![Rights::ALL]).is_ok()
+        c2.append_row(ctx, root, "x", root, vec![Rights::ALL])
+            .is_ok()
     });
     sim.run_for(Duration::from_secs(5));
     assert_eq!(w.take(), Some(true));
@@ -212,7 +221,8 @@ fn section_3_2_scenario_one_and_two_recover_without_three() {
     let (mut sim, mut cluster, client, root) = form_cluster(53);
     let c2 = client.clone();
     let w = sim.spawn("w", move |ctx| {
-        c2.append_row(ctx, root, "y", root, vec![Rights::ALL]).is_ok()
+        c2.append_row(ctx, root, "y", root, vec![Rights::ALL])
+            .is_ok()
     });
     sim.run_for(Duration::from_secs(5));
     assert_eq!(w.take(), Some(true));

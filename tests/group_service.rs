@@ -133,8 +133,7 @@ fn concurrent_clients_get_serializable_outcomes() {
     let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::Group));
     let (setup_client, _) = cluster.client(&sim);
     let setup = sim.spawn("setup", move |ctx| {
-        let root = ready_root(ctx, &setup_client, &["owner"]);
-        root
+        ready_root(ctx, &setup_client, &["owner"])
     });
     sim.run_for(Duration::from_secs(10));
     let root = setup.take().expect("root ready");
@@ -178,10 +177,7 @@ fn path_resolution_and_create_all() {
         assert_eq!(resolved.object, leaf.object);
         // Missing component errors cleanly.
         let missing = amoeba_dirsvc::dir::path::resolve(ctx, &client, root, "usr/nope");
-        assert_eq!(
-            missing,
-            Err(DirClientError::Service(DirError::NoSuchName))
-        );
+        assert_eq!(missing, Err(DirClientError::Service(DirError::NoSuchName)));
         true
     });
     sim.run_for(Duration::from_secs(60));

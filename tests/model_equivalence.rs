@@ -7,61 +7,63 @@ use amoeba_dirsvc::dir::cluster::{Cluster, ClusterParams, Variant};
 use amoeba_dirsvc::dir::model::DirModel;
 use amoeba_dirsvc::dir::{Capability, DirClientError, DirError, DirOp, Rights};
 use amoeba_dirsvc::sim::Simulation;
-use proptest::prelude::*;
+use amoeba_testkit::Gen;
 
 /// A client-visible operation in the generated workload.
 #[derive(Debug, Clone)]
 enum WorkloadOp {
     Create,
     /// Append `name` to the directory created by the `k`-th create.
-    Append { dir: usize, name: String },
-    DeleteRow { dir: usize, name: String },
-    Chmod { dir: usize, name: String },
-    DeleteDir { dir: usize },
-    Lookup { dir: usize, name: String },
+    Append {
+        dir: usize,
+        name: String,
+    },
+    DeleteRow {
+        dir: usize,
+        name: String,
+    },
+    Chmod {
+        dir: usize,
+        name: String,
+    },
+    DeleteDir {
+        dir: usize,
+    },
+    Lookup {
+        dir: usize,
+        name: String,
+    },
 }
 
-fn op_strategy() -> impl Strategy<Value = WorkloadOp> {
-    let name = proptest::sample::select(vec!["a", "b", "c", "d"]);
-    let dir = 0..4usize;
-    prop_oneof![
-        1 => Just(WorkloadOp::Create),
-        4 => (dir.clone(), name.clone()).prop_map(|(dir, name)| WorkloadOp::Append {
-            dir,
-            name: name.to_owned()
-        }),
-        3 => (dir.clone(), name.clone()).prop_map(|(dir, name)| WorkloadOp::DeleteRow {
-            dir,
-            name: name.to_owned()
-        }),
-        2 => (dir.clone(), name.clone()).prop_map(|(dir, name)| WorkloadOp::Chmod {
-            dir,
-            name: name.to_owned()
-        }),
-        1 => dir.clone().prop_map(|dir| WorkloadOp::DeleteDir { dir }),
-        4 => (dir, name).prop_map(|(dir, name)| WorkloadOp::Lookup {
-            dir,
-            name: name.to_owned()
-        }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8, // each case spins up a whole simulated cluster
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn replicated_service_matches_sequential_model(
-        ops in proptest::collection::vec(op_strategy(), 1..25),
-        seed in 0u64..1000,
-    ) {
-        run_case(ops, seed)?;
+/// Draws one weighted workload operation (weights as in the original
+/// proptest strategy: 1 create, 4 append, 3 delete-row, 2 chmod,
+/// 1 delete-dir, 4 lookup).
+fn gen_op(g: &mut Gen) -> WorkloadOp {
+    const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+    let dir = g.below(4);
+    let name = NAMES[g.below(4)].to_owned();
+    match g.below(15) {
+        0 => WorkloadOp::Create,
+        1..=4 => WorkloadOp::Append { dir, name },
+        5..=7 => WorkloadOp::DeleteRow { dir, name },
+        8..=9 => WorkloadOp::Chmod { dir, name },
+        10 => WorkloadOp::DeleteDir { dir },
+        _ => WorkloadOp::Lookup { dir, name },
     }
 }
 
-fn run_case(ops: Vec<WorkloadOp>, seed: u64) -> Result<(), TestCaseError> {
+#[test]
+fn replicated_service_matches_sequential_model() {
+    // Only a few cases: each spins up a whole simulated cluster.
+    amoeba_testkit::check("replicated service matches model", 8, |g: &mut Gen| {
+        let n = 1 + g.below(24);
+        let ops: Vec<WorkloadOp> = (0..n).map(|_| gen_op(g)).collect();
+        let seed = g.u64() % 1000;
+        run_case(ops, seed);
+    });
+}
+
+fn run_case(ops: Vec<WorkloadOp>, seed: u64) {
     let mut sim = Simulation::new(seed);
     let mut cluster = Cluster::start(&sim, ClusterParams::paper(Variant::Group));
     let (client, _) = cluster.client(&sim);
@@ -112,7 +114,9 @@ fn run_case(ops: Vec<WorkloadOp>, seed: u64) -> Result<(), TestCaseError> {
                     check(&mut failures, i, "Append", expected, got);
                 }
                 WorkloadOp::DeleteRow { dir, name } => {
-                    let Some(cap) = created.get(*dir).copied().flatten() else { continue };
+                    let Some(cap) = created.get(*dir).copied().flatten() else {
+                        continue;
+                    };
                     let got = client.delete_row(ctx, cap, name);
                     let expected = model.apply(&DirOp::DeleteRow {
                         object: cap.object,
@@ -121,7 +125,9 @@ fn run_case(ops: Vec<WorkloadOp>, seed: u64) -> Result<(), TestCaseError> {
                     check(&mut failures, i, "DeleteRow", expected, got);
                 }
                 WorkloadOp::Chmod { dir, name } => {
-                    let Some(cap) = created.get(*dir).copied().flatten() else { continue };
+                    let Some(cap) = created.get(*dir).copied().flatten() else {
+                        continue;
+                    };
                     let got = client.chmod_row(ctx, cap, name, vec![Rights::MODIFY]);
                     let expected = model.apply(&DirOp::Chmod {
                         object: cap.object,
@@ -131,7 +137,9 @@ fn run_case(ops: Vec<WorkloadOp>, seed: u64) -> Result<(), TestCaseError> {
                     check(&mut failures, i, "Chmod", expected, got);
                 }
                 WorkloadOp::DeleteDir { dir } => {
-                    let Some(cap) = created.get(*dir).copied().flatten() else { continue };
+                    let Some(cap) = created.get(*dir).copied().flatten() else {
+                        continue;
+                    };
                     let got = client.delete_dir(ctx, cap);
                     let expected = model.apply(&DirOp::Delete { object: cap.object });
                     if got.is_ok() {
@@ -140,7 +148,9 @@ fn run_case(ops: Vec<WorkloadOp>, seed: u64) -> Result<(), TestCaseError> {
                     check(&mut failures, i, "DeleteDir", expected, got);
                 }
                 WorkloadOp::Lookup { dir, name } => {
-                    let Some(cap) = created.get(*dir).copied().flatten() else { continue };
+                    let Some(cap) = created.get(*dir).copied().flatten() else {
+                        continue;
+                    };
                     let got = client.lookup(ctx, cap, name);
                     let expected_present = model
                         .dir(cap.object)
@@ -165,8 +175,7 @@ fn run_case(ops: Vec<WorkloadOp>, seed: u64) -> Result<(), TestCaseError> {
     });
     sim.run_for(Duration::from_secs(120));
     let failures = out.take().expect("workload finished");
-    prop_assert!(failures.is_empty(), "divergences: {failures:?}");
-    Ok(())
+    assert!(failures.is_empty(), "divergences: {failures:?}");
 }
 
 fn check(
@@ -182,6 +191,8 @@ fn check(
         _ => false,
     };
     if !matches {
-        failures.push(format!("op {i} {what}: model {expected:?} vs service {got:?}"));
+        failures.push(format!(
+            "op {i} {what}: model {expected:?} vs service {got:?}"
+        ));
     }
 }

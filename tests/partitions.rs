@@ -111,7 +111,9 @@ fn three_way_partition_stops_everything_then_recovers() {
 
     // Every server on its own island (clients with nobody).
     let hosts: Vec<_> = cluster.columns.iter().map(|c| c.host).collect();
-    cluster.net.set_partition(&[&[hosts[0]], &[hosts[1]], &[hosts[2]]]);
+    cluster
+        .net
+        .set_partition(&[&[hosts[0]], &[hosts[1]], &[hosts[2]]]);
     let c3 = client.clone();
     let during = sim.spawn("during", move |ctx| {
         ctx.sleep(Duration::from_secs(3));
