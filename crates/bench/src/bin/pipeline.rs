@@ -10,6 +10,11 @@
 //! (`max_batch = 1`) quantifies what accept coalescing + cumulative
 //! acks buy on the update path.
 //!
+//! A third run with RSM apply batching disabled (`apply_batch = 1`)
+//! A/Bs what group commit buys on the disk-bound update path: the
+//! update-throughput harness drives N closed-loop writers so the
+//! replica driver sees real batches.
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
 
 use std::path::PathBuf;
@@ -37,23 +42,36 @@ fn main() {
         ..Default::default()
     };
     for variant in [Variant::Group, Variant::GroupNvram, Variant::Rpc] {
-        run.variants.push(measure(variant, None));
+        run.variants.push(measure(variant, None, None));
     }
+    run.variants.push(update_burst(Variant::Group, None));
     run.group_pipeline = group_layer_points(16);
     run.micro = micro_points();
     append_run(&out_path, "pipeline", &run).expect("write BENCH_pipeline.json");
 
-    // The A/B: same build, sequencer batching off. Only group variants
-    // have a sequencer.
+    // A/B one: same build, sequencer accept batching off. Only group
+    // variants have a sequencer.
     let mut nobatch = RunSummary {
         label: format!("{label}+nobatch"),
         ..Default::default()
     };
     for variant in [Variant::Group, Variant::GroupNvram] {
-        nobatch.variants.push(measure(variant, Some(1)));
+        nobatch.variants.push(measure(variant, Some(1), None));
     }
     nobatch.group_pipeline = group_layer_points(1);
     append_run(&out_path, "pipeline", &nobatch).expect("write BENCH_pipeline.json");
+
+    // A/B two: RSM apply batching (group commit) off — the update
+    // path falls back to one durable flush per op.
+    let mut noapply = RunSummary {
+        label: format!("{label}+noapplybatch"),
+        ..Default::default()
+    };
+    for variant in [Variant::Group, Variant::GroupNvram] {
+        noapply.variants.push(measure(variant, None, Some(1)));
+    }
+    noapply.variants.push(update_burst(Variant::Group, Some(1)));
+    append_run(&out_path, "pipeline", &noapply).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
 }
 
@@ -124,15 +142,71 @@ fn group_layer_points(max_batch: usize) -> Vec<(String, f64, f64)> {
     out
 }
 
-fn measure(variant: Variant, max_batch: Option<usize>) -> VariantSummary {
+/// The update-throughput harness the apply-batching A/B hinges on:
+/// many closed-loop writers appending unique rows to one directory, so
+/// the replica driver sees deep batches and group commit coalesces
+/// their disk work. One durable flush per *batch* instead of per *op*.
+fn update_burst(variant: Variant, apply_batch: Option<usize>) -> VariantSummary {
+    use amoeba_dir_core::{DirClientError, DirError};
+    const N_WRITERS: usize = 12;
+    let mut label = format!("{}/update-burst", variant.label());
+    if let Some(b) = apply_batch {
+        label.push_str(&format!("/applybatch={b}"));
+    }
+    println!("  update burst {label}...");
+    let tweak = move |p: &mut amoeba_dir_core::cluster::ClusterParams| {
+        if let Some(b) = apply_batch {
+            p.dir.apply_batch = b;
+        }
+    };
+    let mut tb = testbed_with(variant, 0xB57 + N_WRITERS as u64, tweak);
+    let ops = throughput(
+        &mut tb,
+        N_WRITERS,
+        Duration::from_secs(1),
+        Duration::from_secs(8),
+        |ctx, client, root, c, k| {
+            let name = format!("b{c}-{k}");
+            for _ in 0..6 {
+                match client.append_row(ctx, root, &name, root, vec![Rights::ALL, Rights::NONE]) {
+                    Ok(()) => return true,
+                    Err(DirClientError::Service(DirError::DuplicateName)) => return true,
+                    Err(_) => ctx.sleep(Duration::from_millis(10)),
+                }
+            }
+            false
+        },
+    );
+    println!("    {ops:.0} appends/s at {N_WRITERS} writers");
+    VariantSummary {
+        variant: label,
+        n_clients: N_WRITERS,
+        lookup_ops_per_sec: f64::NAN,
+        update_ops_per_sec: ops,
+        lookup_latency_ms: f64::NAN,
+        update_latency_ms: f64::NAN,
+    }
+}
+
+fn measure(
+    variant: Variant,
+    max_batch: Option<usize>,
+    apply_batch: Option<usize>,
+) -> VariantSummary {
     let mut label = variant.label().to_owned();
     if let Some(b) = max_batch {
         label.push_str(&format!("/batch={b}"));
+    }
+    if let Some(b) = apply_batch {
+        label.push_str(&format!("/applybatch={b}"));
     }
     println!("  variant {label}...");
     let tweak = move |p: &mut amoeba_dir_core::cluster::ClusterParams| {
         if let Some(b) = max_batch {
             p.group.max_batch = b;
+        }
+        if let Some(b) = apply_batch {
+            p.dir.apply_batch = b;
         }
     };
 

@@ -95,16 +95,18 @@ fn handle(
         BulletRequest::Create { data } => match store.allocate(data.len()) {
             Some((cap, start, nblocks)) => {
                 // One contiguous write: inode + data in a single seek
-                // (the Bullet design point).
+                // (the Bullet design point). Each block is a zero-copy
+                // slice of the request payload — the file contents
+                // reach the platters without ever being byte-copied.
                 let bs = store.block_size();
-                let blocks: Vec<Vec<u8>> = (0..nblocks as usize)
+                let blocks: Vec<Payload> = (0..nblocks as usize)
                     .map(|i| {
                         let lo = i * bs;
                         let hi = ((i + 1) * bs).min(data.len());
                         if lo < data.len() {
-                            data[lo..hi].to_vec()
+                            data.slice(lo..hi)
                         } else {
-                            Vec::new()
+                            Payload::empty()
                         }
                     })
                     .collect();

@@ -14,6 +14,7 @@ use amoeba_sim::{NodeId, Resource, Simulation, Spawn};
 use crate::client::DirClient;
 use crate::config::{DirParams, ServiceConfig, StorageKind};
 use crate::server_group::{start_group_server, GroupDirServer, GroupServerDeps};
+use crate::server_lock::{start_lock_server, LockClient, LockServer, LockServerDeps};
 use crate::server_nfs::{start_nfs_server, NfsServerDeps};
 use crate::server_rpc::{start_rpc_server, RpcServerDeps};
 
@@ -64,6 +65,10 @@ pub struct ClusterParams {
     pub dir: DirParams,
     /// Group communication parameters (resilience defaults to n−1).
     pub group: GroupConfig,
+    /// Also run the replicated lock/registry service on the group
+    /// variants' columns (a second consumer of the same `amoeba-rsm`
+    /// driver, forming its own group over the shared kernels).
+    pub lock_service: bool,
     /// Simulation seed for workload randomness.
     pub seed: u64,
 }
@@ -86,6 +91,7 @@ impl ClusterParams {
             disk: DiskParams::wren_iv(),
             dir,
             group: GroupConfig::with_resilience(variant.servers().saturating_sub(1) as u32),
+            lock_service: false,
             seed: 0xD1_5C,
         }
     }
@@ -114,6 +120,9 @@ pub struct Column {
     /// The directory server handle of the current incarnation (group
     /// variants only).
     pub server: Option<GroupDirServer>,
+    /// The lock-service replica of the current incarnation (group
+    /// variants with `lock_service` only).
+    pub lock: Option<LockServer>,
 }
 
 impl std::fmt::Debug for Column {
@@ -176,6 +185,7 @@ impl Cluster {
                 bullet_store,
                 nvram,
                 server: None,
+                lock: None,
             };
             start_column(sim, &params, &mut column);
             columns.push(column);
@@ -262,6 +272,29 @@ impl Cluster {
             .as_ref()
             .expect("column has no running group server")
     }
+
+    /// The lock-service replica of column `i`'s current incarnation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was started with
+    /// [`ClusterParams::lock_service`] on a group variant.
+    pub fn lock_server(&self, i: usize) -> &LockServer {
+        self.columns[i]
+            .lock
+            .as_ref()
+            .expect("column has no running lock server")
+    }
+
+    /// Creates a fresh client machine with a lock-service client.
+    pub fn lock_client(&mut self, sim: &Simulation) -> (LockClient, NodeId) {
+        let id = self.next_client;
+        self.next_client += 1;
+        let sim_node = sim.add_node(&format!("lock-client-{id}"));
+        let stack = self.net.attach();
+        let rpc = RpcNode::start(sim, sim_node, stack);
+        (LockClient::new(RpcClient::new(&rpc)), sim_node)
+    }
 }
 
 /// Starts (or restarts) all processes of one column.
@@ -298,6 +331,8 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
     let cpu = Resource::new(spawner.sim_handle(), &format!("cpu-{}", column.index));
     match params.variant {
         Variant::Group | Variant::GroupNvram => {
+            // One group kernel per machine, shared by every replicated
+            // service on it (each service forms its own group port).
             let peer = GroupPeer::start(
                 spawner,
                 column.sim_node,
@@ -308,8 +343,8 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
                 cfg,
                 params: params.dir.clone(),
                 sim_node: column.sim_node,
-                rpc,
-                peer,
+                rpc: rpc.clone(),
+                peer: peer.clone(),
                 bullet,
                 partition,
                 nvram: if params.dir.storage == StorageKind::Nvram {
@@ -320,6 +355,19 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
                 cpu,
             };
             column.server = Some(start_group_server(spawner, deps));
+            if params.lock_service {
+                column.lock = Some(start_lock_server(
+                    spawner,
+                    LockServerDeps {
+                        n,
+                        me: column.index,
+                        sim_node: column.sim_node,
+                        rpc,
+                        peer,
+                        threads: 2,
+                    },
+                ));
+            }
         }
         Variant::Rpc => {
             let deps = RpcServerDeps {

@@ -69,6 +69,10 @@ pub struct DirParams {
     pub apply_cpu: Duration,
     /// Server threads per machine (multiple threads per server, §3.1).
     pub server_threads: usize,
+    /// Most consecutive replicated ops the replica driver applies as
+    /// one batch before a single durable group-commit flush (`1`
+    /// disables apply batching; see `amoeba_rsm`).
+    pub apply_batch: usize,
     /// Enable the §3.2 improved two-server recovery rule.
     pub improved_recovery: bool,
     /// Disk or NVRAM commit path.
@@ -95,6 +99,7 @@ impl Default for DirParams {
             write_cpu: Duration::from_micros(1_000),
             apply_cpu: Duration::from_micros(500),
             server_threads: 2,
+            apply_batch: 32,
             improved_recovery: false,
             storage: StorageKind::Disk,
             nvram_flush_threshold: 0.75,

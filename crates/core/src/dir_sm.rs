@@ -1,0 +1,435 @@
+//! The directory service as a replicated state machine: the
+//! [`amoeba_rsm::StateMachine`] implementation driving
+//! [`Applier`]-based state, with **group-commit apply batching** on the
+//! disk path.
+//!
+//! ## Batching / durability invariants
+//!
+//! * `apply` is deterministic and updates RAM state (directory cache,
+//!   object table, `update_seq`) plus the applied cursor in one
+//!   critical section; disk effects are *deferred* into a batch buffer.
+//! * `flush` — called once per batch by the driver, before any
+//!   initiator is woken — coalesces the deferred effects: only each
+//!   object's **final** state is written (k updates to one directory
+//!   cost one Bullet file + one object-table write instead of k each),
+//!   and ordering follows the batch's op order so a crash leaves a
+//!   clean prefix when the batch touched a single object.
+//! * A batch whose effects span **multiple** objects cannot be made
+//!   durable atomically with per-object writes, so `flush` brackets it
+//!   with the commit block's `recovering` flag: a crash mid-flush makes
+//!   this replica's state "worthless" at next boot (§3's rule), forcing
+//!   recovery to copy a consistent state from a surviving peer —
+//!   recovery never observes a partially applied batch.
+//! * On the NVRAM path the log append inside `apply` *is* the group
+//!   commit (already amortized, §4.1); `flush` only polices the
+//!   fill-threshold background flush.
+
+use std::sync::Arc;
+
+use amoeba_bullet::FileCap;
+use amoeba_flip::wire::{WireReader, WireWriter};
+use amoeba_flip::Payload;
+use amoeba_rsm::{RecoveryInfo, StateMachine};
+use amoeba_sim::{Ctx, Resource};
+use parking_lot::Mutex;
+
+use crate::commit_block::CommitBlock;
+use crate::config::{DirParams, StorageKind};
+use crate::directory::Directory;
+use crate::object_table::{ObjEntry, ObjectTable};
+use crate::ops::{DirError, DirOp, DirReply};
+use crate::state::{Applier, Effect};
+
+/// The directory service's state machine. All group-protocol behaviour
+/// (ordering, recovery, batching) comes from the generic
+/// [`amoeba_rsm::Replica`] driving it.
+pub struct DirectoryStateMachine {
+    pub(crate) applier: Arc<Applier>,
+    params: DirParams,
+    cpu: Resource,
+    /// Disk effects of the batch being applied, deferred until the
+    /// driver's group-commit `flush`.
+    pending: Mutex<Vec<Effect>>,
+}
+
+impl std::fmt::Debug for DirectoryStateMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DirectoryStateMachine(server {})", self.applier.cfg.me)
+    }
+}
+
+impl DirectoryStateMachine {
+    /// Wraps an applier (shared with the initiator threads) into the
+    /// state machine the replica driver runs.
+    pub(crate) fn new(applier: Arc<Applier>, params: DirParams, cpu: Resource) -> Self {
+        DirectoryStateMachine {
+            applier,
+            params,
+            cpu,
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Builds a machine with its own private state over the given
+    /// storage, without any server processes — for driving the trait
+    /// directly (conformance tests, tooling). Production servers are
+    /// wired through [`crate::start_group_server`] instead.
+    pub fn standalone(
+        cfg: crate::ServiceConfig,
+        params: DirParams,
+        bullet: amoeba_bullet::BulletClient,
+        partition: amoeba_disk::RawPartition,
+        nvram: Option<amoeba_disk::Nvram>,
+        cpu: Resource,
+    ) -> Self {
+        let table = ObjectTable::new(partition.clone());
+        let shared = Arc::new(Mutex::new(crate::state::Shared::new(table, cfg.n)));
+        let applier = Arc::new(Applier {
+            cfg,
+            storage: params.storage,
+            shared,
+            bullet,
+            partition,
+            nvram,
+        });
+        Self::new(applier, params, cpu)
+    }
+
+    /// The logical version of the machine's state (diagnostics/tests).
+    pub fn update_seq(&self) -> u64 {
+        self.applier.shared.lock().update_seq
+    }
+
+    /// A fresh machine over the same storage with cold RAM state —
+    /// what a reboot of this column would produce. For durability
+    /// probes in tests.
+    pub fn reopen_for_test(&self) -> DirectoryStateMachine {
+        Self::standalone(
+            self.applier.cfg.clone(),
+            self.params.clone(),
+            self.applier.bullet.clone(),
+            self.applier.partition.clone(),
+            self.applier.nvram.clone(),
+            self.cpu.clone(),
+        )
+    }
+
+    /// The final per-object disk work of one batch, coalesced.
+    fn coalesce(effects: Vec<Effect>) -> (Vec<(u64, FinalAct)>, Vec<FileCap>, bool) {
+        use std::collections::HashMap;
+        let mut last: HashMap<u64, usize> = HashMap::new();
+        for (i, e) in effects.iter().enumerate() {
+            last.insert(e.object(), i);
+        }
+        let mut acts: Vec<(u64, FinalAct)> = Vec::new();
+        let mut frees: Vec<FileCap> = Vec::new();
+        let mut need_commit = false;
+        for (i, e) in effects.into_iter().enumerate() {
+            let object = e.object();
+            let is_final = last.get(&object) == Some(&i);
+            match e {
+                Effect::StoreDir { dir, .. } => {
+                    if is_final {
+                        acts.push((object, FinalAct::Store(dir)));
+                    }
+                    // Non-final stores are pure coalescing wins: the
+                    // object's later state supersedes them and their
+                    // Bullet file was never created.
+                }
+                Effect::DropDir { old_file, .. } => {
+                    need_commit = true;
+                    if is_final {
+                        acts.push((object, FinalAct::Drop { old_file }));
+                    } else if !old_file.is_null() {
+                        // Deleted then re-created within the batch: the
+                        // pre-batch file still must be freed.
+                        frees.push(old_file);
+                    }
+                }
+            }
+        }
+        (acts, frees, need_commit)
+    }
+}
+
+enum FinalAct {
+    Store(Directory),
+    Drop { old_file: FileCap },
+}
+
+impl StateMachine for DirectoryStateMachine {
+    fn apply(&self, ctx: &Ctx, seq: u64, op: &Payload) -> Payload {
+        let applier = &self.applier;
+        let op = match DirOp::decode(op) {
+            Ok(op) => op,
+            Err(_) => {
+                // Malformed ops still consume their slot.
+                let mut shared = applier.shared.lock();
+                shared.applied_group_seq = shared.applied_group_seq.max(seq);
+                return DirReply::Err(DirError::Malformed).encode().into();
+            }
+        };
+        self.cpu.use_for(ctx, self.params.apply_cpu);
+        applier.preload_for(ctx, &op);
+        let planned = {
+            let mut shared = applier.shared.lock();
+            let r = applier.plan(&mut shared, &op, None);
+            // The cursor moves with the mutation, in the same critical
+            // section, so snapshots are always cursor-consistent.
+            shared.applied_group_seq = shared.applied_group_seq.max(seq);
+            shared.last_update_at = ctx.now();
+            r
+        };
+        let (reply, effects, useq) = match planned {
+            Ok(v) => v,
+            Err(e) => return DirReply::Err(e).encode().into(),
+        };
+        match applier.storage {
+            StorageKind::Disk => self.pending.lock().extend(effects),
+            StorageKind::Nvram => applier.commit_nvram(ctx, useq, &op),
+        }
+        reply.encode().into()
+    }
+
+    fn flush(&self, ctx: &Ctx) {
+        let applier = &self.applier;
+        if applier.storage == StorageKind::Nvram {
+            // The log appends in `apply` were the durable commit; only
+            // police the fill threshold here.
+            let full = applier
+                .nvram
+                .as_ref()
+                .map(|n| n.fill_fraction() >= self.params.nvram_flush_threshold)
+                .unwrap_or(false);
+            if full {
+                applier.flush_nvram(ctx);
+            }
+            return;
+        }
+        let effects = std::mem::take(&mut *self.pending.lock());
+        if effects.is_empty() {
+            return;
+        }
+        let (acts, frees, need_commit) = Self::coalesce(effects);
+        // A multi-object batch cannot be flushed atomically: guard it
+        // with the commit block's `recovering` flag so a crash mid-way
+        // voids this replica's state instead of exposing a hole.
+        let guard = acts.len() > 1;
+        if guard {
+            let cb = {
+                let mut shared = applier.shared.lock();
+                shared.commit.recovering = true;
+                shared.commit.clone()
+            };
+            cb.write(&applier.partition, ctx);
+        }
+        for (object, act) in acts {
+            match act {
+                FinalAct::Store(dir) => applier.store_dir_to_disk(ctx, object, &dir),
+                FinalAct::Drop { old_file } => {
+                    // Persist the cleared table entry; the commit-block
+                    // write (delete-loses-its-file, §3) happens once
+                    // below for the whole batch.
+                    let waiter = { applier.shared.lock().table.flush_begin(object) };
+                    if let Some(w) = waiter {
+                        w.recv(ctx);
+                    }
+                    if !old_file.is_null() {
+                        let _ = applier.bullet.delete(ctx, old_file);
+                    }
+                }
+            }
+        }
+        for f in frees {
+            let _ = applier.bullet.delete(ctx, f);
+        }
+        if guard || need_commit {
+            let cb = {
+                let mut shared = applier.shared.lock();
+                shared.commit.recovering = false;
+                shared.commit.clone()
+            };
+            cb.write(&applier.partition, ctx);
+        }
+    }
+
+    fn idle(&self, ctx: &Ctx) {
+        // §4.1: apply NVRAM modifications to disk "when the server is
+        // idle or the NVRAM is full".
+        if self.applier.storage == StorageKind::Nvram {
+            self.applier.flush_nvram(ctx);
+        }
+    }
+
+    /// Loads commit block, object table and NVRAM after a reboot.
+    fn boot(&self, ctx: &Ctx) {
+        let applier = &self.applier;
+        let cfg = &applier.cfg;
+        let commit = CommitBlock::read(&applier.partition, ctx, cfg.n)
+            .unwrap_or_else(|| CommitBlock::initial(cfg.n));
+        let table = ObjectTable::load(applier.partition.clone(), ctx);
+        let table_seq = table.max_seqno();
+        {
+            let mut shared = applier.shared.lock();
+            shared.table = table;
+            if commit.recovering {
+                // Crashed during a previous recovery's copy phase or a
+                // multi-object group-commit flush: state may mix old
+                // and new directories — worthless (§3).
+                shared.update_seq = 0;
+            } else {
+                shared.update_seq = table_seq.max(commit.seqno);
+            }
+            shared.commit = commit;
+            shared.commit.recovering = false;
+        }
+        // NVRAM survives the crash; replay pending records into RAM.
+        if applier.storage == StorageKind::Nvram {
+            let replayed = applier.replay_nvram(ctx);
+            let mut shared = applier.shared.lock();
+            shared.update_seq = shared.update_seq.max(replayed);
+        }
+    }
+
+    fn recovery_info(&self) -> RecoveryInfo {
+        let shared = self.applier.shared.lock();
+        let mut mourned = vec![false; self.applier.cfg.n];
+        for i in shared.commit.mourned() {
+            if i < mourned.len() {
+                mourned[i] = true;
+            }
+        }
+        RecoveryInfo {
+            update_seq: shared.update_seq,
+            mourned,
+        }
+    }
+
+    fn begin_copy(&self, ctx: &Ctx) {
+        let cb = {
+            let mut shared = self.applier.shared.lock();
+            shared.commit.recovering = true;
+            shared.commit.clone()
+        };
+        cb.write(&self.applier.partition, ctx);
+    }
+
+    fn snapshot(&self, ctx: &Ctx) -> (u64, Payload) {
+        let applier = &self.applier;
+        // Cold cache entries are pulled from Bullet first (outside the
+        // lock), so the locked marshalling below sees every directory.
+        let objects: Vec<u64> = {
+            let shared = applier.shared.lock();
+            shared.table.iter().map(|(o, _)| o).collect()
+        };
+        for o in &objects {
+            let _ = applier.load_dir(ctx, *o);
+        }
+        let shared = applier.shared.lock();
+        let entries: Vec<(u64, u64, Payload)> = shared
+            .table
+            .iter()
+            .filter_map(|(object, entry)| {
+                shared
+                    .cache
+                    .get(&object)
+                    .map(|d| (object, entry.check, d.encode()))
+            })
+            .collect();
+        let mut w = WireWriter::with_capacity(
+            8 + 8
+                + 4
+                + entries
+                    .iter()
+                    .map(|(_, _, b)| 8 + 8 + 4 + b.len())
+                    .sum::<usize>(),
+        );
+        w.u64(shared.update_seq)
+            .u64(shared.commit.seqno)
+            .u32(entries.len() as u32);
+        for (object, check, bytes) in &entries {
+            w.u64(*object).u64(*check).bytes(bytes);
+        }
+        (shared.applied_group_seq, w.finish_payload())
+    }
+
+    fn install(&self, ctx: &Ctx, cursor: u64, snap: &Payload) -> bool {
+        let applier = &self.applier;
+        let mut r = WireReader::of(snap);
+        let (update_seq, commit_seq, n) =
+            match (r.u64("update seq"), r.u64("commit seq"), r.u32("entries")) {
+                (Ok(u), Ok(c), Ok(n)) if (n as usize) <= 1_000_000 => (u, c, n),
+                _ => return false,
+            };
+        let mut installed: Vec<(u64, u64, Directory)> = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (object, check, bytes) =
+                match (r.u64("object"), r.u64("check"), r.bytes("dir bytes")) {
+                    (Ok(o), Ok(c), Ok(b)) => (o, c, b),
+                    _ => return false,
+                };
+            match Directory::decode(bytes) {
+                Ok(dir) => installed.push((object, check, dir)),
+                Err(_) => return false,
+            }
+        }
+        {
+            let mut shared = applier.shared.lock();
+            // Wipe stale state, then install wholesale.
+            let stale: Vec<u64> = shared.table.iter().map(|(o, _)| o).collect();
+            for o in stale {
+                shared.table.clear(o);
+            }
+            shared.cache.clear();
+            for (object, check, dir) in &installed {
+                shared.table.set(
+                    *object,
+                    ObjEntry {
+                        file_cap: FileCap::NULL, // created below
+                        seqno: dir.seqno,
+                        check: *check,
+                    },
+                );
+                shared.cache.insert(*object, dir.clone());
+            }
+            shared.update_seq = update_seq;
+            shared.commit.seqno = commit_seq;
+            shared.applied_group_seq = cursor;
+        }
+        // Persist every fetched directory locally (Bullet file + table
+        // entry) — recovery always persists to disk; NVRAM holds only
+        // post-recovery updates.
+        for (object, _, dir) in installed {
+            applier.store_dir_to_disk(ctx, object, &dir);
+        }
+        true
+    }
+
+    fn align_cursor(&self, _ctx: &Ctx, cursor: u64) {
+        // A new instance's order restarts: the cursor is set
+        // absolutely, not monotonically.
+        self.applier.shared.lock().applied_group_seq = cursor;
+    }
+
+    fn enter_service(&self, ctx: &Ctx, config: &[bool]) {
+        let cb = {
+            let mut shared = self.applier.shared.lock();
+            shared.commit.config = config.to_vec();
+            shared.commit.recovering = false;
+            shared.commit.clone()
+        };
+        cb.write(&self.applier.partition, ctx);
+    }
+
+    fn on_membership(&self, ctx: &Ctx, seq: u64, config: &[bool]) {
+        let cb = {
+            let mut shared = self.applier.shared.lock();
+            if seq > 0 {
+                shared.applied_group_seq = shared.applied_group_seq.max(seq);
+            }
+            shared.commit.config = config.to_vec();
+            shared.commit.clone()
+        };
+        cb.write(&self.applier.partition, ctx);
+    }
+}

@@ -89,14 +89,15 @@ mod capability;
 pub mod cluster;
 mod commit_block;
 mod config;
+mod dir_sm;
 mod directory;
 pub mod model;
 mod object_table;
 mod ops;
 pub mod path;
-mod recovery;
 mod rights;
 mod server_group;
+mod server_lock;
 mod server_nfs;
 mod server_rpc;
 mod state;
@@ -107,10 +108,15 @@ pub use capability::{one_way, Capability};
 pub use client::{DirClient, DirClientError, Listing};
 pub use commit_block::CommitBlock;
 pub use config::{DirParams, ServiceConfig, StorageKind};
+pub use dir_sm::DirectoryStateMachine;
 pub use directory::{DirStructureError, Directory, Row};
 pub use object_table::{ObjEntry, ObjectTable};
 pub use ops::{DirError, DirOp, DirReply, DirRequest};
 pub use rights::Rights;
 pub use server_group::{start_group_server, GroupDirServer, GroupServerDeps};
+pub use server_lock::{
+    start_lock_server, LockClient, LockError, LockReply, LockRequest, LockServer, LockServerDeps,
+    LockStateMachine,
+};
 pub use server_nfs::{start_nfs_server, NfsDirServer, NfsServerDeps};
 pub use server_rpc::{start_rpc_server, RpcDirServer, RpcServerDeps};

@@ -1,34 +1,36 @@
-//! The group directory server: the paper's Fig. 5 protocol.
+//! The group directory server: the paper's Fig. 5 protocol, as a thin
+//! service layer over the generic [`amoeba_rsm::Replica`] driver.
 //!
 //! Each server machine runs several **server threads** (initiators) and
-//! one **group thread**. Reads are served locally after draining buffered
-//! group messages; writes go through `SendToGroup` with resilience r = 2
-//! and the initiator blocks until its own group thread has applied the
-//! operation. Group failure triggers `ResetGroup` with a majority
-//! requirement; if that fails the server enters the Fig. 6 recovery
-//! protocol (see [`crate::recovery`]).
+//! one replica driver. Reads are served locally after the driver's read
+//! barrier (drain buffered group messages); writes are validated here,
+//! then replicated through [`Replica::submit`] with resilience r = 2 —
+//! the initiator blocks until its own replica has applied *and
+//! group-committed* the operation. View changes, reset, recovery and
+//! apply batching all live in the driver; this file contains **zero
+//! group-protocol code**.
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use amoeba_bullet::BulletClient;
 use amoeba_disk::{Nvram, RawPartition};
-use amoeba_group::{GroupError, GroupEvent, GroupPeer};
-use amoeba_rpc::{RpcClient, RpcNode, RpcServer};
+use amoeba_group::GroupPeer;
+use amoeba_rpc::{RpcNode, RpcServer};
+use amoeba_rsm::{Replica, ReplicaDeps, RsmConfig, RsmError};
 use amoeba_sim::{Ctx, NodeId, Resource, Spawn};
 use parking_lot::Mutex;
 
 use crate::config::{DirParams, ServiceConfig, StorageKind};
+use crate::dir_sm::DirectoryStateMachine;
 use crate::object_table::ObjectTable;
 use crate::ops::{DirError, DirReply, DirRequest};
-use crate::recovery::{run_recovery, serve_internal, RecoveryDeps};
-use crate::state::{Applier, Mode, Shared, Wake};
+use crate::state::{Applier, Shared};
 
 /// Handle to one running group directory server (one replica column).
 #[derive(Clone)]
 pub struct GroupDirServer {
-    pub(crate) shared: Arc<Mutex<Shared>>,
     pub(crate) applier: Arc<Applier>,
+    replica: Replica<DirectoryStateMachine>,
     cfg: ServiceConfig,
 }
 
@@ -66,6 +68,20 @@ impl std::fmt::Debug for GroupServerDeps {
     }
 }
 
+/// Maps the directory service's parameters onto the generic driver's.
+fn rsm_config(cfg: &ServiceConfig, params: &DirParams) -> RsmConfig {
+    let mut rsm = RsmConfig::new("amoeba.dir", cfg.n, cfg.me);
+    debug_assert_eq!(rsm.group_port, cfg.group_port);
+    debug_assert_eq!(rsm.internal_ports[cfg.me], cfg.internal_port(cfg.me));
+    rsm.apply_batch = params.apply_batch;
+    rsm.idle_timeout = params.nvram_idle_flush;
+    rsm.join_timeout = params.recovery_join_timeout;
+    rsm.majority_timeout = params.recovery_majority_timeout;
+    rsm.retry_jitter = params.recovery_retry_jitter;
+    rsm.improved_recovery = params.improved_recovery;
+    rsm
+}
+
 /// Starts all processes of one group directory server replica.
 pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupDirServer {
     let GroupServerDeps {
@@ -92,49 +108,38 @@ pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupD
         partition,
         nvram: nvram.clone(),
     });
+    let sm = Arc::new(DirectoryStateMachine::new(
+        Arc::clone(&applier),
+        params.clone(),
+        cpu.clone(),
+    ));
+    let replica = Replica::start(
+        spawner,
+        ReplicaDeps {
+            cfg: rsm_config(&cfg, &params),
+            sim_node,
+            rpc: rpc.clone(),
+            peer,
+            sm,
+        },
+    );
     let server = GroupDirServer {
-        shared: Arc::clone(&shared),
         applier: Arc::clone(&applier),
+        replica: replica.clone(),
         cfg: cfg.clone(),
     };
-
-    // Internal (server-to-server) RPC service: recovery info exchange and
-    // state transfer. Always answered, even while recovering.
-    {
-        let srv = RpcServer::new(&rpc, cfg.internal_port(cfg.me));
-        let applier = Arc::clone(&applier);
-        let cfg2 = cfg.clone();
-        spawner.spawn_boxed(
-            Some(sim_node),
-            &format!("dir{}-internal", cfg.me),
-            Box::new(move |ctx| serve_internal(ctx, &srv, &applier, &cfg2)),
-        );
-    }
 
     // Initiator (server) threads.
     for t in 0..params.server_threads.max(1) {
         let srv = RpcServer::new(&rpc, cfg.public_port);
         let applier = Arc::clone(&applier);
+        let replica = replica.clone();
         let params = params.clone();
         let cpu = cpu.clone();
-        let cfg2 = cfg.clone();
         spawner.spawn_boxed(
             Some(sim_node),
             &format!("dir{}-srv{t}", cfg.me),
-            Box::new(move |ctx| initiator_loop(ctx, &srv, &applier, &cfg2, &params, &cpu)),
-        );
-    }
-
-    // Main thread: recovery, then the Fig. 5 group-thread loop, forever.
-    {
-        let applier = Arc::clone(&applier);
-        let params = params.clone();
-        let cpu = cpu.clone();
-        let rpc_client = RpcClient::new(&rpc);
-        spawner.spawn_boxed(
-            Some(sim_node),
-            &format!("dir{}-main", cfg.me),
-            Box::new(move |ctx| main_loop(ctx, &applier, &cfg, &params, &peer, &rpc_client, &cpu)),
+            Box::new(move |ctx| initiator_loop(ctx, &srv, &applier, &replica, &params, &cpu)),
         );
     }
     server
@@ -143,7 +148,7 @@ pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupD
 impl GroupDirServer {
     /// The current logical version (diagnostics/tests).
     pub fn update_seq(&self) -> u64 {
-        self.shared.lock().update_seq
+        self.applier.shared.lock().update_seq
     }
 
     /// Forces any pending NVRAM records to disk (diagnostics/tests).
@@ -153,7 +158,7 @@ impl GroupDirServer {
 
     /// Whether the server is in normal operation.
     pub fn is_normal(&self) -> bool {
-        self.shared.lock().mode == Mode::Normal
+        self.replica.is_normal()
     }
 }
 
@@ -162,7 +167,7 @@ fn initiator_loop(
     ctx: &Ctx,
     srv: &RpcServer,
     applier: &Applier,
-    cfg: &ServiceConfig,
+    replica: &Replica<DirectoryStateMachine>,
     params: &DirParams,
     cpu: &Resource,
 ) {
@@ -175,7 +180,7 @@ fn initiator_loop(
                 continue;
             }
         };
-        let reply = handle_request(ctx, applier, cfg, params, cpu, &req);
+        let reply = handle_request(ctx, applier, replica, params, cpu, &req);
         srv.putrep(&incoming, reply.encode());
     }
 }
@@ -184,45 +189,18 @@ fn initiator_loop(
 fn handle_request(
     ctx: &Ctx,
     applier: &Applier,
-    cfg: &ServiceConfig,
+    replica: &Replica<DirectoryStateMachine>,
     params: &DirParams,
     cpu: &Resource,
     req: &DirRequest,
 ) -> DirReply {
-    // "if (!majority()) return failure".
-    let group = {
-        let shared = applier.shared.lock();
-        if shared.mode != Mode::Normal {
-            return DirReply::Err(DirError::NoMajority);
-        }
-        match &shared.group {
-            Some(g) => Arc::clone(g),
-            None => return DirReply::Err(DirError::NoMajority),
-        }
-    };
-    let info = match group.info() {
-        Ok(i) if !i.failed && i.view.len() >= cfg.majority() => i,
-        _ => return DirReply::Err(DirError::NoMajority),
-    };
-
     if req.is_read() {
         // "any buffered messages? … wait until seqno == buffered_seqno":
-        // drain everything the kernel has ordered before us.
-        let target = info.highest_contiguous;
-        let behind = { applier.shared.lock().applied_group_seq < target };
-        if behind {
-            let (tx, rx) = ctx.handle().channel();
-            {
-                let mut shared = applier.shared.lock();
-                if shared.applied_group_seq < target {
-                    shared.waiters.push((target, tx));
-                } else {
-                    tx.send(Wake::Applied);
-                }
-            }
-            if rx.recv(ctx) == Wake::Aborted {
-                return DirReply::Err(DirError::NoMajority);
-            }
+        // drain everything the kernel has ordered before us. The
+        // barrier also performs the majority check ("if (!majority())
+        // return failure").
+        if let Err(e) = replica.read_barrier(ctx) {
+            return DirReply::Err(rsm_err(e));
         }
         cpu.use_for(ctx, params.read_cpu);
         applier.serve_read(ctx, req)
@@ -233,160 +211,19 @@ fn handle_request(
             Ok(op) => op,
             Err(e) => return DirReply::Err(e),
         };
-        let seq = match group.send(ctx, op.encode()) {
-            Ok(seq) => seq,
-            Err(_) => return DirReply::Err(DirError::NoMajority),
-        };
-        // "wait until group thread has received and executed the request".
-        let (tx, rx) = ctx.handle().channel();
-        {
-            let mut shared = applier.shared.lock();
-            if shared.applied_group_seq < seq {
-                shared.waiters.push((seq, tx));
-            } else {
-                tx.send(Wake::Applied);
-            }
-        }
-        if rx.recv(ctx) == Wake::Aborted {
-            return DirReply::Err(DirError::NoMajority);
-        }
-        let result = { applier.shared.lock().results.remove(&seq) };
-        result.unwrap_or(DirReply::Err(DirError::Internal))
-    }
-}
-
-/// The server main process: recovery → normal operation → (on collapse)
-/// recovery again, forever.
-#[allow(clippy::too_many_arguments)]
-fn main_loop(
-    ctx: &Ctx,
-    applier: &Applier,
-    cfg: &ServiceConfig,
-    params: &DirParams,
-    peer: &GroupPeer,
-    rpc_client: &RpcClient,
-    cpu: &Resource,
-) {
-    loop {
-        let deps = RecoveryDeps {
-            cfg: cfg.clone(),
-            params: params.clone(),
-            peer: peer.clone(),
-            rpc: rpc_client.clone(),
-        };
-        let group = run_recovery(ctx, applier, &deps);
-        let group = Arc::new(group);
-        {
-            let mut shared = applier.shared.lock();
-            shared.group = Some(Arc::clone(&group));
-            shared.mode = Mode::Normal;
-            shared.stayed_up = true;
-        }
-        group_thread(ctx, applier, cfg, params, &group, cpu);
-        // Collapsed: back to recovery.
-        {
-            let mut shared = applier.shared.lock();
-            shared.mode = Mode::Recovering;
-            shared.group = None;
-            shared.abort_waiters();
+        // "wait until group thread has received and executed the
+        // request" — submit blocks until the op is applied and
+        // group-committed on this replica.
+        match replica.submit(ctx, op.encode()) {
+            Ok(reply) => DirReply::decode(&reply).unwrap_or(DirReply::Err(DirError::Internal)),
+            Err(e) => DirReply::Err(rsm_err(e)),
         }
     }
 }
 
-/// The Fig. 5 group-thread loop. Returns when the group is beyond repair
-/// (recovery required).
-fn group_thread(
-    ctx: &Ctx,
-    applier: &Applier,
-    cfg: &ServiceConfig,
-    params: &DirParams,
-    group: &Arc<amoeba_group::Group>,
-    cpu: &Resource,
-) {
-    let idle = params.nvram_idle_flush;
-    loop {
-        let event = match group.recv_timeout(ctx, idle) {
-            Some(e) => e,
-            None => {
-                // Idle: apply NVRAM modifications to disk (§4.1: "when the
-                // server is idle or the NVRAM is full").
-                if params.storage == StorageKind::Nvram {
-                    applier.flush_nvram(ctx);
-                }
-                continue;
-            }
-        };
-        match event {
-            Ok(GroupEvent::Message { seq, data, .. }) => {
-                let skip = { applier.shared.lock().applied_group_seq >= seq };
-                if skip {
-                    continue; // already covered by a fetched state snapshot
-                }
-                cpu.use_for(ctx, params.apply_cpu);
-                let reply = match crate::ops::DirOp::decode(&data) {
-                    Ok(op) => applier.apply(ctx, seq, &op),
-                    Err(_) => DirReply::Err(DirError::Malformed),
-                };
-                let mut shared = applier.shared.lock();
-                shared.applied_group_seq = seq;
-                shared.results.insert(seq, reply);
-                shared.prune_results();
-                shared.wake_applied();
-                // NVRAM full check (flush outside the lock).
-                let must_flush = params.storage == StorageKind::Nvram
-                    && applier
-                        .nvram
-                        .as_ref()
-                        .map(|n| n.fill_fraction() >= params.nvram_flush_threshold)
-                        .unwrap_or(false);
-                drop(shared);
-                if must_flush {
-                    applier.flush_nvram(ctx);
-                }
-            }
-            Ok(GroupEvent::Joined { seq, member }) | Ok(GroupEvent::Left { seq, member }) => {
-                let _ = member;
-                let mut shared = applier.shared.lock();
-                if shared.applied_group_seq < seq {
-                    shared.applied_group_seq = seq;
-                }
-                shared.wake_applied();
-                // Update the configuration vector from the new view.
-                let view = group.info().map(|i| i.view).unwrap_or_default();
-                let mut config = vec![false; cfg.n];
-                for m in &view.members {
-                    if (m.tag as usize) < cfg.n {
-                        config[m.tag as usize] = true;
-                    }
-                }
-                shared.commit.config = config;
-                let cb = shared.commit.clone();
-                drop(shared);
-                cb.write(&applier.partition, ctx);
-            }
-            Ok(GroupEvent::ResetDone { view, .. }) => {
-                // "GetInfoGroup(&group_state); write commit block".
-                let mut shared = applier.shared.lock();
-                let mut config = vec![false; cfg.n];
-                for m in &view.members {
-                    if (m.tag as usize) < cfg.n {
-                        config[m.tag as usize] = true;
-                    }
-                }
-                shared.commit.config = config;
-                let cb = shared.commit.clone();
-                drop(shared);
-                cb.write(&applier.partition, ctx);
-            }
-            Err(GroupError::Failed) => {
-                // "rebuild majority of group; if rebuild failed enter
-                // recovery".
-                match group.reset(ctx, cfg.majority(), Duration::from_secs(3)) {
-                    Ok(_info) => continue, // ResetDone event follows
-                    Err(_) => return,
-                }
-            }
-            Err(_) => return, // Dead / expelled: recovery
-        }
+fn rsm_err(e: RsmError) -> DirError {
+    match e {
+        RsmError::NotInService | RsmError::Aborted => DirError::NoMajority,
+        RsmError::ResultLost => DirError::Internal,
     }
 }

@@ -8,8 +8,7 @@ use amoeba_bullet::{BulletClient, FileCap};
 use amoeba_disk::{NvRecord, Nvram, RawPartition};
 use amoeba_flip::wire::{WireReader, WireWriter};
 use amoeba_flip::Port;
-use amoeba_group::Group;
-use amoeba_sim::{Ctx, MailboxTx};
+use amoeba_sim::Ctx;
 use parking_lot::Mutex;
 
 use crate::capability::Capability;
@@ -20,16 +19,8 @@ use crate::object_table::{ObjEntry, ObjectTable};
 use crate::ops::{DirError, DirOp, DirReply, DirRequest};
 use crate::rights::Rights;
 
-/// How a blocked initiator wait ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Wake {
-    /// The awaited group sequence number has been applied.
-    Applied,
-    /// The group collapsed; the operation outcome is unknown.
-    Aborted,
-}
-
-/// Server operating mode.
+/// Server operating mode (the group variant's mode lives in the RSM
+/// driver; this one is read by the RPC baseline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Mode {
     Recovering,
@@ -40,7 +31,6 @@ pub(crate) enum Mode {
 /// blocking simulator call.
 pub(crate) struct Shared {
     pub mode: Mode,
-    pub group: Option<Arc<Group>>,
     pub table: ObjectTable,
     /// Authoritative in-RAM directory contents (the paper's RAM cache;
     /// lazily refilled from Bullet files after a reboot).
@@ -48,15 +38,12 @@ pub(crate) struct Shared {
     /// Logical version counter, monotone across group incarnations;
     /// stored with every directory ("sequence number", Fig. 4/§3).
     pub update_seq: u64,
-    /// Last *group* sequence number applied in the current instance.
+    /// Applied cursor of the replicated state machine: the last group
+    /// sequence number whose effect is reflected in `table`/`cache`.
+    /// Updated in the same critical section as the state mutation, so
+    /// a state-transfer snapshot is always consistent with it.
     pub applied_group_seq: u64,
-    /// Initiators waiting for `applied_group_seq` to reach a target.
-    pub waiters: Vec<(u64, MailboxTx<Wake>)>,
-    /// Apply results by group seq, for the initiating server thread.
-    pub results: HashMap<u64, DirReply>,
     pub commit: CommitBlock,
-    /// Continuously up since last being in a majority configuration.
-    pub stayed_up: bool,
     pub next_nv_uid: u64,
     /// Virtual time of the last applied update (drives idle flushing).
     pub last_update_at: amoeba_sim::SimTime,
@@ -76,46 +63,13 @@ impl Shared {
     pub fn new(table: ObjectTable, n: usize) -> Shared {
         Shared {
             mode: Mode::Recovering,
-            group: None,
             table,
             cache: HashMap::new(),
             update_seq: 0,
             applied_group_seq: 0,
-            waiters: Vec::new(),
-            results: HashMap::new(),
             commit: CommitBlock::initial(n),
-            stayed_up: false,
             next_nv_uid: 1,
             last_update_at: amoeba_sim::SimTime::ZERO,
-        }
-    }
-
-    /// Wakes every waiter satisfied by the current applied seq.
-    pub fn wake_applied(&mut self) {
-        let applied = self.applied_group_seq;
-        let mut kept = Vec::new();
-        for (target, tx) in self.waiters.drain(..) {
-            if target <= applied {
-                tx.send(Wake::Applied);
-            } else {
-                kept.push((target, tx));
-            }
-        }
-        self.waiters = kept;
-    }
-
-    /// Aborts every waiter (the group collapsed).
-    pub fn abort_waiters(&mut self) {
-        for (_, tx) in self.waiters.drain(..) {
-            tx.send(Wake::Aborted);
-        }
-    }
-
-    /// Drops apply results that can no longer be claimed.
-    pub fn prune_results(&mut self) {
-        if self.results.len() > 4096 {
-            let cutoff = self.applied_group_seq.saturating_sub(2048);
-            self.results.retain(|seq, _| *seq > cutoff);
         }
     }
 }
@@ -174,8 +128,17 @@ pub(crate) enum Effect {
     DropDir { object: u64, old_file: FileCap },
 }
 
+impl Effect {
+    /// The object the effect concerns.
+    pub(crate) fn object(&self) -> u64 {
+        match self {
+            Effect::StoreDir { object, .. } | Effect::DropDir { object, .. } => *object,
+        }
+    }
+}
+
 /// The object an op concerns (NVRAM record tag).
-fn op_object(op: &DirOp) -> u64 {
+pub(crate) fn op_object(op: &DirOp) -> u64 {
     match op {
         DirOp::Create { .. } => 0,
         DirOp::Delete { object }
@@ -217,16 +180,10 @@ impl Applier {
         Ok(dir)
     }
 
-    /// Applies one replicated operation deterministically. `group_seq`
-    /// identifies the op in the current instance's total order.
-    ///
-    /// Storage effects depend on the commit path: synchronous Bullet +
-    /// object-table writes (Disk) or one NVRAM log append (Nvram), with
-    /// the paper's append/delete annihilation (§4.1).
-    pub fn apply(&self, ctx: &Ctx, group_seq: u64, op: &DirOp) -> DirReply {
-        let _ = group_seq;
-        // Pre-load affected directories into the cache (Bullet reads must
-        // happen outside the lock; after a reboot the cache starts cold).
+    /// Pre-loads the directories `op` touches into the RAM cache
+    /// (Bullet reads must happen outside the lock; after a reboot the
+    /// cache starts cold).
+    pub(crate) fn preload_for(&self, ctx: &Ctx, op: &DirOp) {
         match op {
             DirOp::ReplaceSet { items } => {
                 for (object, _, _) in items {
@@ -240,41 +197,27 @@ impl Applier {
                 }
             }
         }
-        let planned = {
-            let mut shared = self.shared.lock();
-            let r = self.plan(&mut shared, op, None);
-            shared.last_update_at = ctx.now();
-            r
-        };
-        let (reply, effects, useq) = match planned {
-            Ok(v) => v,
-            Err(e) => return DirReply::Err(e),
-        };
-        match self.storage {
-            StorageKind::Disk => {
-                for effect in effects {
-                    self.perform_disk(ctx, effect);
-                }
-            }
-            StorageKind::Nvram => {
-                if let DirOp::Delete { object } = op {
-                    // Pending records of a deleted directory are moot,
-                    // but the delete itself must be logged.
-                    let nvram = self.nvram.as_ref().expect("nvram storage");
-                    let _ = nvram.annihilate(|r| r.tag == *object);
-                }
-                // Every modification is logged (and charged) — then a
-                // delete whose append is still in the log annihilates
-                // *both* records, so neither ever costs a disk operation
-                // (§4.1). The NVRAM write itself is still paid, which is
-                // what bounds the paper's Fig. 9 at ~45 pairs/s.
-                self.log_op(ctx, useq, op_object(op), op);
-                if let DirOp::DeleteRow { object, name } = op {
-                    self.try_annihilate_pair(*object, name);
-                }
-            }
+    }
+
+    /// NVRAM commit path for one applied op: log it (and annihilate what
+    /// the log no longer needs, §4.1). The group-commit flush is the
+    /// log append itself — durable immediately, applied to disk lazily.
+    pub(crate) fn commit_nvram(&self, ctx: &Ctx, useq: u64, op: &DirOp) {
+        if let DirOp::Delete { object } = op {
+            // Pending records of a deleted directory are moot,
+            // but the delete itself must be logged.
+            let nvram = self.nvram.as_ref().expect("nvram storage");
+            let _ = nvram.annihilate(|r| r.tag == *object);
         }
-        reply
+        // Every modification is logged (and charged) — then a
+        // delete whose append is still in the log annihilates
+        // *both* records, so neither ever costs a disk operation
+        // (§4.1). The NVRAM write itself is still paid, which is
+        // what bounds the paper's Fig. 9 at ~45 pairs/s.
+        self.log_op(ctx, useq, op_object(op), op);
+        if let DirOp::DeleteRow { object, name } = op {
+            self.try_annihilate_pair(*object, name);
+        }
     }
 
     /// Computes the new state and storage effects for `op`. Must be
@@ -454,7 +397,7 @@ impl Applier {
 
     /// Disk path: new Bullet file + one object-table write (the paper's
     /// two disk operations per update).
-    fn store_dir_to_disk(&self, ctx: &Ctx, object: u64, dir: &Directory) {
+    pub(crate) fn store_dir_to_disk(&self, ctx: &Ctx, object: u64, dir: &Directory) {
         let old = { self.shared.lock().table.get(object) };
         let new_file = match self.bullet.create(ctx, dir.encode()) {
             Ok(cap) => cap,

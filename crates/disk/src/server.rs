@@ -1,6 +1,7 @@
 //! The disk-server process: serializes access to one spindle and charges
 //! the timing model.
 
+use amoeba_flip::Payload;
 use amoeba_sim::{Ctx, MailboxRx, MailboxTx, NodeId, SimHandle, Spawn};
 
 use crate::model::DiskParams;
@@ -13,13 +14,15 @@ enum DiskReq {
     },
     Write {
         block: u64,
-        data: Vec<u8>,
+        data: Payload,
         reply: MailboxTx<()>,
     },
     /// Consecutive blocks, one seek (used by Bullet for whole files).
+    /// The block contents are shared `Payload` slices: a Bullet create
+    /// reaches the platters without a byte copy.
     WriteRun {
         start: u64,
-        data: Vec<Vec<u8>>,
+        data: Vec<Payload>,
         reply: MailboxTx<()>,
     },
     ReadRun {
@@ -86,8 +89,9 @@ impl DiskServer {
         rx.recv(ctx)
     }
 
-    /// Writes one block synchronously.
-    pub fn write(&self, ctx: &Ctx, block: u64, data: Vec<u8>) {
+    /// Writes one block synchronously. The contents are shared, not
+    /// copied, on their way to the platters.
+    pub fn write(&self, ctx: &Ctx, block: u64, data: impl Into<Payload>) {
         let rx = self.write_begin(block, data);
         rx.recv(ctx)
     }
@@ -96,16 +100,25 @@ impl DiskServer {
     /// The request takes its place in the FIFO immediately, so callers may
     /// enqueue under a lock and wait after releasing it (waiting while
     /// holding a lock would freeze other simulated threads).
-    pub fn write_begin(&self, block: u64, data: Vec<u8>) -> amoeba_sim::MailboxRx<()> {
+    pub fn write_begin(&self, block: u64, data: impl Into<Payload>) -> amoeba_sim::MailboxRx<()> {
         let (reply, rx) = self.handle.channel();
-        self.tx.send(DiskReq::Write { block, data, reply });
+        self.tx.send(DiskReq::Write {
+            block,
+            data: data.into(),
+            reply,
+        });
         rx
     }
 
-    /// Writes consecutive blocks with a single seek.
-    pub fn write_run(&self, ctx: &Ctx, start: u64, data: Vec<Vec<u8>>) {
+    /// Writes consecutive blocks with a single seek. Blocks are shared
+    /// `Payload` slices — no byte is copied on the way down.
+    pub fn write_run(&self, ctx: &Ctx, start: u64, data: Vec<impl Into<Payload>>) {
         let (reply, rx) = self.handle.channel();
-        self.tx.send(DiskReq::WriteRun { start, data, reply });
+        self.tx.send(DiskReq::WriteRun {
+            start,
+            data: data.into_iter().map(Into::into).collect(),
+            reply,
+        });
         rx.recv(ctx)
     }
 
@@ -203,7 +216,7 @@ impl RawPartition {
     /// # Panics
     ///
     /// Panics if `block` is out of the partition.
-    pub fn write(&self, ctx: &Ctx, block: u64, data: Vec<u8>) {
+    pub fn write(&self, ctx: &Ctx, block: u64, data: impl Into<Payload>) {
         assert!(block < self.len, "partition write out of range");
         self.server.write(ctx, self.base + block, data);
     }
@@ -214,7 +227,7 @@ impl RawPartition {
     /// # Panics
     ///
     /// Panics if `block` is out of the partition.
-    pub fn write_begin(&self, block: u64, data: Vec<u8>) -> amoeba_sim::MailboxRx<()> {
+    pub fn write_begin(&self, block: u64, data: impl Into<Payload>) -> amoeba_sim::MailboxRx<()> {
         assert!(block < self.len, "partition write out of range");
         self.server.write_begin(self.base + block, data)
     }

@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::config::GroupConfig;
 use crate::error::GroupError;
-use crate::msg::{AcceptBody, AcceptItem, GroupMsg, MAX_ACCEPT_BATCH_ITEMS};
+use crate::msg::{AcceptBody, AcceptItem, DoneItem, GroupMsg, MAX_ACCEPT_BATCH_ITEMS};
 use crate::types::{GroupEvent, GroupInfo, Incarnation, MemberId, MemberInfo, SeqNo, View};
 
 /// Most slots one retransmission request may cover: servers refuse wider
@@ -156,6 +156,10 @@ pub(crate) struct Instance {
     /// awaiting coalescing into one packet (flushed at the end of every
     /// entry point, or earlier when `cfg.max_batch` is reached).
     pending_batch: Vec<(SeqNo, AcceptRec)>,
+    /// Sequencer only: resilience notifications not yet sent. They
+    /// piggyback on the next accept multicast, or coalesce per sender
+    /// into a `DoneBatch`, instead of one `Done` unicast each.
+    pending_dones: Vec<DoneItem>,
     /// Sequencer only: ack bookkeeping per outstanding seqno.
     pending_acks: BTreeMap<SeqNo, AckState>,
     /// Liveness: member → last time we heard from it.
@@ -224,6 +228,7 @@ impl Instance {
             next_msgid: 1,
             pending_sends: HashMap::new(),
             pending_batch: Vec::new(),
+            pending_dones: Vec::new(),
             pending_acks: BTreeMap::new(),
             last_heard: HashMap::new(),
             last_heartbeat_sent: now,
@@ -278,6 +283,7 @@ impl Instance {
             next_msgid: 1,
             pending_sends: HashMap::new(),
             pending_batch: Vec::new(),
+            pending_dones: Vec::new(),
             pending_acks: BTreeMap::new(),
             last_heard,
             last_heartbeat_sent: now,
@@ -511,17 +517,29 @@ impl Instance {
 
     /// Multicasts everything queued by [`sequence_message`] as one
     /// packet: a plain `Accept` for a single slot, an `AcceptBatch` for
-    /// several consecutive slots.
+    /// several consecutive slots (or for one slot with pending done
+    /// notifications riding along). Dones with no accept to ride on
+    /// coalesce per sender into `DoneBatch` packets.
     fn flush_pending_batch(&mut self) -> Vec<Action> {
+        let mut dones = std::mem::take(&mut self.pending_dones);
         if self.pending_batch.is_empty() {
-            return Vec::new();
+            return self.flush_dones_alone(dones);
         }
+        // The wire format caps a dones vector at MAX_ACCEPT_BATCH_ITEMS;
+        // an oversized one would be undecodable and drop the whole
+        // packet (accepts included). Overflow goes out as separate
+        // DoneBatch packets below.
+        let overflow = if dones.len() > MAX_ACCEPT_BATCH_ITEMS {
+            dones.split_off(MAX_ACCEPT_BATCH_ITEMS)
+        } else {
+            Vec::new()
+        };
         let batch = std::mem::take(&mut self.pending_batch);
         debug_assert!(
             batch.windows(2).all(|w| w[1].0 == w[0].0 + 1),
             "batched accepts must hold consecutive slots"
         );
-        if batch.len() == 1 {
+        if batch.len() == 1 && dones.is_empty() {
             let (seq, rec) = batch.into_iter().next().expect("len checked");
             return vec![Action::Multicast(GroupMsg::Accept {
                 instance: self.id,
@@ -544,12 +562,50 @@ impl Instance {
                 body: rec.body,
             })
             .collect();
-        vec![Action::Multicast(GroupMsg::AcceptBatch {
+        let mut actions = vec![Action::Multicast(GroupMsg::AcceptBatch {
             instance: self.id,
             incarnation,
             first_seq,
             items,
-        })]
+            dones,
+        })];
+        actions.extend(self.flush_dones_alone(overflow));
+        actions
+    }
+
+    /// Sends queued done notifications when no accept multicast is
+    /// pending to carry them: one `DoneBatch` unicast per sender when
+    /// a single sender is owed, one multicast when one packet can
+    /// serve several senders. Chunked at the wire format's
+    /// MAX_ACCEPT_BATCH_ITEMS cap so every packet stays decodable.
+    fn flush_dones_alone(&mut self, dones: Vec<DoneItem>) -> Vec<Action> {
+        if dones.is_empty() {
+            return Vec::new();
+        }
+        let mut senders: Vec<MemberId> = dones.iter().map(|d| d.from).collect();
+        senders.sort_unstable();
+        senders.dedup();
+        let single_host = if senders.len() == 1 {
+            match self.view.member(senders[0]) {
+                Some(m) => Some(m.host),
+                None => return Vec::new(),
+            }
+        } else {
+            None
+        };
+        dones
+            .chunks(MAX_ACCEPT_BATCH_ITEMS)
+            .map(|chunk| {
+                let msg = GroupMsg::DoneBatch {
+                    instance: self.id,
+                    items: chunk.to_vec(),
+                };
+                match single_host {
+                    Some(h) => Action::Unicast(h, msg),
+                    None => Action::Multicast(msg),
+                }
+            })
+            .collect()
     }
 
     /// If `seq` has reached r+1 holders, notify the sender.
@@ -576,17 +632,12 @@ impl Instance {
             }
             return Vec::new();
         }
-        match self.view.member(from) {
-            Some(m) => vec![Action::Unicast(
-                m.host,
-                GroupMsg::Done {
-                    instance: self.id,
-                    msgid,
-                    seq,
-                },
-            )],
-            None => Vec::new(),
+        if self.view.contains(from) {
+            // Batch the reply direction: queue the notification for
+            // the next flush instead of one unicast per message.
+            self.pending_dones.push(DoneItem { from, msgid, seq });
         }
+        Vec::new()
     }
 
     // ==================================================================
@@ -843,8 +894,10 @@ impl Instance {
                 incarnation,
                 first_seq,
                 items,
+                dones,
                 ..
-            } => self.on_accept_batch(now, src, incarnation, first_seq, items),
+            } => self.on_accept_batch(now, src, incarnation, first_seq, items, dones),
+            GroupMsg::DoneBatch { items, .. } => self.on_done_batch(items),
             GroupMsg::Ack {
                 incarnation,
                 seq,
@@ -1122,7 +1175,8 @@ impl Instance {
 
     /// Handles a coalesced batch of consecutive accepts: buffer every
     /// admissible slot, then apply once — producing one cumulative ack
-    /// for the whole batch instead of one per slot.
+    /// for the whole batch instead of one per slot. Piggybacked done
+    /// notifications addressed to us complete their sends first.
     fn on_accept_batch(
         &mut self,
         now: SimTime,
@@ -1130,7 +1184,9 @@ impl Instance {
         incarnation: Incarnation,
         first_seq: SeqNo,
         items: Vec<AcceptItem>,
+        dones: Vec<DoneItem>,
     ) -> Vec<Action> {
+        let mut done_actions = self.on_done_batch(dones);
         let mut any = false;
         for (i, item) in items.into_iter().enumerate() {
             let seq = first_seq + i as SeqNo;
@@ -1153,12 +1209,26 @@ impl Instance {
             any = true;
         }
         if !any {
-            return Vec::new();
+            return done_actions;
         }
         if first_seq > self.highest_contiguous + 1 && self.gap_since.is_none() {
             self.gap_since = Some(now);
         }
-        self.advance(now)
+        let mut actions = self.advance(now);
+        done_actions.append(&mut actions);
+        done_actions
+    }
+
+    /// Completes every pending send a batched done notification names
+    /// us for; items for other members are ignored.
+    fn on_done_batch(&mut self, items: Vec<DoneItem>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for d in items {
+            if d.from == self.me {
+                actions.extend(self.on_done(d.msgid, d.seq));
+            }
+        }
+        actions
     }
 
     fn on_ack(
@@ -1664,9 +1734,10 @@ impl Instance {
         self.flush_pending_batch()
     }
 
-    /// Whether accepts are queued awaiting a batch flush.
+    /// Whether accepts or done notifications are queued awaiting a
+    /// batch flush.
     pub(crate) fn has_pending_batch(&self) -> bool {
-        !self.pending_batch.is_empty()
+        !self.pending_batch.is_empty() || !self.pending_dones.is_empty()
     }
 
     /// Answers a join locate (peer layer decides whether to call this).
@@ -1810,11 +1881,169 @@ mod tests {
             .iter()
             .any(|a| matches!(a, Action::Multicast(GroupMsg::Accept { .. }))));
         let _ = inst.on_ack(T0, 0, 3, MemberId(1));
+        // The second ack makes the message r-resilient; the done is
+        // queued, not unicast immediately, and the flush coalesces it
+        // into one DoneBatch unicast to the single sender owed.
         let done = inst.on_ack(T0, 0, 3, MemberId(2));
-        assert!(done.iter().any(|a| matches!(
+        assert!(
+            !done
+                .iter()
+                .any(|a| matches!(a, Action::Unicast(_, GroupMsg::Done { .. }))),
+            "dones must batch, not unicast one-by-one"
+        );
+        let flushed = inst.flush_pending();
+        assert!(flushed.iter().any(|a| matches!(
             a,
-            Action::Unicast(h, GroupMsg::Done { msgid: 50, seq: 3, .. }) if *h == H1
+            Action::Unicast(h, GroupMsg::DoneBatch { items, .. })
+                if *h == H1 && items.len() == 1 && items[0].msgid == 50 && items[0].seq == 3
         )));
+    }
+
+    #[test]
+    fn dones_for_several_senders_coalesce_into_one_multicast() {
+        let mut inst = seq_with_three(1); // r = 1: one ack suffices
+        let _ = inst.handle_deferred(
+            T0,
+            H1,
+            GroupMsg::SendReq {
+                instance: 1,
+                incarnation: 0,
+                from: MemberId(1),
+                msgid: 50,
+                data: vec![5].into(),
+            },
+        );
+        let _ = inst.handle_deferred(
+            T0,
+            H2,
+            GroupMsg::SendReq {
+                instance: 1,
+                incarnation: 0,
+                from: MemberId(2),
+                msgid: 60,
+                data: vec![6].into(),
+            },
+        );
+        let _ = inst.flush_pending();
+        // One cumulative ack from member 1 completes both slots
+        // (r = 1), owing dones to two different senders.
+        let _ = inst.handle_deferred(
+            T0,
+            H1,
+            GroupMsg::Ack {
+                instance: 1,
+                incarnation: 0,
+                seq: 4,
+                member: MemberId(1),
+            },
+        );
+        let flushed = inst.flush_pending();
+        let [Action::Multicast(GroupMsg::DoneBatch { items, .. })] = flushed.as_slice() else {
+            panic!("expected one multicast DoneBatch, got {flushed:?}");
+        };
+        let mut pairs: Vec<(u32, u64)> = items.iter().map(|d| (d.from.0, d.msgid)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 50), (2, 60)]);
+    }
+
+    #[test]
+    fn oversized_done_queue_chunks_into_decodable_packets() {
+        // A single cumulative ack can complete far more slots than one
+        // wire packet may carry dones for; the flush must chunk at the
+        // decoder's cap instead of emitting one undecodable packet.
+        let mut inst = seq_with_three(1);
+        let total = MAX_ACCEPT_BATCH_ITEMS + 500;
+        for k in 0..total {
+            inst.pending_dones.push(crate::msg::DoneItem {
+                from: MemberId(1 + (k % 2) as u32),
+                msgid: 1_000 + k as u64,
+                seq: 10 + k as SeqNo,
+            });
+        }
+        let actions = inst.flush_pending();
+        let mut carried = 0;
+        for a in &actions {
+            let msg = match a {
+                Action::Multicast(m) | Action::Unicast(_, m) => m,
+                other => panic!("expected only packet actions, got {other:?}"),
+            };
+            let GroupMsg::DoneBatch { items, .. } = msg else {
+                panic!("expected only DoneBatch packets, got {msg:?}");
+            };
+            assert!(items.len() <= MAX_ACCEPT_BATCH_ITEMS);
+            // Every emitted packet must survive the wire round trip.
+            assert_eq!(&GroupMsg::decode(&msg.encode()).unwrap(), msg);
+            carried += items.len();
+        }
+        assert_eq!(carried, total, "every done must be delivered");
+        assert!(actions.len() >= 2, "overflow must split packets");
+    }
+
+    #[test]
+    fn dones_piggyback_on_next_accept_batch() {
+        let mut inst = seq_with_three(1);
+        let sr = |from: u32, msgid: u64| GroupMsg::SendReq {
+            instance: 1,
+            incarnation: 0,
+            from: MemberId(from),
+            msgid,
+            data: vec![1].into(),
+        };
+        let _ = inst.handle_deferred(T0, H1, sr(1, 50));
+        let _ = inst.flush_pending();
+        // The ack (making msg 50 resilient) and two new send requests
+        // arrive in one burst: the dones must ride the AcceptBatch.
+        let _ = inst.handle_deferred(
+            T0,
+            H1,
+            GroupMsg::Ack {
+                instance: 1,
+                incarnation: 0,
+                seq: 3,
+                member: MemberId(1),
+            },
+        );
+        let _ = inst.handle_deferred(T0, H1, sr(1, 51));
+        let _ = inst.handle_deferred(T0, H2, sr(2, 61));
+        let flushed = inst.flush_pending();
+        let [Action::Multicast(GroupMsg::AcceptBatch { items, dones, .. })] = flushed.as_slice()
+        else {
+            panic!("expected one AcceptBatch, got {flushed:?}");
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            dones.as_slice(),
+            &[crate::msg::DoneItem {
+                from: MemberId(1),
+                msgid: 50,
+                seq: 3
+            }]
+        );
+        // A member receiving the batch completes its own send from the
+        // piggybacked done.
+        let mut m1 = member_one(1);
+        let (msgid, _) = m1.app_send(T0, vec![9].into());
+        assert_eq!(msgid, 1);
+        let batch = GroupMsg::AcceptBatch {
+            instance: 1,
+            incarnation: 0,
+            first_seq: 1,
+            items: vec![AcceptItem {
+                from: MemberId(2),
+                from_tag: 102,
+                msgid: 7,
+                body: AcceptBody::Data(vec![2].into()),
+            }],
+            dones: vec![crate::msg::DoneItem {
+                from: MemberId(1),
+                msgid,
+                seq: 9,
+            }],
+        };
+        let actions = m1.handle(T0, H0, batch);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CompleteSend(m, Ok(9)) if *m == msgid)));
     }
 
     #[test]
@@ -1868,6 +2097,7 @@ mod tests {
                     body: AcceptBody::Data(vec![k as u8].into()),
                 })
                 .collect(),
+            dones: vec![],
         };
         let actions = feed(&mut inst, batch);
         assert_eq!(deliver_count(&actions), 3);

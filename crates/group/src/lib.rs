@@ -43,6 +43,6 @@ pub use api::Group;
 pub use config::GroupConfig;
 pub use error::GroupError;
 pub use instance::GroupStats;
-pub use msg::{AcceptBody, AcceptItem, GroupMsg};
+pub use msg::{AcceptBody, AcceptItem, DoneItem, GroupMsg};
 pub use peer::{GroupPeer, GROUP_PORT};
 pub use types::{GroupEvent, GroupInfo, Incarnation, MemberId, MemberInfo, SeqNo, View};

@@ -35,6 +35,22 @@ pub struct AcceptItem {
     pub body: AcceptBody,
 }
 
+/// One resilience notification: message `msgid` from member `from` is
+/// now held by r+1 members at slot `seq`. Instead of one `Done`
+/// unicast per message, the sequencer piggybacks these on the next
+/// [`GroupMsg::AcceptBatch`] (or coalesces them per sender into a
+/// [`GroupMsg::DoneBatch`]) — batching the reply direction the same
+/// way accepts batch the forward direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoneItem {
+    /// The member whose send completed (only it acts on the item).
+    pub from: MemberId,
+    /// Its message id.
+    pub msgid: u64,
+    /// The slot the message was sequenced at.
+    pub seq: SeqNo,
+}
+
 /// Everything that travels on the group port.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)] // field meanings documented on the protocol engine
@@ -100,12 +116,20 @@ pub enum GroupMsg {
     /// total order, coalesced into one packet (one network round may
     /// sequence many messages; the paper's amortization argument).
     /// Slot `i` of `items` has sequence number `first_seq + i`.
+    /// Pending resilience notifications ride along in `dones` instead
+    /// of costing one unicast each; only the member a `DoneItem` names
+    /// acts on it.
     AcceptBatch {
         instance: u64,
         incarnation: Incarnation,
         first_seq: SeqNo,
         items: Vec<AcceptItem>,
+        dones: Vec<DoneItem>,
     },
+    /// Batched resilience notifications with no accepts to ride on:
+    /// unicast to a single sender, or multicast when one packet can
+    /// serve several senders at once.
+    DoneBatch { instance: u64, items: Vec<DoneItem> },
     /// Unicast to the sequencer: "I hold everything up to and including
     /// `seq`" — a **cumulative** acknowledgement covering every earlier
     /// slot too, so one ack suffices per delivered batch.
@@ -240,11 +264,38 @@ const T_RESET_VOTE: u8 = 16;
 const T_RESET_RESULT: u8 = 17;
 const T_EXPEL_NOTICE: u8 = 18;
 const T_ACCEPT_BATCH: u8 = 19;
+const T_DONE_BATCH: u8 = 20;
 
 /// Most items one `AcceptBatch` may carry on the wire; the decoder
 /// rejects anything larger and the sequencer never exceeds it however
-/// large `GroupConfig::max_batch` is set.
+/// large `GroupConfig::max_batch` is set. The same bound applies to
+/// batched done notifications.
 pub(crate) const MAX_ACCEPT_BATCH_ITEMS: usize = 4096;
+
+const DONE_ITEM_LEN: usize = 4 + 8 + 8;
+
+fn write_dones(w: &mut WireWriter, dones: &[DoneItem]) {
+    w.u32(dones.len() as u32);
+    for d in dones {
+        w.u32(d.from.0).u64(d.msgid).u64(d.seq);
+    }
+}
+
+fn read_dones(r: &mut WireReader<'_>) -> Result<Vec<DoneItem>, DecodeError> {
+    let n = r.u32("dones len")? as usize;
+    if n > MAX_ACCEPT_BATCH_ITEMS {
+        return Err(DecodeError::new("dones len"));
+    }
+    let mut dones = Vec::with_capacity(n);
+    for _ in 0..n {
+        dones.push(DoneItem {
+            from: MemberId(r.u32("done from")?),
+            msgid: r.u64("done msgid")?,
+            seq: r.u64("done seq")?,
+        });
+    }
+    Ok(dones)
+}
 
 const B_DATA: u8 = 0;
 const B_BBREF: u8 = 1;
@@ -306,7 +357,7 @@ impl GroupMsg {
                 1 + 8 + 8 + 4 + 8 + 4 + data.len()
             }
             GroupMsg::Accept { body, .. } => 1 + 8 + 8 + 8 + 4 + 8 + 8 + body_len(body),
-            GroupMsg::AcceptBatch { items, .. } => {
+            GroupMsg::AcceptBatch { items, dones, .. } => {
                 1 + 8
                     + 8
                     + 8
@@ -315,7 +366,10 @@ impl GroupMsg {
                         .iter()
                         .map(|i| 4 + 8 + 8 + body_len(&i.body))
                         .sum::<usize>()
+                    + 4
+                    + DONE_ITEM_LEN * dones.len()
             }
+            GroupMsg::DoneBatch { items, .. } => 1 + 8 + 4 + DONE_ITEM_LEN * items.len(),
             GroupMsg::Ack { .. } => 1 + 8 + 8 + 8 + 4,
             GroupMsg::Done { .. } => 1 + 8 + 8 + 8,
             GroupMsg::Retrans { .. } => 1 + 8 + 8 + 8 + 4,
@@ -439,6 +493,7 @@ impl GroupMsg {
                 incarnation,
                 first_seq,
                 items,
+                dones,
             } => {
                 w.u8(T_ACCEPT_BATCH)
                     .u64(*instance)
@@ -449,6 +504,11 @@ impl GroupMsg {
                     w.u32(item.from.0).u64(item.from_tag).u64(item.msgid);
                     write_body(&mut w, &item.body);
                 }
+                write_dones(&mut w, dones);
+            }
+            GroupMsg::DoneBatch { instance, items } => {
+                w.u8(T_DONE_BATCH).u64(*instance);
+                write_dones(&mut w, items);
             }
             GroupMsg::Ack {
                 instance,
@@ -671,13 +731,19 @@ impl GroupMsg {
                         body: read_body(&mut r)?,
                     });
                 }
+                let dones = read_dones(&mut r)?;
                 GroupMsg::AcceptBatch {
                     instance,
                     incarnation,
                     first_seq,
                     items,
+                    dones,
                 }
             }
+            T_DONE_BATCH => GroupMsg::DoneBatch {
+                instance: r.u64("instance")?,
+                items: read_dones(&mut r)?,
+            },
             T_ACK => GroupMsg::Ack {
                 instance: r.u64("instance")?,
                 incarnation: r.u64("incarnation")?,
@@ -932,7 +998,49 @@ mod tests {
                     body: AcceptBody::BbRef,
                 },
             ],
+            dones: vec![
+                DoneItem {
+                    from: MemberId(2),
+                    msgid: 44,
+                    seq: 8,
+                },
+                DoneItem {
+                    from: MemberId(1),
+                    msgid: 87,
+                    seq: 9,
+                },
+            ],
         });
+    }
+
+    #[test]
+    fn done_batch_round_trips() {
+        round_trip(GroupMsg::DoneBatch {
+            instance: 9,
+            items: vec![
+                DoneItem {
+                    from: MemberId(1),
+                    msgid: 88,
+                    seq: 10,
+                },
+                DoneItem {
+                    from: MemberId(2),
+                    msgid: 91,
+                    seq: 11,
+                },
+            ],
+        });
+        round_trip(GroupMsg::DoneBatch {
+            instance: 9,
+            items: vec![],
+        });
+    }
+
+    #[test]
+    fn oversized_done_batch_rejected() {
+        let mut w = WireWriter::new();
+        w.u8(T_DONE_BATCH).u64(1).u32(1_000_000);
+        assert!(GroupMsg::decode(&w.finish_payload()).is_err());
     }
 
     #[test]

@@ -389,6 +389,7 @@ fn instance_of(msg: &GroupMsg) -> Option<u64> {
         | GroupMsg::AcceptBatch { instance, .. }
         | GroupMsg::Ack { instance, .. }
         | GroupMsg::Done { instance, .. }
+        | GroupMsg::DoneBatch { instance, .. }
         | GroupMsg::Retrans { instance, .. }
         | GroupMsg::Heartbeat { instance, .. }
         | GroupMsg::HeartbeatAck { instance, .. }

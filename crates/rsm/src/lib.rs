@@ -1,0 +1,83 @@
+//! # amoeba-rsm — a replicated-state-machine API over the group layer
+//!
+//! The ICDCS '93 paper's central claim is that totally-ordered group
+//! communication makes fault-tolerant services *easy to build*. This
+//! crate is that claim turned into an API: implement [`StateMachine`]
+//! and a [`Replica`] gives you a fully fault-tolerant, actively
+//! replicated service — join/create, majority rule, view-change
+//! bookkeeping, Skeen-style recovery with state transfer, and **apply
+//! batching** (group commit) — with zero group-protocol code of your
+//! own. The directory service and the lock/registry service in
+//! `amoeba-dir-core` are both built on it.
+//!
+//! ## Division of labour
+//!
+//! The **driver** ([`Replica`]) owns everything protocol-shaped:
+//!
+//! * the group event loop (`ReceiveFromGroup`), including reset on
+//!   failure and fallback to full recovery;
+//! * the Fig. 6 recovery protocol: mourned-set exchange over internal
+//!   RPC, last-set check (with the §3.2 improved two-server rule),
+//!   choice of the most up-to-date member, state fetch/install;
+//! * initiator bookkeeping: [`Replica::submit`] blocks a caller until
+//!   its operation has been applied *and made durable* locally, and
+//!   [`Replica::read_barrier`] implements the Fig. 5 read path (drain
+//!   everything the kernel has ordered before us);
+//! * **apply batching**: consecutive delivered operations are applied
+//!   as one batch followed by a single [`StateMachine::flush`] — the
+//!   group commit that amortizes per-update storage cost.
+//!
+//! The **state machine** owns everything service-shaped: deterministic
+//! apply, storage, snapshot encoding, and whatever durable bookkeeping
+//! (commit blocks, NVRAM logs) its recovery story needs. The trait's
+//! recovery hooks are exactly the points where the paper's directory
+//! service touches its commit block, so a service with no durable state
+//! (like the lock service) simply leaves the defaults.
+//!
+//! ## Contract (what `Replica` guarantees, what `apply` must uphold)
+//!
+//! 1. **Total order.** `apply(seq, …)` is called exactly once per
+//!    sequence number, in ascending order, on every replica, with the
+//!    same bytes. `apply` must be deterministic: same state + same op
+//!    ⇒ same new state and same reply on every replica.
+//! 2. **Group commit.** One or more `apply` calls are followed by one
+//!    `flush`. The driver *publishes* a batch — wakes submitters,
+//!    unblocks readers — only after `flush` returns, so a caller of
+//!    [`Replica::submit`] never observes a state that is not locally
+//!    durable, and a crash between `apply` and `flush` only ever loses
+//!    *unacknowledged* operations.
+//! 3. **Batch atomicity.** A state machine whose `flush` cannot make a
+//!    multi-operation batch durable atomically must guard it (the
+//!    directory service marks its commit block so a crash mid-flush
+//!    makes the replica's state "worthless", forcing recovery to copy
+//!    from a peer) — recovery must never observe a *hole*: an applied
+//!    suffix with a missing middle.
+//! 4. **Snapshots.** `snapshot` returns the applied-cursor and encoded
+//!    state read atomically (one critical section), so an installer can
+//!    skip every operation the snapshot already covers and replay only
+//!    what follows. `install(cursor, state)` must leave the machine
+//!    exactly as if it had applied the order up to `cursor`.
+//!
+//! ## Using it
+//!
+//! ```ignore
+//! struct Counter { /* Mutex<(u64 cursor, u64 value)> */ }
+//! impl StateMachine for Counter { /* apply/snapshot/install */ }
+//!
+//! let replica = Replica::start(&sim, ReplicaDeps { cfg, sim_node, rpc, peer, sm });
+//! // any request thread:
+//! let reply = replica.submit(ctx, op_bytes)?;   // replicated write
+//! replica.read_barrier(ctx)?;                   // then read local state
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod machine;
+mod recovery;
+mod replica;
+
+pub use config::RsmConfig;
+pub use machine::{RecoveryInfo, RsmError, StateMachine};
+pub use replica::{Replica, ReplicaDeps};

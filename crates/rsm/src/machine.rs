@@ -1,0 +1,141 @@
+//! The [`StateMachine`] trait: what a service implements to become a
+//! replicated, fault-tolerant service.
+
+use amoeba_flip::Payload;
+use amoeba_group::SeqNo;
+use amoeba_sim::Ctx;
+
+/// What a replica reports during the recovery protocol's info exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Logical version of this replica's state: monotone across group
+    /// incarnations, used to elect the state-transfer source (the
+    /// paper's per-directory "sequence number" generalized).
+    pub update_seq: u64,
+    /// `mourned[i]` is true iff server *i* crashed before this one,
+    /// according to this replica's durable configuration record. A
+    /// machine with no durable configuration returns all-false (it
+    /// mourns no one — it cannot know).
+    pub mourned: Vec<bool>,
+}
+
+/// Errors surfaced by [`Replica::submit`](crate::Replica::submit) and
+/// [`Replica::read_barrier`](crate::Replica::read_barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsmError {
+    /// The replica is recovering, expelled, or its view lacks a
+    /// majority — the service must refuse the operation (Fig. 5's
+    /// "if (!majority()) return failure").
+    NotInService,
+    /// The group collapsed while the operation was in flight; its
+    /// outcome is unknown (it may or may not survive recovery).
+    Aborted,
+    /// The operation was applied but its reply was already pruned
+    /// (pathologically slow initiator).
+    ResultLost,
+}
+
+impl std::fmt::Display for RsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsmError::NotInService => f.write_str("replica not in service (no majority)"),
+            RsmError::Aborted => f.write_str("group collapsed mid-operation"),
+            RsmError::ResultLost => f.write_str("apply result already pruned"),
+        }
+    }
+}
+
+impl std::error::Error for RsmError {}
+
+/// A deterministic replicated state machine, driven by a
+/// [`Replica`](crate::Replica).
+///
+/// Methods take `&self`: the machine is shared between the driver's
+/// event loop, its internal recovery RPC server, and any service
+/// request threads, so implementations do their own (fine-grained)
+/// locking. The lock discipline every implementation must keep:
+/// **never block on simulator I/O while holding a lock** the driver's
+/// other processes take.
+///
+/// See the [crate docs](crate) for the full contract; in brief:
+/// `apply` must be deterministic and record `seq` as its applied
+/// cursor in the same critical section that mutates state (so
+/// `snapshot` is consistent), and effects may be buffered until the
+/// next `flush` — the driver publishes results only after `flush`.
+pub trait StateMachine: Send + Sync + 'static {
+    /// Applies the operation at sequence number `seq` of the total
+    /// order and returns the (encoded) reply for the initiating
+    /// thread. Durable effects may be deferred to [`flush`](Self::flush).
+    fn apply(&self, ctx: &Ctx, seq: SeqNo, op: &Payload) -> Payload;
+
+    /// Group-commit barrier: make every effect of the `apply` calls
+    /// since the previous `flush` durable. Called once per batch,
+    /// before the driver publishes the batch. Default: no-op (fully
+    /// volatile machines rely on their peers for durability).
+    fn flush(&self, ctx: &Ctx) {
+        let _ = ctx;
+    }
+
+    /// Called when the group has been idle for the configured idle
+    /// timeout (background maintenance: the directory service flushes
+    /// its NVRAM log here, §4.1).
+    fn idle(&self, ctx: &Ctx) {
+        let _ = ctx;
+    }
+
+    /// Called once, at process start, before the first recovery: load
+    /// whatever survived the reboot (commit block, tables, NVRAM log).
+    fn boot(&self, ctx: &Ctx) {
+        let _ = ctx;
+    }
+
+    /// State for the recovery info exchange (Skeen's algorithm).
+    fn recovery_info(&self) -> RecoveryInfo;
+
+    /// The copy phase of recovery is about to overwrite local state
+    /// with a peer's: durably mark the state as in-flux, so a crash
+    /// mid-copy is detected at next boot (the paper's `recovering`
+    /// commit-block flag, §3.2). Default: no-op.
+    fn begin_copy(&self, ctx: &Ctx) {
+        let _ = ctx;
+    }
+
+    /// Encodes the full current state for transfer to a recovering
+    /// peer, together with the applied cursor it corresponds to. The
+    /// pair must be read in one critical section: every operation
+    /// `<= cursor` is reflected in the bytes, none beyond it.
+    fn snapshot(&self, ctx: &Ctx) -> (SeqNo, Payload);
+
+    /// Installs a peer's snapshot, replacing local state wholesale
+    /// (and persisting it, if this machine is durable). `cursor` is
+    /// the applied cursor the driver resolved for the current group
+    /// instance (0 if the snapshot predates it); record it as the
+    /// applied cursor. Returns false if the snapshot is malformed.
+    fn install(&self, ctx: &Ctx, cursor: SeqNo, snap: &Payload) -> bool;
+
+    /// Recovery determined this replica is (among) the most current
+    /// and it is entering a **new group instance**, whose sequence
+    /// numbers restart: set the applied cursor to exactly `cursor`
+    /// (the new instance's order so far). Without this, a cursor
+    /// carried over from a previous instance would make `snapshot`
+    /// over-claim coverage and a fetching peer would skip real
+    /// operations of the new instance.
+    fn align_cursor(&self, ctx: &Ctx, cursor: SeqNo);
+
+    /// Recovery succeeded: durably record the configuration this
+    /// replica is now serving in (`config[i]` = server *i* is in the
+    /// new group) and clear any copy-in-progress mark. Default: no-op.
+    fn enter_service(&self, ctx: &Ctx, config: &[bool]) {
+        let _ = (ctx, config);
+    }
+
+    /// A membership event was applied at `seq` (0 for a reset, which
+    /// consumes no slot): update the durable configuration record and
+    /// advance the applied cursor to cover `seq`. Default: no-op — a
+    /// volatile machine must still advance its cursor if it implements
+    /// snapshots (see `snapshot`); machines that track the cursor
+    /// inside `apply` only should override this.
+    fn on_membership(&self, ctx: &Ctx, seq: SeqNo, config: &[bool]) {
+        let _ = (ctx, seq, config);
+    }
+}

@@ -1,0 +1,398 @@
+//! The generic replication driver: one [`Replica`] per machine runs
+//! recovery, the group event loop with apply batching, and the
+//! initiator-side blocking primitives.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amoeba_flip::Payload;
+use amoeba_group::{Group, GroupError, GroupEvent, GroupPeer, SeqNo, View};
+use amoeba_rpc::{RpcClient, RpcNode, RpcServer};
+use amoeba_sim::{Ctx, MailboxTx, NodeId, Spawn};
+use parking_lot::Mutex;
+
+use crate::config::RsmConfig;
+use crate::machine::{RsmError, StateMachine};
+use crate::recovery::{run_recovery, serve_internal};
+
+/// How a blocked initiator wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Applied,
+    Aborted,
+}
+
+/// Replica operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    Recovering,
+    Normal,
+}
+
+/// Driver-owned mutable state. Lock discipline: never hold across a
+/// blocking simulator call.
+pub(crate) struct DriverShared {
+    pub mode: Mode,
+    pub group: Option<Arc<Group>>,
+    /// Highest sequence number *published*: applied AND covered by a
+    /// group-commit flush. Initiators wait on this, never on the raw
+    /// apply cursor, so they cannot observe un-flushed state.
+    pub published_seq: SeqNo,
+    /// Continuously up since last being in a majority configuration.
+    pub stayed_up: bool,
+    /// Initiators waiting for `published_seq` to reach a target.
+    pub waiters: Vec<(SeqNo, MailboxTx<Wake>)>,
+    /// Apply replies by sequence number, for the initiating thread.
+    pub results: HashMap<SeqNo, Payload>,
+}
+
+impl DriverShared {
+    fn new() -> DriverShared {
+        DriverShared {
+            mode: Mode::Recovering,
+            group: None,
+            published_seq: 0,
+            stayed_up: false,
+            waiters: Vec::new(),
+            results: HashMap::new(),
+        }
+    }
+
+    /// Wakes every waiter satisfied by the current published seq.
+    fn wake_published(&mut self) {
+        let published = self.published_seq;
+        let mut kept = Vec::new();
+        for (target, tx) in self.waiters.drain(..) {
+            if target <= published {
+                tx.send(Wake::Applied);
+            } else {
+                kept.push((target, tx));
+            }
+        }
+        self.waiters = kept;
+    }
+
+    /// Aborts every waiter (the group collapsed).
+    fn abort_waiters(&mut self) {
+        for (_, tx) in self.waiters.drain(..) {
+            tx.send(Wake::Aborted);
+        }
+    }
+
+    /// Drops apply results that can no longer be claimed.
+    fn prune_results(&mut self) {
+        if self.results.len() > 4096 {
+            let cutoff = self.published_seq.saturating_sub(2048);
+            self.results.retain(|seq, _| *seq > cutoff);
+        }
+    }
+}
+
+/// Everything needed to start one replica of a replicated service.
+pub struct ReplicaDeps<S> {
+    /// Deployment configuration.
+    pub cfg: RsmConfig,
+    /// The machine this replica runs on.
+    pub sim_node: NodeId,
+    /// RPC kernel of the machine (internal recovery traffic).
+    pub rpc: RpcNode,
+    /// Group-communication kernel of the machine.
+    pub peer: GroupPeer,
+    /// The service's state machine.
+    pub sm: Arc<S>,
+}
+
+impl<S> std::fmt::Debug for ReplicaDeps<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReplicaDeps(replica {})", self.cfg.me)
+    }
+}
+
+/// Handle to one running replica. Cloning is cheap; any thread on the
+/// machine may call [`submit`](Replica::submit) /
+/// [`read_barrier`](Replica::read_barrier).
+pub struct Replica<S> {
+    cfg: RsmConfig,
+    sm: Arc<S>,
+    shared: Arc<Mutex<DriverShared>>,
+}
+
+impl<S> Clone for Replica<S> {
+    fn clone(&self) -> Self {
+        Replica {
+            cfg: self.cfg.clone(),
+            sm: Arc::clone(&self.sm),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for Replica<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Replica({})", self.cfg.me)
+    }
+}
+
+impl<S: StateMachine> Replica<S> {
+    /// Starts all driver processes of one replica: the always-on
+    /// internal recovery RPC service and the main (recovery → event
+    /// loop) process.
+    pub fn start(spawner: &impl Spawn, deps: ReplicaDeps<S>) -> Replica<S> {
+        let ReplicaDeps {
+            cfg,
+            sim_node,
+            rpc,
+            peer,
+            sm,
+        } = deps;
+        let shared = Arc::new(Mutex::new(DriverShared::new()));
+        let replica = Replica {
+            cfg: cfg.clone(),
+            sm: Arc::clone(&sm),
+            shared: Arc::clone(&shared),
+        };
+
+        // Internal (replica-to-replica) RPC service: recovery info
+        // exchange and state transfer. Always answered, even while
+        // recovering.
+        {
+            let srv = RpcServer::new(&rpc, cfg.internal_ports[cfg.me]);
+            let sm = Arc::clone(&sm);
+            let shared = Arc::clone(&shared);
+            spawner.spawn_boxed(
+                Some(sim_node),
+                &format!("rsm{}-internal", cfg.me),
+                Box::new(move |ctx| serve_internal(ctx, &srv, &*sm, &shared)),
+            );
+        }
+
+        // Main process: recovery, then the group event loop, forever.
+        {
+            let rpc_client = RpcClient::new(&rpc);
+            let replica = replica.clone();
+            spawner.spawn_boxed(
+                Some(sim_node),
+                &format!("rsm{}-main", cfg.me),
+                Box::new(move |ctx| replica.main_loop(ctx, &peer, &rpc_client)),
+            );
+        }
+        replica
+    }
+
+    /// The state machine this replica drives.
+    pub fn machine(&self) -> &Arc<S> {
+        &self.sm
+    }
+
+    /// Whether the replica is in normal operation.
+    pub fn is_normal(&self) -> bool {
+        self.shared.lock().mode == Mode::Normal
+    }
+
+    /// Highest published (applied + flushed) sequence number.
+    pub fn published_seq(&self) -> SeqNo {
+        self.shared.lock().published_seq
+    }
+
+    /// Replicates `op` through the group and blocks until this
+    /// replica has applied it and made it durable (group commit);
+    /// returns the state machine's reply.
+    ///
+    /// # Errors
+    ///
+    /// [`RsmError::NotInService`] when recovering or without a
+    /// majority; [`RsmError::Aborted`] if the group collapsed while
+    /// the operation was in flight.
+    pub fn submit(&self, ctx: &Ctx, op: impl Into<Payload>) -> Result<Payload, RsmError> {
+        let group = self.serving_group()?;
+        let seq = group
+            .send(ctx, op.into())
+            .map_err(|_| RsmError::NotInService)?;
+        self.wait_published(ctx, seq)?;
+        let result = { self.shared.lock().results.remove(&seq) };
+        result.ok_or(RsmError::ResultLost)
+    }
+
+    /// The Fig. 5 read path: drains everything the kernel has ordered
+    /// before us, so a subsequent local read observes every update
+    /// this replica could know about (one-copy serializability).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Replica::submit).
+    pub fn read_barrier(&self, ctx: &Ctx) -> Result<(), RsmError> {
+        let group = self.serving_group()?;
+        let target = group
+            .info()
+            .map_err(|_| RsmError::NotInService)?
+            .highest_contiguous;
+        self.wait_published(ctx, target)
+    }
+
+    /// The serving group handle, after the majority check.
+    fn serving_group(&self) -> Result<Arc<Group>, RsmError> {
+        let group = {
+            let shared = self.shared.lock();
+            if shared.mode != Mode::Normal {
+                return Err(RsmError::NotInService);
+            }
+            match &shared.group {
+                Some(g) => Arc::clone(g),
+                None => return Err(RsmError::NotInService),
+            }
+        };
+        match group.info() {
+            Ok(i) if !i.failed && i.view.len() >= self.cfg.majority() => Ok(group),
+            _ => Err(RsmError::NotInService),
+        }
+    }
+
+    fn wait_published(&self, ctx: &Ctx, target: SeqNo) -> Result<(), RsmError> {
+        let behind = { self.shared.lock().published_seq < target };
+        if !behind {
+            return Ok(());
+        }
+        let (tx, rx) = ctx.handle().channel();
+        {
+            let mut shared = self.shared.lock();
+            if shared.published_seq < target {
+                shared.waiters.push((target, tx));
+            } else {
+                tx.send(Wake::Applied);
+            }
+        }
+        match rx.recv(ctx) {
+            Wake::Applied => Ok(()),
+            Wake::Aborted => Err(RsmError::Aborted),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The driver main process.
+    // ------------------------------------------------------------------
+
+    /// Recovery → normal operation → (on collapse) recovery, forever.
+    fn main_loop(&self, ctx: &Ctx, peer: &GroupPeer, rpc: &RpcClient) {
+        // Load whatever survived the reboot, once.
+        self.sm.boot(ctx);
+        loop {
+            let group = run_recovery(ctx, &*self.sm, &self.cfg, &self.shared, peer, rpc);
+            let group = Arc::new(group);
+            {
+                let mut shared = self.shared.lock();
+                shared.group = Some(Arc::clone(&group));
+                shared.mode = Mode::Normal;
+                shared.stayed_up = true;
+            }
+            self.event_loop(ctx, &group);
+            // Collapsed: back to recovery.
+            {
+                let mut shared = self.shared.lock();
+                shared.mode = Mode::Recovering;
+                shared.group = None;
+                shared.abort_waiters();
+            }
+        }
+    }
+
+    /// The group event loop. Returns when the group is beyond repair
+    /// (full recovery required).
+    fn event_loop(&self, ctx: &Ctx, group: &Arc<Group>) {
+        loop {
+            let first = match group.recv_timeout(ctx, self.cfg.idle_timeout) {
+                Some(e) => e,
+                None => {
+                    self.sm.idle(ctx);
+                    continue;
+                }
+            };
+            // Collect a batch: the first event plus every consecutive
+            // already-delivered message, up to the apply-batch cap.
+            // Membership events and errors end the batch (processed
+            // after the batch publishes).
+            let cap = self.cfg.apply_batch.max(1);
+            let mut msgs: Vec<(SeqNo, Payload)> = Vec::new();
+            let mut tail: Option<Result<GroupEvent, GroupError>> = None;
+            let mut next = Some(first);
+            loop {
+                match next {
+                    Some(Ok(GroupEvent::Message { seq, data, .. })) => msgs.push((seq, data)),
+                    Some(other) => {
+                        tail = Some(other);
+                        break;
+                    }
+                    None => break,
+                }
+                if msgs.len() >= cap || group.pending_events() == 0 {
+                    break;
+                }
+                next = group.recv_timeout(ctx, Duration::ZERO);
+            }
+
+            // Apply the batch, then one group-commit flush, then
+            // publish: waiters never observe un-flushed state.
+            if !msgs.is_empty() {
+                let covered = { self.shared.lock().published_seq };
+                let mut results: Vec<(SeqNo, Payload)> = Vec::with_capacity(msgs.len());
+                for (seq, data) in &msgs {
+                    if *seq <= covered {
+                        continue; // already covered by a fetched state snapshot
+                    }
+                    let reply = self.sm.apply(ctx, *seq, data);
+                    results.push((*seq, reply));
+                }
+                if !results.is_empty() {
+                    self.sm.flush(ctx);
+                    let last = results.last().map(|(s, _)| *s).unwrap_or(covered);
+                    let mut shared = self.shared.lock();
+                    shared.published_seq = shared.published_seq.max(last);
+                    for (seq, reply) in results {
+                        shared.results.insert(seq, reply);
+                    }
+                    shared.prune_results();
+                    shared.wake_published();
+                }
+            }
+
+            match tail {
+                None => {}
+                Some(Ok(GroupEvent::Message { .. })) => unreachable!("messages batch above"),
+                Some(Ok(GroupEvent::Joined { seq, .. }))
+                | Some(Ok(GroupEvent::Left { seq, .. })) => {
+                    let view = group.info().map(|i| i.view).unwrap_or_default();
+                    self.sm.on_membership(ctx, seq, &self.config_of(&view));
+                    let mut shared = self.shared.lock();
+                    shared.published_seq = shared.published_seq.max(seq);
+                    shared.wake_published();
+                }
+                Some(Ok(GroupEvent::ResetDone { view, .. })) => {
+                    // A reset consumes no slot: record the new
+                    // configuration only.
+                    self.sm.on_membership(ctx, 0, &self.config_of(&view));
+                }
+                Some(Err(GroupError::Failed)) => {
+                    // Rebuild a majority of the group; if that fails,
+                    // fall back to full recovery.
+                    match group.reset(ctx, self.cfg.majority(), Duration::from_secs(3)) {
+                        Ok(_info) => continue, // ResetDone event follows
+                        Err(_) => return,
+                    }
+                }
+                Some(Err(_)) => return, // dead / expelled: recovery
+            }
+        }
+    }
+
+    /// Maps a view onto the configuration vector (`config[i]` ⇔ the
+    /// replica whose application tag is `i` is a member).
+    fn config_of(&self, view: &View) -> Vec<bool> {
+        let mut config = vec![false; self.cfg.n];
+        for m in &view.members {
+            if (m.tag as usize) < self.cfg.n {
+                config[m.tag as usize] = true;
+            }
+        }
+        config
+    }
+}

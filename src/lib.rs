@@ -15,6 +15,7 @@
 //! | FLIP network | [`flip`] |
 //! | Amoeba RPC (`trans`) | [`rpc`] |
 //! | Group communication | [`group`] |
+//! | Replicated-state-machine driver | [`rsm`] |
 //! | Disks + NVRAM | [`disk`] |
 //! | Bullet file server | [`bullet`] |
 //! | The directory service | [`dir`] |
@@ -25,4 +26,5 @@ pub use amoeba_disk as disk;
 pub use amoeba_flip as flip;
 pub use amoeba_group as group;
 pub use amoeba_rpc as rpc;
+pub use amoeba_rsm as rsm;
 pub use amoeba_sim as sim;
