@@ -15,7 +15,15 @@
 //! update-throughput harness drives N closed-loop writers so the
 //! replica driver sees real batches.
 //!
+//! A fourth, `<label>+internetwork`, A/Bs the flat LAN against a
+//! two-segment routed topology (sequencer and half the members a
+//! store-and-forward router hop apart): group-layer msgs/sec and
+//! packets/msg, the directory service's lookup/update throughput, plus
+//! `packets_forwarded` and per-segment wire utilization in the
+//! `network` section — the numbers future routing PRs diff against.
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
+//! (append `--internetwork-only` to refresh just the internetwork run).
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -29,20 +37,30 @@ use amoeba_dir_core::Rights;
 const N_CLIENTS: usize = 5;
 
 fn main() {
-    let label = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inet_only = args.iter().any(|a| a == "--internetwork-only");
+    let mut pos = args.iter().filter(|a| !a.starts_with("--"));
+    let label = pos
+        .next()
+        .cloned()
         .unwrap_or_else(|| "unlabelled".to_owned());
-    let out_path = std::env::args()
-        .nth(2)
+    let out_path = pos
+        .next()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
+    if inet_only {
+        let inet = internetwork_run(&label);
+        append_run(&out_path, "pipeline", &inet).expect("write BENCH_pipeline.json");
+        println!("appended internetwork run to {}", out_path.display());
+        return;
+    }
     println!("pipeline bench — run '{label}'");
     let mut run = RunSummary {
         label: label.clone(),
         ..Default::default()
     };
     for variant in [Variant::Group, Variant::GroupNvram, Variant::Rpc] {
-        run.variants.push(measure(variant, None, None));
+        run.variants.push(measure(variant, None, None, false).0);
     }
     run.variants.push(update_burst(Variant::Group, None));
     run.group_pipeline = group_layer_points(16);
@@ -56,7 +74,9 @@ fn main() {
         ..Default::default()
     };
     for variant in [Variant::Group, Variant::GroupNvram] {
-        nobatch.variants.push(measure(variant, Some(1), None));
+        nobatch
+            .variants
+            .push(measure(variant, Some(1), None, false).0);
     }
     nobatch.group_pipeline = group_layer_points(1);
     append_run(&out_path, "pipeline", &nobatch).expect("write BENCH_pipeline.json");
@@ -68,11 +88,81 @@ fn main() {
         ..Default::default()
     };
     for variant in [Variant::Group, Variant::GroupNvram] {
-        noapply.variants.push(measure(variant, None, Some(1)));
+        noapply
+            .variants
+            .push(measure(variant, None, Some(1), false).0);
     }
     noapply.variants.push(update_burst(Variant::Group, Some(1)));
     append_run(&out_path, "pipeline", &noapply).expect("write BENCH_pipeline.json");
+
+    // A/B three: flat LAN vs two-segment routed internetwork.
+    let inet = internetwork_run(&label);
+    append_run(&out_path, "pipeline", &inet).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
+}
+
+/// The flat-vs-routed internetwork A/B: the same group-layer workload
+/// on one Ethernet and on two segments split by a router (sequencer on
+/// `net-a`, half the members on `net-b`), plus the full directory
+/// service on the routed split.
+fn internetwork_run(label: &str) -> RunSummary {
+    use amoeba_bench::group_pipeline::group_send_throughput_on;
+    use amoeba_flip::{SegmentId, Topology};
+
+    let mut run = RunSummary {
+        label: format!("{label}+internetwork"),
+        ..Default::default()
+    };
+    const MEMBERS: usize = 6;
+    const SENDERS: usize = 2;
+    for routed in [false, true] {
+        let (topo, placement, tag) = if routed {
+            // Member 0 (the sequencer) on net-a; members alternate, so
+            // half the accept fan-out crosses the router.
+            (
+                Topology::two_segments(),
+                vec![SegmentId(0), SegmentId(1)],
+                "routed2seg",
+            )
+        } else {
+            (Topology::single(), vec![], "flat")
+        };
+        let r = group_send_throughput_on(topo, &placement, 16, MEMBERS, SENDERS, 64, 0, 0x16E7);
+        println!(
+            "  internetwork/{tag}: {MEMBERS} members × {SENDERS} senders: {:.0} msgs/s, \
+             {:.2} packets/msg, {} forwarded ({:.2}/msg)",
+            r.msgs_per_sec, r.packets_per_msg, r.packets_forwarded, r.forwarded_per_msg
+        );
+        run.group_pipeline.push((
+            format!("internetwork/{tag}/members={MEMBERS}/senders={SENDERS}/batch=16"),
+            r.msgs_per_sec,
+            r.packets_per_msg,
+        ));
+        run.network.push((
+            format!("internetwork/{tag}/packets_forwarded"),
+            r.packets_forwarded as f64,
+        ));
+        run.network.push((
+            format!("internetwork/{tag}/forwarded_per_msg"),
+            r.forwarded_per_msg,
+        ));
+        for (seg, util) in &r.seg_utilization {
+            println!("    segment {seg}: {:.1}% wire utilization", util * 100.0);
+            run.network
+                .push((format!("internetwork/{tag}/utilization/{seg}"), *util));
+        }
+    }
+    // The full directory service over the routed split (lookups never
+    // cross the router — the client's expanding ring finds the local
+    // replica — while every update's accept fan-out does), measured by
+    // the exact protocol the flat variants use.
+    let (routed_variant, forwarded) = measure(Variant::Group, None, None, true);
+    run.network.push((
+        "internetwork/Group(3)/routed2seg/packets_forwarded".into(),
+        forwarded as f64,
+    ));
+    run.variants.push(routed_variant);
+    run
 }
 
 /// Host-time micro-benchmarks of the zero-copy codec path (these, unlike
@@ -188,17 +278,25 @@ fn update_burst(variant: Variant, apply_batch: Option<usize>) -> VariantSummary 
     }
 }
 
+/// Latency + throughput of one variant configuration. Returns the
+/// summary and the total packets routers forwarded across the phase
+/// testbeds (0 unless `routed`).
 fn measure(
     variant: Variant,
     max_batch: Option<usize>,
     apply_batch: Option<usize>,
-) -> VariantSummary {
+    routed: bool,
+) -> (VariantSummary, u64) {
+    use amoeba_dir_core::cluster::ClusterTopology;
     let mut label = variant.label().to_owned();
     if let Some(b) = max_batch {
         label.push_str(&format!("/batch={b}"));
     }
     if let Some(b) = apply_batch {
         label.push_str(&format!("/applybatch={b}"));
+    }
+    if routed {
+        label.push_str("/routed2seg");
     }
     println!("  variant {label}...");
     let tweak = move |p: &mut amoeba_dir_core::cluster::ClusterParams| {
@@ -208,7 +306,11 @@ fn measure(
         if let Some(b) = apply_batch {
             p.dir.apply_batch = b;
         }
+        if routed {
+            p.net_topology = ClusterTopology::two_segment_split();
+        }
     };
+    let mut forwarded = 0u64;
 
     // Latencies from a single unloaded client.
     let mut tb = testbed_with(variant, 0xBA5E, tweak);
@@ -219,6 +321,7 @@ fn measure(
     let update_latency_ms = mean_latency_ms(&mut tb, 30, |ctx, client, root, i| {
         append_delete_pair(ctx, client, root, format!("lat-{i}"));
     });
+    forwarded += tb.cluster.net.stats().packets_forwarded;
 
     // Fig. 8-style lookup throughput at N_CLIENTS closed-loop clients.
     let mut tb = testbed_with(variant, 0xF18 + N_CLIENTS as u64, tweak);
@@ -230,6 +333,7 @@ fn measure(
         Duration::from_secs(5),
         |ctx, client, root, _c, _k| lookup_once(ctx, client, root, "target"),
     );
+    forwarded += tb.cluster.net.stats().packets_forwarded;
 
     // Update throughput: the sequencer-bound path accept batching helps.
     let mut tb = testbed_with(variant, 0x0BD8 + N_CLIENTS as u64, tweak);
@@ -241,19 +345,23 @@ fn measure(
         Duration::from_secs(5),
         |ctx, client, root, c, k| append_delete_pair(ctx, client, root, format!("u{c}-{k}")),
     );
+    forwarded += tb.cluster.net.stats().packets_forwarded;
     println!(
         "    lookup {lookup_ops_per_sec:.0}/s, updates {update_ops_per_sec:.0}/s at \
          {N_CLIENTS} clients; latency lookup {lookup_latency_ms:.2} ms, \
          update {update_latency_ms:.2} ms"
     );
-    VariantSummary {
-        variant: label,
-        n_clients: N_CLIENTS,
-        lookup_ops_per_sec,
-        update_ops_per_sec,
-        lookup_latency_ms,
-        update_latency_ms,
-    }
+    (
+        VariantSummary {
+            variant: label,
+            n_clients: N_CLIENTS,
+            lookup_ops_per_sec,
+            update_ops_per_sec,
+            lookup_latency_ms,
+            update_latency_ms,
+        },
+        forwarded,
+    )
 }
 
 /// Seeds the row the lookup workload resolves.

@@ -12,25 +12,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use amoeba_flip::{NetParams, Network, Port};
+use amoeba_flip::{NetParams, Network, Port, SegmentId, Topology};
 use amoeba_group::{Group, GroupConfig, GroupEvent, GroupPeer};
 use amoeba_sim::Simulation;
 
 /// Result of one group-layer throughput run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupPipelineResult {
     /// Application messages delivered per simulated second (at member 0).
     pub msgs_per_sec: f64,
     /// Network packets per delivered message over the window (§3.1-style
-    /// protocol cost; lower is better).
+    /// protocol cost; lower is better) — origin sends only, so flat and
+    /// routed runs are directly comparable.
     pub packets_per_msg: f64,
+    /// Router store-and-forward retransmissions over the window (0 on a
+    /// flat network).
+    pub packets_forwarded: u64,
+    /// Store-and-forwards per delivered message.
+    pub forwarded_per_msg: f64,
+    /// Per-segment wire utilization over the window: (segment name,
+    /// busy fraction).
+    pub seg_utilization: Vec<(String, f64)>,
 }
 
-/// Runs `members` group members; every non-sequencer member runs
-/// `senders_per_member` closed-loop sender processes of
-/// `payload_len`-byte messages for a fixed simulated window. Reports
-/// delivered throughput and packet cost. `max_batch` is the sequencer
-/// batching knob under test.
+/// [`group_send_throughput_on`] over the degenerate flat topology.
 pub fn group_send_throughput(
     max_batch: usize,
     members: usize,
@@ -39,8 +44,38 @@ pub fn group_send_throughput(
     resilience: u32,
     seed: u64,
 ) -> GroupPipelineResult {
+    group_send_throughput_on(
+        Topology::single(),
+        &[],
+        max_batch,
+        members,
+        senders_per_member,
+        payload_len,
+        resilience,
+        seed,
+    )
+}
+
+/// Runs `members` group members placed on `topology`'s segments
+/// (`placement[i % len]` is member `i`'s segment; empty = everything on
+/// segment 0); every non-sequencer member runs `senders_per_member`
+/// closed-loop sender processes of `payload_len`-byte messages for a
+/// fixed simulated window. Reports delivered throughput, packet cost,
+/// and — on routed topologies — forwarding volume and per-segment wire
+/// utilization. `max_batch` is the sequencer batching knob under test.
+#[allow(clippy::too_many_arguments)]
+pub fn group_send_throughput_on(
+    topology: Topology,
+    placement: &[SegmentId],
+    max_batch: usize,
+    members: usize,
+    senders_per_member: usize,
+    payload_len: usize,
+    resilience: u32,
+    seed: u64,
+) -> GroupPipelineResult {
     let mut sim = Simulation::new(seed);
-    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), seed);
+    let net = Network::with_topology(sim.handle(), NetParams::lan_10mbps(), topology, seed);
     let mut cfg = GroupConfig::with_resilience(resilience);
     cfg.max_batch = max_batch;
     let port = Port::from_name("bench-group");
@@ -52,7 +87,12 @@ pub fn group_send_throughput(
 
     for i in 0..members {
         let sim_node = sim.add_node(&format!("m{i}"));
-        let stack = net.attach();
+        let seg = if placement.is_empty() {
+            SegmentId(0)
+        } else {
+            placement[i % placement.len()]
+        };
+        let stack = net.attach_to(seg);
         let peer = GroupPeer::start(&sim, sim_node, stack, cfg.clone());
         let delivered = Arc::clone(&delivered);
         sim.spawn_on(sim_node, &format!("app{i}"), move |ctx| {
@@ -111,14 +151,29 @@ pub fn group_send_throughput(
     let stats_end = net.stats();
     sim.run_for(Duration::from_secs(1)); // drain
     let msgs = delivered.load(Ordering::Relaxed);
-    let packets = stats_end.since(&stats_start).packets_sent;
-    GroupPipelineResult {
-        msgs_per_sec: msgs as f64 / window.as_secs_f64(),
-        packets_per_msg: if msgs == 0 {
+    let d = stats_end.since(&stats_start);
+    let per_msg = |count: u64| {
+        if msgs == 0 {
             f64::NAN
         } else {
-            packets as f64 / msgs as f64
-        },
+            count as f64 / msgs as f64
+        }
+    };
+    GroupPipelineResult {
+        msgs_per_sec: msgs as f64 / window.as_secs_f64(),
+        packets_per_msg: per_msg(d.packets_sent),
+        packets_forwarded: d.packets_forwarded,
+        forwarded_per_msg: per_msg(d.packets_forwarded),
+        seg_utilization: d
+            .segments
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    s.wire_busy_nanos as f64 / window.as_nanos() as f64,
+                )
+            })
+            .collect(),
     }
 }
 

@@ -39,6 +39,9 @@ pub struct RunSummary {
     /// Group-layer pipeline results: (config label, delivered msgs per
     /// simulated second, packets per message).
     pub group_pipeline: Vec<(String, f64, f64)>,
+    /// Network-model counters: (name, value) — packets forwarded,
+    /// per-segment wire utilization, and similar internetwork metrics.
+    pub network: Vec<(String, f64)>,
     /// Host-time micro-benchmarks: (name, ns/op).
     pub micro: Vec<(String, f64)>,
 }
@@ -107,6 +110,17 @@ impl RunSummary {
             );
         }
         let _ = writeln!(s, "{i2}],");
+        let _ = writeln!(s, "{i2}\"network\": [");
+        for (k, (name, v)) in self.network.iter().enumerate() {
+            let comma = if k + 1 < self.network.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "{i3}{{\"name\": \"{}\", \"value\": {}}}{comma}",
+                json_escape(name),
+                fmt_f64(*v),
+            );
+        }
+        let _ = writeln!(s, "{i2}],");
         let _ = writeln!(s, "{i2}\"micro\": [");
         for (k, (name, ns)) in self.micro.iter().enumerate() {
             let comma = if k + 1 < self.micro.len() { "," } else { "" };
@@ -171,6 +185,7 @@ mod tests {
                 update_latency_ms: 31.0,
             }],
             group_pipeline: vec![("members=3/batch=16".into(), 900.0, 2.5)],
+            network: vec![("internetwork/routed/packets_forwarded".into(), 321.0)],
             micro: vec![("encode".into(), 42.5)],
         }
     }

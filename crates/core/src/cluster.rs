@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use amoeba_bullet::{start_bullet_server, BulletClient, BulletStore};
 use amoeba_disk::{DiskParams, DiskServer, Nvram, RawPartition, VDisk};
-use amoeba_flip::{HostAddr, NetParams, Network, NodeStack};
+use amoeba_flip::{HostAddr, NetParams, Network, NodeStack, SegmentId, Topology};
 use amoeba_group::{GroupConfig, GroupPeer};
 use amoeba_rpc::{RpcClient, RpcNode};
 use amoeba_sim::{NodeId, Resource, Simulation, Spawn};
@@ -16,6 +16,9 @@ use crate::config::{DirParams, ServiceConfig, StorageKind};
 use crate::server_group::{start_group_server, GroupDirServer, GroupServerDeps};
 use crate::server_lock::{start_lock_server, LockClient, LockServer, LockServerDeps};
 use crate::server_nfs::{start_nfs_server, NfsServerDeps};
+use crate::server_registry::{
+    start_registry_server, RegistryClient, RegistryServer, RegistryServerDeps,
+};
 use crate::server_rpc::{start_rpc_server, RpcServerDeps};
 
 /// Which directory service implementation a cluster runs.
@@ -52,6 +55,52 @@ impl Variant {
     }
 }
 
+/// How a deployment maps onto an internetwork: the FLIP [`Topology`]
+/// plus the placement of server columns and client machines on its
+/// segments. The default is the degenerate flat LAN.
+#[derive(Debug, Clone)]
+pub struct ClusterTopology {
+    /// The segment/router wiring.
+    pub topology: Topology,
+    /// `column_segments[i % len]` is where column `i` attaches (empty =
+    /// everything on segment 0).
+    pub column_segments: Vec<SegmentId>,
+    /// Where client machines attach.
+    pub client_segment: SegmentId,
+}
+
+impl ClusterTopology {
+    /// Everything on one Ethernet segment (the paper's testbed).
+    pub fn flat() -> ClusterTopology {
+        ClusterTopology {
+            topology: Topology::single(),
+            column_segments: Vec::new(),
+            client_segment: SegmentId(0),
+        }
+    }
+
+    /// Two segments joined by one router: column 0 (the group creator,
+    /// hence the sequencer) and the clients on `net-a`, every other
+    /// column on `net-b` — the smallest deployment where replication
+    /// traffic is store-and-forwarded.
+    pub fn two_segment_split() -> ClusterTopology {
+        ClusterTopology {
+            topology: Topology::two_segments(),
+            column_segments: vec![SegmentId(0), SegmentId(1)],
+            client_segment: SegmentId(0),
+        }
+    }
+
+    /// The segment column `i` attaches to.
+    pub fn column_segment(&self, i: usize) -> SegmentId {
+        if self.column_segments.is_empty() {
+            SegmentId(0)
+        } else {
+            self.column_segments[i % self.column_segments.len()]
+        }
+    }
+}
+
 /// Everything that parameterizes a deployment.
 #[derive(Debug, Clone)]
 pub struct ClusterParams {
@@ -59,6 +108,8 @@ pub struct ClusterParams {
     pub variant: Variant,
     /// Network model.
     pub net: NetParams,
+    /// Internetwork wiring and machine placement (flat by default).
+    pub net_topology: ClusterTopology,
     /// Disk model.
     pub disk: DiskParams,
     /// Directory server parameters.
@@ -69,6 +120,10 @@ pub struct ClusterParams {
     /// variants' columns (a second consumer of the same `amoeba-rsm`
     /// driver, forming its own group over the shared kernels).
     pub lock_service: bool,
+    /// Also run the replicated port-name registry on the group
+    /// variants' columns (the third `amoeba-rsm` consumer; lets routed
+    /// clients resolve service names to FLIP ports across segments).
+    pub registry_service: bool,
     /// Simulation seed for workload randomness.
     pub seed: u64,
 }
@@ -88,11 +143,22 @@ impl ClusterParams {
         ClusterParams {
             variant,
             net: NetParams::lan_10mbps(),
+            net_topology: ClusterTopology::flat(),
             disk: DiskParams::wren_iv(),
             dir,
             group: GroupConfig::with_resilience(variant.servers().saturating_sub(1) as u32),
             lock_service: false,
+            registry_service: false,
             seed: 0xD1_5C,
+        }
+    }
+
+    /// The paper's configuration spread over a routed two-segment
+    /// internetwork ([`ClusterTopology::two_segment_split`]).
+    pub fn routed(variant: Variant) -> ClusterParams {
+        ClusterParams {
+            net_topology: ClusterTopology::two_segment_split(),
+            ..Self::paper(variant)
         }
     }
 }
@@ -123,6 +189,9 @@ pub struct Column {
     /// The lock-service replica of the current incarnation (group
     /// variants with `lock_service` only).
     pub lock: Option<LockServer>,
+    /// The registry replica of the current incarnation (group variants
+    /// with `registry_service` only).
+    pub registry: Option<RegistryServer>,
 }
 
 impl std::fmt::Debug for Column {
@@ -162,12 +231,17 @@ const TABLE_BLOCKS: u64 = 64;
 impl Cluster {
     /// Builds and starts a deployment on `sim`.
     pub fn start(sim: &Simulation, params: ClusterParams) -> Cluster {
-        let net = Network::new(sim.handle(), params.net.clone(), params.seed);
+        let net = Network::with_topology(
+            sim.handle(),
+            params.net.clone(),
+            params.net_topology.topology.clone(),
+            params.seed,
+        );
         let n = params.variant.servers();
         let mut columns = Vec::with_capacity(n);
         for index in 0..n {
             let sim_node = sim.add_node(&format!("dir-column-{index}"));
-            let stack = net.attach();
+            let stack = net.attach_to(params.net_topology.column_segment(index));
             let host = stack.addr();
             let vdisk = VDisk::new(DISK_BLOCKS, BLOCK_SIZE);
             let bullet_store = BulletStore::new(
@@ -186,6 +260,7 @@ impl Cluster {
                 nvram,
                 server: None,
                 lock: None,
+                registry: None,
             };
             start_column(sim, &params, &mut column);
             columns.push(column);
@@ -213,7 +288,7 @@ impl Cluster {
         let id = self.next_client;
         self.next_client += 1;
         let sim_node = sim.add_node(&format!("client-{id}"));
-        let stack = self.net.attach();
+        let stack = self.net.attach_to(self.params.net_topology.client_segment);
         let rpc = RpcNode::start(sim, sim_node, stack);
         let cfg = ServiceConfig::new(self.params.variant.servers(), 0);
         let rpc_client = RpcClient::new(&rpc);
@@ -291,9 +366,32 @@ impl Cluster {
         let id = self.next_client;
         self.next_client += 1;
         let sim_node = sim.add_node(&format!("lock-client-{id}"));
-        let stack = self.net.attach();
+        let stack = self.net.attach_to(self.params.net_topology.client_segment);
         let rpc = RpcNode::start(sim, sim_node, stack);
         (LockClient::new(RpcClient::new(&rpc)), sim_node)
+    }
+
+    /// The registry replica of column `i`'s current incarnation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was started with
+    /// [`ClusterParams::registry_service`] on a group variant.
+    pub fn registry_server(&self, i: usize) -> &RegistryServer {
+        self.columns[i]
+            .registry
+            .as_ref()
+            .expect("column has no running registry server")
+    }
+
+    /// Creates a fresh client machine with a registry client.
+    pub fn registry_client(&mut self, sim: &Simulation) -> (RegistryClient, NodeId) {
+        let id = self.next_client;
+        self.next_client += 1;
+        let sim_node = sim.add_node(&format!("registry-client-{id}"));
+        let stack = self.net.attach_to(self.params.net_topology.client_segment);
+        let rpc = RpcNode::start(sim, sim_node, stack);
+        (RegistryClient::new(RpcClient::new(&rpc)), sim_node)
     }
 }
 
@@ -359,6 +457,19 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
                 column.lock = Some(start_lock_server(
                     spawner,
                     LockServerDeps {
+                        n,
+                        me: column.index,
+                        sim_node: column.sim_node,
+                        rpc: rpc.clone(),
+                        peer: peer.clone(),
+                        threads: 2,
+                    },
+                ));
+            }
+            if params.registry_service {
+                column.registry = Some(start_registry_server(
+                    spawner,
+                    RegistryServerDeps {
                         n,
                         me: column.index,
                         sim_node: column.sim_node,

@@ -3,10 +3,20 @@
 //! Holds the **configuration vector** (which servers were up in the last
 //! configuration this server belonged to, with a majority), the **sequence
 //! number** (only updated when a directory is deleted — the case where the
-//! update would otherwise leave no trace, §3), and the **recovering** flag
-//! (set while recovery is copying state; if found set at boot, the
-//! server's state may be inconsistent and its sequence number is treated
-//! as zero).
+//! update would otherwise leave no trace, §3), the **recovering** flag
+//! (set while a multi-object flush or a recovery copy is in progress),
+//! and the **epoch**: a generation counter that disambiguates *why* the
+//! flag was set. A guarded group-commit flush keeps the current epoch
+//! (> 0) while it runs and bumps it on completion; a recovery copy
+//! zeroes it. So at boot, `recovering && epoch == 0` means the state
+//! mixes two replicas' histories mid-install — worthless, §3's rule —
+//! while `recovering && epoch > 0` means the crash hit a flush of
+//! *committed, ordered* ops: each stored object's state is
+//! individually consistent, so the durable best-effort subset can be
+//! salvaged rather than voided, which is what saves the service from
+//! total data loss when every replica dies in the same flush window
+//! (at the cost of possibly losing the unstored remainder of that one
+//! batch — see `DirectoryStateMachine::boot`).
 
 use amoeba_disk::RawPartition;
 use amoeba_flip::wire::{WireReader, WireWriter};
@@ -22,6 +32,11 @@ pub struct CommitBlock {
     pub seqno: u64,
     /// Set while recovery is in progress.
     pub recovering: bool,
+    /// Flush-window generation: positive while this replica's state is
+    /// its own history (bumped after every guarded flush), zero from the
+    /// moment a recovery copy starts until the replica re-enters
+    /// service. See the module docs for the boot-time decision table.
+    pub epoch: u64,
 }
 
 const MAGIC: u32 = 0x4449_5243; // "DIRC"
@@ -34,6 +49,7 @@ impl CommitBlock {
             config: vec![true; n],
             seqno: 0,
             recovering: false,
+            epoch: 1,
         }
     }
 
@@ -47,6 +63,7 @@ impl CommitBlock {
         }
         w.u64(self.seqno);
         w.boolean(self.recovering);
+        w.u64(self.epoch);
         w.finish()
     }
 
@@ -67,10 +84,12 @@ impl CommitBlock {
         }
         let seqno = r.u64("seqno").ok()?;
         let recovering = r.boolean("recovering").ok()?;
+        let epoch = r.u64("epoch").ok()?;
         Some(CommitBlock {
             config,
             seqno,
             recovering,
+            epoch,
         })
     }
 
@@ -107,9 +126,17 @@ mod tests {
             config: vec![true, false, true],
             seqno: 99,
             recovering: true,
+            epoch: 17,
         };
         let bytes = cb.encode();
         assert_eq!(CommitBlock::decode(&bytes, 3), Some(cb));
+    }
+
+    #[test]
+    fn initial_epoch_is_positive() {
+        // Epoch 0 is reserved for "mid recovery copy"; a fresh server's
+        // clean state must never be mistaken for one.
+        assert_eq!(CommitBlock::initial(3).epoch, 1);
     }
 
     #[test]
@@ -130,6 +157,7 @@ mod tests {
             config: vec![true, false, false],
             seqno: 0,
             recovering: false,
+            epoch: 1,
         };
         assert_eq!(cb.mourned(), vec![1, 2]);
         assert!(CommitBlock::initial(3).mourned().is_empty());

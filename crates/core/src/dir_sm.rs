@@ -247,6 +247,14 @@ impl StateMachine for DirectoryStateMachine {
             let cb = {
                 let mut shared = applier.shared.lock();
                 shared.commit.recovering = false;
+                if guard {
+                    // Completing a guarded flush closes one generation:
+                    // the epoch stamp is what lets a future boot tell
+                    // "crashed inside a flush of committed ops"
+                    // (salvageable prefix) from "crashed copying a
+                    // peer's state" (worthless mixture).
+                    shared.commit.epoch += 1;
+                }
                 shared.commit.clone()
             };
             cb.write(&applier.partition, ctx);
@@ -272,11 +280,30 @@ impl StateMachine for DirectoryStateMachine {
         {
             let mut shared = applier.shared.lock();
             shared.table = table;
-            if commit.recovering {
-                // Crashed during a previous recovery's copy phase or a
-                // multi-object group-commit flush: state may mix old
-                // and new directories — worthless (§3).
+            if commit.recovering && commit.epoch == 0 {
+                // Crashed during a previous recovery's copy phase: the
+                // state may mix two replicas' histories — worthless
+                // (§3).
                 shared.update_seq = 0;
+            } else if commit.recovering {
+                // Crashed inside a guarded group-commit flush. Every op
+                // of that batch was globally ordered and accepted, and
+                // each object's durable state is individually
+                // consistent, so the disk holds a salvageable
+                // *best-effort subset*: the objects stored before the
+                // crash carry their post-batch state, the rest their
+                // pre-batch state. The claim is the highest seqno any
+                // stored directory carries (not the commit block's,
+                // which the guard write may have advanced past the
+                // unfinished drops). This deliberately over-claims
+                // sibling ops of the same window that were not yet
+                // stored — if every replica died in that window, the
+                // election's winner may lack an op another salvaged
+                // replica holds. That is the accepted price of
+                // disaster recovery: any salvage loses at most parts
+                // of the one in-flight batch, where the old rule
+                // (state worthless) lost the entire store.
+                shared.update_seq = table_seq;
             } else {
                 shared.update_seq = table_seq.max(commit.seqno);
             }
@@ -309,6 +336,10 @@ impl StateMachine for DirectoryStateMachine {
         let cb = {
             let mut shared = self.applier.shared.lock();
             shared.commit.recovering = true;
+            // Epoch 0 marks "state is being replaced by a peer's": a
+            // crash from here until enter_service leaves a mixture of
+            // two histories, which boot must treat as worthless.
+            shared.commit.epoch = 0;
             shared.commit.clone()
         };
         cb.write(&self.applier.partition, ctx);
@@ -416,6 +447,9 @@ impl StateMachine for DirectoryStateMachine {
             let mut shared = self.applier.shared.lock();
             shared.commit.config = config.to_vec();
             shared.commit.recovering = false;
+            // The state is whole again (own history or a completed
+            // copy): leave the copy-in-progress epoch.
+            shared.commit.epoch = shared.commit.epoch.max(1);
             shared.commit.clone()
         };
         cb.write(&self.applier.partition, ctx);

@@ -99,6 +99,7 @@ mod rights;
 mod server_group;
 mod server_lock;
 mod server_nfs;
+mod server_registry;
 mod server_rpc;
 mod state;
 
@@ -119,4 +120,8 @@ pub use server_lock::{
     LockStateMachine,
 };
 pub use server_nfs::{start_nfs_server, NfsDirServer, NfsServerDeps};
+pub use server_registry::{
+    start_registry_server, RegistryClient, RegistryError, RegistryReply, RegistryRequest,
+    RegistryServer, RegistryServerDeps, RegistryStateMachine, REGISTRY_PORT,
+};
 pub use server_rpc::{start_rpc_server, RpcDirServer, RpcServerDeps};

@@ -1,0 +1,545 @@
+//! A replicated port-name registry — the third consumer of the
+//! [`amoeba_rsm`] API: a [`StateMachine`] mapping service *names* to
+//! FLIP [`Port`]s, with **zero group-protocol code**.
+//!
+//! On an internetwork this is what lets a routed client find a service
+//! it has never heard of: ask the registry (itself located via the
+//! expanding-ring broadcast on its well-known port) for the service's
+//! port by name, then locate *that* port — which may live any number of
+//! segments away. Like the lock service the machine is fully volatile:
+//! ordering, majority rule, apply batching and recovery (peer-snapshot
+//! state transfer after a reboot) all come from the generic
+//! [`Replica`] driver, and the §3.2 improved recovery rule stands in
+//! for the durable configuration vector a diskless service cannot keep.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_flip::{Payload, Port};
+use amoeba_group::GroupPeer;
+use amoeba_rpc::{RpcClient, RpcError, RpcNode, RpcServer};
+use amoeba_rsm::{RecoveryInfo, Replica, ReplicaDeps, RsmConfig, RsmError, StateMachine};
+use amoeba_sim::{Ctx, NodeId, Spawn};
+use parking_lot::Mutex;
+
+/// The well-known public FLIP port of the registry service.
+pub const REGISTRY_PORT: Port = Port::from_raw(0x0052_4547); // "REG"
+
+/// Client-visible operations of the port-name registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryRequest {
+    /// Bind `name` to `port` (fails if bound to a different port).
+    Register {
+        /// Service name.
+        name: String,
+        /// The FLIP port the service listens on.
+        port: Port,
+    },
+    /// Remove the binding of `name`.
+    Unregister {
+        /// Service name.
+        name: String,
+    },
+    /// Read the port bound to `name` (a local read behind the read
+    /// barrier).
+    Lookup {
+        /// Service name.
+        name: String,
+    },
+}
+
+/// Replies of the port-name registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryReply {
+    /// The operation succeeded.
+    Ok,
+    /// The name is bound to this port.
+    Bound(Port),
+    /// The name is not bound.
+    Unbound,
+    /// Register refused: bound to this other port.
+    Conflict(Port),
+    /// Malformed request.
+    Malformed,
+    /// The replica is recovering or without a majority.
+    NoMajority,
+}
+
+const G_REGISTER: u8 = 1;
+const G_UNREGISTER: u8 = 2;
+const G_LOOKUP: u8 = 3;
+
+const P_OK: u8 = 1;
+const P_BOUND: u8 = 2;
+const P_UNBOUND: u8 = 3;
+const P_CONFLICT: u8 = 4;
+const P_MALFORMED: u8 = 5;
+const P_NO_MAJORITY: u8 = 6;
+
+impl RegistryRequest {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::new();
+        match self {
+            RegistryRequest::Register { name, port } => {
+                w.u8(G_REGISTER).string(name).u64(port.as_raw());
+            }
+            RegistryRequest::Unregister { name } => {
+                w.u8(G_UNREGISTER).string(name);
+            }
+            RegistryRequest::Lookup { name } => {
+                w.u8(G_LOOKUP).string(name);
+            }
+        }
+        w.finish_payload()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for malformed input.
+    pub fn decode(buf: &[u8]) -> Result<RegistryRequest, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let m = match r.u8("registry req tag")? {
+            G_REGISTER => RegistryRequest::Register {
+                name: r.string("service name")?,
+                port: Port::from_raw(r.u64("service port")?),
+            },
+            G_UNREGISTER => RegistryRequest::Unregister {
+                name: r.string("service name")?,
+            },
+            G_LOOKUP => RegistryRequest::Lookup {
+                name: r.string("service name")?,
+            },
+            _ => return Err(DecodeError::new("registry req tag")),
+        };
+        r.expect_end("registry req trailing")?;
+        Ok(m)
+    }
+}
+
+impl RegistryReply {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::new();
+        match self {
+            RegistryReply::Ok => {
+                w.u8(P_OK);
+            }
+            RegistryReply::Bound(p) => {
+                w.u8(P_BOUND).u64(p.as_raw());
+            }
+            RegistryReply::Unbound => {
+                w.u8(P_UNBOUND);
+            }
+            RegistryReply::Conflict(p) => {
+                w.u8(P_CONFLICT).u64(p.as_raw());
+            }
+            RegistryReply::Malformed => {
+                w.u8(P_MALFORMED);
+            }
+            RegistryReply::NoMajority => {
+                w.u8(P_NO_MAJORITY);
+            }
+        }
+        w.finish_payload()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for malformed input.
+    pub fn decode(buf: &[u8]) -> Result<RegistryReply, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let m = match r.u8("registry rep tag")? {
+            P_OK => RegistryReply::Ok,
+            P_BOUND => RegistryReply::Bound(Port::from_raw(r.u64("bound port")?)),
+            P_UNBOUND => RegistryReply::Unbound,
+            P_CONFLICT => RegistryReply::Conflict(Port::from_raw(r.u64("bound port")?)),
+            P_MALFORMED => RegistryReply::Malformed,
+            P_NO_MAJORITY => RegistryReply::NoMajority,
+            _ => return Err(DecodeError::new("registry rep tag")),
+        };
+        r.expect_end("registry rep trailing")?;
+        Ok(m)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The state machine.
+// ---------------------------------------------------------------------
+
+struct RegistryState {
+    /// service name → port.
+    bound: HashMap<String, Port>,
+    /// Logical version (one per applied op), for recovery's source
+    /// election.
+    update_seq: u64,
+    /// Applied cursor, kept in the same critical section as the state.
+    applied_seq: u64,
+}
+
+/// The replicated name→port table: a volatile, deterministic
+/// [`StateMachine`]. Durability comes entirely from replication — a
+/// rebooted replica recovers the table from a peer's snapshot.
+pub struct RegistryStateMachine {
+    n: usize,
+    state: Mutex<RegistryState>,
+}
+
+impl std::fmt::Debug for RegistryStateMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RegistryStateMachine")
+    }
+}
+
+impl RegistryStateMachine {
+    /// An empty registry for an `n`-replica service.
+    pub fn new(n: usize) -> RegistryStateMachine {
+        RegistryStateMachine {
+            n,
+            state: Mutex::new(RegistryState {
+                bound: HashMap::new(),
+                update_seq: 0,
+                applied_seq: 0,
+            }),
+        }
+    }
+
+    /// The port bound to `name` (serve only behind a read barrier).
+    pub fn bound_port(&self, name: &str) -> Option<Port> {
+        self.state.lock().bound.get(name).copied()
+    }
+
+    /// Number of bound names (diagnostics/tests).
+    pub fn bound_count(&self) -> usize {
+        self.state.lock().bound.len()
+    }
+}
+
+impl StateMachine for RegistryStateMachine {
+    fn apply(&self, _ctx: &Ctx, seq: u64, op: &Payload) -> Payload {
+        let mut st = self.state.lock();
+        st.applied_seq = st.applied_seq.max(seq);
+        st.update_seq += 1;
+        let reply = match RegistryRequest::decode(op) {
+            Ok(RegistryRequest::Register { name, port }) => match st.bound.get(&name) {
+                Some(existing) if *existing != port => RegistryReply::Conflict(*existing),
+                _ => {
+                    st.bound.insert(name, port);
+                    RegistryReply::Ok
+                }
+            },
+            Ok(RegistryRequest::Unregister { name }) => {
+                st.bound.remove(&name);
+                RegistryReply::Ok
+            }
+            _ => RegistryReply::Malformed, // lookups are never replicated
+        };
+        reply.encode()
+    }
+
+    fn recovery_info(&self) -> RecoveryInfo {
+        RecoveryInfo {
+            update_seq: self.state.lock().update_seq,
+            // Volatile state: we cannot know who crashed before us.
+            mourned: vec![false; self.n],
+        }
+    }
+
+    fn snapshot(&self, _ctx: &Ctx) -> (u64, Payload) {
+        let st = self.state.lock();
+        let mut names: Vec<&String> = st.bound.keys().collect();
+        names.sort_unstable(); // deterministic encoding
+        let mut w = WireWriter::new();
+        w.u64(st.update_seq).u32(names.len() as u32);
+        for name in names {
+            w.string(name).u64(st.bound[name].as_raw());
+        }
+        (st.applied_seq, w.finish_payload())
+    }
+
+    fn install(&self, _ctx: &Ctx, cursor: u64, snap: &Payload) -> bool {
+        let mut r = WireReader::of(snap);
+        let (update_seq, n) = match (r.u64("update seq"), r.u32("bindings")) {
+            (Ok(u), Ok(n)) if (n as usize) <= 1_000_000 => (u, n),
+            _ => return false,
+        };
+        let mut bound = HashMap::with_capacity(n as usize);
+        for _ in 0..n {
+            match (r.string("service name"), r.u64("service port")) {
+                (Ok(name), Ok(port)) => {
+                    bound.insert(name, Port::from_raw(port));
+                }
+                _ => return false,
+            }
+        }
+        let mut st = self.state.lock();
+        st.bound = bound;
+        st.update_seq = update_seq;
+        st.applied_seq = cursor;
+        true
+    }
+
+    fn align_cursor(&self, _ctx: &Ctx, cursor: u64) {
+        // A new instance's order restarts: set absolutely.
+        self.state.lock().applied_seq = cursor;
+    }
+
+    fn on_membership(&self, _ctx: &Ctx, seq: u64, _config: &[bool]) {
+        if seq > 0 {
+            let mut st = self.state.lock();
+            st.applied_seq = st.applied_seq.max(seq);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server wiring and client stub.
+// ---------------------------------------------------------------------
+
+/// Everything needed to start one registry replica — like the lock
+/// service, no disk, no Bullet, no NVRAM: replication is the only
+/// durability.
+pub struct RegistryServerDeps {
+    /// Total replicas.
+    pub n: usize,
+    /// This replica's index in `0..n`.
+    pub me: usize,
+    /// The machine this replica runs on.
+    pub sim_node: NodeId,
+    /// RPC kernel of the machine (shared with other services).
+    pub rpc: RpcNode,
+    /// Group kernel of the machine (shared with other services; the
+    /// registry group forms on its own port).
+    pub peer: GroupPeer,
+    /// Request threads to spawn.
+    pub threads: usize,
+}
+
+impl std::fmt::Debug for RegistryServerDeps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RegistryServerDeps(replica {})", self.me)
+    }
+}
+
+/// Handle to one running registry replica.
+#[derive(Clone, Debug)]
+pub struct RegistryServer {
+    replica: Replica<RegistryStateMachine>,
+}
+
+impl RegistryServer {
+    /// Whether the replica is serving.
+    pub fn is_normal(&self) -> bool {
+        self.replica.is_normal()
+    }
+
+    /// The replica's binding table (diagnostics/tests).
+    pub fn machine(&self) -> &Arc<RegistryStateMachine> {
+        self.replica.machine()
+    }
+}
+
+/// Starts one replica of the port-name registry.
+pub fn start_registry_server(spawner: &impl Spawn, deps: RegistryServerDeps) -> RegistryServer {
+    let RegistryServerDeps {
+        n,
+        me,
+        sim_node,
+        rpc,
+        peer,
+        threads,
+    } = deps;
+    let sm = Arc::new(RegistryStateMachine::new(n));
+    let mut cfg = RsmConfig::new("amoeba.registry", n, me);
+    // Same reasoning as the lock service: a volatile machine mourns no
+    // one, so only the §3.2 improved rule (a stayed-up replica with the
+    // highest version vouches for the missing) lets a diskless service
+    // recover from anything less than a full reassembly.
+    cfg.improved_recovery = true;
+    let replica = Replica::start(
+        spawner,
+        ReplicaDeps {
+            cfg,
+            sim_node,
+            rpc: rpc.clone(),
+            peer,
+            sm,
+        },
+    );
+    for t in 0..threads.max(1) {
+        let srv = RpcServer::new(&rpc, REGISTRY_PORT);
+        let replica = replica.clone();
+        spawner.spawn_boxed(
+            Some(sim_node),
+            &format!("reg{me}-srv{t}"),
+            Box::new(move |ctx| loop {
+                let incoming = srv.getreq(ctx);
+                let reply = match RegistryRequest::decode(&incoming.data) {
+                    Ok(RegistryRequest::Lookup { name }) => match replica.read_barrier(ctx) {
+                        Ok(()) => match replica.machine().bound_port(&name) {
+                            Some(port) => RegistryReply::Bound(port),
+                            None => RegistryReply::Unbound,
+                        },
+                        Err(_) => RegistryReply::NoMajority,
+                    },
+                    Ok(op) => match replica.submit(ctx, op.encode()) {
+                        Ok(bytes) => {
+                            RegistryReply::decode(&bytes).unwrap_or(RegistryReply::Malformed)
+                        }
+                        Err(RsmError::NotInService | RsmError::Aborted) => {
+                            RegistryReply::NoMajority
+                        }
+                        Err(RsmError::ResultLost) => RegistryReply::Malformed,
+                    },
+                    Err(_) => RegistryReply::Malformed,
+                };
+                srv.putrep(&incoming, reply.encode());
+            }),
+        );
+    }
+    RegistryServer { replica }
+}
+
+/// Errors surfaced by [`RegistryClient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is bound to a different port.
+    Conflict(Port),
+    /// The service has no majority (retry later).
+    NoMajority,
+    /// The service refused or mangled the request.
+    Service,
+    /// Transport failure.
+    Rpc(RpcError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Conflict(p) => write!(f, "name already bound to {p}"),
+            RegistryError::NoMajority => f.write_str("registry has no majority"),
+            RegistryError::Service => f.write_str("registry refused the request"),
+            RegistryError::Rpc(e) => write!(f, "registry transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Client stub for the port-name registry.
+#[derive(Clone, Debug)]
+pub struct RegistryClient {
+    rpc: RpcClient,
+}
+
+impl RegistryClient {
+    /// Creates a stub talking to the registry through `rpc` (the
+    /// registry itself is found by the locate broadcast on
+    /// [`REGISTRY_PORT`]).
+    pub fn new(rpc: RpcClient) -> RegistryClient {
+        RegistryClient { rpc }
+    }
+
+    fn call(&self, ctx: &Ctx, req: RegistryRequest) -> Result<RegistryReply, RegistryError> {
+        let bytes = self
+            .rpc
+            .trans(ctx, REGISTRY_PORT, req.encode())
+            .map_err(RegistryError::Rpc)?;
+        RegistryReply::decode(&bytes).map_err(|_| RegistryError::Service)
+    }
+
+    /// Binds `name` to `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Conflict`] if bound to a different port.
+    pub fn register(&self, ctx: &Ctx, name: &str, port: Port) -> Result<(), RegistryError> {
+        match self.call(
+            ctx,
+            RegistryRequest::Register {
+                name: name.to_owned(),
+                port,
+            },
+        )? {
+            RegistryReply::Ok => Ok(()),
+            RegistryReply::Conflict(p) => Err(RegistryError::Conflict(p)),
+            RegistryReply::NoMajority => Err(RegistryError::NoMajority),
+            _ => Err(RegistryError::Service),
+        }
+    }
+
+    /// Removes the binding of `name` (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NoMajority`] / transport errors.
+    pub fn unregister(&self, ctx: &Ctx, name: &str) -> Result<(), RegistryError> {
+        match self.call(
+            ctx,
+            RegistryRequest::Unregister {
+                name: name.to_owned(),
+            },
+        )? {
+            RegistryReply::Ok => Ok(()),
+            RegistryReply::NoMajority => Err(RegistryError::NoMajority),
+            _ => Err(RegistryError::Service),
+        }
+    }
+
+    /// The port bound to `name`, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Service`] / [`RegistryError::Rpc`] on failure.
+    pub fn lookup(&self, ctx: &Ctx, name: &str) -> Result<Option<Port>, RegistryError> {
+        match self.call(
+            ctx,
+            RegistryRequest::Lookup {
+                name: name.to_owned(),
+            },
+        )? {
+            RegistryReply::Bound(p) => Ok(Some(p)),
+            RegistryReply::Unbound => Ok(None),
+            RegistryReply::NoMajority => Err(RegistryError::NoMajority),
+            _ => Err(RegistryError::Service),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_and_replies_round_trip() {
+        let reqs = [
+            RegistryRequest::Register {
+                name: "svc/dir".into(),
+                port: Port::from_name("amoeba.dir"),
+            },
+            RegistryRequest::Unregister { name: "x".into() },
+            RegistryRequest::Lookup { name: "q".into() },
+        ];
+        for m in reqs {
+            assert_eq!(RegistryRequest::decode(&m.encode()).unwrap(), m);
+        }
+        let reps = [
+            RegistryReply::Ok,
+            RegistryReply::Bound(Port::from_raw(55)),
+            RegistryReply::Unbound,
+            RegistryReply::Conflict(Port::from_raw(9)),
+            RegistryReply::Malformed,
+            RegistryReply::NoMajority,
+        ];
+        for m in reps {
+            assert_eq!(RegistryReply::decode(&m.encode()).unwrap(), m);
+        }
+        assert!(RegistryRequest::decode(&[77]).is_err());
+        assert!(RegistryReply::decode(&[]).is_err());
+    }
+}

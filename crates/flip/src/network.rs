@@ -1,6 +1,43 @@
-//! The shared network medium: delivery, partitions, loss, host up/down.
+//! The network medium: segments, routers, delivery, partitions, loss,
+//! host up/down.
+//!
+//! A [`Network`] is built from a [`Topology`]: one or more segments
+//! (each an Ethernet with its own serialized wire) joined by
+//! store-and-forward routers. The degenerate single-segment topology is
+//! the default and behaves exactly like the pre-routing model.
+//!
+//! ## Forwarding invariants (what is charged where)
+//!
+//! * Every frame placed on a segment charges its transmitter's send CPU,
+//!   the segment's wire occupancy, and each local receiver's receive CPU
+//!   — identical to the flat model, per segment.
+//! * A router forwards a frame only after fully receiving it: the
+//!   forwarded copy becomes ready `recv_cpu + forward_cpu` after arrival
+//!   and then queues on the router's send CPU and the next segment's
+//!   wire like any other transmission. Idle per-hop cost is therefore
+//!   [`NetParams::latency`] + [`NetParams::hop_overhead`]; under load
+//!   each traversed resource adds real queueing ("router contention").
+//! * **Loop suppression**: a frame carries `(src, packet_id)` and a TTL.
+//!   A router never forwards a packet id again unless the new copy has
+//!   strictly more remaining TTL than any copy it already processed
+//!   (a shorter path's copy must not be shadowed by a longer path's —
+//!   see [`SeenCache`]), never forwards a frame back to the node it
+//!   came from, and decrements the TTL per traversal, refusing to
+//!   forward at TTL ≤ 1 (counted in [`NetStats::dropped_ttl`]).
+//!   Receivers additionally accept each packet id once, so redundant
+//!   paths (topology cycles) cannot cause duplicate delivery — only
+//!   the fault model's explicit `duplicate_probability` can, exactly
+//!   as on a flat network.
+//! * **Routing tables** are learned backward from traffic: every node
+//!   (host or router) that sees a frame which crossed at least one
+//!   router learns "its origin is reachable via the relay that put it on
+//!   my segment", with the accumulated hop count and segment weight;
+//!   lower (weight, hops) wins. Unicasts to an off-segment destination
+//!   follow these tables hop by hop; with no route yet they flood like a
+//!   broadcast (TTL-limited, duplicate-suppressed) and the reply teaches
+//!   the direct route — the locate-then-route pattern FLIP relies on.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use amoeba_sim::{MailboxTx, SimHandle, SimRng, SimTime};
@@ -11,9 +48,83 @@ use crate::packet::Packet;
 use crate::params::NetParams;
 use crate::port::Port;
 use crate::stack::NodeStack;
-use crate::stats::NetStats;
+use crate::stats::{NetStats, SegmentStats};
+use crate::topology::{SegmentId, Topology};
 
 pub(crate) type EndpointTable = Arc<Mutex<HashMap<Port, MailboxTx<Packet>>>>;
+
+/// Bound on remembered packet ids per node (FIFO eviction).
+const SEEN_CAP: usize = 8192;
+
+/// A bounded memory of packet ids already processed by one node, with
+/// the best (highest) remaining TTL seen for each.
+///
+/// Duplicate suppression must not be path-order-dependent: copies of
+/// one flooded packet reach a router over different paths with
+/// different remaining TTLs, and whichever copy happens to be
+/// processed first must not shadow a later copy that still has budget
+/// to reach segments the first could not. So a copy only counts as a
+/// duplicate if a copy with at least as much remaining TTL was already
+/// processed; re-floods this causes are bounded (the recorded TTL is
+/// strictly increasing, capped by the origin's TTL) and receivers
+/// still deliver exactly once.
+#[derive(Default)]
+struct SeenCache {
+    best: HashMap<(HostAddr, u64), u8>,
+    fifo: VecDeque<(HostAddr, u64)>,
+}
+
+impl SeenCache {
+    /// Records the id at `ttl`; returns true iff this copy should be
+    /// processed (first sighting, or more remaining TTL than any
+    /// before).
+    fn observe(&mut self, key: (HostAddr, u64), ttl: u8) -> bool {
+        match self.best.get_mut(&key) {
+            Some(best) if *best >= ttl => false,
+            Some(best) => {
+                *best = ttl;
+                true
+            }
+            None => {
+                if self.fifo.len() >= SEEN_CAP {
+                    if let Some(old) = self.fifo.pop_front() {
+                        self.best.remove(&old);
+                    }
+                }
+                self.best.insert(key, ttl);
+                self.fifo.push_back(key);
+                true
+            }
+        }
+    }
+}
+
+/// One learned route: how a node reaches `dst`.
+#[derive(Copy, Clone, Debug)]
+struct RouteEntry {
+    /// The neighbour on `segment` to hand the frame to (the destination
+    /// itself, or a router).
+    next_hop: HostAddr,
+    /// The attached segment to transmit on.
+    segment: SegmentId,
+    /// Router traversals to the destination.
+    hops: u8,
+    /// Accumulated segment weight of the path.
+    weight: u32,
+}
+
+struct SegmentState {
+    weight: u32,
+    params: Option<NetParams>,
+    /// When this segment's wire is free again (one frame at a time; a
+    /// multicast occupies it once, however many hosts listen).
+    wire_free: SimTime,
+}
+
+struct RouterState {
+    attached: Vec<SegmentId>,
+    seen: SeenCache,
+}
 
 struct NetInner {
     params: NetParams,
@@ -26,18 +137,26 @@ struct NetInner {
     rng: SimRng,
     stats: NetStats,
     next_host: u32,
-    /// Occupancy model: when each host's sending side is free again
-    /// (protocol-processing CPU serializes per host, paper §4.2).
+    next_packet_id: u64,
+    topology: Topology,
+    segments: Vec<SegmentState>,
+    /// Which segment each attached host (not router) lives on.
+    host_segment: HashMap<HostAddr, SegmentId>,
+    routers: BTreeMap<HostAddr, RouterState>,
+    /// Per-stack routing tables: node → (destination → route).
+    routes: HashMap<HostAddr, HashMap<HostAddr, RouteEntry>>,
+    /// Per-host receive-side duplicate suppression (multi-segment only).
+    seen_rx: HashMap<HostAddr, SeenCache>,
+    /// TTL stamped on packets whose sender left it unset.
+    default_ttl: u8,
+    /// Occupancy model: when each node's sending side is free again
+    /// (protocol-processing CPU serializes per node, paper §4.2).
     tx_free: HashMap<HostAddr, SimTime>,
-    /// When the shared ether is free again (one packet on the wire at a
-    /// time; a multicast occupies it once, however many hosts listen —
-    /// the hardware property the group protocol exploits).
-    wire_free: SimTime,
-    /// When each host's receiving side is free again.
+    /// When each node's receiving side is free again.
     rx_free: HashMap<HostAddr, SimTime>,
 }
 
-/// The simulated LAN that all hosts attach to.
+/// The simulated internetwork that all hosts attach to.
 ///
 /// Cloning is cheap; all clones refer to the same medium.
 ///
@@ -71,6 +190,8 @@ impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.lock();
         f.debug_struct("Network")
+            .field("segments", &inner.segments.len())
+            .field("routers", &inner.routers.len())
             .field("hosts", &inner.stacks.len())
             .field("down", &inner.down)
             .finish()
@@ -78,35 +199,111 @@ impl std::fmt::Debug for Network {
 }
 
 impl Network {
-    /// Creates a network medium on the given simulation.
+    /// Creates a single-segment network medium on the given simulation
+    /// (the degenerate topology: one Ethernet, no routers).
     pub fn new(handle: SimHandle, params: NetParams, seed: u64) -> Self {
-        Network {
-            inner: Arc::new(Mutex::new(NetInner {
-                params,
-                handle,
-                stacks: BTreeMap::new(),
-                groups: BTreeMap::new(),
-                partition: HashMap::new(),
-                down: BTreeSet::new(),
-                rng: SimRng::new(seed).fork(0xF11F),
-                stats: NetStats::default(),
-                next_host: 0,
-                tx_free: HashMap::new(),
+        Self::with_topology(handle, params, Topology::single(), seed)
+    }
+
+    /// Creates a network from an internetwork [`Topology`]. Router nodes
+    /// are materialized immediately (each gets a [`HostAddr`], usable
+    /// with [`set_down`](Network::set_down) to fail a router).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no segments.
+    pub fn with_topology(
+        handle: SimHandle,
+        params: NetParams,
+        topology: Topology,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !topology.segments().is_empty(),
+            "a network needs at least one segment"
+        );
+        let segments: Vec<SegmentState> = topology
+            .segments()
+            .iter()
+            .map(|s| SegmentState {
+                weight: s.weight,
+                params: s.params.clone(),
                 wire_free: SimTime::ZERO,
-                rx_free: HashMap::new(),
-            })),
+            })
+            .collect();
+        let seg_stats: Vec<SegmentStats> = topology
+            .segments()
+            .iter()
+            .map(|s| SegmentStats {
+                name: s.name.clone(),
+                ..Default::default()
+            })
+            .collect();
+        let default_ttl = topology.default_ttl();
+        let mut inner = NetInner {
+            params,
+            handle,
+            stacks: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            partition: HashMap::new(),
+            down: BTreeSet::new(),
+            rng: SimRng::new(seed).fork(0xF11F),
+            stats: NetStats {
+                segments: seg_stats,
+                ..Default::default()
+            },
+            next_host: 0,
+            next_packet_id: 0,
+            topology: topology.clone(),
+            segments,
+            host_segment: HashMap::new(),
+            routers: BTreeMap::new(),
+            routes: HashMap::new(),
+            seen_rx: HashMap::new(),
+            default_ttl,
+            tx_free: HashMap::new(),
+            rx_free: HashMap::new(),
+        };
+        for r in topology.routers() {
+            let addr = HostAddr(inner.next_host);
+            inner.next_host += 1;
+            inner.routers.insert(
+                addr,
+                RouterState {
+                    attached: r.attached.clone(),
+                    seen: SeenCache::default(),
+                },
+            );
+        }
+        Network {
+            inner: Arc::new(Mutex::new(inner)),
         }
     }
 
-    /// Attaches a new host and returns its protocol stack.
+    /// Attaches a new host to the first segment and returns its
+    /// protocol stack.
     pub fn attach(&self) -> NodeStack {
+        self.attach_to(SegmentId(0))
+    }
+
+    /// Attaches a new host to `segment` and returns its protocol stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment does not exist.
+    pub fn attach_to(&self, segment: SegmentId) -> NodeStack {
         let addr = {
             let mut inner = self.inner.lock();
+            assert!(
+                (segment.0 as usize) < inner.segments.len(),
+                "attach_to unknown {segment}"
+            );
             let addr = HostAddr(inner.next_host);
             inner.next_host += 1;
             inner
                 .stacks
                 .insert(addr, Arc::new(Mutex::new(HashMap::new())));
+            inner.host_segment.insert(addr, segment);
             addr
         };
         NodeStack::new(addr, self.clone())
@@ -114,11 +311,42 @@ impl Network {
 
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> NetStats {
-        self.inner.lock().stats
+        self.inner.lock().stats.clone()
     }
 
-    /// Marks a host down: endpoints and group memberships are cleared (its
-    /// NIC forgot everything) and deliveries to it are dropped.
+    /// The topology this network was built from.
+    pub fn topology(&self) -> Topology {
+        self.inner.lock().topology.clone()
+    }
+
+    /// The segment a host (or router) is attached to; a router's
+    /// "home" is its first attached segment.
+    pub fn segment_of(&self, host: HostAddr) -> Option<SegmentId> {
+        let inner = self.inner.lock();
+        inner.host_segment.get(&host).copied().or_else(|| {
+            inner
+                .routers
+                .get(&host)
+                .and_then(|r| r.attached.first().copied())
+        })
+    }
+
+    /// The TTL stamped on packets whose sender did not choose one:
+    /// topology diameter + 1, i.e. enough to reach every host.
+    pub fn max_hops(&self) -> u8 {
+        self.inner.lock().default_ttl
+    }
+
+    /// The router nodes' addresses, in creation order (use with
+    /// [`set_down`](Network::set_down) to fail a router).
+    pub fn router_addrs(&self) -> Vec<HostAddr> {
+        self.inner.lock().routers.keys().copied().collect()
+    }
+
+    /// Marks a host or router down. A host's endpoints and group
+    /// memberships are cleared (its NIC forgot everything) and
+    /// deliveries to it are dropped; a router stops forwarding and
+    /// forgets its routing table and duplicate-suppression memory.
     pub fn set_down(&self, host: HostAddr) {
         let mut inner = self.inner.lock();
         inner.down.insert(host);
@@ -131,10 +359,15 @@ impl Network {
         // The NIC forgets its queue along with everything else.
         inner.tx_free.remove(&host);
         inner.rx_free.remove(&host);
+        inner.routes.remove(&host);
+        inner.seen_rx.remove(&host);
+        if let Some(r) = inner.routers.get_mut(&host) {
+            r.seen = SeenCache::default();
+        }
     }
 
     /// Marks a host up again (it must re-bind its ports and re-join its
-    /// multicast groups).
+    /// multicast groups; a router resumes forwarding with cold tables).
     pub fn set_up(&self, host: HostAddr) {
         self.inner.lock().down.remove(&host);
     }
@@ -171,7 +404,9 @@ impl Network {
         self.inner.lock().partition.clear();
     }
 
-    /// Updates the fault model on the fly (loss, duplication, jitter...).
+    /// Updates the base fault model on the fly (loss, duplication,
+    /// jitter...). Per-segment overrides from the topology keep
+    /// precedence.
     pub fn set_params(&self, params: NetParams) {
         self.inner.lock().params = params;
     }
@@ -196,18 +431,9 @@ impl Network {
         self.inner.lock().stacks.get(&host).cloned()
     }
 
-    /// Core transmission path. Computes the target set, applies the
-    /// occupancy model (sender NIC → shared wire → receiver NIC, each a
-    /// serialized resource) and the fault model per target, and schedules
-    /// deliveries through the simulator.
-    ///
-    /// On an idle network a packet's end-to-end latency is exactly
-    /// [`NetParams::latency`]; under load, queueing at any of the three
-    /// resources adds to it. This is what makes packet *count* a real
-    /// cost: coalescing k messages into one packet saves k−1 sender-CPU
-    /// charges, k−1 header transmissions, and k−1 receiver-CPU charges
-    /// per receiver — the amortization the sequencer's accept batching
-    /// exploits.
+    /// Origin transmission path: stamps the routing header (packet id,
+    /// default TTL, link-level next hop from the sender's routing table)
+    /// and injects the frame on the sender's segment.
     pub(crate) fn transmit(&self, pkt: Packet) {
         let mut inner = self.inner.lock();
         let src = pkt.src;
@@ -216,62 +442,197 @@ impl Network {
             return;
         }
         let now = inner.handle.now();
-        inner.stats.packets_sent += 1;
-        inner.stats.bytes_sent += (pkt.payload.len() + inner.params.header_bytes) as u64;
-        let targets: Vec<HostAddr> = match pkt.dst {
-            Dest::Unicast(h) => {
-                inner.stats.unicast_sent += 1;
-                vec![h]
-            }
-            Dest::Multicast(g) => {
-                inner.stats.multicast_sent += 1;
-                inner
-                    .groups
-                    .get(&g)
-                    .map(|m| m.iter().copied().collect())
-                    .unwrap_or_default()
-            }
-            Dest::Broadcast => {
-                inner.stats.broadcast_sent += 1;
-                inner.stacks.keys().copied().collect()
-            }
+        let seg = match inner.host_segment.get(&src) {
+            Some(s) => *s,
+            None => return, // never attached
         };
-        // Sender-side protocol processing: one packet at a time per host.
-        let tx_start = inner
+        let mut pkt = pkt;
+        inner.next_packet_id += 1;
+        pkt.packet_id = inner.next_packet_id;
+        if pkt.ttl == 0 {
+            pkt.ttl = inner.default_ttl;
+        }
+        pkt.hops = 0;
+        pkt.relay = src;
+        pkt.link_dst = None;
+        pkt.path_weight = 0;
+        inner.stats.packets_sent += 1;
+        let header = inner.seg_params(seg).header_bytes;
+        inner.stats.bytes_sent += (pkt.payload.len() + header) as u64;
+        match pkt.dst {
+            Dest::Unicast(d) => {
+                inner.stats.unicast_sent += 1;
+                // Off-segment destination: hand the frame to the learned
+                // next-hop router; with no route yet it floods below.
+                if inner.host_segment.get(&d) != Some(&seg) {
+                    if let Some(e) = inner.route_lookup(src, d) {
+                        if e.segment == seg {
+                            pkt.link_dst = Some(e.next_hop);
+                        }
+                    }
+                }
+            }
+            Dest::Multicast(_) => inner.stats.multicast_sent += 1,
+            Dest::Broadcast => inner.stats.broadcast_sent += 1,
+        }
+        inner.transmit_frame(seg, pkt, now);
+    }
+
+    pub(crate) fn handle(&self) -> SimHandle {
+        self.inner.lock().handle.clone()
+    }
+}
+
+impl NetInner {
+    fn seg_params(&self, seg: SegmentId) -> &NetParams {
+        self.segments[seg.0 as usize]
+            .params
+            .as_ref()
+            .unwrap_or(&self.params)
+    }
+
+    /// Looks up `from`'s route to `dst`, pruning entries whose next hop
+    /// is down (the reply-path will re-teach a live one).
+    fn route_lookup(&mut self, from: HostAddr, dst: HostAddr) -> Option<RouteEntry> {
+        let e = *self.routes.get(&from)?.get(&dst)?;
+        if self.down.contains(&e.next_hop) {
+            if let Some(t) = self.routes.get_mut(&from) {
+                t.remove(&dst);
+            }
+            return None;
+        }
+        Some(e)
+    }
+
+    /// Backward learning: `who` saw a frame from `origin` that entered
+    /// its segment `seg` through `relay` after `hops` traversals.
+    /// Routers also learn zero-hop entries ("origin is on this attached
+    /// segment", next hop the origin itself), which is what lets them
+    /// direct unicasts instead of flooding; hosts need no route to
+    /// same-segment peers.
+    fn learn(&mut self, who: HostAddr, origin: HostAddr, seg: SegmentId, pkt: &Packet) {
+        if who == origin || (pkt.hops == 0 && !self.routers.contains_key(&who)) {
+            return;
+        }
+        let entry = RouteEntry {
+            next_hop: pkt.relay,
+            segment: seg,
+            hops: pkt.hops,
+            weight: pkt.path_weight,
+        };
+        let table = self.routes.entry(who).or_default();
+        match table.get(&origin) {
+            Some(old)
+                if (old.weight, old.hops) <= (entry.weight, entry.hops)
+                    && old.next_hop != entry.next_hop => {}
+            _ => {
+                table.insert(origin, entry);
+            }
+        }
+    }
+
+    /// Places one frame on `seg` no earlier than `ready`, applying the
+    /// occupancy model (transmitter CPU → segment wire → receiver CPU,
+    /// each a serialized resource) and the fault model per target, then
+    /// hands qualifying copies to the segment's routers (store-and-
+    /// forward). Recursion depth is bounded by the frame's TTL.
+    ///
+    /// On an idle network a packet's end-to-end latency is exactly
+    /// [`NetParams::latency`] plus [`NetParams::hop_overhead`] per
+    /// traversed router; under load, queueing at any resource adds to
+    /// it. This is what makes packet *count* a real cost: coalescing k
+    /// messages into one packet saves k−1 sender-CPU charges, k−1
+    /// header transmissions, and k−1 receiver-CPU charges per receiver
+    /// — the amortization the sequencer's accept batching exploits —
+    /// and every saved packet is also one fewer store-and-forward per
+    /// crossed segment.
+    fn transmit_frame(&mut self, seg: SegmentId, pkt: Packet, ready: SimTime) {
+        let multi = self.segments.len() > 1;
+        let mut pkt = pkt;
+        pkt.path_weight = pkt
+            .path_weight
+            .saturating_add(self.segments[seg.0 as usize].weight);
+        let params = self.seg_params(seg);
+        let send_cpu = params.send_cpu;
+        let recv_cpu = params.recv_cpu;
+        let propagation = params.propagation;
+        let forward_cpu = params.forward_cpu;
+        let loss = params.loss_probability;
+        let dup = params.duplicate_probability;
+        let jitter = params.jitter;
+        let wire_time = params.wire_time(pkt.payload.len());
+        let base_latency = params.latency(pkt.payload.len());
+        // Transmitter-side protocol processing: one frame at a time per
+        // node (origin host or forwarding router).
+        let relay = pkt.relay;
+        let tx_start = self
             .tx_free
-            .get(&src)
+            .get(&relay)
             .copied()
             .unwrap_or(SimTime::ZERO)
-            .max(now);
-        let tx_done = tx_start + inner.params.send_cpu;
-        inner.tx_free.insert(src, tx_done);
-        // The shared ether: one frame on the wire at a time; a multicast
-        // occupies it exactly once regardless of the receiver count.
-        let wire_time = inner.params.wire_time(pkt.payload.len());
-        let wire_start = inner.wire_free.max(tx_done);
+            .max(ready);
+        let tx_done = tx_start + send_cpu;
+        self.tx_free.insert(relay, tx_done);
+        // The segment's ether: one frame on the wire at a time; a
+        // multicast occupies it exactly once regardless of the receiver
+        // count.
+        let ss = &mut self.segments[seg.0 as usize];
+        let wire_start = ss.wire_free.max(tx_done);
         let wire_done = wire_start + wire_time;
-        inner.wire_free = wire_done;
-        inner.stats.wire_busy_nanos += wire_time.as_nanos() as u64;
-        let arrival = wire_done + inner.params.propagation;
-        let src_part = inner.partition.get(&src).copied().unwrap_or(0);
-        let base_latency = inner.params.latency(pkt.payload.len());
+        ss.wire_free = wire_done;
+        let wire_nanos = wire_time.as_nanos() as u64;
+        self.stats.wire_busy_nanos += wire_nanos;
+        let seg_stats = &mut self.stats.segments[seg.0 as usize];
+        seg_stats.wire_busy_nanos += wire_nanos;
+        seg_stats.frames += 1;
+        let arrival = wire_done + propagation;
+        let now = self.handle.now();
+        let src_part = self.partition.get(&pkt.src).copied().unwrap_or(0);
+
+        // ------------------------------------------------------------
+        // Local deliveries on this segment.
+        // ------------------------------------------------------------
+        let targets: Vec<HostAddr> = match pkt.dst {
+            Dest::Unicast(h) => {
+                if pkt.link_dst.is_none() && self.host_segment.get(&h) == Some(&seg) {
+                    vec![h]
+                } else {
+                    Vec::new() // in transit to (or through) a router
+                }
+            }
+            Dest::Multicast(g) => self
+                .groups
+                .get(&g)
+                .map(|m| {
+                    m.iter()
+                        .copied()
+                        .filter(|h| self.host_segment.get(h) == Some(&seg))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            Dest::Broadcast => self
+                .stacks
+                .keys()
+                .copied()
+                .filter(|h| self.host_segment.get(h) == Some(&seg))
+                .collect(),
+        };
         for t in targets {
-            if inner.down.contains(&t) {
-                inner.stats.dropped_down += 1;
+            if self.down.contains(&t) {
+                self.stats.dropped_down += 1;
                 continue;
             }
-            let t_part = inner.partition.get(&t).copied().unwrap_or(0);
+            let t_part = self.partition.get(&t).copied().unwrap_or(0);
             if t_part != src_part {
-                inner.stats.dropped_partition += 1;
+                self.stats.dropped_partition += 1;
                 continue;
             }
-            let loss = inner.params.loss_probability;
-            if inner.rng.chance(loss) {
-                inner.stats.dropped_loss += 1;
+            if self.rng.chance(loss) {
+                self.stats.dropped_loss += 1;
                 continue;
             }
             let tx = {
-                let table = match inner.stacks.get(&t) {
+                let table = match self.stacks.get(&t) {
                     Some(t) => Arc::clone(t),
                     None => continue,
                 };
@@ -281,37 +642,148 @@ impl Network {
             let tx = match tx {
                 Some(tx) => tx,
                 None => {
-                    inner.stats.dropped_no_listener += 1;
+                    self.stats.dropped_no_listener += 1;
                     continue;
                 }
             };
+            if multi {
+                self.learn(t, pkt.src, seg, &pkt);
+                // Receive-side duplicate suppression: redundant paths
+                // through a cyclic topology may carry a second copy;
+                // accept each packet id once. (The fault model's
+                // injected duplicates below are extra deliveries of an
+                // accepted copy and pass through untouched.)
+                if !self
+                    .seen_rx
+                    .entry(t)
+                    .or_default()
+                    .observe((pkt.src, pkt.packet_id), u8::MAX)
+                {
+                    self.stats.dup_suppressed += 1;
+                    continue;
+                }
+            }
             // Receiver-side protocol processing, serialized per host.
-            let rx_start = inner
+            let rx_start = self
                 .rx_free
                 .get(&t)
                 .copied()
                 .unwrap_or(SimTime::ZERO)
                 .max(arrival);
-            let rx_done = rx_start + inner.params.recv_cpu;
-            inner.rx_free.insert(t, rx_done);
+            let rx_done = rx_start + recv_cpu;
+            self.rx_free.insert(t, rx_done);
             // OS-scheduling jitter on top of the physical model.
-            let jitter = inner.params.jitter;
-            let extra = base_latency.mul_f64(inner.rng.next_f64() * jitter.max(0.0));
+            let extra = base_latency.mul_f64(self.rng.next_f64() * jitter.max(0.0));
             let deliver_at = rx_done + extra;
-            inner.stats.deliveries += 1;
+            self.stats.deliveries += 1;
             tx.send_after(deliver_at.saturating_since(now), pkt.clone());
-            let dup = inner.params.duplicate_probability;
-            if inner.rng.chance(dup) {
-                inner.stats.duplicated += 1;
+            if self.rng.chance(dup) {
+                self.stats.duplicated += 1;
                 tx.send_after(
                     (deliver_at + base_latency.mul_f64(0.5)).saturating_since(now),
                     pkt.clone(),
                 );
             }
         }
-    }
 
-    pub(crate) fn handle(&self) -> SimHandle {
-        self.inner.lock().handle.clone()
+        // ------------------------------------------------------------
+        // Store-and-forward through this segment's routers.
+        // ------------------------------------------------------------
+        if !multi {
+            return;
+        }
+        let routers_here: Vec<HostAddr> = self
+            .routers
+            .iter()
+            .filter(|(_, r)| r.attached.contains(&seg))
+            .map(|(a, _)| *a)
+            .collect();
+        for r_addr in routers_here {
+            if r_addr == pkt.relay || r_addr == pkt.src {
+                continue; // never bounce a frame back to its transmitter
+            }
+            if let Some(link) = pkt.link_dst {
+                if link != r_addr {
+                    continue; // link-addressed to a different router
+                }
+            }
+            if self.down.contains(&r_addr) {
+                if pkt.link_dst == Some(r_addr) {
+                    self.stats.dropped_down += 1;
+                }
+                continue;
+            }
+            // Routers learn from everything they see, even frames they
+            // end up suppressing.
+            self.learn(r_addr, pkt.src, seg, &pkt);
+            // For a link-addressed unicast the frame must move on; for
+            // flooded traffic, skip segments that don't lead anywhere
+            // new. Unknown unicasts flood like broadcasts.
+            let unicast_dst = match pkt.dst {
+                Dest::Unicast(d) => Some(d),
+                _ => None,
+            };
+            if let Some(d) = unicast_dst {
+                if self.host_segment.get(&d) == Some(&seg) {
+                    continue; // destination is local; nothing to forward
+                }
+            }
+            if pkt.ttl <= 1 {
+                self.stats.dropped_ttl += 1;
+                continue;
+            }
+            let already = !self
+                .routers
+                .get_mut(&r_addr)
+                .expect("router exists")
+                .seen
+                .observe((pkt.src, pkt.packet_id), pkt.ttl);
+            if already {
+                self.stats.dup_suppressed += 1;
+                continue;
+            }
+            // Pick the out segments: routed unicasts follow the table;
+            // everything else (and unknown unicasts) floods.
+            let attached = self.routers[&r_addr].attached.clone();
+            let mut outs: Vec<(SegmentId, Option<HostAddr>)> = Vec::new();
+            let mut routed = false;
+            if let Some(d) = unicast_dst {
+                if let Some(e) = self.route_lookup(r_addr, d) {
+                    if e.segment != seg && attached.contains(&e.segment) {
+                        outs.push((e.segment, Some(e.next_hop)));
+                        routed = true;
+                    }
+                }
+            }
+            if !routed {
+                outs.extend(attached.iter().filter(|s| **s != seg).map(|s| (*s, None)));
+            }
+            if outs.is_empty() {
+                continue;
+            }
+            // Store-and-forward: the router fully receives the frame,
+            // spends its forwarding CPU, then retransmits. Its receive
+            // and send sides are serialized like any host's — shared
+            // across all attached segments, which is exactly where
+            // router contention comes from.
+            let rx_start = self
+                .rx_free
+                .get(&r_addr)
+                .copied()
+                .unwrap_or(SimTime::ZERO)
+                .max(arrival);
+            let rx_done = rx_start + recv_cpu;
+            self.rx_free.insert(r_addr, rx_done);
+            let fwd_ready = rx_done + forward_cpu;
+            for (oseg, next_hop) in outs {
+                let mut fwd = pkt.clone();
+                fwd.ttl -= 1;
+                fwd.hops += 1;
+                fwd.relay = r_addr;
+                fwd.link_dst = next_hop.filter(|h| self.routers.contains_key(h));
+                self.stats.packets_forwarded += 1;
+                self.transmit_frame(oseg, fwd, fwd_ready);
+            }
+        }
     }
 }

@@ -29,6 +29,11 @@ pub struct NetParams {
     /// Multiplicative latency jitter: each delivery is scaled by a factor
     /// drawn uniformly from `[1, 1 + jitter]`.
     pub jitter: f64,
+    /// Store-and-forward processing a router spends per forwarded packet,
+    /// on top of the receive/send CPU charged on either side. Kernel-level
+    /// forwarding skips the full protocol stack, so this is cheaper than
+    /// `send_cpu`/`recv_cpu`.
+    pub forward_cpu: Duration,
 }
 
 impl NetParams {
@@ -43,6 +48,7 @@ impl NetParams {
             loss_probability: 0.0,
             duplicate_probability: 0.0,
             jitter: 0.03,
+            forward_cpu: Duration::from_micros(250),
         }
     }
 
@@ -67,6 +73,17 @@ impl NetParams {
     /// add queueing on top of this.
     pub fn latency(&self, payload_len: usize) -> Duration {
         self.send_cpu + self.wire_time(payload_len) + self.propagation + self.recv_cpu
+    }
+
+    /// Extra idle latency added by each store-and-forward router
+    /// traversal: the router fully receives the packet, processes it,
+    /// and retransmits it on the next segment.
+    pub fn hop_overhead(&self, payload_len: usize) -> Duration {
+        self.recv_cpu
+            + self.forward_cpu
+            + self.send_cpu
+            + self.wire_time(payload_len)
+            + self.propagation
     }
 }
 

@@ -7,6 +7,7 @@ use crate::bytes::Payload;
 use crate::network::Network;
 use crate::packet::Packet;
 use crate::port::Port;
+use crate::topology::SegmentId;
 
 /// A host's attachment to the network.
 ///
@@ -38,6 +39,18 @@ impl NodeStack {
     /// The network this stack is attached to.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The segment this host is attached to.
+    pub fn segment(&self) -> SegmentId {
+        self.net.segment_of(self.addr).unwrap_or(SegmentId(0))
+    }
+
+    /// The TTL that reaches every host of the internetwork (topology
+    /// diameter + 1); 1 on a flat single-segment network. The upper
+    /// bound of an expanding-ring locate.
+    pub fn max_hops(&self) -> u8 {
+        self.net.max_hops()
     }
 
     /// Binds `port`, returning the mailbox that receives its packets.
@@ -75,11 +88,27 @@ impl NodeStack {
         self.net.leave_group(self.addr, group);
     }
 
-    /// Transmits a packet to `dst`/`port`. Delivery is asynchronous and
-    /// subject to the network's fault model; there is no error reporting,
-    /// exactly like a real datagram network.
+    /// Transmits a packet to `dst`/`port` with the topology-default TTL
+    /// (reaches every host). Delivery is asynchronous and subject to the
+    /// network's fault model; there is no error reporting, exactly like
+    /// a real datagram network.
     pub fn send(&self, dst: impl Into<Dest>, port: Port, payload: impl Into<Payload>) {
         self.net
             .transmit(Packet::new(self.addr, dst.into(), port, payload));
+    }
+
+    /// Like [`send`](NodeStack::send) but with an explicit hop limit:
+    /// `ttl = 1` stays on the local segment, each additional unit allows
+    /// one more router traversal. The expanding-ring locate widens this
+    /// ring until a reply arrives.
+    pub fn send_with_ttl(
+        &self,
+        dst: impl Into<Dest>,
+        port: Port,
+        payload: impl Into<Payload>,
+        ttl: u8,
+    ) {
+        self.net
+            .transmit(Packet::new(self.addr, dst.into(), port, payload).with_ttl(ttl.max(1)));
     }
 }

@@ -121,7 +121,12 @@ impl RpcClient {
         }
     }
 
-    /// Broadcasts a locate and waits for the first HEREIS.
+    /// Expanding-ring locate: broadcasts with a growing hop limit
+    /// (local segment first, then 2, 4, ... router hops up to the
+    /// topology diameter) and takes the first HEREIS. Nearby servers
+    /// answer without the broadcast ever crossing a router; remote ones
+    /// are found without storming every segment on every locate. On a
+    /// flat network this is exactly one full broadcast, as before.
     fn locate(&self, ctx: &Ctx, service: Port) -> Option<HostAddr> {
         // Dither to avoid lockstep among competing clients.
         let jitter_nanos = self.params.relocate_jitter.as_nanos() as u64;
@@ -129,19 +134,27 @@ impl RpcClient {
             let d = ctx.with_rng(|r| r.next_below(jitter_nanos));
             ctx.sleep(Duration::from_nanos(d));
         }
-        let (lid, rx) = self.node.register_locate();
-        self.node.stack().send(
-            Dest::Broadcast,
-            RPC_PORT,
-            RpcMsg::Locate {
-                service,
-                client: self.node.addr(),
-                locate_id: lid,
+        let max = self.node.stack().max_hops();
+        let mut ttl = 1u8;
+        loop {
+            let (lid, rx) = self.node.register_locate();
+            self.node.stack().send_with_ttl(
+                Dest::Broadcast,
+                RPC_PORT,
+                RpcMsg::Locate {
+                    service,
+                    client: self.node.addr(),
+                    locate_id: lid,
+                }
+                .encode(),
+                ttl,
+            );
+            let r = rx.recv_timeout(ctx, self.params.locate_timeout);
+            self.node.unregister_locate(lid);
+            if r.is_some() || ttl >= max {
+                return r;
             }
-            .encode(),
-        );
-        let r = rx.recv_timeout(ctx, self.params.locate_timeout);
-        self.node.unregister_locate(lid);
-        r
+            ttl = ttl.saturating_mul(2).min(max);
+        }
     }
 }

@@ -206,3 +206,76 @@ fn concurrent_clients_all_complete() {
         assert_eq!(o.take(), Some(20));
     }
 }
+
+#[test]
+fn expanding_ring_locate_finds_servers_across_segments() {
+    use amoeba_flip::{SegmentId, Topology};
+    // Client on net-a, the only server on net-c of a 3-segment chain:
+    // the ring must widen past two routers before the locate succeeds,
+    // and the subsequent request/reply unicasts are routed.
+    let mut sim = Simulation::new(0x51E6);
+    let net = Network::with_topology(
+        sim.handle(),
+        NetParams::lan_10mbps(),
+        Topology::chain(3),
+        0x51E6,
+    );
+    let service = Port::from_name("far-echo");
+    let s_node = sim.add_node("server");
+    let s_stack = net.attach_to(SegmentId(2));
+    let s = Host {
+        node: RpcNode::start(&sim, s_node, s_stack.clone()),
+        sim_node: s_node,
+        stack: s_stack,
+    };
+    echo_server(&sim, &s, service);
+    let c_node = sim.add_node("client");
+    let c_stack = net.attach_to(SegmentId(0));
+    let c = RpcClient::new(&RpcNode::start(&sim, c_node, c_stack));
+    let out = sim.spawn("client", move |ctx| {
+        c.trans(ctx, service, vec![1, 2, 3])
+            .ok()
+            .map(|p| p.to_vec())
+    });
+    sim.run_for(Duration::from_secs(10));
+    assert_eq!(out.take(), Some(Some(vec![3, 2, 1])));
+    let st = net.stats();
+    assert!(
+        st.packets_forwarded >= 4,
+        "locate + HEREIS + request + reply all cross two routers (saw {})",
+        st.packets_forwarded
+    );
+    // The TTL-1 first ring died at the first router and was counted.
+    assert!(st.dropped_ttl > 0, "the narrow rings must expire en route");
+}
+
+#[test]
+fn locate_on_unreachable_segment_fails_cleanly() {
+    use amoeba_flip::{SegmentId, Topology};
+    // Two segments with NO router: the server is unreachable and trans
+    // must give up with Unreachable instead of hanging.
+    let mut topo = Topology::new();
+    topo.add_segment("a");
+    topo.add_segment("b");
+    let mut sim = Simulation::new(0x0FF);
+    let net = Network::with_topology(sim.handle(), NetParams::lan_10mbps(), topo, 1);
+    let service = Port::from_name("island");
+    let s_node = sim.add_node("server");
+    let s_stack = net.attach_to(SegmentId(1));
+    let s = Host {
+        node: RpcNode::start(&sim, s_node, s_stack.clone()),
+        sim_node: s_node,
+        stack: s_stack,
+    };
+    echo_server(&sim, &s, service);
+    let c_node = sim.add_node("client");
+    let c_stack = net.attach_to(SegmentId(0));
+    let params = amoeba_rpc::RpcParams {
+        max_attempts: 5,
+        ..Default::default()
+    };
+    let c = RpcClient::with_params(&RpcNode::start(&sim, c_node, c_stack), params);
+    let out = sim.spawn("client", move |ctx| c.trans(ctx, service, vec![9]).is_err());
+    sim.run_for(Duration::from_secs(30));
+    assert_eq!(out.take(), Some(true), "unreachable service must error");
+}

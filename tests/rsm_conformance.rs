@@ -501,3 +501,124 @@ fn crash_during_batched_apply_loses_no_acknowledged_update() {
     assert_eq!(s0, s1, "recovered replica diverged");
     assert_eq!(s0, s2, "replicas diverged");
 }
+
+/// The commit-block epoch distinguishes the two reasons the
+/// `recovering` guard can be found set at boot. Crash inside a guarded
+/// *flush* (epoch > 0): every op of the batch was globally committed,
+/// so the durable per-object prefix is salvaged — `update_seq` claims
+/// the highest stored seqno instead of zero, and if every replica died
+/// in the same flush window the service resumes from the best prefix
+/// rather than losing everything. Crash inside a recovery *copy*
+/// (epoch forced to 0 by `begin_copy`): the state may mix two
+/// replicas' histories and stays worthless, exactly as before.
+#[test]
+fn crash_mid_flush_salvages_prefix_but_mid_copy_stays_worthless() {
+    let mut sim = Simulation::new(0xE70C);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 0xE70C);
+    let col = dir_column(&sim, &net, 0, DiskParams::wren_iv(), DirParams::default());
+    let sm = Arc::clone(&col.sm);
+    let sm2 = Arc::clone(&col.sm);
+    // Seed two directories, each with rows, through a guarded
+    // multi-object flush: a consistent durable base.
+    let seeded = sim.spawn("seed", move |ctx| {
+        for (i, op) in dir_ops_batch1().iter().enumerate() {
+            let _ = sm.apply(ctx, 1 + i as u64, op);
+        }
+        sm.flush(ctx);
+        sm.update_seq()
+    });
+    sim.run_for(Duration::from_secs(30));
+    let base_seq = seeded.take().expect("seeding finished");
+    assert!(base_seq > 0);
+
+    // A multi-object batch, then crash the machine mid-flush (same
+    // timing as crash_mid_multi_object_flush_voids_local_state: the
+    // guard write lands, the batch does not complete).
+    let port = ServiceConfig::new(3, 0).public_port;
+    sim.spawn_on(col.node, "mutator", move |ctx| {
+        let ops = [
+            DirOp::Append {
+                object: 1,
+                name: "mid1".into(),
+                cap: Capability::owner(port, 1, 0xC1 | 1),
+                col_rights: vec![Rights::ALL],
+            }
+            .encode(),
+            DirOp::Append {
+                object: 2,
+                name: "mid2".into(),
+                cap: Capability::owner(port, 2, 0xC2 | 1),
+                col_rights: vec![Rights::ALL, Rights::NONE],
+            }
+            .encode(),
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let _ = sm2.apply(ctx, 100 + i as u64, op);
+        }
+        sm2.flush(ctx); // dies mid-way when the node crashes
+    });
+    sim.run_for(Duration::from_millis(80));
+    sim.crash_node(col.node);
+    sim.run_for(Duration::from_millis(50));
+
+    // Reboot over the surviving platters.
+    sim.revive_node(col.node);
+    let disk = DiskServer::start(&sim, col.node, col.vdisk.clone(), DiskParams::instant());
+    let partition = RawPartition::new(disk, 0, TABLE_BLOCKS);
+    let cfg = ServiceConfig::new(3, 0);
+    let cpu = Resource::new(sim.handle(), "probe-cpu");
+    let rpc = RpcNode::start(&sim, col.node, net.attach());
+    let bullet = BulletClient::new(RpcClient::new(&rpc), cfg.bullet_port(0));
+    let probe = Arc::new(DirectoryStateMachine::standalone(
+        cfg.clone(),
+        DirParams::default(),
+        bullet.clone(),
+        partition.clone(),
+        None,
+        cpu.clone(),
+    ));
+    let p1 = Arc::clone(&probe);
+    let part2 = partition.clone();
+    let salvaged = sim.spawn("probe-flush-crash", move |ctx| {
+        use amoeba_dirsvc::dir::CommitBlock;
+        let commit = CommitBlock::read(&part2, ctx, 3).expect("commit block readable");
+        assert!(commit.recovering, "the flush guard must be on disk");
+        assert!(commit.epoch > 0, "a flush guard keeps the epoch");
+        p1.boot(ctx);
+        p1.update_seq()
+    });
+    sim.run_for(Duration::from_secs(20));
+    let salvaged_seq = salvaged.take().expect("salvage probe finished");
+    // Batch 1's final op fails deterministically (consumes a logical
+    // seq, stores nothing), so the durable pre-batch prefix claims
+    // base_seq − 1 — which the salvage must reach instead of zero.
+    assert!(
+        salvaged_seq >= base_seq - 1 && salvaged_seq > 0,
+        "crash mid-flush must salvage the pre-batch prefix \
+         (salvaged {salvaged_seq}, durable base {})",
+        base_seq - 1
+    );
+
+    // Now simulate a crash mid recovery copy over the same storage:
+    // begin_copy zeroes the epoch; a machine booting from that state
+    // must claim nothing.
+    let p2 = Arc::new(DirectoryStateMachine::standalone(
+        cfg,
+        DirParams::default(),
+        bullet,
+        partition,
+        None,
+        cpu,
+    ));
+    let worthless = sim.spawn("probe-copy-crash", move |ctx| {
+        probe.begin_copy(ctx); // writes recovering=true, epoch=0
+        p2.boot(ctx);
+        p2.update_seq()
+    });
+    sim.run_for(Duration::from_secs(20));
+    assert_eq!(
+        worthless.take(),
+        Some(0),
+        "crash mid recovery copy must stay worthless (§3 rule)"
+    );
+}
