@@ -22,8 +22,17 @@
 //! `packets_forwarded` and per-segment wire utilization in the
 //! `network` section — the numbers future routing PRs diff against.
 //!
+//! A fifth, `<label>+shards`, A/Bs the directory service sharded 1, 2
+//! and 4 ways (flat, and with each shard's columns on their own segment
+//! of a star internetwork), and — on the routed placement — multicast
+//! pruning against TTL flooding: updates/s, `packets_forwarded` and
+//! forwards per append.
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
-//! (append `--internetwork-only` to refresh just the internetwork run).
+//! (append `--internetwork-only` / `--shards-only` to refresh just that
+//! run). The `ci-smoke` label runs a seconds-long subset with tiny
+//! iteration counts against a scratch output file and asserts the
+//! emitted JSON is valid — the CI guard against bench bit-rot.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -39,6 +48,7 @@ const N_CLIENTS: usize = 5;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let inet_only = args.iter().any(|a| a == "--internetwork-only");
+    let shards_only = args.iter().any(|a| a == "--shards-only");
     let mut pos = args.iter().filter(|a| !a.starts_with("--"));
     let label = pos
         .next()
@@ -48,10 +58,20 @@ fn main() {
         .next()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
+    if label == "ci-smoke" {
+        ci_smoke();
+        return;
+    }
     if inet_only {
         let inet = internetwork_run(&label);
         append_run(&out_path, "pipeline", &inet).expect("write BENCH_pipeline.json");
         println!("appended internetwork run to {}", out_path.display());
+        return;
+    }
+    if shards_only {
+        let shards = shards_run(&label);
+        append_run(&out_path, "pipeline", &shards).expect("write BENCH_pipeline.json");
+        println!("appended shards run to {}", out_path.display());
         return;
     }
     println!("pipeline bench — run '{label}'");
@@ -98,7 +118,142 @@ fn main() {
     // A/B three: flat LAN vs two-segment routed internetwork.
     let inet = internetwork_run(&label);
     append_run(&out_path, "pipeline", &inet).expect("write BENCH_pipeline.json");
+
+    // A/B four: directory sharding (1/2/4 groups) and multicast
+    // pruning vs flooding on the routed shard placement.
+    let shards = shards_run(&label);
+    append_run(&out_path, "pipeline", &shards).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
+}
+
+/// The sharding A/B: update-burst throughput at 1, 2 and 4 shards on a
+/// flat LAN; then the 4-shard deployment with each shard on its own
+/// segment of a star internetwork, once with the routers' multicast
+/// pruning (the default) and once with TTL flooding — same member
+/// count, so the forwards-per-append delta is pruning alone.
+fn shards_run(label: &str) -> RunSummary {
+    use amoeba_bench::sharded_update_burst;
+    const N_WRITERS: usize = 12;
+    let warmup = Duration::from_secs(1);
+    let window = Duration::from_secs(8);
+    let mut run = RunSummary {
+        label: format!("{label}+shards"),
+        ..Default::default()
+    };
+    for shards in [1usize, 2, 4] {
+        let r = sharded_update_burst(shards, false, true, N_WRITERS, warmup, window, 0x5A4D);
+        println!(
+            "  shards/flat/{shards}: {:.1} appends/s at {N_WRITERS} writers",
+            r.ops_per_sec
+        );
+        run.variants.push(VariantSummary {
+            variant: format!("Group(3)/update-burst/shards={shards}/flat"),
+            n_clients: N_WRITERS,
+            lookup_ops_per_sec: f64::NAN,
+            update_ops_per_sec: r.ops_per_sec,
+            lookup_latency_ms: f64::NAN,
+            update_latency_ms: f64::NAN,
+        });
+    }
+    for pruning in [true, false] {
+        let tag = if pruning { "pruned" } else { "flooded" };
+        let r = sharded_update_burst(4, true, pruning, N_WRITERS, warmup, window, 0x5A4D);
+        println!(
+            "  shards/routed4/{tag}: {:.1} appends/s, {} forwarded ({:.2}/append), {} pruned",
+            r.ops_per_sec, r.packets_forwarded, r.forwarded_per_op, r.mcast_pruned
+        );
+        run.variants.push(VariantSummary {
+            variant: format!("Group(3)/update-burst/shards=4/routed-star/{tag}"),
+            n_clients: N_WRITERS,
+            lookup_ops_per_sec: f64::NAN,
+            update_ops_per_sec: r.ops_per_sec,
+            lookup_latency_ms: f64::NAN,
+            update_latency_ms: f64::NAN,
+        });
+        run.network.push((
+            format!("shards/routed4/{tag}/packets_forwarded"),
+            r.packets_forwarded as f64,
+        ));
+        run.network.push((
+            format!("shards/routed4/{tag}/forwarded_per_append"),
+            r.forwarded_per_op,
+        ));
+        run.network.push((
+            format!("shards/routed4/{tag}/mcast_pruned"),
+            r.mcast_pruned as f64,
+        ));
+    }
+    run
+}
+
+/// Seconds-long CI guard: runs one tiny point of each harness family
+/// against a scratch output file and asserts the emitted JSON has the
+/// writer's shape — catches bench bit-rot before a perf PR needs the
+/// full run.
+fn ci_smoke() {
+    use amoeba_bench::group_pipeline::group_send_throughput;
+    use amoeba_bench::sharded_update_burst;
+
+    println!("pipeline bench — ci-smoke");
+    let mut run = RunSummary {
+        label: "ci-smoke".to_owned(),
+        ..Default::default()
+    };
+    // Group layer: one small flat point.
+    let g = group_send_throughput(16, 3, 1, 64, 0, 0xC1);
+    assert!(
+        g.msgs_per_sec > 0.0,
+        "group-layer smoke run must deliver messages"
+    );
+    run.group_pipeline.push((
+        "ci-smoke/members=3/senders=1/batch=16".to_owned(),
+        g.msgs_per_sec,
+        g.packets_per_msg,
+    ));
+    // Sharded service: a tiny 2-shard burst (short window, few writers).
+    let r = sharded_update_burst(
+        2,
+        false,
+        true,
+        2,
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        0xC1,
+    );
+    assert!(
+        r.ops_per_sec > 0.0,
+        "sharded update-burst smoke run must complete appends"
+    );
+    run.variants.push(VariantSummary {
+        variant: "ci-smoke/update-burst/shards=2".to_owned(),
+        n_clients: 2,
+        lookup_ops_per_sec: f64::NAN,
+        update_ops_per_sec: r.ops_per_sec,
+        lookup_latency_ms: f64::NAN,
+        update_latency_ms: f64::NAN,
+    });
+    run.micro = micro_points();
+    // Emit to a scratch file and verify the JSON shape end to end
+    // (append twice: creation and the splice-before-footer path).
+    let path = std::env::temp_dir().join(format!("BENCH_ci_smoke_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    append_run(&path, "pipeline", &run).expect("ci-smoke: write json");
+    append_run(&path, "pipeline", &run).expect("ci-smoke: append json");
+    let text = std::fs::read_to_string(&path).expect("ci-smoke: read back");
+    assert!(
+        text.starts_with("{\n  \"bench\": \"pipeline\"") && text.ends_with("\n  ]\n}\n"),
+        "ci-smoke: unexpected JSON shape"
+    );
+    assert_eq!(
+        text.matches("\"label\": \"ci-smoke\"").count(),
+        2,
+        "ci-smoke: both runs must be present"
+    );
+    std::fs::remove_file(&path).expect("ci-smoke: cleanup");
+    println!(
+        "ci-smoke ok: group {:.0} msgs/s, 2-shard burst {:.1} appends/s, json shape valid",
+        g.msgs_per_sec, r.ops_per_sec
+    );
 }
 
 /// The flat-vs-routed internetwork A/B: the same group-layer workload

@@ -152,6 +152,100 @@ where
     counter.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
 }
 
+/// Result of one sharded update-burst run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBurstResult {
+    /// Completed appends per simulated second over the window.
+    pub ops_per_sec: f64,
+    /// Router store-and-forwards during the window (0 on a flat LAN).
+    pub packets_forwarded: u64,
+    /// Multicast forwards the routers pruned during the window.
+    pub mcast_pruned: u64,
+    /// Store-and-forwards per completed append.
+    pub forwarded_per_op: f64,
+}
+
+/// The sharded update-burst harness: a Group(3) deployment split into
+/// `shards` replica groups (flat LAN, or each shard on its own segment
+/// of a star internetwork when `routed`), `n_writers` closed-loop
+/// writers each appending unique rows to **its own directory** —
+/// directories land round-robin across the shards, so every shard's
+/// sequencer and disks carry `1/shards` of the load. `pruning` toggles
+/// the routers' multicast pruning (ignored on the flat LAN, which has
+/// no routers).
+pub fn sharded_update_burst(
+    shards: usize,
+    routed: bool,
+    pruning: bool,
+    n_writers: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+) -> ShardBurstResult {
+    use amoeba_dir_core::cluster::ClusterTopology;
+    use amoeba_dir_core::{DirClientError, DirError};
+
+    let mut tb = testbed_with(Variant::Group, seed, |p| {
+        p.shards = shards;
+        if routed {
+            p.net_topology = ClusterTopology::shard_star(shards);
+        }
+    });
+    tb.cluster.net.set_multicast_pruning(pruning);
+
+    // One directory per writer, placed round-robin across the shards.
+    let client = tb.client.clone();
+    let made = tb.sim.spawn("burst-dirs", move |ctx| {
+        let mut dirs = Vec::new();
+        for _ in 0..n_writers {
+            loop {
+                match client.create_dir(ctx, &["owner", "other"]) {
+                    Ok(cap) => {
+                        dirs.push(cap);
+                        break;
+                    }
+                    Err(_) => ctx.sleep(Duration::from_millis(100)),
+                }
+            }
+        }
+        dirs
+    });
+    tb.sim.run_for(Duration::from_secs(30));
+    let dirs = Arc::new(made.take().expect("burst directories created"));
+
+    let before = tb.cluster.net.stats();
+    let ops_per_sec = throughput(
+        &mut tb,
+        n_writers,
+        warmup,
+        window,
+        move |ctx, client, _root, c, k| {
+            let dir = dirs[c % dirs.len()];
+            let name = format!("b{c}-{k}");
+            for _ in 0..6 {
+                match client.append_row(ctx, dir, &name, dir, vec![Rights::ALL, Rights::NONE]) {
+                    Ok(()) => return true,
+                    Err(DirClientError::Service(DirError::DuplicateName)) => return true,
+                    Err(_) => ctx.sleep(Duration::from_millis(10)),
+                }
+            }
+            false
+        },
+    );
+    let d = tb.cluster.net.stats().since(&before);
+    let total_ops = ops_per_sec * window.as_secs_f64();
+    ShardBurstResult {
+        ops_per_sec,
+        packets_forwarded: d.packets_forwarded,
+        mcast_pruned: d.mcast_pruned,
+        forwarded_per_op: if total_ops > 0.0 {
+            d.packets_forwarded as f64 / total_ops
+        } else {
+            f64::NAN
+        },
+    }
+}
+
 /// Formats a paper-vs-measured table row.
 pub fn row(label: &str, paper: &str, measured: f64, unit: &str) -> String {
     format!("{label:<28} {paper:>12} {measured:>12.1} {unit}")

@@ -1,4 +1,20 @@
-//! The client library: typed wrappers over the Fig. 2 operations.
+//! The client library: typed wrappers over the Fig. 2 operations, plus
+//! the shard-routing layer.
+//!
+//! A [`DirClient`] talks either to a single service port (the classic
+//! unsharded deployment, [`DirClient::new`]) or to a sharded deployment
+//! ([`DirClient::sharded`]), in which case every operation is routed by
+//! the [`ShardMap`]: ops on an existing directory go to the shard burned
+//! into its capability's port, fresh root creates are placed
+//! round-robin, and the cross-shard operations
+//! ([`create_in`](DirClient::create_in) /
+//! [`delete_from`](DirClient::delete_from)) run the deterministic
+//! two-step protocol described in the [`crate::shard`] module docs.
+//! With one shard the routed client is indistinguishable from the
+//! classic one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use amoeba_flip::Port;
 use amoeba_rpc::{RpcClient, RpcError};
@@ -7,6 +23,7 @@ use amoeba_sim::Ctx;
 use crate::capability::Capability;
 use crate::ops::{DirError, DirReply, DirRequest};
 use crate::rights::Rights;
+use crate::shard::ShardMap;
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,33 +70,110 @@ pub struct Listing {
     pub rows: Vec<(String, Capability, Vec<Rights>)>,
 }
 
+/// How requests map onto service ports.
+#[derive(Debug)]
+enum Route {
+    /// Everything to one fixed port (unsharded, or a custom service).
+    Single(Port),
+    /// Per-shard ports through the shard map.
+    Sharded(ShardMap),
+}
+
 /// A typed client for the directory service (any implementation).
 #[derive(Debug, Clone)]
 pub struct DirClient {
     rpc: RpcClient,
-    service: Port,
+    route: Arc<Route>,
+    /// Round-robin cursor for placing fresh root directories.
+    next_create: Arc<AtomicUsize>,
 }
 
 impl DirClient {
-    /// Creates a client that locates servers of `service` through `rpc`.
+    /// Creates a client that locates servers of `service` through `rpc`
+    /// (a single-group deployment).
     pub fn new(rpc: RpcClient, service: Port) -> DirClient {
-        DirClient { rpc, service }
+        DirClient {
+            rpc,
+            route: Arc::new(Route::Single(service)),
+            next_create: Arc::new(AtomicUsize::new(0)),
+        }
     }
 
-    fn call(&self, ctx: &Ctx, req: &DirRequest) -> Result<DirReply, DirClientError> {
-        let bytes = self.rpc.trans(ctx, self.service, req.encode())?;
+    /// Creates a client for a directory service sharded `shards` ways
+    /// (`1` is exactly the classic unsharded service).
+    pub fn sharded(rpc: RpcClient, shards: usize) -> DirClient {
+        DirClient {
+            rpc,
+            route: Arc::new(Route::Sharded(ShardMap::new(shards))),
+            next_create: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Starts this client's root-placement round-robin at `offset`
+    /// instead of shard 0. Round-robin state is per client object; a
+    /// deployment spawning one client per machine should hand each a
+    /// distinct offset (e.g. the machine index), or every machine's
+    /// *first* create lands on shard 0 and re-creates the very
+    /// single-sequencer hotspot sharding removes.
+    #[must_use]
+    pub fn with_create_offset(self, offset: usize) -> DirClient {
+        self.next_create.store(offset, Ordering::Relaxed);
+        self
+    }
+
+    /// The port serving the shard `cap` lives on. An unrecognized port
+    /// falls back to shard 0, whose servers will answer
+    /// `BadCapability` — the same answer a forged capability gets.
+    fn port_of_cap(&self, cap: &Capability) -> Port {
+        match &*self.route {
+            Route::Single(p) => *p,
+            Route::Sharded(m) => match m.shard_of_cap(cap) {
+                Some(shard) => m.public_port(shard),
+                None => m.public_port(0),
+            },
+        }
+    }
+
+    /// Where the next fresh root directory is placed (round-robin over
+    /// the shards).
+    fn create_port(&self) -> Port {
+        match &*self.route {
+            Route::Single(p) => *p,
+            Route::Sharded(m) => {
+                let k = self.next_create.fetch_add(1, Ordering::Relaxed);
+                m.public_port(k % m.shards())
+            }
+        }
+    }
+
+    fn call(&self, ctx: &Ctx, port: Port, req: &DirRequest) -> Result<DirReply, DirClientError> {
+        let bytes = self.rpc.trans(ctx, port, req.encode())?;
         DirReply::decode(&bytes).map_err(|_| DirClientError::Protocol)
     }
 
-    fn expect_ok(&self, ctx: &Ctx, req: &DirRequest) -> Result<(), DirClientError> {
-        match self.call(ctx, req)? {
+    fn expect_ok(&self, ctx: &Ctx, port: Port, req: &DirRequest) -> Result<(), DirClientError> {
+        match self.call(ctx, port, req)? {
             DirReply::Ok => Ok(()),
             DirReply::Err(e) => Err(e.into()),
             _ => Err(DirClientError::Protocol),
         }
     }
 
-    /// Creates a directory; returns its owner capability.
+    fn expect_cap(
+        &self,
+        ctx: &Ctx,
+        port: Port,
+        req: &DirRequest,
+    ) -> Result<Capability, DirClientError> {
+        match self.call(ctx, port, req)? {
+            DirReply::Cap(c) => Ok(c),
+            DirReply::Err(e) => Err(e.into()),
+            _ => Err(DirClientError::Protocol),
+        }
+    }
+
+    /// Creates a directory; returns its owner capability. On a sharded
+    /// deployment the directory is placed round-robin.
     ///
     /// # Errors
     ///
@@ -88,11 +182,125 @@ impl DirClient {
         let req = DirRequest::CreateDir {
             columns: columns.iter().map(|s| (*s).to_owned()).collect(),
         };
-        match self.call(ctx, &req)? {
-            DirReply::Cap(c) => Ok(c),
-            DirReply::Err(e) => Err(e.into()),
-            _ => Err(DirClientError::Protocol),
+        self.expect_cap(ctx, self.create_port(), &req)
+    }
+
+    /// Creates a directory *and links it into `parent` under `name`* —
+    /// the cross-shard two-step: an idempotent keyed create on the
+    /// child's home shard (a stable hash of `(parent, name)`), then an
+    /// idempotent link on the parent's shard. Retrying after any
+    /// failure converges on exactly one child directory and one row;
+    /// a name already linked to *another* directory of this service
+    /// converges on that directory ("ensure a child exists at name"),
+    /// while a row holding a foreign capability fails
+    /// [`DirError::DuplicateName`].
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures; after a partial failure,
+    /// retry the whole call.
+    pub fn create_in(
+        &self,
+        ctx: &Ctx,
+        parent: Capability,
+        name: &str,
+        columns: &[&str],
+        col_rights: Vec<Rights>,
+    ) -> Result<Capability, DirClientError> {
+        let child_port = match &*self.route {
+            Route::Single(p) => *p,
+            Route::Sharded(m) => m.public_port(m.child_shard(&parent, name)),
+        };
+        // Step 1: keyed create on the child's home shard (idempotent).
+        let child = self.expect_cap(
+            ctx,
+            child_port,
+            &DirRequest::CreateKeyed {
+                columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+                key: ShardMap::completion_key(&parent, name),
+            },
+        )?;
+        // Step 2: link it into the parent (idempotent).
+        match self.expect_ok(
+            ctx,
+            self.port_of_cap(&parent),
+            &DirRequest::AppendLink {
+                dir: parent,
+                name: name.to_owned(),
+                cap: child,
+                col_rights,
+            },
+        ) {
+            Ok(()) => Ok(child),
+            // The row already holds a *different* directory: converge
+            // on it ("ensure a child directory linked at name"). This
+            // is the recovery path for a completion record lost to a
+            // whole-shard disk salvage — the retry's fresh child is
+            // orphaned (storage leak, reclaimable) but the namespace
+            // converges on the originally linked directory instead of
+            // failing DuplicateName forever.
+            Err(DirClientError::Service(DirError::DuplicateName)) => {
+                match self.lookup(ctx, parent, name)? {
+                    Some(existing)
+                        if match &*self.route {
+                            Route::Single(p) => existing.port == *p,
+                            Route::Sharded(m) => m.shard_of_cap(&existing).is_some(),
+                        } =>
+                    {
+                        Ok(existing)
+                    }
+                    // A foreign (non-directory) capability under that
+                    // name is a genuine conflict.
+                    _ => Err(DirError::DuplicateName.into()),
+                }
+            }
+            Err(e) => Err(e),
         }
+    }
+
+    /// Deletes the row `name` of `parent` *and the directory it points
+    /// to* — the cross-shard two-step mirror of
+    /// [`create_in`](DirClient::create_in), child first: delete the
+    /// child directory on its home shard (already-gone is success),
+    /// then unlink the row (already-unlinked is success). A crash
+    /// between the steps leaves a visible dangling row; retrying
+    /// converges. The resolved child capability must carry
+    /// [`Rights::ADMIN`] for the delete; rows holding foreign
+    /// (non-directory-service) capabilities only lose their row.
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures; after a partial failure,
+    /// retry the whole call.
+    pub fn delete_from(
+        &self,
+        ctx: &Ctx,
+        parent: Capability,
+        name: &str,
+    ) -> Result<(), DirClientError> {
+        if let Some(child) = self.lookup(ctx, parent, name)? {
+            let ours = match &*self.route {
+                Route::Single(p) => child.port == *p,
+                Route::Sharded(m) => m.shard_of_cap(&child).is_some(),
+            };
+            if ours {
+                match self.delete_dir(ctx, child) {
+                    Ok(()) => {}
+                    // Already deleted by an earlier, partially failed
+                    // attempt: converge.
+                    Err(DirClientError::Service(DirError::BadCapability)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        self.expect_ok(
+            ctx,
+            self.port_of_cap(&parent),
+            &DirRequest::Unlink {
+                dir: parent,
+                name: name.to_owned(),
+            },
+        )
     }
 
     /// Deletes a directory (needs [`Rights::ADMIN`]).
@@ -101,7 +309,7 @@ impl DirClient {
     ///
     /// Service errors or transport failures.
     pub fn delete_dir(&self, ctx: &Ctx, cap: Capability) -> Result<(), DirClientError> {
-        self.expect_ok(ctx, &DirRequest::DeleteDir { cap })
+        self.expect_ok(ctx, self.port_of_cap(&cap), &DirRequest::DeleteDir { cap })
     }
 
     /// Lists a directory.
@@ -110,7 +318,7 @@ impl DirClient {
     ///
     /// Service errors or transport failures.
     pub fn list(&self, ctx: &Ctx, cap: Capability) -> Result<Listing, DirClientError> {
-        match self.call(ctx, &DirRequest::ListDir { cap })? {
+        match self.call(ctx, self.port_of_cap(&cap), &DirRequest::ListDir { cap })? {
             DirReply::Listing { columns, rows } => Ok(Listing { columns, rows }),
             DirReply::Err(e) => Err(e.into()),
             _ => Err(DirClientError::Protocol),
@@ -132,6 +340,7 @@ impl DirClient {
     ) -> Result<(), DirClientError> {
         self.expect_ok(
             ctx,
+            self.port_of_cap(&dir),
             &DirRequest::AppendRow {
                 dir,
                 name: name.to_owned(),
@@ -155,6 +364,7 @@ impl DirClient {
     ) -> Result<(), DirClientError> {
         self.expect_ok(
             ctx,
+            self.port_of_cap(&dir),
             &DirRequest::ChmodRow {
                 dir,
                 name: name.to_owned(),
@@ -171,6 +381,7 @@ impl DirClient {
     pub fn delete_row(&self, ctx: &Ctx, dir: Capability, name: &str) -> Result<(), DirClientError> {
         self.expect_ok(
             ctx,
+            self.port_of_cap(&dir),
             &DirRequest::DeleteRow {
                 dir,
                 name: name.to_owned(),
@@ -178,7 +389,9 @@ impl DirClient {
         )
     }
 
-    /// Looks up several (directory, name) pairs at once.
+    /// Looks up several (directory, name) pairs at once. On a sharded
+    /// deployment the set is split per shard and the answers merged
+    /// back into request order.
     ///
     /// # Errors
     ///
@@ -188,11 +401,28 @@ impl DirClient {
         ctx: &Ctx,
         items: Vec<(Capability, String)>,
     ) -> Result<Vec<Option<Capability>>, DirClientError> {
-        match self.call(ctx, &DirRequest::LookupSet { items })? {
-            DirReply::Caps(v) => Ok(v),
-            DirReply::Err(e) => Err(e.into()),
-            _ => Err(DirClientError::Protocol),
+        let mut groups: Vec<(Port, Vec<usize>)> = Vec::new();
+        for (i, (cap, _)) in items.iter().enumerate() {
+            let port = self.port_of_cap(cap);
+            match groups.iter_mut().find(|(p, _)| *p == port) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((port, vec![i])),
+            }
         }
+        let mut out = vec![None; items.len()];
+        for (port, idxs) in groups {
+            let sub: Vec<(Capability, String)> = idxs.iter().map(|i| items[*i].clone()).collect();
+            match self.call(ctx, port, &DirRequest::LookupSet { items: sub })? {
+                DirReply::Caps(v) if v.len() == idxs.len() => {
+                    for (k, i) in idxs.into_iter().enumerate() {
+                        out[i] = v[k];
+                    }
+                }
+                DirReply::Err(e) => return Err(e.into()),
+                _ => return Err(DirClientError::Protocol),
+            }
+        }
+        Ok(out)
     }
 
     /// Looks up one name.
@@ -210,7 +440,10 @@ impl DirClient {
         v.pop().ok_or(DirClientError::Protocol)
     }
 
-    /// Replaces the capabilities in a set of rows, indivisibly.
+    /// Replaces the capabilities in a set of rows. Indivisible within
+    /// each shard; a set spanning shards is applied shard by shard (in
+    /// shard-port order of first appearance) and is *convergent*, not
+    /// atomic — a concurrent reader may observe a prefix.
     ///
     /// # Errors
     ///
@@ -220,6 +453,18 @@ impl DirClient {
         ctx: &Ctx,
         items: Vec<(Capability, String, Capability)>,
     ) -> Result<(), DirClientError> {
-        self.expect_ok(ctx, &DirRequest::ReplaceSet { items })
+        type Replacement = (Capability, String, Capability);
+        let mut groups: Vec<(Port, Vec<Replacement>)> = Vec::new();
+        for item in items {
+            let port = self.port_of_cap(&item.0);
+            match groups.iter_mut().find(|(p, _)| *p == port) {
+                Some((_, sub)) => sub.push(item),
+                None => groups.push((port, vec![item])),
+            }
+        }
+        for (port, sub) in groups {
+            self.expect_ok(ctx, port, &DirRequest::ReplaceSet { items: sub })?;
+        }
+        Ok(())
     }
 }

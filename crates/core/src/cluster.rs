@@ -16,6 +16,7 @@ use crate::config::{DirParams, ServiceConfig, StorageKind};
 use crate::server_group::{start_group_server, GroupDirServer, GroupServerDeps};
 use crate::server_lock::{start_lock_server, LockClient, LockServer, LockServerDeps};
 use crate::server_nfs::{start_nfs_server, NfsServerDeps};
+use crate::server_queue::{start_queue_server, QueueClient, QueueServer, QueueServerDeps};
 use crate::server_registry::{
     start_registry_server, RegistryClient, RegistryServer, RegistryServerDeps,
 };
@@ -65,6 +66,11 @@ pub struct ClusterTopology {
     /// `column_segments[i % len]` is where column `i` attaches (empty =
     /// everything on segment 0).
     pub column_segments: Vec<SegmentId>,
+    /// Per-shard placement: `shard_segments[s % len]` is where *every*
+    /// column of shard `s` attaches. Empty (the default) falls back to
+    /// `column_segments` indexed by within-shard column index — all
+    /// shards overlaid on the same segments.
+    pub shard_segments: Vec<SegmentId>,
     /// Where client machines attach.
     pub client_segment: SegmentId,
 }
@@ -75,6 +81,7 @@ impl ClusterTopology {
         ClusterTopology {
             topology: Topology::single(),
             column_segments: Vec::new(),
+            shard_segments: Vec::new(),
             client_segment: SegmentId(0),
         }
     }
@@ -87,16 +94,49 @@ impl ClusterTopology {
         ClusterTopology {
             topology: Topology::two_segments(),
             column_segments: vec![SegmentId(0), SegmentId(1)],
+            shard_segments: Vec::new(),
             client_segment: SegmentId(0),
         }
     }
 
-    /// The segment column `i` attaches to.
+    /// A star of `shards` segments around one hub router, shard `s`'s
+    /// whole column set on segment `net-s{s}`, clients on `net-s0`:
+    /// each shard's replication multicasts are segment-local, and with
+    /// the routers' multicast pruning they *stay* local instead of
+    /// being flooded into every other shard's segment.
+    pub fn shard_star(shards: usize) -> ClusterTopology {
+        let shards = shards.max(1);
+        let mut topology = Topology::new();
+        let segs: Vec<SegmentId> = (0..shards)
+            .map(|s| topology.add_segment(&format!("net-s{s}")))
+            .collect();
+        if shards > 1 {
+            topology.add_router("hub", &segs);
+        }
+        ClusterTopology {
+            topology,
+            column_segments: Vec::new(),
+            shard_segments: segs,
+            client_segment: SegmentId(0),
+        }
+    }
+
+    /// The segment column `i` attaches to (within-shard index, for
+    /// deployments without per-shard placement).
     pub fn column_segment(&self, i: usize) -> SegmentId {
         if self.column_segments.is_empty() {
             SegmentId(0)
         } else {
             self.column_segments[i % self.column_segments.len()]
+        }
+    }
+
+    /// The segment column `i` of shard `shard` attaches to.
+    pub fn placement(&self, shard: usize, i: usize) -> SegmentId {
+        if self.shard_segments.is_empty() {
+            self.column_segment(i)
+        } else {
+            self.shard_segments[shard % self.shard_segments.len()]
         }
     }
 }
@@ -124,6 +164,16 @@ pub struct ClusterParams {
     /// variants' columns (the third `amoeba-rsm` consumer; lets routed
     /// clients resolve service names to FLIP ports across segments).
     pub registry_service: bool,
+    /// Also run the replicated FIFO queue service on the group
+    /// variants' shard-0 columns (the fourth `amoeba-rsm` consumer;
+    /// its group shares those machines' kernels with the directory
+    /// shard's own group).
+    pub queue_service: bool,
+    /// How many replica groups the directory service is sharded into
+    /// (group variants only; each shard gets its own column set,
+    /// object table and sequencer). `1` is the classic unsharded
+    /// service, bit-identical to before sharding existed.
+    pub shards: usize,
     /// Simulation seed for workload randomness.
     pub seed: u64,
 }
@@ -149,6 +199,8 @@ impl ClusterParams {
             group: GroupConfig::with_resilience(variant.servers().saturating_sub(1) as u32),
             lock_service: false,
             registry_service: false,
+            queue_service: false,
+            shards: 1,
             seed: 0xD1_5C,
         }
     }
@@ -161,6 +213,37 @@ impl ClusterParams {
             ..Self::paper(variant)
         }
     }
+
+    /// The paper's configuration with the directory service split into
+    /// `shards` replica groups (each its own column set and sequencer)
+    /// on one flat LAN.
+    pub fn sharded(variant: Variant, shards: usize) -> ClusterParams {
+        ClusterParams {
+            shards: shards.max(1),
+            ..Self::paper(variant)
+        }
+    }
+
+    /// The effective shard count of this deployment: only the group
+    /// variants shard; the RPC and NFS baselines always run one.
+    pub fn effective_shards(&self) -> usize {
+        match self.variant {
+            Variant::Group | Variant::GroupNvram => self.shards.max(1),
+            _ => 1,
+        }
+    }
+
+    /// [`sharded`](Self::sharded) with each shard's columns on its own
+    /// segment of a star internetwork
+    /// ([`ClusterTopology::shard_star`]), so shard-local replication
+    /// traffic stays off the other shards' wires.
+    pub fn sharded_routed(variant: Variant, shards: usize) -> ClusterParams {
+        ClusterParams {
+            shards: shards.max(1),
+            net_topology: ClusterTopology::shard_star(shards),
+            ..Self::paper(variant)
+        }
+    }
 }
 
 /// One replica column: directory server + Bullet server + disk server on
@@ -169,8 +252,10 @@ impl ClusterParams {
 /// between the dir and Bullet servers, which goes over the network either
 /// way).
 pub struct Column {
-    /// Replica index.
+    /// Replica index within the shard's group.
     pub index: usize,
+    /// The directory shard this column serves (always 0 unsharded).
+    pub shard: usize,
     /// The machine.
     pub sim_node: NodeId,
     /// The machine's network identity.
@@ -192,11 +277,14 @@ pub struct Column {
     /// The registry replica of the current incarnation (group variants
     /// with `registry_service` only).
     pub registry: Option<RegistryServer>,
+    /// The queue-service replica of the current incarnation (group
+    /// variants with `queue_service`, shard-0 columns only).
+    pub queue: Option<QueueServer>,
 }
 
 impl std::fmt::Debug for Column {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Column({})", self.index)
+        write!(f, "Column(s{}.{})", self.shard, self.index)
     }
 }
 
@@ -229,7 +317,10 @@ const BLOCK_SIZE: usize = 4096;
 const TABLE_BLOCKS: u64 = 64;
 
 impl Cluster {
-    /// Builds and starts a deployment on `sim`.
+    /// Builds and starts a deployment on `sim`. Columns are laid out
+    /// shard-major: `columns[shard * servers + i]` is replica `i` of
+    /// shard `shard`, so the flat indices `0..servers` address shard 0
+    /// exactly as they addressed the whole service before sharding.
     pub fn start(sim: &Simulation, params: ClusterParams) -> Cluster {
         let net = Network::with_topology(
             sim.handle(),
@@ -238,32 +329,37 @@ impl Cluster {
             params.seed,
         );
         let n = params.variant.servers();
-        let mut columns = Vec::with_capacity(n);
-        for index in 0..n {
-            let sim_node = sim.add_node(&format!("dir-column-{index}"));
-            let stack = net.attach_to(params.net_topology.column_segment(index));
-            let host = stack.addr();
-            let vdisk = VDisk::new(DISK_BLOCKS, BLOCK_SIZE);
-            let bullet_store = BulletStore::new(
-                DISK_BLOCKS - TABLE_BLOCKS,
-                BLOCK_SIZE,
-                params.seed ^ (index as u64) << 8,
-            );
-            let nvram = Nvram::paper_24k();
-            let mut column = Column {
-                index,
-                sim_node,
-                host,
-                stack,
-                vdisk,
-                bullet_store,
-                nvram,
-                server: None,
-                lock: None,
-                registry: None,
-            };
-            start_column(sim, &params, &mut column);
-            columns.push(column);
+        let shards = params.effective_shards();
+        let mut columns = Vec::with_capacity(n * shards);
+        for shard in 0..shards {
+            for index in 0..n {
+                let sim_node = sim.add_node(&format!("dir-column-s{shard}-{index}"));
+                let stack = net.attach_to(params.net_topology.placement(shard, index));
+                let host = stack.addr();
+                let vdisk = VDisk::new(DISK_BLOCKS, BLOCK_SIZE);
+                let bullet_store = BulletStore::new(
+                    DISK_BLOCKS - TABLE_BLOCKS,
+                    BLOCK_SIZE,
+                    params.seed ^ ((shard * n + index) as u64) << 8,
+                );
+                let nvram = Nvram::paper_24k();
+                let mut column = Column {
+                    index,
+                    shard,
+                    sim_node,
+                    host,
+                    stack,
+                    vdisk,
+                    bullet_store,
+                    nvram,
+                    server: None,
+                    lock: None,
+                    registry: None,
+                    queue: None,
+                };
+                start_column(sim, &params, &mut column);
+                columns.push(column);
+            }
         }
         Cluster {
             net,
@@ -290,10 +386,13 @@ impl Cluster {
         let sim_node = sim.add_node(&format!("client-{id}"));
         let stack = self.net.attach_to(self.params.net_topology.client_segment);
         let rpc = RpcNode::start(sim, sim_node, stack);
-        let cfg = ServiceConfig::new(self.params.variant.servers(), 0);
         let rpc_client = RpcClient::new(&rpc);
         (
-            DirClient::new(rpc_client.clone(), cfg.public_port),
+            // Each client machine starts its root-placement round-robin
+            // at its own index, so first creates spread across shards
+            // instead of all landing on shard 0.
+            DirClient::sharded(rpc_client.clone(), self.params.effective_shards())
+                .with_create_offset(id as usize),
             rpc_client,
             sim_node,
         )
@@ -336,7 +435,8 @@ impl Cluster {
         self.net.heal();
     }
 
-    /// The group-server handle of column `i`'s current incarnation.
+    /// The group-server handle of column `i`'s current incarnation
+    /// (flat index; `0..servers` is shard 0).
     ///
     /// # Panics
     ///
@@ -346,6 +446,21 @@ impl Cluster {
             .server
             .as_ref()
             .expect("column has no running group server")
+    }
+
+    /// Flat column index of replica `i` of shard `shard` (usable with
+    /// [`crash_server`](Cluster::crash_server) and friends).
+    pub fn column_index(&self, shard: usize, i: usize) -> usize {
+        shard * self.params.variant.servers() + i
+    }
+
+    /// The group-server handle of replica `i` of shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-group variants or a crashed column.
+    pub fn shard_server(&self, shard: usize, i: usize) -> &GroupDirServer {
+        self.group_server(self.column_index(shard, i))
     }
 
     /// The lock-service replica of column `i`'s current incarnation.
@@ -393,12 +508,35 @@ impl Cluster {
         let rpc = RpcNode::start(sim, sim_node, stack);
         (RegistryClient::new(RpcClient::new(&rpc)), sim_node)
     }
+
+    /// The queue-service replica of column `i`'s current incarnation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was started with
+    /// [`ClusterParams::queue_service`] on a group variant.
+    pub fn queue_server(&self, i: usize) -> &QueueServer {
+        self.columns[i]
+            .queue
+            .as_ref()
+            .expect("column has no running queue server")
+    }
+
+    /// Creates a fresh client machine with a queue-service client.
+    pub fn queue_client(&mut self, sim: &Simulation) -> (QueueClient, NodeId) {
+        let id = self.next_client;
+        self.next_client += 1;
+        let sim_node = sim.add_node(&format!("queue-client-{id}"));
+        let stack = self.net.attach_to(self.params.net_topology.client_segment);
+        let rpc = RpcNode::start(sim, sim_node, stack);
+        (QueueClient::new(RpcClient::new(&rpc)), sim_node)
+    }
 }
 
 /// Starts (or restarts) all processes of one column.
 fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Column) {
     let n = params.variant.servers();
-    let cfg = ServiceConfig::new(n, column.index);
+    let cfg = ServiceConfig::sharded(n, column.index, column.shard, params.effective_shards());
     let rpc = RpcNode::start(spawner, column.sim_node, column.stack.clone());
     let disk_srv = DiskServer::start(
         spawner,
@@ -453,7 +591,10 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
                 cpu,
             };
             column.server = Some(start_group_server(spawner, deps));
-            if params.lock_service {
+            // The auxiliary replicated services form their own groups
+            // over shard 0's machines (more groups per GroupPeer; with
+            // several shards they coexist with the shard's own group).
+            if params.lock_service && column.shard == 0 {
                 column.lock = Some(start_lock_server(
                     spawner,
                     LockServerDeps {
@@ -466,10 +607,23 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
                     },
                 ));
             }
-            if params.registry_service {
+            if params.registry_service && column.shard == 0 {
                 column.registry = Some(start_registry_server(
                     spawner,
                     RegistryServerDeps {
+                        n,
+                        me: column.index,
+                        sim_node: column.sim_node,
+                        rpc: rpc.clone(),
+                        peer: peer.clone(),
+                        threads: 2,
+                    },
+                ));
+            }
+            if params.queue_service && column.shard == 0 {
+                column.queue = Some(start_queue_server(
+                    spawner,
+                    QueueServerDeps {
                         n,
                         me: column.index,
                         sim_node: column.sim_node,

@@ -13,13 +13,22 @@ pub enum StorageKind {
     Nvram,
 }
 
-/// Static configuration of a directory service deployment.
+/// Static configuration of one directory service *shard* (the whole
+/// service, when there is a single shard).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
-    /// Total number of directory servers (3 in the paper's group service).
+    /// Total number of directory servers in this shard's group (3 in
+    /// the paper's group service).
     pub n: usize,
     /// This server's index in `0..n`.
     pub me: usize,
+    /// This server's shard index in `0..shards`.
+    pub shard: usize,
+    /// Total number of shards the directory service is split into.
+    pub shards: usize,
+    /// The service name every port of this shard derives from
+    /// (`"amoeba.dir"` unsharded; `"amoeba.dir.s{k}"` for shard `k`).
+    pub service: String,
     /// The public service port clients locate.
     pub public_port: Port,
     /// The port the server group is formed on.
@@ -27,14 +36,29 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// Standard configuration for server `me` of `n`.
+    /// Standard configuration for server `me` of `n` of a single-shard
+    /// (unsharded) service.
     pub fn new(n: usize, me: usize) -> ServiceConfig {
+        Self::sharded(n, me, 0, 1)
+    }
+
+    /// Configuration for server `me` of `n` of shard `shard` of
+    /// `shards`. With `shards == 1` this is exactly [`new`](Self::new).
+    pub fn sharded(n: usize, me: usize, shard: usize, shards: usize) -> ServiceConfig {
         assert!(me < n, "server index out of range");
+        let shards = shards.max(1);
+        assert!(shard < shards, "shard index out of range");
+        let service = crate::shard::ShardMap::new(shards).service_name(shard);
+        let public_port = Port::from_name(&service);
+        let group_port = Port::from_name(&format!("{service}.group"));
         ServiceConfig {
             n,
             me,
-            public_port: Port::from_name("amoeba.dir"),
-            group_port: Port::from_name("amoeba.dir.group"),
+            shard,
+            shards,
+            service,
+            public_port,
+            group_port,
         }
     }
 
@@ -46,12 +70,12 @@ impl ServiceConfig {
     /// The internal (server-to-server) port of server `i`, used by the
     /// recovery protocol's RPC exchanges.
     pub fn internal_port(&self, i: usize) -> Port {
-        Port::from_name(&format!("amoeba.dir.internal.{i}"))
+        Port::from_name(&format!("{}.internal.{i}", self.service))
     }
 
     /// The Bullet service port of server `i`'s storage column.
     pub fn bullet_port(&self, i: usize) -> Port {
-        Port::from_name(&format!("amoeba.dir.bullet.{i}"))
+        Port::from_name(&format!("{}.bullet.{i}", self.service))
     }
 }
 
@@ -139,6 +163,22 @@ mod tests {
         assert_ne!(c.internal_port(0), c.internal_port(1));
         assert_ne!(c.internal_port(0), c.public_port);
         assert_ne!(c.bullet_port(0), c.bullet_port(1));
+    }
+
+    #[test]
+    fn sharded_configs_do_not_collide() {
+        let a = ServiceConfig::sharded(3, 0, 0, 2);
+        let b = ServiceConfig::sharded(3, 0, 1, 2);
+        assert_ne!(a.public_port, b.public_port);
+        assert_ne!(a.group_port, b.group_port);
+        assert_ne!(a.internal_port(0), b.internal_port(0));
+        assert_ne!(a.bullet_port(0), b.bullet_port(0));
+        // A single shard is the classic unsharded configuration.
+        assert_eq!(ServiceConfig::sharded(3, 1, 0, 1), ServiceConfig::new(3, 1));
+        assert_eq!(
+            ServiceConfig::new(3, 0).public_port,
+            Port::from_name("amoeba.dir")
+        );
     }
 
     #[test]

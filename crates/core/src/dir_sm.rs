@@ -367,19 +367,31 @@ impl StateMachine for DirectoryStateMachine {
                     .map(|d| (object, entry.check, d.encode()))
             })
             .collect();
+        // Completion records of keyed creates are replicated state: a
+        // recovering replica must be able to answer replays of the
+        // cross-shard protocol's step one.
+        let mut completions: Vec<(u64, u64)> =
+            shared.completions.iter().map(|(k, o)| (*k, *o)).collect();
+        completions.sort_unstable(); // deterministic encoding
         let mut w = WireWriter::with_capacity(
             8 + 8
                 + 4
                 + entries
                     .iter()
                     .map(|(_, _, b)| 8 + 8 + 4 + b.len())
-                    .sum::<usize>(),
+                    .sum::<usize>()
+                + 4
+                + completions.len() * 16,
         );
         w.u64(shared.update_seq)
             .u64(shared.commit.seqno)
             .u32(entries.len() as u32);
         for (object, check, bytes) in &entries {
             w.u64(*object).u64(*check).bytes(bytes);
+        }
+        w.u32(completions.len() as u32);
+        for (key, object) in &completions {
+            w.u64(*key).u64(*object);
         }
         (shared.applied_group_seq, w.finish_payload())
     }
@@ -404,6 +416,19 @@ impl StateMachine for DirectoryStateMachine {
                 Err(_) => return false,
             }
         }
+        let n_comp = match r.u32("completions") {
+            Ok(n) if (n as usize) <= 1_000_000 => n,
+            _ => return false,
+        };
+        let mut completions = std::collections::HashMap::with_capacity(n_comp as usize);
+        for _ in 0..n_comp {
+            match (r.u64("completion key"), r.u64("completion object")) {
+                (Ok(k), Ok(o)) => {
+                    completions.insert(k, o);
+                }
+                _ => return false,
+            }
+        }
         {
             let mut shared = applier.shared.lock();
             // Wipe stale state, then install wholesale.
@@ -426,6 +451,7 @@ impl StateMachine for DirectoryStateMachine {
             shared.update_seq = update_seq;
             shared.commit.seqno = commit_seq;
             shared.applied_group_seq = cursor;
+            shared.completions = completions;
         }
         // Persist every fetched directory locally (Bullet file + table
         // entry) — recovery always persists to disk; NVRAM holds only

@@ -22,6 +22,19 @@
 //! directory + Bullet + disk server per replica) inside the deterministic
 //! simulator, with crash, reboot, disk-destruction and partition controls.
 //!
+//! ## Sharding
+//!
+//! The group service scales past its single sequencer by splitting the
+//! namespace across several replica groups
+//! ([`ClusterParams::shards`](cluster::ClusterParams::shards)): each
+//! shard is a complete directory service — its own columns, object
+//! table, Bullet files and sequencer — on its own public port, routed
+//! by the [`ShardMap`] (the shard is burned into every capability's
+//! port). Cross-shard operations run a deterministic, idempotent
+//! two-step protocol with replicated completion records; see the
+//! [`shard`] module docs for the full contract and its invariants. A
+//! single-shard deployment is bit-identical to the unsharded service.
+//!
 //! ## The message pipeline (zero-copy invariants)
 //!
 //! A directory update travels flip → rpc → group → core as a shared
@@ -99,8 +112,10 @@ mod rights;
 mod server_group;
 mod server_lock;
 mod server_nfs;
+mod server_queue;
 mod server_registry;
 mod server_rpc;
+pub mod shard;
 mod state;
 
 mod client;
@@ -120,8 +135,13 @@ pub use server_lock::{
     LockStateMachine,
 };
 pub use server_nfs::{start_nfs_server, NfsDirServer, NfsServerDeps};
+pub use server_queue::{
+    start_queue_server, QueueClient, QueueError, QueueReply, QueueRequest, QueueServer,
+    QueueServerDeps, QueueStateMachine, QUEUE_PORT,
+};
 pub use server_registry::{
     start_registry_server, RegistryClient, RegistryError, RegistryReply, RegistryRequest,
     RegistryServer, RegistryServerDeps, RegistryStateMachine, REGISTRY_PORT,
 };
 pub use server_rpc::{start_rpc_server, RpcDirServer, RpcServerDeps};
+pub use shard::ShardMap;

@@ -63,6 +63,35 @@ pub enum DirRequest {
         /// (directory, name, new capability) triples.
         items: Vec<(Capability, String, Capability)>,
     },
+    /// Create a directory idempotently: a repeat carrying the same key
+    /// returns the originally created directory's capability (step one
+    /// of the cross-shard create protocol, see [`crate::ShardMap`]).
+    CreateKeyed {
+        /// Column (protection-domain) names, 1–4.
+        columns: Vec<String>,
+        /// Completion key ([`crate::ShardMap::completion_key`]).
+        key: u64,
+    },
+    /// Add a row idempotently: succeeds silently if the row already
+    /// holds exactly `cap` (step two of the cross-shard create).
+    AppendLink {
+        /// The directory (needs [`Rights::MODIFY`]).
+        dir: Capability,
+        /// Row name.
+        name: String,
+        /// Capability to store.
+        cap: Capability,
+        /// Per-column rights masks.
+        col_rights: Vec<Rights>,
+    },
+    /// Delete a row idempotently: succeeds silently if the row is
+    /// already gone (step two of the cross-shard delete).
+    Unlink {
+        /// The directory (needs [`Rights::MODIFY`]).
+        dir: Capability,
+        /// Row name.
+        name: String,
+    },
 }
 
 /// A reply from the directory service.
@@ -177,6 +206,39 @@ pub enum DirOp {
         /// (object, name, new capability) triples.
         items: Vec<(u64, String, Capability)>,
     },
+    /// Idempotent create: if a completion record for `key` exists, the
+    /// original directory's capability is returned and no state
+    /// changes; otherwise creates like [`Create`](Self::Create) and
+    /// records `key → object`.
+    CreateKeyed {
+        /// Column names.
+        columns: Vec<String>,
+        /// The raw check field chosen by the initiator (only used when
+        /// the key is new).
+        check: u64,
+        /// Completion key.
+        key: u64,
+    },
+    /// Idempotent append: a row already holding exactly `cap` is
+    /// success; a row holding anything else is `DuplicateName`.
+    AppendLink {
+        /// Directory object number.
+        object: u64,
+        /// Row name.
+        name: String,
+        /// Stored capability.
+        cap: Capability,
+        /// Per-column masks.
+        col_rights: Vec<Rights>,
+    },
+    /// Idempotent row delete: a missing row (or a deleted directory) is
+    /// success.
+    Unlink {
+        /// Directory object number.
+        object: u64,
+        /// Row name.
+        name: String,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -221,6 +283,9 @@ const RQ_CHMOD: u8 = 5;
 const RQ_DELROW: u8 = 6;
 const RQ_LOOKUP_SET: u8 = 7;
 const RQ_REPLACE_SET: u8 = 8;
+const RQ_CREATE_KEYED: u8 = 9;
+const RQ_APPEND_LINK: u8 = 10;
+const RQ_UNLINK: u8 = 11;
 
 impl DirRequest {
     /// Encodes to wire bytes.
@@ -280,6 +345,28 @@ impl DirRequest {
                     w.string(name);
                     cap.write(&mut w);
                 }
+            }
+            DirRequest::CreateKeyed { columns, key } => {
+                w.u8(RQ_CREATE_KEYED);
+                write_columns(&mut w, columns);
+                w.u64(*key);
+            }
+            DirRequest::AppendLink {
+                dir,
+                name,
+                cap,
+                col_rights,
+            } => {
+                w.u8(RQ_APPEND_LINK);
+                dir.write(&mut w);
+                w.string(name);
+                cap.write(&mut w);
+                write_rights_vec(&mut w, col_rights);
+            }
+            DirRequest::Unlink { dir, name } => {
+                w.u8(RQ_UNLINK);
+                dir.write(&mut w);
+                w.string(name);
             }
         }
         w.finish()
@@ -344,6 +431,20 @@ impl DirRequest {
                 }
                 DirRequest::ReplaceSet { items }
             }
+            RQ_CREATE_KEYED => DirRequest::CreateKeyed {
+                columns: read_columns(&mut r)?,
+                key: r.u64("create key")?,
+            },
+            RQ_APPEND_LINK => DirRequest::AppendLink {
+                dir: Capability::read(&mut r)?,
+                name: r.string("name")?,
+                cap: Capability::read(&mut r)?,
+                col_rights: read_rights_vec(&mut r)?,
+            },
+            RQ_UNLINK => DirRequest::Unlink {
+                dir: Capability::read(&mut r)?,
+                name: r.string("name")?,
+            },
             _ => return Err(DecodeError::new("dir req tag")),
         };
         r.expect_end("dir req trailing")?;
@@ -489,6 +590,9 @@ const OP_APPEND: u8 = 3;
 const OP_CHMOD: u8 = 4;
 const OP_DELROW: u8 = 5;
 const OP_REPLACE_SET: u8 = 6;
+const OP_CREATE_KEYED: u8 = 7;
+const OP_APPEND_LINK: u8 = 8;
+const OP_UNLINK: u8 = 9;
 
 /// Wire size of a [`Capability`] (port + object + rights + check).
 const WIRE_CAP_LEN: usize = 8 + 8 + 1 + 8;
@@ -520,6 +624,13 @@ impl DirOp {
                     .map(|(_, name, _)| 8 + wire_string_len(name) + WIRE_CAP_LEN)
                     .sum::<usize>()
             }
+            DirOp::CreateKeyed { columns, .. } => {
+                1 + columns.iter().map(|c| wire_string_len(c)).sum::<usize>() + 8 + 8
+            }
+            DirOp::AppendLink {
+                name, col_rights, ..
+            } => 8 + wire_string_len(name) + WIRE_CAP_LEN + 1 + col_rights.len(),
+            DirOp::Unlink { name, .. } => 8 + wire_string_len(name),
         }
     }
 
@@ -563,6 +674,28 @@ impl DirOp {
                     w.u64(*object).string(name);
                     cap.write(&mut w);
                 }
+            }
+            DirOp::CreateKeyed {
+                columns,
+                check,
+                key,
+            } => {
+                w.u8(OP_CREATE_KEYED);
+                write_columns(&mut w, columns);
+                w.u64(*check).u64(*key);
+            }
+            DirOp::AppendLink {
+                object,
+                name,
+                cap,
+                col_rights,
+            } => {
+                w.u8(OP_APPEND_LINK).u64(*object).string(name);
+                cap.write(&mut w);
+                write_rights_vec(&mut w, col_rights);
+            }
+            DirOp::Unlink { object, name } => {
+                w.u8(OP_UNLINK).u64(*object).string(name);
             }
         }
         debug_assert_eq!(w.len(), self.encoded_len());
@@ -613,6 +746,21 @@ impl DirOp {
                 }
                 DirOp::ReplaceSet { items }
             }
+            OP_CREATE_KEYED => DirOp::CreateKeyed {
+                columns: read_columns(&mut r)?,
+                check: r.u64("op check")?,
+                key: r.u64("op key")?,
+            },
+            OP_APPEND_LINK => DirOp::AppendLink {
+                object: r.u64("op object")?,
+                name: r.string("op name")?,
+                cap: Capability::read(&mut r)?,
+                col_rights: read_rights_vec(&mut r)?,
+            },
+            OP_UNLINK => DirOp::Unlink {
+                object: r.u64("op object")?,
+                name: r.string("op name")?,
+            },
             _ => return Err(DecodeError::new("dir op tag")),
         };
         r.expect_end("dir op trailing")?;
@@ -658,6 +806,20 @@ mod tests {
             },
             DirRequest::ReplaceSet {
                 items: vec![(cap(1), "a".into(), cap(9))],
+            },
+            DirRequest::CreateKeyed {
+                columns: vec!["owner".into()],
+                key: 0xFEED,
+            },
+            DirRequest::AppendLink {
+                dir: cap(1),
+                name: "x".into(),
+                cap: cap(2),
+                col_rights: vec![Rights::ALL],
+            },
+            DirRequest::Unlink {
+                dir: cap(1),
+                name: "x".into(),
             },
         ];
         for req in reqs {
@@ -708,6 +870,21 @@ mod tests {
             },
             DirOp::ReplaceSet {
                 items: vec![(4, "x".into(), cap(3))],
+            },
+            DirOp::CreateKeyed {
+                columns: vec!["o".into()],
+                check: 31,
+                key: 0xFEED,
+            },
+            DirOp::AppendLink {
+                object: 4,
+                name: "x".into(),
+                cap: cap(2),
+                col_rights: vec![Rights::ALL],
+            },
+            DirOp::Unlink {
+                object: 4,
+                name: "x".into(),
             },
         ];
         for op in ops {

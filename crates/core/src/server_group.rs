@@ -69,8 +69,10 @@ impl std::fmt::Debug for GroupServerDeps {
 }
 
 /// Maps the directory service's parameters onto the generic driver's.
+/// Each shard derives its ports from its own service name, so every
+/// shard forms its own group with its own sequencer.
 fn rsm_config(cfg: &ServiceConfig, params: &DirParams) -> RsmConfig {
-    let mut rsm = RsmConfig::new("amoeba.dir", cfg.n, cfg.me);
+    let mut rsm = RsmConfig::new(&cfg.service, cfg.n, cfg.me);
     debug_assert_eq!(rsm.group_port, cfg.group_port);
     debug_assert_eq!(rsm.internal_ports[cfg.me], cfg.internal_port(cfg.me));
     rsm.apply_batch = params.apply_batch;
@@ -159,6 +161,17 @@ impl GroupDirServer {
     /// Whether the server is in normal operation.
     pub fn is_normal(&self) -> bool {
         self.replica.is_normal()
+    }
+
+    /// The shard this server belongs to.
+    pub fn shard(&self) -> usize {
+        self.cfg.shard
+    }
+
+    /// This replica's driver counters — scoped to this shard's group
+    /// alone, however many replicas share the machine.
+    pub fn replica_stats(&self) -> amoeba_rsm::ReplicaStats {
+        self.replica.stats()
     }
 }
 

@@ -47,6 +47,11 @@ pub(crate) struct Shared {
     pub next_nv_uid: u64,
     /// Virtual time of the last applied update (drives idle flushing).
     pub last_update_at: amoeba_sim::SimTime,
+    /// Completion records of keyed creates (`key → object`): the
+    /// idempotency memory of the cross-shard two-step protocol (see
+    /// [`crate::ShardMap`]). Replicated state — travels in snapshots;
+    /// deleting a directory deletes its records.
+    pub completions: HashMap<u64, u64>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -70,6 +75,7 @@ impl Shared {
             commit: CommitBlock::initial(n),
             next_nv_uid: 1,
             last_update_at: amoeba_sim::SimTime::ZERO,
+            completions: HashMap::new(),
         }
     }
 }
@@ -140,11 +146,13 @@ impl Effect {
 /// The object an op concerns (NVRAM record tag).
 pub(crate) fn op_object(op: &DirOp) -> u64 {
     match op {
-        DirOp::Create { .. } => 0,
+        DirOp::Create { .. } | DirOp::CreateKeyed { .. } => 0,
         DirOp::Delete { object }
         | DirOp::Append { object, .. }
         | DirOp::Chmod { object, .. }
-        | DirOp::DeleteRow { object, .. } => *object,
+        | DirOp::DeleteRow { object, .. }
+        | DirOp::AppendLink { object, .. }
+        | DirOp::Unlink { object, .. } => *object,
         DirOp::ReplaceSet { items } => items.first().map(|(o, _, _)| *o).unwrap_or(0),
     }
 }
@@ -240,36 +248,31 @@ impl Applier {
             }
         };
         match op {
-            DirOp::Create { columns, check } => {
-                if !(1..=4).contains(&columns.len()) {
-                    return Err(DirError::Malformed);
+            DirOp::Create { columns, check } => self.plan_create(shared, columns, *check, useq),
+            DirOp::CreateKeyed {
+                columns,
+                check,
+                key,
+            } => {
+                if let Some(&object) = shared.completions.get(key) {
+                    if let Some(entry) = shared.table.get(object) {
+                        // Replay of a completed create: hand back the
+                        // original capability, change nothing.
+                        let cap = Capability::owner(self.cfg.public_port, object, entry.check);
+                        return Ok((DirReply::Cap(cap), Vec::new(), useq));
+                    }
                 }
-                let object = shared.table.next_object();
-                if object > shared.table.capacity() {
-                    return Err(DirError::Internal);
+                let planned = self.plan_create(shared, columns, *check, useq)?;
+                if let DirReply::Cap(c) = &planned.0 {
+                    shared.completions.insert(*key, c.object);
                 }
-                let mut dir = Directory::new(columns.clone());
-                dir.seqno = useq;
-                shared.cache.insert(object, dir.clone());
-                shared.table.set(
-                    object,
-                    ObjEntry {
-                        file_cap: FileCap::NULL, // patched by the effect
-                        seqno: useq,
-                        check: *check,
-                    },
-                );
-                let cap = Capability::owner(self.cfg.public_port, object, *check);
-                Ok((
-                    DirReply::Cap(cap),
-                    vec![Effect::StoreDir { object, dir }],
-                    useq,
-                ))
+                Ok(planned)
             }
             DirOp::Delete { object } => {
                 let entry = shared.table.get(*object).ok_or(DirError::BadCapability)?;
                 shared.table.clear(*object);
                 shared.cache.remove(object);
+                shared.completions.retain(|_, o| *o != *object);
                 shared.commit.seqno = useq;
                 Ok((
                     DirReply::Ok,
@@ -333,6 +336,55 @@ impl Applier {
                     useq,
                 ))
             }
+            DirOp::AppendLink {
+                object,
+                name,
+                cap,
+                col_rights,
+            } => {
+                let mut dir = self.dir_for_plan(shared, *object)?;
+                if let Some(row) = dir.find(name) {
+                    // Idempotent replay of a completed link.
+                    return if row.cap == *cap {
+                        Ok((DirReply::Ok, Vec::new(), useq))
+                    } else {
+                        Err(DirError::DuplicateName)
+                    };
+                }
+                dir.append_row(name.clone(), *cap, col_rights.clone())
+                    .map_err(structure_err)?;
+                dir.seqno = useq;
+                shared.cache.insert(*object, dir.clone());
+                Ok((
+                    DirReply::Ok,
+                    vec![Effect::StoreDir {
+                        object: *object,
+                        dir,
+                    }],
+                    useq,
+                ))
+            }
+            DirOp::Unlink { object, name } => {
+                if shared.table.get(*object).is_none() {
+                    // Directory already gone: nothing left to unlink.
+                    return Ok((DirReply::Ok, Vec::new(), useq));
+                }
+                let mut dir = self.dir_for_plan(shared, *object)?;
+                if dir.find(name).is_none() {
+                    return Ok((DirReply::Ok, Vec::new(), useq));
+                }
+                dir.delete_row(name).map_err(structure_err)?;
+                dir.seqno = useq;
+                shared.cache.insert(*object, dir.clone());
+                Ok((
+                    DirReply::Ok,
+                    vec![Effect::StoreDir {
+                        object: *object,
+                        dir,
+                    }],
+                    useq,
+                ))
+            }
             DirOp::ReplaceSet { items } => {
                 // Indivisible: validate everything, then mutate.
                 let mut dirs: HashMap<u64, Directory> = HashMap::new();
@@ -360,6 +412,40 @@ impl Applier {
                 Ok((DirReply::Ok, effects, useq))
             }
         }
+    }
+
+    /// The shared create logic of `Create` and `CreateKeyed`.
+    fn plan_create(
+        &self,
+        shared: &mut Shared,
+        columns: &[String],
+        check: u64,
+        useq: u64,
+    ) -> Result<(DirReply, Vec<Effect>, u64), DirError> {
+        if !(1..=4).contains(&columns.len()) {
+            return Err(DirError::Malformed);
+        }
+        let object = shared.table.next_object();
+        if object > shared.table.capacity() {
+            return Err(DirError::Internal);
+        }
+        let mut dir = Directory::new(columns.to_vec());
+        dir.seqno = useq;
+        shared.cache.insert(object, dir.clone());
+        shared.table.set(
+            object,
+            ObjEntry {
+                file_cap: FileCap::NULL, // patched by the effect
+                seqno: useq,
+                check,
+            },
+        );
+        let cap = Capability::owner(self.cfg.public_port, object, check);
+        Ok((
+            DirReply::Cap(cap),
+            vec![Effect::StoreDir { object, dir }],
+            useq,
+        ))
     }
 
     /// A directory's contents for planning: the RAM cache is authoritative
@@ -715,6 +801,40 @@ impl Applier {
                     out.push((object, name.clone(), *cap));
                 }
                 Ok(DirOp::ReplaceSet { items: out })
+            }
+            DirRequest::CreateKeyed { columns, key } => {
+                if !(1..=4).contains(&columns.len()) {
+                    return Err(DirError::Malformed);
+                }
+                // The check only takes effect the first time the key is
+                // seen; replays return the original capability.
+                let check = ctx.with_rng(|r| r.next_u64()) | 1;
+                Ok(DirOp::CreateKeyed {
+                    columns: columns.clone(),
+                    check,
+                    key: *key,
+                })
+            }
+            DirRequest::AppendLink {
+                dir,
+                name,
+                cap,
+                col_rights,
+            } => {
+                let object = validate_dir_cap(&shared, port, dir, Rights::MODIFY)?;
+                Ok(DirOp::AppendLink {
+                    object,
+                    name: name.clone(),
+                    cap: *cap,
+                    col_rights: col_rights.clone(),
+                })
+            }
+            DirRequest::Unlink { dir, name } => {
+                let object = validate_dir_cap(&shared, port, dir, Rights::MODIFY)?;
+                Ok(DirOp::Unlink {
+                    object,
+                    name: name.clone(),
+                })
             }
             DirRequest::ListDir { .. } | DirRequest::LookupSet { .. } => Err(DirError::Malformed),
         }

@@ -36,6 +36,26 @@
 //!   follow these tables hop by hop; with no route yet they flood like a
 //!   broadcast (TTL-limited, duplicate-suppressed) and the reply teaches
 //!   the direct route — the locate-then-route pattern FLIP relies on.
+//! * **Route aging**: every learned entry carries the virtual time it
+//!   was last confirmed (learning an entry again refreshes the stamp, so
+//!   routes in active use never expire). A lookup that finds an entry
+//!   older than [`NetParams::route_max_age`] drops it — counted in
+//!   [`NetStats::routes_aged_out`] — and the sender floods instead, so
+//!   staleness after topology churn heals without waiting for a
+//!   send-time failure.
+//! * **Multicast pruning** (on by default; see
+//!   [`set_multicast_pruning`](Network::set_multicast_pruning)): each
+//!   router keeps FLIP-style group routing state — for every multicast
+//!   group, the set of attached segments through which at least one
+//!   member is reachable. Joins install the state (as FLIP's join
+//!   broadcast would); any membership or router-availability change
+//!   flushes it, and the next multicast rebuilds it. A router forwards a
+//!   group packet only onto member-leading segments; skipped directions
+//!   are counted in [`NetStats::mcast_pruned`]. Pruning is conservative:
+//!   a segment is member-leading if any member's segment is reachable
+//!   through it with this router removed, so transit segments stay open
+//!   and no member can be cut off. With pruning off, multicasts flood
+//!   TTL-limited exactly like broadcasts.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
@@ -111,6 +131,10 @@ struct RouteEntry {
     hops: u8,
     /// Accumulated segment weight of the path.
     weight: u32,
+    /// Virtual time this entry was last (re-)learned from traffic;
+    /// entries older than [`NetParams::route_max_age`] are dropped at
+    /// lookup time.
+    confirmed_at: SimTime,
 }
 
 struct SegmentState {
@@ -145,6 +169,16 @@ struct NetInner {
     routers: BTreeMap<HostAddr, RouterState>,
     /// Per-stack routing tables: node → (destination → route).
     routes: HashMap<HostAddr, HashMap<HostAddr, RouteEntry>>,
+    /// Per-router group routing state: router → (group → attached
+    /// segments through which at least one member is reachable).
+    /// Flushed (marked dirty) on every membership or router-availability
+    /// change and rebuilt lazily before the next multicast forward.
+    group_routes: HashMap<HostAddr, HashMap<GroupAddr, BTreeSet<SegmentId>>>,
+    /// Whether `group_routes` must be rebuilt before use.
+    group_routes_dirty: bool,
+    /// Whether routers prune multicasts to member-leading segments
+    /// (true) or flood them TTL-limited like broadcasts (false).
+    multicast_pruning: bool,
     /// Per-host receive-side duplicate suppression (multi-segment only).
     seen_rx: HashMap<HostAddr, SeenCache>,
     /// TTL stamped on packets whose sender left it unset.
@@ -259,6 +293,9 @@ impl Network {
             host_segment: HashMap::new(),
             routers: BTreeMap::new(),
             routes: HashMap::new(),
+            group_routes: HashMap::new(),
+            group_routes_dirty: true,
+            multicast_pruning: true,
             seen_rx: HashMap::new(),
             default_ttl,
             tx_free: HashMap::new(),
@@ -364,12 +401,27 @@ impl Network {
         if let Some(r) = inner.routers.get_mut(&host) {
             r.seen = SeenCache::default();
         }
+        // Memberships changed (and a down router changes reachability):
+        // flush the group routing state.
+        inner.group_routes_dirty = true;
     }
 
     /// Marks a host up again (it must re-bind its ports and re-join its
     /// multicast groups; a router resumes forwarding with cold tables).
     pub fn set_up(&self, host: HostAddr) {
-        self.inner.lock().down.remove(&host);
+        let mut inner = self.inner.lock();
+        inner.down.remove(&host);
+        inner.group_routes_dirty = true;
+    }
+
+    /// Toggles FLIP-style multicast pruning in routers (on by default).
+    /// Off, routers forward multicasts by TTL-limited flooding with
+    /// duplicate suppression — the pre-pruning behaviour, kept as the
+    /// benchmark baseline.
+    pub fn set_multicast_pruning(&self, on: bool) {
+        let mut inner = self.inner.lock();
+        inner.multicast_pruning = on;
+        inner.group_routes_dirty = true;
     }
 
     /// Whether a host is currently up.
@@ -412,12 +464,9 @@ impl Network {
     }
 
     pub(crate) fn join_group(&self, host: HostAddr, group: GroupAddr) {
-        self.inner
-            .lock()
-            .groups
-            .entry(group)
-            .or_default()
-            .insert(host);
+        let mut inner = self.inner.lock();
+        inner.groups.entry(group).or_default().insert(host);
+        inner.group_routes_dirty = true;
     }
 
     pub(crate) fn leave_group(&self, host: HostAddr, group: GroupAddr) {
@@ -425,6 +474,7 @@ impl Network {
         if let Some(members) = inner.groups.get_mut(&group) {
             members.remove(&host);
         }
+        inner.group_routes_dirty = true;
     }
 
     pub(crate) fn endpoints_of(&self, host: HostAddr) -> Option<EndpointTable> {
@@ -484,6 +534,71 @@ impl Network {
 }
 
 impl NetInner {
+    /// Segments reachable from `start` (inclusive) through routers that
+    /// are up, with router `excluding` removed from the graph.
+    fn segs_reachable_excluding(&self, start: SegmentId, excluding: HostAddr) -> Vec<bool> {
+        let n = self.segments.len();
+        let mut reach = vec![false; n];
+        reach[start.0 as usize] = true;
+        let mut queue = VecDeque::from([start]);
+        while let Some(s) = queue.pop_front() {
+            for (addr, r) in &self.routers {
+                if *addr == excluding || self.down.contains(addr) || !r.attached.contains(&s) {
+                    continue;
+                }
+                for t in &r.attached {
+                    if !reach[t.0 as usize] {
+                        reach[t.0 as usize] = true;
+                        queue.push_back(*t);
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    /// Rebuilds every router's group routing state from the current
+    /// memberships and router availability. A router forwards a group
+    /// packet onto attached segment `o` iff some member's segment is
+    /// reachable from `o` with this router removed — conservative, so
+    /// transit segments toward members stay open and pruning can never
+    /// cut a member off; a direction with no members behind it is
+    /// pruned.
+    fn rebuild_group_routes(&mut self) {
+        self.group_routes_dirty = false;
+        self.group_routes.clear();
+        // Which segments carry at least one member, per group.
+        let mut member_segs: HashMap<GroupAddr, BTreeSet<SegmentId>> = HashMap::new();
+        for (g, members) in &self.groups {
+            let segs: BTreeSet<SegmentId> = members
+                .iter()
+                .filter(|m| !self.down.contains(m))
+                .filter_map(|m| self.host_segment.get(m).copied())
+                .collect();
+            if !segs.is_empty() {
+                member_segs.insert(*g, segs);
+            }
+        }
+        let routers: Vec<(HostAddr, Vec<SegmentId>)> = self
+            .routers
+            .iter()
+            .filter(|(a, _)| !self.down.contains(a))
+            .map(|(a, r)| (*a, r.attached.clone()))
+            .collect();
+        for (addr, attached) in routers {
+            let mut table: HashMap<GroupAddr, BTreeSet<SegmentId>> = HashMap::new();
+            for o in &attached {
+                let reach = self.segs_reachable_excluding(*o, addr);
+                for (g, segs) in &member_segs {
+                    if segs.iter().any(|s| reach[s.0 as usize]) {
+                        table.entry(*g).or_default().insert(*o);
+                    }
+                }
+            }
+            self.group_routes.insert(addr, table);
+        }
+    }
+
     fn seg_params(&self, seg: SegmentId) -> &NetParams {
         self.segments[seg.0 as usize]
             .params
@@ -492,13 +607,22 @@ impl NetInner {
     }
 
     /// Looks up `from`'s route to `dst`, pruning entries whose next hop
-    /// is down (the reply-path will re-teach a live one).
+    /// is down (the reply-path will re-teach a live one) and entries
+    /// that exceeded the route-age horizon without reconfirmation.
     fn route_lookup(&mut self, from: HostAddr, dst: HostAddr) -> Option<RouteEntry> {
         let e = *self.routes.get(&from)?.get(&dst)?;
         if self.down.contains(&e.next_hop) {
             if let Some(t) = self.routes.get_mut(&from) {
                 t.remove(&dst);
             }
+            return None;
+        }
+        let now = self.handle.now();
+        if now.saturating_since(e.confirmed_at) > self.params.route_max_age {
+            if let Some(t) = self.routes.get_mut(&from) {
+                t.remove(&dst);
+            }
+            self.stats.routes_aged_out += 1;
             return None;
         }
         Some(e)
@@ -519,6 +643,7 @@ impl NetInner {
             segment: seg,
             hops: pkt.hops,
             weight: pkt.path_weight,
+            confirmed_at: self.handle.now(),
         };
         let table = self.routes.entry(who).or_default();
         match table.get(&origin) {
@@ -756,7 +881,29 @@ impl NetInner {
                 }
             }
             if !routed {
-                outs.extend(attached.iter().filter(|s| **s != seg).map(|s| (*s, None)));
+                match pkt.dst {
+                    Dest::Multicast(g) if self.multicast_pruning => {
+                        // FLIP-style multicast pruning: forward only
+                        // onto segments that lead toward a member.
+                        if self.group_routes_dirty {
+                            self.rebuild_group_routes();
+                        }
+                        let allowed = self
+                            .group_routes
+                            .get(&r_addr)
+                            .and_then(|t| t.get(&g))
+                            .cloned()
+                            .unwrap_or_default();
+                        for s in attached.iter().filter(|s| **s != seg) {
+                            if allowed.contains(s) {
+                                outs.push((*s, None));
+                            } else {
+                                self.stats.mcast_pruned += 1;
+                            }
+                        }
+                    }
+                    _ => outs.extend(attached.iter().filter(|s| **s != seg).map(|s| (*s, None))),
+                }
             }
             if outs.is_empty() {
                 continue;

@@ -34,6 +34,13 @@ pub struct NetParams {
     /// forwarding skips the full protocol stack, so this is cheaper than
     /// `send_cpu`/`recv_cpu`.
     pub forward_cpu: Duration,
+    /// How long a backward-learned route stays valid without being
+    /// re-confirmed by traffic (FLIP-style age-out). A route older than
+    /// this is dropped at lookup time — before any send-time failure —
+    /// and the sender falls back to a TTL-limited flood, which re-teaches
+    /// a live path. Routes in active use are refreshed by every frame
+    /// that traverses them, so only genuinely stale entries expire.
+    pub route_max_age: Duration,
 }
 
 impl NetParams {
@@ -49,6 +56,7 @@ impl NetParams {
             duplicate_probability: 0.0,
             jitter: 0.03,
             forward_cpu: Duration::from_micros(250),
+            route_max_age: Duration::from_secs(30),
         }
     }
 

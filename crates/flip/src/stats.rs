@@ -55,6 +55,14 @@ pub struct NetStats {
     /// forward a packet id twice, or a receiver refusing a second copy
     /// that arrived over a different path.
     pub dup_suppressed: u64,
+    /// Multicast forwards a router skipped because its group routing
+    /// state showed no member reachable through that segment (FLIP-style
+    /// multicast pruning; each skipped out-segment counts once).
+    pub mcast_pruned: u64,
+    /// Backward-learned routes dropped because they exceeded
+    /// [`NetParams::route_max_age`](crate::NetParams::route_max_age)
+    /// without being re-confirmed by traffic.
+    pub routes_aged_out: u64,
     /// Per-segment wire counters, indexed by
     /// [`SegmentId`](crate::SegmentId) order.
     pub segments: Vec<SegmentStats>,
@@ -85,6 +93,8 @@ impl NetStats {
                 .saturating_sub(earlier.packets_forwarded),
             dropped_ttl: self.dropped_ttl.saturating_sub(earlier.dropped_ttl),
             dup_suppressed: self.dup_suppressed.saturating_sub(earlier.dup_suppressed),
+            mcast_pruned: self.mcast_pruned.saturating_sub(earlier.mcast_pruned),
+            routes_aged_out: self.routes_aged_out.saturating_sub(earlier.routes_aged_out),
             segments: self
                 .segments
                 .iter()

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use amoeba_flip::{Dest, NetParams, Network, Port, SegmentId, Topology};
+use amoeba_flip::{Dest, GroupAddr, NetParams, Network, Port, SegmentId, Topology};
 use amoeba_sim::{SimTime, Simulation};
 use amoeba_testkit::{check, Gen};
 
@@ -238,6 +238,169 @@ fn router_crash_stops_forwarding_and_recovery_relearns() {
         vec![1, 3],
         "only the packets sent while the router was up arrive"
     );
+}
+
+/// Y topology (one hub router joining three segments) with two hosts
+/// per segment.
+fn y_net(sim: &Simulation) -> (Network, Vec<amoeba_flip::NodeStack>) {
+    let mut t = Topology::new();
+    let a = t.add_segment("a");
+    let b = t.add_segment("b");
+    let c = t.add_segment("c");
+    t.add_router("hub", &[a, b, c]);
+    let net = Network::with_topology(sim.handle(), quiet(), t, 29);
+    let stacks: Vec<_> = [a, a, b, b, c, c]
+        .iter()
+        .map(|s| net.attach_to(*s))
+        .collect();
+    (net, stacks)
+}
+
+#[test]
+fn multicast_never_enters_a_member_free_segment() {
+    // Members on segments a and b only; segment c must stay silent
+    // under pruning, and the pruned direction must be counted. The
+    // same send with pruning off floods c — the A/B the bench reports.
+    for pruning in [true, false] {
+        let mut sim = Simulation::new(31);
+        let (net, stacks) = y_net(&sim);
+        let g = GroupAddr(5);
+        let port = Port::from_name("mc");
+        stacks[0].join_group(g);
+        stacks[2].join_group(g);
+        let rx_b = stacks[2].bind(port);
+        let rx_c = stacks[4].bind(port); // not a member
+        net.set_multicast_pruning(pruning);
+        let before = net.stats();
+        let src = stacks[0].clone();
+        sim.spawn("send", move |_| src.send(g, port, vec![1]));
+        sim.run_for(Duration::from_millis(50));
+        let d = net.stats().since(&before);
+        assert_eq!(rx_b.len(), 1, "the remote member always receives");
+        assert!(rx_c.is_empty(), "a non-member never receives");
+        let frames_c = d.segments[2].frames;
+        if pruning {
+            assert_eq!(
+                frames_c, 0,
+                "pruning: no frame may enter the member-free segment"
+            );
+            assert!(d.mcast_pruned > 0, "the pruned direction is counted");
+            assert_eq!(d.packets_forwarded, 1, "one forward toward the member");
+        } else {
+            assert!(
+                frames_c > 0,
+                "flooding: the member-free segment carries the flood"
+            );
+            assert_eq!(d.mcast_pruned, 0);
+            assert_eq!(d.packets_forwarded, 2, "flooded onto both far segments");
+        }
+    }
+}
+
+#[test]
+fn membership_change_reopens_and_recloses_forwarding() {
+    let mut sim = Simulation::new(37);
+    let (net, stacks) = y_net(&sim);
+    let g = GroupAddr(9);
+    let port = Port::from_name("mj");
+    stacks[0].join_group(g);
+    let rx_c = stacks[4].bind(port);
+    let src = stacks[0].clone();
+    let joiner = stacks[4].clone();
+    let net2 = net.clone();
+    sim.spawn("drive", move |ctx| {
+        // No member on c yet: the multicast is pruned at the hub.
+        src.send(g, port, vec![1]);
+        ctx.sleep(Duration::from_millis(10));
+        // A host on c joins: the membership change flushes the group
+        // routing state and the next multicast reaches it.
+        joiner.join_group(g);
+        src.send(g, port, vec![2]);
+        ctx.sleep(Duration::from_millis(10));
+        // It leaves again: forwarding toward c closes.
+        joiner.leave_group(g);
+        src.send(g, port, vec![3]);
+        ctx.sleep(Duration::from_millis(10));
+        let _ = net2.stats();
+    });
+    sim.run_for(Duration::from_millis(100));
+    let mut got = Vec::new();
+    while let Some(p) = rx_c.try_recv() {
+        got.push(p.payload.as_slice()[0]);
+    }
+    assert_eq!(
+        got,
+        vec![2],
+        "only the multicast sent while c had a member arrives"
+    );
+}
+
+#[test]
+fn stale_routes_age_out_and_flooding_reteaches() {
+    // Learn a route, let it idle past the horizon: the next send must
+    // drop the stale entry (counted) and fall back to flooding — which
+    // costs a forward onto every far segment but re-teaches the path.
+    let mut params = quiet();
+    params.route_max_age = Duration::from_secs(2);
+    let mut t = Topology::new();
+    let a = t.add_segment("a");
+    let b = t.add_segment("b");
+    let c = t.add_segment("c");
+    t.add_router("hub", &[a, b, c]);
+    let mut sim = Simulation::new(41);
+    let net = Network::with_topology(sim.handle(), params, t, 43);
+    let on_a = net.attach_to(a);
+    let on_b = net.attach_to(b);
+    let _on_c = net.attach_to(c);
+    let port = Port::from_name("age");
+    let _rx_a = on_a.bind(port);
+    let rx_b = on_b.bind(port);
+    let a_addr = on_a.addr();
+    let b_addr = on_b.addr();
+    let a2 = on_a.clone();
+    let net2 = net.clone();
+    sim.spawn("drive", move |ctx| {
+        // Broadcast from a teaches b (and the hub) the route back to a.
+        on_a.send(Dest::Broadcast, port, vec![1]);
+        ctx.sleep(Duration::from_millis(10));
+        let fresh_start = net2.stats();
+        on_b.send(a_addr, port, vec![2]);
+        ctx.sleep(Duration::from_millis(10));
+        let fresh = net2.stats().since(&fresh_start);
+        assert_eq!(fresh.packets_forwarded, 1, "fresh route: directed, 1 hop");
+        assert_eq!(fresh.routes_aged_out, 0);
+        // Idle past the horizon: every entry on the path goes stale.
+        ctx.sleep(Duration::from_secs(3));
+        let stale_start = net2.stats();
+        on_b.send(a_addr, port, vec![3]);
+        ctx.sleep(Duration::from_millis(10));
+        let stale = net2.stats().since(&stale_start);
+        assert!(
+            stale.routes_aged_out > 0,
+            "the stale route must be dropped by age, not by send failure"
+        );
+        assert_eq!(
+            stale.packets_forwarded, 2,
+            "aged-out route falls back to flooding (both far segments)"
+        );
+        // Return traffic re-teaches the backward-learned routes (a's
+        // own route to b is stale too, so the reply also floods)...
+        a2.send(b_addr, port, vec![4]);
+        ctx.sleep(Duration::from_millis(10));
+        // ...after which the locate-then-route pattern is restored.
+        let relearn_start = net2.stats();
+        on_b.send(a_addr, port, vec![5]);
+        ctx.sleep(Duration::from_millis(10));
+        let relearn = net2.stats().since(&relearn_start);
+        assert_eq!(relearn.packets_forwarded, 1, "reply re-taught the route");
+    });
+    sim.run_for(Duration::from_secs(10));
+    // b saw a's broadcast and the reply.
+    let mut got = 0;
+    while rx_b.try_recv().is_some() {
+        got += 1;
+    }
+    assert_eq!(got, 2, "b got the broadcast copy and the reply");
 }
 
 #[test]

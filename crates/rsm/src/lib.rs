@@ -80,4 +80,4 @@ mod replica;
 
 pub use config::RsmConfig;
 pub use machine::{RecoveryInfo, RsmError, StateMachine};
-pub use replica::{Replica, ReplicaDeps};
+pub use replica::{Replica, ReplicaDeps, ReplicaStats};

@@ -30,11 +30,32 @@ pub(crate) enum Mode {
     Normal,
 }
 
+/// Per-replica counters of the driver's work, exposed through
+/// [`Replica::stats`]. Every [`Replica`] has its own — a machine
+/// running several replicated services (or several shards of one) gets
+/// one set per group, never aggregated across groups, so a shard's
+/// throughput can be read off directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Operations submitted through this replica's [`Replica::submit`].
+    pub submitted: u64,
+    /// Operations this replica applied to its state machine.
+    pub applied: u64,
+    /// Apply batches (one durable flush each).
+    pub batches: u64,
+    /// Initiator waits aborted by a group collapse.
+    pub aborted: u64,
+    /// Completed recovery passes (1 after a clean start).
+    pub recoveries: u64,
+}
+
 /// Driver-owned mutable state. Lock discipline: never hold across a
 /// blocking simulator call.
 pub(crate) struct DriverShared {
     pub mode: Mode,
     pub group: Option<Arc<Group>>,
+    /// Work counters for [`Replica::stats`].
+    pub stats: ReplicaStats,
     /// Highest sequence number *published*: applied AND covered by a
     /// group-commit flush. Initiators wait on this, never on the raw
     /// apply cursor, so they cannot observe un-flushed state.
@@ -52,6 +73,7 @@ impl DriverShared {
         DriverShared {
             mode: Mode::Recovering,
             group: None,
+            stats: ReplicaStats::default(),
             published_seq: 0,
             stayed_up: false,
             waiters: Vec::new(),
@@ -75,6 +97,7 @@ impl DriverShared {
 
     /// Aborts every waiter (the group collapsed).
     fn abort_waiters(&mut self) {
+        self.stats.aborted += self.waiters.len() as u64;
         for (_, tx) in self.waiters.drain(..) {
             tx.send(Wake::Aborted);
         }
@@ -195,6 +218,14 @@ impl<S: StateMachine> Replica<S> {
         self.shared.lock().published_seq
     }
 
+    /// A snapshot of this replica's work counters. Counters are scoped
+    /// to this replica (= this group) alone: services running several
+    /// replicas per machine — e.g. one per directory shard — read each
+    /// shard's numbers independently.
+    pub fn stats(&self) -> ReplicaStats {
+        self.shared.lock().stats
+    }
+
     /// Replicates `op` through the group and blocks until this
     /// replica has applied it and made it durable (group commit);
     /// returns the state machine's reply.
@@ -206,6 +237,7 @@ impl<S: StateMachine> Replica<S> {
     /// the operation was in flight.
     pub fn submit(&self, ctx: &Ctx, op: impl Into<Payload>) -> Result<Payload, RsmError> {
         let group = self.serving_group()?;
+        self.shared.lock().stats.submitted += 1;
         let seq = group
             .send(ctx, op.into())
             .map_err(|_| RsmError::NotInService)?;
@@ -284,6 +316,7 @@ impl<S: StateMachine> Replica<S> {
                 shared.group = Some(Arc::clone(&group));
                 shared.mode = Mode::Normal;
                 shared.stayed_up = true;
+                shared.stats.recoveries += 1;
             }
             self.event_loop(ctx, &group);
             // Collapsed: back to recovery.
@@ -346,6 +379,8 @@ impl<S: StateMachine> Replica<S> {
                     self.sm.flush(ctx);
                     let last = results.last().map(|(s, _)| *s).unwrap_or(covered);
                     let mut shared = self.shared.lock();
+                    shared.stats.applied += results.len() as u64;
+                    shared.stats.batches += 1;
                     shared.published_seq = shared.published_seq.max(last);
                     for (seq, reply) in results {
                         shared.results.insert(seq, reply);

@@ -1,0 +1,435 @@
+//! The sharded directory service: per-shard total order, cross-shard
+//! create/delete convergence under crashes, and segment-local placement
+//! on a routed star topology.
+
+use std::time::Duration;
+
+use amoeba_dirsvc::dir::cluster::{Cluster, ClusterParams, Variant};
+use amoeba_dirsvc::dir::{
+    Capability, DirClient, DirClientError, DirError, Rights, ServiceConfig, ShardMap,
+};
+use amoeba_dirsvc::flip::SegmentId;
+use amoeba_dirsvc::sim::{Ctx, Simulation};
+
+fn ready_root(ctx: &Ctx, client: &DirClient, columns: &[&str]) -> Capability {
+    loop {
+        match client.create_dir(ctx, columns) {
+            Ok(c) => return c,
+            Err(_) => ctx.sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+fn sharded_cluster(shards: usize, seed: u64) -> (Simulation, Cluster, DirClient, Capability) {
+    let mut sim = Simulation::new(seed);
+    let mut params = ClusterParams::sharded(Variant::Group, shards);
+    params.seed = seed;
+    let mut cluster = Cluster::start(&sim, params);
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    // The client's round-robin starts at shard 0, so the first create
+    // is the shard-0 root.
+    let out = sim.spawn("form", move |ctx| ready_root(ctx, &c2, &["owner"]));
+    sim.run_for(Duration::from_secs(40));
+    let root = out.take().expect("sharded service formed");
+    (sim, cluster, client, root)
+}
+
+/// A row name whose [`ShardMap::child_shard`] hash lands on `want`.
+fn name_on_shard(map: &ShardMap, parent: &Capability, want: usize, tag: &str) -> String {
+    (0..256)
+        .map(|i| format!("{tag}{i}"))
+        .find(|n| map.child_shard(parent, n) == want)
+        .expect("some name hashes to every shard")
+}
+
+#[test]
+fn single_shard_stays_behavior_identical() {
+    // shards = 1 must keep the classic port and the classic protocol —
+    // the configuration every pre-sharding test runs.
+    assert_eq!(
+        ShardMap::new(1).public_port(0),
+        ServiceConfig::new(3, 0).public_port
+    );
+    let (mut sim, cluster, client, root) = sharded_cluster(1, 211);
+    assert_eq!(cluster.columns.len(), 3, "one shard = three columns");
+    let out = sim.spawn("app", move |ctx| {
+        assert_eq!(
+            root.port,
+            ServiceConfig::new(3, 0).public_port,
+            "single-shard capabilities carry the classic port"
+        );
+        client
+            .append_row(ctx, root, "a", root, vec![Rights::ALL])
+            .unwrap();
+        client.lookup(ctx, root, "a").unwrap().is_some()
+    });
+    sim.run_for(Duration::from_secs(20));
+    assert_eq!(out.take(), Some(true));
+}
+
+#[test]
+fn shards_form_independent_groups_and_serve() {
+    let (mut sim, cluster, client, root0) = sharded_cluster(2, 223);
+    assert_eq!(cluster.columns.len(), 6, "two shards = six columns");
+    let map = ShardMap::new(2);
+    let out = sim.spawn("app", move |ctx| {
+        // Round-robin placement: the second root lands on shard 1.
+        let root1 = ready_root(ctx, &client, &["owner"]);
+        assert_eq!(map.shard_of_cap(&root0), Some(0));
+        assert_eq!(map.shard_of_cap(&root1), Some(1));
+        // Both shards serve reads and writes independently.
+        for (i, root) in [root0, root1].into_iter().enumerate() {
+            client
+                .append_row(ctx, root, "x", root, vec![Rights::ALL])
+                .unwrap();
+            assert!(
+                client.lookup(ctx, root, "x").unwrap().is_some(),
+                "shard {i} lookup"
+            );
+        }
+        // A cross-shard LookupSet splits and merges in request order.
+        let caps = client
+            .lookup_set(
+                ctx,
+                vec![
+                    (root1, "x".into()),
+                    (root0, "ghost".into()),
+                    (root0, "x".into()),
+                ],
+            )
+            .unwrap();
+        assert!(caps[0].is_some() && caps[1].is_none() && caps[2].is_some());
+        true
+    });
+    sim.run_for(Duration::from_secs(40));
+    assert_eq!(out.take(), Some(true));
+    // Each shard's replicas converged within the shard, and each shard
+    // ordered its own updates (independent update counters).
+    for shard in 0..2 {
+        let s: Vec<u64> = (0..3)
+            .map(|i| cluster.shard_server(shard, i).update_seq())
+            .collect();
+        assert!(
+            s[0] == s[1] && s[1] == s[2],
+            "shard {shard} diverged: {s:?}"
+        );
+        assert!(s[0] >= 2, "shard {shard} ordered its root + append");
+    }
+    // Shard-scoped replica stats: each shard's driver counted its own
+    // applies, not the other's.
+    for shard in 0..2 {
+        let st = cluster.shard_server(shard, 0).replica_stats();
+        assert!(st.applied >= 2, "shard {shard} stats: {st:?}");
+        assert!(st.batches >= 1, "shard {shard} batches: {st:?}");
+    }
+}
+
+#[test]
+fn per_shard_total_order_with_racing_writers() {
+    // Racing appends of one contended name per shard: the shard's
+    // sequencer arbitrates exactly one winner per round, per shard.
+    let (mut sim, mut cluster, client, root0) = sharded_cluster(2, 227);
+    let c2 = client.clone();
+    let setup = sim.spawn("root1", move |ctx| ready_root(ctx, &c2, &["owner"]));
+    sim.run_for(Duration::from_secs(10));
+    let root1 = setup.take().expect("shard-1 root");
+    let mut outs = Vec::new();
+    for c in 0..4 {
+        let (client, _) = cluster.client(&sim);
+        outs.push(sim.spawn(&format!("racer{c}"), move |ctx| {
+            let mut wins = 0u32;
+            for round in 0..8 {
+                for root in [root0, root1] {
+                    let name = format!("contended{round}");
+                    match client.append_row(ctx, root, &name, root, vec![Rights::ALL]) {
+                        Ok(()) => wins += 1,
+                        Err(DirClientError::Service(DirError::DuplicateName)) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }
+            wins
+        }));
+    }
+    sim.run_for(Duration::from_secs(120));
+    let total: u32 = outs.iter().map(|o| o.take().expect("racer done")).sum();
+    assert_eq!(
+        total, 16,
+        "each of 8 rounds × 2 shards must have exactly one winner"
+    );
+}
+
+#[test]
+fn cross_shard_create_in_links_parent_and_child() {
+    let (mut sim, _cluster, client, root) = sharded_cluster(2, 229);
+    let map = ShardMap::new(2);
+    let name = name_on_shard(&map, &root, 1, "kid");
+    let n2 = name.clone();
+    let out = sim.spawn("app", move |ctx| {
+        let child = client
+            .create_in(ctx, root, &n2, &["owner"], vec![Rights::ALL])
+            .unwrap();
+        assert_eq!(
+            map.shard_of_cap(&child),
+            Some(1),
+            "the child lives on its hash shard"
+        );
+        // The link is visible in the parent, and the child is a real,
+        // usable directory on the other shard.
+        let resolved = client.lookup(ctx, root, &n2).unwrap().expect("row exists");
+        assert_eq!(resolved.object, child.object);
+        assert_eq!(resolved.port, child.port);
+        client
+            .append_row(ctx, child, "inner", child, vec![Rights::ALL])
+            .unwrap();
+        // create_in is idempotent end to end: a repeat returns the same
+        // directory instead of creating a second one.
+        let again = client
+            .create_in(ctx, root, &n2, &["owner"], vec![Rights::ALL])
+            .unwrap();
+        assert_eq!(again, child, "repeat converges on the same child");
+        // A name already linked to *another* service directory (e.g.
+        // the completion record was lost to a total-shard disaster, or
+        // a different holder linked first): create_in converges on the
+        // existing directory instead of failing DuplicateName forever.
+        let other = client.create_dir(ctx, &["owner"]).unwrap();
+        client
+            .append_row(ctx, root, "taken", other, vec![Rights::ALL])
+            .unwrap();
+        let converged = client
+            .create_in(ctx, root, "taken", &["owner"], vec![Rights::ALL])
+            .unwrap();
+        assert_eq!(converged.object, other.object, "ensure-exists semantics");
+        assert_eq!(converged.port, other.port);
+        // ...but a row holding a foreign capability is a true conflict.
+        let foreign = Capability {
+            port: amoeba_dirsvc::flip::Port::from_raw(0xF0F0),
+            ..root
+        };
+        client
+            .append_row(ctx, root, "foreign", foreign, vec![Rights::ALL])
+            .unwrap();
+        assert_eq!(
+            client.create_in(ctx, root, "foreign", &["owner"], vec![Rights::ALL]),
+            Err(DirClientError::Service(DirError::DuplicateName))
+        );
+        // And the mirror two-step removes both row and directory.
+        client.delete_from(ctx, root, &n2).unwrap();
+        assert!(client.lookup(ctx, root, &n2).unwrap().is_none());
+        assert_eq!(
+            client.list(ctx, child),
+            Err(DirClientError::Service(DirError::BadCapability)),
+            "the child directory is gone from its shard"
+        );
+        true
+    });
+    sim.run_for(Duration::from_secs(60));
+    assert_eq!(out.take(), Some(true));
+}
+
+#[test]
+fn cross_shard_create_converges_after_parent_shard_crash_mid_operation() {
+    // Kill the parent shard's majority — its sequencer among the
+    // victims — so create_in completes step one (the keyed create on
+    // the child shard) and fails on step two (the link). The retry
+    // after recovery must converge on the *same* child directory via
+    // the completion record, not create a second one.
+    let (mut sim, mut cluster, client, root) = sharded_cluster(2, 233);
+    let map = ShardMap::new(2);
+    let name = name_on_shard(&map, &root, 1, "orphan");
+    let i0 = cluster.column_index(0, 0); // shard 0's sequencer
+    let i1 = cluster.column_index(0, 1);
+    cluster.crash_server(&sim, i0);
+    cluster.crash_server(&sim, i1);
+    let c2 = client.clone();
+    let n2 = name.clone();
+    let partial = sim.spawn("partial", move |ctx| {
+        ctx.sleep(Duration::from_secs(1));
+        // Step one lands on the healthy child shard; step two cannot.
+        c2.create_in(ctx, root, &n2, &["owner"], vec![Rights::ALL])
+    });
+    sim.run_for(Duration::from_secs(25));
+    let err = partial.take().expect("partial attempt returned");
+    assert!(err.is_err(), "the link step must fail without a majority");
+
+    cluster.restart_server(&sim, i0);
+    cluster.restart_server(&sim, i1);
+    sim.run_for(Duration::from_secs(30));
+    let c3 = client.clone();
+    let n3 = name.clone();
+    let retry = sim.spawn("retry", move |ctx| {
+        let mut child = None;
+        for _ in 0..100 {
+            match c3.create_in(ctx, root, &n3, &["owner"], vec![Rights::ALL]) {
+                Ok(c) => {
+                    child = Some(c);
+                    break;
+                }
+                Err(_) => ctx.sleep(Duration::from_millis(250)),
+            }
+        }
+        let child = child.expect("retry after recovery succeeds");
+        // The completion record resolved the retry to the directory
+        // created before the crash; a further repeat agrees.
+        let again = c3
+            .create_in(ctx, root, &n3, &["owner"], vec![Rights::ALL])
+            .unwrap();
+        assert_eq!(again, child);
+        let resolved = c3.lookup(ctx, root, &n3).unwrap().expect("row linked");
+        assert_eq!(resolved.object, child.object);
+        child
+    });
+    sim.run_for(Duration::from_secs(60));
+    let child = retry.take().expect("retry completed");
+    assert_eq!(ShardMap::new(2).shard_of_cap(&child), Some(1));
+}
+
+#[test]
+fn cross_shard_delete_converges_after_child_deleted_but_row_dangling() {
+    // The mirror crash: delete_from removes the child directory on its
+    // shard, then the parent shard dies before the unlink. The row
+    // dangles (visible, pointing at a dead directory) — the documented
+    // intermediate state — and a retry after recovery converges: the
+    // child delete replays as success, the row goes away.
+    let (mut sim, mut cluster, client, root) = sharded_cluster(2, 239);
+    let map = ShardMap::new(2);
+    let name = name_on_shard(&map, &root, 1, "dang");
+    let c2 = client.clone();
+    let n2 = name.clone();
+    let setup = sim.spawn("setup", move |ctx| {
+        c2.create_in(ctx, root, &n2, &["owner"], vec![Rights::ALL])
+            .unwrap()
+    });
+    sim.run_for(Duration::from_secs(20));
+    let child = setup.take().expect("cross-shard child created");
+
+    // Emulate the mid-operation crash at its exact interleaving: the
+    // child delete (step one, on the healthy shard 1) has landed...
+    let c3 = client.clone();
+    let n3 = name.clone();
+    let step_one = sim.spawn("step-one", move |ctx| {
+        c3.delete_dir(ctx, child).unwrap();
+        // ...leaving the parent's row dangling, pointing at a dead
+        // directory — the documented visible intermediate state.
+        let gone = matches!(
+            c3.list(ctx, child),
+            Err(DirClientError::Service(DirError::BadCapability))
+        );
+        let dangling = c3.lookup(ctx, root, &n3).unwrap().is_some();
+        (gone, dangling)
+    });
+    sim.run_for(Duration::from_secs(15));
+    let (child_gone, row_dangling) = step_one.take().expect("step one drove");
+    assert!(child_gone, "the child delete landed");
+    assert!(row_dangling, "the row dangles until the unlink");
+
+    // ...and the parent shard (sequencer included) dies before the
+    // unlink: a full delete_from now fails at the parent.
+    let i0 = cluster.column_index(0, 0);
+    let i1 = cluster.column_index(0, 1);
+    cluster.crash_server(&sim, i0);
+    cluster.crash_server(&sim, i1);
+    let c3b = client.clone();
+    let n3b = name.clone();
+    let partial = sim.spawn("partial", move |ctx| {
+        ctx.sleep(Duration::from_secs(1));
+        c3b.delete_from(ctx, root, &n3b).is_err()
+    });
+    sim.run_for(Duration::from_secs(25));
+    assert_eq!(
+        partial.take(),
+        Some(true),
+        "the unlink must fail without a parent-shard majority"
+    );
+
+    cluster.restart_server(&sim, i0);
+    cluster.restart_server(&sim, i1);
+    sim.run_for(Duration::from_secs(30));
+    let c4 = client.clone();
+    let n4 = name.clone();
+    let retry = sim.spawn("retry", move |ctx| {
+        for _ in 0..100 {
+            match c4.delete_from(ctx, root, &n4) {
+                Ok(()) => break,
+                Err(_) => ctx.sleep(Duration::from_millis(250)),
+            }
+        }
+        c4.lookup(ctx, root, &n4).unwrap().is_none()
+    });
+    sim.run_for(Duration::from_secs(60));
+    assert_eq!(
+        retry.take(),
+        Some(true),
+        "retry converges: dangling row unlinked"
+    );
+}
+
+#[test]
+fn shard_star_placement_keeps_reads_segment_local() {
+    // Two shards, each on its own segment of a star, clients with
+    // shard 0 on net-s0: reads of shard-0 directories must never cross
+    // the hub router — and with multicast pruning, neither does the
+    // other shard's replication traffic.
+    let mut sim = Simulation::new(241);
+    let mut params = ClusterParams::sharded_routed(Variant::Group, 2);
+    params.seed = 241;
+    let mut cluster = Cluster::start(&sim, params);
+    // Placement really is per-shard.
+    for i in 0..3 {
+        assert_eq!(
+            cluster.net.segment_of(cluster.columns[i].host),
+            Some(SegmentId(0)),
+            "shard 0 column {i}"
+        );
+        assert_eq!(
+            cluster.net.segment_of(cluster.columns[3 + i].host),
+            Some(SegmentId(1)),
+            "shard 1 column {i}"
+        );
+    }
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let setup = sim.spawn("form", move |ctx| {
+        let root0 = ready_root(ctx, &c2, &["owner"]);
+        c2.append_row(ctx, root0, "target", root0, vec![Rights::ALL])
+            .unwrap();
+        root0
+    });
+    sim.run_for(Duration::from_secs(40));
+    let root0 = setup.take().expect("shard-0 root formed");
+    // Let formation traffic settle, then measure a read-only window.
+    sim.run_for(Duration::from_secs(5));
+    let before = cluster.net.stats();
+    let reads = sim.spawn("reads", move |ctx| {
+        let mut ok = 0;
+        for _ in 0..50 {
+            if client.lookup(ctx, root0, "target").unwrap().is_some() {
+                ok += 1;
+            }
+        }
+        ok
+    });
+    sim.run_for(Duration::from_secs(20));
+    assert_eq!(reads.take(), Some(50));
+    let d = cluster.net.stats().since(&before);
+    assert_eq!(
+        d.packets_forwarded, 0,
+        "shard-local reads (and pruned shard traffic) never cross the hub"
+    );
+    assert!(
+        d.segments[0].frames > 0,
+        "the read traffic is on the client's segment"
+    );
+    // The per-segment accounting identity must survive pruning: every
+    // frame on any wire is still an origin send or a forward — pruning
+    // removes forwards and their frames together, never one without
+    // the other.
+    let st = cluster.net.stats();
+    assert!(st.mcast_pruned > 0, "formation traffic was pruned");
+    assert_eq!(
+        st.segments.iter().map(|s| s.frames).sum::<u64>(),
+        st.packets_sent + st.packets_forwarded,
+        "frames = sent + forwarded, with pruning enabled"
+    );
+}
