@@ -28,11 +28,20 @@
 //! pruning against TTL flooding: updates/s, `packets_forwarded` and
 //! forwards per append.
 //!
+//! A sixth, `<label>+migration`, A/Bs a deliberately *skewed* placement
+//! (every writer's directory on shard 0 of 4) against the same
+//! deployment with the lease-fenced rebalancer on: the rebalancer
+//! migrates the hot directories across the shards during warmup —
+//! writers keep their original capabilities and follow the forwarding
+//! stubs — and the measured window shows hot-shard throughput
+//! recovering toward the balanced reference without a redeploy.
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
-//! (append `--internetwork-only` / `--shards-only` to refresh just that
-//! run). The `ci-smoke` label runs a seconds-long subset with tiny
-//! iteration counts against a scratch output file and asserts the
-//! emitted JSON is valid — the CI guard against bench bit-rot.
+//! (append `--internetwork-only` / `--shards-only` / `--migration-only`
+//! to refresh just that run). The `ci-smoke` label runs a seconds-long
+//! subset with tiny iteration counts against a scratch output file and
+//! asserts the emitted JSON is valid — the CI guard against bench
+//! bit-rot.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -49,6 +58,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let inet_only = args.iter().any(|a| a == "--internetwork-only");
     let shards_only = args.iter().any(|a| a == "--shards-only");
+    let migration_only = args.iter().any(|a| a == "--migration-only");
     let mut pos = args.iter().filter(|a| !a.starts_with("--"));
     let label = pos
         .next()
@@ -72,6 +82,12 @@ fn main() {
         let shards = shards_run(&label);
         append_run(&out_path, "pipeline", &shards).expect("write BENCH_pipeline.json");
         println!("appended shards run to {}", out_path.display());
+        return;
+    }
+    if migration_only {
+        let migration = migration_run(&label);
+        append_run(&out_path, "pipeline", &migration).expect("write BENCH_pipeline.json");
+        println!("appended migration run to {}", out_path.display());
         return;
     }
     println!("pipeline bench — run '{label}'");
@@ -123,7 +139,74 @@ fn main() {
     // pruning vs flooding on the routed shard placement.
     let shards = shards_run(&label);
     append_run(&out_path, "pipeline", &shards).expect("write BENCH_pipeline.json");
+
+    // A/B five: skewed hot-shard placement, static vs rebalanced.
+    let migration = migration_run(&label);
+    append_run(&out_path, "pipeline", &migration).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
+}
+
+/// The migration A/B: every writer's directory on shard 0 of 4 (the
+/// hotspot static placement cannot shed), measured with the rebalancer
+/// off (static skew) and on (hot directories migrated across the shards
+/// during warmup, writers following forwarding stubs), plus the
+/// balanced-placement reference at the same writer count.
+fn migration_run(label: &str) -> RunSummary {
+    use amoeba_bench::{migration_burst, sharded_update_burst};
+    const N_WRITERS: usize = 12;
+    const SHARDS: usize = 4;
+    // Rebalancing is not instant: each migration's stub-install queues
+    // behind the hot shard's own writers, so draining a 12-directory
+    // hotspot takes tens of seconds — the warmup covers it, and the
+    // window then measures the steady rebalanced state.
+    let warmup = Duration::from_secs(30);
+    let window = Duration::from_secs(8);
+    let mut run = RunSummary {
+        label: format!("{label}+migration"),
+        ..Default::default()
+    };
+    let balanced = sharded_update_burst(
+        SHARDS,
+        false,
+        true,
+        N_WRITERS,
+        Duration::from_secs(1),
+        window,
+        0x316,
+    );
+    println!(
+        "  migration/balanced-reference: {:.1} appends/s at {N_WRITERS} writers",
+        balanced.ops_per_sec
+    );
+    run.variants.push(VariantSummary {
+        variant: format!("Group(3)/migration/shards={SHARDS}/balanced-reference"),
+        n_clients: N_WRITERS,
+        lookup_ops_per_sec: f64::NAN,
+        update_ops_per_sec: balanced.ops_per_sec,
+        lookup_latency_ms: f64::NAN,
+        update_latency_ms: f64::NAN,
+    });
+    for rebalance in [false, true] {
+        let tag = if rebalance { "rebalanced" } else { "static" };
+        let r = migration_burst(SHARDS, rebalance, N_WRITERS, warmup, window, 0x316);
+        println!(
+            "  migration/skewed/{tag}: {:.1} appends/s, {} dirs migrated off the hot shard",
+            r.ops_per_sec, r.migrated
+        );
+        run.variants.push(VariantSummary {
+            variant: format!("Group(3)/migration/shards={SHARDS}/skewed/{tag}"),
+            n_clients: N_WRITERS,
+            lookup_ops_per_sec: f64::NAN,
+            update_ops_per_sec: r.ops_per_sec,
+            lookup_latency_ms: f64::NAN,
+            update_latency_ms: f64::NAN,
+        });
+        run.network.push((
+            format!("migration/skewed/{tag}/hot_shard_stubs"),
+            r.migrated as f64,
+        ));
+    }
+    run
 }
 
 /// The sharding A/B: update-burst throughput at 1, 2 and 4 shards on a
@@ -192,7 +275,7 @@ fn shards_run(label: &str) -> RunSummary {
 /// full run.
 fn ci_smoke() {
     use amoeba_bench::group_pipeline::group_send_throughput;
-    use amoeba_bench::sharded_update_burst;
+    use amoeba_bench::{migration_burst, sharded_update_burst};
 
     println!("pipeline bench — ci-smoke");
     let mut run = RunSummary {
@@ -232,6 +315,37 @@ fn ci_smoke() {
         lookup_latency_ms: f64::NAN,
         update_latency_ms: f64::NAN,
     });
+    // Migration harness: a tiny skewed run with the rebalancer on —
+    // asserts the skew machinery, the lease-fenced rebalancer and the
+    // forwarding path all still drive end to end.
+    let m = migration_burst(
+        2,
+        true,
+        2,
+        Duration::from_secs(3),
+        Duration::from_secs(3),
+        0xC1,
+    );
+    assert!(
+        m.ops_per_sec > 0.0,
+        "migration smoke run must complete appends"
+    );
+    assert!(
+        m.migrated >= 1,
+        "the rebalancer must migrate at least one hot directory"
+    );
+    run.variants.push(VariantSummary {
+        variant: "ci-smoke/migration/skewed/rebalanced".to_owned(),
+        n_clients: 2,
+        lookup_ops_per_sec: f64::NAN,
+        update_ops_per_sec: m.ops_per_sec,
+        lookup_latency_ms: f64::NAN,
+        update_latency_ms: f64::NAN,
+    });
+    run.network.push((
+        "migration/skewed/rebalanced/hot_shard_stubs".into(),
+        m.migrated as f64,
+    ));
     run.micro = micro_points();
     // Emit to a scratch file and verify the JSON shape end to end
     // (append twice: creation and the splice-before-footer path).
@@ -249,10 +363,16 @@ fn ci_smoke() {
         2,
         "ci-smoke: both runs must be present"
     );
+    assert!(
+        text.contains("ci-smoke/migration/skewed/rebalanced")
+            && text.contains("migration/skewed/rebalanced/hot_shard_stubs"),
+        "ci-smoke: the migration section must be present in the JSON"
+    );
     std::fs::remove_file(&path).expect("ci-smoke: cleanup");
     println!(
-        "ci-smoke ok: group {:.0} msgs/s, 2-shard burst {:.1} appends/s, json shape valid",
-        g.msgs_per_sec, r.ops_per_sec
+        "ci-smoke ok: group {:.0} msgs/s, 2-shard burst {:.1} appends/s, \
+         migration burst {:.1} appends/s ({} migrated), json shape valid",
+        g.msgs_per_sec, r.ops_per_sec, m.ops_per_sec, m.migrated
     );
 }
 

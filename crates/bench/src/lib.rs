@@ -246,6 +246,102 @@ pub fn sharded_update_burst(
     }
 }
 
+/// Result of one skewed-placement migration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationBurstResult {
+    /// Completed appends per simulated second over the window.
+    pub ops_per_sec: f64,
+    /// Forwarding stubs on the hot shard at the end — i.e. directories
+    /// the rebalancer migrated away (0 with the rebalancer off).
+    pub migrated: usize,
+}
+
+/// The skewed hot-shard harness behind the `+migration` A/B: a sharded
+/// Group(3) deployment where **every** writer's directory is
+/// deliberately placed on shard 0 — the single-sequencer hotspot a
+/// static placement cannot shed. With `rebalance` the deployment runs
+/// the lease-fenced [`RebalancerParams`] rebalancer, which migrates the
+/// hot directories across the other shards *during the warmup* (the
+/// writers keep their original capabilities and follow the forwarding
+/// stubs), and the measured window shows throughput recovering without
+/// a redeploy.
+///
+/// [`RebalancerParams`]: amoeba_dir_core::cluster::RebalancerParams
+pub fn migration_burst(
+    shards: usize,
+    rebalance: bool,
+    n_writers: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+) -> MigrationBurstResult {
+    use amoeba_dir_core::cluster::RebalancerParams;
+    use amoeba_dir_core::{DirClientError, DirError, ShardMap};
+
+    let mut tb = testbed_with(Variant::Group, seed, |p| {
+        p.shards = shards;
+        if rebalance {
+            p.lease_service = true;
+            // Trigger thresholds chosen to fire hard on the initial
+            // hotspot (hot/cold ratio is effectively infinite while a
+            // shard sits idle) and go quiet once the placement is
+            // balanced (per-shard deltas converge, the ratio drops
+            // under 2), so the measured window sees a steady state,
+            // not migration churn. The 2 s interval keeps per-interval
+            // deltas large enough to be meaningful at disk-bound
+            // update rates.
+            p.rebalancer = Some(RebalancerParams {
+                interval: Duration::from_secs(2),
+                skew_ratio: 1.5,
+                min_hot_ops: 12,
+                moves_per_round: 4,
+                lease_ttl: 64,
+            });
+        }
+    });
+
+    // The skew: every writer's directory is created on shard 0 (creates
+    // landing elsewhere are simply discarded — they stay empty).
+    let client = tb.client.clone();
+    let map = ShardMap::new(shards);
+    let made = tb.sim.spawn("skewed-dirs", move |ctx| {
+        let mut dirs = Vec::new();
+        while dirs.len() < n_writers {
+            match client.create_dir(ctx, &["owner", "other"]) {
+                Ok(cap) if map.shard_of_cap(&cap) == Some(0) => dirs.push(cap),
+                Ok(_) => {}
+                Err(_) => ctx.sleep(Duration::from_millis(100)),
+            }
+        }
+        dirs
+    });
+    tb.sim.run_for(Duration::from_secs(60));
+    let dirs = Arc::new(made.take().expect("skewed directories created"));
+
+    let ops_per_sec = throughput(
+        &mut tb,
+        n_writers,
+        warmup,
+        window,
+        move |ctx, client, _root, c, k| {
+            let dir = dirs[c % dirs.len()];
+            let name = format!("m{c}-{k}");
+            for _ in 0..6 {
+                match client.append_row(ctx, dir, &name, dir, vec![Rights::ALL, Rights::NONE]) {
+                    Ok(()) => return true,
+                    Err(DirClientError::Service(DirError::DuplicateName)) => return true,
+                    Err(_) => ctx.sleep(Duration::from_millis(10)),
+                }
+            }
+            false
+        },
+    );
+    MigrationBurstResult {
+        ops_per_sec,
+        migrated: tb.cluster.shard_server(0, 0).stub_count(),
+    }
+}
+
 /// Formats a paper-vs-measured table row.
 pub fn row(label: &str, paper: &str, measured: f64, unit: &str) -> String {
     format!("{label:<28} {paper:>12} {measured:>12.1} {unit}")

@@ -12,6 +12,14 @@
 //! two-step protocol described in the [`crate::shard`] module docs.
 //! With one shard the routed client is indistinguishable from the
 //! classic one.
+//!
+//! Every capability-addressed call runs a **bounded re-resolve loop**:
+//! the capability is first translated through the map's learned
+//! relocation cache, and a [`DirReply::Moved`] answer (the directory
+//! migrated, see the [`crate::shard`] docs) teaches the cache a new
+//! hint and retries at the new location — so a shard hint going stale
+//! mid-request (a migration racing the call) is chased, not surfaced
+//! as a hard failure, and old capabilities keep working forever.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -24,6 +32,18 @@ use crate::capability::Capability;
 use crate::ops::{DirError, DirReply, DirRequest};
 use crate::rights::Rights;
 use crate::shard::ShardMap;
+
+/// Most `Moved` hops a single call chases before reporting
+/// [`DirClientError::Protocol`]. Real chains are as long as the number
+/// of migrations a directory underwent since this client last saw it;
+/// each hop is also cached, so a second call needs none.
+const MAX_CHASE: usize = 8;
+
+/// Most export → install → CAS rounds a [`DirClient::migrate`] runs
+/// before giving up with [`DirError::Stale`] (each round lost means a
+/// concurrent update landed — the directory is hot; back off and let
+/// the caller retry).
+const MAX_MIGRATE_ROUNDS: usize = 16;
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,14 +171,6 @@ impl DirClient {
         DirReply::decode(&bytes).map_err(|_| DirClientError::Protocol)
     }
 
-    fn expect_ok(&self, ctx: &Ctx, port: Port, req: &DirRequest) -> Result<(), DirClientError> {
-        match self.call(ctx, port, req)? {
-            DirReply::Ok => Ok(()),
-            DirReply::Err(e) => Err(e.into()),
-            _ => Err(DirClientError::Protocol),
-        }
-    }
-
     fn expect_cap(
         &self,
         ctx: &Ctx,
@@ -167,6 +179,69 @@ impl DirClient {
     ) -> Result<Capability, DirClientError> {
         match self.call(ctx, port, req)? {
             DirReply::Cap(c) => Ok(c),
+            DirReply::Err(e) => Err(e.into()),
+            _ => Err(DirClientError::Protocol),
+        }
+    }
+
+    /// Translates a capability through the learned relocation hints
+    /// (identity on unsharded routes and unknown capabilities).
+    fn resolve_cap(&self, cap: Capability) -> Capability {
+        match &*self.route {
+            Route::Single(_) => cap,
+            Route::Sharded(m) => m.resolve(&cap),
+        }
+    }
+
+    /// Records a forwarding hint learned from a [`DirReply::Moved`].
+    fn learn(&self, from: (Port, u64), to: (Port, u64)) {
+        if let Route::Sharded(m) = &*self.route {
+            m.learn(from, to);
+        }
+    }
+
+    /// The bounded re-resolve loop every capability-addressed call runs:
+    /// translate the capability through the relocation cache, rebuild
+    /// the request with the translated capability (same rights and
+    /// check — migration preserves the raw check), send, and on a
+    /// `Moved` answer learn the hint and retry at the new location.
+    /// Returns the final reply together with the capability it was
+    /// produced for (the directory's current home).
+    fn call_chasing(
+        &self,
+        ctx: &Ctx,
+        cap: Capability,
+        build: impl Fn(Capability) -> DirRequest,
+    ) -> Result<(DirReply, Capability), DirClientError> {
+        let mut cur = self.resolve_cap(cap);
+        for _ in 0..MAX_CHASE {
+            let port = self.port_of_cap(&cur);
+            match self.call(ctx, port, &build(cur))? {
+                DirReply::Moved {
+                    object,
+                    to_port,
+                    to_object,
+                } => {
+                    // Only single-directory requests flow through here,
+                    // so the moved object is `cur`'s; re-resolving from
+                    // the original follows the now-extended chain.
+                    self.learn((port, object), (Port::from_raw(to_port), to_object));
+                    cur = self.resolve_cap(cap);
+                }
+                reply => return Ok((reply, cur)),
+            }
+        }
+        Err(DirClientError::Protocol)
+    }
+
+    fn expect_ok_chasing(
+        &self,
+        ctx: &Ctx,
+        cap: Capability,
+        build: impl Fn(Capability) -> DirRequest,
+    ) -> Result<(), DirClientError> {
+        match self.call_chasing(ctx, cap, build)?.0 {
+            DirReply::Ok => Ok(()),
             DirReply::Err(e) => Err(e.into()),
             _ => Err(DirClientError::Protocol),
         }
@@ -220,17 +295,14 @@ impl DirClient {
                 key: ShardMap::completion_key(&parent, name),
             },
         )?;
-        // Step 2: link it into the parent (idempotent).
-        match self.expect_ok(
-            ctx,
-            self.port_of_cap(&parent),
-            &DirRequest::AppendLink {
-                dir: parent,
-                name: name.to_owned(),
-                cap: child,
-                col_rights,
-            },
-        ) {
+        // Step 2: link it into the parent (idempotent; chases the
+        // parent's forwarding stubs if it migrated).
+        match self.expect_ok_chasing(ctx, parent, |p| DirRequest::AppendLink {
+            dir: p,
+            name: name.to_owned(),
+            cap: child,
+            col_rights: col_rights.clone(),
+        }) {
             Ok(()) => Ok(child),
             // The row already holds a *different* directory: converge
             // on it ("ensure a child directory linked at name"). This
@@ -293,14 +365,10 @@ impl DirClient {
                 }
             }
         }
-        self.expect_ok(
-            ctx,
-            self.port_of_cap(&parent),
-            &DirRequest::Unlink {
-                dir: parent,
-                name: name.to_owned(),
-            },
-        )
+        self.expect_ok_chasing(ctx, parent, |p| DirRequest::Unlink {
+            dir: p,
+            name: name.to_owned(),
+        })
     }
 
     /// Deletes a directory (needs [`Rights::ADMIN`]).
@@ -309,7 +377,7 @@ impl DirClient {
     ///
     /// Service errors or transport failures.
     pub fn delete_dir(&self, ctx: &Ctx, cap: Capability) -> Result<(), DirClientError> {
-        self.expect_ok(ctx, self.port_of_cap(&cap), &DirRequest::DeleteDir { cap })
+        self.expect_ok_chasing(ctx, cap, |c| DirRequest::DeleteDir { cap: c })
     }
 
     /// Lists a directory.
@@ -318,7 +386,10 @@ impl DirClient {
     ///
     /// Service errors or transport failures.
     pub fn list(&self, ctx: &Ctx, cap: Capability) -> Result<Listing, DirClientError> {
-        match self.call(ctx, self.port_of_cap(&cap), &DirRequest::ListDir { cap })? {
+        match self
+            .call_chasing(ctx, cap, |c| DirRequest::ListDir { cap: c })?
+            .0
+        {
             DirReply::Listing { columns, rows } => Ok(Listing { columns, rows }),
             DirReply::Err(e) => Err(e.into()),
             _ => Err(DirClientError::Protocol),
@@ -338,16 +409,12 @@ impl DirClient {
         cap: Capability,
         col_rights: Vec<Rights>,
     ) -> Result<(), DirClientError> {
-        self.expect_ok(
-            ctx,
-            self.port_of_cap(&dir),
-            &DirRequest::AppendRow {
-                dir,
-                name: name.to_owned(),
-                cap,
-                col_rights,
-            },
-        )
+        self.expect_ok_chasing(ctx, dir, |d| DirRequest::AppendRow {
+            dir: d,
+            name: name.to_owned(),
+            cap,
+            col_rights: col_rights.clone(),
+        })
     }
 
     /// Changes a row's per-column rights masks.
@@ -362,15 +429,11 @@ impl DirClient {
         name: &str,
         col_rights: Vec<Rights>,
     ) -> Result<(), DirClientError> {
-        self.expect_ok(
-            ctx,
-            self.port_of_cap(&dir),
-            &DirRequest::ChmodRow {
-                dir,
-                name: name.to_owned(),
-                col_rights,
-            },
-        )
+        self.expect_ok_chasing(ctx, dir, |d| DirRequest::ChmodRow {
+            dir: d,
+            name: name.to_owned(),
+            col_rights: col_rights.clone(),
+        })
     }
 
     /// Deletes a row.
@@ -379,14 +442,10 @@ impl DirClient {
     ///
     /// Service errors or transport failures.
     pub fn delete_row(&self, ctx: &Ctx, dir: Capability, name: &str) -> Result<(), DirClientError> {
-        self.expect_ok(
-            ctx,
-            self.port_of_cap(&dir),
-            &DirRequest::DeleteRow {
-                dir,
-                name: name.to_owned(),
-            },
-        )
+        self.expect_ok_chasing(ctx, dir, |d| DirRequest::DeleteRow {
+            dir: d,
+            name: name.to_owned(),
+        })
     }
 
     /// Looks up several (directory, name) pairs at once. On a sharded
@@ -401,28 +460,47 @@ impl DirClient {
         ctx: &Ctx,
         items: Vec<(Capability, String)>,
     ) -> Result<Vec<Option<Capability>>, DirClientError> {
-        let mut groups: Vec<(Port, Vec<usize>)> = Vec::new();
-        for (i, (cap, _)) in items.iter().enumerate() {
-            let port = self.port_of_cap(cap);
-            match groups.iter_mut().find(|(p, _)| *p == port) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((port, vec![i])),
-            }
-        }
-        let mut out = vec![None; items.len()];
-        for (port, idxs) in groups {
-            let sub: Vec<(Capability, String)> = idxs.iter().map(|i| items[*i].clone()).collect();
-            match self.call(ctx, port, &DirRequest::LookupSet { items: sub })? {
-                DirReply::Caps(v) if v.len() == idxs.len() => {
-                    for (k, i) in idxs.into_iter().enumerate() {
-                        out[i] = v[k];
-                    }
+        // Bounded re-resolve loop: a `Moved` answer for any item teaches
+        // the relocation cache and redoes the grouping with the fresher
+        // translations.
+        'chase: for _ in 0..MAX_CHASE {
+            let translated: Vec<(Capability, String)> = items
+                .iter()
+                .map(|(cap, name)| (self.resolve_cap(*cap), name.clone()))
+                .collect();
+            let mut groups: Vec<(Port, Vec<usize>)> = Vec::new();
+            for (i, (cap, _)) in translated.iter().enumerate() {
+                let port = self.port_of_cap(cap);
+                match groups.iter_mut().find(|(p, _)| *p == port) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((port, vec![i])),
                 }
-                DirReply::Err(e) => return Err(e.into()),
-                _ => return Err(DirClientError::Protocol),
             }
+            let mut out = vec![None; items.len()];
+            for (port, idxs) in groups {
+                let sub: Vec<(Capability, String)> =
+                    idxs.iter().map(|i| translated[*i].clone()).collect();
+                match self.call(ctx, port, &DirRequest::LookupSet { items: sub })? {
+                    DirReply::Caps(v) if v.len() == idxs.len() => {
+                        for (k, i) in idxs.into_iter().enumerate() {
+                            out[i] = v[k];
+                        }
+                    }
+                    DirReply::Moved {
+                        object,
+                        to_port,
+                        to_object,
+                    } => {
+                        self.learn((port, object), (Port::from_raw(to_port), to_object));
+                        continue 'chase;
+                    }
+                    DirReply::Err(e) => return Err(e.into()),
+                    _ => return Err(DirClientError::Protocol),
+                }
+            }
+            return Ok(out);
         }
-        Ok(out)
+        Err(DirClientError::Protocol)
     }
 
     /// Looks up one name.
@@ -454,17 +532,143 @@ impl DirClient {
         items: Vec<(Capability, String, Capability)>,
     ) -> Result<(), DirClientError> {
         type Replacement = (Capability, String, Capability);
-        let mut groups: Vec<(Port, Vec<Replacement>)> = Vec::new();
-        for item in items {
-            let port = self.port_of_cap(&item.0);
-            match groups.iter_mut().find(|(p, _)| *p == port) {
-                Some((_, sub)) => sub.push(item),
-                None => groups.push((port, vec![item])),
+        // Same bounded re-resolve loop as `lookup_set`. Shard groups
+        // already applied before a `Moved` round are re-applied —
+        // ReplaceSet is idempotent (same capability into the same row).
+        'chase: for _ in 0..MAX_CHASE {
+            let translated: Vec<Replacement> = items
+                .iter()
+                .map(|(dir, name, cap)| (self.resolve_cap(*dir), name.clone(), *cap))
+                .collect();
+            let mut groups: Vec<(Port, Vec<Replacement>)> = Vec::new();
+            for item in translated {
+                let port = self.port_of_cap(&item.0);
+                match groups.iter_mut().find(|(p, _)| *p == port) {
+                    Some((_, sub)) => sub.push(item),
+                    None => groups.push((port, vec![item])),
+                }
+            }
+            for (port, sub) in groups {
+                match self.call(ctx, port, &DirRequest::ReplaceSet { items: sub })? {
+                    DirReply::Ok => {}
+                    DirReply::Moved {
+                        object,
+                        to_port,
+                        to_object,
+                    } => {
+                        self.learn((port, object), (Port::from_raw(to_port), to_object));
+                        continue 'chase;
+                    }
+                    DirReply::Err(e) => return Err(e.into()),
+                    _ => return Err(DirClientError::Protocol),
+                }
+            }
+            return Ok(());
+        }
+        Err(DirClientError::Protocol)
+    }
+
+    /// Moves a directory to another shard: the crash-convergent
+    /// copy + tombstone two-step described in the [`crate::shard`]
+    /// docs. Requires the **owner** capability; returns the directory's
+    /// capability at its new home (old capabilities remain valid
+    /// through the forwarding stub). Fails [`DirError::Stale`] if a
+    /// sustained stream of concurrent updates wins every CAS round —
+    /// retry later. Any partial failure (either shard or this
+    /// coordinator crashing mid-way) leaves a retryable intermediate: a
+    /// repeat call converges on the same copy via the migration key.
+    ///
+    /// # Errors
+    ///
+    /// Service errors or transport failures; retry the whole call.
+    pub fn migrate(
+        &self,
+        ctx: &Ctx,
+        dir: Capability,
+        target_shard: usize,
+    ) -> Result<Capability, DirClientError> {
+        let map = match &*self.route {
+            Route::Sharded(m) if m.shards() > 1 => m.clone(),
+            _ => return Err(DirClientError::Service(DirError::Malformed)),
+        };
+        if target_shard >= map.shards() {
+            return Err(DirClientError::Service(DirError::Malformed));
+        }
+        let target_port = map.public_port(target_shard);
+        for _ in 0..MAX_MIGRATE_ROUNDS {
+            // Read the directory where it currently lives (chasing any
+            // existing stubs), including its raw check and CAS seqno.
+            let (reply, home) =
+                self.call_chasing(ctx, dir, |c| DirRequest::ExportDir { cap: c })?;
+            let (check, seqno, columns, rows) = match reply {
+                DirReply::Export {
+                    check,
+                    seqno,
+                    columns,
+                    rows,
+                } => (check, seqno, columns, rows),
+                DirReply::Err(e) => return Err(e.into()),
+                _ => return Err(DirClientError::Protocol),
+            };
+            let home = Capability::owner(home.port, home.object, check);
+            if home.port == target_port {
+                return Ok(home); // already (or meanwhile) at the target
+            }
+            // Step 1: keyed upsert of the dark copy on the target shard.
+            let key = ShardMap::migration_key(&home, target_port);
+            let installed = self.expect_cap(
+                ctx,
+                target_port,
+                &DirRequest::InstallDir {
+                    columns,
+                    rows,
+                    check,
+                    key,
+                },
+            )?;
+            // Step 2: CAS the tombstone + forwarding stub onto the
+            // source. A concurrent update since the export fails it
+            // `Stale` and the loop re-copies — nothing is lost.
+            match self.call(
+                ctx,
+                home.port,
+                &DirRequest::InstallStub {
+                    dir: home,
+                    to_port: installed.port.as_raw(),
+                    to_object: installed.object,
+                    expected_seqno: seqno,
+                },
+            )? {
+                DirReply::Ok => {
+                    map.learn((home.port, home.object), (installed.port, installed.object));
+                    return Ok(installed);
+                }
+                DirReply::Err(DirError::Stale) => continue,
+                DirReply::Moved {
+                    object,
+                    to_port,
+                    to_object,
+                } => {
+                    // Another coordinator migrated it first: converge on
+                    // the location it actually went to — and reclaim our
+                    // now-unreferenced dark copy if it went elsewhere
+                    // (same-shard races share one keyed copy and answer
+                    // Ok above, so this is a genuinely foreign copy).
+                    let to = (Port::from_raw(to_port), to_object);
+                    map.learn((home.port, object), to);
+                    if to != (installed.port, installed.object) {
+                        let _ = self.call(
+                            ctx,
+                            installed.port,
+                            &DirRequest::DeleteDir { cap: installed },
+                        );
+                    }
+                    return Ok(Capability::owner(to.0, to.1, check));
+                }
+                DirReply::Err(e) => return Err(e.into()),
+                _ => return Err(DirClientError::Protocol),
             }
         }
-        for (port, sub) in groups {
-            self.expect_ok(ctx, port, &DirRequest::ReplaceSet { items: sub })?;
-        }
-        Ok(())
+        Err(DirClientError::Service(DirError::Stale))
     }
 }

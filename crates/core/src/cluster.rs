@@ -9,11 +9,12 @@ use amoeba_disk::{DiskParams, DiskServer, Nvram, RawPartition, VDisk};
 use amoeba_flip::{HostAddr, NetParams, Network, NodeStack, SegmentId, Topology};
 use amoeba_group::{GroupConfig, GroupPeer};
 use amoeba_rpc::{RpcClient, RpcNode};
-use amoeba_sim::{NodeId, Resource, Simulation, Spawn};
+use amoeba_sim::{Ctx, NodeId, Resource, Simulation, Spawn};
 
 use crate::client::DirClient;
 use crate::config::{DirParams, ServiceConfig, StorageKind};
 use crate::server_group::{start_group_server, GroupDirServer, GroupServerDeps};
+use crate::server_lease::{start_lease_server, LeaseClient, LeaseServer, LeaseServerDeps};
 use crate::server_lock::{start_lock_server, LockClient, LockServer, LockServerDeps};
 use crate::server_nfs::{start_nfs_server, NfsServerDeps};
 use crate::server_queue::{start_queue_server, QueueClient, QueueServer, QueueServerDeps};
@@ -141,6 +142,44 @@ impl ClusterTopology {
     }
 }
 
+/// Tunables of the load-driven shard rebalancer (see
+/// [`ClusterParams::rebalancer`]): a background process that samples
+/// every shard's [`amoeba_rsm::ReplicaStats`] once per `interval` and,
+/// when the busiest shard's applied-op delta exceeds `skew_ratio` times
+/// the idlest shard's (and at least `min_hot_ops`), greedily migrates
+/// up to `moves_per_round` of the hot shard's hottest directories —
+/// each to the then-coldest shard, and only while the move still
+/// reduces the estimated imbalance (the anti-flap hysteresis) — every
+/// move fenced by a lease so at most one coordinator ever migrates a
+/// given directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalancerParams {
+    /// Sampling period.
+    pub interval: Duration,
+    /// Hot/cold applied-delta ratio that triggers a move.
+    pub skew_ratio: f64,
+    /// Minimum hot-shard ops per interval (don't shuffle an idle
+    /// cluster).
+    pub min_hot_ops: u64,
+    /// Most directories migrated per sampling round.
+    pub moves_per_round: usize,
+    /// Migration-coordinator lease TTL in the lease service's logical
+    /// ticks.
+    pub lease_ttl: u64,
+}
+
+impl Default for RebalancerParams {
+    fn default() -> Self {
+        RebalancerParams {
+            interval: Duration::from_secs(2),
+            skew_ratio: 3.0,
+            min_hot_ops: 20,
+            moves_per_round: 2,
+            lease_ttl: 64,
+        }
+    }
+}
+
 /// Everything that parameterizes a deployment.
 #[derive(Debug, Clone)]
 pub struct ClusterParams {
@@ -169,6 +208,14 @@ pub struct ClusterParams {
     /// its group shares those machines' kernels with the directory
     /// shard's own group).
     pub queue_service: bool,
+    /// Also run the replicated lease service on the group variants'
+    /// shard-0 columns (the fifth `amoeba-rsm` consumer: TTL grants
+    /// over logical time; the rebalancer's migration-coordinator
+    /// fence).
+    pub lease_service: bool,
+    /// Run a load-driven shard rebalancer (group variants with more
+    /// than one shard; requires [`lease_service`](Self::lease_service)).
+    pub rebalancer: Option<RebalancerParams>,
     /// How many replica groups the directory service is sharded into
     /// (group variants only; each shard gets its own column set,
     /// object table and sequencer). `1` is the classic unsharded
@@ -200,6 +247,8 @@ impl ClusterParams {
             lock_service: false,
             registry_service: false,
             queue_service: false,
+            lease_service: false,
+            rebalancer: None,
             shards: 1,
             seed: 0xD1_5C,
         }
@@ -280,6 +329,9 @@ pub struct Column {
     /// The queue-service replica of the current incarnation (group
     /// variants with `queue_service`, shard-0 columns only).
     pub queue: Option<QueueServer>,
+    /// The lease-service replica of the current incarnation (group
+    /// variants with `lease_service`, shard-0 columns only).
+    pub lease: Option<LeaseServer>,
 }
 
 impl std::fmt::Debug for Column {
@@ -356,10 +408,14 @@ impl Cluster {
                     lock: None,
                     registry: None,
                     queue: None,
+                    lease: None,
                 };
                 start_column(sim, &params, &mut column);
                 columns.push(column);
             }
+        }
+        if params.rebalancer.is_some() {
+            start_rebalancer(sim, &params, &net, &columns);
         }
         Cluster {
             net,
@@ -531,6 +587,29 @@ impl Cluster {
         let rpc = RpcNode::start(sim, sim_node, stack);
         (QueueClient::new(RpcClient::new(&rpc)), sim_node)
     }
+
+    /// The lease-service replica of column `i`'s current incarnation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was started with
+    /// [`ClusterParams::lease_service`] on a group variant.
+    pub fn lease_server(&self, i: usize) -> &LeaseServer {
+        self.columns[i]
+            .lease
+            .as_ref()
+            .expect("column has no running lease server")
+    }
+
+    /// Creates a fresh client machine with a lease-service client.
+    pub fn lease_client(&mut self, sim: &Simulation) -> (LeaseClient, NodeId) {
+        let id = self.next_client;
+        self.next_client += 1;
+        let sim_node = sim.add_node(&format!("lease-client-{id}"));
+        let stack = self.net.attach_to(self.params.net_topology.client_segment);
+        let rpc = RpcNode::start(sim, sim_node, stack);
+        (LeaseClient::new(RpcClient::new(&rpc)), sim_node)
+    }
 }
 
 /// Starts (or restarts) all processes of one column.
@@ -627,6 +706,19 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
                         n,
                         me: column.index,
                         sim_node: column.sim_node,
+                        rpc: rpc.clone(),
+                        peer: peer.clone(),
+                        threads: 2,
+                    },
+                ));
+            }
+            if params.lease_service && column.shard == 0 {
+                column.lease = Some(start_lease_server(
+                    spawner,
+                    LeaseServerDeps {
+                        n,
+                        me: column.index,
+                        sim_node: column.sim_node,
                         rpc,
                         peer,
                         threads: 2,
@@ -657,6 +749,121 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
                 cpu,
             };
             let _ = start_nfs_server(spawner, deps);
+        }
+    }
+}
+
+/// Starts the load-driven rebalancer on its own machine: it samples
+/// every shard's replica-0 driver counters, and when the busiest
+/// shard's per-interval applied delta dwarfs the idlest shard's, it
+/// migrates the hot shard's hottest directories there — each move
+/// fenced by a lease-service grant so at most one coordinator ever
+/// migrates a given directory, even if several rebalancers (or manual
+/// operators) run concurrently.
+///
+/// The per-shard handles are taken at start: a crashed-and-restarted
+/// column freezes its handle's counters, which reads as "no load" —
+/// the rebalancer idles rather than misbehaving.
+fn start_rebalancer(sim: &Simulation, params: &ClusterParams, net: &Network, columns: &[Column]) {
+    let rb = params.rebalancer.clone().expect("rebalancer configured");
+    let shards = params.effective_shards();
+    assert!(
+        matches!(params.variant, Variant::Group | Variant::GroupNvram) && shards > 1,
+        "the rebalancer needs a sharded group deployment"
+    );
+    assert!(
+        params.lease_service,
+        "the rebalancer needs the lease service (its migration-coordinator fence)"
+    );
+    let n = params.variant.servers();
+    let servers: Vec<GroupDirServer> = (0..shards)
+        .map(|s| columns[s * n].server.clone().expect("group server running"))
+        .collect();
+    let sim_node = sim.add_node("rebalancer");
+    let stack = net.attach_to(params.net_topology.client_segment);
+    let rpc = RpcNode::start(sim, sim_node, stack);
+    let dir = DirClient::sharded(RpcClient::new(&rpc), shards);
+    let lease = LeaseClient::new(RpcClient::new(&rpc));
+    sim.spawn_boxed(
+        Some(sim_node),
+        "rebalancer",
+        Box::new(move |ctx| rebalancer_loop(ctx, &rb, &servers, &dir, &lease)),
+    );
+}
+
+fn rebalancer_loop(
+    ctx: &Ctx,
+    rb: &RebalancerParams,
+    servers: &[GroupDirServer],
+    dir: &DirClient,
+    lease: &LeaseClient,
+) {
+    // Coordinator identity for lease grants.
+    let me = ctx.with_rng(|r| r.next_u64()) | 1;
+    let mut last: Vec<u64> = servers.iter().map(|s| s.replica_stats().applied).collect();
+    loop {
+        ctx.sleep(rb.interval);
+        let applied: Vec<u64> = servers.iter().map(|s| s.replica_stats().applied).collect();
+        let delta: Vec<u64> = applied
+            .iter()
+            .zip(&last)
+            .map(|(a, l)| a.saturating_sub(*l))
+            .collect();
+        last = applied;
+        let (hot, hot_d) = delta
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|(_, d)| *d)
+            .expect("at least two shards");
+        let cold_d = delta.iter().copied().min().expect("at least two shards");
+        // Drain every shard's per-directory counters every round —
+        // whether or not this round migrates — so the heat a move
+        // decision sees is windowed to one interval, the same window
+        // `delta` measures (accumulated heat against a one-interval
+        // delta would make the hysteresis below veto real skew).
+        let picks: Vec<Vec<(u64, u64)>> = servers
+            .iter()
+            .map(|s| s.hot_dirs(rb.moves_per_round))
+            .collect();
+        if hot_d < rb.min_hot_ops || (hot_d as f64) < rb.skew_ratio * (cold_d.max(1) as f64) {
+            continue;
+        }
+        // Greedy drain with a running per-shard load estimate: each
+        // move goes to the currently-coldest shard, and a directory
+        // only moves if doing so actually reduces the imbalance (the
+        // hot shard keeps more estimated load than the target ends up
+        // with) — the hysteresis that stops the rebalancer flapping
+        // directories back and forth around a balanced placement.
+        let mut est = delta.clone();
+        for &(object, heat) in &picks[hot] {
+            let heat = heat.max(1);
+            let (cold, cold_est) = est
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|(_, d)| *d)
+                .expect("at least two shards");
+            if cold == hot || est[hot].saturating_sub(heat) < cold_est + heat {
+                break; // moving any further directory would not help
+            }
+            let Some(cap) = servers[hot].owner_cap(object) else {
+                continue; // migrated (or deleted) since the sample
+            };
+            let name = format!("mig:{:x}:{}", cap.port.as_raw(), object);
+            // The lease is the migration-coordinator fence: whoever
+            // fails to grant leaves the directory to the holder.
+            if !matches!(lease.grant(ctx, &name, me, rb.lease_ttl), Ok(Some(_))) {
+                continue;
+            }
+            // Best effort: a failed round leaves only the retryable
+            // intermediates the protocol guarantees; a later interval
+            // (or another coordinator, after the lease expires) retries.
+            if dir.migrate(ctx, cap, cold).is_ok() {
+                est[hot] = est[hot].saturating_sub(heat);
+                est[cold] += heat;
+            }
+            let _ = lease.release(ctx, &name, me);
         }
     }
 }

@@ -146,6 +146,17 @@ impl DirectoryStateMachine {
                         frees.push(old_file);
                     }
                 }
+                Effect::StoreStub { old_file, .. } => {
+                    // Migration tombstone: like a delete, the op loses its
+                    // file (commit-block write needed), but the table
+                    // entry is kept and persisted rather than cleared.
+                    need_commit = true;
+                    if is_final {
+                        acts.push((object, FinalAct::Stub { old_file }));
+                    } else if !old_file.is_null() {
+                        frees.push(old_file);
+                    }
+                }
             }
         }
         (acts, frees, need_commit)
@@ -155,6 +166,7 @@ impl DirectoryStateMachine {
 enum FinalAct {
     Store(Directory),
     Drop { old_file: FileCap },
+    Stub { old_file: FileCap },
 }
 
 impl StateMachine for DirectoryStateMachine {
@@ -226,10 +238,11 @@ impl StateMachine for DirectoryStateMachine {
         for (object, act) in acts {
             match act {
                 FinalAct::Store(dir) => applier.store_dir_to_disk(ctx, object, &dir),
-                FinalAct::Drop { old_file } => {
-                    // Persist the cleared table entry; the commit-block
-                    // write (delete-loses-its-file, §3) happens once
-                    // below for the whole batch.
+                FinalAct::Drop { old_file } | FinalAct::Stub { old_file } => {
+                    // Persist the table entry — cleared for a delete,
+                    // kept-but-contentless for a migration stub; the
+                    // commit-block write (the op loses its file, §3)
+                    // happens once below for the whole batch.
                     let waiter = { applier.shared.lock().table.flush_begin(object) };
                     if let Some(w) = waiter {
                         w.recv(ctx);
@@ -349,9 +362,15 @@ impl StateMachine for DirectoryStateMachine {
         let applier = &self.applier;
         // Cold cache entries are pulled from Bullet first (outside the
         // lock), so the locked marshalling below sees every directory.
+        // Stubbed objects have no contents (their file is gone) — skip.
         let objects: Vec<u64> = {
             let shared = applier.shared.lock();
-            shared.table.iter().map(|(o, _)| o).collect()
+            shared
+                .table
+                .iter()
+                .map(|(o, _)| o)
+                .filter(|o| !shared.stubs.contains_key(o))
+                .collect()
         };
         for o in &objects {
             let _ = applier.load_dir(ctx, *o);
@@ -373,6 +392,19 @@ impl StateMachine for DirectoryStateMachine {
         let mut completions: Vec<(u64, u64)> =
             shared.completions.iter().map(|(k, o)| (*k, *o)).collect();
         completions.sort_unstable(); // deterministic encoding
+                                     // Forwarding stubs travel with their kept entry's check/seqno so
+                                     // the installee reconstructs both the stub and the table row.
+        let mut stubs: Vec<(u64, u64, u64, u64, u64)> = shared
+            .stubs
+            .iter()
+            .filter_map(|(object, s)| {
+                shared
+                    .table
+                    .get(*object)
+                    .map(|e| (*object, e.check, e.seqno, s.to_port, s.to_object))
+            })
+            .collect();
+        stubs.sort_unstable(); // deterministic encoding
         let mut w = WireWriter::with_capacity(
             8 + 8
                 + 4
@@ -381,7 +413,9 @@ impl StateMachine for DirectoryStateMachine {
                     .map(|(_, _, b)| 8 + 8 + 4 + b.len())
                     .sum::<usize>()
                 + 4
-                + completions.len() * 16,
+                + completions.len() * 16
+                + 4
+                + stubs.len() * 40,
         );
         w.u64(shared.update_seq)
             .u64(shared.commit.seqno)
@@ -392,6 +426,14 @@ impl StateMachine for DirectoryStateMachine {
         w.u32(completions.len() as u32);
         for (key, object) in &completions {
             w.u64(*key).u64(*object);
+        }
+        w.u32(stubs.len() as u32);
+        for (object, check, seqno, to_port, to_object) in &stubs {
+            w.u64(*object)
+                .u64(*check)
+                .u64(*seqno)
+                .u64(*to_port)
+                .u64(*to_object);
         }
         (shared.applied_group_seq, w.finish_payload())
     }
@@ -429,6 +471,29 @@ impl StateMachine for DirectoryStateMachine {
                 _ => return false,
             }
         }
+        let n_stubs = match r.u32("stubs") {
+            Ok(n) if (n as usize) <= 1_000_000 => n,
+            _ => return false,
+        };
+        let mut stubs: Vec<(u64, u64, u64, crate::state::StubEntry)> =
+            Vec::with_capacity(n_stubs as usize);
+        for _ in 0..n_stubs {
+            match (
+                r.u64("stub object"),
+                r.u64("stub check"),
+                r.u64("stub seqno"),
+                r.u64("stub to-port"),
+                r.u64("stub to-object"),
+            ) {
+                (Ok(object), Ok(check), Ok(seqno), Ok(to_port), Ok(to_object)) => stubs.push((
+                    object,
+                    check,
+                    seqno,
+                    crate::state::StubEntry { to_port, to_object },
+                )),
+                _ => return false,
+            }
+        }
         {
             let mut shared = applier.shared.lock();
             // Wipe stale state, then install wholesale.
@@ -452,12 +517,32 @@ impl StateMachine for DirectoryStateMachine {
             shared.commit.seqno = commit_seq;
             shared.applied_group_seq = cursor;
             shared.completions = completions;
+            shared.stubs.clear();
+            shared.heat.clear();
+            for (object, check, seqno, stub) in &stubs {
+                shared.table.set(
+                    *object,
+                    ObjEntry {
+                        file_cap: FileCap::NULL, // contentless by design
+                        seqno: *seqno,
+                        check: *check,
+                    },
+                );
+                shared.stubs.insert(*object, *stub);
+            }
         }
         // Persist every fetched directory locally (Bullet file + table
         // entry) — recovery always persists to disk; NVRAM holds only
-        // post-recovery updates.
+        // post-recovery updates. Stub entries persist their (contentless)
+        // table rows so relocated objects stay reserved across reboots.
         for (object, _, dir) in installed {
             applier.store_dir_to_disk(ctx, object, &dir);
+        }
+        for (object, _, _, _) in &stubs {
+            let waiter = { applier.shared.lock().table.flush_begin(*object) };
+            if let Some(w) = waiter {
+                w.recv(ctx);
+            }
         }
         true
     }

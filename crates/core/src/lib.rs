@@ -35,6 +35,14 @@
 //! [`shard`] module docs for the full contract and its invariants. A
 //! single-shard deployment is bit-identical to the unsharded service.
 //!
+//! Placement is no longer static: [`DirClient::migrate`] moves a
+//! directory between shards online as a crash-convergent
+//! copy + tombstone two-step, the old shard keeps a **forwarding stub**
+//! so old capabilities stay valid forever, and a load-driven
+//! [`Rebalancer`](cluster::RebalancerParams) — fenced by the replicated
+//! lease service ([`start_lease_server`], the fifth `amoeba-rsm`
+//! consumer) — drains hot shards without a redeploy.
+//!
 //! ## The message pipeline (zero-copy invariants)
 //!
 //! A directory update travels flip → rpc → group → core as a shared
@@ -110,6 +118,7 @@ mod ops;
 pub mod path;
 mod rights;
 mod server_group;
+mod server_lease;
 mod server_lock;
 mod server_nfs;
 mod server_queue;
@@ -130,6 +139,10 @@ pub use object_table::{ObjEntry, ObjectTable};
 pub use ops::{DirError, DirOp, DirReply, DirRequest};
 pub use rights::Rights;
 pub use server_group::{start_group_server, GroupDirServer, GroupServerDeps};
+pub use server_lease::{
+    start_lease_server, LeaseClient, LeaseError, LeaseReply, LeaseRequest, LeaseServer,
+    LeaseServerDeps, LeaseStateMachine, LEASE_PORT,
+};
 pub use server_lock::{
     start_lock_server, LockClient, LockError, LockReply, LockRequest, LockServer, LockServerDeps,
     LockStateMachine,

@@ -141,6 +141,23 @@ impl DirModel {
                 }
                 Ok(None)
             }
+            DirOp::InstallDir { columns, .. } => {
+                // The model is keyless and single-shard: a migration
+                // install behaves like a plain create here; upsert and
+                // forwarding semantics are covered by the service-level
+                // migration tests.
+                self.apply(&DirOp::Create {
+                    columns: columns.clone(),
+                    check: 0,
+                })
+            }
+            DirOp::InstallStub { object, .. } => {
+                // The model has no forwarding layer: a stub install
+                // removes the directory's contents from the namespace,
+                // like a delete.
+                self.dirs.remove(object).ok_or(DirError::BadCapability)?;
+                Ok(None)
+            }
         }
     }
 

@@ -92,6 +92,46 @@ pub enum DirRequest {
         /// Row name.
         name: String,
     },
+    /// Read a directory's complete contents — including the raw check
+    /// field — for migration to another shard. Requires the **owner**
+    /// capability ([`Rights::ALL`]): the owner's check field already
+    /// *is* the raw check, so nothing is leaked that the caller does
+    /// not hold.
+    ExportDir {
+        /// The directory (needs [`Rights::ALL`]).
+        cap: Capability,
+    },
+    /// Install a full directory under a migration key (step one of the
+    /// migration two-step, see [`crate::shard`]): idempotent *upsert* —
+    /// a repeat with the same key replaces the earlier copy's contents
+    /// and answers with the same capability. The copy is dark until a
+    /// forwarding stub on the source shard points at it.
+    InstallDir {
+        /// Column (protection-domain) names, 1–4.
+        columns: Vec<String>,
+        /// Full rows (name, capability, per-column masks).
+        rows: Vec<(String, Capability, Vec<Rights>)>,
+        /// The source directory's raw check, preserved so relocated
+        /// capabilities validate unchanged at the target.
+        check: u64,
+        /// Migration key ([`crate::ShardMap::migration_key`]).
+        key: u64,
+    },
+    /// Atomically replace a directory with a tombstone + forwarding
+    /// stub (step two of the migration two-step). Conditional on the
+    /// directory's sequence number: an update ordered between the
+    /// export and this op fails it with [`DirError::Stale`], and the
+    /// coordinator re-copies — no acknowledged update is ever dropped.
+    InstallStub {
+        /// The directory (needs [`Rights::ALL`]).
+        dir: Capability,
+        /// Raw port of the shard the directory moved to.
+        to_port: u64,
+        /// Object number at the target shard.
+        to_object: u64,
+        /// The directory seqno the exported copy reflects.
+        expected_seqno: u64,
+    },
 }
 
 /// A reply from the directory service.
@@ -111,6 +151,31 @@ pub enum DirReply {
     },
     /// LookupSet results, in request order.
     Caps(Vec<Option<Capability>>),
+    /// The addressed directory migrated to another shard: the holder
+    /// should retry there with the translated capability (same rights
+    /// and check — migration preserves the raw check — new port and
+    /// object). For set requests, `object` names which of the request's
+    /// directories moved.
+    Moved {
+        /// The object number the request addressed (at this shard).
+        object: u64,
+        /// Raw port of the shard the directory now lives on.
+        to_port: u64,
+        /// Object number at that shard.
+        to_object: u64,
+    },
+    /// A directory's full contents ([`DirRequest::ExportDir`]).
+    Export {
+        /// The directory's raw check field.
+        check: u64,
+        /// Sequence number of the directory's last change (the
+        /// migration CAS token).
+        seqno: u64,
+        /// Column names.
+        columns: Vec<String>,
+        /// Full rows (name, stored capability, per-column masks).
+        rows: Vec<(String, Capability, Vec<Rights>)>,
+    },
     /// The operation failed.
     Err(DirError),
 }
@@ -135,6 +200,9 @@ pub enum DirError {
     Malformed,
     /// Internal failure (storage layer).
     Internal,
+    /// A conditional operation's expected sequence number no longer
+    /// matches (a concurrent update won the race): re-read and retry.
+    Stale,
 }
 
 impl std::fmt::Display for DirError {
@@ -148,6 +216,7 @@ impl std::fmt::Display for DirError {
             DirError::ColumnMismatch => "rights mask count differs from column count",
             DirError::Malformed => "malformed request",
             DirError::Internal => "internal storage failure",
+            DirError::Stale => "expected sequence number no longer matches",
         };
         f.write_str(s)
     }
@@ -239,6 +308,31 @@ pub enum DirOp {
         /// Row name.
         name: String,
     },
+    /// Migration step one: install a full directory copy keyed for
+    /// idempotent *upsert* — a replay with the same key replaces the
+    /// earlier copy's contents and answers with the same capability.
+    InstallDir {
+        /// Column names.
+        columns: Vec<String>,
+        /// Full rows (name, stored capability, per-column masks).
+        rows: Vec<(String, Capability, Vec<Rights>)>,
+        /// The source directory's raw check, carried verbatim.
+        check: u64,
+        /// Migration key.
+        key: u64,
+    },
+    /// Migration step two: replace the directory with a tombstone +
+    /// forwarding stub, conditional on its sequence number.
+    InstallStub {
+        /// Directory object number.
+        object: u64,
+        /// Raw port of the target shard.
+        to_port: u64,
+        /// Object number at the target shard.
+        to_object: u64,
+        /// The seqno the exported copy reflects (CAS token).
+        expected_seqno: u64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -286,6 +380,35 @@ const RQ_REPLACE_SET: u8 = 8;
 const RQ_CREATE_KEYED: u8 = 9;
 const RQ_APPEND_LINK: u8 = 10;
 const RQ_UNLINK: u8 = 11;
+const RQ_EXPORT: u8 = 12;
+const RQ_INSTALL_DIR: u8 = 13;
+const RQ_INSTALL_STUB: u8 = 14;
+
+fn write_full_rows(w: &mut WireWriter, rows: &[(String, Capability, Vec<Rights>)]) {
+    w.u32(rows.len() as u32);
+    for (name, cap, masks) in rows {
+        w.string(name);
+        cap.write(w);
+        write_rights_vec(w, masks);
+    }
+}
+
+fn read_full_rows(
+    r: &mut WireReader<'_>,
+) -> Result<Vec<(String, Capability, Vec<Rights>)>, DecodeError> {
+    let n = r.u32("rows len")? as usize;
+    if n > 1_000_000 {
+        return Err(DecodeError::new("rows len"));
+    }
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.string("row name")?;
+        let cap = Capability::read(r)?;
+        let masks = read_rights_vec(r)?;
+        rows.push((name, cap, masks));
+    }
+    Ok(rows)
+}
 
 impl DirRequest {
     /// Encodes to wire bytes.
@@ -368,6 +491,31 @@ impl DirRequest {
                 dir.write(&mut w);
                 w.string(name);
             }
+            DirRequest::ExportDir { cap } => {
+                w.u8(RQ_EXPORT);
+                cap.write(&mut w);
+            }
+            DirRequest::InstallDir {
+                columns,
+                rows,
+                check,
+                key,
+            } => {
+                w.u8(RQ_INSTALL_DIR);
+                write_columns(&mut w, columns);
+                write_full_rows(&mut w, rows);
+                w.u64(*check).u64(*key);
+            }
+            DirRequest::InstallStub {
+                dir,
+                to_port,
+                to_object,
+                expected_seqno,
+            } => {
+                w.u8(RQ_INSTALL_STUB);
+                dir.write(&mut w);
+                w.u64(*to_port).u64(*to_object).u64(*expected_seqno);
+            }
         }
         w.finish()
     }
@@ -445,6 +593,21 @@ impl DirRequest {
                 dir: Capability::read(&mut r)?,
                 name: r.string("name")?,
             },
+            RQ_EXPORT => DirRequest::ExportDir {
+                cap: Capability::read(&mut r)?,
+            },
+            RQ_INSTALL_DIR => DirRequest::InstallDir {
+                columns: read_columns(&mut r)?,
+                rows: read_full_rows(&mut r)?,
+                check: r.u64("install check")?,
+                key: r.u64("install key")?,
+            },
+            RQ_INSTALL_STUB => DirRequest::InstallStub {
+                dir: Capability::read(&mut r)?,
+                to_port: r.u64("stub port")?,
+                to_object: r.u64("stub object")?,
+                expected_seqno: r.u64("stub seqno")?,
+            },
             _ => return Err(DecodeError::new("dir req tag")),
         };
         r.expect_end("dir req trailing")?;
@@ -452,10 +615,14 @@ impl DirRequest {
     }
 
     /// Whether this operation only reads (paper: 98% of traffic).
+    /// `ExportDir` is a read: the migration CAS (`InstallStub`'s
+    /// expected seqno) makes any replica-local staleness safe.
     pub fn is_read(&self) -> bool {
         matches!(
             self,
-            DirRequest::ListDir { .. } | DirRequest::LookupSet { .. }
+            DirRequest::ListDir { .. }
+                | DirRequest::LookupSet { .. }
+                | DirRequest::ExportDir { .. }
         )
     }
 }
@@ -465,6 +632,8 @@ const RP_OK: u8 = 2;
 const RP_LISTING: u8 = 3;
 const RP_CAPS: u8 = 4;
 const RP_ERR: u8 = 5;
+const RP_MOVED: u8 = 6;
+const RP_EXPORT: u8 = 7;
 
 fn err_code(e: DirError) -> u8 {
     match e {
@@ -476,6 +645,7 @@ fn err_code(e: DirError) -> u8 {
         DirError::ColumnMismatch => 6,
         DirError::Malformed => 7,
         DirError::Internal => 8,
+        DirError::Stale => 9,
     }
 }
 
@@ -489,6 +659,7 @@ fn err_from(code: u8) -> Result<DirError, DecodeError> {
         6 => DirError::ColumnMismatch,
         7 => DirError::Malformed,
         8 => DirError::Internal,
+        9 => DirError::Stale,
         _ => return Err(DecodeError::new("dir err code")),
     })
 }
@@ -508,12 +679,7 @@ impl DirReply {
             DirReply::Listing { columns, rows } => {
                 w.u8(RP_LISTING);
                 write_columns(&mut w, columns);
-                w.u32(rows.len() as u32);
-                for (name, cap, masks) in rows {
-                    w.string(name);
-                    cap.write(&mut w);
-                    write_rights_vec(&mut w, masks);
-                }
+                write_full_rows(&mut w, rows);
             }
             DirReply::Caps(v) => {
                 w.u8(RP_CAPS).u32(v.len() as u32);
@@ -528,6 +694,23 @@ impl DirReply {
                         }
                     }
                 }
+            }
+            DirReply::Moved {
+                object,
+                to_port,
+                to_object,
+            } => {
+                w.u8(RP_MOVED).u64(*object).u64(*to_port).u64(*to_object);
+            }
+            DirReply::Export {
+                check,
+                seqno,
+                columns,
+                rows,
+            } => {
+                w.u8(RP_EXPORT).u64(*check).u64(*seqno);
+                write_columns(&mut w, columns);
+                write_full_rows(&mut w, rows);
             }
             DirReply::Err(e) => {
                 w.u8(RP_ERR).u8(err_code(*e));
@@ -546,21 +729,10 @@ impl DirReply {
         let rep = match r.u8("dir rep tag")? {
             RP_CAP => DirReply::Cap(Capability::read(&mut r)?),
             RP_OK => DirReply::Ok,
-            RP_LISTING => {
-                let columns = read_columns(&mut r)?;
-                let n = r.u32("listing len")? as usize;
-                if n > 1_000_000 {
-                    return Err(DecodeError::new("listing len"));
-                }
-                let mut rows = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let name = r.string("listing name")?;
-                    let cap = Capability::read(&mut r)?;
-                    let masks = read_rights_vec(&mut r)?;
-                    rows.push((name, cap, masks));
-                }
-                DirReply::Listing { columns, rows }
-            }
+            RP_LISTING => DirReply::Listing {
+                columns: read_columns(&mut r)?,
+                rows: read_full_rows(&mut r)?,
+            },
             RP_CAPS => {
                 let n = r.u32("caps len")? as usize;
                 if n > 10_000 {
@@ -576,6 +748,17 @@ impl DirReply {
                 }
                 DirReply::Caps(v)
             }
+            RP_MOVED => DirReply::Moved {
+                object: r.u64("moved object")?,
+                to_port: r.u64("moved port")?,
+                to_object: r.u64("moved to-object")?,
+            },
+            RP_EXPORT => DirReply::Export {
+                check: r.u64("export check")?,
+                seqno: r.u64("export seqno")?,
+                columns: read_columns(&mut r)?,
+                rows: read_full_rows(&mut r)?,
+            },
             RP_ERR => DirReply::Err(err_from(r.u8("dir err code")?)?),
             _ => return Err(DecodeError::new("dir rep tag")),
         };
@@ -593,6 +776,8 @@ const OP_REPLACE_SET: u8 = 6;
 const OP_CREATE_KEYED: u8 = 7;
 const OP_APPEND_LINK: u8 = 8;
 const OP_UNLINK: u8 = 9;
+const OP_INSTALL_DIR: u8 = 10;
+const OP_INSTALL_STUB: u8 = 11;
 
 /// Wire size of a [`Capability`] (port + object + rights + check).
 const WIRE_CAP_LEN: usize = 8 + 8 + 1 + 8;
@@ -631,6 +816,19 @@ impl DirOp {
                 name, col_rights, ..
             } => 8 + wire_string_len(name) + WIRE_CAP_LEN + 1 + col_rights.len(),
             DirOp::Unlink { name, .. } => 8 + wire_string_len(name),
+            DirOp::InstallDir { columns, rows, .. } => {
+                1 + columns.iter().map(|c| wire_string_len(c)).sum::<usize>()
+                    + 4
+                    + rows
+                        .iter()
+                        .map(|(name, _, masks)| {
+                            wire_string_len(name) + WIRE_CAP_LEN + 1 + masks.len()
+                        })
+                        .sum::<usize>()
+                    + 8
+                    + 8
+            }
+            DirOp::InstallStub { .. } => 8 + 8 + 8 + 8,
         }
     }
 
@@ -697,6 +895,29 @@ impl DirOp {
             DirOp::Unlink { object, name } => {
                 w.u8(OP_UNLINK).u64(*object).string(name);
             }
+            DirOp::InstallDir {
+                columns,
+                rows,
+                check,
+                key,
+            } => {
+                w.u8(OP_INSTALL_DIR);
+                write_columns(&mut w, columns);
+                write_full_rows(&mut w, rows);
+                w.u64(*check).u64(*key);
+            }
+            DirOp::InstallStub {
+                object,
+                to_port,
+                to_object,
+                expected_seqno,
+            } => {
+                w.u8(OP_INSTALL_STUB)
+                    .u64(*object)
+                    .u64(*to_port)
+                    .u64(*to_object)
+                    .u64(*expected_seqno);
+            }
         }
         debug_assert_eq!(w.len(), self.encoded_len());
         w.finish_payload()
@@ -761,6 +982,18 @@ impl DirOp {
                 object: r.u64("op object")?,
                 name: r.string("op name")?,
             },
+            OP_INSTALL_DIR => DirOp::InstallDir {
+                columns: read_columns(&mut r)?,
+                rows: read_full_rows(&mut r)?,
+                check: r.u64("op check")?,
+                key: r.u64("op key")?,
+            },
+            OP_INSTALL_STUB => DirOp::InstallStub {
+                object: r.u64("op object")?,
+                to_port: r.u64("op stub port")?,
+                to_object: r.u64("op stub object")?,
+                expected_seqno: r.u64("op stub seqno")?,
+            },
             _ => return Err(DecodeError::new("dir op tag")),
         };
         r.expect_end("dir op trailing")?;
@@ -821,6 +1054,19 @@ mod tests {
                 dir: cap(1),
                 name: "x".into(),
             },
+            DirRequest::ExportDir { cap: cap(1) },
+            DirRequest::InstallDir {
+                columns: vec!["owner".into()],
+                rows: vec![("r".into(), cap(3), vec![Rights::ALL])],
+                check: 0xC4EC,
+                key: 0x4E1,
+            },
+            DirRequest::InstallStub {
+                dir: cap(1),
+                to_port: 77,
+                to_object: 9,
+                expected_seqno: 12,
+            },
         ];
         for req in reqs {
             assert_eq!(DirRequest::decode(&req.encode()).unwrap(), req);
@@ -837,8 +1083,20 @@ mod tests {
                 rows: vec![("a".into(), cap(1), vec![Rights::ALL])],
             },
             DirReply::Caps(vec![Some(cap(1)), None]),
+            DirReply::Moved {
+                object: 4,
+                to_port: 99,
+                to_object: 7,
+            },
+            DirReply::Export {
+                check: 31,
+                seqno: 8,
+                columns: vec!["owner".into()],
+                rows: vec![("r".into(), cap(3), vec![Rights::ALL])],
+            },
             DirReply::Err(DirError::NoMajority),
             DirReply::Err(DirError::BadCapability),
+            DirReply::Err(DirError::Stale),
         ];
         for rep in reps {
             assert_eq!(DirReply::decode(&rep.encode()).unwrap(), rep);
@@ -886,6 +1144,21 @@ mod tests {
                 object: 4,
                 name: "x".into(),
             },
+            DirOp::InstallDir {
+                columns: vec!["owner".into(), "other".into()],
+                rows: vec![
+                    ("a".into(), cap(2), vec![Rights::ALL, Rights::NONE]),
+                    ("b".into(), cap(3), vec![Rights::MODIFY, Rights::NONE]),
+                ],
+                check: 0xC4EC,
+                key: 0x4E1,
+            },
+            DirOp::InstallStub {
+                object: 4,
+                to_port: 77,
+                to_object: 9,
+                expected_seqno: 12,
+            },
         ];
         for op in ops {
             assert_eq!(DirOp::decode(&op.encode()).unwrap(), op);
@@ -896,6 +1169,14 @@ mod tests {
     fn is_read_classification() {
         assert!(DirRequest::ListDir { cap: cap(1) }.is_read());
         assert!(DirRequest::LookupSet { items: vec![] }.is_read());
+        assert!(DirRequest::ExportDir { cap: cap(1) }.is_read());
+        assert!(!DirRequest::InstallStub {
+            dir: cap(1),
+            to_port: 0,
+            to_object: 0,
+            expected_seqno: 0
+        }
+        .is_read());
         assert!(!DirRequest::DeleteDir { cap: cap(1) }.is_read());
         assert!(!DirRequest::CreateDir {
             columns: vec!["o".into()]

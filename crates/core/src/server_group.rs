@@ -173,6 +173,45 @@ impl GroupDirServer {
     pub fn replica_stats(&self) -> amoeba_rsm::ReplicaStats {
         self.replica.stats()
     }
+
+    /// Mints the owner capability of a directory this shard stores —
+    /// **cluster-management access** (the server knows every raw
+    /// check), used by the rebalancer to coordinate migrations of
+    /// directories it never held a capability for. `None` for unknown
+    /// or already-relocated objects.
+    pub fn owner_cap(&self, object: u64) -> Option<crate::Capability> {
+        let shared = self.applier.shared.lock();
+        if shared.stubs.contains_key(&object) {
+            return None;
+        }
+        shared
+            .table
+            .get(object)
+            .map(|e| crate::Capability::owner(self.cfg.public_port, object, e.check))
+    }
+
+    /// Drains this replica's per-directory operation counters and
+    /// returns the `k` hottest live directories as `(object, ops)` —
+    /// the rebalancer's advisory load signal. Counters are
+    /// replica-local (reads count where they are served) and reset by
+    /// the drain, so successive calls report per-interval deltas.
+    pub fn hot_dirs(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut shared = self.applier.shared.lock();
+        let heat = std::mem::take(&mut shared.heat);
+        let mut v: Vec<(u64, u64)> = heat
+            .into_iter()
+            .filter(|(o, _)| !shared.stubs.contains_key(o) && shared.table.get(*o).is_some())
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Number of forwarding stubs (migrated-away directories) this
+    /// shard currently holds (diagnostics/tests).
+    pub fn stub_count(&self) -> usize {
+        self.applier.shared.lock().stubs.len()
+    }
 }
 
 /// The Fig. 5 initiator logic, one thread.

@@ -1,0 +1,640 @@
+//! A replicated lease service — the fifth consumer of the
+//! [`amoeba_rsm`] API: TTL-bounded exclusive grants over **logical
+//! time**, used by the cluster's rebalancer to ensure at most one
+//! migration coordinator per directory.
+//!
+//! Like the lock and queue services, the whole service is this file: a
+//! wire format, a deterministic state machine over a `HashMap`, and an
+//! RPC front end calling [`Replica::submit`] /
+//! [`Replica::read_barrier`]. There is **zero group-protocol code**
+//! here. The machine is fully volatile — a rebooted replica recovers
+//! purely from a peer's snapshot — so it uses the §3.2 improved
+//! recovery rule (a volatile machine mourns no one).
+//!
+//! ## Logical time
+//!
+//! The state machine keeps no wall clock (a replicated machine must be
+//! deterministic, and the simulator's clock is not part of the
+//! replicated state). Instead it counts **applied operations**: every
+//! replicated op ticks the clock by one, and a grant with TTL `t`
+//! expires once `t` further operations have been ordered. A crashed
+//! coordinator therefore blocks a contender for at most `ttl` of the
+//! contender's own (clock-ticking) grant attempts — deterministic,
+//! identical on every replica, and free of clock-skew semantics. The
+//! price is that an *idle* service never expires anything, which is
+//! exactly right for a fencing lease: with no contention, nobody cares.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amoeba_flip::wire::{DecodeError, WireReader, WireWriter};
+use amoeba_flip::{Payload, Port};
+use amoeba_group::GroupPeer;
+use amoeba_rpc::{RpcClient, RpcError, RpcNode, RpcServer};
+use amoeba_rsm::{RecoveryInfo, Replica, ReplicaDeps, RsmConfig, RsmError, StateMachine};
+use amoeba_sim::{Ctx, NodeId, Spawn};
+use parking_lot::Mutex;
+
+/// The public FLIP port of the lease service.
+pub const LEASE_PORT: Port = Port::from_raw(0x004C_5345); // "LSE"
+
+/// Client-visible operations of the lease service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseRequest {
+    /// Acquire (or renew) `name` for `owner`, expiring after `ttl`
+    /// further applied operations.
+    Grant {
+        /// Lease name.
+        name: String,
+        /// Owner token (client-chosen).
+        owner: u64,
+        /// Lifetime in logical ticks (applied ops).
+        ttl: u64,
+    },
+    /// Release `name` held by `owner`.
+    Release {
+        /// Lease name.
+        name: String,
+        /// Owner token.
+        owner: u64,
+    },
+    /// Read who holds `name` (a local read behind the read barrier).
+    Query {
+        /// Lease name.
+        name: String,
+    },
+}
+
+/// Replies of the lease service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseReply {
+    /// Granted (or renewed); expires at this logical time.
+    Granted {
+        /// Logical expiry (applied-op count).
+        expires: u64,
+    },
+    /// Grant refused: held by this other owner until `expires`.
+    Busy {
+        /// Current holder's token.
+        holder: u64,
+        /// Logical expiry.
+        expires: u64,
+    },
+    /// Release done.
+    Ok,
+    /// Release refused: not held by the caller (or already expired).
+    NotHeld,
+    /// Query: held by this owner until `expires`.
+    Held {
+        /// Holder's token.
+        holder: u64,
+        /// Logical expiry.
+        expires: u64,
+    },
+    /// Query: free (never granted, released, or expired).
+    Free,
+    /// Malformed request.
+    Malformed,
+    /// The replica is recovering or without a majority.
+    NoMajority,
+}
+
+const LS_GRANT: u8 = 1;
+const LS_RELEASE: u8 = 2;
+const LS_QUERY: u8 = 3;
+
+const LR_GRANTED: u8 = 1;
+const LR_BUSY: u8 = 2;
+const LR_OK: u8 = 3;
+const LR_NOT_HELD: u8 = 4;
+const LR_HELD: u8 = 5;
+const LR_FREE: u8 = 6;
+const LR_MALFORMED: u8 = 7;
+const LR_NO_MAJORITY: u8 = 8;
+
+impl LeaseRequest {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::new();
+        match self {
+            LeaseRequest::Grant { name, owner, ttl } => {
+                w.u8(LS_GRANT).string(name).u64(*owner).u64(*ttl);
+            }
+            LeaseRequest::Release { name, owner } => {
+                w.u8(LS_RELEASE).string(name).u64(*owner);
+            }
+            LeaseRequest::Query { name } => {
+                w.u8(LS_QUERY).string(name);
+            }
+        }
+        w.finish_payload()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for malformed input.
+    pub fn decode(buf: &[u8]) -> Result<LeaseRequest, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let m = match r.u8("lease req tag")? {
+            LS_GRANT => LeaseRequest::Grant {
+                name: r.string("lease name")?,
+                owner: r.u64("lease owner")?,
+                ttl: r.u64("lease ttl")?,
+            },
+            LS_RELEASE => LeaseRequest::Release {
+                name: r.string("lease name")?,
+                owner: r.u64("lease owner")?,
+            },
+            LS_QUERY => LeaseRequest::Query {
+                name: r.string("lease name")?,
+            },
+            _ => return Err(DecodeError::new("lease req tag")),
+        };
+        r.expect_end("lease req trailing")?;
+        Ok(m)
+    }
+}
+
+impl LeaseReply {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Payload {
+        let mut w = WireWriter::new();
+        match self {
+            LeaseReply::Granted { expires } => {
+                w.u8(LR_GRANTED).u64(*expires);
+            }
+            LeaseReply::Busy { holder, expires } => {
+                w.u8(LR_BUSY).u64(*holder).u64(*expires);
+            }
+            LeaseReply::Ok => {
+                w.u8(LR_OK);
+            }
+            LeaseReply::NotHeld => {
+                w.u8(LR_NOT_HELD);
+            }
+            LeaseReply::Held { holder, expires } => {
+                w.u8(LR_HELD).u64(*holder).u64(*expires);
+            }
+            LeaseReply::Free => {
+                w.u8(LR_FREE);
+            }
+            LeaseReply::Malformed => {
+                w.u8(LR_MALFORMED);
+            }
+            LeaseReply::NoMajority => {
+                w.u8(LR_NO_MAJORITY);
+            }
+        }
+        w.finish_payload()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for malformed input.
+    pub fn decode(buf: &[u8]) -> Result<LeaseReply, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let m = match r.u8("lease rep tag")? {
+            LR_GRANTED => LeaseReply::Granted {
+                expires: r.u64("lease expires")?,
+            },
+            LR_BUSY => LeaseReply::Busy {
+                holder: r.u64("lease holder")?,
+                expires: r.u64("lease expires")?,
+            },
+            LR_OK => LeaseReply::Ok,
+            LR_NOT_HELD => LeaseReply::NotHeld,
+            LR_HELD => LeaseReply::Held {
+                holder: r.u64("lease holder")?,
+                expires: r.u64("lease expires")?,
+            },
+            LR_FREE => LeaseReply::Free,
+            LR_MALFORMED => LeaseReply::Malformed,
+            LR_NO_MAJORITY => LeaseReply::NoMajority,
+            _ => return Err(DecodeError::new("lease rep tag")),
+        };
+        r.expect_end("lease rep trailing")?;
+        Ok(m)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The state machine.
+// ---------------------------------------------------------------------
+
+struct LeaseState {
+    /// Logical clock: one tick per applied (replicated) operation.
+    clock: u64,
+    /// name → (owner token, logical expiry).
+    leases: HashMap<String, (u64, u64)>,
+    /// Logical version, for recovery's source election.
+    update_seq: u64,
+    /// Applied cursor, kept in the same critical section as the state.
+    applied_seq: u64,
+}
+
+/// The replicated lease table: a volatile, deterministic
+/// [`StateMachine`]. Durability comes entirely from replication.
+pub struct LeaseStateMachine {
+    n: usize,
+    state: Mutex<LeaseState>,
+}
+
+impl std::fmt::Debug for LeaseStateMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LeaseStateMachine")
+    }
+}
+
+impl LeaseStateMachine {
+    /// An empty lease table for an `n`-replica service.
+    pub fn new(n: usize) -> LeaseStateMachine {
+        LeaseStateMachine {
+            n,
+            state: Mutex::new(LeaseState {
+                clock: 0,
+                leases: HashMap::new(),
+                update_seq: 0,
+                applied_seq: 0,
+            }),
+        }
+    }
+
+    /// Who holds `name`, if unexpired (serve only behind a read
+    /// barrier).
+    pub fn holder(&self, name: &str) -> Option<(u64, u64)> {
+        let st = self.state.lock();
+        st.leases
+            .get(name)
+            .copied()
+            .filter(|(_, expires)| *expires > st.clock)
+    }
+
+    /// The current logical clock (diagnostics/tests).
+    pub fn clock(&self) -> u64 {
+        self.state.lock().clock
+    }
+}
+
+impl StateMachine for LeaseStateMachine {
+    fn apply(&self, _ctx: &Ctx, seq: u64, op: &Payload) -> Payload {
+        let mut st = self.state.lock();
+        st.applied_seq = st.applied_seq.max(seq);
+        st.update_seq += 1;
+        // Every ordered operation ticks logical time — this is what
+        // lets a contender's own retries age a dead holder's grant out.
+        st.clock += 1;
+        let clock = st.clock;
+        let reply = match LeaseRequest::decode(op) {
+            Ok(LeaseRequest::Grant { name, owner, ttl }) => {
+                match st.leases.get(&name).copied() {
+                    // An unexpired lease held by someone else wins.
+                    Some((holder, expires)) if expires > clock && holder != owner => {
+                        LeaseReply::Busy { holder, expires }
+                    }
+                    // Free, expired, or our own (renew): (re)grant.
+                    _ => {
+                        let expires = clock + ttl.max(1);
+                        st.leases.insert(name, (owner, expires));
+                        LeaseReply::Granted { expires }
+                    }
+                }
+            }
+            Ok(LeaseRequest::Release { name, owner }) => match st.leases.get(&name).copied() {
+                Some((holder, expires)) if expires > clock && holder == owner => {
+                    st.leases.remove(&name);
+                    LeaseReply::Ok
+                }
+                _ => LeaseReply::NotHeld,
+            },
+            _ => LeaseReply::Malformed, // queries are never replicated
+        };
+        // Expired residue is garbage; drop it eagerly (deterministic:
+        // depends only on replicated state and the clock).
+        st.leases.retain(|_, (_, expires)| *expires > clock);
+        reply.encode()
+    }
+
+    fn recovery_info(&self) -> RecoveryInfo {
+        RecoveryInfo {
+            update_seq: self.state.lock().update_seq,
+            // Volatile state: we cannot know who crashed before us.
+            mourned: vec![false; self.n],
+        }
+    }
+
+    fn snapshot(&self, _ctx: &Ctx) -> (u64, Payload) {
+        let st = self.state.lock();
+        let mut names: Vec<&String> = st.leases.keys().collect();
+        names.sort_unstable(); // deterministic encoding
+        let mut w = WireWriter::new();
+        w.u64(st.update_seq).u64(st.clock).u32(names.len() as u32);
+        for name in names {
+            let (owner, expires) = st.leases[name];
+            w.string(name).u64(owner).u64(expires);
+        }
+        (st.applied_seq, w.finish_payload())
+    }
+
+    fn install(&self, _ctx: &Ctx, cursor: u64, snap: &Payload) -> bool {
+        let mut r = WireReader::of(snap);
+        let (update_seq, clock, n) = match (r.u64("update seq"), r.u64("clock"), r.u32("leases")) {
+            (Ok(u), Ok(c), Ok(n)) if (n as usize) <= 1_000_000 => (u, c, n),
+            _ => return false,
+        };
+        let mut leases = HashMap::with_capacity(n as usize);
+        for _ in 0..n {
+            match (
+                r.string("lease name"),
+                r.u64("lease owner"),
+                r.u64("lease expires"),
+            ) {
+                (Ok(name), Ok(owner), Ok(expires)) => {
+                    leases.insert(name, (owner, expires));
+                }
+                _ => return false,
+            }
+        }
+        let mut st = self.state.lock();
+        st.leases = leases;
+        st.clock = clock;
+        st.update_seq = update_seq;
+        st.applied_seq = cursor;
+        true
+    }
+
+    fn align_cursor(&self, _ctx: &Ctx, cursor: u64) {
+        // A new instance's order restarts: set absolutely.
+        self.state.lock().applied_seq = cursor;
+    }
+
+    fn on_membership(&self, _ctx: &Ctx, seq: u64, _config: &[bool]) {
+        if seq > 0 {
+            let mut st = self.state.lock();
+            st.applied_seq = st.applied_seq.max(seq);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server wiring and client stub.
+// ---------------------------------------------------------------------
+
+/// Everything needed to start one lease-service replica: like the lock
+/// and queue services, no disk, no Bullet, no NVRAM — replication is
+/// the only durability.
+pub struct LeaseServerDeps {
+    /// Total replicas.
+    pub n: usize,
+    /// This replica's index in `0..n`.
+    pub me: usize,
+    /// The machine this replica runs on.
+    pub sim_node: NodeId,
+    /// RPC kernel of the machine (shared with other services).
+    pub rpc: RpcNode,
+    /// Group kernel of the machine (shared with other services; the
+    /// lease group forms on its own port).
+    pub peer: GroupPeer,
+    /// Request threads to spawn.
+    pub threads: usize,
+}
+
+impl std::fmt::Debug for LeaseServerDeps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LeaseServerDeps(replica {})", self.me)
+    }
+}
+
+/// Handle to one running lease-service replica.
+#[derive(Clone, Debug)]
+pub struct LeaseServer {
+    replica: Replica<LeaseStateMachine>,
+}
+
+impl LeaseServer {
+    /// Whether the replica is serving.
+    pub fn is_normal(&self) -> bool {
+        self.replica.is_normal()
+    }
+
+    /// The replica's lease table (diagnostics/tests).
+    pub fn machine(&self) -> &Arc<LeaseStateMachine> {
+        self.replica.machine()
+    }
+}
+
+/// Starts one replica of the lease service.
+pub fn start_lease_server(spawner: &impl Spawn, deps: LeaseServerDeps) -> LeaseServer {
+    let LeaseServerDeps {
+        n,
+        me,
+        sim_node,
+        rpc,
+        peer,
+        threads,
+    } = deps;
+    let sm = Arc::new(LeaseStateMachine::new(n));
+    let mut cfg = RsmConfig::new("amoeba.lease", n, me);
+    // Volatile machine: only the §3.2 improved rule can ever let it
+    // recover from less than the full replica set (see the lock
+    // service for the full argument).
+    cfg.improved_recovery = true;
+    let replica = Replica::start(
+        spawner,
+        ReplicaDeps {
+            cfg,
+            sim_node,
+            rpc: rpc.clone(),
+            peer,
+            sm,
+        },
+    );
+    for t in 0..threads.max(1) {
+        let srv = RpcServer::new(&rpc, LEASE_PORT);
+        let replica = replica.clone();
+        spawner.spawn_boxed(
+            Some(sim_node),
+            &format!("lease{me}-srv{t}"),
+            Box::new(move |ctx| loop {
+                let incoming = srv.getreq(ctx);
+                let reply = match LeaseRequest::decode(&incoming.data) {
+                    Ok(LeaseRequest::Query { name }) => match replica.read_barrier(ctx) {
+                        Ok(()) => match replica.machine().holder(&name) {
+                            Some((holder, expires)) => LeaseReply::Held { holder, expires },
+                            None => LeaseReply::Free,
+                        },
+                        Err(_) => LeaseReply::NoMajority,
+                    },
+                    Ok(op) => match replica.submit(ctx, op.encode()) {
+                        Ok(bytes) => LeaseReply::decode(&bytes).unwrap_or(LeaseReply::Malformed),
+                        Err(RsmError::NotInService | RsmError::Aborted) => LeaseReply::NoMajority,
+                        Err(RsmError::ResultLost) => LeaseReply::Malformed,
+                    },
+                    Err(_) => LeaseReply::Malformed,
+                };
+                srv.putrep(&incoming, reply.encode());
+            }),
+        );
+    }
+    LeaseServer { replica }
+}
+
+/// Errors surfaced by [`LeaseClient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseError {
+    /// The service has no majority (retry later).
+    NoMajority,
+    /// The service refused or mangled the request.
+    Service,
+    /// Transport failure.
+    Rpc(RpcError),
+}
+
+impl std::fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaseError::NoMajority => f.write_str("lease service has no majority"),
+            LeaseError::Service => f.write_str("lease service refused the request"),
+            LeaseError::Rpc(e) => write!(f, "lease transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+/// Client stub for the lease service.
+#[derive(Clone, Debug)]
+pub struct LeaseClient {
+    rpc: RpcClient,
+}
+
+impl LeaseClient {
+    /// Creates a stub talking to the service through `rpc`.
+    pub fn new(rpc: RpcClient) -> LeaseClient {
+        LeaseClient { rpc }
+    }
+
+    fn call(&self, ctx: &Ctx, req: LeaseRequest) -> Result<LeaseReply, LeaseError> {
+        let bytes = self
+            .rpc
+            .trans(ctx, LEASE_PORT, req.encode())
+            .map_err(LeaseError::Rpc)?;
+        LeaseReply::decode(&bytes).map_err(|_| LeaseError::Service)
+    }
+
+    /// Acquires (or renews) `name` for `owner`. Returns the logical
+    /// expiry on success, `None` if another owner holds it.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError::NoMajority`] while the service is recovering.
+    pub fn grant(
+        &self,
+        ctx: &Ctx,
+        name: &str,
+        owner: u64,
+        ttl: u64,
+    ) -> Result<Option<u64>, LeaseError> {
+        match self.call(
+            ctx,
+            LeaseRequest::Grant {
+                name: name.to_owned(),
+                owner,
+                ttl,
+            },
+        )? {
+            LeaseReply::Granted { expires } => Ok(Some(expires)),
+            LeaseReply::Busy { .. } => Ok(None),
+            LeaseReply::NoMajority => Err(LeaseError::NoMajority),
+            _ => Err(LeaseError::Service),
+        }
+    }
+
+    /// Releases `name` held by `owner` (releasing an expired or foreign
+    /// lease reports `false`).
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError::NoMajority`] while the service is recovering.
+    pub fn release(&self, ctx: &Ctx, name: &str, owner: u64) -> Result<bool, LeaseError> {
+        match self.call(
+            ctx,
+            LeaseRequest::Release {
+                name: name.to_owned(),
+                owner,
+            },
+        )? {
+            LeaseReply::Ok => Ok(true),
+            LeaseReply::NotHeld => Ok(false),
+            LeaseReply::NoMajority => Err(LeaseError::NoMajority),
+            _ => Err(LeaseError::Service),
+        }
+    }
+
+    /// Who holds `name`, if unexpired: `(owner, logical expiry)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError::NoMajority`] while the service is recovering.
+    pub fn query(&self, ctx: &Ctx, name: &str) -> Result<Option<(u64, u64)>, LeaseError> {
+        match self.call(
+            ctx,
+            LeaseRequest::Query {
+                name: name.to_owned(),
+            },
+        )? {
+            LeaseReply::Held { holder, expires } => Ok(Some((holder, expires))),
+            LeaseReply::Free => Ok(None),
+            LeaseReply::NoMajority => Err(LeaseError::NoMajority),
+            _ => Err(LeaseError::Service),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_and_replies_round_trip() {
+        let reqs = [
+            LeaseRequest::Grant {
+                name: "mig:1:2".into(),
+                owner: 77,
+                ttl: 32,
+            },
+            LeaseRequest::Release {
+                name: "mig:1:2".into(),
+                owner: 77,
+            },
+            LeaseRequest::Query { name: "x".into() },
+        ];
+        for m in reqs {
+            assert_eq!(LeaseRequest::decode(&m.encode()).unwrap(), m);
+        }
+        let reps = [
+            LeaseReply::Granted { expires: 40 },
+            LeaseReply::Busy {
+                holder: 9,
+                expires: 40,
+            },
+            LeaseReply::Ok,
+            LeaseReply::NotHeld,
+            LeaseReply::Held {
+                holder: 9,
+                expires: 40,
+            },
+            LeaseReply::Free,
+            LeaseReply::Malformed,
+            LeaseReply::NoMajority,
+        ];
+        for m in reps {
+            assert_eq!(LeaseReply::decode(&m.encode()).unwrap(), m);
+        }
+        assert!(LeaseRequest::decode(&[99]).is_err());
+        assert!(LeaseReply::decode(&[]).is_err());
+    }
+}

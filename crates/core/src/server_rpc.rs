@@ -327,13 +327,14 @@ impl Applier {
 /// The object an op locks (creates lock the allocator, object 0).
 pub(crate) fn op_lock_object(op: &DirOp) -> u64 {
     match op {
-        DirOp::Create { .. } | DirOp::CreateKeyed { .. } => 0,
+        DirOp::Create { .. } | DirOp::CreateKeyed { .. } | DirOp::InstallDir { .. } => 0,
         DirOp::Delete { object }
         | DirOp::Append { object, .. }
         | DirOp::Chmod { object, .. }
         | DirOp::DeleteRow { object, .. }
         | DirOp::AppendLink { object, .. }
-        | DirOp::Unlink { object, .. } => *object,
+        | DirOp::Unlink { object, .. }
+        | DirOp::InstallStub { object, .. } => *object,
         DirOp::ReplaceSet { items } => items.first().map(|(o, _, _)| *o).unwrap_or(0),
     }
 }

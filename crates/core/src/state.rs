@@ -47,11 +47,33 @@ pub(crate) struct Shared {
     pub next_nv_uid: u64,
     /// Virtual time of the last applied update (drives idle flushing).
     pub last_update_at: amoeba_sim::SimTime,
-    /// Completion records of keyed creates (`key → object`): the
-    /// idempotency memory of the cross-shard two-step protocol (see
-    /// [`crate::ShardMap`]). Replicated state — travels in snapshots;
-    /// deleting a directory deletes its records.
+    /// Completion records of keyed creates and installs
+    /// (`key → object`): the idempotency memory of the cross-shard
+    /// two-step protocols (see [`crate::ShardMap`]). Replicated state —
+    /// travels in snapshots; deleting a directory deletes its records.
     pub completions: HashMap<u64, u64>,
+    /// Forwarding stubs of migrated-away directories
+    /// (`object → new location`). The object's table entry is *kept*
+    /// (its number stays reserved and its check still validates old
+    /// capabilities); its contents and Bullet file are gone. Replicated
+    /// state — travels in snapshots with the entry's check/seqno; like
+    /// completions, lost only if every replica boots from a salvaged
+    /// disk in the same window.
+    pub stubs: HashMap<u64, StubEntry>,
+    /// Per-directory operation counts since the last drain — advisory,
+    /// replica-local load signal for the rebalancer (never replicated,
+    /// never deterministic across replicas: reads count only where they
+    /// are served).
+    pub heat: HashMap<u64, u64>,
+}
+
+/// Where a migrated directory went (see [`Shared::stubs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StubEntry {
+    /// Raw port of the shard the directory now lives on.
+    pub to_port: u64,
+    /// Object number at that shard.
+    pub to_object: u64,
 }
 
 impl std::fmt::Debug for Shared {
@@ -76,6 +98,8 @@ impl Shared {
             next_nv_uid: 1,
             last_update_at: amoeba_sim::SimTime::ZERO,
             completions: HashMap::new(),
+            stubs: HashMap::new(),
+            heat: HashMap::new(),
         }
     }
 }
@@ -127,18 +151,52 @@ fn structure_err(e: DirStructureError) -> DirError {
     }
 }
 
+/// Rebuilds a full directory from an [`DirOp::InstallDir`]'s carried
+/// contents, re-validating the structural invariants (a forged install
+/// must not plant an undecodable directory).
+fn build_directory(
+    columns: &[String],
+    rows: &[(String, Capability, Vec<Rights>)],
+    useq: u64,
+) -> Result<Directory, DirError> {
+    if !(1..=4).contains(&columns.len()) {
+        return Err(DirError::Malformed);
+    }
+    let mut dir = Directory::new(columns.to_vec());
+    for (name, cap, masks) in rows {
+        dir.append_row(name.clone(), *cap, masks.clone())
+            .map_err(structure_err)?;
+    }
+    dir.seqno = useq;
+    Ok(dir)
+}
+
 /// Storage effects produced by the deterministic plan phase.
 #[derive(Debug)]
 pub(crate) enum Effect {
-    StoreDir { object: u64, dir: Directory },
-    DropDir { object: u64, old_file: FileCap },
+    StoreDir {
+        object: u64,
+        dir: Directory,
+    },
+    DropDir {
+        object: u64,
+        old_file: FileCap,
+    },
+    /// A migration tombstone: persist the kept (contentless) table
+    /// entry and free the directory's Bullet file.
+    StoreStub {
+        object: u64,
+        old_file: FileCap,
+    },
 }
 
 impl Effect {
     /// The object the effect concerns.
     pub(crate) fn object(&self) -> u64 {
         match self {
-            Effect::StoreDir { object, .. } | Effect::DropDir { object, .. } => *object,
+            Effect::StoreDir { object, .. }
+            | Effect::DropDir { object, .. }
+            | Effect::StoreStub { object, .. } => *object,
         }
     }
 }
@@ -146,13 +204,14 @@ impl Effect {
 /// The object an op concerns (NVRAM record tag).
 pub(crate) fn op_object(op: &DirOp) -> u64 {
     match op {
-        DirOp::Create { .. } | DirOp::CreateKeyed { .. } => 0,
+        DirOp::Create { .. } | DirOp::CreateKeyed { .. } | DirOp::InstallDir { .. } => 0,
         DirOp::Delete { object }
         | DirOp::Append { object, .. }
         | DirOp::Chmod { object, .. }
         | DirOp::DeleteRow { object, .. }
         | DirOp::AppendLink { object, .. }
-        | DirOp::Unlink { object, .. } => *object,
+        | DirOp::Unlink { object, .. }
+        | DirOp::InstallStub { object, .. } => *object,
         DirOp::ReplaceSet { items } => items.first().map(|(o, _, _)| *o).unwrap_or(0),
     }
 }
@@ -247,6 +306,37 @@ impl Applier {
                 shared.update_seq
             }
         };
+        // A relocated directory answers every op with its new location
+        // (checked *at apply time*, in the total order, so an op racing
+        // the stub install lands deterministically on exactly one side).
+        // InstallStub handles its own replay/forwarding cases below.
+        if !matches!(op, DirOp::InstallStub { .. }) {
+            let hit = match op {
+                DirOp::ReplaceSet { items } => items
+                    .iter()
+                    .find_map(|(o, _, _)| shared.stubs.get(o).map(|s| (*o, *s))),
+                _ => {
+                    let object = op_object(op);
+                    shared.stubs.get(&object).map(|s| (object, *s))
+                }
+            };
+            if let Some((object, stub)) = hit {
+                return Ok((
+                    DirReply::Moved {
+                        object,
+                        to_port: stub.to_port,
+                        to_object: stub.to_object,
+                    },
+                    Vec::new(),
+                    useq,
+                ));
+            }
+        }
+        // Advisory write-load signal for the rebalancer.
+        let hot = op_object(op);
+        if hot != 0 {
+            *shared.heat.entry(hot).or_insert(0) += 1;
+        }
         match op {
             DirOp::Create { columns, check } => self.plan_create(shared, columns, *check, useq),
             DirOp::CreateKeyed {
@@ -411,6 +501,130 @@ impl Applier {
                 }
                 Ok((DirReply::Ok, effects, useq))
             }
+            DirOp::InstallDir {
+                columns,
+                rows,
+                check,
+                key,
+            } => {
+                let dir = build_directory(columns, rows, useq)?;
+                if let Some(&object) = shared.completions.get(key) {
+                    if let Some(entry) = shared.table.get(object) {
+                        let cap = Capability::owner(self.cfg.public_port, object, entry.check);
+                        if shared.stubs.contains_key(&object) {
+                            // The copy itself migrated on; hand back its
+                            // (stubbed) capability — the holder chases.
+                            return Ok((DirReply::Cap(cap), Vec::new(), useq));
+                        }
+                        // Upsert: a retry after a Stale CAS carries newer
+                        // contents — replace the dark copy wholesale.
+                        shared.cache.insert(object, dir.clone());
+                        shared.table.set(
+                            object,
+                            ObjEntry {
+                                file_cap: entry.file_cap,
+                                seqno: useq,
+                                check: entry.check,
+                            },
+                        );
+                        return Ok((
+                            DirReply::Cap(cap),
+                            vec![Effect::StoreDir { object, dir }],
+                            useq,
+                        ));
+                    }
+                }
+                // Fresh install: allocate like a create, with the carried
+                // contents and check (so relocated capabilities validate
+                // unchanged), and record the migration key.
+                let object = shared.table.next_object();
+                if object > shared.table.capacity() {
+                    return Err(DirError::Internal);
+                }
+                shared.cache.insert(object, dir.clone());
+                shared.table.set(
+                    object,
+                    ObjEntry {
+                        file_cap: FileCap::NULL, // patched by the effect
+                        seqno: useq,
+                        check: *check,
+                    },
+                );
+                shared.completions.insert(*key, object);
+                let cap = Capability::owner(self.cfg.public_port, object, *check);
+                Ok((
+                    DirReply::Cap(cap),
+                    vec![Effect::StoreDir { object, dir }],
+                    useq,
+                ))
+            }
+            DirOp::InstallStub {
+                object,
+                to_port,
+                to_object,
+                expected_seqno,
+            } => {
+                if let Some(stub) = shared.stubs.get(object) {
+                    // Replay of a completed migration — or a different
+                    // one won: both are answered without touching state.
+                    return if stub.to_port == *to_port && stub.to_object == *to_object {
+                        Ok((DirReply::Ok, Vec::new(), useq))
+                    } else {
+                        Ok((
+                            DirReply::Moved {
+                                object: *object,
+                                to_port: stub.to_port,
+                                to_object: stub.to_object,
+                            },
+                            Vec::new(),
+                            useq,
+                        ))
+                    };
+                }
+                let entry = shared.table.get(*object).ok_or(DirError::BadCapability)?;
+                // CAS: a concurrent update ordered since the export bumped
+                // the seqno — fail Stale so the coordinator re-copies. A
+                // contentless directory (NVRAM replay of an op that was
+                // already accepted, after its pre-stub state was flushed
+                // and the file freed) installs unconditionally: the CAS
+                // was checked when the op was first ordered.
+                if let Some(dir) = shared.cache.get(object) {
+                    if dir.seqno != *expected_seqno {
+                        return Err(DirError::Stale);
+                    }
+                }
+                shared.stubs.insert(
+                    *object,
+                    StubEntry {
+                        to_port: *to_port,
+                        to_object: *to_object,
+                    },
+                );
+                shared.cache.remove(object);
+                shared.heat.remove(object);
+                // Keep the entry: the object number stays reserved forever
+                // and the check keeps validating old capabilities; the
+                // contents (and their Bullet file) are gone.
+                shared.table.set(
+                    *object,
+                    ObjEntry {
+                        file_cap: FileCap::NULL,
+                        seqno: useq,
+                        check: entry.check,
+                    },
+                );
+                // Like a delete, the migration "loses its file" (§3): the
+                // commit block must record the update.
+                shared.commit.seqno = useq;
+                Ok((
+                    DirReply::Ok,
+                    vec![Effect::StoreStub {
+                        object: *object,
+                        old_file: entry.file_cap,
+                    }],
+                    useq,
+                ))
+            }
         }
     }
 
@@ -463,10 +677,11 @@ impl Applier {
             Effect::StoreDir { object, dir } => {
                 self.store_dir_to_disk(ctx, object, &dir);
             }
-            Effect::DropDir { object, old_file } => {
-                // Directory deleted: persist the cleared table entry and
-                // record the update in the commit block (the delete-
-                // loses-its-file case, §3), then free the Bullet file.
+            Effect::DropDir { object, old_file } | Effect::StoreStub { object, old_file } => {
+                // Directory deleted (or migrated away): persist the table
+                // entry — cleared for a delete, kept-but-contentless for a
+                // stub — and record the update in the commit block (the
+                // op loses its file, §3), then free the Bullet file.
                 // Enqueue under the lock, wait outside it.
                 let waiter = { self.shared.lock().table.flush_begin(object) };
                 if let Some(w) = waiter {
@@ -661,11 +876,21 @@ impl Applier {
         match req {
             DirRequest::ListDir { cap } => {
                 let object = {
-                    let shared = self.shared.lock();
-                    match validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::NONE) {
-                        Ok(o) => o,
-                        Err(e) => return DirReply::Err(e),
+                    let mut shared = self.shared.lock();
+                    let object =
+                        match validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::NONE) {
+                            Ok(o) => o,
+                            Err(e) => return DirReply::Err(e),
+                        };
+                    if let Some(stub) = shared.stubs.get(&object) {
+                        return DirReply::Moved {
+                            object,
+                            to_port: stub.to_port,
+                            to_object: stub.to_object,
+                        };
                     }
+                    *shared.heat.entry(object).or_insert(0) += 1;
+                    object
                 };
                 if !cap.rights.sees_any_column() {
                     return DirReply::Err(DirError::NoPermission);
@@ -699,8 +924,23 @@ impl Applier {
                 let mut out = Vec::with_capacity(items.len());
                 for (cap, name) in items {
                     let object = {
-                        let shared = self.shared.lock();
-                        validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::NONE)
+                        let mut shared = self.shared.lock();
+                        let object =
+                            validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::NONE);
+                        if let Ok(o) = object {
+                            // A relocated directory forwards the whole
+                            // call: the client learns the hint, re-routes
+                            // this item and retries.
+                            if let Some(stub) = shared.stubs.get(&o) {
+                                return DirReply::Moved {
+                                    object: o,
+                                    to_port: stub.to_port,
+                                    to_object: stub.to_object,
+                                };
+                            }
+                            *shared.heat.entry(o).or_insert(0) += 1;
+                        }
+                        object
                     };
                     let resolved = match object {
                         Ok(object) if cap.rights.sees_any_column() => {
@@ -721,6 +961,42 @@ impl Applier {
                     out.push(resolved);
                 }
                 DirReply::Caps(out)
+            }
+            DirRequest::ExportDir { cap } => {
+                // Migration's copy source: full contents plus the raw
+                // check. Owner-only — the owner capability's check field
+                // already *is* the raw check, so nothing new is leaked.
+                let (object, check) = {
+                    let shared = self.shared.lock();
+                    let object =
+                        match validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::ALL) {
+                            Ok(o) => o,
+                            Err(e) => return DirReply::Err(e),
+                        };
+                    if let Some(stub) = shared.stubs.get(&object) {
+                        return DirReply::Moved {
+                            object,
+                            to_port: stub.to_port,
+                            to_object: stub.to_object,
+                        };
+                    }
+                    let entry = shared.table.get(object).expect("validated above");
+                    (object, entry.check)
+                };
+                let dir = match self.load_dir(ctx, object) {
+                    Ok(d) => d,
+                    Err(e) => return DirReply::Err(e),
+                };
+                DirReply::Export {
+                    check,
+                    seqno: dir.seqno,
+                    columns: dir.columns.clone(),
+                    rows: dir
+                        .rows
+                        .iter()
+                        .map(|r| (r.name.clone(), r.cap, r.col_rights.clone()))
+                        .collect(),
+                }
             }
             _ => DirReply::Err(DirError::Malformed),
         }
@@ -836,7 +1112,41 @@ impl Applier {
                     name: name.clone(),
                 })
             }
-            DirRequest::ListDir { .. } | DirRequest::LookupSet { .. } => Err(DirError::Malformed),
+            DirRequest::InstallDir {
+                columns,
+                rows,
+                check,
+                key,
+            } => {
+                if !(1..=4).contains(&columns.len())
+                    || rows.iter().any(|(_, _, m)| m.len() != columns.len())
+                {
+                    return Err(DirError::Malformed);
+                }
+                Ok(DirOp::InstallDir {
+                    columns: columns.clone(),
+                    rows: rows.clone(),
+                    check: *check,
+                    key: *key,
+                })
+            }
+            DirRequest::InstallStub {
+                dir,
+                to_port,
+                to_object,
+                expected_seqno,
+            } => {
+                let object = validate_dir_cap(&shared, port, dir, Rights::ALL)?;
+                Ok(DirOp::InstallStub {
+                    object,
+                    to_port: *to_port,
+                    to_object: *to_object,
+                    expected_seqno: *expected_seqno,
+                })
+            }
+            DirRequest::ListDir { .. }
+            | DirRequest::LookupSet { .. }
+            | DirRequest::ExportDir { .. } => Err(DirError::Malformed),
         }
     }
 }
