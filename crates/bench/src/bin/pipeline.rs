@@ -36,9 +36,16 @@
 //! stubs — and the measured window shows hot-shard throughput
 //! recovering toward the balanced reference without a redeploy.
 //!
+//! A seventh, `<label>+readmix`, A/Bs the lease-fenced client-side
+//! directory cache on a zipfian read-mostly mix at 4 shards: cache off
+//! (the unmodified per-lookup RPC path, the regression anchor) vs on
+//! (lookups served locally under live read leases), plus the cached
+//! hit rate and the invalidation-storm probe — the latency of one
+//! write that must revoke a fleet of outstanding leases before acking.
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
 //! (append `--internetwork-only` / `--shards-only` / `--migration-only`
-//! to refresh just that run). The `ci-smoke` label runs a seconds-long
+//! / `--read-mix-only` to refresh just that run). The `ci-smoke` label runs a seconds-long
 //! subset with tiny iteration counts against a scratch output file and
 //! asserts the emitted JSON is valid — the CI guard against bench
 //! bit-rot.
@@ -59,6 +66,7 @@ fn main() {
     let inet_only = args.iter().any(|a| a == "--internetwork-only");
     let shards_only = args.iter().any(|a| a == "--shards-only");
     let migration_only = args.iter().any(|a| a == "--migration-only");
+    let read_mix_only = args.iter().any(|a| a == "--read-mix-only");
     let mut pos = args.iter().filter(|a| !a.starts_with("--"));
     let label = pos
         .next()
@@ -88,6 +96,12 @@ fn main() {
         let migration = migration_run(&label);
         append_run(&out_path, "pipeline", &migration).expect("write BENCH_pipeline.json");
         println!("appended migration run to {}", out_path.display());
+        return;
+    }
+    if read_mix_only {
+        let readmix = read_mix_run(&label);
+        append_run(&out_path, "pipeline", &readmix).expect("write BENCH_pipeline.json");
+        println!("appended read-mix run to {}", out_path.display());
         return;
     }
     println!("pipeline bench — run '{label}'");
@@ -143,7 +157,99 @@ fn main() {
     // A/B five: skewed hot-shard placement, static vs rebalanced.
     let migration = migration_run(&label);
     append_run(&out_path, "pipeline", &migration).expect("write BENCH_pipeline.json");
+
+    // A/B six: the lease-fenced client cache on the zipfian read mix.
+    let readmix = read_mix_run(&label);
+    append_run(&out_path, "pipeline", &readmix).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
+}
+
+/// The cached-read-path A/B: the zipfian read mix (readers resolving
+/// Zipf-distributed directories, writers invalidating the same
+/// distribution) at 4 shards, cache off then on — parameter-identical
+/// deployments, so the cache-off row doubles as the regression anchor
+/// for the unmodified per-lookup RPC path (~Fig. 8's 5-client point).
+/// The `network` section records the cached hit rate, the speedup, and
+/// the invalidation-storm probe: the latency of one write that must
+/// revoke a fleet of outstanding read leases before acking.
+fn read_mix_run(label: &str) -> RunSummary {
+    use amoeba_bench::{invalidation_storm, read_mix_burst};
+    const SHARDS: usize = 4;
+    const N_READERS: usize = 5;
+    const N_WRITERS: usize = 2;
+    const N_DIRS: usize = 48;
+    let warmup = Duration::from_secs(2);
+    let window = Duration::from_secs(10);
+    let mut run = RunSummary {
+        label: format!("{label}+readmix"),
+        ..Default::default()
+    };
+    // The regression anchor first: the same harness with no writers and
+    // no cache is exactly the seed's read path (one RPC per lookup) —
+    // it must stay within noise of the classic 5-client Fig. 8 point.
+    let anchor = read_mix_burst(SHARDS, false, N_READERS, 0, N_DIRS, warmup, window, 0xCAC4E);
+    println!(
+        "  read-mix/cache-off/read-only: {:.1} lookups/s (seed anchor)",
+        anchor.lookups_per_sec
+    );
+    run.variants.push(VariantSummary {
+        variant: format!("Group(3)/read-mix/shards={SHARDS}/cache-off/read-only"),
+        n_clients: N_READERS,
+        lookup_ops_per_sec: anchor.lookups_per_sec,
+        update_ops_per_sec: f64::NAN,
+        lookup_latency_ms: f64::NAN,
+        update_latency_ms: f64::NAN,
+    });
+    let mut rates = [0.0f64; 2];
+    for cached in [false, true] {
+        let tag = if cached { "cached" } else { "cache-off" };
+        let r = read_mix_burst(
+            SHARDS, cached, N_READERS, N_WRITERS, N_DIRS, warmup, window, 0xCAC4E,
+        );
+        rates[usize::from(cached)] = r.lookups_per_sec;
+        println!(
+            "  read-mix/{tag}: {:.1} lookups/s, {:.1} update pairs/s \
+             ({:.1} ms/pair), hit rate {:.3}",
+            r.lookups_per_sec, r.updates_per_sec, r.update_latency_ms, r.hit_rate
+        );
+        run.variants.push(VariantSummary {
+            variant: format!("Group(3)/read-mix/shards={SHARDS}/{tag}"),
+            n_clients: N_READERS + N_WRITERS,
+            lookup_ops_per_sec: r.lookups_per_sec,
+            update_ops_per_sec: r.updates_per_sec,
+            lookup_latency_ms: f64::NAN,
+            update_latency_ms: r.update_latency_ms,
+        });
+        if cached {
+            run.network
+                .push(("read-mix/cached/hit_rate".into(), r.hit_rate));
+            run.network.push((
+                "read-mix/cached/invalidations".into(),
+                r.cache.invalidations as f64,
+            ));
+            run.network
+                .push(("read-mix/cached/renewals".into(), r.cache.renewals as f64));
+        }
+    }
+    run.network.push((
+        "read-mix/cached_over_off_speedup".into(),
+        rates[1] / rates[0],
+    ));
+    let s = invalidation_storm(SHARDS, 8, 0xCAC4E);
+    println!(
+        "  read-mix/inval-storm: one write over 8 lease holders acked in {:.1} ms \
+         ({} entries dropped)",
+        s.write_latency_ms, s.invalidations
+    );
+    run.network.push((
+        "read-mix/inval-storm/write_latency_ms".into(),
+        s.write_latency_ms,
+    ));
+    run.network.push((
+        "read-mix/inval-storm/invalidations".into(),
+        s.invalidations as f64,
+    ));
+    run
 }
 
 /// The migration A/B: every writer's directory on shard 0 of 4 (the
@@ -346,6 +452,41 @@ fn ci_smoke() {
         "migration/skewed/rebalanced/hot_shard_stubs".into(),
         m.migrated as f64,
     ));
+    // Cached read mix: a tiny 2-shard zipfian run with the client
+    // cache on — asserts the lease grant, local-hit and
+    // revoke-before-ack paths all still drive end to end.
+    let rm = amoeba_bench::read_mix_burst(
+        2,
+        true,
+        2,
+        1,
+        8,
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        0xC1,
+    );
+    assert!(
+        rm.lookups_per_sec > 0.0,
+        "read-mix smoke run must complete lookups"
+    );
+    assert!(
+        rm.hit_rate > 0.0,
+        "the cached read-mix smoke run must serve lookups locally"
+    );
+    assert!(
+        rm.updates_per_sec > 0.0,
+        "read-mix smoke run must complete (lease-revoking) updates"
+    );
+    run.variants.push(VariantSummary {
+        variant: "ci-smoke/read-mix/shards=2/cached".to_owned(),
+        n_clients: 3,
+        lookup_ops_per_sec: rm.lookups_per_sec,
+        update_ops_per_sec: rm.updates_per_sec,
+        lookup_latency_ms: f64::NAN,
+        update_latency_ms: rm.update_latency_ms,
+    });
+    run.network
+        .push(("read-mix/cached/hit_rate".into(), rm.hit_rate));
     run.micro = micro_points();
     // Emit to a scratch file and verify the JSON shape end to end
     // (append twice: creation and the splice-before-footer path).
@@ -368,11 +509,17 @@ fn ci_smoke() {
             && text.contains("migration/skewed/rebalanced/hot_shard_stubs"),
         "ci-smoke: the migration section must be present in the JSON"
     );
+    assert!(
+        text.contains("ci-smoke/read-mix/shards=2/cached")
+            && text.contains("read-mix/cached/hit_rate"),
+        "ci-smoke: the read-mix section must be present in the JSON"
+    );
     std::fs::remove_file(&path).expect("ci-smoke: cleanup");
     println!(
         "ci-smoke ok: group {:.0} msgs/s, 2-shard burst {:.1} appends/s, \
-         migration burst {:.1} appends/s ({} migrated), json shape valid",
-        g.msgs_per_sec, r.ops_per_sec, m.ops_per_sec, m.migrated
+         migration burst {:.1} appends/s ({} migrated), cached read mix \
+         {:.1} lookups/s at hit rate {:.2}, json shape valid",
+        g.msgs_per_sec, r.ops_per_sec, m.ops_per_sec, m.migrated, rm.lookups_per_sec, rm.hit_rate
     );
 }
 

@@ -21,6 +21,7 @@
 //! mid-request (a migration racing the call) is chased, not surfaced
 //! as a hard failure, and old capabilities keep working forever.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -28,6 +29,7 @@ use amoeba_flip::Port;
 use amoeba_rpc::{RpcClient, RpcError};
 use amoeba_sim::Ctx;
 
+use crate::cache::{CacheStats, DirCache};
 use crate::capability::Capability;
 use crate::ops::{DirError, DirReply, DirRequest};
 use crate::rights::Rights;
@@ -106,6 +108,9 @@ pub struct DirClient {
     route: Arc<Route>,
     /// Round-robin cursor for placing fresh root directories.
     next_create: Arc<AtomicUsize>,
+    /// Lease-fenced local read cache (see [`crate::cache`]); `None`
+    /// is the classic, behaviour-identical uncached client.
+    cache: Option<DirCache>,
 }
 
 impl DirClient {
@@ -116,6 +121,7 @@ impl DirClient {
             rpc,
             route: Arc::new(Route::Single(service)),
             next_create: Arc::new(AtomicUsize::new(0)),
+            cache: None,
         }
     }
 
@@ -126,7 +132,25 @@ impl DirClient {
             rpc,
             route: Arc::new(Route::Sharded(ShardMap::new(shards))),
             next_create: Arc::new(AtomicUsize::new(0)),
+            cache: None,
         }
+    }
+
+    /// Attaches a lease-fenced read cache: lookups are served locally
+    /// while their directory's lease holds (see [`crate::cache`] for
+    /// the invariant). The cache's invalidation listener
+    /// ([`crate::cache::start_invalidation_listener`]) **must** be
+    /// running on this client's machine, or every write touching a
+    /// cached directory stalls for a full lease expiry.
+    #[must_use]
+    pub fn with_cache(mut self, cache: DirCache) -> DirClient {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// This client's cache counters, if a cache is attached.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(DirCache::stats)
     }
 
     /// Starts this client's root-placement round-robin at `offset`
@@ -194,9 +218,23 @@ impl DirClient {
     }
 
     /// Records a forwarding hint learned from a [`DirReply::Moved`].
+    /// Cached entries of the moved directory are dropped: its new home
+    /// grants its own leases, and the old home's lease must not keep
+    /// serving rows across the migration.
     fn learn(&self, from: (Port, u64), to: (Port, u64)) {
+        if let Some(cache) = &self.cache {
+            cache.forget(from.0.as_raw(), from.1);
+        }
         if let Route::Sharded(m) = &*self.route {
             m.learn(from, to);
+        }
+    }
+
+    /// Belt-and-braces drop after this client's own writes (the
+    /// server's invalidation callback also covers them).
+    fn forget_cached(&self, port: Port, object: u64) {
+        if let Some(cache) = &self.cache {
+            cache.forget(port.as_raw(), object);
         }
     }
 
@@ -240,7 +278,9 @@ impl DirClient {
         cap: Capability,
         build: impl Fn(Capability) -> DirRequest,
     ) -> Result<(), DirClientError> {
-        match self.call_chasing(ctx, cap, build)?.0 {
+        let (reply, cur) = self.call_chasing(ctx, cap, build)?;
+        self.forget_cached(cur.port, cur.object);
+        match reply {
             DirReply::Ok => Ok(()),
             DirReply::Err(e) => Err(e.into()),
             _ => Err(DirClientError::Protocol),
@@ -450,12 +490,143 @@ impl DirClient {
 
     /// Looks up several (directory, name) pairs at once. On a sharded
     /// deployment the set is split per shard and the answers merged
-    /// back into request order.
+    /// back into request order. With a cache attached
+    /// ([`with_cache`](DirClient::with_cache)), items covered by a live
+    /// lease are answered locally with zero packets; the misses are
+    /// fetched one `FetchDir` per distinct directory, installing fresh
+    /// leases along the way.
     ///
     /// # Errors
     ///
     /// Service errors or transport failures.
     pub fn lookup_set(
+        &self,
+        ctx: &Ctx,
+        items: Vec<(Capability, String)>,
+    ) -> Result<Vec<Option<Capability>>, DirClientError> {
+        match self.cache.clone() {
+            Some(cache) => self.lookup_set_cached(ctx, &cache, items),
+            None => self.lookup_set_uncached(ctx, items),
+        }
+    }
+
+    /// The cached read path: split lease-covered hits from misses,
+    /// answer the hits locally, fetch each missed directory once.
+    fn lookup_set_cached(
+        &self,
+        ctx: &Ctx,
+        cache: &DirCache,
+        items: Vec<(Capability, String)>,
+    ) -> Result<Vec<Option<Capability>>, DirClientError> {
+        let now_us = ctx.now().as_nanos() / 1_000;
+        let mut out = vec![None; items.len()];
+        let mut missed: Vec<usize> = Vec::new();
+        for (i, (cap, name)) in items.iter().enumerate() {
+            let cur = self.resolve_cap(*cap);
+            match cache.lookup(now_us, &cur, name) {
+                Some(answer) => out[i] = answer,
+                None => missed.push(i),
+            }
+        }
+        if missed.is_empty() {
+            return Ok(out);
+        }
+        // One fetch per distinct directory capability among the misses.
+        let mut groups: Vec<(Capability, Vec<usize>)> = Vec::new();
+        for &i in &missed {
+            let cap = items[i].0;
+            match groups.iter_mut().find(|(c, _)| *c == cap) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((cap, vec![i])),
+            }
+        }
+        let mut fallback: Vec<(Capability, String)> = Vec::new();
+        let mut fallback_idx: Vec<usize> = Vec::new();
+        for (cap, idxs) in groups {
+            match self.fetch_into_cache(ctx, cache, cap)? {
+                Some(rows) => {
+                    for i in idxs {
+                        out[i] = rows.get(&items[i].1).copied();
+                    }
+                }
+                // Uncacheable (the service refused the fetch, or a
+                // revocation raced it): the plain read path answers
+                // with the server's exact semantics.
+                None => {
+                    for i in idxs {
+                        fallback_idx.push(i);
+                        fallback.push(items[i].clone());
+                    }
+                }
+            }
+        }
+        if !fallback.is_empty() {
+            let answers = self.lookup_set_uncached(ctx, fallback)?;
+            for (k, i) in fallback_idx.into_iter().enumerate() {
+                out[i] = answers[k];
+            }
+        }
+        Ok(out)
+    }
+
+    /// The cache-miss path: fetch a directory's visible rows plus a
+    /// read lease (chasing `Moved` forwarding like every other call)
+    /// and install them. `Ok(None)` means the snapshot may not be
+    /// served — the service refused the fetch (e.g. a bad capability,
+    /// which the plain lookup path answers per-item) or its lease was
+    /// revoked while in flight.
+    fn fetch_into_cache(
+        &self,
+        ctx: &Ctx,
+        cache: &DirCache,
+        cap: Capability,
+    ) -> Result<Option<HashMap<String, Capability>>, DirClientError> {
+        let mut cur = self.resolve_cap(cap);
+        for _ in 0..MAX_CHASE {
+            let port = self.port_of_cap(&cur);
+            // The revocation epoch is read before the request leaves:
+            // an invalidation arriving while the fetch is in flight
+            // makes the snapshot unservable (it may predate the
+            // acknowledged write that revoked it).
+            let epoch = cache.epoch(port.as_raw(), cur.object);
+            let req = DirRequest::FetchDir {
+                cap: cur,
+                owner: cache.owner(),
+                cb_port: cache.cb_port().as_raw(),
+                ttl_us: cache.ttl_us(),
+            };
+            match self.call(ctx, port, &req)? {
+                DirReply::Moved {
+                    object,
+                    to_port,
+                    to_object,
+                } => {
+                    self.learn((port, object), (Port::from_raw(to_port), to_object));
+                    cur = self.resolve_cap(cap);
+                }
+                DirReply::Snapshot {
+                    seqno: _,
+                    deadline_us,
+                    columns: _,
+                    rows,
+                } => {
+                    let now_us = ctx.now().as_nanos() / 1_000;
+                    let map: HashMap<String, Capability> =
+                        rows.into_iter().map(|(n, c, _)| (n, c)).collect();
+                    if cache.install(epoch, &cur, map.clone(), deadline_us, now_us) {
+                        return Ok(Some(map));
+                    }
+                    return Ok(None);
+                }
+                DirReply::Err(_) => return Ok(None),
+                _ => return Err(DirClientError::Protocol),
+            }
+        }
+        Err(DirClientError::Protocol)
+    }
+
+    /// The uncached read path (and the cached path's fallback).
+    fn lookup_set_uncached(
         &self,
         ctx: &Ctx,
         items: Vec<(Capability, String)>,
@@ -549,8 +720,14 @@ impl DirClient {
                 }
             }
             for (port, sub) in groups {
+                let touched: Vec<(Port, u64)> =
+                    sub.iter().map(|(d, _, _)| (d.port, d.object)).collect();
                 match self.call(ctx, port, &DirRequest::ReplaceSet { items: sub })? {
-                    DirReply::Ok => {}
+                    DirReply::Ok => {
+                        for (p, o) in touched {
+                            self.forget_cached(p, o);
+                        }
+                    }
                     DirReply::Moved {
                         object,
                         to_port,
@@ -640,6 +817,8 @@ impl DirClient {
                 },
             )? {
                 DirReply::Ok => {
+                    self.forget_cached(home.port, home.object);
+                    self.forget_cached(installed.port, installed.object);
                     map.learn((home.port, home.object), (installed.port, installed.object));
                     return Ok(installed);
                 }

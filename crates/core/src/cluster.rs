@@ -11,6 +11,9 @@ use amoeba_group::{GroupConfig, GroupPeer};
 use amoeba_rpc::{RpcClient, RpcNode};
 use amoeba_sim::{Ctx, NodeId, Resource, Simulation, Spawn};
 
+use amoeba_flip::Port;
+
+use crate::cache::{start_invalidation_listener, CacheParams, DirCache};
 use crate::client::DirClient;
 use crate::config::{DirParams, ServiceConfig, StorageKind};
 use crate::server_group::{start_group_server, GroupDirServer, GroupServerDeps};
@@ -221,6 +224,12 @@ pub struct ClusterParams {
     /// object table and sequencer). `1` is the classic unsharded
     /// service, bit-identical to before sharding existed.
     pub shards: usize,
+    /// Lease-fenced client-side directory caching (see
+    /// [`crate::cache`]): every client machine built by
+    /// [`Cluster::client`] gets a [`DirCache`] and an invalidation
+    /// listener. `None` (the default) is the classic uncached client —
+    /// behaviour-identical to before the cache existed.
+    pub dir_cache: Option<CacheParams>,
     /// Simulation seed for workload randomness.
     pub seed: u64,
 }
@@ -250,6 +259,7 @@ impl ClusterParams {
             lease_service: false,
             rebalancer: None,
             shards: 1,
+            dir_cache: None,
             seed: 0xD1_5C,
         }
     }
@@ -374,6 +384,12 @@ impl Cluster {
     /// shard `shard`, so the flat indices `0..servers` address shard 0
     /// exactly as they addressed the whole service before sharding.
     pub fn start(sim: &Simulation, params: ClusterParams) -> Cluster {
+        assert!(
+            params.dir_cache.is_none()
+                || matches!(params.variant, Variant::Group | Variant::GroupNvram),
+            "the client directory cache requires a group variant \
+             (only the group initiators fence lease revocation)"
+        );
         let net = Network::with_topology(
             sim.handle(),
             params.net.clone(),
@@ -443,15 +459,21 @@ impl Cluster {
         let stack = self.net.attach_to(self.params.net_topology.client_segment);
         let rpc = RpcNode::start(sim, sim_node, stack);
         let rpc_client = RpcClient::new(&rpc);
-        (
-            // Each client machine starts its root-placement round-robin
-            // at its own index, so first creates spread across shards
-            // instead of all landing on shard 0.
-            DirClient::sharded(rpc_client.clone(), self.params.effective_shards())
-                .with_create_offset(id as usize),
-            rpc_client,
-            sim_node,
-        )
+        // Each client machine starts its root-placement round-robin
+        // at its own index, so first creates spread across shards
+        // instead of all landing on shard 0.
+        let mut dir = DirClient::sharded(rpc_client.clone(), self.params.effective_shards())
+            .with_create_offset(id as usize);
+        if let Some(cp) = &self.params.dir_cache {
+            // Each client machine gets its own callback port and a
+            // renewal jitter derived from its index (the same idiom as
+            // the create offset above).
+            let cache = DirCache::new(cp.clone(), Port::from_name(&format!("dir-cache-cb-{id}")))
+                .with_renew_jitter(id as usize);
+            start_invalidation_listener(sim, sim_node, &rpc, &cache);
+            dir = dir.with_cache(cache);
+        }
+        (dir, rpc_client, sim_node)
     }
 
     /// Crashes column `i`: machine dies, NIC goes silent; platters,

@@ -108,6 +108,10 @@ pub struct DirParams {
     /// Latency of an intentions-log append in the RPC baseline
     /// (sequential log write: rotation + transfer, no full seek).
     pub intentions_latency: Duration,
+    /// Upper bound on client read-lease durations ([`crate::cache`]):
+    /// the longest a write can stall waiting out an unreachable lease
+    /// holder, and the cap applied to any requested TTL.
+    pub max_lease: Duration,
     /// How long a joining server waits for a group to answer.
     pub recovery_join_timeout: Duration,
     /// How long to wait for a majority to assemble before retrying.
@@ -129,6 +133,7 @@ impl Default for DirParams {
             nvram_flush_threshold: 0.75,
             nvram_idle_flush: Duration::from_millis(200),
             intentions_latency: Duration::from_millis(12),
+            max_lease: Duration::from_millis(400),
             recovery_join_timeout: Duration::from_millis(400),
             recovery_majority_timeout: Duration::from_millis(1_500),
             recovery_retry_jitter: Duration::from_millis(300),

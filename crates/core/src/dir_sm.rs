@@ -91,6 +91,7 @@ impl DirectoryStateMachine {
             bullet,
             partition,
             nvram,
+            max_lease_us: params.max_lease.as_micros() as u64,
         });
         Self::new(applier, params, cpu)
     }
@@ -186,6 +187,27 @@ impl StateMachine for DirectoryStateMachine {
         let planned = {
             let mut shared = applier.shared.lock();
             let r = applier.plan(&mut shared, &op, None);
+            // Revoke-on-apply: every object this op mutates loses its
+            // outstanding read leases *in the same critical section as
+            // the mutation* — ordered in the total order, so a grant
+            // and a write racing through different initiators land
+            // deterministically on one side of each other on every
+            // replica. The initiator that submitted the write fans the
+            // parked revocations out before acknowledging.
+            if let Ok((_, effects, _)) = &r {
+                for e in effects {
+                    shared.revoke_leases(e.object());
+                }
+            }
+            // Expired parked revocations need no callback — the holder
+            // rejects the entry itself once the deadline passes — and
+            // must not pile up at replicas whose initiators never claim
+            // them (volatile bookkeeping; determinism not required).
+            let now_us = ctx.now().as_nanos() / 1_000;
+            shared.revoked.retain(|_, ls| {
+                ls.retain(|l| l.deadline_us > now_us);
+                !ls.is_empty()
+            });
             // The cursor moves with the mutation, in the same critical
             // section, so snapshots are always cursor-consistent.
             shared.applied_group_seq = shared.applied_group_seq.max(seq);
@@ -198,7 +220,15 @@ impl StateMachine for DirectoryStateMachine {
         };
         match applier.storage {
             StorageKind::Disk => self.pending.lock().extend(effects),
-            StorageKind::Nvram => applier.commit_nvram(ctx, useq, &op),
+            StorageKind::Nvram => {
+                // Lease grants are volatile replicated state: nothing
+                // to make durable, so they skip the log (replaying one
+                // after a reboot would only plant an already-expired
+                // lease).
+                if !matches!(op, DirOp::GrantRead { .. }) {
+                    applier.commit_nvram(ctx, useq, &op);
+                }
+            }
         }
         reply.encode().into()
     }
@@ -329,6 +359,21 @@ impl StateMachine for DirectoryStateMachine {
             let mut shared = applier.shared.lock();
             shared.update_seq = shared.update_seq.max(replayed);
         }
+        {
+            // The lease table is replicated but never durable. A boot
+            // from salvaged *non-empty* state may therefore have lost
+            // leases whose holders are still alive and serving cached
+            // reads — fence write acknowledgements until every lease
+            // granted before the crash has provably expired. (If the
+            // group recovers from a surviving peer instead, the
+            // snapshot carries the lease table and the installing
+            // replica's fence is harmless extra caution; a genuinely
+            // fresh deployment boots with update_seq 0 and no fence.)
+            let mut shared = applier.shared.lock();
+            if shared.update_seq > 0 {
+                shared.write_fence_until_us = ctx.now().as_nanos() / 1_000 + applier.max_lease_us;
+            }
+        }
     }
 
     fn recovery_info(&self) -> RecoveryInfo {
@@ -405,6 +450,18 @@ impl StateMachine for DirectoryStateMachine {
             })
             .collect();
         stubs.sort_unstable(); // deterministic encoding
+                               // The read-lease table is replicated state: a joining replica must
+                               // know every outstanding lease or a write it later initiates could
+                               // acknowledge without revoking one.
+        let mut rleases: Vec<(u64, u64, u64, u64)> = shared
+            .rleases
+            .iter()
+            .flat_map(|(object, ls)| {
+                ls.iter()
+                    .map(|l| (*object, l.owner, l.cb_port, l.deadline_us))
+            })
+            .collect();
+        rleases.sort_unstable(); // deterministic encoding
         let mut w = WireWriter::with_capacity(
             8 + 8
                 + 4
@@ -415,7 +472,9 @@ impl StateMachine for DirectoryStateMachine {
                 + 4
                 + completions.len() * 16
                 + 4
-                + stubs.len() * 40,
+                + stubs.len() * 40
+                + 4
+                + rleases.len() * 32,
         );
         w.u64(shared.update_seq)
             .u64(shared.commit.seqno)
@@ -434,6 +493,10 @@ impl StateMachine for DirectoryStateMachine {
                 .u64(*seqno)
                 .u64(*to_port)
                 .u64(*to_object);
+        }
+        w.u32(rleases.len() as u32);
+        for (object, owner, cb_port, deadline_us) in &rleases {
+            w.u64(*object).u64(*owner).u64(*cb_port).u64(*deadline_us);
         }
         (shared.applied_group_seq, w.finish_payload())
     }
@@ -494,6 +557,30 @@ impl StateMachine for DirectoryStateMachine {
                 _ => return false,
             }
         }
+        let n_leases = match r.u32("read leases") {
+            Ok(n) if (n as usize) <= 1_000_000 => n,
+            _ => return false,
+        };
+        let mut rleases: Vec<(u64, crate::state::ReadLease)> =
+            Vec::with_capacity(n_leases as usize);
+        for _ in 0..n_leases {
+            match (
+                r.u64("lease object"),
+                r.u64("lease owner"),
+                r.u64("lease cb-port"),
+                r.u64("lease deadline"),
+            ) {
+                (Ok(object), Ok(owner), Ok(cb_port), Ok(deadline_us)) => rleases.push((
+                    object,
+                    crate::state::ReadLease {
+                        owner,
+                        cb_port,
+                        deadline_us,
+                    },
+                )),
+                _ => return false,
+            }
+        }
         {
             let mut shared = applier.shared.lock();
             // Wipe stale state, then install wholesale.
@@ -519,6 +606,17 @@ impl StateMachine for DirectoryStateMachine {
             shared.completions = completions;
             shared.stubs.clear();
             shared.heat.clear();
+            // Inherit every outstanding read lease: a write this replica
+            // later initiates must revoke leases granted before it joined.
+            shared.rleases.clear();
+            for (object, lease) in &rleases {
+                shared.rleases.entry(*object).or_default().push(*lease);
+            }
+            // The installed snapshot carries the complete live lease
+            // table, so the conservative cold-boot write fence (leases
+            // possibly lost with the volatile state) is no longer
+            // needed on this replica.
+            shared.write_fence_until_us = 0;
             for (object, check, seqno, stub) in &stubs {
                 shared.table.set(
                     *object,

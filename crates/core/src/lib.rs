@@ -43,6 +43,19 @@
 //! lease service ([`start_lease_server`], the fifth `amoeba-rsm`
 //! consumer) — drains hot shards without a redeploy.
 //!
+//! ## The cached read path
+//!
+//! With [`ClusterParams::dir_cache`](cluster::ClusterParams::dir_cache)
+//! set, every client machine runs a lease-fenced [`DirCache`]: a lookup
+//! miss fetches the directory's visible rows plus a **read lease** from
+//! its shard, and while the lease holds, lookups are served locally
+//! with zero packets. Grants are ordered through the group like writes,
+//! so any update — initiated at any replica — revokes the covering
+//! leases *before it is acknowledged* (invalidation callbacks, with
+//! full lease expiry as the fallback for unreachable holders). See the
+//! [`cache`] module docs for the exact invariant and its cold-start
+//! fence.
+//!
 //! ## The message pipeline (zero-copy invariants)
 //!
 //! A directory update travels flip → rpc → group → core as a shared
@@ -106,6 +119,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 mod capability;
 pub mod cluster;
 mod commit_block;
@@ -129,6 +143,7 @@ mod state;
 
 mod client;
 
+pub use cache::{start_invalidation_listener, CacheParams, CacheStats, DirCache};
 pub use capability::{one_way, Capability};
 pub use client::{DirClient, DirClientError, Listing};
 pub use commit_block::CommitBlock;

@@ -158,6 +158,13 @@ impl DirModel {
                 self.dirs.remove(object).ok_or(DirError::BadCapability)?;
                 Ok(None)
             }
+            DirOp::GrantRead { cap, .. } => {
+                // The model has no lease table: a grant mutates nothing,
+                // it only requires the directory to exist. Lease fencing
+                // is covered by the service-level cache tests.
+                self.dirs.get(&cap.object).ok_or(DirError::BadCapability)?;
+                Ok(None)
+            }
         }
     }
 

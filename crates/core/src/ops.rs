@@ -132,6 +132,23 @@ pub enum DirRequest {
         /// The directory seqno the exported copy reflects.
         expected_seqno: u64,
     },
+    /// Fetch a directory's visible rows **plus a read lease** over them
+    /// (the client-cache miss path, see [`crate::cache`]). Although it
+    /// mutates no rows, it is deliberately *not* classified as a read:
+    /// the grant must be ordered through the group so that every
+    /// replica knows about the lease and any later write — initiated at
+    /// any replica — revokes it before being acknowledged.
+    FetchDir {
+        /// The directory (needs at least one column right).
+        cap: Capability,
+        /// The requesting client's unique cache identity.
+        owner: u64,
+        /// Raw port the client's invalidation listener answers on.
+        cb_port: u64,
+        /// Requested lease duration in simulated microseconds; the
+        /// service clamps it to its configured maximum.
+        ttl_us: u64,
+    },
 }
 
 /// A reply from the directory service.
@@ -163,6 +180,22 @@ pub enum DirReply {
         to_port: u64,
         /// Object number at that shard.
         to_object: u64,
+    },
+    /// A leased directory snapshot ([`DirRequest::FetchDir`]): the rows
+    /// visible to the holder, good for local serving until
+    /// `deadline_us` or an invalidation callback, whichever is first.
+    Snapshot {
+        /// Sequence number of the directory's last change.
+        seqno: u64,
+        /// Absolute simulated-time deadline (µs since simulation
+        /// start) after which the lease — and the snapshot — is dead.
+        deadline_us: u64,
+        /// Column names.
+        columns: Vec<String>,
+        /// Rows (name, capability restricted to the holder's effective
+        /// rights, masks of the visible columns) — the same restriction
+        /// `ListDir` applies.
+        rows: Vec<(String, Capability, Vec<Rights>)>,
     },
     /// A directory's full contents ([`DirRequest::ExportDir`]).
     Export {
@@ -333,6 +366,27 @@ pub enum DirOp {
         /// The seqno the exported copy reflects (CAS token).
         expected_seqno: u64,
     },
+    /// Grant a read lease over a directory and answer with a snapshot
+    /// of its visible rows. Ordered like a write so the replicated
+    /// lease table stays identical on every replica; the timestamps are
+    /// chosen by the initiator (simulated time is global) so apply
+    /// stays deterministic. Mutates no rows and produces no disk
+    /// effects.
+    GrantRead {
+        /// The holder's capability (rights drive the row restriction;
+        /// the check is re-validated at apply time).
+        cap: Capability,
+        /// The requesting client's unique cache identity.
+        owner: u64,
+        /// Raw port of the client's invalidation listener.
+        cb_port: u64,
+        /// Simulated time (µs) at the initiator, used to prune expired
+        /// leases deterministically.
+        now_us: u64,
+        /// Absolute lease deadline (µs), already clamped to the
+        /// service's maximum TTL.
+        deadline_us: u64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -383,6 +437,7 @@ const RQ_UNLINK: u8 = 11;
 const RQ_EXPORT: u8 = 12;
 const RQ_INSTALL_DIR: u8 = 13;
 const RQ_INSTALL_STUB: u8 = 14;
+const RQ_FETCH_DIR: u8 = 15;
 
 fn write_full_rows(w: &mut WireWriter, rows: &[(String, Capability, Vec<Rights>)]) {
     w.u32(rows.len() as u32);
@@ -516,6 +571,16 @@ impl DirRequest {
                 dir.write(&mut w);
                 w.u64(*to_port).u64(*to_object).u64(*expected_seqno);
             }
+            DirRequest::FetchDir {
+                cap,
+                owner,
+                cb_port,
+                ttl_us,
+            } => {
+                w.u8(RQ_FETCH_DIR);
+                cap.write(&mut w);
+                w.u64(*owner).u64(*cb_port).u64(*ttl_us);
+            }
         }
         w.finish()
     }
@@ -608,6 +673,12 @@ impl DirRequest {
                 to_object: r.u64("stub object")?,
                 expected_seqno: r.u64("stub seqno")?,
             },
+            RQ_FETCH_DIR => DirRequest::FetchDir {
+                cap: Capability::read(&mut r)?,
+                owner: r.u64("fetch owner")?,
+                cb_port: r.u64("fetch cb port")?,
+                ttl_us: r.u64("fetch ttl")?,
+            },
             _ => return Err(DecodeError::new("dir req tag")),
         };
         r.expect_end("dir req trailing")?;
@@ -634,6 +705,7 @@ const RP_CAPS: u8 = 4;
 const RP_ERR: u8 = 5;
 const RP_MOVED: u8 = 6;
 const RP_EXPORT: u8 = 7;
+const RP_SNAPSHOT: u8 = 8;
 
 fn err_code(e: DirError) -> u8 {
     match e {
@@ -712,6 +784,16 @@ impl DirReply {
                 write_columns(&mut w, columns);
                 write_full_rows(&mut w, rows);
             }
+            DirReply::Snapshot {
+                seqno,
+                deadline_us,
+                columns,
+                rows,
+            } => {
+                w.u8(RP_SNAPSHOT).u64(*seqno).u64(*deadline_us);
+                write_columns(&mut w, columns);
+                write_full_rows(&mut w, rows);
+            }
             DirReply::Err(e) => {
                 w.u8(RP_ERR).u8(err_code(*e));
             }
@@ -759,6 +841,12 @@ impl DirReply {
                 columns: read_columns(&mut r)?,
                 rows: read_full_rows(&mut r)?,
             },
+            RP_SNAPSHOT => DirReply::Snapshot {
+                seqno: r.u64("snap seqno")?,
+                deadline_us: r.u64("snap deadline")?,
+                columns: read_columns(&mut r)?,
+                rows: read_full_rows(&mut r)?,
+            },
             RP_ERR => DirReply::Err(err_from(r.u8("dir err code")?)?),
             _ => return Err(DecodeError::new("dir rep tag")),
         };
@@ -778,6 +866,7 @@ const OP_APPEND_LINK: u8 = 8;
 const OP_UNLINK: u8 = 9;
 const OP_INSTALL_DIR: u8 = 10;
 const OP_INSTALL_STUB: u8 = 11;
+const OP_GRANT_READ: u8 = 12;
 
 /// Wire size of a [`Capability`] (port + object + rights + check).
 const WIRE_CAP_LEN: usize = 8 + 8 + 1 + 8;
@@ -829,6 +918,7 @@ impl DirOp {
                     + 8
             }
             DirOp::InstallStub { .. } => 8 + 8 + 8 + 8,
+            DirOp::GrantRead { .. } => WIRE_CAP_LEN + 8 + 8 + 8 + 8,
         }
     }
 
@@ -918,6 +1008,17 @@ impl DirOp {
                     .u64(*to_object)
                     .u64(*expected_seqno);
             }
+            DirOp::GrantRead {
+                cap,
+                owner,
+                cb_port,
+                now_us,
+                deadline_us,
+            } => {
+                w.u8(OP_GRANT_READ);
+                cap.write(&mut w);
+                w.u64(*owner).u64(*cb_port).u64(*now_us).u64(*deadline_us);
+            }
         }
         debug_assert_eq!(w.len(), self.encoded_len());
         w.finish_payload()
@@ -994,6 +1095,13 @@ impl DirOp {
                 to_object: r.u64("op stub object")?,
                 expected_seqno: r.u64("op stub seqno")?,
             },
+            OP_GRANT_READ => DirOp::GrantRead {
+                cap: Capability::read(&mut r)?,
+                owner: r.u64("op grant owner")?,
+                cb_port: r.u64("op grant cb port")?,
+                now_us: r.u64("op grant now")?,
+                deadline_us: r.u64("op grant deadline")?,
+            },
             _ => return Err(DecodeError::new("dir op tag")),
         };
         r.expect_end("dir op trailing")?;
@@ -1067,6 +1175,12 @@ mod tests {
                 to_object: 9,
                 expected_seqno: 12,
             },
+            DirRequest::FetchDir {
+                cap: cap(1),
+                owner: 0xC11E,
+                cb_port: 0xCB,
+                ttl_us: 250_000,
+            },
         ];
         for req in reqs {
             assert_eq!(DirRequest::decode(&req.encode()).unwrap(), req);
@@ -1091,6 +1205,12 @@ mod tests {
             DirReply::Export {
                 check: 31,
                 seqno: 8,
+                columns: vec!["owner".into()],
+                rows: vec![("r".into(), cap(3), vec![Rights::ALL])],
+            },
+            DirReply::Snapshot {
+                seqno: 8,
+                deadline_us: 1_250_000,
                 columns: vec!["owner".into()],
                 rows: vec![("r".into(), cap(3), vec![Rights::ALL])],
             },
@@ -1159,6 +1279,13 @@ mod tests {
                 to_object: 9,
                 expected_seqno: 12,
             },
+            DirOp::GrantRead {
+                cap: cap(1),
+                owner: 0xC11E,
+                cb_port: 0xCB,
+                now_us: 1_000_000,
+                deadline_us: 1_250_000,
+            },
         ];
         for op in ops {
             assert_eq!(DirOp::decode(&op.encode()).unwrap(), op);
@@ -1180,6 +1307,15 @@ mod tests {
         assert!(!DirRequest::DeleteDir { cap: cap(1) }.is_read());
         assert!(!DirRequest::CreateDir {
             columns: vec!["o".into()]
+        }
+        .is_read());
+        // FetchDir mutates the replicated lease table: it must be
+        // ordered through the group, not served at one replica.
+        assert!(!DirRequest::FetchDir {
+            cap: cap(1),
+            owner: 1,
+            cb_port: 2,
+            ttl_us: 3
         }
         .is_read());
     }

@@ -11,20 +11,23 @@
 //! group-protocol code**.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use amoeba_bullet::BulletClient;
 use amoeba_disk::{Nvram, RawPartition};
+use amoeba_flip::Port;
 use amoeba_group::GroupPeer;
-use amoeba_rpc::{RpcNode, RpcServer};
+use amoeba_rpc::{RpcClient, RpcNode, RpcParams, RpcServer};
 use amoeba_rsm::{Replica, ReplicaDeps, RsmConfig, RsmError};
 use amoeba_sim::{Ctx, NodeId, Resource, Spawn};
 use parking_lot::Mutex;
 
+use crate::cache::encode_invalidation;
 use crate::config::{DirParams, ServiceConfig, StorageKind};
 use crate::dir_sm::DirectoryStateMachine;
 use crate::object_table::ObjectTable;
-use crate::ops::{DirError, DirReply, DirRequest};
-use crate::state::{Applier, Shared};
+use crate::ops::{DirError, DirOp, DirReply, DirRequest};
+use crate::state::{op_object, Applier, ReadLease, Shared};
 
 /// Handle to one running group directory server (one replica column).
 #[derive(Clone)]
@@ -109,6 +112,7 @@ pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupD
         bullet,
         partition,
         nvram: nvram.clone(),
+        max_lease_us: params.max_lease.as_micros() as u64,
     });
     let sm = Arc::new(DirectoryStateMachine::new(
         Arc::clone(&applier),
@@ -136,12 +140,28 @@ pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupD
         let srv = RpcServer::new(&rpc, cfg.public_port);
         let applier = Arc::clone(&applier);
         let replica = replica.clone();
+        // Invalidation callbacks use tightly bounded transports: a
+        // crashed lease holder must cost the write a couple of short
+        // attempts, not the default 100-second client retry budget —
+        // the fallback for an unreachable holder is waiting out its
+        // lease, which `max_lease` caps.
+        let inval = RpcClient::with_params(
+            &rpc,
+            RpcParams {
+                locate_timeout: Duration::from_millis(20),
+                reply_timeout: Duration::from_millis(40),
+                max_attempts: 2,
+                relocate_jitter: Duration::from_millis(1),
+            },
+        );
         let params = params.clone();
         let cpu = cpu.clone();
         spawner.spawn_boxed(
             Some(sim_node),
             &format!("dir{}-srv{t}", cfg.me),
-            Box::new(move |ctx| initiator_loop(ctx, &srv, &applier, &replica, &params, &cpu)),
+            Box::new(move |ctx| {
+                initiator_loop(ctx, &srv, &applier, &replica, &params, &cpu, &inval)
+            }),
         );
     }
     server
@@ -215,6 +235,7 @@ impl GroupDirServer {
 }
 
 /// The Fig. 5 initiator logic, one thread.
+#[allow(clippy::too_many_arguments)]
 fn initiator_loop(
     ctx: &Ctx,
     srv: &RpcServer,
@@ -222,6 +243,7 @@ fn initiator_loop(
     replica: &Replica<DirectoryStateMachine>,
     params: &DirParams,
     cpu: &Resource,
+    inval: &RpcClient,
 ) {
     loop {
         let incoming = srv.getreq(ctx);
@@ -232,18 +254,20 @@ fn initiator_loop(
                 continue;
             }
         };
-        let reply = handle_request(ctx, applier, replica, params, cpu, &req);
+        let reply = handle_request(ctx, applier, replica, params, cpu, inval, &req);
         srv.putrep(&incoming, reply.encode());
     }
 }
 
 /// One request through the Fig. 5 protocol.
+#[allow(clippy::too_many_arguments)]
 fn handle_request(
     ctx: &Ctx,
     applier: &Applier,
     replica: &Replica<DirectoryStateMachine>,
     params: &DirParams,
     cpu: &Resource,
+    inval: &RpcClient,
     req: &DirRequest,
 ) -> DirReply {
     if req.is_read() {
@@ -267,8 +291,123 @@ fn handle_request(
         // request" — submit blocks until the op is applied and
         // group-committed on this replica.
         match replica.submit(ctx, op.encode()) {
-            Ok(reply) => DirReply::decode(&reply).unwrap_or(DirReply::Err(DirError::Internal)),
+            Ok(reply) => {
+                let reply = DirReply::decode(&reply).unwrap_or(DirReply::Err(DirError::Internal));
+                // The cache fence: a successful update must not be
+                // acknowledged while any read lease granted before it
+                // could still serve the old contents (see
+                // [`crate::cache`]).
+                if !matches!(reply, DirReply::Err(_)) {
+                    let objects = fence_objects(&op, &reply);
+                    fence_cached_readers(ctx, applier, inval, &objects);
+                }
+                reply
+            }
             Err(e) => DirReply::Err(rsm_err(e)),
+        }
+    }
+}
+
+/// The directories a just-applied update may have changed — the ones
+/// whose revoked leases this initiator must see through before the
+/// acknowledgement. Keyed creates and migration installs learn their
+/// object from the reply: an `InstallDir` re-running a migration round
+/// upserts a directory clients could already be leasing.
+fn fence_objects(op: &DirOp, reply: &DirReply) -> Vec<u64> {
+    let mut v = match op {
+        // A grant mutates no rows; fresh creates get unleased objects.
+        DirOp::GrantRead { .. } => return Vec::new(),
+        DirOp::Create { .. } | DirOp::CreateKeyed { .. } | DirOp::InstallDir { .. } => Vec::new(),
+        DirOp::ReplaceSet { items } => items.iter().map(|(o, _, _)| *o).collect(),
+        other => vec![op_object(other)],
+    };
+    if let DirReply::Cap(c) = reply {
+        v.push(c.object);
+    }
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Blocks until no lease granted before this initiator's just-applied
+/// update can still cover a local read of `objects` — the write half of
+/// the [`crate::cache`] fencing invariant. Three waits compose:
+///
+/// 1. **Cold-boot fence**: after a boot from salvaged state the lease
+///    table may be lost; no update is acknowledged until every lease
+///    granted before the crash has expired.
+/// 2. **Revocation fan-out**: apply parked the object's revoked leases
+///    in `Shared::revoked`; this initiator claims them and calls every
+///    holder back. An unreachable holder (crashed, partitioned) is
+///    waited out to its lease deadline instead.
+/// 3. **Racing initiators**: a revocation claimed by another initiator
+///    on this machine (its write also touched the object) is *its*
+///    fan-out, but the acknowledgement still has to outwait it —
+///    `Shared::inflight_inval` counts claims until their callbacks
+///    finish.
+fn fence_cached_readers(ctx: &Ctx, applier: &Applier, inval: &RpcClient, objects: &[u64]) {
+    if objects.is_empty() {
+        return;
+    }
+    let fence_until = applier.shared.lock().write_fence_until_us;
+    let now_us = ctx.now().as_nanos() / 1_000;
+    if fence_until > now_us {
+        ctx.sleep(Duration::from_micros(fence_until - now_us));
+    }
+    let home = applier.cfg.public_port;
+    loop {
+        let claimed: Vec<(u64, ReadLease)> = {
+            let mut shared = applier.shared.lock();
+            let mut v = Vec::new();
+            for &o in objects {
+                if let Some(ls) = shared.revoked.remove(&o) {
+                    for l in ls {
+                        *shared.inflight_inval.entry(o).or_insert(0) += 1;
+                        v.push((o, l));
+                    }
+                }
+            }
+            if v.is_empty() {
+                let clear = objects.iter().all(|o| {
+                    !shared.revoked.contains_key(o)
+                        && shared.inflight_inval.get(o).copied().unwrap_or(0) == 0
+                });
+                if clear {
+                    return;
+                }
+            }
+            v
+        };
+        if claimed.is_empty() {
+            // Another initiator is mid fan-out for one of our objects;
+            // its completion fences us too.
+            ctx.sleep(Duration::from_millis(1));
+            continue;
+        }
+        let mut outwait_us = 0u64;
+        for (o, l) in &claimed {
+            if l.deadline_us <= ctx.now().as_nanos() / 1_000 {
+                continue; // expired while parked: already fenced
+            }
+            let msg = encode_invalidation(home, *o);
+            if inval.trans(ctx, Port::from_raw(l.cb_port), msg).is_err() {
+                outwait_us = outwait_us.max(l.deadline_us);
+            }
+        }
+        let now_us = ctx.now().as_nanos() / 1_000;
+        if outwait_us > now_us {
+            ctx.sleep(Duration::from_micros(outwait_us - now_us));
+        }
+        {
+            let mut shared = applier.shared.lock();
+            for (o, _) in &claimed {
+                if let Some(n) = shared.inflight_inval.get_mut(o) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        shared.inflight_inval.remove(o);
+                    }
+                }
+            }
         }
     }
 }

@@ -23,6 +23,38 @@
 //! identical on every replica, and free of clock-skew semantics. The
 //! price is that an *idle* service never expires anything, which is
 //! exactly right for a fencing lease: with no contention, nobody cares.
+//!
+//! ## Why directory *read* leases do not live here
+//!
+//! The client cache ([`crate::cache`]) also runs on leases, but those
+//! grants live inside each **directory shard's own** replicated state
+//! ([`DirRequest::FetchDir`](crate::DirRequest::FetchDir) →
+//! `DirOp::GrantRead`), not in this service. The cache's fence is an
+//! ordering property: *every* write to a directory must revoke the
+//! covering leases **before it is acknowledged**. Had the grants lived
+//! here — a separate replica group with its own sequencer — there
+//! would be no total order between "lease granted" and "row written":
+//! a grant could race a write, with neither side obliged to see the
+//! other, and a just-granted snapshot could outlive an acknowledged
+//! update it never saw. Keeping the grant in the same totally-ordered
+//! op stream as the writes it fences makes the revocation protocol a
+//! local, deterministic step of `apply`:
+//!
+//! 1. `GrantRead` is ordered through the shard's group like any write;
+//!    every replica records `(owner, callback port, deadline)`.
+//! 2. A later write's `apply` moves the directory's live leases to a
+//!    volatile revocation queue — on every replica, at the same point
+//!    in the op stream.
+//! 3. The replica that *initiated* the write then drains that queue —
+//!    invalidation callback per holder, bounded retries, full lease
+//!    expiry as the fallback for unreachable holders — **before**
+//!    replying to the client.
+//!
+//! Expiry for those leases is real (simulated) time, not logical time:
+//! a read lease must die on an *idle* deadline too, because its holder
+//! serves lookups locally without ticking anything. The two designs
+//! coexist deliberately: logical time for mutual-exclusion fencing
+//! (this file), wall-clock deadlines for read caching ([`crate::cache`]).
 
 use std::collections::HashMap;
 use std::sync::Arc;

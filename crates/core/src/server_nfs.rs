@@ -87,6 +87,7 @@ pub fn start_nfs_server(spawner: &impl Spawn, deps: NfsServerDeps) -> NfsDirServ
         bullet,
         partition,
         nvram: None,
+        max_lease_us: params.max_lease.as_micros() as u64,
     });
     // Updates serialize through a single mutation lock (one metadata
     // update in flight, like a kernel inode lock).

@@ -181,6 +181,7 @@ pub fn start_rpc_server(spawner: &impl Spawn, deps: RpcServerDeps) -> RpcDirServ
         bullet,
         partition,
         nvram: None,
+        max_lease_us: params.max_lease.as_micros() as u64,
     });
     let coord = Arc::new(Mutex::new(RpcCoord {
         locked: HashSet::new(),
@@ -335,6 +336,7 @@ pub(crate) fn op_lock_object(op: &DirOp) -> u64 {
         | DirOp::AppendLink { object, .. }
         | DirOp::Unlink { object, .. }
         | DirOp::InstallStub { object, .. } => *object,
+        DirOp::GrantRead { cap, .. } => cap.object,
         DirOp::ReplaceSet { items } => items.first().map(|(o, _, _)| *o).unwrap_or(0),
     }
 }

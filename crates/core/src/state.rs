@@ -65,6 +65,42 @@ pub(crate) struct Shared {
     /// never deterministic across replicas: reads count only where they
     /// are served).
     pub heat: HashMap<u64, u64>,
+    /// Outstanding client read leases (`object → holders`). Replicated
+    /// state — grants travel through the total order (a replica-local
+    /// grant would be invisible to a write initiated at another
+    /// replica, breaking the cache fence) and in snapshots, with
+    /// deadlines chosen by the granting initiator in global simulated
+    /// time so apply stays deterministic.
+    pub rleases: HashMap<u64, Vec<ReadLease>>,
+    /// Leases revoked by applied mutations, parked here until an
+    /// initiator thread on *this* machine fans out the invalidation
+    /// callbacks before acknowledging its write. Advisory and
+    /// replica-local (every replica applies the same revocation; only
+    /// the writer's machine must act on it), never snapshotted; entries
+    /// whose deadline passed are pruned on apply.
+    pub revoked: HashMap<u64, Vec<ReadLease>>,
+    /// Invalidation fan-outs in flight per object on this machine: a
+    /// second writer to the same object must not acknowledge before a
+    /// racing writer's fan-out (which may cover leases the second
+    /// writer's apply no longer sees) completes.
+    pub inflight_inval: HashMap<u64, u32>,
+    /// Simulated-time µs before which no write may be acknowledged:
+    /// set after booting from salvaged non-empty local state, when the
+    /// replicated lease table (volatile, never on disk) may have been
+    /// lost while clients still hold live leases. Waiting out one
+    /// maximum lease closes the fence hole; `0` means no fence.
+    pub write_fence_until_us: u64,
+}
+
+/// One outstanding client read lease over a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLease {
+    /// The holding client's unique cache identity.
+    pub owner: u64,
+    /// Raw port of the holder's invalidation listener.
+    pub cb_port: u64,
+    /// Absolute expiry in simulated microseconds.
+    pub deadline_us: u64,
 }
 
 /// Where a migrated directory went (see [`Shared::stubs`]).
@@ -100,6 +136,19 @@ impl Shared {
             completions: HashMap::new(),
             stubs: HashMap::new(),
             heat: HashMap::new(),
+            rleases: HashMap::new(),
+            revoked: HashMap::new(),
+            inflight_inval: HashMap::new(),
+            write_fence_until_us: 0,
+        }
+    }
+
+    /// Moves every lease covering `object` into the revoked parking lot
+    /// (called at apply time for each mutated object, inside the same
+    /// critical section as the mutation — ordered in the total order).
+    pub fn revoke_leases(&mut self, object: u64) {
+        if let Some(leases) = self.rleases.remove(&object) {
+            self.revoked.entry(object).or_default().extend(leases);
         }
     }
 }
@@ -112,6 +161,10 @@ pub(crate) struct Applier {
     pub bullet: BulletClient,
     pub partition: RawPartition,
     pub nvram: Option<Nvram>,
+    /// Upper bound on granted read-lease durations, in simulated
+    /// microseconds ([`crate::config::DirParams::max_lease`]): bounds
+    /// how long a write can stall on an unreachable lease holder.
+    pub max_lease_us: u64,
 }
 
 impl std::fmt::Debug for Applier {
@@ -141,6 +194,22 @@ pub(crate) fn validate_dir_cap(
         return Err(DirError::NoPermission);
     }
     Ok(cap.object)
+}
+
+/// [`Applier::restrict_for_holder`] with the lock already held (the
+/// plan phase runs inside the shared-state critical section).
+fn restrict_with(
+    shared: &Shared,
+    public_port: Port,
+    stored: &Capability,
+    eff: Rights,
+) -> Capability {
+    if stored.port == public_port {
+        if let Some(entry) = shared.table.get(stored.object) {
+            return Capability::issue(public_port, stored.object, entry.check, eff);
+        }
+    }
+    *stored
 }
 
 fn structure_err(e: DirStructureError) -> DirError {
@@ -212,6 +281,7 @@ pub(crate) fn op_object(op: &DirOp) -> u64 {
         | DirOp::AppendLink { object, .. }
         | DirOp::Unlink { object, .. }
         | DirOp::InstallStub { object, .. } => *object,
+        DirOp::GrantRead { cap, .. } => cap.object,
         DirOp::ReplaceSet { items } => items.first().map(|(o, _, _)| *o).unwrap_or(0),
     }
 }
@@ -625,6 +695,62 @@ impl Applier {
                     useq,
                 ))
             }
+            DirOp::GrantRead {
+                cap,
+                owner,
+                cb_port,
+                now_us,
+                deadline_us,
+            } => {
+                let object = validate_dir_cap(shared, self.cfg.public_port, cap, Rights::NONE)?;
+                if !cap.rights.sees_any_column() {
+                    return Err(DirError::NoPermission);
+                }
+                let dir = self.dir_for_plan(shared, object)?;
+                // Prune expired holders deterministically (the op carries
+                // the initiator's clock), then upsert this holder's lease.
+                let leases = shared.rleases.entry(object).or_default();
+                leases.retain(|l| l.deadline_us > *now_us && l.owner != *owner);
+                leases.push(ReadLease {
+                    owner: *owner,
+                    cb_port: *cb_port,
+                    deadline_us: *deadline_us,
+                });
+                // The snapshot the lease covers: the rows the holder can
+                // see, restricted exactly as `LookupSet` would restrict
+                // them. Rows the holder has no effective rights over are
+                // omitted — a cached lookup of their name answers `None`,
+                // just like the server would.
+                let rows = dir
+                    .rows
+                    .iter()
+                    .filter_map(|row| {
+                        let eff = dir.effective_rights(row, cap.rights);
+                        if eff == Rights::NONE {
+                            return None;
+                        }
+                        let out_cap = restrict_with(shared, self.cfg.public_port, &row.cap, eff);
+                        let visible_masks: Vec<Rights> = row
+                            .col_rights
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| cap.rights.sees_column(*i))
+                            .map(|(_, m)| *m)
+                            .collect();
+                        Some((row.name.clone(), out_cap, visible_masks))
+                    })
+                    .collect();
+                Ok((
+                    DirReply::Snapshot {
+                        seqno: dir.seqno,
+                        deadline_us: *deadline_us,
+                        columns: dir.columns.clone(),
+                        rows,
+                    },
+                    Vec::new(),
+                    useq,
+                ))
+            }
         }
     }
 
@@ -1007,13 +1133,8 @@ impl Applier {
     /// foreign capabilities are returned as stored (only their service
     /// could recompute the check).
     fn restrict_for_holder(&self, stored: &Capability, eff: Rights) -> Capability {
-        if stored.port == self.cfg.public_port {
-            let shared = self.shared.lock();
-            if let Some(entry) = shared.table.get(stored.object) {
-                return Capability::issue(self.cfg.public_port, stored.object, entry.check, eff);
-            }
-        }
-        *stored
+        let shared = self.shared.lock();
+        restrict_with(&shared, self.cfg.public_port, stored, eff)
     }
 
     /// Initiator-side validation and translation of a client write into
@@ -1142,6 +1263,30 @@ impl Applier {
                     to_port: *to_port,
                     to_object: *to_object,
                     expected_seqno: *expected_seqno,
+                })
+            }
+            DirRequest::FetchDir {
+                cap,
+                owner,
+                cb_port,
+                ttl_us,
+            } => {
+                let _ = validate_dir_cap(&shared, port, cap, Rights::NONE)?;
+                if !cap.rights.sees_any_column() {
+                    return Err(DirError::NoPermission);
+                }
+                // The grant's clock is fixed here, by the initiator, and
+                // carried in the op: simulated time is global, so every
+                // replica applies the same deadline — apply itself never
+                // reads a clock.
+                let now_us = ctx.now().as_nanos() / 1_000;
+                let ttl = (*ttl_us).max(1).min(self.max_lease_us);
+                Ok(DirOp::GrantRead {
+                    cap: *cap,
+                    owner: *owner,
+                    cb_port: *cb_port,
+                    now_us,
+                    deadline_us: now_us + ttl,
                 })
             }
             DirRequest::ListDir { .. }

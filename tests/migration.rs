@@ -393,6 +393,92 @@ fn old_capability_access_racing_migration_lands_exactly_once() {
 }
 
 #[test]
+fn cached_read_never_resurrects_a_tombstoned_home() {
+    // Cache × migration crash matrix: a cached reader holds a live read
+    // lease on the source shard when the directory migrates away. The
+    // stub install is a write ordered through the source group, so it
+    // must revoke that lease before the migration acknowledges — the
+    // source-shard lease covers no read after `InstallStub`. The reader
+    // then chases the forwarding stub like any client; once it has, the
+    // source majority dies outright and the reader still sees every
+    // post-migration row — a cached read can never resurrect the
+    // tombstoned home.
+    use amoeba_dirsvc::dir::CacheParams;
+    let mut sim = Simulation::new(443);
+    let mut params = ClusterParams::sharded(Variant::Group, 2);
+    params.seed = 443;
+    params.dir_cache = Some(CacheParams::default());
+    let mut cluster = Cluster::start(&sim, params);
+    let (client, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let formed = sim.spawn("form", move |ctx| ready_root(ctx, &c2, &["owner"]));
+    sim.run_for(Duration::from_secs(40));
+    let root = formed.take().expect("cached sharded service formed");
+    let src = ShardMap::new(2).shard_of_cap(&root).expect("root is ours");
+    let dst = (src + 1) % 2;
+
+    // The reader warms its cache on the source home and keeps the lease
+    // fresh through the migration window.
+    let (reader, _) = cluster.client(&sim);
+    let c2 = client.clone();
+    let r2 = reader.clone();
+    let warm = sim.spawn("warm-reader", move |ctx| {
+        c2.append_row(ctx, root, "keep", root, vec![Rights::ALL])
+            .unwrap();
+        let mut served = 0u32;
+        let until = ctx.now() + Duration::from_secs(8);
+        while ctx.now() < until {
+            if matches!(r2.lookup(ctx, root, "keep"), Ok(Some(_))) {
+                served += 1;
+            }
+            ctx.sleep(Duration::from_millis(50));
+        }
+        served
+    });
+    // ...while a coordinator migrates the directory out from under it
+    // and appends a row only the new home has.
+    let (coordinator, _) = cluster.client(&sim);
+    let mig = sim.spawn("coordinator", move |ctx| {
+        ctx.sleep(Duration::from_secs(2));
+        let moved = coordinator.migrate(ctx, root, dst).unwrap();
+        coordinator
+            .append_row(ctx, root, "after", root, vec![Rights::ALL])
+            .unwrap();
+        moved
+    });
+    sim.run_for(Duration::from_secs(20));
+    let moved = mig.take().expect("migration completed under a live lease");
+    assert_eq!(ShardMap::new(2).shard_of_cap(&moved), Some(dst));
+    assert!(warm.take().expect("reader ran") > 0, "reader was warm");
+    let s = reader.cache_stats().expect("cache is on");
+    assert!(
+        s.invalidations >= 1,
+        "the stub install must revoke the reader's source lease, stats: {s:?}"
+    );
+
+    // The reader has chased the stub; now the tombstoned home dies.
+    cluster.crash_server(&sim, cluster.column_index(src, 0));
+    cluster.crash_server(&sim, cluster.column_index(src, 1));
+    let audit = sim.spawn("audit", move |ctx| {
+        ctx.sleep(Duration::from_secs(1));
+        // Both the pre-migration row and the post-migration row are
+        // served — from the new home, through the learned route, with
+        // the old home dead. A stale source snapshot would miss
+        // "after"; a resurrected tombstone would miss both.
+        let keep = matches!(reader.lookup(ctx, root, "keep"), Ok(Some(_)));
+        let after = matches!(reader.lookup(ctx, root, "after"), Ok(Some(_)));
+        (keep, after)
+    });
+    sim.run_for(Duration::from_secs(20));
+    let (keep, after) = audit.take().expect("audit ran");
+    assert!(keep, "pre-migration contents served at the new home");
+    assert!(
+        after,
+        "post-migration append visible — the dead source's lease covers nothing"
+    );
+}
+
+#[test]
 fn rebalancer_moves_hot_directories_off_a_skewed_shard() {
     // Every writer's directory starts on shard 0 (a deliberately skewed
     // placement); the lease-fenced rebalancer must notice the skew and
