@@ -43,9 +43,15 @@
 //! hit rate and the invalidation-storm probe — the latency of one
 //! write that must revoke a fleet of outstanding leases before acking.
 //!
+//! An eighth, `<label>+recordtrace`, A/Bs the simulation kernel's
+//! decision-trace recording (the `amoeba-explore` record mode) on vs
+//! off over the group-layer run: the simulated numbers are asserted
+//! identical — recording must never perturb the kernel — and the run
+//! reports the host wall-clock overhead plus trace size.
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
 //! (append `--internetwork-only` / `--shards-only` / `--migration-only`
-//! / `--read-mix-only` to refresh just that run). The `ci-smoke` label runs a seconds-long
+//! / `--read-mix-only` / `--record-only` to refresh just that run). The `ci-smoke` label runs a seconds-long
 //! subset with tiny iteration counts against a scratch output file and
 //! asserts the emitted JSON is valid — the CI guard against bench
 //! bit-rot.
@@ -67,6 +73,7 @@ fn main() {
     let shards_only = args.iter().any(|a| a == "--shards-only");
     let migration_only = args.iter().any(|a| a == "--migration-only");
     let read_mix_only = args.iter().any(|a| a == "--read-mix-only");
+    let record_only = args.iter().any(|a| a == "--record-only");
     let mut pos = args.iter().filter(|a| !a.starts_with("--"));
     let label = pos
         .next()
@@ -102,6 +109,12 @@ fn main() {
         let readmix = read_mix_run(&label);
         append_run(&out_path, "pipeline", &readmix).expect("write BENCH_pipeline.json");
         println!("appended read-mix run to {}", out_path.display());
+        return;
+    }
+    if record_only {
+        let record = record_overhead_run(&label);
+        append_run(&out_path, "pipeline", &record).expect("write BENCH_pipeline.json");
+        println!("appended record-overhead run to {}", out_path.display());
         return;
     }
     println!("pipeline bench — run '{label}'");
@@ -161,7 +174,70 @@ fn main() {
     // A/B six: the lease-fenced client cache on the zipfian read mix.
     let readmix = read_mix_run(&label);
     append_run(&out_path, "pipeline", &readmix).expect("write BENCH_pipeline.json");
+
+    // A/B seven: kernel decision-trace recording on vs off.
+    let record = record_overhead_run(&label);
+    append_run(&out_path, "pipeline", &record).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
+}
+
+/// The record-mode A/B: the group-layer throughput run untraced vs
+/// under [`amoeba_sim::Simulation::recording`]. Recording must never
+/// perturb the kernel — the simulated-clock numbers are asserted
+/// identical — so the costs are host-side only: wall-clock overhead and
+/// the trace itself (steps, serialized bytes). These are the numbers
+/// that say what `explore`'s record mode costs over fast mode.
+fn record_overhead_run(label: &str) -> RunSummary {
+    use amoeba_bench::group_pipeline::{group_send_throughput, group_send_throughput_recorded};
+    use std::time::Instant;
+
+    const MEMBERS: usize = 6;
+    const SENDERS: usize = 2;
+    let mut run = RunSummary {
+        label: format!("{label}+recordtrace"),
+        ..Default::default()
+    };
+    // Warm once (page in code paths), then time both modes.
+    let _ = group_send_throughput(16, MEMBERS, SENDERS, 64, 0, 0x7EC0);
+    let t = Instant::now();
+    let off = group_send_throughput(16, MEMBERS, SENDERS, 64, 0, 0x7EC0);
+    let off_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let on = group_send_throughput_recorded(16, MEMBERS, SENDERS, 64, 0, 0x7EC0);
+    let on_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        off, on.result,
+        "recording must not perturb the simulated run"
+    );
+    println!(
+        "  record-overhead: {MEMBERS} members × {SENDERS} senders: {:.0} msgs/s either way; \
+         host {:.0} ms untraced vs {:.0} ms recording ({:.2}×), {} steps, {} KiB trace",
+        off.msgs_per_sec,
+        off_ms,
+        on_ms,
+        on_ms / off_ms,
+        on.trace_steps,
+        on.trace_bytes / 1024
+    );
+    run.group_pipeline.push((
+        format!("record/off/members={MEMBERS}/senders={SENDERS}/batch=16"),
+        off.msgs_per_sec,
+        off.packets_per_msg,
+    ));
+    run.group_pipeline.push((
+        format!("record/on/members={MEMBERS}/senders={SENDERS}/batch=16"),
+        on.result.msgs_per_sec,
+        on.result.packets_per_msg,
+    ));
+    run.network.push(("record/off/host_wall_ms".into(), off_ms));
+    run.network.push(("record/on/host_wall_ms".into(), on_ms));
+    run.network
+        .push(("record/host_overhead_ratio".into(), on_ms / off_ms));
+    run.network
+        .push(("record/trace_steps".into(), on.trace_steps as f64));
+    run.network
+        .push(("record/trace_bytes".into(), on.trace_bytes as f64));
+    run
 }
 
 /// The cached-read-path A/B: the zipfian read mix (readers resolving
@@ -380,7 +456,7 @@ fn shards_run(label: &str) -> RunSummary {
 /// writer's shape — catches bench bit-rot before a perf PR needs the
 /// full run.
 fn ci_smoke() {
-    use amoeba_bench::group_pipeline::group_send_throughput;
+    use amoeba_bench::group_pipeline::{group_send_throughput, group_send_throughput_recorded};
     use amoeba_bench::{migration_burst, sharded_update_burst};
 
     println!("pipeline bench — ci-smoke");
@@ -399,6 +475,16 @@ fn ci_smoke() {
         g.msgs_per_sec,
         g.packets_per_msg,
     ));
+    // Record mode: the same point under kernel-trace recording must
+    // reproduce the untraced run exactly and yield a non-empty trace.
+    let rec = group_send_throughput_recorded(16, 3, 1, 64, 0, 0xC1);
+    assert_eq!(
+        g, rec.result,
+        "ci-smoke: recording must not perturb the simulated run"
+    );
+    assert!(rec.trace_steps > 0, "ci-smoke: recording must trace steps");
+    run.network
+        .push(("record/trace_steps".into(), rec.trace_steps as f64));
     // Sharded service: a tiny 2-shard burst (short window, few writers).
     let r = sharded_update_burst(
         2,

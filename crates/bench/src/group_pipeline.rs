@@ -35,6 +35,21 @@ pub struct GroupPipelineResult {
     pub seg_utilization: Vec<(String, f64)>,
 }
 
+/// [`group_send_throughput_on`] plus the kernel decision trace: the
+/// same run under [`Simulation::recording`], for the record-overhead
+/// A/B. Because recording must never perturb the kernel's decisions,
+/// the simulated-clock numbers are required to match the untraced run
+/// bit for bit — what differs is host time and the trace itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedGroupPipeline {
+    /// The simulated-clock result (identical to the untraced run).
+    pub result: GroupPipelineResult,
+    /// Kernel decisions recorded over the whole run.
+    pub trace_steps: usize,
+    /// Serialized trace size in bytes.
+    pub trace_bytes: usize,
+}
+
 /// [`group_send_throughput_on`] over the degenerate flat topology.
 pub fn group_send_throughput(
     max_batch: usize,
@@ -56,6 +71,34 @@ pub fn group_send_throughput(
     )
 }
 
+/// [`group_send_throughput`] with kernel-trace recording on.
+pub fn group_send_throughput_recorded(
+    max_batch: usize,
+    members: usize,
+    senders_per_member: usize,
+    payload_len: usize,
+    resilience: u32,
+    seed: u64,
+) -> RecordedGroupPipeline {
+    let (result, trace) = run_group_send(
+        Topology::single(),
+        &[],
+        max_batch,
+        members,
+        senders_per_member,
+        payload_len,
+        resilience,
+        seed,
+        true,
+    );
+    let trace = trace.expect("recording run yields a trace");
+    RecordedGroupPipeline {
+        result,
+        trace_steps: trace.steps.len(),
+        trace_bytes: trace.to_bytes().len(),
+    }
+}
+
 /// Runs `members` group members placed on `topology`'s segments
 /// (`placement[i % len]` is member `i`'s segment; empty = everything on
 /// segment 0); every non-sequencer member runs `senders_per_member`
@@ -74,7 +117,37 @@ pub fn group_send_throughput_on(
     resilience: u32,
     seed: u64,
 ) -> GroupPipelineResult {
-    let mut sim = Simulation::new(seed);
+    run_group_send(
+        topology,
+        placement,
+        max_batch,
+        members,
+        senders_per_member,
+        payload_len,
+        resilience,
+        seed,
+        false,
+    )
+    .0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_group_send(
+    topology: Topology,
+    placement: &[SegmentId],
+    max_batch: usize,
+    members: usize,
+    senders_per_member: usize,
+    payload_len: usize,
+    resilience: u32,
+    seed: u64,
+    record: bool,
+) -> (GroupPipelineResult, Option<amoeba_sim::SimTrace>) {
+    let mut sim = if record {
+        Simulation::recording(seed)
+    } else {
+        Simulation::new(seed)
+    };
     let net = Network::with_topology(sim.handle(), NetParams::lan_10mbps(), topology, seed);
     let mut cfg = GroupConfig::with_resilience(resilience);
     cfg.max_batch = max_batch;
@@ -159,22 +232,26 @@ pub fn group_send_throughput_on(
             count as f64 / msgs as f64
         }
     };
-    GroupPipelineResult {
-        msgs_per_sec: msgs as f64 / window.as_secs_f64(),
-        packets_per_msg: per_msg(d.packets_sent),
-        packets_forwarded: d.packets_forwarded,
-        forwarded_per_msg: per_msg(d.packets_forwarded),
-        seg_utilization: d
-            .segments
-            .iter()
-            .map(|s| {
-                (
-                    s.name.clone(),
-                    s.wire_busy_nanos as f64 / window.as_nanos() as f64,
-                )
-            })
-            .collect(),
-    }
+    let trace = sim.take_recording();
+    (
+        GroupPipelineResult {
+            msgs_per_sec: msgs as f64 / window.as_secs_f64(),
+            packets_per_msg: per_msg(d.packets_sent),
+            packets_forwarded: d.packets_forwarded,
+            forwarded_per_msg: per_msg(d.packets_forwarded),
+            seg_utilization: d
+                .segments
+                .iter()
+                .map(|s| {
+                    (
+                        s.name.clone(),
+                        s.wire_busy_nanos as f64 / window.as_nanos() as f64,
+                    )
+                })
+                .collect(),
+        },
+        trace,
+    )
 }
 
 fn sender_loop(g: &Group, ctx: &amoeba_sim::Ctx, payload_len: usize, t_end: Duration) {

@@ -100,6 +100,11 @@ pub struct CacheStats {
     /// Lookups that found their entry past its lease deadline — the
     /// entry is rejected as stale and dropped, never served.
     pub stale_rejects: u64,
+    /// Fetches answered off the service's read path under a piggybacked
+    /// lease renewal — group rounds the renewal budget saved. Counted
+    /// per fetch, not per lookup, so it sits outside the lookup
+    /// identity above.
+    pub renewals_saved: u64,
 }
 
 #[derive(Default)]
@@ -109,6 +114,7 @@ struct Counters {
     invalidations: AtomicU64,
     renewals: AtomicU64,
     stale_rejects: AtomicU64,
+    renewals_saved: AtomicU64,
 }
 
 /// Cache key: the full capability identity. Rights are part of the key
@@ -223,7 +229,17 @@ impl DirCache {
             invalidations: c.invalidations.load(Ordering::Relaxed),
             renewals: c.renewals.load(Ordering::Relaxed),
             stale_rejects: c.stale_rejects.load(Ordering::Relaxed),
+            renewals_saved: c.renewals_saved.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts a fetch the service answered under a piggybacked renewal
+    /// (`Snapshot { renewed: true, .. }`).
+    pub(crate) fn note_renewal_saved(&self) {
+        self.inner
+            .counters
+            .renewals_saved
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// The current revocation epoch of a directory. Read **before**

@@ -607,9 +607,13 @@ impl DirClient {
                 DirReply::Snapshot {
                     seqno: _,
                     deadline_us,
+                    renewed,
                     columns: _,
                     rows,
                 } => {
+                    if renewed {
+                        cache.note_renewal_saved();
+                    }
                     let now_us = ctx.now().as_nanos() / 1_000;
                     let map: HashMap<String, Capability> =
                         rows.into_iter().map(|(n, c, _)| (n, c)).collect();

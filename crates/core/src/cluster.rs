@@ -125,6 +125,25 @@ impl ClusterTopology {
         }
     }
 
+    /// A chain of `segments` segments, each adjacent pair joined by its
+    /// own router ([`Topology::chain`]), shard `s`'s whole column set on
+    /// segment `s % segments`, clients on segment 0. The exploration
+    /// harness's big multi-hop deployment: replication multicasts stay
+    /// shard-local, but client traffic to far shards is
+    /// store-and-forwarded across up to `segments − 1` routers.
+    pub fn shard_chain(shards: usize, segments: usize) -> ClusterTopology {
+        let shards = shards.max(1);
+        let segments = segments.max(1);
+        ClusterTopology {
+            topology: Topology::chain(segments),
+            column_segments: Vec::new(),
+            shard_segments: (0..shards)
+                .map(|s| SegmentId((s % segments) as u32))
+                .collect(),
+            client_segment: SegmentId(0),
+        }
+    }
+
     /// The segment column `i` attaches to (within-shard index, for
     /// deployments without per-shard placement).
     pub fn column_segment(&self, i: usize) -> SegmentId {
@@ -300,6 +319,18 @@ impl ClusterParams {
         ClusterParams {
             shards: shards.max(1),
             net_topology: ClusterTopology::shard_star(shards),
+            ..Self::paper(variant)
+        }
+    }
+
+    /// [`sharded`](Self::sharded) with the shards spread along a
+    /// multi-hop chain of `segments` segments
+    /// ([`ClusterTopology::shard_chain`]) — the exploration harness's
+    /// big routed deployment.
+    pub fn sharded_chain(variant: Variant, shards: usize, segments: usize) -> ClusterParams {
+        ClusterParams {
+            shards: shards.max(1),
+            net_topology: ClusterTopology::shard_chain(shards, segments),
             ..Self::paper(variant)
         }
     }

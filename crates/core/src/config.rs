@@ -112,6 +112,15 @@ pub struct DirParams {
     /// the longest a write can stall waiting out an unreachable lease
     /// holder, and the cap applied to any requested TTL.
     pub max_lease: Duration,
+    /// Piggybacked lease renewals budgeted per grant: each write that
+    /// revokes a holder's lease reinstates a successor (deadline
+    /// extended by the lease's own TTL, budget decremented), so the
+    /// holder's refetch after the invalidation callback is served off
+    /// the read path instead of a full group round. `0` disables
+    /// piggybacking. The budget also bounds the extra wait-outs a
+    /// crashed holder can cost writers, and widens the cold-boot write
+    /// fence to `(1 + lease_renewals) × max_lease`.
+    pub lease_renewals: u32,
     /// How long a joining server waits for a group to answer.
     pub recovery_join_timeout: Duration,
     /// How long to wait for a majority to assemble before retrying.
@@ -134,6 +143,7 @@ impl Default for DirParams {
             nvram_idle_flush: Duration::from_millis(200),
             intentions_latency: Duration::from_millis(12),
             max_lease: Duration::from_millis(400),
+            lease_renewals: 2,
             recovery_join_timeout: Duration::from_millis(400),
             recovery_majority_timeout: Duration::from_millis(1_500),
             recovery_retry_jitter: Duration::from_millis(300),

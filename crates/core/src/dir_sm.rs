@@ -92,6 +92,7 @@ impl DirectoryStateMachine {
             partition,
             nvram,
             max_lease_us: params.max_lease.as_micros() as u64,
+            lease_renewals: params.lease_renewals,
         });
         Self::new(applier, params, cpu)
     }
@@ -371,7 +372,12 @@ impl StateMachine for DirectoryStateMachine {
             // fresh deployment boots with update_seq 0 and no fence.)
             let mut shared = applier.shared.lock();
             if shared.update_seq > 0 {
-                shared.write_fence_until_us = ctx.now().as_nanos() / 1_000 + applier.max_lease_us;
+                // Piggybacked renewals can extend a lease by up to
+                // `lease_renewals × ttl` beyond its original deadline, so
+                // the fence outwaits the worst-case chain, not just one
+                // maximum lease.
+                let worst_us = applier.max_lease_us * (1 + applier.lease_renewals as u64);
+                shared.write_fence_until_us = ctx.now().as_nanos() / 1_000 + worst_us;
             }
         }
     }
@@ -453,12 +459,20 @@ impl StateMachine for DirectoryStateMachine {
                                // The read-lease table is replicated state: a joining replica must
                                // know every outstanding lease or a write it later initiates could
                                // acknowledge without revoking one.
-        let mut rleases: Vec<(u64, u64, u64, u64)> = shared
+        let mut rleases: Vec<(u64, u64, u64, u64, u64, u64)> = shared
             .rleases
             .iter()
             .flat_map(|(object, ls)| {
-                ls.iter()
-                    .map(|l| (*object, l.owner, l.cb_port, l.deadline_us))
+                ls.iter().map(|l| {
+                    (
+                        *object,
+                        l.owner,
+                        l.cb_port,
+                        l.deadline_us,
+                        l.ttl_us,
+                        l.renewals_left as u64,
+                    )
+                })
             })
             .collect();
         rleases.sort_unstable(); // deterministic encoding
@@ -474,7 +488,7 @@ impl StateMachine for DirectoryStateMachine {
                 + 4
                 + stubs.len() * 40
                 + 4
-                + rleases.len() * 32,
+                + rleases.len() * 48,
         );
         w.u64(shared.update_seq)
             .u64(shared.commit.seqno)
@@ -495,8 +509,13 @@ impl StateMachine for DirectoryStateMachine {
                 .u64(*to_object);
         }
         w.u32(rleases.len() as u32);
-        for (object, owner, cb_port, deadline_us) in &rleases {
-            w.u64(*object).u64(*owner).u64(*cb_port).u64(*deadline_us);
+        for (object, owner, cb_port, deadline_us, ttl_us, renewals_left) in &rleases {
+            w.u64(*object)
+                .u64(*owner)
+                .u64(*cb_port)
+                .u64(*deadline_us)
+                .u64(*ttl_us)
+                .u64(*renewals_left);
         }
         (shared.applied_group_seq, w.finish_payload())
     }
@@ -569,15 +588,21 @@ impl StateMachine for DirectoryStateMachine {
                 r.u64("lease owner"),
                 r.u64("lease cb-port"),
                 r.u64("lease deadline"),
+                r.u64("lease ttl"),
+                r.u64("lease renewals"),
             ) {
-                (Ok(object), Ok(owner), Ok(cb_port), Ok(deadline_us)) => rleases.push((
-                    object,
-                    crate::state::ReadLease {
-                        owner,
-                        cb_port,
-                        deadline_us,
-                    },
-                )),
+                (Ok(object), Ok(owner), Ok(cb_port), Ok(deadline_us), Ok(ttl_us), Ok(renew)) => {
+                    rleases.push((
+                        object,
+                        crate::state::ReadLease {
+                            owner,
+                            cb_port,
+                            deadline_us,
+                            ttl_us,
+                            renewals_left: renew.min(u32::MAX as u64) as u32,
+                        },
+                    ))
+                }
                 _ => return false,
             }
         }

@@ -190,6 +190,10 @@ pub enum DirReply {
         /// Absolute simulated-time deadline (µs since simulation
         /// start) after which the lease — and the snapshot — is dead.
         deadline_us: u64,
+        /// `true` when this snapshot was served off the read path under
+        /// a piggybacked lease renewal (the revoking write reinstated
+        /// the holder's lease, so no group round ran for this fetch).
+        renewed: bool,
         /// Column names.
         columns: Vec<String>,
         /// Rows (name, capability restricted to the holder's effective
@@ -787,10 +791,14 @@ impl DirReply {
             DirReply::Snapshot {
                 seqno,
                 deadline_us,
+                renewed,
                 columns,
                 rows,
             } => {
-                w.u8(RP_SNAPSHOT).u64(*seqno).u64(*deadline_us);
+                w.u8(RP_SNAPSHOT)
+                    .u64(*seqno)
+                    .u64(*deadline_us)
+                    .u8(u8::from(*renewed));
                 write_columns(&mut w, columns);
                 write_full_rows(&mut w, rows);
             }
@@ -844,6 +852,11 @@ impl DirReply {
             RP_SNAPSHOT => DirReply::Snapshot {
                 seqno: r.u64("snap seqno")?,
                 deadline_us: r.u64("snap deadline")?,
+                renewed: match r.u8("snap renewed")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::new("snap renewed")),
+                },
                 columns: read_columns(&mut r)?,
                 rows: read_full_rows(&mut r)?,
             },
@@ -1211,6 +1224,7 @@ mod tests {
             DirReply::Snapshot {
                 seqno: 8,
                 deadline_us: 1_250_000,
+                renewed: true,
                 columns: vec!["owner".into()],
                 rows: vec![("r".into(), cap(3), vec![Rights::ALL])],
             },

@@ -113,6 +113,7 @@ pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupD
         partition,
         nvram: nvram.clone(),
         max_lease_us: params.max_lease.as_micros() as u64,
+        lease_renewals: params.lease_renewals,
     });
     let sm = Arc::new(DirectoryStateMachine::new(
         Arc::clone(&applier),
@@ -270,6 +271,27 @@ fn handle_request(
     inval: &RpcClient,
     req: &DirRequest,
 ) -> DirReply {
+    // Piggybacked lease renewal: a `FetchDir` from a holder whose lease
+    // is still registered (the write that revoked its previous lease
+    // reinstated a successor under the grant's renewal budget) is served
+    // off the read path — the same barrier any read takes — instead of a
+    // full `GrantRead` group round.
+    if let DirRequest::FetchDir {
+        cap, owner, ttl_us, ..
+    } = req
+    {
+        if applier.has_renewable_lease(ctx, cap, *owner, *ttl_us) {
+            if let Err(e) = replica.read_barrier(ctx) {
+                return DirReply::Err(rsm_err(e));
+            }
+            cpu.use_for(ctx, params.read_cpu);
+            if let Some(rep) = applier.serve_renewed_fetch(ctx, cap, *owner, *ttl_us) {
+                return rep;
+            }
+            // The lease vanished between the pre-check and the barrier —
+            // fall through to the normal grant round.
+        }
+    }
     if req.is_read() {
         // "any buffered messages? … wait until seqno == buffered_seqno":
         // drain everything the kernel has ordered before us. The

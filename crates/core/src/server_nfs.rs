@@ -88,6 +88,7 @@ pub fn start_nfs_server(spawner: &impl Spawn, deps: NfsServerDeps) -> NfsDirServ
         partition,
         nvram: None,
         max_lease_us: params.max_lease.as_micros() as u64,
+        lease_renewals: params.lease_renewals,
     });
     // Updates serialize through a single mutation lock (one metadata
     // update in flight, like a kernel inode lock).

@@ -182,6 +182,7 @@ pub fn start_rpc_server(spawner: &impl Spawn, deps: RpcServerDeps) -> RpcDirServ
         partition,
         nvram: None,
         max_lease_us: params.max_lease.as_micros() as u64,
+        lease_renewals: params.lease_renewals,
     });
     let coord = Arc::new(Mutex::new(RpcCoord {
         locked: HashSet::new(),

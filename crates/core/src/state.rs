@@ -101,6 +101,16 @@ pub struct ReadLease {
     pub cb_port: u64,
     /// Absolute expiry in simulated microseconds.
     pub deadline_us: u64,
+    /// The lease's granted duration in microseconds; a piggybacked
+    /// renewal extends the deadline by this much.
+    pub ttl_us: u64,
+    /// Remaining piggybacked renewals. When a write revokes this lease,
+    /// a successor lease (deadline extended by `ttl_us`, budget
+    /// decremented) is reinstated as long as the budget is positive, so
+    /// the holder's post-invalidation refetch can be served off the read
+    /// path instead of a full group round (see
+    /// [`crate::config::DirParams::lease_renewals`]).
+    pub renewals_left: u32,
 }
 
 /// Where a migrated directory went (see [`Shared::stubs`]).
@@ -146,8 +156,32 @@ impl Shared {
     /// Moves every lease covering `object` into the revoked parking lot
     /// (called at apply time for each mutated object, inside the same
     /// critical section as the mutation — ordered in the total order).
+    ///
+    /// Piggybacked renewal: each revoked lease with remaining budget
+    /// leaves a successor lease behind, extended by its own `ttl_us`.
+    /// The successor is derived purely from replicated state (no clock),
+    /// so every replica reinstates identically; the extension means the
+    /// holder's refetch after the invalidation callback can be served
+    /// under the still-registered lease without another group round. An
+    /// already-expired lease yields a successor that is itself expired
+    /// (or nearly so) and gets pruned at the next grant; the budget
+    /// bounds how long a crashed holder can keep taxing writers.
     pub fn revoke_leases(&mut self, object: u64) {
         if let Some(leases) = self.rleases.remove(&object) {
+            let successors: Vec<ReadLease> = leases
+                .iter()
+                .filter(|l| l.renewals_left > 0)
+                .map(|l| ReadLease {
+                    owner: l.owner,
+                    cb_port: l.cb_port,
+                    deadline_us: l.deadline_us.saturating_add(l.ttl_us),
+                    ttl_us: l.ttl_us,
+                    renewals_left: l.renewals_left - 1,
+                })
+                .collect();
+            if !successors.is_empty() {
+                self.rleases.insert(object, successors);
+            }
             self.revoked.entry(object).or_default().extend(leases);
         }
     }
@@ -165,6 +199,10 @@ pub(crate) struct Applier {
     /// microseconds ([`crate::config::DirParams::max_lease`]): bounds
     /// how long a write can stall on an unreachable lease holder.
     pub max_lease_us: u64,
+    /// Piggybacked renewals budgeted per grant
+    /// ([`crate::config::DirParams::lease_renewals`]); identical on
+    /// every replica, so apply-time reinstatement is deterministic.
+    pub lease_renewals: u32,
 }
 
 impl std::fmt::Debug for Applier {
@@ -715,6 +753,8 @@ impl Applier {
                     owner: *owner,
                     cb_port: *cb_port,
                     deadline_us: *deadline_us,
+                    ttl_us: deadline_us.saturating_sub(*now_us),
+                    renewals_left: self.lease_renewals,
                 });
                 // The snapshot the lease covers: the rows the holder can
                 // see, restricted exactly as `LookupSet` would restrict
@@ -744,6 +784,7 @@ impl Applier {
                     DirReply::Snapshot {
                         seqno: dir.seqno,
                         deadline_us: *deadline_us,
+                        renewed: false,
                         columns: dir.columns.clone(),
                         rows,
                     },
@@ -1135,6 +1176,102 @@ impl Applier {
     fn restrict_for_holder(&self, stored: &Capability, eff: Rights) -> Capability {
         let shared = self.shared.lock();
         restrict_with(&shared, self.cfg.public_port, stored, eff)
+    }
+
+    /// Whether `owner`'s registered lease on the directory `cap` names is
+    /// still worth serving a renewal off: live, not relocated, and with at
+    /// least half the requested TTL remaining (a nearly-expired successor
+    /// would only buy the client an immediate refetch, so it takes the
+    /// full grant round instead). The cheap pre-check of the piggybacked
+    /// renewal fast path — the caller runs the read barrier before
+    /// actually serving.
+    pub fn has_renewable_lease(
+        &self,
+        ctx: &Ctx,
+        cap: &Capability,
+        owner: u64,
+        ttl_us: u64,
+    ) -> bool {
+        let shared = self.shared.lock();
+        let object = match validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::NONE) {
+            Ok(o) => o,
+            Err(_) => return false,
+        };
+        if !cap.rights.sees_any_column() || shared.stubs.contains_key(&object) {
+            return false;
+        }
+        let now_us = ctx.now().as_nanos() / 1_000;
+        let min_left = ttl_us.max(1).min(self.max_lease_us) / 2;
+        shared.rleases.get(&object).is_some_and(|ls| {
+            ls.iter()
+                .any(|l| l.owner == owner && l.deadline_us > now_us + min_left)
+        })
+    }
+
+    /// The piggybacked-renewal fast path of `FetchDir`: the holder still
+    /// has a live registered lease on the directory (the write that
+    /// revoked its previous lease reinstated a successor under the
+    /// grant's renewal budget), so the snapshot is served off the read
+    /// path under that lease's deadline — no group round, no new grant.
+    /// The caller has already drained the read barrier, so the local
+    /// state is at least as new as any acknowledged write. Returns `None`
+    /// when the lease vanished since the pre-check (expired, relocated,
+    /// revoked without budget); the caller falls back to the full
+    /// `GrantRead` round.
+    pub fn serve_renewed_fetch(
+        &self,
+        ctx: &Ctx,
+        cap: &Capability,
+        owner: u64,
+        ttl_us: u64,
+    ) -> Option<DirReply> {
+        let (object, deadline_us) = {
+            let mut shared = self.shared.lock();
+            let object = validate_dir_cap(&shared, self.cfg.public_port, cap, Rights::NONE).ok()?;
+            if !cap.rights.sees_any_column() || shared.stubs.contains_key(&object) {
+                return None;
+            }
+            let now_us = ctx.now().as_nanos() / 1_000;
+            let min_left = ttl_us.max(1).min(self.max_lease_us) / 2;
+            let deadline_us = shared
+                .rleases
+                .get(&object)?
+                .iter()
+                .filter(|l| l.owner == owner && l.deadline_us > now_us + min_left)
+                .map(|l| l.deadline_us)
+                .max()?;
+            *shared.heat.entry(object).or_insert(0) += 1;
+            (object, deadline_us)
+        };
+        let dir = self.load_dir(ctx, object).ok()?;
+        // Identical restriction to the `GrantRead` apply path: rows the
+        // holder has no effective rights over are omitted.
+        let rows = dir
+            .rows
+            .iter()
+            .filter_map(|row| {
+                let eff = dir.effective_rights(row, cap.rights);
+                if eff == Rights::NONE {
+                    return None;
+                }
+                let out_cap = self.restrict_for_holder(&row.cap, eff);
+                let visible_masks: Vec<Rights> = row
+                    .col_rights
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| cap.rights.sees_column(*i))
+                    .map(|(_, m)| *m)
+                    .collect();
+                Some((row.name.clone(), out_cap, visible_masks))
+            })
+            .collect();
+        Some(DirReply::Snapshot {
+            seqno: dir.seqno,
+            deadline_us,
+            renewed: true,
+            columns: dir.columns.clone(),
+            rows,
+        })
     }
 
     /// Initiator-side validation and translation of a client write into

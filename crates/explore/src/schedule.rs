@@ -1,0 +1,236 @@
+//! Fault schedules: what to inject into a scenario, and when.
+//!
+//! A [`FaultSchedule`] is pure data — a list of [`Injection`]s at
+//! millisecond-resolution logical times — so it can be generated from a
+//! seed, compared, shrunk, and serialized into a repro bundle. The
+//! scenario runner applies it from the simulation's main thread at
+//! exact `run_until` boundaries, which makes the injection times part
+//! of the deterministic program: the same schedule over the same
+//! [`crate::scenario::ScenarioParams`] is the same run, bit for bit.
+
+use amoeba_flip::wire::{WireReader, WireWriter};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Crash replica column `column` (machine dies, NIC goes silent;
+    /// disk, Bullet layout and NVRAM survive); the injection's end
+    /// reboots it through the recovery protocol.
+    Crash {
+        /// Flat column index (taken modulo the deployment's columns).
+        column: usize,
+    },
+    /// Partition column `column` alone on one side of the network; the
+    /// injection's end heals all partitions.
+    Isolate {
+        /// Flat column index (taken modulo the deployment's columns).
+        column: usize,
+    },
+    /// Degrade the whole network for the window: packet loss,
+    /// duplication and latency jitter in per-mille (so schedules stay
+    /// `Eq` and serialize exactly); the injection's end restores the
+    /// base parameters.
+    Degrade {
+        /// Loss probability, per mille.
+        loss_pm: u16,
+        /// Duplication probability, per mille.
+        dup_pm: u16,
+        /// Multiplicative latency jitter, per mille (1000 ⇒ up to 2×).
+        jitter_pm: u16,
+    },
+}
+
+impl FaultKind {
+    fn code(&self) -> u8 {
+        match self {
+            FaultKind::Crash { .. } => 1,
+            FaultKind::Isolate { .. } => 2,
+            FaultKind::Degrade { .. } => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Crash { column } => write!(f, "crash(col {column})"),
+            FaultKind::Isolate { column } => write!(f, "isolate(col {column})"),
+            FaultKind::Degrade {
+                loss_pm,
+                dup_pm,
+                jitter_pm,
+            } => write!(
+                f,
+                "degrade(loss {}%, dup {}%, jitter {}%)",
+                *loss_pm as f64 / 10.0,
+                *dup_pm as f64 / 10.0,
+                *jitter_pm as f64 / 10.0
+            ),
+        }
+    }
+}
+
+/// One fault injection: a kind, a start time, and a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Start, in milliseconds of simulated time.
+    pub at_ms: u64,
+    /// Duration of the fault window, in milliseconds.
+    pub dur_ms: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+impl std::fmt::Display for Injection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={}ms +{}ms {}", self.at_ms, self.dur_ms, self.kind)
+    }
+}
+
+/// An ordered list of injections (sorted by start time on creation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// The injections, ordered by `at_ms`.
+    pub injections: Vec<Injection>,
+}
+
+impl FaultSchedule {
+    /// A schedule from unordered injections (sorts by start time,
+    /// stable within ties).
+    pub fn new(mut injections: Vec<Injection>) -> FaultSchedule {
+        injections.sort_by_key(|i| i.at_ms);
+        FaultSchedule { injections }
+    }
+
+    /// The empty schedule: a fault-free run.
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Number of injections.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// Whether the schedule has no injections.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// Serializes the schedule (for repro bundles).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u32(self.injections.len() as u32);
+        for i in &self.injections {
+            w.u64(i.at_ms).u64(i.dur_ms).u8(i.kind.code());
+            match i.kind {
+                FaultKind::Crash { column } | FaultKind::Isolate { column } => {
+                    w.u64(column as u64);
+                }
+                FaultKind::Degrade {
+                    loss_pm,
+                    dup_pm,
+                    jitter_pm,
+                } => {
+                    w.u64(loss_pm as u64)
+                        .u64(dup_pm as u64)
+                        .u64(jitter_pm as u64);
+                }
+            }
+        }
+    }
+
+    /// Deserializes a schedule. `None` on malformed input.
+    pub fn decode(r: &mut WireReader) -> Option<FaultSchedule> {
+        let n = r.u32("schedule len").ok()? as usize;
+        if n > 10_000 {
+            return None;
+        }
+        let mut injections = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at_ms = r.u64("inj at").ok()?;
+            let dur_ms = r.u64("inj dur").ok()?;
+            let kind = match r.u8("inj kind").ok()? {
+                1 => FaultKind::Crash {
+                    column: r.u64("inj col").ok()? as usize,
+                },
+                2 => FaultKind::Isolate {
+                    column: r.u64("inj col").ok()? as usize,
+                },
+                3 => FaultKind::Degrade {
+                    loss_pm: r.u64("inj loss").ok()?.min(1000) as u16,
+                    dup_pm: r.u64("inj dup").ok()?.min(1000) as u16,
+                    jitter_pm: r.u64("inj jitter").ok()?.min(u16::MAX as u64) as u16,
+                },
+                _ => return None,
+            };
+            injections.push(Injection {
+                at_ms,
+                dur_ms,
+                kind,
+            });
+        }
+        Some(FaultSchedule::new(injections))
+    }
+}
+
+impl std::fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.injections.is_empty() {
+            return write!(f, "(no faults)");
+        }
+        for (k, i) in self.injections.iter().enumerate() {
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  [{k}] {i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_round_trip() {
+        let s = FaultSchedule::new(vec![
+            Injection {
+                at_ms: 9_000,
+                dur_ms: 2_000,
+                kind: FaultKind::Degrade {
+                    loss_pm: 300,
+                    dup_pm: 50,
+                    jitter_pm: 100,
+                },
+            },
+            Injection {
+                at_ms: 6_000,
+                dur_ms: 3_000,
+                kind: FaultKind::Crash { column: 2 },
+            },
+            Injection {
+                at_ms: 7_000,
+                dur_ms: 1_000,
+                kind: FaultKind::Isolate { column: 0 },
+            },
+        ]);
+        // Sorted by start time.
+        assert_eq!(s.injections[0].at_ms, 6_000);
+        let mut w = WireWriter::new();
+        s.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(FaultSchedule::decode(&mut r), Some(s));
+    }
+
+    #[test]
+    fn bad_kind_is_rejected() {
+        let mut w = WireWriter::new();
+        w.u32(1);
+        w.u64(0).u64(0).u8(9);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(FaultSchedule::decode(&mut r), None);
+    }
+}

@@ -1,0 +1,294 @@
+//! Fault-schedule search: sweep randomized schedules over a scenario,
+//! shrink any failing schedule to a minimal reproduction, and package
+//! the result (params + schedule + kernel trace) as a repro bundle.
+//!
+//! The searcher's own randomness comes from [`amoeba_testkit::Gen`]
+//! (splitmix64), seeded explicitly — never from the simulation's RNG
+//! and never from the host — so a sweep is as reproducible as the runs
+//! it drives.
+
+use amoeba_flip::wire::{WireReader, WireWriter};
+use amoeba_sim::SimTrace;
+use amoeba_testkit::Gen;
+
+use crate::scenario::{run_scenario, RunMode, ScenarioParams, ScenarioReport, WRITE_END_MS};
+use crate::schedule::{FaultKind, FaultSchedule, Injection};
+
+/// Generates one randomized fault schedule: 1–3 injections, windows
+/// inside the write phase (durations biased so loss windows cover the
+/// tail of the phase, where end-of-order gaps live).
+pub fn random_schedule(g: &mut Gen, columns: usize) -> FaultSchedule {
+    let n = 1 + (g.u64() % 3) as usize;
+    let mut injections = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at_ms = 4_000 + g.u64() % (WRITE_END_MS - 4_000);
+        let dur_ms = 500 + g.u64() % 4_000;
+        let kind = match g.u64() % 4 {
+            0 => FaultKind::Crash {
+                column: (g.u64() % columns.max(1) as u64) as usize,
+            },
+            1 => FaultKind::Isolate {
+                column: (g.u64() % columns.max(1) as u64) as usize,
+            },
+            2 => FaultKind::Degrade {
+                loss_pm: 100 + (g.u64() % 300) as u16,
+                dup_pm: (g.u64() % 100) as u16,
+                jitter_pm: (g.u64() % 300) as u16,
+            },
+            _ => FaultKind::Degrade {
+                loss_pm: (g.u64() % 100) as u16,
+                dup_pm: 100 + (g.u64() % 300) as u16,
+                jitter_pm: (g.u64() % 500) as u16,
+            },
+        };
+        injections.push(Injection {
+            at_ms,
+            dur_ms,
+            kind,
+        });
+    }
+    FaultSchedule::new(injections)
+}
+
+/// One failing schedule found by a sweep, after shrinking, with its
+/// recorded trace and the replay verdict.
+#[derive(Debug)]
+pub struct Failure {
+    /// The schedule as originally generated.
+    pub original: FaultSchedule,
+    /// The shrunk (minimal) schedule that still fails.
+    pub minimal: FaultSchedule,
+    /// The failure the minimal schedule reproduces.
+    pub report: ScenarioReport,
+    /// Whether verify-mode replay of the recorded trace reproduced the
+    /// run without divergence.
+    pub replay_ok: bool,
+}
+
+/// The outcome of a sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Schedules run.
+    pub schedules_run: usize,
+    /// Failures found (shrunk, recorded, replay-verified).
+    pub failures: Vec<Failure>,
+}
+
+/// Whether `schedule` makes the scenario fail (fast mode, no trace).
+pub fn fails(params: &ScenarioParams, schedule: &FaultSchedule) -> bool {
+    run_scenario(params, schedule, RunMode::Fast).failed()
+}
+
+/// Sweeps `n` randomized fault schedules over the scenario. Every
+/// failing schedule is shrunk to a minimal reproduction, re-run under
+/// recording, and the trace replay-verified.
+pub fn sweep(params: &ScenarioParams, n: usize, gen_seed: u64) -> SweepReport {
+    let mut g = Gen::new(gen_seed);
+    let columns = params.shards * 3;
+    let mut failures = Vec::new();
+    for _ in 0..n {
+        let schedule = random_schedule(&mut g, columns);
+        let first = run_scenario(params, &schedule, RunMode::Fast);
+        if !first.failed() {
+            continue;
+        }
+        let minimal = shrink(params, &schedule);
+        let (report, replay_ok) = record_and_verify(params, &minimal);
+        failures.push(Failure {
+            original: schedule,
+            minimal,
+            report,
+            replay_ok,
+        });
+    }
+    SweepReport {
+        schedules_run: n,
+        failures,
+    }
+}
+
+/// Shrinks a failing schedule while it keeps failing: first drop whole
+/// injections (one at a time, to fixed point), then halve durations and
+/// advance start times. The result still fails and is never longer than
+/// the input.
+pub fn shrink(params: &ScenarioParams, schedule: &FaultSchedule) -> FaultSchedule {
+    let mut cur = schedule.clone();
+    debug_assert!(fails(params, &cur), "shrink needs a failing schedule");
+
+    // Drop pass, to fixed point: remove any injection whose absence
+    // still fails.
+    loop {
+        let mut dropped = false;
+        let mut i = 0;
+        while i < cur.injections.len() {
+            if cur.injections.len() == 1 {
+                break; // keep at least one injection
+            }
+            let mut candidate = cur.clone();
+            candidate.injections.remove(i);
+            if fails(params, &candidate) {
+                cur = candidate;
+                dropped = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+
+    // Duration pass: halve each surviving window while the failure
+    // holds (a couple of rounds is plenty — each round halves).
+    for _ in 0..3 {
+        let mut any = false;
+        for i in 0..cur.injections.len() {
+            let dur = cur.injections[i].dur_ms;
+            if dur < 200 {
+                continue;
+            }
+            let mut candidate = cur.clone();
+            candidate.injections[i].dur_ms = dur / 2;
+            if fails(params, &candidate) {
+                cur = candidate;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+
+    // Advance pass: pull each window earlier while the failure holds
+    // (earlier failures make shorter interesting prefixes to read).
+    for _ in 0..3 {
+        let mut any = false;
+        for i in 0..cur.injections.len() {
+            let at = cur.injections[i].at_ms;
+            if at <= 4_000 {
+                continue;
+            }
+            let mut candidate = cur.clone();
+            candidate.injections[i].at_ms = (at - 4_000) / 2 + 4_000;
+            if fails(params, &candidate) {
+                cur = candidate;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    cur
+}
+
+/// Re-runs a failing schedule under recording, then replay-verifies the
+/// trace: the replay must neither diverge nor change the verdict.
+pub fn record_and_verify(
+    params: &ScenarioParams,
+    schedule: &FaultSchedule,
+) -> (ScenarioReport, bool) {
+    let recorded = run_scenario(params, schedule, RunMode::Record);
+    let replay_ok = match &recorded.trace {
+        Some(trace) => {
+            let replayed = run_scenario(params, schedule, RunMode::Replay(trace.clone()));
+            let diverged = replayed
+                .panic
+                .as_deref()
+                .is_some_and(|p| p.contains("replay divergence"));
+            !diverged && replayed.failed() == recorded.failed()
+        }
+        None => false,
+    };
+    (recorded, replay_ok)
+}
+
+/// A self-contained reproduction: scenario params, minimal schedule,
+/// and the recorded kernel trace, serialized into one file.
+#[derive(Debug, Clone)]
+pub struct ReproBundle {
+    /// Scenario parameters.
+    pub params: ScenarioParams,
+    /// The (minimal) failing schedule.
+    pub schedule: FaultSchedule,
+    /// The recorded kernel decision trace.
+    pub trace: SimTrace,
+}
+
+const REPRO_MAGIC: &[u8; 4] = b"AMRX";
+
+impl ReproBundle {
+    /// Serializes the bundle.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bytes(REPRO_MAGIC);
+        self.params.encode(&mut w);
+        self.schedule.encode(&mut w);
+        w.bytes(&self.trace.to_bytes());
+        w.finish()
+    }
+
+    /// Deserializes a bundle. `Err` explains what was malformed.
+    pub fn from_bytes(buf: &[u8]) -> Result<ReproBundle, String> {
+        let mut r = WireReader::new(buf);
+        let magic = r.bytes("repro magic").map_err(|e| e.to_string())?;
+        if magic != REPRO_MAGIC {
+            return Err("not a repro bundle (bad magic)".to_owned());
+        }
+        let params = ScenarioParams::decode(&mut r).ok_or("malformed scenario params")?;
+        let schedule = FaultSchedule::decode(&mut r).ok_or("malformed fault schedule")?;
+        let trace_bytes = r.bytes("repro trace").map_err(|e| e.to_string())?;
+        let trace = SimTrace::from_bytes(trace_bytes)?;
+        Ok(ReproBundle {
+            params,
+            schedule,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schedules_are_reproducible_and_in_window() {
+        let a: Vec<FaultSchedule> = {
+            let mut g = Gen::new(7);
+            (0..8).map(|_| random_schedule(&mut g, 3)).collect()
+        };
+        let b: Vec<FaultSchedule> = {
+            let mut g = Gen::new(7);
+            (0..8).map(|_| random_schedule(&mut g, 3)).collect()
+        };
+        assert_eq!(a, b, "same generator seed, same schedules");
+        for s in &a {
+            assert!(!s.is_empty() && s.len() <= 3);
+            for i in &s.injections {
+                assert!(i.at_ms >= 4_000 && i.at_ms < WRITE_END_MS);
+            }
+        }
+    }
+
+    #[test]
+    fn repro_bundles_round_trip() {
+        let bundle = ReproBundle {
+            params: ScenarioParams::small(11),
+            schedule: FaultSchedule::new(vec![Injection {
+                at_ms: 8_000,
+                dur_ms: 1_000,
+                kind: FaultKind::Crash { column: 1 },
+            }]),
+            trace: SimTrace {
+                seed: 11,
+                steps: Vec::new(),
+            },
+        };
+        let bytes = bundle.to_bytes();
+        let back = ReproBundle::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.params, bundle.params);
+        assert_eq!(back.schedule, bundle.schedule);
+        assert_eq!(back.trace.seed, 11);
+        assert!(ReproBundle::from_bytes(b"garbage").is_err());
+    }
+}

@@ -88,6 +88,24 @@ const SEEN_CAP: usize = 8192;
 /// processed; re-floods this causes are bounded (the recorded TTL is
 /// strictly increasing, capped by the origin's TTL) and receivers
 /// still deliver exactly once.
+/// FNV-1a over `(host, side)` pairs: pins a variable-length partition
+/// description into one fault-trace operand.
+fn hash_hosts(pairs: impl Iterator<Item = (u32, u32)>) -> u64 {
+    fn mix(mut h: u64, v: u32) -> u64 {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (host, side) in pairs {
+        h = mix(h, host);
+        h = mix(h, side);
+    }
+    h
+}
+
 #[derive(Default)]
 struct SeenCache {
     best: HashMap<(HostAddr, u64), u8>,
@@ -386,6 +404,9 @@ impl Network {
     /// forgets its routing table and duplicate-suppression memory.
     pub fn set_down(&self, host: HostAddr) {
         let mut inner = self.inner.lock();
+        inner
+            .handle
+            .record_fault(amoeba_sim::fault_codes::NET_DOWN, host.0 as u64, 0);
         inner.down.insert(host);
         if let Some(t) = inner.stacks.get(&host) {
             t.lock().clear();
@@ -410,6 +431,9 @@ impl Network {
     /// multicast groups; a router resumes forwarding with cold tables).
     pub fn set_up(&self, host: HostAddr) {
         let mut inner = self.inner.lock();
+        inner
+            .handle
+            .record_fault(amoeba_sim::fault_codes::NET_UP, host.0 as u64, 0);
         inner.down.remove(&host);
         inner.group_routes_dirty = true;
     }
@@ -433,6 +457,11 @@ impl Network {
     /// the other. Replaces any previous partition.
     pub fn isolate(&self, isolated: &[HostAddr]) {
         let mut inner = self.inner.lock();
+        inner.handle.record_fault(
+            amoeba_sim::fault_codes::NET_ISOLATE,
+            isolated.len() as u64,
+            hash_hosts(isolated.iter().map(|h| (h.0, 1))),
+        );
         inner.partition.clear();
         for h in isolated {
             inner.partition.insert(*h, 1);
@@ -443,6 +472,16 @@ impl Network {
     /// partition `i + 1`; unlisted hosts are all in partition 0.
     pub fn set_partition(&self, sides: &[&[HostAddr]]) {
         let mut inner = self.inner.lock();
+        inner.handle.record_fault(
+            amoeba_sim::fault_codes::NET_PARTITION,
+            sides.iter().map(|s| s.len() as u64).sum(),
+            hash_hosts(
+                sides
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, side)| side.iter().map(move |h| (h.0, i as u32 + 1))),
+            ),
+        );
         inner.partition.clear();
         for (i, side) in sides.iter().enumerate() {
             for h in *side {
@@ -453,14 +492,24 @@ impl Network {
 
     /// Removes any partition; all hosts can talk again.
     pub fn heal(&self) {
-        self.inner.lock().partition.clear();
+        let mut inner = self.inner.lock();
+        inner
+            .handle
+            .record_fault(amoeba_sim::fault_codes::NET_HEAL, 0, 0);
+        inner.partition.clear();
     }
 
     /// Updates the base fault model on the fly (loss, duplication,
     /// jitter...). Per-segment overrides from the topology keep
     /// precedence.
     pub fn set_params(&self, params: NetParams) {
-        self.inner.lock().params = params;
+        let mut inner = self.inner.lock();
+        inner.handle.record_fault(
+            amoeba_sim::fault_codes::NET_PARAMS,
+            (params.loss_probability * 1e9) as u64,
+            (params.duplicate_probability * 1e9) as u64,
+        );
+        inner.params = params;
     }
 
     pub(crate) fn join_group(&self, host: HostAddr, group: GroupAddr) {

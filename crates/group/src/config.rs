@@ -40,6 +40,13 @@ pub struct GroupConfig {
     /// happens as soon as `max_batch` accepts are pending. Bounded well
     /// below `gap_timeout` so held accepts are never mistaken for loss.
     pub batch_delay: Duration,
+    /// Fault-injection self-test knob: re-introduces the pre-fix gap-
+    /// recovery retransmission bound (derived from the accept buffer's
+    /// last key instead of `highest_seen`), under which an end-of-order
+    /// gap produces an empty retransmission request and the member stalls
+    /// forever. Exists so `amoeba-explore` can prove its search finds a
+    /// known historical bug; never enable outside that harness.
+    pub buggy_retrans_bound: bool,
 }
 
 impl GroupConfig {
@@ -57,6 +64,7 @@ impl GroupConfig {
             tick_interval: Duration::from_millis(20),
             max_batch: 16,
             batch_delay: Duration::from_micros(500),
+            buggy_retrans_bound: false,
         }
     }
 

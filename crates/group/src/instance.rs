@@ -1567,12 +1567,15 @@ impl Instance {
             Action::CompleteReset(Ok(())),
         ];
         // Re-drive unfinished sends through the new sequencer (duplicate
-        // suppression via seen_msgids keeps this exactly-once).
-        let pending: Vec<(u64, Payload, bool)> = self
+        // suppression via seen_msgids keeps this exactly-once). Sorted by
+        // msgid: HashMap iteration order varies between runs and the
+        // re-drive order decides seqno assignment.
+        let mut pending: Vec<(u64, Payload, bool)> = self
             .pending_sends
             .iter()
             .map(|(id, p)| (*id, p.data.clone(), p.bb))
             .collect();
+        pending.sort_unstable_by_key(|(id, _, _)| *id);
         for (msgid, data, bb) in pending {
             if let Some(&seq) = self.seen_msgids.get(&(self.me, msgid)) {
                 self.pending_sends.remove(&msgid);
@@ -1701,10 +1704,22 @@ impl Instance {
                 // end-of-order gap (its last key may already be applied
                 // history below the gap) — clamped to what a server is
                 // willing to serve in one request.
-                let to = self
-                    .highest_seen
-                    .min(self.highest_contiguous + MAX_RETRANS_SPAN)
-                    .max(self.highest_contiguous + 1);
+                let to = if self.cfg.buggy_retrans_bound {
+                    // Historical (pre-fix) bound, kept reachable for the
+                    // explore harness's seeded-bug self-test: when the
+                    // lost accepts are the newest ones, the buffer's last
+                    // key sits at (or below) `highest_contiguous`, the
+                    // request comes out empty and the gap never closes.
+                    self.buffer
+                        .keys()
+                        .next_back()
+                        .copied()
+                        .unwrap_or(self.highest_contiguous)
+                } else {
+                    self.highest_seen
+                        .min(self.highest_contiguous + MAX_RETRANS_SPAN)
+                        .max(self.highest_contiguous + 1)
+                };
                 actions.push(Action::Multicast(GroupMsg::Retrans {
                     instance: self.id,
                     from_seq: self.highest_contiguous + 1,
@@ -1713,13 +1728,15 @@ impl Instance {
                 }));
             }
         }
-        // Sender retransmission.
-        let stale: Vec<(u64, Payload, bool)> = self
+        // Sender retransmission. Sorted by msgid so the resend (and thus
+        // message) order does not depend on HashMap iteration order.
+        let mut stale: Vec<(u64, Payload, bool)> = self
             .pending_sends
             .iter()
             .filter(|(_, p)| now.saturating_since(p.sent_at) >= self.cfg.ack_timeout)
             .map(|(id, p)| (*id, p.data.clone(), p.bb))
             .collect();
+        stale.sort_unstable_by_key(|(id, _, _)| *id);
         for (msgid, data, bb) in stale {
             let mut resend = self.resend_pending(now, msgid, data, bb);
             actions.append(&mut resend);

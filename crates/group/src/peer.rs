@@ -164,7 +164,7 @@ impl GroupPeer {
 
     /// Flushes every instance's pending accept batch (end of a burst).
     fn flush_all(&self, ctx: &Ctx) {
-        let work: Vec<(u64, Vec<Action>)> = {
+        let mut work: Vec<(u64, Vec<Action>)> = {
             let mut inner = self.inner.lock();
             inner
                 .instances
@@ -173,6 +173,9 @@ impl GroupPeer {
                 .filter(|(_, actions)| !actions.is_empty())
                 .collect()
         };
+        // Instance-id order: the map iterates in hash order, which varies
+        // between runs, and the flush order decides message emission order.
+        work.sort_unstable_by_key(|(id, _)| *id);
         for (id, actions) in work {
             for a in actions {
                 self.execute(ctx, id, a);
@@ -190,7 +193,7 @@ impl GroupPeer {
                 if *joiner == self.stack.addr() {
                     return; // our own broadcast
                 }
-                let replies: Vec<(u64, Action)> = {
+                let mut replies: Vec<(u64, Action)> = {
                     let inner = self.inner.lock();
                     inner
                         .instances
@@ -201,6 +204,7 @@ impl GroupPeer {
                         })
                         .collect()
                 };
+                replies.sort_unstable_by_key(|(id, _)| *id);
                 for (id, action) in replies {
                     self.execute(ctx, id, action);
                 }

@@ -219,6 +219,11 @@ impl Ctx {
         }
     }
 
+    /// Digest of this process's RNG state (for record/replay yields).
+    pub(crate) fn rng_digest(&self) -> u64 {
+        self.rng.borrow().digest()
+    }
+
     /// Yields to the kernel and blocks until resumed.
     pub(crate) fn block(&self, kind: YieldKind) -> WakeReason {
         if self
@@ -226,6 +231,7 @@ impl Ctx {
             .send(YieldMsg {
                 pid: self.pid,
                 kind,
+                rng_digest: self.rng_digest(),
             })
             .is_err()
         {

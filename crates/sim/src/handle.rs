@@ -45,4 +45,22 @@ impl SimHandle {
     pub fn now(&self) -> SimTime {
         self.shared.lock().now
     }
+
+    /// Records a fault-model action into the decision trace (no-op unless
+    /// the simulation is recording or replaying). Used by the network layer
+    /// to pin link/partition/parameter changes; `code` should come from
+    /// [`crate::fault_codes`].
+    pub fn record_fault(&self, code: u64, a: u64, b: u64) {
+        self.shared.lock().record_fault(code, a, b);
+    }
+
+    /// A snapshot of the decision trace recorded so far; `None` unless the
+    /// simulation was created with [`crate::Simulation::recording`].
+    ///
+    /// Unlike [`crate::Simulation::take_recording`] this works from a
+    /// handle, so a runner that wrapped the simulation in `catch_unwind`
+    /// can still retrieve the trace after a panic tore the simulation down.
+    pub fn snapshot_recording(&self) -> Option<crate::record::SimTrace> {
+        self.shared.lock().snapshot_recording()
+    }
 }

@@ -18,6 +18,7 @@ use crossbeam_channel::Sender;
 use parking_lot::Mutex;
 
 use crate::ids::{MailboxId, NodeId, ProcId};
+use crate::record::{fault_codes, RecMode, SimTrace, StepTag, TraceStep};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 
@@ -74,6 +75,9 @@ pub(crate) enum WakeReason {
 pub(crate) struct YieldMsg {
     pub pid: ProcId,
     pub kind: YieldKind,
+    /// Digest of the process's RNG state at the yield; lets record/replay
+    /// catch divergent draws without recording each one.
+    pub rng_digest: u64,
 }
 
 pub(crate) enum YieldKind {
@@ -192,6 +196,8 @@ pub(crate) struct Kernel {
     pub yield_tx: Sender<YieldMsg>,
     pub events_processed: u64,
     pub trace: Option<Vec<(SimTime, String)>>,
+    /// Decision-trace recording/replay state (see [`crate::record`]).
+    pub(crate) rec: RecMode,
 }
 
 impl Kernel {
@@ -210,6 +216,58 @@ impl Kernel {
             yield_tx,
             events_processed: 0,
             trace: None,
+            rec: RecMode::Off,
+        }
+    }
+
+    /// Records (or, under replay, verifies) one kernel decision.
+    pub(crate) fn checkpoint(&mut self, tag: StepTag, a: u64, b: u64, c: u64) {
+        // Fast path: recording off.
+        if matches!(self.rec, RecMode::Off) {
+            return;
+        }
+        let step = TraceStep {
+            time_ns: self.now.as_nanos(),
+            tag,
+            a,
+            b,
+            c,
+        };
+        self.rec.checkpoint(step);
+    }
+
+    /// Checkpoints a just-popped event (called by the run loop).
+    pub(crate) fn checkpoint_event(&mut self, ev: &EventEntry) {
+        if matches!(self.rec, RecMode::Off) {
+            return;
+        }
+        let (tag, a, b, c) = match &ev.kind {
+            EventKind::Start(pid) => (StepTag::EventStart, pid.0, 0, 0),
+            EventKind::Timer { pid, gen } => (StepTag::EventTimer, pid.0, *gen, 0),
+            EventKind::Action(_) => (StepTag::EventAction, ev.seq, 0, 0),
+            EventKind::Reap(pids) => (
+                StepTag::EventReap,
+                pids.len() as u64,
+                pids.first().map(|p| p.0).unwrap_or(0),
+                pids.last().map(|p| p.0).unwrap_or(0),
+            ),
+        };
+        self.checkpoint(tag, a, b, c);
+    }
+
+    /// Records a fault-model action (node crash/revive, network faults).
+    pub fn record_fault(&mut self, code: u64, a: u64, b: u64) {
+        self.checkpoint(StepTag::Fault, code, a, b);
+    }
+
+    /// Snapshot of the recorded trace so far (None unless recording).
+    pub(crate) fn snapshot_recording(&self) -> Option<SimTrace> {
+        match &self.rec {
+            RecMode::Record(steps) => Some(SimTrace {
+                seed: self.seed,
+                steps: steps.clone(),
+            }),
+            _ => None,
         }
     }
 
@@ -324,12 +382,17 @@ impl Kernel {
                 }
             }
         }
+        // `NodeRec::procs` is a HashSet whose iteration order varies between
+        // process invocations; sort so the reap order (and thus the decision
+        // trace) is identical across runs.
+        doomed.sort_unstable();
         let name = self
             .nodes
             .get(&node)
             .map(|n| n.name.clone())
             .unwrap_or_default();
         self.trace_log(format!("crash {node} ({name})"));
+        self.record_fault(fault_codes::CRASH_NODE, node.0 as u64, 0);
         if !doomed.is_empty() {
             let t = self.now;
             self.schedule(t, EventKind::Reap(doomed));
@@ -343,6 +406,7 @@ impl Kernel {
             n.procs.clear();
         }
         self.trace_log(format!("revive {node}"));
+        self.record_fault(fault_codes::REVIVE_NODE, node.0 as u64, 0);
     }
 
     pub fn node_alive(&self, node: NodeId) -> bool {

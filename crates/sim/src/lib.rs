@@ -48,6 +48,7 @@ mod ids;
 mod kernel;
 mod mailbox;
 mod process;
+mod record;
 mod resource;
 mod rng;
 mod sim;
@@ -59,6 +60,7 @@ pub use handle::SimHandle;
 pub use ids::{NodeId, ProcId};
 pub use mailbox::{select2, select2_deadline, Either, MailboxRx, MailboxTx};
 pub use process::ProcOutput;
+pub use record::{fault_codes, SimTrace, StepTag, TraceStep};
 pub use resource::Resource;
 pub use rng::SimRng;
 pub use sim::{RunStats, Simulation};

@@ -76,6 +76,12 @@ where
             nrec.procs.insert(pid);
         }
         let rng = k.proc_rng(pid);
+        k.checkpoint(
+            crate::record::StepTag::Spawn,
+            pid.0,
+            node.map(|n| n.0 as u64 + 1).unwrap_or(0),
+            crate::record::fnv1a(name.as_bytes()),
+        );
         (pid, k.yield_tx.clone(), rng, k.now)
     };
 
@@ -117,6 +123,7 @@ where
             let _ = ctx.yield_tx().send(YieldMsg {
                 pid,
                 kind: YieldKind::Exited { panic: panic_msg },
+                rng_digest: ctx.rng_digest(),
             });
         })
         .expect("failed to spawn simulator thread");

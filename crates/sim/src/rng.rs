@@ -73,6 +73,21 @@ impl SimRng {
         result
     }
 
+    /// A 64-bit digest of the generator's current state.
+    ///
+    /// The xoshiro state is a perfect summary of the draw history from a
+    /// given starting state, so comparing digests at matching points of two
+    /// runs detects any divergence in the number or order of draws. Does
+    /// not advance the generator.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in &self.s {
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+            h ^= h >> 29;
+        }
+        h
+    }
+
     /// The next 32-bit value.
     pub fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32

@@ -14,6 +14,7 @@ use crate::kernel::{
 };
 use crate::mailbox::{channel_impl, MailboxRx, MailboxTx};
 use crate::process::ProcOutput;
+use crate::record::{RecMode, SimTrace, StepTag};
 use crate::time::SimTime;
 
 /// Statistics returned by [`Simulation::run`].
@@ -73,6 +74,34 @@ impl Simulation {
             yield_rx,
             poisoned: None,
         }
+    }
+
+    /// Creates a simulation that records its decision trace (see
+    /// [`crate::record`]). Must be used instead of [`Simulation::new`]
+    /// *before* any process is spawned, so the trace covers the whole run.
+    pub fn recording(seed: u64) -> Self {
+        let sim = Simulation::new(seed);
+        sim.shared.lock().rec = RecMode::Record(Vec::new());
+        sim
+    }
+
+    /// Creates a simulation that replays (verifies against) a recorded
+    /// trace: the same program must be re-run on it, and the first decision
+    /// that departs from the trace panics with a `replay divergence`
+    /// message. The seed is taken from the trace.
+    pub fn replaying(trace: &SimTrace) -> Self {
+        let sim = Simulation::new(trace.seed);
+        sim.shared.lock().rec = RecMode::Replay {
+            steps: trace.steps.clone(),
+            cursor: 0,
+        };
+        sim
+    }
+
+    /// A snapshot of the decision trace recorded so far; `None` unless the
+    /// simulation was created with [`Simulation::recording`].
+    pub fn take_recording(&self) -> Option<SimTrace> {
+        self.shared.lock().snapshot_recording()
     }
 
     /// Enables trace collection (see [`take_trace`](Simulation::take_trace)).
@@ -193,6 +222,7 @@ impl Simulation {
                         let ev = k.pop_event().expect("peeked event vanished");
                         k.now = ev.time;
                         k.events_processed += 1;
+                        k.checkpoint_event(&ev);
                         ev
                     }
                 }
@@ -272,7 +302,15 @@ impl Simulation {
             p.state = ProcState::Running;
             p.block = BlockKind::None;
             p.gen += 1;
-            p.resume_tx.clone()
+            let tx = p.resume_tx.clone();
+            let (code, idx) = match reason {
+                WakeReason::First => (0, 0),
+                WakeReason::Slept => (1, 0),
+                WakeReason::MailboxReady(i) => (2, i as u64),
+                WakeReason::TimedOut => (3, 0),
+            };
+            k.checkpoint(StepTag::Resume, pid.0, code, idx);
+            tx
         };
         if tx.send(Resume::Go(reason)).is_err() {
             return;
@@ -288,6 +326,12 @@ impl Simulation {
     fn process_yield(&mut self, y: YieldMsg) {
         let pid = y.pid;
         let mut k = self.shared.lock();
+        let kind_code = match &y.kind {
+            YieldKind::Sleep { .. } => 0,
+            YieldKind::Wait { .. } => 1,
+            YieldKind::Exited { .. } => 2,
+        };
+        k.checkpoint(StepTag::Yield, pid.0, kind_code, y.rng_digest);
         match y.kind {
             YieldKind::Sleep { until } => {
                 let gen = {

@@ -1,0 +1,149 @@
+//! Record/replay behavior of the simulation kernel: same-seed runs yield
+//! identical traces (including across node crashes), replay of a recorded
+//! run verifies cleanly, and a divergent re-run panics at the first
+//! departing decision.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use amoeba_sim::{SimTrace, Simulation};
+
+/// A small program with messaging, sleeping, RNG draws and a node crash —
+/// enough moving parts to exercise every step tag.
+fn busy_program(sim: &Simulation, crash: bool) {
+    let node = sim.add_node("victim");
+    let (tx, rx) = sim.channel::<u64>();
+    for i in 0..4 {
+        let tx = tx.clone();
+        sim.spawn(&format!("producer-{i}"), move |ctx| {
+            for round in 0..8u64 {
+                let jitter = ctx.with_rng(|r| r.range(0, 500));
+                ctx.sleep(Duration::from_micros(100 + jitter));
+                tx.send(i * 100 + round);
+            }
+        });
+    }
+    sim.spawn_on(node, "doomed", |ctx| loop {
+        ctx.sleep(Duration::from_micros(50));
+        ctx.with_rng(|r| r.next_u64());
+    });
+    sim.spawn_on(node, "doomed-2", |ctx| loop {
+        ctx.sleep(Duration::from_micros(70));
+    });
+    sim.spawn("consumer", move |ctx| {
+        let mut got = 0u32;
+        while got < 32 {
+            if rx
+                .recv_deadline(ctx, ctx.now() + Duration::from_millis(50))
+                .is_some()
+            {
+                got += 1;
+            } else {
+                break;
+            }
+        }
+        got
+    });
+    if crash {
+        sim.spawn("chaos", move |ctx| {
+            ctx.sleep(Duration::from_millis(1));
+            ctx.crash_node(node);
+            ctx.sleep(Duration::from_millis(1));
+            ctx.revive_node(node);
+        });
+    }
+}
+
+fn record_once(seed: u64, crash: bool) -> SimTrace {
+    let mut sim = Simulation::recording(seed);
+    busy_program(&sim, crash);
+    sim.run_until(amoeba_sim::SimTime::from_millis(20));
+    sim.take_recording().expect("recording was enabled")
+}
+
+#[test]
+fn same_seed_double_run_traces_are_identical() {
+    let a = record_once(42, false);
+    let b = record_once(42, false);
+    assert!(!a.steps.is_empty());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn traces_are_identical_across_node_crashes() {
+    // Pins the sorted-reap fix: the crashed node hosts several processes
+    // whose HashSet iteration order varies between runs.
+    let a = record_once(7, true);
+    let b = record_once(7, true);
+    assert_eq!(a, b);
+    // The crash and revive show up as fault steps.
+    let faults: Vec<_> = a
+        .steps
+        .iter()
+        .filter(|s| s.tag == amoeba_sim::StepTag::Fault)
+        .collect();
+    assert!(faults
+        .iter()
+        .any(|s| s.a == amoeba_sim::fault_codes::CRASH_NODE));
+    assert!(faults
+        .iter()
+        .any(|s| s.a == amoeba_sim::fault_codes::REVIVE_NODE));
+}
+
+#[test]
+fn trace_roundtrips_through_bytes() {
+    let t = record_once(9, true);
+    let bytes = t.to_bytes();
+    assert_eq!(SimTrace::from_bytes(&bytes).unwrap(), t);
+}
+
+#[test]
+fn replay_of_same_program_verifies_cleanly() {
+    let trace = record_once(11, true);
+    let mut sim = Simulation::replaying(&trace);
+    busy_program(&sim, true);
+    sim.run_until(amoeba_sim::SimTime::from_millis(20));
+}
+
+#[test]
+fn replay_of_divergent_program_panics() {
+    let trace = record_once(13, false);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut sim = Simulation::replaying(&trace);
+        // Same seed, different program: one extra early process shifts
+        // every subsequent scheduling decision.
+        sim.spawn("intruder", |ctx| ctx.sleep(Duration::from_micros(1)));
+        busy_program(&sim, false);
+        sim.run_until(amoeba_sim::SimTime::from_millis(20));
+    }));
+    let err = result.expect_err("divergent replay must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("replay divergence"), "unexpected panic: {msg}");
+}
+
+#[test]
+fn recording_survives_a_process_panic() {
+    // A runner wraps the simulation in catch_unwind and pulls the trace
+    // from a handle afterwards — the failure-capture path explore uses.
+    let mut handle_slot = None;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut sim = Simulation::recording(17);
+        handle_slot = Some(sim.handle());
+        sim.spawn("bomb", |ctx| {
+            ctx.sleep(Duration::from_millis(2));
+            panic!("boom at 2ms");
+        });
+        sim.run();
+    }));
+    assert!(result.is_err());
+    let trace = handle_slot
+        .unwrap()
+        .snapshot_recording()
+        .expect("trace retrievable after panic");
+    assert!(!trace.steps.is_empty());
+    assert_eq!(trace.seed, 17);
+}
