@@ -49,12 +49,24 @@
 //! identical — recording must never perturb the kernel — and the run
 //! reports the host wall-clock overhead plus trace size.
 //!
+//! A ninth, `<label>+telemetry`, A/Bs the causal-tracing telemetry
+//! layer on vs off over the same append burst: the simulated numbers
+//! are asserted **bit-identical** (tracing rides out-of-band packet
+//! metadata and never touches the scheduler), so the reported cost is
+//! purely host wall-clock, alongside the span/flow counts recorded.
+//! The update-burst and read-mix sections also report per-op-family
+//! p50/p95/p99 latencies from the telemetry histograms.
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
 //! (append `--internetwork-only` / `--shards-only` / `--migration-only`
-//! / `--read-mix-only` / `--record-only` to refresh just that run). The `ci-smoke` label runs a seconds-long
+//! / `--read-mix-only` / `--record-only` / `--telemetry-only` to
+//! refresh just that run). The `ci-smoke` label runs a seconds-long
 //! subset with tiny iteration counts against a scratch output file and
 //! asserts the emitted JSON is valid — the CI guard against bench
-//! bit-rot.
+//! bit-rot. The `trace` label instead runs one traced 4-shard cached
+//! deployment and writes its Perfetto/Chrome trace to the given path
+//! (default `BENCH_trace.json`), asserting the span tree is connected
+//! and the export validates.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -74,6 +86,7 @@ fn main() {
     let migration_only = args.iter().any(|a| a == "--migration-only");
     let read_mix_only = args.iter().any(|a| a == "--read-mix-only");
     let record_only = args.iter().any(|a| a == "--record-only");
+    let telemetry_only = args.iter().any(|a| a == "--telemetry-only");
     let mut pos = args.iter().filter(|a| !a.starts_with("--"));
     let label = pos
         .next()
@@ -85,6 +98,16 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
     if label == "ci-smoke" {
         ci_smoke();
+        return;
+    }
+    if label == "trace" {
+        let out = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .nth(1)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("BENCH_trace.json"));
+        trace_export(&out);
         return;
     }
     if inet_only {
@@ -117,6 +140,12 @@ fn main() {
         println!("appended record-overhead run to {}", out_path.display());
         return;
     }
+    if telemetry_only {
+        let telemetry = telemetry_overhead_run(&label);
+        append_run(&out_path, "pipeline", &telemetry).expect("write BENCH_pipeline.json");
+        println!("appended telemetry-overhead run to {}", out_path.display());
+        return;
+    }
     println!("pipeline bench — run '{label}'");
     let mut run = RunSummary {
         label: label.clone(),
@@ -125,7 +154,9 @@ fn main() {
     for variant in [Variant::Group, Variant::GroupNvram, Variant::Rpc] {
         run.variants.push(measure(variant, None, None, false).0);
     }
-    run.variants.push(update_burst(Variant::Group, None));
+    let (burst, burst_latency) = update_burst(Variant::Group, None);
+    run.variants.push(burst);
+    run.network.extend(burst_latency);
     run.group_pipeline = group_layer_points(16);
     run.micro = micro_points();
     append_run(&out_path, "pipeline", &run).expect("write BENCH_pipeline.json");
@@ -155,7 +186,9 @@ fn main() {
             .variants
             .push(measure(variant, None, Some(1), false).0);
     }
-    noapply.variants.push(update_burst(Variant::Group, Some(1)));
+    let (burst, burst_latency) = update_burst(Variant::Group, Some(1));
+    noapply.variants.push(burst);
+    noapply.network.extend(burst_latency);
     append_run(&out_path, "pipeline", &noapply).expect("write BENCH_pipeline.json");
 
     // A/B three: flat LAN vs two-segment routed internetwork.
@@ -178,6 +211,10 @@ fn main() {
     // A/B seven: kernel decision-trace recording on vs off.
     let record = record_overhead_run(&label);
     append_run(&out_path, "pipeline", &record).expect("write BENCH_pipeline.json");
+
+    // A/B eight: causal-tracing telemetry on vs off.
+    let telemetry = telemetry_overhead_run(&label);
+    append_run(&out_path, "pipeline", &telemetry).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
 }
 
@@ -238,6 +275,168 @@ fn record_overhead_run(label: &str) -> RunSummary {
     run.network
         .push(("record/trace_bytes".into(), on.trace_bytes as f64));
     run
+}
+
+/// The telemetry-overhead A/B: the same closed-loop append burst with
+/// the causal-tracing collector absent vs installed. Tracing rides
+/// out-of-band packet metadata and never touches the simulated clock,
+/// so the simulated numbers are asserted bit-identical — the only cost
+/// is host wall-clock, which must stay within ~1.15× of the untraced
+/// run.
+fn telemetry_overhead_run(label: &str) -> RunSummary {
+    use amoeba_bench::traced_update_burst;
+    use std::time::Instant;
+
+    const N_WRITERS: usize = 6;
+    let warmup = Duration::from_secs(1);
+    let window = Duration::from_secs(4);
+    let mut run = RunSummary {
+        label: format!("{label}+telemetry"),
+        ..Default::default()
+    };
+    // Warm once (page in code paths), then time both arms.
+    let _ = traced_update_burst(false, N_WRITERS, warmup, window, 0x7E1E);
+    let t = Instant::now();
+    let off = traced_update_burst(false, N_WRITERS, warmup, window, 0x7E1E);
+    let off_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let on = traced_update_burst(true, N_WRITERS, warmup, window, 0x7E1E);
+    let on_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        (off.ops_per_sec.to_bits(), off.end),
+        (on.ops_per_sec.to_bits(), on.end),
+        "telemetry must not perturb the simulated run"
+    );
+    println!(
+        "  telemetry-overhead: {N_WRITERS} writers: {:.0} appends/s either way; \
+         host {:.0} ms untraced vs {:.0} ms traced ({:.2}×), {} spans, {} flows",
+        off.ops_per_sec,
+        off_ms,
+        on_ms,
+        on_ms / off_ms,
+        on.spans,
+        on.flows
+    );
+    run.network
+        .push(("telemetry/off/host_wall_ms".into(), off_ms));
+    run.network
+        .push(("telemetry/on/host_wall_ms".into(), on_ms));
+    run.network
+        .push(("telemetry/host_overhead_ratio".into(), on_ms / off_ms));
+    run.network
+        .push(("telemetry/spans".into(), on.spans as f64));
+    run.network
+        .push(("telemetry/flows".into(), on.flows as f64));
+    run
+}
+
+/// `pipeline -- trace [out.json]`: runs a small traced 4-shard cached
+/// deployment, drives one cross-shard keyed create (plus a lease-held
+/// write so the revocation fan-out shows up), asserts the client op's
+/// span tree is connected across ≥3 machines, and exports the whole
+/// run as Chrome-trace-event JSON that `chrome://tracing` / Perfetto
+/// can open. The export is re-parsed and validated before writing.
+fn trace_export(out: &std::path::Path) {
+    use amoeba_bench::testbed_traced;
+    use amoeba_dir_core::{CacheParams, ClusterReport};
+
+    println!("trace export — 4-shard traced deployment");
+    let ttl = Duration::from_secs(3);
+    let (mut tb, tele) = testbed_traced(Variant::Group, 0x7AACE, |p| {
+        p.shards = 4;
+        p.dir.max_lease = ttl;
+        p.dir_cache = Some(CacheParams {
+            ttl,
+            ..CacheParams::default()
+        });
+    });
+    // A fresh post-formation directory, seeded with the row the reader
+    // resolves (the read-mix idiom — a formation-time directory can sit
+    // behind a replica that missed its create and refuses lease grants).
+    let client = tb.client.clone();
+    let made = tb.sim.spawn("trace-setup", move |ctx| {
+        let dir = client.create_dir(ctx, &["owner", "other"]).expect("dir");
+        client
+            .append_row(ctx, dir, "payload", dir, vec![Rights::ALL, Rights::NONE])
+            .expect("seed row");
+        dir
+    });
+    tb.sim.run_for(Duration::from_secs(5));
+    let dir = made.take().expect("trace directory created");
+
+    // A cached reader holds a read lease on the directory, so the
+    // traced write below pays a revocation fan-out the trace can show.
+    let (reader, _) = tb.cluster.client(&tb.sim);
+    let rd = reader.clone();
+    tb.sim.spawn("trace-reader", move |ctx| {
+        for _ in 0..60 {
+            let _ = rd.lookup(ctx, dir, "payload");
+            ctx.sleep(Duration::from_millis(50));
+        }
+    });
+    let client = tb.client.clone();
+    let root = tb.root;
+    let done = tb.sim.spawn("trace-writer", move |ctx| {
+        // Let the reader take its lease first.
+        ctx.sleep(Duration::from_millis(500));
+        client
+            .append_row(ctx, dir, "traced", dir, vec![Rights::ALL, Rights::NONE])
+            .expect("traced append");
+        let sub = client
+            .create_in(
+                ctx,
+                root,
+                "subdir",
+                &["owner", "other"],
+                vec![Rights::ALL, Rights::ALL],
+            )
+            .expect("traced create_in");
+        let _ = client.lookup(ctx, sub, "nothing");
+        true
+    });
+    tb.sim.run_for(Duration::from_secs(10));
+    assert_eq!(done.take(), Some(true), "traced workload completed");
+    let reader_stats = reader.cache_stats().expect("reader has a cache");
+    assert!(reader_stats.hits > 0, "the traced reader must serve hits");
+    assert!(
+        reader_stats.invalidations > 0,
+        "the traced write must revoke the reader's lease"
+    );
+
+    let spans = tele.spans();
+    let create_root = spans
+        .iter()
+        .find(|s| s.name == "cli.create_in" && s.parent == 0)
+        .expect("cli.create_in root span");
+    let (roots, orphans, machines) = amoeba_telemetry::span_tree_stats(&spans, create_root.trace);
+    assert_eq!((roots, orphans), (1, 0), "create_in span tree connected");
+    assert!(machines >= 3, "create_in touched only {machines} machines");
+    assert!(
+        spans.iter().any(|s| s.name == "cache.inval"),
+        "the revocation fan-out must appear as cache.inval spans"
+    );
+
+    let json = tele.export_chrome_json();
+    let summary = amoeba_telemetry::validate_chrome_trace(&json).expect("exported trace validates");
+    std::fs::write(out, &json).expect("write trace file");
+
+    // The unified snapshot: one report over the whole deployment.
+    let mut report = ClusterReport::collect(&tb.cluster, &tb.sim.handle());
+    if let Some(cs) = tb.client.cache_stats() {
+        report.add_client("writer", cs);
+    }
+    if let Some(cs) = reader.cache_stats() {
+        report.add_client("reader", cs);
+    }
+    let (applied, sends, writes) = report.totals();
+    println!(
+        "  {} events ({} slices, {} flow pairs, {} tracks); create_in tree: \
+         1 root, 0 orphans, {machines} machines",
+        summary.events, summary.slices, summary.flow_pairs, summary.tracks
+    );
+    println!("  cluster totals: {applied} ops applied, {sends} group sends, {writes} disk writes");
+    println!("{}", report.to_json());
+    println!("wrote {}", out.display());
 }
 
 /// The cached-read-path A/B: the zipfian read mix (readers resolving
@@ -305,6 +504,19 @@ fn read_mix_run(label: &str) -> RunSummary {
             ));
             run.network
                 .push(("read-mix/cached/renewals".into(), r.cache.renewals as f64));
+            run.network.push((
+                "read-mix/cached/renewals_saved".into(),
+                r.cache.renewals_saved as f64,
+            ));
+        }
+        // Per-op-family latency percentiles from the telemetry layer.
+        for (family, p50, p95, p99) in &r.latency {
+            run.network
+                .push((format!("read-mix/{tag}/{family}/p50_ms"), *p50));
+            run.network
+                .push((format!("read-mix/{tag}/{family}/p95_ms"), *p95));
+            run.network
+                .push((format!("read-mix/{tag}/{family}/p99_ms"), *p99));
         }
     }
     run.network.push((
@@ -573,6 +785,60 @@ fn ci_smoke() {
     });
     run.network
         .push(("read-mix/cached/hit_rate".into(), rm.hit_rate));
+    assert!(
+        rm.latency.iter().any(|(f, ..)| f == "cli.lookup"),
+        "read-mix smoke run must report cli.lookup latency percentiles"
+    );
+    for (family, p50, p95, p99) in &rm.latency {
+        run.network
+            .push((format!("read-mix/cached/{family}/p50_ms"), *p50));
+        run.network
+            .push((format!("read-mix/cached/{family}/p95_ms"), *p95));
+        run.network
+            .push((format!("read-mix/cached/{family}/p99_ms"), *p99));
+    }
+    // Causal tracing: a tiny traced deployment must export Chrome trace
+    // JSON that re-parses with a connected client-op span tree.
+    let (mut ttb, tele) = amoeba_bench::testbed_traced(Variant::Group, 0xC1, |p| p.shards = 2);
+    let client = ttb.client.clone();
+    let root = ttb.root;
+    let done = ttb.sim.spawn("ci-trace", move |ctx| {
+        client
+            .create_in(
+                ctx,
+                root,
+                "sub",
+                &["owner", "other"],
+                vec![Rights::ALL, Rights::ALL],
+            )
+            .is_ok()
+    });
+    ttb.sim.run_for(Duration::from_secs(10));
+    assert_eq!(done.take(), Some(true), "ci-smoke: traced create_in");
+    let spans = tele.spans();
+    let root_span = spans
+        .iter()
+        .find(|s| s.name == "cli.create_in" && s.parent == 0)
+        .expect("ci-smoke: cli.create_in root span");
+    let (roots, orphans, machines) = amoeba_telemetry::span_tree_stats(&spans, root_span.trace);
+    assert_eq!(
+        (roots, orphans),
+        (1, 0),
+        "ci-smoke: create_in span tree must be connected"
+    );
+    assert!(
+        machines >= 3,
+        "ci-smoke: traced create_in touched only {machines} machines"
+    );
+    let trace_json = tele.export_chrome_json();
+    let tsum = amoeba_telemetry::validate_chrome_trace(&trace_json)
+        .expect("ci-smoke: exported trace must validate");
+    assert!(
+        tsum.flow_pairs > 0,
+        "ci-smoke: the trace must bind flow arrows to slices"
+    );
+    run.network
+        .push(("trace/slices".into(), tsum.slices as f64));
     run.micro = micro_points();
     // Emit to a scratch file and verify the JSON shape end to end
     // (append twice: creation and the splice-before-footer path).
@@ -599,6 +865,10 @@ fn ci_smoke() {
         text.contains("ci-smoke/read-mix/shards=2/cached")
             && text.contains("read-mix/cached/hit_rate"),
         "ci-smoke: the read-mix section must be present in the JSON"
+    );
+    assert!(
+        text.contains("read-mix/cached/cli.lookup/p50_ms") && text.contains("/p99_ms"),
+        "ci-smoke: latency percentile entries must be present in the JSON"
     );
     std::fs::remove_file(&path).expect("ci-smoke: cleanup");
     println!(
@@ -744,7 +1014,10 @@ fn group_layer_points(max_batch: usize) -> Vec<(String, f64, f64)> {
 /// many closed-loop writers appending unique rows to one directory, so
 /// the replica driver sees deep batches and group commit coalesces
 /// their disk work. One durable flush per *batch* instead of per *op*.
-fn update_burst(variant: Variant, apply_batch: Option<usize>) -> VariantSummary {
+fn update_burst(
+    variant: Variant,
+    apply_batch: Option<usize>,
+) -> (VariantSummary, Vec<(String, f64)>) {
     use amoeba_dir_core::{DirClientError, DirError};
     const N_WRITERS: usize = 12;
     let mut label = format!("{}/update-burst", variant.label());
@@ -758,6 +1031,9 @@ fn update_burst(variant: Variant, apply_batch: Option<usize>) -> VariantSummary 
         }
     };
     let mut tb = testbed_with(variant, 0xB57 + N_WRITERS as u64, tweak);
+    // Percentiles for the burst itself: metrics-only, installed after
+    // the testbed formed so setup ops stay out of the histograms.
+    let tele = amoeba_telemetry::Telemetry::install_metrics_only(&tb.sim.handle());
     let ops = throughput(
         &mut tb,
         N_WRITERS,
@@ -776,14 +1052,23 @@ fn update_burst(variant: Variant, apply_batch: Option<usize>) -> VariantSummary 
         },
     );
     println!("    {ops:.0} appends/s at {N_WRITERS} writers");
-    VariantSummary {
-        variant: label,
-        n_clients: N_WRITERS,
-        lookup_ops_per_sec: f64::NAN,
-        update_ops_per_sec: ops,
-        lookup_latency_ms: f64::NAN,
-        update_latency_ms: f64::NAN,
+    let mut points = Vec::new();
+    for (family, p50, p95, p99) in amoeba_bench::latency_rows(&tele.metrics()) {
+        points.push((format!("{label}/{family}/p50_ms"), p50));
+        points.push((format!("{label}/{family}/p95_ms"), p95));
+        points.push((format!("{label}/{family}/p99_ms"), p99));
     }
+    (
+        VariantSummary {
+            variant: label,
+            n_clients: N_WRITERS,
+            lookup_ops_per_sec: f64::NAN,
+            update_ops_per_sec: ops,
+            lookup_latency_ms: f64::NAN,
+            update_latency_ms: f64::NAN,
+        },
+        points,
+    )
 }
 
 /// Latency + throughput of one variant configuration. Returns the

@@ -55,7 +55,31 @@ pub fn testbed_with(
     seed: u64,
     tweak: impl FnOnce(&mut ClusterParams),
 ) -> Testbed {
+    testbed_inner(variant, seed, tweak, false).0
+}
+
+/// [`testbed_with`] under full causal tracing: installs a
+/// [`Telemetry`](amoeba_telemetry::Telemetry) collector *before* the
+/// cluster starts (so every machine track is named) and returns the
+/// handle alongside the testbed. Every client op from here on records
+/// a span tree and per-family latency histograms.
+pub fn testbed_traced(
+    variant: Variant,
+    seed: u64,
+    tweak: impl FnOnce(&mut ClusterParams),
+) -> (Testbed, amoeba_telemetry::Telemetry) {
+    let (tb, tele) = testbed_inner(variant, seed, tweak, true);
+    (tb, tele.expect("traced testbed installs telemetry"))
+}
+
+fn testbed_inner(
+    variant: Variant,
+    seed: u64,
+    tweak: impl FnOnce(&mut ClusterParams),
+    traced: bool,
+) -> (Testbed, Option<amoeba_telemetry::Telemetry>) {
     let mut sim = Simulation::new(seed);
+    let tele = traced.then(|| amoeba_telemetry::Telemetry::install(&sim.handle()));
     let mut params = ClusterParams::paper(variant);
     params.seed = seed;
     tweak(&mut params);
@@ -70,12 +94,15 @@ pub fn testbed_with(
     });
     sim.run_for(Duration::from_secs(60));
     let root = out.take().expect("service failed to form within 60 s");
-    Testbed {
-        sim,
-        cluster,
-        root,
-        client,
-    }
+    (
+        Testbed {
+            sim,
+            cluster,
+            root,
+            client,
+        },
+        tele,
+    )
 }
 
 /// Measures mean latency (ms) of `op` over `iters` runs from one client.
@@ -357,6 +384,27 @@ pub struct ReadMixResult {
     pub hit_rate: f64,
     /// Aggregate reader-side cache counters (zeros with the cache off).
     pub cache: CacheStats,
+    /// Per-op-family latency percentiles over the whole run, from the
+    /// telemetry layer's histograms: `(family, p50_ms, p95_ms, p99_ms)`
+    /// rows, one per client-op family that saw traffic.
+    pub latency: Vec<(String, f64, f64, f64)>,
+}
+
+/// Flattens a metrics snapshot into `(family, p50_ms, p95_ms, p99_ms)`
+/// rows for every histogram family with at least one observation.
+pub fn latency_rows(m: &amoeba_telemetry::MetricsSnapshot) -> Vec<(String, f64, f64, f64)> {
+    m.hists
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(family, h)| {
+            (
+                family.clone(),
+                h.percentile(50.0) as f64 / 1e3,
+                h.percentile(95.0) as f64 / 1e3,
+                h.percentile(99.0) as f64 / 1e3,
+            )
+        })
+        .collect()
 }
 
 /// The production read-mix harness behind the `+readmix` A/B: a sharded
@@ -437,6 +485,10 @@ pub fn read_mix_burst(
     let dirs = Arc::new(made.take().expect("read-mix directories created"));
     let zipf = Arc::new(zipf_cdf(n_dirs, 1.1));
 
+    // Percentiles for the measured mix only: install the metrics-only
+    // collector after setup, so histograms exclude directory seeding.
+    let tele = amoeba_telemetry::Telemetry::install_metrics_only(&tb.sim.handle());
+
     let t_start = tb.sim.now() + warmup;
     let t_end = t_start + window;
     let lookups = Arc::new(AtomicU64::new(0));
@@ -504,6 +556,7 @@ pub fn read_mix_burst(
             cache.invalidations += s.invalidations;
             cache.renewals += s.renewals;
             cache.stale_rejects += s.stale_rejects;
+            cache.renewals_saved += s.renewals_saved;
         }
     }
     let issued = cache.hits + cache.misses + cache.renewals + cache.stale_rejects;
@@ -522,6 +575,64 @@ pub fn read_mix_burst(
             f64::NAN
         },
         cache,
+        latency: latency_rows(&tele.metrics()),
+    }
+}
+
+/// One arm of the telemetry-overhead A/B.
+///
+/// The simulated-clock fields (`ops_per_sec`, `end`) must be
+/// bit-identical across the traced and untraced arms — tracing rides
+/// out-of-band metadata, never touches the wire or the scheduler — so
+/// the only cost of turning it on is host-side, which the pipeline
+/// bench times around this call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedBurstResult {
+    /// Completed appends per simulated second over the window.
+    pub ops_per_sec: f64,
+    /// Simulated time when the run stopped.
+    pub end: SimTime,
+    /// Spans recorded (0 in the untraced arm).
+    pub spans: usize,
+    /// Packet flow edges recorded (0 in the untraced arm).
+    pub flows: usize,
+}
+
+/// The telemetry-overhead workload: `n_writers` closed-loop writers
+/// appending unique rows to one group-replicated directory, with full
+/// span tracing either installed (`traced`) or absent.
+pub fn traced_update_burst(
+    traced: bool,
+    n_writers: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+) -> TracedBurstResult {
+    use amoeba_dir_core::{DirClientError, DirError};
+    let (mut tb, tele) = testbed_inner(Variant::Group, seed, |_| {}, traced);
+    let ops_per_sec = throughput(
+        &mut tb,
+        n_writers,
+        warmup,
+        window,
+        |ctx, client, root, c, k| {
+            let name = format!("t{c}-{k}");
+            for _ in 0..6 {
+                match client.append_row(ctx, root, &name, root, vec![Rights::ALL, Rights::NONE]) {
+                    Ok(()) => return true,
+                    Err(DirClientError::Service(DirError::DuplicateName)) => return true,
+                    Err(_) => ctx.sleep(Duration::from_millis(10)),
+                }
+            }
+            false
+        },
+    );
+    let tele = tele.unwrap_or_else(amoeba_telemetry::Telemetry::disabled);
+    TracedBurstResult {
+        ops_per_sec,
+        end: tb.sim.now(),
+        spans: tele.spans().len(),
+        flows: tele.flows().len(),
     }
 }
 

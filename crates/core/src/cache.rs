@@ -391,12 +391,18 @@ pub fn start_invalidation_listener(
     spawner.spawn_boxed(
         Some(sim_node),
         "dir-cache-inval",
-        Box::new(move |ctx| loop {
-            let incoming = srv.getreq(ctx);
-            if let Some((port, object)) = decode_invalidation(&incoming.data) {
-                cache.invalidate(port, object);
+        Box::new(move |ctx| {
+            let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+            let machine = u64::from(srv.addr().0);
+            loop {
+                let incoming = srv.getreq(ctx);
+                let span = tele.begin_child("cache.inval", machine, incoming.trace);
+                if let Some((port, object)) = decode_invalidation(&incoming.data) {
+                    cache.invalidate(port, object);
+                }
+                tele.end(span);
+                srv.putrep(&incoming, WireWriter::new().finish());
             }
-            srv.putrep(&incoming, WireWriter::new().finish());
         }),
     );
 }

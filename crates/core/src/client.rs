@@ -28,6 +28,7 @@ use std::sync::Arc;
 use amoeba_flip::Port;
 use amoeba_rpc::{RpcClient, RpcError};
 use amoeba_sim::Ctx;
+use amoeba_telemetry::Telemetry;
 
 use crate::cache::{CacheStats, DirCache};
 use crate::capability::Capability;
@@ -190,6 +191,39 @@ impl DirClient {
         }
     }
 
+    /// Wraps one public operation in a client span and a latency
+    /// histogram observation (family = span name, e.g. `cli.create_in`).
+    /// The span is a root when the process has no ambient trace context
+    /// (the normal case) and a child when one composite public op (e.g.
+    /// [`delete_from`](DirClient::delete_from)) calls another, so every
+    /// top-level client call yields exactly one connected span tree.
+    /// With telemetry disabled this is a plain call to `f`.
+    fn op<T>(
+        &self,
+        ctx: &Ctx,
+        name: &'static str,
+        f: impl FnOnce() -> Result<T, DirClientError>,
+    ) -> Result<T, DirClientError> {
+        let tele = Telemetry::from_handle(&ctx.handle());
+        if !tele.is_enabled() {
+            return f();
+        }
+        let machine = u64::from(self.rpc.addr().0);
+        let outer = amoeba_telemetry::current_ctx();
+        let span = if outer.is_some() {
+            tele.begin_child(name, machine, outer)
+        } else {
+            tele.begin_root(name, machine)
+        };
+        let prev = amoeba_telemetry::set_current_ctx(span);
+        let start = ctx.now();
+        let r = f();
+        amoeba_telemetry::set_current_ctx(prev);
+        tele.end(span);
+        tele.observe_since(name, start);
+        r
+    }
+
     fn call(&self, ctx: &Ctx, port: Port, req: &DirRequest) -> Result<DirReply, DirClientError> {
         let bytes = self.rpc.trans(ctx, port, req.encode())?;
         DirReply::decode(&bytes).map_err(|_| DirClientError::Protocol)
@@ -297,7 +331,9 @@ impl DirClient {
         let req = DirRequest::CreateDir {
             columns: columns.iter().map(|s| (*s).to_owned()).collect(),
         };
-        self.expect_cap(ctx, self.create_port(), &req)
+        self.op(ctx, "cli.create_dir", || {
+            self.expect_cap(ctx, self.create_port(), &req)
+        })
     }
 
     /// Creates a directory *and links it into `parent` under `name`* —
@@ -315,6 +351,19 @@ impl DirClient {
     /// Service errors or transport failures; after a partial failure,
     /// retry the whole call.
     pub fn create_in(
+        &self,
+        ctx: &Ctx,
+        parent: Capability,
+        name: &str,
+        columns: &[&str],
+        col_rights: Vec<Rights>,
+    ) -> Result<Capability, DirClientError> {
+        self.op(ctx, "cli.create_in", || {
+            self.create_in_inner(ctx, parent, name, columns, col_rights)
+        })
+    }
+
+    fn create_in_inner(
         &self,
         ctx: &Ctx,
         parent: Capability,
@@ -390,6 +439,17 @@ impl DirClient {
         parent: Capability,
         name: &str,
     ) -> Result<(), DirClientError> {
+        self.op(ctx, "cli.delete_from", || {
+            self.delete_from_inner(ctx, parent, name)
+        })
+    }
+
+    fn delete_from_inner(
+        &self,
+        ctx: &Ctx,
+        parent: Capability,
+        name: &str,
+    ) -> Result<(), DirClientError> {
         if let Some(child) = self.lookup(ctx, parent, name)? {
             let ours = match &*self.route {
                 Route::Single(p) => child.port == *p,
@@ -417,7 +477,9 @@ impl DirClient {
     ///
     /// Service errors or transport failures.
     pub fn delete_dir(&self, ctx: &Ctx, cap: Capability) -> Result<(), DirClientError> {
-        self.expect_ok_chasing(ctx, cap, |c| DirRequest::DeleteDir { cap: c })
+        self.op(ctx, "cli.delete_dir", || {
+            self.expect_ok_chasing(ctx, cap, |c| DirRequest::DeleteDir { cap: c })
+        })
     }
 
     /// Lists a directory.
@@ -426,14 +488,16 @@ impl DirClient {
     ///
     /// Service errors or transport failures.
     pub fn list(&self, ctx: &Ctx, cap: Capability) -> Result<Listing, DirClientError> {
-        match self
-            .call_chasing(ctx, cap, |c| DirRequest::ListDir { cap: c })?
-            .0
-        {
-            DirReply::Listing { columns, rows } => Ok(Listing { columns, rows }),
-            DirReply::Err(e) => Err(e.into()),
-            _ => Err(DirClientError::Protocol),
-        }
+        self.op(ctx, "cli.list", || {
+            match self
+                .call_chasing(ctx, cap, |c| DirRequest::ListDir { cap: c })?
+                .0
+            {
+                DirReply::Listing { columns, rows } => Ok(Listing { columns, rows }),
+                DirReply::Err(e) => Err(e.into()),
+                _ => Err(DirClientError::Protocol),
+            }
+        })
     }
 
     /// Appends a row (needs [`Rights::MODIFY`] on `dir`).
@@ -449,11 +513,13 @@ impl DirClient {
         cap: Capability,
         col_rights: Vec<Rights>,
     ) -> Result<(), DirClientError> {
-        self.expect_ok_chasing(ctx, dir, |d| DirRequest::AppendRow {
-            dir: d,
-            name: name.to_owned(),
-            cap,
-            col_rights: col_rights.clone(),
+        self.op(ctx, "cli.append_row", || {
+            self.expect_ok_chasing(ctx, dir, |d| DirRequest::AppendRow {
+                dir: d,
+                name: name.to_owned(),
+                cap,
+                col_rights: col_rights.clone(),
+            })
         })
     }
 
@@ -469,10 +535,12 @@ impl DirClient {
         name: &str,
         col_rights: Vec<Rights>,
     ) -> Result<(), DirClientError> {
-        self.expect_ok_chasing(ctx, dir, |d| DirRequest::ChmodRow {
-            dir: d,
-            name: name.to_owned(),
-            col_rights: col_rights.clone(),
+        self.op(ctx, "cli.chmod_row", || {
+            self.expect_ok_chasing(ctx, dir, |d| DirRequest::ChmodRow {
+                dir: d,
+                name: name.to_owned(),
+                col_rights: col_rights.clone(),
+            })
         })
     }
 
@@ -482,9 +550,11 @@ impl DirClient {
     ///
     /// Service errors or transport failures.
     pub fn delete_row(&self, ctx: &Ctx, dir: Capability, name: &str) -> Result<(), DirClientError> {
-        self.expect_ok_chasing(ctx, dir, |d| DirRequest::DeleteRow {
-            dir: d,
-            name: name.to_owned(),
+        self.op(ctx, "cli.delete_row", || {
+            self.expect_ok_chasing(ctx, dir, |d| DirRequest::DeleteRow {
+                dir: d,
+                name: name.to_owned(),
+            })
         })
     }
 
@@ -504,10 +574,10 @@ impl DirClient {
         ctx: &Ctx,
         items: Vec<(Capability, String)>,
     ) -> Result<Vec<Option<Capability>>, DirClientError> {
-        match self.cache.clone() {
+        self.op(ctx, "cli.lookup", || match self.cache.clone() {
             Some(cache) => self.lookup_set_cached(ctx, &cache, items),
             None => self.lookup_set_uncached(ctx, items),
-        }
+        })
     }
 
     /// The cached read path: split lease-covered hits from misses,
@@ -706,6 +776,16 @@ impl DirClient {
         ctx: &Ctx,
         items: Vec<(Capability, String, Capability)>,
     ) -> Result<(), DirClientError> {
+        self.op(ctx, "cli.replace_set", || {
+            self.replace_set_inner(ctx, items)
+        })
+    }
+
+    fn replace_set_inner(
+        &self,
+        ctx: &Ctx,
+        items: Vec<(Capability, String, Capability)>,
+    ) -> Result<(), DirClientError> {
         type Replacement = (Capability, String, Capability);
         // Same bounded re-resolve loop as `lookup_set`. Shard groups
         // already applied before a `Moved` round are re-applied —
@@ -763,6 +843,17 @@ impl DirClient {
     ///
     /// Service errors or transport failures; retry the whole call.
     pub fn migrate(
+        &self,
+        ctx: &Ctx,
+        dir: Capability,
+        target_shard: usize,
+    ) -> Result<Capability, DirClientError> {
+        self.op(ctx, "cli.migrate", || {
+            self.migrate_inner(ctx, dir, target_shard)
+        })
+    }
+
+    fn migrate_inner(
         &self,
         ctx: &Ctx,
         dir: Capability,

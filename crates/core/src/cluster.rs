@@ -429,12 +429,16 @@ impl Cluster {
         );
         let n = params.variant.servers();
         let shards = params.effective_shards();
+        // Name each machine's telemetry track up front; a no-op unless
+        // the caller installed a collector on the simulation first.
+        let tele = amoeba_telemetry::Telemetry::from_handle(&sim.handle());
         let mut columns = Vec::with_capacity(n * shards);
         for shard in 0..shards {
             for index in 0..n {
                 let sim_node = sim.add_node(&format!("dir-column-s{shard}-{index}"));
                 let stack = net.attach_to(params.net_topology.placement(shard, index));
                 let host = stack.addr();
+                tele.name_machine(u64::from(host.0), &format!("dir-s{shard}-{index}"));
                 let vdisk = VDisk::new(DISK_BLOCKS, BLOCK_SIZE);
                 let bullet_store = BulletStore::new(
                     DISK_BLOCKS - TABLE_BLOCKS,
@@ -488,6 +492,8 @@ impl Cluster {
         self.next_client += 1;
         let sim_node = sim.add_node(&format!("client-{id}"));
         let stack = self.net.attach_to(self.params.net_topology.client_segment);
+        amoeba_telemetry::Telemetry::from_handle(&sim.handle())
+            .name_machine(u64::from(stack.addr().0), &format!("client-{id}"));
         let rpc = RpcNode::start(sim, sim_node, stack);
         let rpc_client = RpcClient::new(&rpc);
         // Each client machine starts its root-placement round-robin

@@ -130,6 +130,7 @@ pub mod model;
 mod object_table;
 mod ops;
 pub mod path;
+pub mod report;
 mod rights;
 mod server_group;
 mod server_lease;
@@ -152,6 +153,7 @@ pub use dir_sm::DirectoryStateMachine;
 pub use directory::{DirStructureError, Directory, Row};
 pub use object_table::{ObjEntry, ObjectTable};
 pub use ops::{DirError, DirOp, DirReply, DirRequest};
+pub use report::{ClusterReport, MachineReport};
 pub use rights::Rights;
 pub use server_group::{start_group_server, GroupDirServer, GroupServerDeps};
 pub use server_lease::{

@@ -195,6 +195,11 @@ impl GroupDirServer {
         self.replica.stats()
     }
 
+    /// This replica's group-engine counters (`None` while recovering).
+    pub fn group_stats(&self) -> Option<amoeba_group::GroupStats> {
+        self.replica.group_stats()
+    }
+
     /// Mints the owner capability of a directory this shard stores —
     /// **cluster-management access** (the server knows every raw
     /// check), used by the rebalancer to coordinate migrations of
@@ -255,7 +260,16 @@ fn initiator_loop(
                 continue;
             }
         };
+        // The server-side span: parented to the client's request
+        // context (silent when the request is untraced). The ambient
+        // context makes the replica submit and the revocation fan-out
+        // RPCs below part of the same tree.
+        let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+        let span = tele.begin_child("srv.handle", u64::from(srv.addr().0), incoming.trace);
+        let prev = amoeba_telemetry::set_current_ctx(span);
         let reply = handle_request(ctx, applier, replica, params, cpu, inval, &req);
+        amoeba_telemetry::set_current_ctx(prev);
+        tele.end(span);
         srv.putrep(&incoming, reply.encode());
     }
 }
@@ -312,7 +326,7 @@ fn handle_request(
         // "wait until group thread has received and executed the
         // request" — submit blocks until the op is applied and
         // group-committed on this replica.
-        match replica.submit(ctx, op.encode()) {
+        match replica.submit_traced(ctx, op.encode(), amoeba_telemetry::current_ctx()) {
             Ok(reply) => {
                 let reply = DirReply::decode(&reply).unwrap_or(DirReply::Err(DirError::Internal));
                 // The cache fence: a successful update must not be

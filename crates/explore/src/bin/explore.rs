@@ -4,6 +4,7 @@
 //! explore sweep [--big] [--schedules N] [--seed S] [--buggy]
 //! explore ci-smoke
 //! explore replay <bundle.amrx>
+//! explore probe [--seeds N] [--fixed] [--loss L] [--trace out.json]
 //! ```
 //!
 //! - `sweep` runs `N` randomized fault schedules over the small (or
@@ -46,6 +47,13 @@ fn opt_u64(args: &[String], name: &str, default: u64) -> u64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn opt_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn cmd_sweep(args: &[String]) -> ExitCode {
@@ -223,6 +231,7 @@ fn cmd_probe(args: &[String]) -> ExitCode {
     let n = opt_u64(args, "--seeds", 20);
     let fixed = flag(args, "--fixed");
     let loss = opt_u64(args, "--loss", 300).min(1000) as u16;
+    let trace_out = opt_str(args, "--trace");
     let mut schedule = known_bug_schedule();
     if let FaultKind::Degrade { loss_pm, .. } = &mut schedule.injections[0].kind {
         *loss_pm = loss;
@@ -231,7 +240,28 @@ fn cmd_probe(args: &[String]) -> ExitCode {
     for seed in 0..n {
         let mut p = ScenarioParams::small(seed);
         p.buggy_retrans_bound = !fixed;
+        // Tracing is zero-perturbation, so instrumenting only the first
+        // seed changes nothing about the sweep's verdicts; one faulted
+        // run's span tree is what a human wants to open, not N of them.
+        p.telemetry = trace_out.is_some() && seed == 0;
         let r = run_scenario(&p, &schedule, RunMode::Fast);
+        if let (Some(path), Some(json)) = (trace_out, &r.chrome_trace) {
+            let summary = match amoeba_telemetry::export::validate_chrome_trace(json) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("probe: invalid chrome trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("probe: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "seed {seed}: wrote {path} ({} events, {} slices, {} flow pairs, {} tracks)",
+                summary.events, summary.slices, summary.flow_pairs, summary.tracks
+            );
+        }
         if r.failed() {
             hits += 1;
             println!("seed {seed}: FAIL — {}", r.summary());

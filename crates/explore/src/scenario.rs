@@ -77,6 +77,12 @@ pub struct ScenarioParams {
     /// bug ([`amoeba_group` `GroupConfig::buggy_retrans_bound`]) so the
     /// search can demonstrate finding it.
     pub buggy_retrans_bound: bool,
+    /// Install the causal-tracing telemetry layer on the run and return
+    /// its Chrome-trace export in [`ScenarioReport::chrome_trace`].
+    /// Tracing is zero-perturbation (the simulated run is bit-identical
+    /// either way), so this is deliberately *not* part of the repro
+    /// bundle encoding: a bundle replays the same with or without it.
+    pub telemetry: bool,
 }
 
 impl ScenarioParams {
@@ -91,6 +97,7 @@ impl ScenarioParams {
             writes_per_client: 6,
             dir_cache: true,
             buggy_retrans_bound: false,
+            telemetry: false,
         }
     }
 
@@ -106,6 +113,7 @@ impl ScenarioParams {
             writes_per_client: 4,
             dir_cache: true,
             buggy_retrans_bound: false,
+            telemetry: false,
         }
     }
 
@@ -135,6 +143,7 @@ impl ScenarioParams {
             writes_per_client: (r.u64("sc writes").ok()?.min(10_000)) as usize,
             dir_cache: r.u8("sc cache").ok()? != 0,
             buggy_retrans_bound: r.u8("sc buggy").ok()? != 0,
+            telemetry: false,
         })
     }
 }
@@ -165,6 +174,11 @@ pub struct ScenarioReport {
     /// Acknowledged writes the workload achieved (directories plus
     /// rows); a clean run with zero acked writes is vacuous, not a pass.
     pub acked_writes: usize,
+    /// Chrome-trace-event JSON of the run's span tree, when
+    /// [`ScenarioParams::telemetry`] asked for one (`None` on a panic:
+    /// a half-built trace of a crashed run is more misleading than
+    /// useful).
+    pub chrome_trace: Option<String>,
 }
 
 impl ScenarioReport {
@@ -232,6 +246,7 @@ pub fn run_scenario(
                 panic: Some(msg),
                 trace,
                 acked_writes: 0,
+                chrome_trace: None,
             }
         }
     }
@@ -259,6 +274,9 @@ fn run_inner(
         RunMode::Replay(trace) => Simulation::replaying(trace),
     };
     *handle_slot.lock() = Some(sim.handle());
+    let tele = params
+        .telemetry
+        .then(|| amoeba_telemetry::Telemetry::install(&sim.handle()));
 
     let mut cp = if params.chain_segments > 1 {
         ClusterParams::sharded_chain(Variant::Group, params.shards, params.chain_segments)
@@ -427,6 +445,7 @@ fn run_inner(
         panic: None,
         trace,
         acked_writes: acked.len(),
+        chrome_trace: tele.map(|t| t.export_chrome_json()),
     }
 }
 

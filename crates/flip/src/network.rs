@@ -206,6 +206,10 @@ struct NetInner {
     tx_free: HashMap<HostAddr, SimTime>,
     /// When each node's receiving side is free again.
     rx_free: HashMap<HostAddr, SimTime>,
+    /// Flow-edge recorder for traced packets; disabled unless the
+    /// simulation installed a telemetry collector before the network was
+    /// created. Recording never touches the timing model or `rng`.
+    tele: amoeba_telemetry::Telemetry,
 }
 
 /// The simulated internetwork that all hosts attach to.
@@ -292,6 +296,7 @@ impl Network {
             })
             .collect();
         let default_ttl = topology.default_ttl();
+        let tele = amoeba_telemetry::Telemetry::from_handle(&handle);
         let mut inner = NetInner {
             params,
             handle,
@@ -318,6 +323,7 @@ impl Network {
             default_ttl,
             tx_free: HashMap::new(),
             rx_free: HashMap::new(),
+            tele,
         };
         for r in topology.routers() {
             let addr = HostAddr(inner.next_host);
@@ -850,6 +856,13 @@ impl NetInner {
             let extra = base_latency.mul_f64(self.rng.next_f64() * jitter.max(0.0));
             let deliver_at = rx_done + extra;
             self.stats.deliveries += 1;
+            if let Some((_, ctx)) = pkt.trace.first() {
+                // One flow arrow per delivered copy, from the node that
+                // placed the frame (origin or forwarding router) to the
+                // receiver; batched packets use their first tag.
+                self.tele
+                    .flow(*ctx, relay.0 as u64, tx_start, t.0 as u64, deliver_at);
+            }
             tx.send_after(deliver_at.saturating_since(now), pkt.clone());
             if self.rng.chance(dup) {
                 self.stats.duplicated += 1;

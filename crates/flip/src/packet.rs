@@ -1,5 +1,7 @@
 //! The unit of network transmission.
 
+use amoeba_telemetry::TraceCtx;
+
 use crate::addr::{Dest, HostAddr};
 use crate::bytes::Payload;
 use crate::port::Port;
@@ -49,6 +51,13 @@ pub struct Packet {
     /// Accumulated route cost (sum of traversed segment weights);
     /// receivers record it in their routing tables.
     pub path_weight: u32,
+    /// Out-of-band causal-trace tags riding on this packet: `(key, ctx)`
+    /// pairs whose key meaning is protocol-defined (msgid for group
+    /// send-requests, seqno for accepts, 0 for RPC). **Not** part of the
+    /// wire image: never encoded into the payload, never charged by the
+    /// timing model, empty unless telemetry is enabled — so tracing
+    /// cannot perturb the simulation.
+    pub trace: Vec<(u64, TraceCtx)>,
 }
 
 impl Packet {
@@ -71,7 +80,14 @@ impl Packet {
             relay: src,
             link_dst: None,
             path_weight: 0,
+            trace: Vec::new(),
         }
+    }
+
+    /// Attaches causal-trace tags (out-of-band; see the `trace` field).
+    pub fn with_trace(mut self, tags: Vec<(u64, TraceCtx)>) -> Self {
+        self.trace = tags;
+        self
     }
 
     /// Sets an explicit TTL (1 = local segment only, 2 = one router

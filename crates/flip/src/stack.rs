@@ -97,6 +97,20 @@ impl NodeStack {
             .transmit(Packet::new(self.addr, dst.into(), port, payload));
     }
 
+    /// Like [`send`](NodeStack::send) but carrying causal-trace tags as
+    /// out-of-band packet metadata (see [`Packet::trace`]). With telemetry
+    /// off the tags are empty and this is exactly [`send`](NodeStack::send).
+    pub fn send_traced(
+        &self,
+        dst: impl Into<Dest>,
+        port: Port,
+        payload: impl Into<Payload>,
+        tags: Vec<(u64, amoeba_telemetry::TraceCtx)>,
+    ) {
+        self.net
+            .transmit(Packet::new(self.addr, dst.into(), port, payload).with_trace(tags));
+    }
+
     /// Like [`send`](NodeStack::send) but with an explicit hop limit:
     /// `ttl = 1` stays on the local segment, each additional unit allows
     /// one more router traversal. The expanding-ring locate widens this

@@ -41,7 +41,7 @@ impl GroupPeer {
             inner.next_local_id += 1;
             (u64::from(self.stack.addr().0) << 32) | local
         };
-        let inst = Instance::create(
+        let mut inst = Instance::create(
             instance_id,
             port,
             self.cfg.clone(),
@@ -49,6 +49,7 @@ impl GroupPeer {
             tag,
             now,
         );
+        inst.set_telemetry(amoeba_telemetry::Telemetry::from_handle(&self.handle));
         self.stack.join_group(GroupAddr(instance_id));
         let (app_tx, app_rx) = self.handle.channel::<AppItem>();
         self.inner.lock().instances.insert(
@@ -157,7 +158,7 @@ impl GroupPeer {
             }
         };
         let now = self.handle.now();
-        let inst = Instance::from_join(
+        let mut inst = Instance::from_join(
             instance,
             port,
             self.cfg.clone(),
@@ -169,6 +170,7 @@ impl GroupPeer {
             start_seq,
             now,
         );
+        inst.set_telemetry(amoeba_telemetry::Telemetry::from_handle(&self.handle));
         let (app_tx, app_rx) = self.handle.channel::<AppItem>();
         self.inner.lock().instances.insert(
             instance,
@@ -195,6 +197,11 @@ impl Group {
         self.instance
     }
 
+    /// This member's engine counters (`None` after dissolution).
+    pub fn stats(&self) -> Option<crate::GroupStats> {
+        self.peer.stats_of(self.instance)
+    }
+
     /// `SendToGroup`: sends `data` to every member in total order. Blocks
     /// until the message is *r*-resilient (held by at least r+1 members).
     ///
@@ -207,12 +214,26 @@ impl Group {
     /// [`reset`](Group::reset)); [`GroupError::Dead`] if this member was
     /// expelled or the instance dissolved.
     pub fn send(&self, ctx: &Ctx, data: impl Into<Payload>) -> Result<SeqNo, GroupError> {
+        self.send_traced(ctx, data, amoeba_telemetry::TraceCtx::NONE)
+    }
+
+    /// [`send`](Group::send) carrying the submitter's causal-trace
+    /// context. The sequencer parents its ordering span to it, and every
+    /// member's delivery event exposes the ordering context
+    /// ([`GroupEvent::Message::trace`]). A `NONE` context makes this
+    /// identical to `send`.
+    pub fn send_traced(
+        &self,
+        ctx: &Ctx,
+        data: impl Into<Payload>,
+        trace: amoeba_telemetry::TraceCtx,
+    ) -> Result<SeqNo, GroupError> {
         let now = ctx.now();
         let data = data.into();
         let (rx, actions) = {
             let (tx, rx) = self.peer.handle.channel();
             let r = self.peer.with_slot(self.instance, |slot| {
-                let (msgid, actions) = slot.inst.app_send(now, data);
+                let (msgid, actions) = slot.inst.app_send_traced(now, data, trace);
                 slot.send_waiters.insert(msgid, tx);
                 (msgid, actions)
             });

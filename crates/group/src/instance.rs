@@ -30,6 +30,7 @@
 
 use amoeba_flip::{HostAddr, Payload, Port};
 use amoeba_sim::SimTime;
+use amoeba_telemetry::{Telemetry, TraceCtx};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::config::GroupConfig;
@@ -45,6 +46,11 @@ const MAX_RETRANS_SPAN: u64 = 10_000;
 /// Effects requested by the engine, executed by the peer layer.
 #[derive(Debug)]
 pub(crate) enum Action {
+    /// A network-bound action carrying causal-trace tags, attached to
+    /// the packet as out-of-band metadata by the peer layer. Wrapping
+    /// (instead of widening `Unicast`/`Multicast`) keeps every untraced
+    /// construction and match site unchanged.
+    Traced(Vec<(u64, TraceCtx)>, Box<Action>),
     /// Send a message to one host.
     Unicast(HostAddr, GroupMsg),
     /// Multicast a message to the instance's group address.
@@ -97,6 +103,9 @@ struct PendingSend {
     data: Payload,
     sent_at: SimTime,
     bb: bool,
+    /// Submitter's causal-trace context (NONE when untraced); retries
+    /// re-attach it so the span tree stays connected across loss.
+    trace: TraceCtx,
 }
 
 #[derive(Debug)]
@@ -176,6 +185,18 @@ pub(crate) struct Instance {
     pending_install: Option<PendingInstall>,
     next_reset_round: u64,
     pub stats: GroupStats,
+    /// Telemetry handle; disabled by default, installed by the peer
+    /// layer right after construction ([`Instance::set_telemetry`]).
+    tele: Telemetry,
+    /// Ordering-span context per sequence number: written by the
+    /// sequencer when it assigns a slot and by members when a tagged
+    /// accept arrives; read at delivery and when serving
+    /// retransmissions; pruned with the accept buffer's history.
+    trace_by_seq: BTreeMap<SeqNo, TraceCtx>,
+    /// Trace tags of the packet currently being handled, keyed by msgid
+    /// (send requests, BB data) or seqno (accepts). Set by the peer
+    /// before each `handle` call; empty for untraced packets.
+    rx_tags: Vec<(u64, TraceCtx)>,
 }
 
 impl std::fmt::Debug for Instance {
@@ -241,6 +262,9 @@ impl Instance {
             pending_install: None,
             next_reset_round: 1,
             stats: GroupStats::default(),
+            tele: Telemetry::disabled(),
+            trace_by_seq: BTreeMap::new(),
+            rx_tags: Vec::new(),
         }
     }
 
@@ -296,6 +320,40 @@ impl Instance {
             pending_install: None,
             next_reset_round: 1,
             stats: GroupStats::default(),
+            tele: Telemetry::disabled(),
+            trace_by_seq: BTreeMap::new(),
+            rx_tags: Vec::new(),
+        }
+    }
+
+    /// Installs the telemetry handle (called by the peer layer right
+    /// after construction; constructors default to disabled so the many
+    /// direct-construction unit tests need no changes).
+    pub(crate) fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
+    }
+
+    /// Stashes the trace tags of the packet about to be handled.
+    pub(crate) fn set_rx_tags(&mut self, tags: Vec<(u64, TraceCtx)>) {
+        self.rx_tags = tags;
+    }
+
+    /// The incoming tag for `key` (msgid or seqno), or `NONE`.
+    fn rx_tag(&self, key: u64) -> TraceCtx {
+        self.rx_tags
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map(|&(_, c)| c)
+            .unwrap_or(TraceCtx::NONE)
+    }
+
+    /// Wraps a network-bound action with trace tags (identity when the
+    /// tag list is empty, so untraced runs build identical actions).
+    fn traced(tags: Vec<(u64, TraceCtx)>, action: Action) -> Action {
+        if tags.is_empty() {
+            action
+        } else {
+            Action::Traced(tags, Box::new(action))
         }
     }
 
@@ -331,7 +389,20 @@ impl Instance {
     /// `SendToGroup`: begins sending; completion arrives via
     /// [`Action::CompleteSend`]. The payload is shared from here on:
     /// retries, sequencing and delivery never copy the bytes again.
+    #[cfg_attr(not(test), allow(dead_code))] // production callers trace
     pub fn app_send(&mut self, now: SimTime, data: Payload) -> (u64, Vec<Action>) {
+        self.app_send_traced(now, data, TraceCtx::NONE)
+    }
+
+    /// [`app_send`](Instance::app_send) with the submitter's causal-trace
+    /// context: outgoing `SendReq`/`BbData` carry it keyed by msgid, and
+    /// the sequencer parents its ordering span to it.
+    pub fn app_send_traced(
+        &mut self,
+        now: SimTime,
+        data: Payload,
+        trace: TraceCtx,
+    ) -> (u64, Vec<Action>) {
         let msgid = self.next_msgid;
         self.next_msgid += 1;
         self.stats.sends += 1;
@@ -350,33 +421,51 @@ impl Instance {
                 data: data.clone(),
                 sent_at: now,
                 bb,
+                trace,
             },
         );
+        let tags = if trace.is_some() {
+            vec![(msgid, trace)]
+        } else {
+            Vec::new()
+        };
         let mut actions = Vec::new();
         if bb {
-            actions.push(Action::Multicast(GroupMsg::BbData {
-                instance: self.id,
-                incarnation: self.incarnation,
-                from: self.me,
-                msgid,
-                data,
-            }));
+            actions.push(Self::traced(
+                tags,
+                Action::Multicast(GroupMsg::BbData {
+                    instance: self.id,
+                    incarnation: self.incarnation,
+                    from: self.me,
+                    msgid,
+                    data,
+                }),
+            ));
             // The sequencer learns of the message from the BbData itself.
         } else if self.is_sequencer() {
-            let mut acts =
-                self.sequence_message(now, self.me, self.my_tag, msgid, AcceptBody::Data(data));
+            let mut acts = self.sequence_message(
+                now,
+                self.me,
+                self.my_tag,
+                msgid,
+                AcceptBody::Data(data),
+                trace,
+            );
             actions.append(&mut acts);
         } else {
             match self.sequencer_host() {
-                Some(h) => actions.push(Action::Unicast(
-                    h,
-                    GroupMsg::SendReq {
-                        instance: self.id,
-                        incarnation: self.incarnation,
-                        from: self.me,
-                        msgid,
-                        data,
-                    },
+                Some(h) => actions.push(Self::traced(
+                    tags,
+                    Action::Unicast(
+                        h,
+                        GroupMsg::SendReq {
+                            instance: self.id,
+                            incarnation: self.incarnation,
+                            from: self.me,
+                            msgid,
+                            data,
+                        },
+                    ),
                 )),
                 None => {
                     self.pending_sends.remove(&msgid);
@@ -402,8 +491,14 @@ impl Instance {
             return vec![Action::CompleteLeave, Action::Dissolve];
         }
         if self.is_sequencer() {
-            let mut actions =
-                self.sequence_message(now, self.me, self.my_tag, 0, AcceptBody::Leave(self.me));
+            let mut actions = self.sequence_message(
+                now,
+                self.me,
+                self.my_tag,
+                0,
+                AcceptBody::Leave(self.me),
+                TraceCtx::NONE,
+            );
             actions.extend(self.flush_pending_batch());
             actions
         } else {
@@ -477,9 +572,21 @@ impl Instance {
         from_tag: u64,
         msgid: u64,
         body: AcceptBody,
+        trace: TraceCtx,
     ) -> Vec<Action> {
         let seq = self.next_seq;
         self.next_seq += 1;
+        if trace.is_some() {
+            // The ordering span: opened when the slot is assigned, closed
+            // when the message reaches its resilience degree (see
+            // `check_resilience`). Every member's delivery parents to it.
+            let order = self
+                .tele
+                .begin_child("grp.order", u64::from(self.my_host.0), trace);
+            if order.is_some() {
+                self.trace_by_seq.insert(seq, order);
+            }
+        }
         let rec = AcceptRec {
             incarnation: self.incarnation,
             from,
@@ -539,17 +646,26 @@ impl Instance {
             batch.windows(2).all(|w| w[1].0 == w[0].0 + 1),
             "batched accepts must hold consecutive slots"
         );
+        // Outgoing accepts carry each traced slot's ordering context,
+        // keyed by seqno, so receivers can parent their deliveries.
+        let tags: Vec<(u64, TraceCtx)> = batch
+            .iter()
+            .filter_map(|&(seq, _)| self.trace_by_seq.get(&seq).map(|&c| (seq, c)))
+            .collect();
         if batch.len() == 1 && dones.is_empty() {
             let (seq, rec) = batch.into_iter().next().expect("len checked");
-            return vec![Action::Multicast(GroupMsg::Accept {
-                instance: self.id,
-                incarnation: rec.incarnation,
-                seq,
-                from: rec.from,
-                from_tag: rec.from_tag,
-                msgid: rec.msgid,
-                body: rec.body,
-            })];
+            return vec![Self::traced(
+                tags,
+                Action::Multicast(GroupMsg::Accept {
+                    instance: self.id,
+                    incarnation: rec.incarnation,
+                    seq,
+                    from: rec.from,
+                    from_tag: rec.from_tag,
+                    msgid: rec.msgid,
+                    body: rec.body,
+                }),
+            )];
         }
         let first_seq = batch[0].0;
         let incarnation = batch[0].1.incarnation;
@@ -562,13 +678,16 @@ impl Instance {
                 body: rec.body,
             })
             .collect();
-        let mut actions = vec![Action::Multicast(GroupMsg::AcceptBatch {
-            instance: self.id,
-            incarnation,
-            first_seq,
-            items,
-            dones,
-        })];
+        let mut actions = vec![Self::traced(
+            tags,
+            Action::Multicast(GroupMsg::AcceptBatch {
+                instance: self.id,
+                incarnation,
+                first_seq,
+                items,
+                dones,
+            }),
+        )];
         actions.extend(self.flush_dones_alone(overflow));
         actions
     }
@@ -620,6 +739,11 @@ impl Instance {
         }
         st.done_sent = true;
         let (from, msgid) = (st.from, st.msgid);
+        // The ordering span ends here: the message has reached its
+        // resilience degree and the protocol's obligation is met.
+        if let Some(&ctx) = self.trace_by_seq.get(&seq) {
+            self.tele.end(ctx);
+        }
         if st.acked.len() >= self.view.len() {
             self.pending_acks.remove(&seq);
         }
@@ -698,6 +822,11 @@ impl Instance {
             if rec.msgid != 0 {
                 self.seen_msgids.insert((rec.from, rec.msgid), next);
             }
+            let trace = self
+                .trace_by_seq
+                .get(&next)
+                .copied()
+                .unwrap_or(TraceCtx::NONE);
             match rec.body.clone() {
                 AcceptBody::Data(data) => {
                     actions.push(Action::Deliver(GroupEvent::Message {
@@ -705,6 +834,7 @@ impl Instance {
                         from: rec.from,
                         from_tag: rec.from_tag,
                         data,
+                        trace,
                     }));
                     self.delivered = next;
                 }
@@ -719,6 +849,7 @@ impl Instance {
                         from: rec.from,
                         from_tag: rec.from_tag,
                         data,
+                        trace,
                     }));
                     self.delivered = next;
                 }
@@ -775,6 +906,9 @@ impl Instance {
                 } else {
                     break;
                 }
+            }
+            if !self.trace_by_seq.is_empty() {
+                self.trace_by_seq = self.trace_by_seq.split_off(&keep_from);
             }
         }
         // r > 0: acknowledge all progress to the sequencer with a single
@@ -940,6 +1074,7 @@ impl Instance {
                             m.tag,
                             0,
                             AcceptBody::Leave(member),
+                            TraceCtx::NONE,
                         );
                     }
                 }
@@ -1037,7 +1172,14 @@ impl Instance {
             tag,
         };
         self.next_member_id += 1;
-        let mut actions = self.sequence_message(now, member.id, tag, 0, AcceptBody::Join(member));
+        let mut actions = self.sequence_message(
+            now,
+            member.id,
+            tag,
+            0,
+            AcceptBody::Join(member),
+            TraceCtx::NONE,
+        );
         // View changes leave the batch immediately (joins are rare and
         // existing members must learn of the new view without delay).
         actions.extend(self.flush_pending_batch());
@@ -1100,7 +1242,8 @@ impl Instance {
         if !self.view.contains(from) {
             return Vec::new();
         }
-        self.sequence_message(now, from, tag, msgid, AcceptBody::Data(data))
+        let trace = self.rx_tag(msgid);
+        self.sequence_message(now, from, tag, msgid, AcceptBody::Data(data), trace)
     }
 
     fn on_bb_data(
@@ -1119,7 +1262,9 @@ impl Instance {
         if self.is_sequencer() && !self.failed && !self.seen_msgids.contains_key(&(from, msgid)) {
             let tag = self.view.member(from).map(|m| m.tag).unwrap_or(0);
             if self.view.contains(from) {
-                let mut more = self.sequence_message(now, from, tag, msgid, AcceptBody::BbRef);
+                let trace = self.rx_tag(msgid);
+                let mut more =
+                    self.sequence_message(now, from, tag, msgid, AcceptBody::BbRef, trace);
                 actions.append(&mut more);
             }
         }
@@ -1156,6 +1301,10 @@ impl Instance {
         }
         if seq <= self.highest_contiguous {
             return Vec::new(); // duplicate
+        }
+        let rx = self.rx_tag(seq);
+        if rx.is_some() {
+            self.trace_by_seq.insert(seq, rx);
         }
         self.insert_accept(
             seq,
@@ -1195,6 +1344,10 @@ impl Instance {
             }
             if seq <= self.highest_contiguous {
                 continue; // duplicate
+            }
+            let rx = self.rx_tag(seq);
+            if rx.is_some() {
+                self.trace_by_seq.insert(seq, rx);
             }
             self.insert_accept(
                 seq,
@@ -1289,17 +1442,24 @@ impl Instance {
                     other => other.clone(),
                 };
                 self.stats.retrans_served += 1;
-                actions.push(Action::Unicast(
-                    requester,
-                    GroupMsg::Accept {
-                        instance: self.id,
-                        incarnation: rec.incarnation,
-                        seq,
-                        from: rec.from,
-                        from_tag: rec.from_tag,
-                        msgid: rec.msgid,
-                        body,
-                    },
+                let tags = match self.trace_by_seq.get(&seq) {
+                    Some(&c) => vec![(seq, c)],
+                    None => Vec::new(),
+                };
+                actions.push(Self::traced(
+                    tags,
+                    Action::Unicast(
+                        requester,
+                        GroupMsg::Accept {
+                            instance: self.id,
+                            incarnation: rec.incarnation,
+                            seq,
+                            from: rec.from,
+                            from_tag: rec.from_tag,
+                            msgid: rec.msgid,
+                            body,
+                        },
+                    ),
                 ));
             }
         }
@@ -1590,22 +1750,39 @@ impl Instance {
 
     fn resend_pending(&mut self, now: SimTime, msgid: u64, data: Payload, bb: bool) -> Vec<Action> {
         self.stats.send_retries += 1;
+        let mut trace = TraceCtx::NONE;
         if let Some(p) = self.pending_sends.get_mut(&msgid) {
             p.sent_at = now;
+            trace = p.trace;
         }
+        let tags = if trace.is_some() {
+            vec![(msgid, trace)]
+        } else {
+            Vec::new()
+        };
         if bb {
-            vec![Action::Multicast(GroupMsg::BbData {
-                instance: self.id,
-                incarnation: self.incarnation,
-                from: self.me,
-                msgid,
-                data,
-            })]
+            vec![Self::traced(
+                tags,
+                Action::Multicast(GroupMsg::BbData {
+                    instance: self.id,
+                    incarnation: self.incarnation,
+                    from: self.me,
+                    msgid,
+                    data,
+                }),
+            )]
         } else if self.is_sequencer() {
             if self.seen_msgids.contains_key(&(self.me, msgid)) {
                 return Vec::new();
             }
-            self.sequence_message(now, self.me, self.my_tag, msgid, AcceptBody::Data(data))
+            self.sequence_message(
+                now,
+                self.me,
+                self.my_tag,
+                msgid,
+                AcceptBody::Data(data),
+                trace,
+            )
         } else {
             match self.sequencer_host() {
                 Some(h) => vec![Action::Unicast(

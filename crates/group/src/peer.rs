@@ -131,7 +131,8 @@ impl GroupPeer {
                     loop {
                         let more_pending = !rx.is_empty();
                         if let Ok(msg) = GroupMsg::decode(&pkt.payload) {
-                            self.handle_msg(ctx, pkt.src, msg, windowed || more_pending);
+                            let tags = std::mem::take(&mut pkt.trace);
+                            self.handle_msg(ctx, pkt.src, msg, windowed || more_pending, tags);
                         }
                         match rx.try_recv() {
                             Some(next) => pkt = next,
@@ -183,7 +184,14 @@ impl GroupPeer {
         }
     }
 
-    fn handle_msg(&self, ctx: &Ctx, src: HostAddr, msg: GroupMsg, defer_flush: bool) {
+    fn handle_msg(
+        &self,
+        ctx: &Ctx,
+        src: HostAddr,
+        msg: GroupMsg,
+        defer_flush: bool,
+        tags: Vec<(u64, amoeba_telemetry::TraceCtx)>,
+    ) {
         match &msg {
             GroupMsg::JoinLocate {
                 port,
@@ -231,9 +239,13 @@ impl GroupPeer {
                     let mut inner = self.inner.lock();
                     match inner.instances.get_mut(&instance) {
                         Some(slot) if defer_flush => {
+                            slot.inst.set_rx_tags(tags);
                             slot.inst.handle_deferred(now, src, other.clone())
                         }
-                        Some(slot) => slot.inst.handle(now, src, other.clone()),
+                        Some(slot) => {
+                            slot.inst.set_rx_tags(tags);
+                            slot.inst.handle(now, src, other.clone())
+                        }
                         None => Vec::new(),
                     }
                 };
@@ -268,6 +280,21 @@ impl GroupPeer {
     /// Executes one engine action. Must NOT be called with `inner` locked.
     pub(crate) fn execute(&self, _ctx: &Ctx, instance: u64, action: Action) {
         match action {
+            Action::Traced(tags, inner) => match *inner {
+                Action::Unicast(host, msg) => {
+                    self.stack
+                        .send_traced(Dest::Unicast(host), GROUP_PORT, msg.encode(), tags);
+                }
+                Action::Multicast(msg) => {
+                    self.stack.send_traced(
+                        Dest::Multicast(GroupAddr(instance)),
+                        GROUP_PORT,
+                        msg.encode(),
+                        tags,
+                    );
+                }
+                other => self.execute(_ctx, instance, other),
+            },
             Action::Unicast(host, msg) => {
                 self.stack
                     .send(Dest::Unicast(host), GROUP_PORT, msg.encode());

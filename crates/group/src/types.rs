@@ -129,6 +129,10 @@ pub enum GroupEvent {
         from_tag: u64,
         /// The payload (shared with the wire buffer it arrived in).
         data: Payload,
+        /// Ordering-span context assigned by the sequencer when telemetry
+        /// is enabled and the submitter was traced; `NONE` otherwise.
+        /// Consumers (the RSM apply loop) parent their work to it.
+        trace: amoeba_telemetry::TraceCtx,
     },
     /// A member joined (not delivered to the joiner itself).
     Joined {
@@ -230,6 +234,7 @@ mod tests {
             from: MemberId(1),
             from_tag: 0,
             data: Payload::empty(),
+            trace: amoeba_telemetry::TraceCtx::NONE,
         };
         assert_eq!(e.seq(), Some(4));
         let r = GroupEvent::ResetDone {

@@ -80,6 +80,20 @@ impl RpcClient {
         service: Port,
         request: impl Into<Payload>,
     ) -> Result<Payload, RpcError> {
+        self.trans_traced(ctx, service, request, amoeba_telemetry::current_ctx())
+    }
+
+    /// [`trans`](RpcClient::trans) carrying a causal-trace context as
+    /// out-of-band packet metadata; the server sees it on
+    /// [`IncomingRequest::trace`](crate::IncomingRequest). A `NONE`
+    /// context makes this identical to `trans`.
+    pub fn trans_traced(
+        &self,
+        ctx: &Ctx,
+        service: Port,
+        request: impl Into<Payload>,
+        trace: amoeba_telemetry::TraceCtx,
+    ) -> Result<Payload, RpcError> {
         let request = request.into();
         let mut attempts = 0u32;
         loop {
@@ -95,7 +109,12 @@ impl RpcClient {
                 },
             };
             let (tid, rx) = self.node.register_call();
-            self.node.stack().send(
+            let tags = if trace.is_some() {
+                vec![(0, trace)]
+            } else {
+                Vec::new()
+            };
+            self.node.stack().send_traced(
                 Dest::Unicast(server),
                 RPC_PORT,
                 RpcMsg::Request {
@@ -105,6 +124,7 @@ impl RpcClient {
                     data: request.clone(),
                 }
                 .encode(),
+                tags,
             );
             match rx.recv_timeout(ctx, self.params.reply_timeout) {
                 Some(CallEvent::Reply(data)) => return Ok(data),

@@ -29,6 +29,9 @@ pub struct IncomingRequest {
     pub tid: u64,
     /// Marshalled request bytes (shared, zero-copy).
     pub data: Payload,
+    /// Causal-trace context from the request packet ([`TraceCtx::NONE`]
+    /// when the client is untraced); `putrep` echoes it onto the reply.
+    pub trace: amoeba_telemetry::TraceCtx,
 }
 
 /// Events delivered to a blocked client transaction.
@@ -138,6 +141,11 @@ impl RpcNode {
                 Ok(m) => m,
                 Err(_) => continue, // malformed packets are dropped
             };
+            let rx_trace = pkt
+                .trace
+                .first()
+                .map(|&(_, c)| c)
+                .unwrap_or(amoeba_telemetry::TraceCtx::NONE);
             match msg {
                 RpcMsg::Locate {
                     service,
@@ -198,6 +206,7 @@ impl RpcNode {
                             client,
                             tid,
                             data,
+                            trace: rx_trace,
                         }),
                         None => self.stack.send(
                             Dest::Unicast(client),

@@ -33,6 +33,11 @@ impl RpcServer {
         self.service
     }
 
+    /// The host this server runs on.
+    pub fn addr(&self) -> amoeba_flip::HostAddr {
+        self.node.addr()
+    }
+
     /// Blocks until a request arrives for this service.
     pub fn getreq(&self, ctx: &Ctx) -> IncomingRequest {
         let (tx, rx) = ctx.handle().channel();
@@ -43,7 +48,12 @@ impl RpcServer {
     /// Sends the reply for a previously received request. The reply
     /// bytes are shared, not copied, on their way to the wire.
     pub fn putrep(&self, req: &IncomingRequest, data: impl Into<Payload>) {
-        self.node.stack().send(
+        let tags = if req.trace.is_some() {
+            vec![(0, req.trace)]
+        } else {
+            Vec::new()
+        };
+        self.node.stack().send_traced(
             Dest::Unicast(req.client),
             RPC_PORT,
             RpcMsg::Reply {
@@ -51,6 +61,7 @@ impl RpcServer {
                 data: data.into(),
             }
             .encode(),
+            tags,
         );
     }
 }

@@ -139,6 +139,8 @@ pub struct Replica<S> {
     cfg: RsmConfig,
     sm: Arc<S>,
     shared: Arc<Mutex<DriverShared>>,
+    /// Host address of the machine, as the telemetry track id.
+    machine: u64,
 }
 
 impl<S> Clone for Replica<S> {
@@ -147,6 +149,7 @@ impl<S> Clone for Replica<S> {
             cfg: self.cfg.clone(),
             sm: Arc::clone(&self.sm),
             shared: Arc::clone(&self.shared),
+            machine: self.machine,
         }
     }
 }
@@ -174,6 +177,7 @@ impl<S: StateMachine> Replica<S> {
             cfg: cfg.clone(),
             sm: Arc::clone(&sm),
             shared: Arc::clone(&shared),
+            machine: u64::from(rpc.addr().0),
         };
 
         // Internal (replica-to-replica) RPC service: recovery info
@@ -226,6 +230,13 @@ impl<S: StateMachine> Replica<S> {
         self.shared.lock().stats
     }
 
+    /// The underlying group's engine counters (`None` while recovering
+    /// or after the group dissolved).
+    pub fn group_stats(&self) -> Option<amoeba_group::GroupStats> {
+        let group = self.shared.lock().group.clone();
+        group.and_then(|g| g.stats())
+    }
+
     /// Replicates `op` through the group and blocks until this
     /// replica has applied it and made it durable (group commit);
     /// returns the state machine's reply.
@@ -236,10 +247,26 @@ impl<S: StateMachine> Replica<S> {
     /// majority; [`RsmError::Aborted`] if the group collapsed while
     /// the operation was in flight.
     pub fn submit(&self, ctx: &Ctx, op: impl Into<Payload>) -> Result<Payload, RsmError> {
+        self.submit_traced(ctx, op, amoeba_telemetry::TraceCtx::NONE)
+    }
+
+    /// [`submit`](Replica::submit) carrying the caller's causal-trace
+    /// context through the group's ordering protocol; every replica's
+    /// apply span parents to the sequencer's ordering span.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Replica::submit).
+    pub fn submit_traced(
+        &self,
+        ctx: &Ctx,
+        op: impl Into<Payload>,
+        trace: amoeba_telemetry::TraceCtx,
+    ) -> Result<Payload, RsmError> {
         let group = self.serving_group()?;
         self.shared.lock().stats.submitted += 1;
         let seq = group
-            .send(ctx, op.into())
+            .send_traced(ctx, op.into(), trace)
             .map_err(|_| RsmError::NotInService)?;
         self.wait_published(ctx, seq)?;
         let result = { self.shared.lock().results.remove(&seq) };
@@ -345,12 +372,14 @@ impl<S: StateMachine> Replica<S> {
             // Membership events and errors end the batch (processed
             // after the batch publishes).
             let cap = self.cfg.apply_batch.max(1);
-            let mut msgs: Vec<(SeqNo, Payload)> = Vec::new();
+            let mut msgs: Vec<(SeqNo, Payload, amoeba_telemetry::TraceCtx)> = Vec::new();
             let mut tail: Option<Result<GroupEvent, GroupError>> = None;
             let mut next = Some(first);
             loop {
                 match next {
-                    Some(Ok(GroupEvent::Message { seq, data, .. })) => msgs.push((seq, data)),
+                    Some(Ok(GroupEvent::Message {
+                        seq, data, trace, ..
+                    })) => msgs.push((seq, data, trace)),
                     Some(other) => {
                         tail = Some(other);
                         break;
@@ -366,13 +395,16 @@ impl<S: StateMachine> Replica<S> {
             // Apply the batch, then one group-commit flush, then
             // publish: waiters never observe un-flushed state.
             if !msgs.is_empty() {
+                let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
                 let covered = { self.shared.lock().published_seq };
                 let mut results: Vec<(SeqNo, Payload)> = Vec::with_capacity(msgs.len());
-                for (seq, data) in &msgs {
+                for (seq, data, trace) in &msgs {
                     if *seq <= covered {
                         continue; // already covered by a fetched state snapshot
                     }
+                    let span = tele.begin_child("rsm.apply", self.machine, *trace);
                     let reply = self.sm.apply(ctx, *seq, data);
+                    tele.end(span);
                     results.push((*seq, reply));
                 }
                 if !results.is_empty() {

@@ -46,6 +46,11 @@ impl SimHandle {
         self.shared.lock().now
     }
 
+    /// The seed the simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.shared.lock().seed
+    }
+
     /// Records a fault-model action into the decision trace (no-op unless
     /// the simulation is recording or replaying). Used by the network layer
     /// to pin link/partition/parameter changes; `code` should come from
@@ -62,5 +67,22 @@ impl SimHandle {
     /// can still retrieve the trace after a panic tore the simulation down.
     pub fn snapshot_recording(&self) -> Option<crate::record::SimTrace> {
         self.shared.lock().snapshot_recording()
+    }
+
+    /// Attaches an arbitrary per-simulation payload to the kernel.
+    ///
+    /// This is how cross-cutting observers (the telemetry collector) reach
+    /// every layer without threading a handle through each constructor:
+    /// any component holding a `SimHandle` can look the payload up. The
+    /// slot is per-`Simulation`, so parallel tests never share state. The
+    /// kernel itself never reads the payload — storing one cannot perturb
+    /// scheduling.
+    pub fn set_user_data(&self, data: Arc<dyn std::any::Any + Send + Sync>) {
+        self.shared.lock().user_data = Some(data);
+    }
+
+    /// The payload installed by [`SimHandle::set_user_data`], if any.
+    pub fn user_data(&self) -> Option<Arc<dyn std::any::Any + Send + Sync>> {
+        self.shared.lock().user_data.clone()
     }
 }

@@ -198,6 +198,9 @@ pub(crate) struct Kernel {
     pub trace: Option<Vec<(SimTime, String)>>,
     /// Decision-trace recording/replay state (see [`crate::record`]).
     pub(crate) rec: RecMode,
+    /// Opaque per-simulation payload (see [`crate::SimHandle::set_user_data`]).
+    /// Never read by the kernel itself.
+    pub user_data: Option<std::sync::Arc<dyn std::any::Any + Send + Sync>>,
 }
 
 impl Kernel {
@@ -217,6 +220,7 @@ impl Kernel {
             events_processed: 0,
             trace: None,
             rec: RecMode::Off,
+            user_data: None,
         }
     }
 

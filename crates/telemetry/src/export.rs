@@ -1,0 +1,289 @@
+//! Chrome trace-event / Perfetto JSON export and validation.
+//!
+//! Emits the `traceEvents` object format: per-machine `process_name`
+//! metadata (`ph:"M"`), `ph:"X"` complete slices with microsecond `ts` /
+//! `dur`, and `ph:"s"` / `ph:"f"` (`bp:"e"`) flow-event pairs for every
+//! traced packet edge. Flow endpoints must lie *inside* a slice on their
+//! track to render, so each edge also emits a pair of 1 µs `net:tx` /
+//! `net:rx` anchor slices. Timestamps are **simulated** microseconds.
+
+use crate::json::{parse, Value};
+use crate::{FlowRec, SpanRec};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(t: amoeba_sim::SimTime) -> f64 {
+    // Round to 1 ns so the JSON stays compact and deterministic.
+    (t.as_micros_f64() * 1e3).round() / 1e3
+}
+
+pub(crate) fn chrome_json(
+    spans: &[SpanRec],
+    flows: &[FlowRec],
+    tracks: &[(u64, String)],
+) -> String {
+    let mut ev: Vec<String> = Vec::with_capacity(tracks.len() + spans.len() + 4 * flows.len());
+    for (machine, name) in tracks {
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{machine},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+    for s in spans {
+        let start = us(s.start);
+        let dur = s.end.map_or(0.0, |e| us(e) - start);
+        ev.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":{},\"tid\":0,\
+             \"ts\":{start},\"dur\":{dur},\"args\":{{\"trace\":\"{:x}\",\"span\":\"{:x}\",\
+             \"parent\":\"{:x}\"}}}}",
+            esc(&s.name),
+            s.machine,
+            s.trace,
+            s.span,
+            s.parent
+        ));
+    }
+    for (i, f) in flows.iter().enumerate() {
+        let (tx, rx) = (us(f.sent_at), us(f.delivered_at));
+        let id = i as u64 + 1;
+        ev.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"net:tx\",\"cat\":\"net\",\"pid\":{},\"tid\":0,\
+             \"ts\":{tx},\"dur\":1}}",
+            f.src_machine
+        ));
+        ev.push(format!(
+            "{{\"ph\":\"s\",\"name\":\"net\",\"cat\":\"net\",\"id\":{id},\"pid\":{},\"tid\":0,\
+             \"ts\":{tx}}}",
+            f.src_machine
+        ));
+        ev.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"net:rx\",\"cat\":\"net\",\"pid\":{},\"tid\":0,\
+             \"ts\":{rx},\"dur\":1}}",
+            f.dst_machine
+        ));
+        ev.push(format!(
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"net\",\"cat\":\"net\",\"id\":{id},\
+             \"pid\":{},\"tid\":0,\"ts\":{rx}}}",
+            f.dst_machine
+        ));
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&ev.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Summary of a parsed-and-validated Chrome trace export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileSummary {
+    pub events: usize,
+    pub slices: usize,
+    pub flow_pairs: usize,
+    pub tracks: usize,
+    /// `(roots, orphans, machines)` per trace id found in slice args,
+    /// sorted by trace id.
+    pub trees: Vec<(u64, (usize, usize, usize))>,
+}
+
+/// Parses exported Chrome trace JSON with the in-crate parser and checks
+/// the invariants CI relies on: every event has `ph`/`ts`(or is `M`)/
+/// `pid`/`tid`; every flow step (`ph:"s"`) has a matching finish
+/// (`ph:"f"` with `bp:"e"`) under the same id, each anchored inside a
+/// slice on its own track; and span parent pointers resolve within their
+/// trace. Returns a summary or the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceFileSummary, String> {
+    let root = parse(text)?;
+    let Some(events) = root.get("traceEvents").and_then(Value::as_array) else {
+        return Err("missing traceEvents array".into());
+    };
+
+    let mut slices: Vec<(u64, f64, f64)> = Vec::new(); // (pid, ts, dur)
+    let mut spans: Vec<(u64, u64, u64)> = Vec::new(); // (trace, span, parent)
+    let mut machines_by_span: Vec<(u64, u64)> = Vec::new();
+    let mut flow_s: Vec<(u64, u64, f64)> = Vec::new(); // (id, pid, ts)
+    let mut flow_f: Vec<(u64, u64, f64)> = Vec::new();
+    let mut tracks = 0usize;
+
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = e
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        e.get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        if ph == "M" {
+            tracks += 1;
+            continue;
+        }
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        match ph {
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: X slice missing dur"))?;
+                slices.push((pid, ts, dur));
+                if let Some(args) = e.get("args") {
+                    let hex = |k: &str| {
+                        args.get(k)
+                            .and_then(Value::as_str)
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    };
+                    if let (Some(t), Some(s), Some(p)) = (hex("trace"), hex("span"), hex("parent"))
+                    {
+                        spans.push((t, s, p));
+                        machines_by_span.push((s, pid));
+                    }
+                }
+            }
+            "s" => {
+                let id = e
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: flow step missing id"))?;
+                flow_s.push((id, pid, ts));
+            }
+            "f" => {
+                if e.get("bp").and_then(Value::as_str) != Some("e") {
+                    return Err(format!("event {i}: flow finish missing bp:\"e\""));
+                }
+                let id = e
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: flow finish missing id"))?;
+                flow_f.push((id, pid, ts));
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+
+    let anchored = |pid: u64, ts: f64| {
+        slices
+            .iter()
+            .any(|&(p, s, d)| p == pid && ts >= s && ts <= s + d)
+    };
+    for &(id, pid, ts) in &flow_s {
+        if !flow_f.iter().any(|&(fid, ..)| fid == id) {
+            return Err(format!("flow {id}: step without finish"));
+        }
+        if !anchored(pid, ts) {
+            return Err(format!("flow {id}: step not anchored in a slice"));
+        }
+    }
+    for &(id, pid, ts) in &flow_f {
+        if !flow_s.iter().any(|&(sid, ..)| sid == id) {
+            return Err(format!("flow {id}: finish without step"));
+        }
+        if !anchored(pid, ts) {
+            return Err(format!("flow {id}: finish not anchored in a slice"));
+        }
+    }
+
+    let mut trace_ids: Vec<u64> = spans.iter().map(|&(t, ..)| t).collect();
+    trace_ids.sort_unstable();
+    trace_ids.dedup();
+    let mut trees = Vec::new();
+    for t in trace_ids {
+        let ids: std::collections::HashSet<u64> = spans
+            .iter()
+            .filter(|&&(tt, ..)| tt == t)
+            .map(|&(_, s, _)| s)
+            .collect();
+        let mut roots = 0;
+        let mut orphans = 0;
+        let mut machines = std::collections::HashSet::new();
+        for &(tt, s, p) in &spans {
+            if tt != t {
+                continue;
+            }
+            if p == 0 {
+                roots += 1;
+            } else if !ids.contains(&p) {
+                orphans += 1;
+            }
+            if let Some(&(_, m)) = machines_by_span.iter().find(|&&(sid, _)| sid == s) {
+                machines.insert(m);
+            }
+        }
+        trees.push((t, (roots, orphans, machines.len())));
+    }
+
+    Ok(TraceFileSummary {
+        events: events.len(),
+        slices: slices.len(),
+        flow_pairs: flow_s.len(),
+        tracks,
+        trees,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+    use amoeba_sim::Simulation;
+    use std::time::Duration;
+
+    #[test]
+    fn export_round_trips_through_validator() {
+        let sim = Simulation::new(42);
+        let tele = Telemetry::install(&sim.handle());
+        tele.name_machine(1, "client-0");
+        tele.name_machine(2, "server-0");
+        let root = tele.begin_root("cli.create", 1);
+        let t0 = sim.handle().now();
+        let child = tele.begin_child("srv.handle", 2, root);
+        tele.flow(root, 1, t0, 2, t0 + Duration::from_micros(120));
+        tele.end(child);
+        tele.end(root);
+
+        let json = tele.export_chrome_json();
+        let summary = validate_chrome_trace(&json).expect("export must validate");
+        assert_eq!(summary.tracks, 2);
+        assert_eq!(summary.flow_pairs, 1);
+        assert_eq!(summary.trees.len(), 1);
+        let (_, (roots, orphans, machines)) = summary.trees[0];
+        assert_eq!((roots, orphans, machines), (1, 0, 2));
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields() {
+        assert!(validate_chrome_trace("{}").is_err());
+        let no_pid = r#"{"traceEvents":[{"ph":"X","ts":1,"dur":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(no_pid).unwrap_err().contains("pid"));
+        let dangling = r#"{"traceEvents":[
+            {"ph":"X","name":"a","pid":1,"tid":0,"ts":0,"dur":5},
+            {"ph":"s","name":"net","id":9,"pid":1,"tid":0,"ts":1}
+        ]}"#;
+        assert!(validate_chrome_trace(dangling)
+            .unwrap_err()
+            .contains("without finish"));
+    }
+
+    #[test]
+    fn disabled_export_is_valid_and_empty() {
+        let json = Telemetry::disabled().export_chrome_json();
+        let summary = validate_chrome_trace(&json).expect("empty export parses");
+        assert_eq!(summary.events, 0);
+    }
+}

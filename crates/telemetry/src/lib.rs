@@ -1,0 +1,517 @@
+//! Causal tracing and metrics over **simulated** time.
+//!
+//! The directory service runs inside a deterministic discrete-event
+//! simulation (`amoeba-sim`), which changes what "observability" means:
+//!
+//! - **Timestamps are simulated time.** Host wall-clock time measures the
+//!   simulator, not the system; every span and histogram here is recorded
+//!   against [`SimTime`], so a trace answers "where did this write's
+//!   124.9 ms go?" in the modeled system's own clock — and is bit-identical
+//!   across runs of the same seed.
+//! - **Observation must not perturb the simulation.** The collector obeys
+//!   the same discipline as the PR 7 decision-trace recorder:
+//!   1. trace contexts ride on packets as *out-of-band metadata* (the
+//!      `Packet::trace` field), never inside encoded payloads, so wire-byte
+//!      accounting, fragmentation and contention charging are unchanged;
+//!   2. trace/span ids come from the collector's **own** SplitMix64 stream
+//!      (seeded from the simulation seed), never from the sim RNG, so the
+//!      kernel's random sequence is untouched;
+//!   3. recording never sleeps, schedules, or draws simulated randomness —
+//!      it only appends to buffers under a host-side mutex.
+//!
+//!   With the collector disabled every record call is a no-op on a `None`
+//!   handle, and a test asserts the simulated clock is bit-identical
+//!   between an instrumented and an uninstrumented run.
+//!
+//! # Context propagation invariants
+//!
+//! A context is a `(trace_id, span_id)` pair ([`TraceCtx`]); `trace == 0`
+//! means "no context" and propagates as silence. The invariants each layer
+//! maintains:
+//!
+//! - The **client** allocates a fresh root span per directory operation and
+//!   passes its ctx down through `DirClient` → RPC `trans`.
+//! - **RPC** carries the ctx on the request packet; the server-side
+//!   `getreq` surfaces it on `IncomingRequest`, and `putrep` echoes it onto
+//!   the reply so client-side completion can be attributed.
+//! - The **group layer** tags each application message with the submitter's
+//!   ctx (`SendReq`/`BbData` → packet metadata keyed by msgid). The
+//!   sequencer opens an ordering span *parented to the submitter's ctx*
+//!   when it assigns a sequence number, and the ordering ctx travels with
+//!   `Accept`/`AcceptBatch` items (keyed by seqno) — including
+//!   retransmissions — so every member parents its delivery to the same
+//!   ordering span.
+//! - **RSM** parents each `apply` span to the ordering ctx delivered with
+//!   the group message; effects triggered by an apply (lease revocation
+//!   callbacks) carry the server handler's ctx onward.
+//!
+//! The result: one cross-shard write yields a single *connected* span tree
+//! (every span's parent exists; exactly one root) spanning client,
+//! sequencer, replica, and lease-holder machines.
+//!
+//! # Exporter
+//!
+//! [`Telemetry::export_chrome_json`] emits Chrome trace-event JSON (the
+//! Perfetto-compatible `traceEvents` array): one process ("track") per
+//! machine named via metadata events, `ph:"X"` complete slices with µs
+//! timestamps, and `ph:"s"`/`ph:"f"` flow events bound to tiny
+//! `net:tx`/`net:rx` slices along every traced packet edge. Load the file
+//! in `ui.perfetto.dev` or `chrome://tracing`. [`validate_chrome_trace`]
+//! re-parses an export with the in-crate JSON parser (`json` module) and
+//! checks the required fields, so CI can prove the exporter never bit-rots.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amoeba_sim::{SimHandle, SimTime};
+use parking_lot::Mutex;
+
+pub mod export;
+pub mod hist;
+pub mod json;
+
+pub use export::validate_chrome_trace;
+pub use hist::{Hist, MetricsSnapshot};
+
+/// A causal trace context: which request (`trace`) and which operation
+/// within it (`span`). `trace == 0` means "no context"; ids are never 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    pub trace: u64,
+    pub span: u64,
+}
+
+impl TraceCtx {
+    pub const NONE: TraceCtx = TraceCtx { trace: 0, span: 0 };
+
+    pub fn is_none(&self) -> bool {
+        self.trace == 0
+    }
+
+    pub fn is_some(&self) -> bool {
+        self.trace != 0
+    }
+}
+
+thread_local! {
+    /// The ambient trace context of the current simulated process.
+    ///
+    /// Every simulated process is one OS thread, so a thread-local is
+    /// exactly "the context of the operation this process is inside".
+    /// Layers that cannot practically thread a `TraceCtx` argument
+    /// (the RPC client under a deep client API) read it here.
+    static CURRENT: std::cell::Cell<TraceCtx> = const { std::cell::Cell::new(TraceCtx::NONE) };
+}
+
+/// The ambient trace context of the calling simulated process
+/// (`TraceCtx::NONE` when none is set).
+pub fn current_ctx() -> TraceCtx {
+    CURRENT.with(|c| c.get())
+}
+
+/// Sets the ambient trace context; returns the previous one so callers
+/// can restore it when their scope ends (do so — server loops are
+/// long-lived threads and a leaked context mis-parents later requests).
+pub fn set_current_ctx(ctx: TraceCtx) -> TraceCtx {
+    CURRENT.with(|c| c.replace(ctx))
+}
+
+/// One recorded span. `end == None` while the span is open (an export
+/// renders open spans with zero duration rather than dropping them).
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    pub trace: u64,
+    pub span: u64,
+    /// Parent span id within the same trace; 0 for a root.
+    pub parent: u64,
+    pub name: String,
+    /// Machine id — one exporter track per machine.
+    pub machine: u64,
+    pub start: SimTime,
+    pub end: Option<SimTime>,
+}
+
+/// One traced packet edge (send → deliver), rendered as a flow arrow.
+#[derive(Debug, Clone)]
+pub struct FlowRec {
+    pub trace: u64,
+    pub span: u64,
+    pub src_machine: u64,
+    pub sent_at: SimTime,
+    pub dst_machine: u64,
+    pub delivered_at: SimTime,
+}
+
+struct Inner {
+    rng: u64,
+    /// When off, span/flow records are dropped (contexts still
+    /// propagate, histograms still fill) — the metrics-only mode long
+    /// bench windows use to keep memory bounded.
+    record_spans: bool,
+    spans: Vec<SpanRec>,
+    open: HashMap<u64, usize>,
+    flows: Vec<FlowRec>,
+    tracks: Vec<(u64, String)>,
+    metrics: hist::Registry,
+}
+
+struct Collector {
+    sim: SimHandle,
+    inner: Mutex<Inner>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Cheap-clone handle to the per-simulation collector. A disabled handle
+/// ([`Telemetry::disabled`]) makes every record call a near-free no-op.
+#[derive(Clone)]
+pub struct Telemetry(Option<Arc<Collector>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Telemetry({})",
+            if self.0.is_some() { "on" } else { "off" }
+        )
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: nothing is recorded, nothing is allocated.
+    pub fn disabled() -> Telemetry {
+        Telemetry(None)
+    }
+
+    /// Creates a collector for this simulation and installs it in the
+    /// kernel's user-data slot, where [`Telemetry::from_handle`] finds it.
+    pub fn install(sim: &SimHandle) -> Telemetry {
+        Self::install_with(sim, true)
+    }
+
+    /// [`Telemetry::install`] without span/flow storage: trace contexts
+    /// still propagate and the latency histograms still fill, but no
+    /// per-span records accumulate. The right mode for multi-second
+    /// bench windows that only want percentiles.
+    pub fn install_metrics_only(sim: &SimHandle) -> Telemetry {
+        Self::install_with(sim, false)
+    }
+
+    fn install_with(sim: &SimHandle, record_spans: bool) -> Telemetry {
+        let collector = Arc::new(Collector {
+            sim: sim.clone(),
+            inner: Mutex::new(Inner {
+                rng: sim.seed() ^ 0xA0EB_A7E1_EC7A_CE00,
+                record_spans,
+                spans: Vec::new(),
+                open: HashMap::new(),
+                flows: Vec::new(),
+                tracks: Vec::new(),
+                metrics: hist::Registry::default(),
+            }),
+        });
+        sim.set_user_data(collector.clone() as Arc<dyn Any + Send + Sync>);
+        Telemetry(Some(collector))
+    }
+
+    /// The handle installed on this simulation, or a disabled handle if
+    /// [`Telemetry::install`] was never called. Every component already
+    /// holds a `SimHandle`, so no constructor needs a telemetry parameter.
+    pub fn from_handle(sim: &SimHandle) -> Telemetry {
+        match sim.user_data() {
+            Some(data) => match data.downcast::<Collector>() {
+                Ok(c) => Telemetry(Some(c)),
+                Err(_) => Telemetry(None),
+            },
+            None => Telemetry(None),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Names the exporter track for a machine (`process_name` metadata).
+    pub fn name_machine(&self, machine: u64, name: &str) {
+        if let Some(c) = &self.0 {
+            let mut inner = c.inner.lock();
+            if !inner.tracks.iter().any(|(m, _)| *m == machine) {
+                inner.tracks.push((machine, name.to_string()));
+            }
+        }
+    }
+
+    /// Opens a root span (a new trace) on `machine` at the current
+    /// simulated time. Returns [`TraceCtx::NONE`] when disabled.
+    pub fn begin_root(&self, name: &str, machine: u64) -> TraceCtx {
+        self.begin_at(name, machine, None, None)
+    }
+
+    /// Opens a child span of `parent` on `machine`. Silence propagates:
+    /// a `NONE` parent (or a disabled handle) yields `NONE`.
+    pub fn begin_child(&self, name: &str, machine: u64, parent: TraceCtx) -> TraceCtx {
+        if parent.is_none() {
+            return TraceCtx::NONE;
+        }
+        self.begin_at(name, machine, Some(parent), None)
+    }
+
+    /// [`Telemetry::begin_child`] with an explicit start time, for call
+    /// sites that know the span began earlier than "now" (e.g. a handler
+    /// attributing queueing delay).
+    pub fn begin_child_at(
+        &self,
+        name: &str,
+        machine: u64,
+        parent: TraceCtx,
+        start: SimTime,
+    ) -> TraceCtx {
+        if parent.is_none() {
+            return TraceCtx::NONE;
+        }
+        self.begin_at(name, machine, Some(parent), Some(start))
+    }
+
+    fn begin_at(
+        &self,
+        name: &str,
+        machine: u64,
+        parent: Option<TraceCtx>,
+        start: Option<SimTime>,
+    ) -> TraceCtx {
+        let Some(c) = &self.0 else {
+            return TraceCtx::NONE;
+        };
+        let now = start.unwrap_or_else(|| c.sim.now());
+        let mut inner = c.inner.lock();
+        let span = Self::next_id(&mut inner.rng);
+        let (trace, parent_span) = match parent {
+            Some(p) => (p.trace, p.span),
+            None => (Self::next_id(&mut inner.rng), 0),
+        };
+        if !inner.record_spans {
+            return TraceCtx { trace, span };
+        }
+        let idx = inner.spans.len();
+        inner.spans.push(SpanRec {
+            trace,
+            span,
+            parent: parent_span,
+            name: name.to_string(),
+            machine,
+            start: now,
+            end: None,
+        });
+        inner.open.insert(span, idx);
+        TraceCtx { trace, span }
+    }
+
+    fn next_id(rng: &mut u64) -> u64 {
+        loop {
+            let id = splitmix64(rng);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Closes `ctx`'s span at the current simulated time.
+    pub fn end(&self, ctx: TraceCtx) {
+        if let Some(c) = &self.0 {
+            if ctx.is_some() {
+                self.end_at(ctx, c.sim.now());
+            }
+        }
+    }
+
+    /// Closes `ctx`'s span at an explicit simulated time.
+    pub fn end_at(&self, ctx: TraceCtx, at: SimTime) {
+        let Some(c) = &self.0 else { return };
+        if ctx.is_none() {
+            return;
+        }
+        let mut inner = c.inner.lock();
+        if let Some(idx) = inner.open.remove(&ctx.span) {
+            inner.spans[idx].end = Some(at);
+        }
+    }
+
+    /// Records a traced packet edge; the network layer calls this once per
+    /// delivered copy with both endpoints' timestamps.
+    pub fn flow(
+        &self,
+        ctx: TraceCtx,
+        src_machine: u64,
+        sent_at: SimTime,
+        dst_machine: u64,
+        delivered_at: SimTime,
+    ) {
+        let Some(c) = &self.0 else { return };
+        if ctx.is_none() {
+            return;
+        }
+        let mut inner = c.inner.lock();
+        if !inner.record_spans {
+            return;
+        }
+        inner.flows.push(FlowRec {
+            trace: ctx.trace,
+            span: ctx.span,
+            src_machine,
+            sent_at,
+            dst_machine,
+            delivered_at,
+        });
+    }
+
+    /// Records one latency observation (µs) into the histogram for
+    /// `family` (e.g. `"op.create"`).
+    pub fn observe_us(&self, family: &str, us: u64) {
+        if let Some(c) = &self.0 {
+            c.inner.lock().metrics.observe(family, us);
+        }
+    }
+
+    /// Records the simulated duration since `start` into `family`.
+    pub fn observe_since(&self, family: &str, start: SimTime) {
+        if let Some(c) = &self.0 {
+            let dur = c.sim.now().saturating_since(start);
+            c.inner
+                .lock()
+                .metrics
+                .observe(family, dur.as_micros() as u64);
+        }
+    }
+
+    /// Bumps a named counter.
+    pub fn count(&self, name: &str, n: u64) {
+        if let Some(c) = &self.0 {
+            c.inner.lock().metrics.count(name, n);
+        }
+    }
+
+    /// Sets a named gauge to its latest value.
+    pub fn gauge(&self, name: &str, v: i64) {
+        if let Some(c) = &self.0 {
+            c.inner.lock().metrics.gauge(name, v);
+        }
+    }
+
+    /// A snapshot of all recorded spans (tests and report plumbing).
+    pub fn spans(&self) -> Vec<SpanRec> {
+        match &self.0 {
+            Some(c) => c.inner.lock().spans.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A snapshot of all recorded flow edges.
+    pub fn flows(&self) -> Vec<FlowRec> {
+        match &self.0 {
+            Some(c) => c.inner.lock().flows.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A snapshot of the metrics registry (histograms + counters + gauges).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.0 {
+            Some(c) => c.inner.lock().metrics.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Serializes everything recorded so far as Chrome trace-event JSON.
+    pub fn export_chrome_json(&self) -> String {
+        match &self.0 {
+            Some(c) => {
+                let inner = c.inner.lock();
+                export::chrome_json(&inner.spans, &inner.flows, &inner.tracks)
+            }
+            None => String::from("{\"traceEvents\":[]}\n"),
+        }
+    }
+}
+
+/// Connectivity statistics for the span tree of one trace: `(roots,
+/// orphans, distinct machines)`. A *connected* tree has `roots == 1` and
+/// `orphans == 0`; an orphan is a non-root span whose parent id does not
+/// appear in the trace.
+pub fn span_tree_stats(spans: &[SpanRec], trace: u64) -> (usize, usize, usize) {
+    let in_trace: Vec<&SpanRec> = spans.iter().filter(|s| s.trace == trace).collect();
+    let ids: std::collections::HashSet<u64> = in_trace.iter().map(|s| s.span).collect();
+    let mut roots = 0;
+    let mut orphans = 0;
+    let mut machines = std::collections::HashSet::new();
+    for s in &in_trace {
+        machines.insert(s.machine);
+        if s.parent == 0 {
+            roots += 1;
+        } else if !ids.contains(&s.parent) {
+            orphans += 1;
+        }
+    }
+    (roots, orphans, machines.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_sim::Simulation;
+
+    #[test]
+    fn disabled_handle_is_silent() {
+        let tele = Telemetry::disabled();
+        let ctx = tele.begin_root("op", 1);
+        assert!(ctx.is_none());
+        tele.end(ctx);
+        tele.observe_us("op", 10);
+        assert!(tele.spans().is_empty());
+        assert!(tele.metrics().hists.is_empty());
+    }
+
+    #[test]
+    fn install_then_from_handle_shares_collector() {
+        let sim = Simulation::new(7);
+        let tele = Telemetry::install(&sim.handle());
+        let again = Telemetry::from_handle(&sim.handle());
+        let ctx = tele.begin_root("op", 3);
+        assert!(ctx.is_some());
+        again.end(ctx);
+        let spans = again.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "op");
+        assert!(spans[0].end.is_some());
+    }
+
+    #[test]
+    fn child_of_none_is_none_and_ids_are_deterministic() {
+        let sim = Simulation::new(9);
+        let tele = Telemetry::install(&sim.handle());
+        assert!(tele.begin_child("x", 0, TraceCtx::NONE).is_none());
+
+        let sim2 = Simulation::new(9);
+        let tele2 = Telemetry::install(&sim2.handle());
+        let a = tele.begin_root("op", 1);
+        let b = tele2.begin_root("op", 1);
+        assert_eq!((a.trace, a.span), (b.trace, b.span));
+    }
+
+    #[test]
+    fn span_tree_stats_counts_roots_and_orphans() {
+        let sim = Simulation::new(1);
+        let tele = Telemetry::install(&sim.handle());
+        let root = tele.begin_root("root", 1);
+        let kid = tele.begin_child("kid", 2, root);
+        let _grandkid = tele.begin_child("grandkid", 3, kid);
+        let (roots, orphans, machines) = span_tree_stats(&tele.spans(), root.trace);
+        assert_eq!((roots, orphans, machines), (1, 0, 3));
+    }
+}

@@ -1,0 +1,84 @@
+//! Seeded property tests pitting [`Hist`] against a sorted-vector
+//! oracle.
+//!
+//! The histogram's contract is exact, not approximate: a percentile is
+//! the upper bound of the bucket holding rank `ceil(p/100 · count)`,
+//! which equals the rank-th element of the *quantized* observation
+//! stream in sorted order ([`Hist::quantize`] exposes the bucketing so
+//! the oracle can predict it). That lets the oracle use `assert_eq!`
+//! across arbitrary value mixes, split points, and merges instead of
+//! tolerance bands.
+
+use amoeba_telemetry::Hist;
+use amoeba_testkit::{check, Gen};
+
+/// What the histogram must report for percentile `p` over `values`:
+/// the rank-th smallest quantized observation.
+fn oracle(values: &[u64], p: f64) -> u64 {
+    let mut q: Vec<u64> = values.iter().map(|&v| Hist::quantize(v)).collect();
+    q.sort_unstable();
+    let rank = ((p / 100.0) * q.len() as f64).ceil().max(1.0) as usize;
+    q[rank.min(q.len()) - 1]
+}
+
+/// A value stream spanning many magnitudes (unit buckets, mid-range
+/// latencies, and near-overflow outliers all land in different bucket
+/// regimes).
+fn arbitrary_values(g: &mut Gen) -> Vec<u64> {
+    let n = 1 + g.below(300);
+    (0..n).map(|_| g.u64() >> g.below(64)).collect()
+}
+
+#[test]
+fn percentiles_match_sorted_vector_oracle() {
+    check("hist percentiles vs oracle", 128, |g: &mut Gen| {
+        let values = arbitrary_values(g);
+        let mut h = Hist::default();
+        for &v in &values {
+            h.record(v);
+        }
+        assert_eq!(h.count, values.len() as u64);
+        assert_eq!(h.max, *values.iter().max().unwrap());
+        assert_eq!(h.sum, values.iter().fold(0u64, |a, &v| a.saturating_add(v)));
+        for p in [0.0, 1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), oracle(&values, p), "p{p}");
+        }
+    });
+}
+
+#[test]
+fn merge_matches_oracle_over_combined_stream() {
+    check("hist merge vs oracle", 128, |g: &mut Gen| {
+        let values = arbitrary_values(g);
+        let split = g.below(values.len() + 1);
+        let (left, right) = values.split_at(split);
+        let mut a = Hist::default();
+        for &v in left {
+            a.record(v);
+        }
+        let mut b = Hist::default();
+        for &v in right {
+            b.record(v);
+        }
+        a.merge(&b);
+        let mut whole = Hist::default();
+        for &v in &values {
+            whole.record(v);
+        }
+        assert_eq!(a, whole, "merge must equal combined recording");
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(a.percentile(p), oracle(&values, p), "p{p} after merge");
+        }
+    });
+}
+
+#[test]
+fn quantization_error_is_bounded() {
+    check("hist relative error", 128, |g: &mut Gen| {
+        let v = g.u64() >> g.below(64);
+        let q = Hist::quantize(v);
+        assert!(q >= v, "quantized value must not under-report");
+        let rel = (q - v) as f64 / (v.max(1)) as f64;
+        assert!(rel <= 1.0 / 16.0 + 1e-9, "v={v} q={q} rel={rel}");
+    });
+}
