@@ -57,10 +57,18 @@
 //! The update-burst and read-mix sections also report per-op-family
 //! p50/p95/p99 latencies from the telemetry histograms.
 //!
+//! A tenth, `<label>+pipelined-commit`, A/Bs the two-stage commit
+//! pipeline on the disk-bound update burst: `flush_window` 1 (the
+//! serial seed driver, bit-identical to the pre-pipeline build) vs 4
+//! vs 8, flat and at 4 shards, on the head-aware disk model in both
+//! arms — so the delta is the pipeline overlapping apply of batch N+1
+//! with the ~28 ms seek of batch N, plus per-op-family p50/p95/p99
+//! append latencies for every point.
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
 //! (append `--internetwork-only` / `--shards-only` / `--migration-only`
-//! / `--read-mix-only` / `--record-only` / `--telemetry-only` to
-//! refresh just that run). The `ci-smoke` label runs a seconds-long
+//! / `--read-mix-only` / `--record-only` / `--telemetry-only` /
+//! `--commit-only` to refresh just that run). The `ci-smoke` label runs a seconds-long
 //! subset with tiny iteration counts against a scratch output file and
 //! asserts the emitted JSON is valid — the CI guard against bench
 //! bit-rot. The `trace` label instead runs one traced 4-shard cached
@@ -87,6 +95,7 @@ fn main() {
     let read_mix_only = args.iter().any(|a| a == "--read-mix-only");
     let record_only = args.iter().any(|a| a == "--record-only");
     let telemetry_only = args.iter().any(|a| a == "--telemetry-only");
+    let commit_only = args.iter().any(|a| a == "--commit-only");
     let mut pos = args.iter().filter(|a| !a.starts_with("--"));
     let label = pos
         .next()
@@ -144,6 +153,12 @@ fn main() {
         let telemetry = telemetry_overhead_run(&label);
         append_run(&out_path, "pipeline", &telemetry).expect("write BENCH_pipeline.json");
         println!("appended telemetry-overhead run to {}", out_path.display());
+        return;
+    }
+    if commit_only {
+        let commit = pipelined_commit_run(&label);
+        append_run(&out_path, "pipeline", &commit).expect("write BENCH_pipeline.json");
+        println!("appended pipelined-commit run to {}", out_path.display());
         return;
     }
     println!("pipeline bench — run '{label}'");
@@ -215,7 +230,88 @@ fn main() {
     // A/B eight: causal-tracing telemetry on vs off.
     let telemetry = telemetry_overhead_run(&label);
     append_run(&out_path, "pipeline", &telemetry).expect("write BENCH_pipeline.json");
+
+    // A/B nine: the two-stage commit pipeline (flush window 1/4/8).
+    let commit = pipelined_commit_run(&label);
+    append_run(&out_path, "pipeline", &commit).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
+}
+
+/// The pipelined-group-commit A/B: the disk-bound update burst at
+/// `flush_window` 1 (the serial seed driver — bit-identical to the
+/// pre-pipeline build), 4 and 8, flat and sharded 4 ways, with the
+/// head-aware disk model on in **every** arm so the delta is the
+/// pipeline alone: the replica applies batch N+1 (and the sequencer
+/// orders N+2…) while batch N's ~28 ms seek retires on the flusher.
+/// Per-op-family p50/p95/p99 latencies ride along for every point, and
+/// the `network` section records the window-over-serial speedups the
+/// acceptance bar reads (≥2× at 4 shards with window ≥ 4).
+fn pipelined_commit_run(label: &str) -> RunSummary {
+    use amoeba_bench::sharded_update_burst_with;
+    // 12 writers per shard: the pipeline is a bandwidth optimisation,
+    // so the A/B offers each shard enough closed-loop concurrency to
+    // fill the flush window — with ~3 writers a shard the queue never
+    // forms and both arms just measure single-op latency.
+    const N_WRITERS: usize = 48;
+    let warmup = Duration::from_secs(1);
+    let window = Duration::from_secs(8);
+    let mut run = RunSummary {
+        label: format!("{label}+pipelined-commit"),
+        ..Default::default()
+    };
+    for shards in [1usize, 4] {
+        let mut serial = f64::NAN;
+        for w in [1usize, 4, 8] {
+            let (r, latency) = sharded_update_burst_with(
+                shards,
+                false,
+                true,
+                N_WRITERS,
+                warmup,
+                window,
+                0x6C0D,
+                move |p| {
+                    p.dir.flush_window = w;
+                    p.disk.head_aware = true;
+                },
+            );
+            if w == 1 {
+                serial = r.ops_per_sec;
+            }
+            let p50 = latency
+                .iter()
+                .find(|(f, ..)| f == "cli.append_row")
+                .map(|(_, p50, ..)| *p50)
+                .unwrap_or(f64::NAN);
+            println!(
+                "  pipelined-commit/shards={shards}/window={w}: {:.1} appends/s \
+                 at {N_WRITERS} writers ({:.2}× serial), cli.append_row p50 {p50:.1} ms",
+                r.ops_per_sec,
+                r.ops_per_sec / serial
+            );
+            run.variants.push(VariantSummary {
+                variant: format!("Group(3)/pipelined-commit/shards={shards}/window={w}"),
+                n_clients: N_WRITERS,
+                lookup_ops_per_sec: f64::NAN,
+                update_ops_per_sec: r.ops_per_sec,
+                lookup_latency_ms: f64::NAN,
+                update_latency_ms: f64::NAN,
+            });
+            if w > 1 {
+                run.network.push((
+                    format!("pipelined-commit/shards={shards}/window{w}_over_serial"),
+                    r.ops_per_sec / serial,
+                ));
+            }
+            for (family, p50, p95, p99) in &latency {
+                let key = format!("pipelined-commit/shards={shards}/window={w}/{family}");
+                run.network.push((format!("{key}/p50_ms"), *p50));
+                run.network.push((format!("{key}/p95_ms"), *p95));
+                run.network.push((format!("{key}/p99_ms"), *p99));
+            }
+        }
+    }
+    run
 }
 
 /// The record-mode A/B: the group-layer throughput run untraced vs
@@ -797,6 +893,40 @@ fn ci_smoke() {
         run.network
             .push((format!("read-mix/cached/{family}/p99_ms"), *p99));
     }
+    // Pipelined group commit: a tiny flat serial-vs-window=4 A/B in its
+    // own `+pipelined-commit` run — asserts the two-stage driver, the
+    // staged flush path and the head-aware disk all drive end to end.
+    let mut prun = RunSummary {
+        label: "ci-smoke+pipelined-commit".to_owned(),
+        ..Default::default()
+    };
+    for w in [1usize, 4] {
+        let (p, _) = amoeba_bench::sharded_update_burst_with(
+            1,
+            false,
+            true,
+            2,
+            Duration::from_millis(500),
+            Duration::from_secs(2),
+            0xC1,
+            move |pa| {
+                pa.dir.flush_window = w;
+                pa.disk.head_aware = true;
+            },
+        );
+        assert!(
+            p.ops_per_sec > 0.0,
+            "pipelined-commit smoke run (window={w}) must complete appends"
+        );
+        prun.variants.push(VariantSummary {
+            variant: format!("ci-smoke/pipelined-commit/window={w}"),
+            n_clients: 2,
+            lookup_ops_per_sec: f64::NAN,
+            update_ops_per_sec: p.ops_per_sec,
+            lookup_latency_ms: f64::NAN,
+            update_latency_ms: f64::NAN,
+        });
+    }
     // Causal tracing: a tiny traced deployment must export Chrome trace
     // JSON that re-parses with a connected client-op span tree.
     let (mut ttb, tele) = amoeba_bench::testbed_traced(Variant::Group, 0xC1, |p| p.shards = 2);
@@ -846,6 +976,7 @@ fn ci_smoke() {
     let _ = std::fs::remove_file(&path);
     append_run(&path, "pipeline", &run).expect("ci-smoke: write json");
     append_run(&path, "pipeline", &run).expect("ci-smoke: append json");
+    append_run(&path, "pipeline", &prun).expect("ci-smoke: append pipelined-commit json");
     let text = std::fs::read_to_string(&path).expect("ci-smoke: read back");
     assert!(
         text.starts_with("{\n  \"bench\": \"pipeline\"") && text.ends_with("\n  ]\n}\n"),
@@ -869,6 +1000,12 @@ fn ci_smoke() {
     assert!(
         text.contains("read-mix/cached/cli.lookup/p50_ms") && text.contains("/p99_ms"),
         "ci-smoke: latency percentile entries must be present in the JSON"
+    );
+    assert!(
+        text.contains("\"label\": \"ci-smoke+pipelined-commit\"")
+            && text.contains("ci-smoke/pipelined-commit/window=1")
+            && text.contains("ci-smoke/pipelined-commit/window=4"),
+        "ci-smoke: the +pipelined-commit section must be present in the JSON"
     );
     std::fs::remove_file(&path).expect("ci-smoke: cleanup");
     println!(

@@ -209,6 +209,36 @@ pub fn sharded_update_burst(
     window: Duration,
     seed: u64,
 ) -> ShardBurstResult {
+    sharded_update_burst_with(
+        shards,
+        routed,
+        pruning,
+        n_writers,
+        warmup,
+        window,
+        seed,
+        |_| {},
+    )
+    .0
+}
+
+/// [`sharded_update_burst`] with a deployment-parameter hook (the
+/// pipelined-commit A/B sets `dir.flush_window` and `disk.head_aware`
+/// through it) plus per-op-family latency percentiles from a
+/// metrics-only telemetry collector installed *after* setup, so the
+/// histograms cover exactly the measured burst. Returns the burst
+/// result and [`latency_rows`].
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_update_burst_with(
+    shards: usize,
+    routed: bool,
+    pruning: bool,
+    n_writers: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    tweak: impl FnOnce(&mut ClusterParams),
+) -> (ShardBurstResult, Vec<(String, f64, f64, f64)>) {
     use amoeba_dir_core::cluster::ClusterTopology;
     use amoeba_dir_core::{DirClientError, DirError};
 
@@ -217,6 +247,7 @@ pub fn sharded_update_burst(
         if routed {
             p.net_topology = ClusterTopology::shard_star(shards);
         }
+        tweak(p);
     });
     tb.cluster.net.set_multicast_pruning(pruning);
 
@@ -240,6 +271,9 @@ pub fn sharded_update_burst(
     tb.sim.run_for(Duration::from_secs(30));
     let dirs = Arc::new(made.take().expect("burst directories created"));
 
+    // Percentiles for the burst only: metrics-only, installed after the
+    // directories exist, so setup ops stay out of the histograms.
+    let tele = amoeba_telemetry::Telemetry::install_metrics_only(&tb.sim.handle());
     let before = tb.cluster.net.stats();
     let ops_per_sec = throughput(
         &mut tb,
@@ -260,17 +294,29 @@ pub fn sharded_update_burst(
         },
     );
     let d = tb.cluster.net.stats().since(&before);
-    let total_ops = ops_per_sec * window.as_secs_f64();
-    ShardBurstResult {
-        ops_per_sec,
-        packets_forwarded: d.packets_forwarded,
-        mcast_pruned: d.mcast_pruned,
-        forwarded_per_op: if total_ops > 0.0 {
-            d.packets_forwarded as f64 / total_ops
-        } else {
-            f64::NAN
-        },
+    if std::env::var("BURST_STATS").is_ok() {
+        for s in 0..shards {
+            let st = tb.cluster.shard_server(s, 0).replica_stats();
+            eprintln!(
+                "    shard {s}: applied={} batches={} flush_runs={} hwm={} stalls={}",
+                st.applied, st.batches, st.flush_runs, st.flush_inflight_hwm, st.window_stalls
+            );
+        }
     }
+    let total_ops = ops_per_sec * window.as_secs_f64();
+    (
+        ShardBurstResult {
+            ops_per_sec,
+            packets_forwarded: d.packets_forwarded,
+            mcast_pruned: d.mcast_pruned,
+            forwarded_per_op: if total_ops > 0.0 {
+                d.packets_forwarded as f64 / total_ops
+            } else {
+                f64::NAN
+            },
+        },
+        latency_rows(&tele.metrics()),
+    )
 }
 
 /// Result of one skewed-placement migration run.

@@ -50,6 +50,74 @@ fn client_write_yields_one_connected_span_tree() {
     assert!(summary.slices > 0 && summary.flow_pairs > 0);
 }
 
+/// Every auxiliary subsystem — the ordered queue, the lock service,
+/// and directory migration — must parent its server-side work into the
+/// client op's trace: one root, no orphans, spans on more than one
+/// machine, and the subsystem's own server span present in the tree.
+#[test]
+fn queue_lock_and_migration_ops_yield_connected_span_trees() {
+    use amoeba_dir_core::ShardMap;
+
+    let (mut tb, tele) = testbed_traced(Variant::Group, 0x10CC, |p| {
+        p.shards = 2;
+        p.queue_service = true;
+        p.lock_service = true;
+    });
+    let (qc, _) = tb.cluster.queue_client(&tb.sim);
+    let (lk, _) = tb.cluster.lock_client(&tb.sim);
+    let client = tb.client.clone();
+    let done = tb.sim.spawn("aux-ops", move |ctx| {
+        let q = qc.enqueue(ctx, "jobs", b"payload".to_vec()).is_ok()
+            && matches!(qc.dequeue(ctx, "jobs"), Ok(Some(_)));
+        let l = lk.acquire(ctx, "leader", 7).is_ok() && lk.release(ctx, "leader", 7).is_ok();
+        let map = ShardMap::new(2);
+        let m = client
+            .create_dir(ctx, &["owner", "other"])
+            .ok()
+            .and_then(|cap| {
+                let here = map.shard_of_cap(&cap)?;
+                client.migrate(ctx, cap, 1 - here).ok()
+            })
+            .is_some();
+        (q, l, m)
+    });
+    tb.sim.run_for(Duration::from_secs(30));
+    assert_eq!(
+        done.take(),
+        Some((true, true, true)),
+        "queue, lock, and migration ops must all succeed"
+    );
+
+    let spans = tele.spans();
+    for (root_name, srv_name) in [
+        ("cli.q.enqueue", Some("queue.srv")),
+        ("cli.q.dequeue", Some("queue.srv")),
+        ("cli.lk.acquire", Some("lock.srv")),
+        ("cli.lk.release", Some("lock.srv")),
+        ("cli.migrate", None),
+    ] {
+        let root_span = spans
+            .iter()
+            .find(|s| s.name == root_name && s.parent == 0)
+            .unwrap_or_else(|| panic!("{root_name} root span recorded"));
+        let (roots, orphans, machines) = amoeba_telemetry::span_tree_stats(&spans, root_span.trace);
+        assert_eq!(roots, 1, "{root_name}: exactly one root in the trace");
+        assert_eq!(orphans, 0, "{root_name}: every span parents into the tree");
+        assert!(
+            machines >= 2,
+            "{root_name}: op must cross client and server; saw {machines}"
+        );
+        if let Some(srv) = srv_name {
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.trace == root_span.trace && s.name == srv),
+                "{root_name}: trace must contain a {srv} server span"
+            );
+        }
+    }
+}
+
 #[test]
 fn tracing_does_not_perturb_the_simulated_run() {
     let args = (

@@ -97,6 +97,14 @@ pub struct DirParams {
     /// one batch before a single durable group-commit flush (`1`
     /// disables apply batching; see `amoeba_rsm`).
     pub apply_batch: usize,
+    /// Bounded in-flight window of the two-stage commit pipeline: how
+    /// many applied-but-unflushed batches the replica driver may run
+    /// ahead of its flusher stage. `1` (the default) is the classic
+    /// serial driver — apply, flush, publish in lockstep. Only
+    /// meaningful on the [`StorageKind::Disk`] commit path; the NVRAM
+    /// path's log append inside apply *is* the durable commit, so it
+    /// always drives the serial loop. See `amoeba_rsm::RsmConfig`.
+    pub flush_window: usize,
     /// Enable the §3.2 improved two-server recovery rule.
     pub improved_recovery: bool,
     /// Disk or NVRAM commit path.
@@ -137,6 +145,7 @@ impl Default for DirParams {
             apply_cpu: Duration::from_micros(500),
             server_threads: 2,
             apply_batch: 32,
+            flush_window: 1,
             improved_recovery: false,
             storage: StorageKind::Disk,
             nvram_flush_threshold: 0.75,

@@ -23,6 +23,37 @@
 //! * On the NVRAM path the log append inside `apply` *is* the group
 //!   commit (already amortized, §4.1); `flush` only polices the
 //!   fill-threshold background flush.
+//!
+//! ## Pipelined group commit (flush window > 1)
+//!
+//! With [`DirParams::flush_window`] > 1 the driver overlaps apply of
+//! batch N+1 with the durable flush of batch N, so the two flush
+//! stages replace `flush`:
+//!
+//! * `seal_batch` — on the event loop, right after the batch's applies:
+//!   coalesces the pending effects and captures everything their
+//!   durable flush needs (directory contents, table checks, the commit
+//!   seqno as of this batch) into an immutable [`StagedBatch`]. No disk
+//!   I/O; later applies cannot alter a sealed batch.
+//! * `flush_staged` — on the flusher process, in seal order: replays
+//!   the sealed acts against the object table's **durable mirror**
+//!   (exactly what is on disk), so table-block writes never leak the
+//!   RAM state running ahead of them, and old-file deletions free the
+//!   *durable* predecessor file — which also covers the
+//!   deleted-then-recreated case the serial path handles with an
+//!   explicit free list. The multi-object `recovering` guard brackets
+//!   each staged batch exactly as in the serial path, with the sealed
+//!   seqno, so a crash with up to W batches in flight salvages the
+//!   durable prefix and never observes un-flushed state.
+//! * `flush_staged_run` — the queued submission: when several sealed
+//!   batches wait behind one flush, they merge into a single batch
+//!   (per object only the last sealed act survives — interim versions
+//!   are never written) retired by one disk conversation. That
+//!   conversation is region-phased: guard block, then every Bullet
+//!   create back-to-back (sequential allocation ⇒ settled, seek-free
+//!   accesses), then each *distinct* touched table block exactly once,
+//!   then the commit block, then metadata-only frees — so k updates
+//!   cost ~2 seeks plus k settled writes instead of 2k seeks.
 
 use std::sync::Arc;
 
@@ -48,8 +79,13 @@ pub struct DirectoryStateMachine {
     params: DirParams,
     cpu: Resource,
     /// Disk effects of the batch being applied, deferred until the
-    /// driver's group-commit `flush`.
+    /// driver's group-commit `flush` (or sealed per batch in pipelined
+    /// mode).
     pending: Mutex<Vec<Effect>>,
+    /// Sealed-but-unflushed batches of the pipelined commit, in token
+    /// order: the event loop pushes in `seal_batch`, the flusher pops
+    /// in `flush_staged`.
+    staged: Mutex<std::collections::VecDeque<StagedBatch>>,
 }
 
 impl std::fmt::Debug for DirectoryStateMachine {
@@ -67,6 +103,7 @@ impl DirectoryStateMachine {
             params,
             cpu,
             pending: Mutex::new(Vec::new()),
+            staged: Mutex::new(std::collections::VecDeque::new()),
         }
     }
 
@@ -169,6 +206,185 @@ enum FinalAct {
     Store(Directory),
     Drop { old_file: FileCap },
     Stub { old_file: FileCap },
+}
+
+/// One batch's durable work, sealed by `seal_batch` on the event loop
+/// and retired by `flush_staged` on the flusher — immutable from seal
+/// time on, so later applies can't reach into a batch already in
+/// flight.
+struct StagedBatch {
+    token: u64,
+    acts: Vec<(u64, StagedAct)>,
+    /// `Shared::commit.seqno` as of the end of this batch's applies:
+    /// the seqno the guard/commit-block writes of *this* batch carry.
+    /// Using the live value instead would let a crash salvage claim
+    /// coverage of later, still-unflushed batches.
+    commit_seqno: u64,
+    need_commit: bool,
+}
+
+/// Like [`FinalAct`], but self-contained: the check/seqno a table write
+/// needs are captured at seal time (exact — seal runs synchronously
+/// after the batch's applies), and old-file capabilities are *not*
+/// carried — the flusher frees whatever the durable mirror says is the
+/// object's current on-disk file.
+enum StagedAct {
+    Store { dir: Directory, check: u64 },
+    Drop,
+    Stub { seqno: u64, check: u64 },
+}
+
+/// A [`StagedAct`] whose Bullet file (phase one of `flush_staged`) has
+/// already been created — what remains is its object-table mutation.
+enum ResolvedAct {
+    Store {
+        file: FileCap,
+        seqno: u64,
+        check: u64,
+    },
+    Drop,
+    Stub {
+        seqno: u64,
+        check: u64,
+    },
+}
+
+impl DirectoryStateMachine {
+    /// Makes one sealed (possibly merged) batch durable: guard block,
+    /// then the batch's disk work in region-grouped phases so a
+    /// head-aware disk charges one seek per region instead of one per
+    /// object, then the commit block, then metadata-only frees.
+    fn flush_batch(&self, ctx: &Ctx, batch: StagedBatch) {
+        let applier = &self.applier;
+        if batch.acts.is_empty() {
+            return;
+        }
+        // The serial path's multi-object guard, per staged batch: a
+        // crash mid-flush must void (to the salvageable-prefix rule)
+        // rather than expose a half-written batch. The guard carries
+        // the sealed seqno — never the live one, which later unflushed
+        // batches may already have advanced.
+        let guard = batch.acts.len() > 1;
+        if guard {
+            let cb = {
+                let shared = applier.shared.lock();
+                let mut cb = shared.commit.clone();
+                cb.recovering = true;
+                cb.seqno = batch.commit_seqno;
+                cb
+            };
+            cb.write(&applier.partition, ctx);
+        }
+        // Phase one — Bullet creates. The batch's new files are written
+        // back-to-back, so the store's sequential allocation turns each
+        // create after the first into a settled (seek-free) access on a
+        // head-aware disk. Safe to run before the table writes: a file
+        // nothing points at is just a leak for recovery to ignore.
+        let mut resolved: Vec<(u64, ResolvedAct)> = Vec::with_capacity(batch.acts.len());
+        for (object, act) in batch.acts {
+            match act {
+                StagedAct::Store { dir, check } => {
+                    // Err means the storage column is down; recovery
+                    // resyncs the object, so the act is just skipped.
+                    if let Ok(file) = applier.bullet.create(ctx, dir.encode()) {
+                        resolved.push((
+                            object,
+                            ResolvedAct::Store {
+                                file,
+                                seqno: dir.seqno,
+                                check,
+                            },
+                        ));
+                    }
+                }
+                StagedAct::Drop => resolved.push((object, ResolvedAct::Drop)),
+                StagedAct::Stub { seqno, check } => {
+                    resolved.push((object, ResolvedAct::Stub { seqno, check }));
+                }
+            }
+        }
+        // Phase two — the object-table commit. All mirror mutations land
+        // first, then every *distinct* touched block is written exactly
+        // once: a batch of appends to directories sharing a table block
+        // costs one block write instead of one per directory, and the
+        // queued writes land on adjacent blocks.
+        let (olds, waiters) = {
+            let mut shared = applier.shared.lock();
+            let mut olds: Vec<FileCap> = Vec::new();
+            let mut blocks: Vec<u64> = Vec::new();
+            for (object, act) in &resolved {
+                let old = shared.table.durable_get(*object);
+                let keep = match act {
+                    ResolvedAct::Store { file, seqno, check } => {
+                        shared.table.durable_set(
+                            *object,
+                            ObjEntry {
+                                file_cap: *file,
+                                seqno: *seqno,
+                                check: *check,
+                            },
+                        );
+                        Some(*file) // recreation over the same file is no free
+                    }
+                    ResolvedAct::Drop => {
+                        shared.table.durable_clear(*object);
+                        None
+                    }
+                    ResolvedAct::Stub { seqno, check } => {
+                        shared.table.durable_set(
+                            *object,
+                            ObjEntry {
+                                file_cap: FileCap::NULL, // contentless by design
+                                seqno: *seqno,
+                                check: *check,
+                            },
+                        );
+                        None
+                    }
+                };
+                if let Some(old) = old {
+                    if !old.file_cap.is_null() && keep != Some(old.file_cap) {
+                        olds.push(old.file_cap);
+                    }
+                }
+                if let Some(b) = shared.table.block_of(*object) {
+                    if !blocks.contains(&b) {
+                        blocks.push(b);
+                    }
+                }
+            }
+            let waiters: Vec<_> = blocks
+                .into_iter()
+                .filter_map(|b| shared.table.durable_flush_block_begin(b))
+                .collect();
+            (olds, waiters)
+        };
+        for w in waiters {
+            w.recv(ctx);
+        }
+        if guard || batch.need_commit {
+            let cb = {
+                let mut shared = applier.shared.lock();
+                if guard {
+                    // Same epoch bookkeeping as the serial path: a
+                    // completed guarded flush closes one generation.
+                    shared.commit.epoch += 1;
+                }
+                let mut cb = shared.commit.clone();
+                cb.recovering = false;
+                cb.seqno = batch.commit_seqno;
+                cb
+            };
+            cb.write(&applier.partition, ctx);
+        }
+        // Phase three — free the files the batch superseded, now that
+        // the table durably points past them. Deletes are metadata-only
+        // on the Bullet server (no disk access); doing them last means
+        // a crash leaks a file at worst, never dangles a capability.
+        for f in olds {
+            let _ = applier.bullet.delete(ctx, f);
+        }
+    }
 }
 
 impl StateMachine for DirectoryStateMachine {
@@ -305,6 +521,110 @@ impl StateMachine for DirectoryStateMachine {
         }
     }
 
+    fn seal_batch(&self, _ctx: &Ctx, token: u64) {
+        let applier = &self.applier;
+        if applier.storage == StorageKind::Nvram {
+            // The log appends in `apply` already committed the batch;
+            // stage an empty marker so tokens stay in lockstep.
+            self.staged.lock().push_back(StagedBatch {
+                token,
+                acts: Vec::new(),
+                commit_seqno: 0,
+                need_commit: false,
+            });
+            return;
+        }
+        let effects = std::mem::take(&mut *self.pending.lock());
+        // `frees` (pre-batch file of a deleted-then-recreated object) is
+        // deliberately dropped: the flusher frees the durable mirror's
+        // file when it stores the recreation, which *is* that pre-batch
+        // file — carrying the list too would free it twice.
+        let (acts, _frees, need_commit) = Self::coalesce(effects);
+        let batch = {
+            let shared = applier.shared.lock();
+            let acts = acts
+                .into_iter()
+                .map(|(object, act)| {
+                    let entry = shared.table.get(object);
+                    let staged = match act {
+                        FinalAct::Store(dir) => StagedAct::Store {
+                            dir,
+                            check: entry.map(|e| e.check).unwrap_or(0),
+                        },
+                        FinalAct::Drop { .. } => StagedAct::Drop,
+                        FinalAct::Stub { .. } => StagedAct::Stub {
+                            seqno: entry.map(|e| e.seqno).unwrap_or(0),
+                            check: entry.map(|e| e.check).unwrap_or(0),
+                        },
+                    };
+                    (object, staged)
+                })
+                .collect();
+            StagedBatch {
+                token,
+                acts,
+                commit_seqno: shared.commit.seqno,
+                need_commit,
+            }
+        };
+        self.staged.lock().push_back(batch);
+    }
+
+    fn flush_staged(&self, ctx: &Ctx, token: u64) {
+        let batch = {
+            let mut staged = self.staged.lock();
+            let batch = staged.pop_front().expect("flush of an unsealed batch");
+            assert_eq!(batch.token, token, "staged flushes out of order");
+            batch
+        };
+        if self.applier.storage == StorageKind::Nvram {
+            self.flush(ctx); // fill-threshold policing only
+            return;
+        }
+        self.flush_batch(ctx, batch);
+    }
+
+    fn flush_staged_run(&self, ctx: &Ctx, first: u64, last: u64) {
+        if self.applier.storage == StorageKind::Nvram || first == last {
+            for token in first..=last {
+                self.flush_staged(ctx, token);
+            }
+            return;
+        }
+        // Merge the run into one batch: per object only the *last*
+        // sealed act survives — interim versions are never written,
+        // which is the queued submission's whole point. Old-file frees
+        // still come from the durable mirror at flush time, so the
+        // skipped interim files were never created and nothing leaks.
+        // The merged guard/commit block carries the last batch's
+        // sealed seqno, covering every merged batch.
+        let merged = {
+            let mut staged = self.staged.lock();
+            let mut acts: Vec<(u64, StagedAct)> = Vec::new();
+            let mut commit_seqno = 0;
+            let mut need_commit = false;
+            for token in first..=last {
+                let b = staged.pop_front().expect("flush of an unsealed batch");
+                assert_eq!(b.token, token, "staged flushes out of order");
+                commit_seqno = b.commit_seqno;
+                need_commit |= b.need_commit;
+                for (object, act) in b.acts {
+                    match acts.iter_mut().find(|(o, _)| *o == object) {
+                        Some(slot) => slot.1 = act,
+                        None => acts.push((object, act)),
+                    }
+                }
+            }
+            StagedBatch {
+                token: last,
+                acts,
+                commit_seqno,
+                need_commit,
+            }
+        };
+        self.flush_batch(ctx, merged);
+    }
+
     fn idle(&self, ctx: &Ctx) {
         // §4.1: apply NVRAM modifications to disk "when the server is
         // idle or the NVRAM is full".
@@ -353,6 +673,13 @@ impl StateMachine for DirectoryStateMachine {
             }
             shared.commit = commit;
             shared.commit.recovering = false;
+            // Pipelined commit: baseline the durable mirror at the
+            // just-loaded table — RAM and disk agree at boot, and from
+            // here on the flusher keeps the mirror equal to the disk
+            // while applies run ahead in RAM.
+            if self.params.flush_window > 1 && applier.storage == StorageKind::Disk {
+                shared.table.enable_durable_mirror();
+            }
         }
         // NVRAM survives the crash; replay pending records into RAM.
         if applier.storage == StorageKind::Nvram {
@@ -667,6 +994,17 @@ impl StateMachine for DirectoryStateMachine {
                 w.recv(ctx);
             }
         }
+        // The install persisted every entry, so RAM and disk agree
+        // again: re-baseline the durable mirror (the driver drains the
+        // flush window before any recovery path, so no staged batch
+        // can be in flight here).
+        {
+            let mut shared = applier.shared.lock();
+            if shared.table.mirror_enabled() {
+                shared.table.enable_durable_mirror();
+            }
+        }
+        self.staged.lock().clear();
         true
     }
 

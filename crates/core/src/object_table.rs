@@ -30,6 +30,15 @@ pub struct ObjEntry {
 #[derive(Debug)]
 pub struct ObjectTable {
     entries: Vec<Option<ObjEntry>>,
+    /// The **durable mirror** (pipelined group commit): exactly what is
+    /// on disk right now. With a flush window > 1 the apply loop runs
+    /// ahead of the flusher, so `entries` (RAM truth) and the disk
+    /// diverge by up to W batches; the flusher applies each sealed
+    /// batch to this mirror and encodes table blocks *from it*, never
+    /// from `entries`, so a block write can't leak a later batch's
+    /// state. `None` in the classic serial mode, where `entries` and
+    /// the disk never diverge outside a single flush.
+    durable: Option<Vec<Option<ObjEntry>>>,
     partition: RawPartition,
     entries_per_block: usize,
 }
@@ -42,6 +51,7 @@ impl ObjectTable {
         let capacity = (partition.len().saturating_sub(1) as usize) * entries_per_block;
         ObjectTable {
             entries: vec![None; capacity],
+            durable: None,
             partition,
             entries_per_block,
         }
@@ -138,6 +148,100 @@ impl ObjectTable {
         let hi = (lo + self.entries_per_block).min(self.entries.len());
         let mut w = WireWriter::new();
         for e in &self.entries[lo..hi] {
+            encode_entry(&mut w, e);
+        }
+        Some(self.partition.write_begin(block, w.finish()))
+    }
+
+    /// Starts (or re-baselines) the durable mirror at the current
+    /// in-memory contents. Call when RAM and disk are known to agree:
+    /// right after [`load`](Self::load) at boot, or after a snapshot
+    /// install persisted every entry.
+    pub fn enable_durable_mirror(&mut self) {
+        self.durable = Some(self.entries.clone());
+    }
+
+    /// Whether the durable mirror is active.
+    pub fn mirror_enabled(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The mirror's entry for `object` — what the disk holds *now*,
+    /// which in pipelined mode may trail [`get`](Self::get) by up to a
+    /// window of batches. Falls back to the RAM entry when the mirror
+    /// is off (the two are then never observed apart).
+    pub fn durable_get(&self, object: u64) -> Option<ObjEntry> {
+        let slot = self.slot(object)?;
+        match &self.durable {
+            Some(d) => d.get(slot).copied().flatten(),
+            None => self.entries.get(slot).copied().flatten(),
+        }
+    }
+
+    /// Sets the mirror's entry (the flusher, applying a sealed batch).
+    /// No-op when the mirror is off.
+    pub fn durable_set(&mut self, object: u64, entry: ObjEntry) {
+        let Some(slot) = self.slot(object) else {
+            return;
+        };
+        if let Some(d) = &mut self.durable {
+            d[slot] = Some(entry);
+        }
+    }
+
+    /// Clears the mirror's entry. No-op when the mirror is off.
+    pub fn durable_clear(&mut self, object: u64) {
+        let Some(slot) = self.slot(object) else {
+            return;
+        };
+        if let Some(d) = &mut self.durable {
+            d[slot] = None;
+        }
+    }
+
+    /// [`flush_begin`](Self::flush_begin), but encoding the block from
+    /// the durable mirror (falling back to RAM entries when the mirror
+    /// is off) — the pipelined flusher's block write, which must not
+    /// leak applied-but-unsealed later state onto disk.
+    pub fn durable_flush_begin(&self, object: u64) -> Option<amoeba_sim::MailboxRx<()>> {
+        let slot = self.slot(object)?;
+        let src = self.durable.as_ref().unwrap_or(&self.entries);
+        let block_index = slot / self.entries_per_block;
+        let block = block_index as u64 + 1;
+        let lo = block_index * self.entries_per_block;
+        let hi = (lo + self.entries_per_block).min(src.len());
+        let mut w = WireWriter::new();
+        for e in &src[lo..hi] {
+            encode_entry(&mut w, e);
+        }
+        Some(self.partition.write_begin(block, w.finish()))
+    }
+
+    /// The partition block holding `object`'s entry — lets the
+    /// pipelined flusher dedupe block writes when one batch touches
+    /// several objects that share a block.
+    pub fn block_of(&self, object: u64) -> Option<u64> {
+        let slot = self.slot(object)?;
+        Some((slot / self.entries_per_block) as u64 + 1)
+    }
+
+    /// [`durable_flush_begin`](Self::durable_flush_begin) addressed by
+    /// partition block rather than object: encodes `block` from the
+    /// durable mirror and enqueues its write. The pipelined flusher
+    /// mutates the mirror for the whole batch first, then writes each
+    /// touched block exactly once — a batch of updates to directories
+    /// sharing a block costs one disk access instead of one per
+    /// directory.
+    pub fn durable_flush_block_begin(&self, block: u64) -> Option<amoeba_sim::MailboxRx<()>> {
+        let src = self.durable.as_ref().unwrap_or(&self.entries);
+        let block_index = usize::try_from(block.checked_sub(1)?).ok()?;
+        let lo = block_index * self.entries_per_block;
+        if lo >= src.len() {
+            return None;
+        }
+        let hi = (lo + self.entries_per_block).min(src.len());
+        let mut w = WireWriter::new();
+        for e in &src[lo..hi] {
             encode_entry(&mut w, e);
         }
         Some(self.partition.write_begin(block, w.finish()))
@@ -308,6 +412,53 @@ mod tests {
             t.set(4, entry(4));
             let got: Vec<u64> = t.iter().map(|(o, _)| o).collect();
             assert_eq!(got, vec![2, 4]);
+        });
+    }
+
+    #[test]
+    fn durable_mirror_lags_ram_and_block_writes_come_from_it() {
+        with_table(|ctx, part| {
+            let mut t = ObjectTable::new(part.clone());
+            t.set(1, entry(1));
+            t.flush_entry(ctx, 1);
+            t.enable_durable_mirror();
+            // RAM runs ahead (the apply loop): entry 1 mutated, entry 2
+            // created — neither change sealed/flushed yet.
+            t.set(1, entry(9));
+            t.set(2, entry(2));
+            assert_eq!(t.get(1), Some(entry(9)));
+            assert_eq!(t.durable_get(1), Some(entry(1)));
+            assert_eq!(t.durable_get(2), None);
+            // A mirror-sourced block write must persist the *durable*
+            // state, not the RAM state running ahead of it.
+            if let Some(w) = t.durable_flush_begin(1) {
+                w.recv(ctx);
+            }
+            let loaded = ObjectTable::load(part.clone(), ctx);
+            assert_eq!(loaded.get(1), Some(entry(1)));
+            assert_eq!(loaded.get(2), None);
+            // The flusher retires the sealed batch into the mirror; the
+            // next block write carries it.
+            t.durable_set(1, entry(9));
+            t.durable_set(2, entry(2));
+            if let Some(w) = t.durable_flush_begin(2) {
+                w.recv(ctx);
+            }
+            let loaded = ObjectTable::load(part, ctx);
+            assert_eq!(loaded.get(1), Some(entry(9)));
+            assert_eq!(loaded.get(2), Some(entry(2)));
+        });
+    }
+
+    #[test]
+    fn durable_ops_fall_back_to_ram_without_mirror() {
+        with_table(|_ctx, part| {
+            let mut t = ObjectTable::new(part);
+            t.set(3, entry(3));
+            assert!(!t.mirror_enabled());
+            assert_eq!(t.durable_get(3), Some(entry(3)));
+            t.durable_clear(3); // no-op without a mirror
+            assert_eq!(t.get(3), Some(entry(3)));
         });
     }
 

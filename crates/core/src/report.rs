@@ -222,6 +222,9 @@ mod tests {
                     batches: 2,
                     aborted: 0,
                     recoveries: 1,
+                    window_stalls: 0,
+                    flush_inflight_hwm: 1,
+                    flush_runs: 1,
                 }),
                 group: None,
                 disk: DiskStats {

@@ -79,6 +79,15 @@ fn rsm_config(cfg: &ServiceConfig, params: &DirParams) -> RsmConfig {
     debug_assert_eq!(rsm.group_port, cfg.group_port);
     debug_assert_eq!(rsm.internal_ports[cfg.me], cfg.internal_port(cfg.me));
     rsm.apply_batch = params.apply_batch;
+    // The pipeline only pays off when flush costs disk time; on the
+    // NVRAM path the log append inside `apply` is the durable commit,
+    // so the serial loop is already optimal (and `flush` must keep
+    // policing the fill threshold inline).
+    rsm.flush_window = if params.storage == StorageKind::Disk {
+        params.flush_window
+    } else {
+        1
+    };
     rsm.idle_timeout = params.nvram_idle_flush;
     rsm.join_timeout = params.recovery_join_timeout;
     rsm.majority_timeout = params.recovery_majority_timeout;

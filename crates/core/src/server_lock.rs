@@ -393,6 +393,13 @@ pub fn start_lock_server(spawner: &impl Spawn, deps: LockServerDeps) -> LockServ
             &format!("lock{me}-srv{t}"),
             Box::new(move |ctx| loop {
                 let incoming = srv.getreq(ctx);
+                // Server-side span parented to the client's context; the
+                // submit inherits it via the ambient context, so a traced
+                // acquire shows client → lock server → sequencer →
+                // replicas as one connected tree.
+                let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+                let span = tele.begin_child("lock.srv", u64::from(srv.addr().0), incoming.trace);
+                let prev = amoeba_telemetry::set_current_ctx(span);
                 let reply = match LockRequest::decode(&incoming.data) {
                     Ok(LockRequest::Query { name }) => match replica.read_barrier(ctx) {
                         Ok(()) => match replica.machine().holder(&name) {
@@ -401,13 +408,23 @@ pub fn start_lock_server(spawner: &impl Spawn, deps: LockServerDeps) -> LockServ
                         },
                         Err(_) => LockReply::NoMajority,
                     },
-                    Ok(op) => match replica.submit(ctx, op.encode()) {
-                        Ok(bytes) => LockReply::decode(&bytes).unwrap_or(LockReply::Malformed),
-                        Err(RsmError::NotInService | RsmError::Aborted) => LockReply::NoMajority,
-                        Err(RsmError::ResultLost) => LockReply::Malformed,
-                    },
+                    Ok(op) => {
+                        match replica.submit_traced(
+                            ctx,
+                            op.encode(),
+                            amoeba_telemetry::current_ctx(),
+                        ) {
+                            Ok(bytes) => LockReply::decode(&bytes).unwrap_or(LockReply::Malformed),
+                            Err(RsmError::NotInService | RsmError::Aborted) => {
+                                LockReply::NoMajority
+                            }
+                            Err(RsmError::ResultLost) => LockReply::Malformed,
+                        }
+                    }
                     Err(_) => LockReply::Malformed,
                 };
+                amoeba_telemetry::set_current_ctx(prev);
+                tele.end(span);
                 srv.putrep(&incoming, reply.encode());
             }),
         );
@@ -464,24 +481,55 @@ impl LockClient {
         LockReply::decode(&bytes).map_err(|_| LockError::Service)
     }
 
+    /// Wraps one public operation in a client span (root when the
+    /// process has no ambient context) and a latency histogram — the
+    /// same shape as `DirClient`'s per-op instrumentation.
+    fn op<T>(
+        &self,
+        ctx: &Ctx,
+        name: &'static str,
+        f: impl FnOnce() -> Result<T, LockError>,
+    ) -> Result<T, LockError> {
+        let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+        if !tele.is_enabled() {
+            return f();
+        }
+        let machine = u64::from(self.rpc.addr().0);
+        let outer = amoeba_telemetry::current_ctx();
+        let span = if outer.is_some() {
+            tele.begin_child(name, machine, outer)
+        } else {
+            tele.begin_root(name, machine)
+        };
+        let prev = amoeba_telemetry::set_current_ctx(span);
+        let start = ctx.now();
+        let r = f();
+        amoeba_telemetry::set_current_ctx(prev);
+        tele.end(span);
+        tele.observe_since(name, start);
+        r
+    }
+
     /// Acquires `name` for `owner`.
     ///
     /// # Errors
     ///
     /// [`LockError::Busy`] if held by another owner.
     pub fn acquire(&self, ctx: &Ctx, name: &str, owner: u64) -> Result<(), LockError> {
-        match self.call(
-            ctx,
-            LockRequest::Acquire {
-                name: name.to_owned(),
-                owner,
-            },
-        )? {
-            LockReply::Ok => Ok(()),
-            LockReply::Busy(o) => Err(LockError::Busy(o)),
-            LockReply::NoMajority => Err(LockError::NoMajority),
-            _ => Err(LockError::Service),
-        }
+        self.op(ctx, "cli.lk.acquire", || {
+            match self.call(
+                ctx,
+                LockRequest::Acquire {
+                    name: name.to_owned(),
+                    owner,
+                },
+            )? {
+                LockReply::Ok => Ok(()),
+                LockReply::Busy(o) => Err(LockError::Busy(o)),
+                LockReply::NoMajority => Err(LockError::NoMajority),
+                _ => Err(LockError::Service),
+            }
+        })
     }
 
     /// Releases `name` held by `owner`.
@@ -490,18 +538,20 @@ impl LockClient {
     ///
     /// [`LockError::NotHeld`] if the caller does not hold it.
     pub fn release(&self, ctx: &Ctx, name: &str, owner: u64) -> Result<(), LockError> {
-        match self.call(
-            ctx,
-            LockRequest::Release {
-                name: name.to_owned(),
-                owner,
-            },
-        )? {
-            LockReply::Ok => Ok(()),
-            LockReply::NotHeld => Err(LockError::NotHeld),
-            LockReply::NoMajority => Err(LockError::NoMajority),
-            _ => Err(LockError::Service),
-        }
+        self.op(ctx, "cli.lk.release", || {
+            match self.call(
+                ctx,
+                LockRequest::Release {
+                    name: name.to_owned(),
+                    owner,
+                },
+            )? {
+                LockReply::Ok => Ok(()),
+                LockReply::NotHeld => Err(LockError::NotHeld),
+                LockReply::NoMajority => Err(LockError::NoMajority),
+                _ => Err(LockError::Service),
+            }
+        })
     }
 
     /// Who holds `name`, if anyone.
@@ -510,17 +560,19 @@ impl LockClient {
     ///
     /// [`LockError::Service`] / [`LockError::Rpc`] on failure.
     pub fn query(&self, ctx: &Ctx, name: &str) -> Result<Option<u64>, LockError> {
-        match self.call(
-            ctx,
-            LockRequest::Query {
-                name: name.to_owned(),
-            },
-        )? {
-            LockReply::Held(o) => Ok(Some(o)),
-            LockReply::Free => Ok(None),
-            LockReply::NoMajority => Err(LockError::NoMajority),
-            _ => Err(LockError::Service),
-        }
+        self.op(ctx, "cli.lk.query", || {
+            match self.call(
+                ctx,
+                LockRequest::Query {
+                    name: name.to_owned(),
+                },
+            )? {
+                LockReply::Held(o) => Ok(Some(o)),
+                LockReply::Free => Ok(None),
+                LockReply::NoMajority => Err(LockError::NoMajority),
+                _ => Err(LockError::Service),
+            }
+        })
     }
 }
 

@@ -394,6 +394,14 @@ pub fn start_queue_server(spawner: &impl Spawn, deps: QueueServerDeps) -> QueueS
             &format!("queue{me}-srv{t}"),
             Box::new(move |ctx| loop {
                 let incoming = srv.getreq(ctx);
+                // The server-side span, parented to the client's request
+                // context (same idiom as the directory initiator): the
+                // replica submit below inherits it through the ambient
+                // context, so a traced enqueue yields one connected tree
+                // across client, server, sequencer and replicas.
+                let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+                let span = tele.begin_child("queue.srv", u64::from(srv.addr().0), incoming.trace);
+                let prev = amoeba_telemetry::set_current_ctx(span);
                 let reply = match QueueRequest::decode(&incoming.data) {
                     Ok(QueueRequest::Peek { queue }) => match replica.read_barrier(ctx) {
                         Ok(()) => match replica.machine().head(&queue) {
@@ -402,13 +410,25 @@ pub fn start_queue_server(spawner: &impl Spawn, deps: QueueServerDeps) -> QueueS
                         },
                         Err(_) => QueueReply::NoMajority,
                     },
-                    Ok(op) => match replica.submit(ctx, op.encode()) {
-                        Ok(bytes) => QueueReply::decode(&bytes).unwrap_or(QueueReply::Malformed),
-                        Err(RsmError::NotInService | RsmError::Aborted) => QueueReply::NoMajority,
-                        Err(RsmError::ResultLost) => QueueReply::Malformed,
-                    },
+                    Ok(op) => {
+                        match replica.submit_traced(
+                            ctx,
+                            op.encode(),
+                            amoeba_telemetry::current_ctx(),
+                        ) {
+                            Ok(bytes) => {
+                                QueueReply::decode(&bytes).unwrap_or(QueueReply::Malformed)
+                            }
+                            Err(RsmError::NotInService | RsmError::Aborted) => {
+                                QueueReply::NoMajority
+                            }
+                            Err(RsmError::ResultLost) => QueueReply::Malformed,
+                        }
+                    }
                     Err(_) => QueueReply::Malformed,
                 };
+                amoeba_telemetry::set_current_ctx(prev);
+                tele.end(span);
                 srv.putrep(&incoming, reply.encode());
             }),
         );
@@ -459,23 +479,54 @@ impl QueueClient {
         QueueReply::decode(&bytes).map_err(|_| QueueError::Service)
     }
 
+    /// Wraps one public operation in a client span (root when the
+    /// process has no ambient context) and a latency histogram — the
+    /// same shape as `DirClient`'s per-op instrumentation.
+    fn op<T>(
+        &self,
+        ctx: &Ctx,
+        name: &'static str,
+        f: impl FnOnce() -> Result<T, QueueError>,
+    ) -> Result<T, QueueError> {
+        let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+        if !tele.is_enabled() {
+            return f();
+        }
+        let machine = u64::from(self.rpc.addr().0);
+        let outer = amoeba_telemetry::current_ctx();
+        let span = if outer.is_some() {
+            tele.begin_child(name, machine, outer)
+        } else {
+            tele.begin_root(name, machine)
+        };
+        let prev = amoeba_telemetry::set_current_ctx(span);
+        let start = ctx.now();
+        let r = f();
+        amoeba_telemetry::set_current_ctx(prev);
+        tele.end(span);
+        tele.observe_since(name, start);
+        r
+    }
+
     /// Appends `item` to the tail of `queue`.
     ///
     /// # Errors
     ///
     /// [`QueueError::NoMajority`] while the service is recovering.
     pub fn enqueue(&self, ctx: &Ctx, queue: &str, item: Vec<u8>) -> Result<(), QueueError> {
-        match self.call(
-            ctx,
-            QueueRequest::Enqueue {
-                queue: queue.to_owned(),
-                item,
-            },
-        )? {
-            QueueReply::Ok => Ok(()),
-            QueueReply::NoMajority => Err(QueueError::NoMajority),
-            _ => Err(QueueError::Service),
-        }
+        self.op(ctx, "cli.q.enqueue", || {
+            match self.call(
+                ctx,
+                QueueRequest::Enqueue {
+                    queue: queue.to_owned(),
+                    item,
+                },
+            )? {
+                QueueReply::Ok => Ok(()),
+                QueueReply::NoMajority => Err(QueueError::NoMajority),
+                _ => Err(QueueError::Service),
+            }
+        })
     }
 
     /// Removes and returns the head of `queue` (`None` if empty).
@@ -484,17 +535,19 @@ impl QueueClient {
     ///
     /// [`QueueError::NoMajority`] while the service is recovering.
     pub fn dequeue(&self, ctx: &Ctx, queue: &str) -> Result<Option<Vec<u8>>, QueueError> {
-        match self.call(
-            ctx,
-            QueueRequest::Dequeue {
-                queue: queue.to_owned(),
-            },
-        )? {
-            QueueReply::Item(bytes) => Ok(Some(bytes)),
-            QueueReply::Empty => Ok(None),
-            QueueReply::NoMajority => Err(QueueError::NoMajority),
-            _ => Err(QueueError::Service),
-        }
+        self.op(ctx, "cli.q.dequeue", || {
+            match self.call(
+                ctx,
+                QueueRequest::Dequeue {
+                    queue: queue.to_owned(),
+                },
+            )? {
+                QueueReply::Item(bytes) => Ok(Some(bytes)),
+                QueueReply::Empty => Ok(None),
+                QueueReply::NoMajority => Err(QueueError::NoMajority),
+                _ => Err(QueueError::Service),
+            }
+        })
     }
 
     /// Reads the head of `queue` without removing it.
@@ -503,17 +556,19 @@ impl QueueClient {
     ///
     /// [`QueueError::NoMajority`] while the service is recovering.
     pub fn peek(&self, ctx: &Ctx, queue: &str) -> Result<Option<Vec<u8>>, QueueError> {
-        match self.call(
-            ctx,
-            QueueRequest::Peek {
-                queue: queue.to_owned(),
-            },
-        )? {
-            QueueReply::Item(bytes) => Ok(Some(bytes)),
-            QueueReply::Empty => Ok(None),
-            QueueReply::NoMajority => Err(QueueError::NoMajority),
-            _ => Err(QueueError::Service),
-        }
+        self.op(ctx, "cli.q.peek", || {
+            match self.call(
+                ctx,
+                QueueRequest::Peek {
+                    queue: queue.to_owned(),
+                },
+            )? {
+                QueueReply::Item(bytes) => Ok(Some(bytes)),
+                QueueReply::Empty => Ok(None),
+                QueueReply::NoMajority => Err(QueueError::NoMajority),
+                _ => Err(QueueError::Service),
+            }
+        })
     }
 }
 

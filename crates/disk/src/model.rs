@@ -21,6 +21,15 @@ pub struct DiskParams {
     pub transfer_bps: u64,
     /// Block size in bytes.
     pub block_size: usize,
+    /// Model the head's position between requests: a write that lands
+    /// on the block the head just wrote (or the next one over) skips
+    /// the seek and pays only rotation + transfer. This is what makes
+    /// back-to-back commit-block writes — the pipelined group commit's
+    /// guard/commit bracket around each batch — cheaper than two full
+    /// random accesses, as on a real drive with an unmoved arm.
+    /// `false` (the default) charges every request a full average
+    /// access, the original model.
+    pub head_aware: bool,
 }
 
 impl DiskParams {
@@ -31,6 +40,7 @@ impl DiskParams {
             avg_rotation: Duration::from_micros(8_300),
             transfer_bps: 1_200_000,
             block_size: 4096,
+            head_aware: false,
         }
     }
 
@@ -42,6 +52,7 @@ impl DiskParams {
             avg_rotation: Duration::ZERO,
             transfer_bps: u64::MAX,
             block_size: 4096,
+            head_aware: false,
         }
     }
 
@@ -54,6 +65,13 @@ impl DiskParams {
             bytes.saturating_mul(1_000_000_000) / self.transfer_bps.max(1)
         };
         self.avg_seek + self.avg_rotation + Duration::from_nanos(transfer_nanos)
+    }
+
+    /// [`access_time`](Self::access_time) for a request the head is
+    /// already positioned for (same cylinder as the previous access):
+    /// no seek, just rotation + transfer.
+    pub fn settled_access_time(&self, nblocks: usize) -> Duration {
+        self.access_time(nblocks) - self.avg_seek
     }
 }
 
@@ -93,5 +111,12 @@ mod tests {
     fn zero_blocks_counts_as_one() {
         let p = DiskParams::wren_iv();
         assert_eq!(p.access_time(0), p.access_time(1));
+    }
+
+    #[test]
+    fn settled_access_skips_the_seek() {
+        let p = DiskParams::wren_iv();
+        assert_eq!(p.settled_access_time(1) + p.avg_seek, p.access_time(1));
+        assert!(p.settled_access_time(1) < Duration::from_millis(15));
     }
 }

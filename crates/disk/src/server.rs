@@ -135,19 +135,33 @@ impl DiskServer {
 }
 
 fn serve(ctx: &Ctx, rx: MailboxRx<DiskReq>, disk: VDisk, params: DiskParams) {
+    // Where the head finished its previous access (head-aware mode): a
+    // request landing on that block again, or the next one over,
+    // skips the seek. Consecutive commit-block writes (block 0, block 0)
+    // and table-block-then-commit-block runs are the beneficiaries.
+    let mut head: Option<u64> = None;
+    let charge = |ctx: &Ctx, head: &mut Option<u64>, start: u64, n: usize| {
+        let settled = params.head_aware && head.map(|h| h.abs_diff(start) <= 1).unwrap_or(false);
+        ctx.sleep(if settled {
+            params.settled_access_time(n)
+        } else {
+            params.access_time(n)
+        });
+        *head = Some(start + (n.max(1) as u64) - 1);
+    };
     loop {
         match rx.recv(ctx) {
             DiskReq::Read { block, reply } => {
-                ctx.sleep(params.access_time(1));
+                charge(ctx, &mut head, block, 1);
                 reply.send(disk.read_block(block));
             }
             DiskReq::Write { block, data, reply } => {
-                ctx.sleep(params.access_time(1));
+                charge(ctx, &mut head, block, 1);
                 disk.write_block(block, &data);
                 reply.send(());
             }
             DiskReq::WriteRun { start, data, reply } => {
-                ctx.sleep(params.access_time(data.len()));
+                charge(ctx, &mut head, start, data.len());
                 for (i, d) in data.iter().enumerate() {
                     disk.write_block(start + i as u64, d);
                 }
@@ -158,7 +172,7 @@ fn serve(ctx: &Ctx, rx: MailboxRx<DiskReq>, disk: VDisk, params: DiskParams) {
                 count,
                 reply,
             } => {
-                ctx.sleep(params.access_time(count as usize));
+                charge(ctx, &mut head, start, count as usize);
                 let blocks = (0..count).map(|i| disk.read_block(start + i)).collect();
                 reply.send(blocks);
             }
@@ -307,6 +321,38 @@ mod tests {
         sim.run();
         let (run, separate) = out.take().unwrap();
         assert!(run < separate / 2, "run {run:?} vs separate {separate:?}");
+    }
+
+    #[test]
+    fn head_aware_coalesces_same_block_rewrites() {
+        let run = |head_aware: bool| {
+            let mut sim = Simulation::new(1);
+            let node = sim.add_node("m");
+            let disk = VDisk::new(128, 512);
+            let params = DiskParams {
+                head_aware,
+                ..DiskParams::wren_iv()
+            };
+            let srv = DiskServer::start(&sim, node, disk, params);
+            let out = sim.spawn("app", move |ctx| {
+                let t0 = ctx.now();
+                // The pipelined commit's bracket: table block, then the
+                // commit block twice over (guard + final).
+                srv.write(ctx, 1, vec![1; 512]);
+                srv.write(ctx, 0, vec![2; 512]);
+                srv.write(ctx, 0, vec![3; 512]);
+                ctx.now() - t0
+            });
+            sim.run();
+            out.take().unwrap()
+        };
+        let classic = run(false);
+        let aware = run(true);
+        // Only the first write seeks: the rewrite of block 0 and the
+        // back-to-back repeat both ride the settled head.
+        let p = DiskParams::wren_iv();
+        assert_eq!(classic, p.access_time(1) * 3);
+        assert_eq!(aware, p.access_time(1) + p.settled_access_time(1) * 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `explore` — fault-schedule search and record/replay driver.
 //!
 //! ```text
-//! explore sweep [--big] [--schedules N] [--seed S] [--buggy]
+//! explore sweep [--big] [--schedules N] [--seed S] [--buggy] [--window W]
 //! explore ci-smoke
 //! explore replay <bundle.amrx>
 //! explore probe [--seeds N] [--fixed] [--loss L] [--trace out.json]
@@ -10,7 +10,10 @@
 //! - `sweep` runs `N` randomized fault schedules over the small (or
 //!   `--big`, ≥50-machine multi-hop) deployment; every failure is
 //!   shrunk, recorded, replay-verified, and written out as an `.amrx`
-//!   repro bundle. Exits nonzero if any failure was found.
+//!   repro bundle. Exits nonzero if any failure was found. `--window`
+//!   sets the replicas' pipelined-commit flush window (default 4, so
+//!   sweeps exercise the two-stage driver; `1` is the serial seed
+//!   loop).
 //! - `ci-smoke` is the CI gate: a small clean sweep must find nothing,
 //!   and a deliberately re-introduced historical bug (the gap-recovery
 //!   retransmission bound) must be found, shrunk, and deterministically
@@ -65,12 +68,15 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         ScenarioParams::small(seed)
     };
     params.buggy_retrans_bound = flag(args, "--buggy");
+    params.flush_window = opt_u64(args, "--window", 4).clamp(1, 64) as usize;
     println!(
-        "sweep: {} schedules over {} machines ({} shards, {} chain segments){}",
+        "sweep: {} schedules over {} machines ({} shards, {} chain segments, \
+         flush window {}){}",
         n,
         params.machines(),
         params.shards,
         params.chain_segments,
+        params.flush_window,
         if params.buggy_retrans_bound {
             ", historical retrans bug re-introduced"
         } else {
@@ -161,6 +167,28 @@ fn cmd_ci_smoke() -> ExitCode {
     }
     println!(
         "ci-smoke: clean sweep ok ({} schedules)",
+        report.schedules_run
+    );
+
+    // 1b. The same sweep with the two-stage commit pipeline engaged
+    //     (flush window 4): crashes and partitions now land with up to
+    //     four sealed batches in flight, and every durability invariant
+    //     must still hold.
+    let mut piped = clean.clone();
+    piped.flush_window = 4;
+    let report = sweep(&piped, 2, 0xC1);
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!(
+                "ci-smoke: unexpected failure at flush window 4: {}",
+                f.report.summary()
+            );
+            eprintln!("  schedule:\n{}", f.minimal);
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ci-smoke: pipelined (window=4) sweep ok ({} schedules)",
         report.schedules_run
     );
 

@@ -77,6 +77,12 @@ pub struct ScenarioParams {
     /// bug ([`amoeba_group` `GroupConfig::buggy_retrans_bound`]) so the
     /// search can demonstrate finding it.
     pub buggy_retrans_bound: bool,
+    /// In-flight window of the replicas' two-stage commit pipeline
+    /// (`DirParams::flush_window`); `1` drives the serial seed loop.
+    /// Part of the repro-bundle encoding — the window changes the
+    /// simulated schedule, so a bundle must replay at the window it
+    /// was recorded with.
+    pub flush_window: usize,
     /// Install the causal-tracing telemetry layer on the run and return
     /// its Chrome-trace export in [`ScenarioReport::chrome_trace`].
     /// Tracing is zero-perturbation (the simulated run is bit-identical
@@ -97,6 +103,7 @@ impl ScenarioParams {
             writes_per_client: 6,
             dir_cache: true,
             buggy_retrans_bound: false,
+            flush_window: 1,
             telemetry: false,
         }
     }
@@ -113,6 +120,7 @@ impl ScenarioParams {
             writes_per_client: 4,
             dir_cache: true,
             buggy_retrans_bound: false,
+            flush_window: 1,
             telemetry: false,
         }
     }
@@ -130,7 +138,8 @@ impl ScenarioParams {
             .u64(self.clients as u64)
             .u64(self.writes_per_client as u64)
             .u8(u8::from(self.dir_cache))
-            .u8(u8::from(self.buggy_retrans_bound));
+            .u8(u8::from(self.buggy_retrans_bound))
+            .u64(self.flush_window as u64);
     }
 
     /// Deserializes params. `None` on malformed input.
@@ -143,6 +152,7 @@ impl ScenarioParams {
             writes_per_client: (r.u64("sc writes").ok()?.min(10_000)) as usize,
             dir_cache: r.u8("sc cache").ok()? != 0,
             buggy_retrans_bound: r.u8("sc buggy").ok()? != 0,
+            flush_window: (r.u64("sc fwin").ok()?.clamp(1, 64)) as usize,
             telemetry: false,
         })
     }
@@ -285,6 +295,7 @@ fn run_inner(
     };
     cp.seed = params.seed;
     cp.group.buggy_retrans_bound = params.buggy_retrans_bound;
+    cp.dir.flush_window = params.flush_window;
     if params.dir_cache {
         cp.dir_cache = Some(CacheParams::default());
     }

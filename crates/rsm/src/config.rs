@@ -22,6 +22,28 @@ pub struct RsmConfig {
     /// before the single group-commit [`flush`](crate::StateMachine::flush).
     /// `1` disables apply batching.
     pub apply_batch: usize,
+    /// Bounded in-flight window of the two-stage commit pipeline: how
+    /// many applied-but-not-yet-flushed batches the event loop may run
+    /// ahead of the flusher stage. `1` (the default) is the classic
+    /// serial driver — apply, flush, publish, all on the event loop,
+    /// bit-identical to before the pipeline existed. Larger windows
+    /// overlap apply of batch N+1 with the durable flush of batch N;
+    /// `published_seq` still only advances as flushes retire in seqno
+    /// order, so the durability contract is unchanged. A machine driven
+    /// with a window > 1 must implement
+    /// [`seal_batch`](crate::StateMachine::seal_batch) /
+    /// [`flush_staged`](crate::StateMachine::flush_staged) (volatile
+    /// machines get them for free via the defaults).
+    pub flush_window: usize,
+    /// Pipelined mode's anticipatory gather: after picking up the first
+    /// sealed batch of a run, the flusher waits this long before
+    /// draining its queue and submitting, so ops ordered a few
+    /// milliseconds apart (a burst of initiators released by the
+    /// previous flush) merge into one disk conversation instead of
+    /// fragmenting into a run of one plus a run of the rest. A few ms
+    /// against a ~30 ms seek is a good trade; `ZERO` disables. Unused
+    /// with `flush_window` = 1.
+    pub flush_gather: Duration,
     /// Idle time after which [`idle`](crate::StateMachine::idle) runs.
     pub idle_timeout: Duration,
     /// How long a recovering replica waits for an existing group to
@@ -55,6 +77,8 @@ impl RsmConfig {
                 .map(|i| Port::from_name(&format!("{service}.internal.{i}")))
                 .collect(),
             apply_batch: 32,
+            flush_window: 1,
+            flush_gather: Duration::from_millis(8),
             idle_timeout: Duration::from_millis(200),
             join_timeout: Duration::from_millis(400),
             majority_timeout: Duration::from_millis(1_500),

@@ -9,7 +9,7 @@ use std::time::Duration;
 use amoeba_flip::Payload;
 use amoeba_group::{Group, GroupError, GroupEvent, GroupPeer, SeqNo, View};
 use amoeba_rpc::{RpcClient, RpcNode, RpcServer};
-use amoeba_sim::{Ctx, MailboxTx, NodeId, Spawn};
+use amoeba_sim::{Ctx, MailboxRx, MailboxTx, NodeId, Spawn};
 use parking_lot::Mutex;
 
 use crate::config::RsmConfig;
@@ -47,6 +47,30 @@ pub struct ReplicaStats {
     pub aborted: u64,
     /// Completed recovery passes (1 after a clean start).
     pub recoveries: u64,
+    /// Pipelined mode: times the event loop blocked because the flush
+    /// window was full (apply wanted to run ahead but could not).
+    pub window_stalls: u64,
+    /// Pipelined mode: high-water mark of in-flight (sealed, not yet
+    /// retired) flushes. Stays 0 with `flush_window` = 1.
+    pub flush_inflight_hwm: u64,
+    /// Pipelined mode: flusher disk conversations. `batches -
+    /// flush_runs` is how many sealed batches the queued-submission
+    /// merge absorbed. Stays 0 with `flush_window` = 1.
+    pub flush_runs: u64,
+}
+
+/// One sealed batch handed from the event loop to the flusher stage.
+struct FlushJob {
+    /// Seal token, strictly increasing; [`StateMachine::flush_staged`]
+    /// retires tokens in exactly this order.
+    token: u64,
+    /// Highest sequence number the batch applied.
+    last_seq: SeqNo,
+    /// Apply replies, published when the flush retires.
+    results: Vec<(SeqNo, Payload)>,
+    /// Ordering-span context of the batch's first applied message; the
+    /// flusher's `rsm.flush` span parents to it.
+    trace: amoeba_telemetry::TraceCtx,
 }
 
 /// Driver-owned mutable state. Lock discipline: never hold across a
@@ -194,6 +218,30 @@ impl<S: StateMachine> Replica<S> {
             );
         }
 
+        // Pipelined commit (flush_window > 1): a dedicated flusher
+        // process retires sealed batches in token order while the event
+        // loop keeps applying. Window 1 spawns nothing and runs the
+        // exact serial code path.
+        let pipeline = if cfg.flush_window > 1 {
+            let handle = spawner.sim_handle();
+            let (job_tx, job_rx) = handle.channel::<FlushJob>();
+            let (done_tx, done_rx) = handle.channel::<SeqNo>();
+            let sm = Arc::clone(&sm);
+            let shared = Arc::clone(&shared);
+            let machine = replica.machine;
+            let gather = cfg.flush_gather;
+            spawner.spawn_boxed(
+                Some(sim_node),
+                &format!("rsm{}-flusher", cfg.me),
+                Box::new(move |ctx| {
+                    flusher_loop(ctx, &*sm, &shared, machine, gather, &job_rx, &done_tx)
+                }),
+            );
+            Some((job_tx, done_rx))
+        } else {
+            None
+        };
+
         // Main process: recovery, then the group event loop, forever.
         {
             let rpc_client = RpcClient::new(&rpc);
@@ -201,7 +249,7 @@ impl<S: StateMachine> Replica<S> {
             spawner.spawn_boxed(
                 Some(sim_node),
                 &format!("rsm{}-main", cfg.me),
-                Box::new(move |ctx| replica.main_loop(ctx, &peer, &rpc_client)),
+                Box::new(move |ctx| replica.main_loop(ctx, &peer, &rpc_client, &pipeline)),
             );
         }
         replica
@@ -332,7 +380,13 @@ impl<S: StateMachine> Replica<S> {
     // ------------------------------------------------------------------
 
     /// Recovery → normal operation → (on collapse) recovery, forever.
-    fn main_loop(&self, ctx: &Ctx, peer: &GroupPeer, rpc: &RpcClient) {
+    fn main_loop(
+        &self,
+        ctx: &Ctx,
+        peer: &GroupPeer,
+        rpc: &RpcClient,
+        pipeline: &Option<(MailboxTx<FlushJob>, MailboxRx<SeqNo>)>,
+    ) {
         // Load whatever survived the reboot, once.
         self.sm.boot(ctx);
         loop {
@@ -345,7 +399,10 @@ impl<S: StateMachine> Replica<S> {
                 shared.stayed_up = true;
                 shared.stats.recoveries += 1;
             }
-            self.event_loop(ctx, &group);
+            match pipeline {
+                Some((job_tx, done_rx)) => self.event_loop_pipelined(ctx, &group, job_tx, done_rx),
+                None => self.event_loop(ctx, &group),
+            }
             // Collapsed: back to recovery.
             {
                 let mut shared = self.shared.lock();
@@ -451,6 +508,157 @@ impl<S: StateMachine> Replica<S> {
         }
     }
 
+    /// The pipelined group event loop (`flush_window` > 1): applies
+    /// batches and hands each, sealed, to the flusher process, running
+    /// at most `flush_window` sealed-but-unretired batches ahead.
+    /// Publication (waiter wakeups, `published_seq`) happens in the
+    /// flusher as flushes retire in seqno order, so the durability
+    /// contract is identical to the serial loop — only the overlap of
+    /// apply N+1 with the disk time of batch N is new. Every
+    /// non-message path (idle, membership, reset, collapse) drains the
+    /// window first, so recovery and commit-block writers never race a
+    /// staged flush. Returns when the group is beyond repair.
+    fn event_loop_pipelined(
+        &self,
+        ctx: &Ctx,
+        group: &Arc<Group>,
+        job_tx: &MailboxTx<FlushJob>,
+        done_rx: &MailboxRx<SeqNo>,
+    ) {
+        let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+        let window = self.cfg.flush_window.max(1);
+        let mut inflight = 0usize;
+        let mut token = 0u64;
+        // Local applied cursor: the event loop runs ahead of
+        // `published_seq` by up to `window` batches, so the
+        // already-covered check must use its own cursor (seeded from
+        // what recovery's state fetch covered).
+        let mut applied_seq = { self.shared.lock().published_seq };
+        let drain = |ctx: &Ctx, inflight: &mut usize| {
+            while *inflight > 0 {
+                done_rx.recv(ctx);
+                *inflight -= 1;
+            }
+        };
+        loop {
+            let first = match group.recv_timeout(ctx, self.cfg.idle_timeout) {
+                Some(e) => e,
+                None => {
+                    drain(ctx, &mut inflight);
+                    self.sm.idle(ctx);
+                    continue;
+                }
+            };
+            // Batch collection, identical to the serial loop.
+            let cap = self.cfg.apply_batch.max(1);
+            let mut msgs: Vec<(SeqNo, Payload, amoeba_telemetry::TraceCtx)> = Vec::new();
+            let mut tail: Option<Result<GroupEvent, GroupError>> = None;
+            let mut next = Some(first);
+            loop {
+                match next {
+                    Some(Ok(GroupEvent::Message {
+                        seq, data, trace, ..
+                    })) => msgs.push((seq, data, trace)),
+                    Some(other) => {
+                        tail = Some(other);
+                        break;
+                    }
+                    None => break,
+                }
+                if msgs.len() >= cap || group.pending_events() == 0 {
+                    break;
+                }
+                next = group.recv_timeout(ctx, Duration::ZERO);
+            }
+
+            // Retire any flushes that completed while we were applying
+            // or waiting — without blocking.
+            while inflight > 0 && done_rx.try_recv().is_some() {
+                inflight -= 1;
+            }
+
+            if !msgs.is_empty() {
+                let mut results: Vec<(SeqNo, Payload)> = Vec::with_capacity(msgs.len());
+                let mut first_trace = amoeba_telemetry::TraceCtx::NONE;
+                for (seq, data, trace) in &msgs {
+                    if *seq <= applied_seq {
+                        continue; // already covered by a fetched state snapshot
+                    }
+                    if results.is_empty() {
+                        first_trace = *trace;
+                    }
+                    let span = tele.begin_child("rsm.apply", self.machine, *trace);
+                    let reply = self.sm.apply(ctx, *seq, data);
+                    tele.end(span);
+                    results.push((*seq, reply));
+                }
+                if !results.is_empty() {
+                    let last = results.last().map(|(s, _)| *s).expect("non-empty");
+                    applied_seq = last;
+                    // Window full: block until the oldest flush retires.
+                    while inflight >= window {
+                        done_rx.recv(ctx);
+                        inflight -= 1;
+                        self.shared.lock().stats.window_stalls += 1;
+                    }
+                    token += 1;
+                    self.sm.seal_batch(ctx, token);
+                    job_tx.send(FlushJob {
+                        token,
+                        last_seq: last,
+                        results,
+                        trace: first_trace,
+                    });
+                    inflight += 1;
+                    {
+                        let mut shared = self.shared.lock();
+                        shared.stats.flush_inflight_hwm =
+                            shared.stats.flush_inflight_hwm.max(inflight as u64);
+                    }
+                    tele.gauge("rsm.flush_queue", inflight as i64);
+                }
+            }
+
+            match tail {
+                None => {}
+                Some(Ok(GroupEvent::Message { .. })) => unreachable!("messages batch above"),
+                Some(Ok(GroupEvent::Joined { seq, .. }))
+                | Some(Ok(GroupEvent::Left { seq, .. })) => {
+                    // Membership writes the durable configuration record:
+                    // retire every staged flush first.
+                    drain(ctx, &mut inflight);
+                    let view = group.info().map(|i| i.view).unwrap_or_default();
+                    self.sm.on_membership(ctx, seq, &self.config_of(&view));
+                    applied_seq = applied_seq.max(seq);
+                    let mut shared = self.shared.lock();
+                    shared.published_seq = shared.published_seq.max(seq);
+                    shared.wake_published();
+                }
+                Some(Ok(GroupEvent::ResetDone { view, .. })) => {
+                    drain(ctx, &mut inflight);
+                    // A reset consumes no slot: record the new
+                    // configuration only.
+                    self.sm.on_membership(ctx, 0, &self.config_of(&view));
+                }
+                Some(Err(GroupError::Failed)) => {
+                    drain(ctx, &mut inflight);
+                    // Rebuild a majority of the group; if that fails,
+                    // fall back to full recovery.
+                    match group.reset(ctx, self.cfg.majority(), Duration::from_secs(3)) {
+                        Ok(_info) => continue, // ResetDone event follows
+                        Err(_) => return,
+                    }
+                }
+                Some(Err(_)) => {
+                    // Dead / expelled: recovery. The window must be
+                    // empty before recovery's copy/install can run.
+                    drain(ctx, &mut inflight);
+                    return;
+                }
+            }
+        }
+    }
+
     /// Maps a view onto the configuration vector (`config[i]` ⇔ the
     /// replica whose application tag is `i` is a member).
     fn config_of(&self, view: &View) -> Vec<bool> {
@@ -461,5 +669,67 @@ impl<S: StateMachine> Replica<S> {
             }
         }
         config
+    }
+}
+
+/// The flusher stage of the pipelined commit: retires sealed batches
+/// strictly in token order — one [`StateMachine::flush_staged`] per
+/// job — and *publishes* each batch (stats, `published_seq`, results,
+/// waiter wakeups) only once its flush completed, so an acknowledged
+/// write is durable exactly as in the serial loop. Signals the event
+/// loop through `done_tx` after each retirement (its window
+/// bookkeeping and drains).
+fn flusher_loop<S: StateMachine>(
+    ctx: &Ctx,
+    sm: &S,
+    shared: &Arc<Mutex<DriverShared>>,
+    machine: u64,
+    gather: Duration,
+    job_rx: &MailboxRx<FlushJob>,
+    done_tx: &MailboxTx<SeqNo>,
+) {
+    let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+    loop {
+        // Queued submission: take every batch sealed while the previous
+        // flush was on the disk and retire them as one run — the
+        // machine merges their guard/commit blocks and coalesces writes
+        // that land in the same region. The event loop's window bound
+        // caps how many can be queued, so a run is at most the window.
+        let mut jobs = vec![job_rx.recv(ctx)];
+        if !gather.is_zero() {
+            // Anticipatory gather: initiators released together by the
+            // previous flush order their next ops a few milliseconds
+            // apart; waiting that long merges them into this run
+            // instead of fragmenting it into a run of one plus a run
+            // of the rest.
+            ctx.sleep(gather);
+        }
+        while let Some(j) = job_rx.try_recv() {
+            jobs.push(j);
+        }
+        let first = jobs.first().map(|j| j.token).expect("non-empty");
+        let last = jobs.last().map(|j| j.token).expect("non-empty");
+        let span = tele.begin_child("rsm.flush", machine, jobs[0].trace);
+        sm.flush_staged_run(ctx, first, last);
+        tele.end(span);
+        {
+            let mut sh = shared.lock();
+            sh.stats.flush_runs += 1;
+            for job in &jobs {
+                sh.stats.applied += job.results.len() as u64;
+                sh.stats.batches += 1;
+                sh.published_seq = sh.published_seq.max(job.last_seq);
+            }
+            for job in &mut jobs {
+                for (seq, reply) in std::mem::take(&mut job.results) {
+                    sh.results.insert(seq, reply);
+                }
+            }
+            sh.prune_results();
+            sh.wake_published();
+        }
+        for job in jobs {
+            done_tx.send(job.last_seq);
+        }
     }
 }

@@ -149,11 +149,28 @@ struct Inner {
     /// propagate, histograms still fill) — the metrics-only mode long
     /// bench windows use to keep memory bounded.
     record_spans: bool,
+    /// Trace sampling: record spans/flows for every Nth root operation
+    /// only (`0` = record all). Contexts still propagate for every
+    /// trace, so sampling never perturbs what the traced system does —
+    /// it only bounds collector memory on multi-minute runs, without
+    /// giving up span trees entirely the way metrics-only mode does.
+    sample_every: u64,
+    /// Roots opened so far (the sampling counter).
+    root_count: u64,
+    /// Trace ids selected by the sampler; spans/flows of other traces
+    /// are dropped at record time.
+    sampled: std::collections::HashSet<u64>,
     spans: Vec<SpanRec>,
     open: HashMap<u64, usize>,
     flows: Vec<FlowRec>,
     tracks: Vec<(u64, String)>,
     metrics: hist::Registry,
+}
+
+impl Inner {
+    fn keeps(&self, trace: u64) -> bool {
+        self.record_spans && (self.sample_every == 0 || self.sampled.contains(&trace))
+    }
 }
 
 struct Collector {
@@ -193,7 +210,7 @@ impl Telemetry {
     /// Creates a collector for this simulation and installs it in the
     /// kernel's user-data slot, where [`Telemetry::from_handle`] finds it.
     pub fn install(sim: &SimHandle) -> Telemetry {
-        Self::install_with(sim, true)
+        Self::install_with(sim, true, 0)
     }
 
     /// [`Telemetry::install`] without span/flow storage: trace contexts
@@ -201,15 +218,31 @@ impl Telemetry {
     /// per-span records accumulate. The right mode for multi-second
     /// bench windows that only want percentiles.
     pub fn install_metrics_only(sim: &SimHandle) -> Telemetry {
-        Self::install_with(sim, false)
+        Self::install_with(sim, false, 0)
     }
 
-    fn install_with(sim: &SimHandle, record_spans: bool) -> Telemetry {
+    /// [`Telemetry::install`] with **trace sampling**: spans and flows
+    /// are recorded for one in `every` root operations (the first, the
+    /// `every+1`-th, …) and dropped for the rest, while histograms
+    /// still fill for *all* operations. The middle ground between full
+    /// tracing (span memory grows with run length) and
+    /// [`install_metrics_only`](Telemetry::install_metrics_only) (no
+    /// span trees at all): a multi-minute run keeps bounded span
+    /// memory yet still yields complete, connected trees for the
+    /// sampled operations. `every` of 0 or 1 records everything.
+    pub fn install_sampled(sim: &SimHandle, every: u64) -> Telemetry {
+        Self::install_with(sim, true, if every <= 1 { 0 } else { every })
+    }
+
+    fn install_with(sim: &SimHandle, record_spans: bool, sample_every: u64) -> Telemetry {
         let collector = Arc::new(Collector {
             sim: sim.clone(),
             inner: Mutex::new(Inner {
                 rng: sim.seed() ^ 0xA0EB_A7E1_EC7A_CE00,
                 record_spans,
+                sample_every,
+                root_count: 0,
+                sampled: std::collections::HashSet::new(),
                 spans: Vec::new(),
                 open: HashMap::new(),
                 flows: Vec::new(),
@@ -294,9 +327,21 @@ impl Telemetry {
         let span = Self::next_id(&mut inner.rng);
         let (trace, parent_span) = match parent {
             Some(p) => (p.trace, p.span),
-            None => (Self::next_id(&mut inner.rng), 0),
+            None => {
+                let trace = Self::next_id(&mut inner.rng);
+                // The sampler decides per root — per *operation* — so a
+                // kept trace is recorded whole (every child span, every
+                // flow) and a dropped one vanishes entirely.
+                if inner.sample_every > 0 {
+                    if inner.root_count % inner.sample_every == 0 {
+                        inner.sampled.insert(trace);
+                    }
+                    inner.root_count += 1;
+                }
+                (trace, 0)
+            }
         };
-        if !inner.record_spans {
+        if !inner.keeps(trace) {
             return TraceCtx { trace, span };
         }
         let idx = inner.spans.len();
@@ -358,7 +403,7 @@ impl Telemetry {
             return;
         }
         let mut inner = c.inner.lock();
-        if !inner.record_spans {
+        if !inner.keeps(ctx.trace) {
             return;
         }
         inner.flows.push(FlowRec {
@@ -502,6 +547,48 @@ mod tests {
         let a = tele.begin_root("op", 1);
         let b = tele2.begin_root("op", 1);
         assert_eq!((a.trace, a.span), (b.trace, b.span));
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_root_whole_and_drops_the_rest() {
+        let sim = Simulation::new(5);
+        let tele = Telemetry::install_sampled(&sim.handle(), 3);
+        let mut kept = Vec::new();
+        for i in 0..7 {
+            let root = tele.begin_root("op", 1);
+            assert!(root.is_some(), "contexts propagate for every trace");
+            let kid = tele.begin_child("kid", 2, root);
+            tele.flow(kid, 1, sim.handle().now(), 2, sim.handle().now());
+            tele.end(kid);
+            tele.end(root);
+            tele.observe_us("op", 10);
+            if i % 3 == 0 {
+                kept.push(root.trace);
+            }
+        }
+        let spans = tele.spans();
+        // Roots 0, 3, 6 kept — two spans each; the other four vanish.
+        assert_eq!(spans.len(), 6);
+        for trace in kept {
+            let (roots, orphans, _) = span_tree_stats(&spans, trace);
+            assert_eq!((roots, orphans), (1, 0), "sampled trees stay connected");
+        }
+        // Flows follow the same verdict as their trace's spans.
+        assert_eq!(tele.flows().len(), 3);
+        // Histograms fill for every operation, sampled or not.
+        let snap = tele.metrics();
+        assert_eq!(snap.hists.get("op").unwrap().count, 7);
+    }
+
+    #[test]
+    fn sampling_of_one_records_everything() {
+        let sim = Simulation::new(5);
+        let tele = Telemetry::install_sampled(&sim.handle(), 1);
+        for _ in 0..4 {
+            let root = tele.begin_root("op", 1);
+            tele.end(root);
+        }
+        assert_eq!(tele.spans().len(), 4);
     }
 
     #[test]
