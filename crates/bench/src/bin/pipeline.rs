@@ -65,10 +65,21 @@
 //! with the ~28 ms seek of batch N, plus per-op-family p50/p95/p99
 //! append latencies for every point.
 //!
+//! An eleventh, `<label>+group-log`, A/Bs the journaled commit path on
+//! the same burst: the pipelined region-phased flush (journal off,
+//! window 4 — the PR-9 reference) vs the group log (journal on) at
+//! windows 1/4/8, flat and at 4 shards, head-aware disk everywhere —
+//! so the delta is replacing each merged run's table/Bullet/commit
+//! region hops with ONE sequential journal append (background
+//! checkpointer doing the writeback off the commit path). Every point
+//! reports disk seeks per append alongside throughput and per-family
+//! percentiles, plus an NVRAM-journal arm and the NVRAM pipelining A/B
+//! the journal unlocked (`flush_window` > 1 on NVRAM storage).
+//!
 //! Run with: `cargo run -p amoeba-bench --release --bin pipeline -- <label>`
 //! (append `--internetwork-only` / `--shards-only` / `--migration-only`
 //! / `--read-mix-only` / `--record-only` / `--telemetry-only` /
-//! `--commit-only` to refresh just that run). The `ci-smoke` label runs a seconds-long
+//! `--commit-only` / `--group-log-only` to refresh just that run). The `ci-smoke` label runs a seconds-long
 //! subset with tiny iteration counts against a scratch output file and
 //! asserts the emitted JSON is valid — the CI guard against bench
 //! bit-rot. The `trace` label instead runs one traced 4-shard cached
@@ -96,6 +107,7 @@ fn main() {
     let record_only = args.iter().any(|a| a == "--record-only");
     let telemetry_only = args.iter().any(|a| a == "--telemetry-only");
     let commit_only = args.iter().any(|a| a == "--commit-only");
+    let group_log_only = args.iter().any(|a| a == "--group-log-only");
     let mut pos = args.iter().filter(|a| !a.starts_with("--"));
     let label = pos
         .next()
@@ -159,6 +171,12 @@ fn main() {
         let commit = pipelined_commit_run(&label);
         append_run(&out_path, "pipeline", &commit).expect("write BENCH_pipeline.json");
         println!("appended pipelined-commit run to {}", out_path.display());
+        return;
+    }
+    if group_log_only {
+        let glog = group_log_run(&label);
+        append_run(&out_path, "pipeline", &glog).expect("write BENCH_pipeline.json");
+        println!("appended group-log run to {}", out_path.display());
         return;
     }
     println!("pipeline bench — run '{label}'");
@@ -234,6 +252,10 @@ fn main() {
     // A/B nine: the two-stage commit pipeline (flush window 1/4/8).
     let commit = pipelined_commit_run(&label);
     append_run(&out_path, "pipeline", &commit).expect("write BENCH_pipeline.json");
+
+    // A/B ten: the group log (journaled commits, background writeback).
+    let glog = group_log_run(&label);
+    append_run(&out_path, "pipeline", &glog).expect("write BENCH_pipeline.json");
     println!("appended runs to {}", out_path.display());
 }
 
@@ -309,6 +331,172 @@ fn pipelined_commit_run(label: &str) -> RunSummary {
                 run.network.push((format!("{key}/p95_ms"), *p95));
                 run.network.push((format!("{key}/p99_ms"), *p99));
             }
+        }
+    }
+    run
+}
+
+/// The group-log A/B: the disk-bound update burst with the journaled
+/// commit path on (`dir.journal`) at `flush_window` 1/4/8, flat and
+/// sharded 4 ways, against the PR-9 pipelined region-phased flush
+/// (journal off, window 4) as the reference — head-aware disk in every
+/// arm, so the delta is purely commits moving from several region hops
+/// per merged run to one sequential journal append with the
+/// checkpointer draining the table in the background. Each point also
+/// reports disk seeks per append (the mechanism) and the per-op-family
+/// p50/p95/p99 latencies. Two extra arms cover what the journal
+/// unlocked: the journal on the battery-backed NVRAM device, and
+/// `flush_window` 4 on NVRAM *storage* (the pipeline used to be forced
+/// serial there).
+fn group_log_run(label: &str) -> RunSummary {
+    use amoeba_bench::sharded_update_burst_with;
+    use amoeba_dir_core::StorageKind;
+    const N_WRITERS: usize = 48;
+    let warmup = Duration::from_secs(1);
+    let window = Duration::from_secs(8);
+    let mut run = RunSummary {
+        label: format!("{label}+group-log"),
+        ..Default::default()
+    };
+    let mut point = |name: String,
+                     shards: usize,
+                     r: &amoeba_bench::ShardBurstResult,
+                     latency: &[(String, f64, f64, f64)],
+                     ratio_over: f64| {
+        run.variants.push(VariantSummary {
+            variant: format!("Group(3)/{name}"),
+            n_clients: N_WRITERS,
+            lookup_ops_per_sec: f64::NAN,
+            update_ops_per_sec: r.ops_per_sec,
+            lookup_latency_ms: f64::NAN,
+            update_latency_ms: f64::NAN,
+        });
+        run.network
+            .push((format!("{name}/seeks_per_op"), r.seeks_per_op));
+        if ratio_over.is_finite() && ratio_over > 0.0 {
+            run.network.push((
+                format!("{name}/over_pipelined4"),
+                r.ops_per_sec / ratio_over,
+            ));
+        }
+        for (family, p50, p95, p99) in latency {
+            run.network.push((format!("{name}/{family}/p50_ms"), *p50));
+            run.network.push((format!("{name}/{family}/p95_ms"), *p95));
+            run.network.push((format!("{name}/{family}/p99_ms"), *p99));
+        }
+        println!(
+            "  group-log/{name}: {:.1} appends/s at {N_WRITERS} writers \
+             ({} shards), {:.2} seeks/append{}",
+            r.ops_per_sec,
+            shards,
+            r.seeks_per_op,
+            if ratio_over.is_finite() && ratio_over > 0.0 {
+                format!(" ({:.2}× pipelined w=4)", r.ops_per_sec / ratio_over)
+            } else {
+                String::new()
+            }
+        );
+    };
+    for shards in [1usize, 4] {
+        // The reference arm: PR 9's pipelined region-phased flush.
+        let (pref, pref_lat) = sharded_update_burst_with(
+            shards,
+            false,
+            true,
+            N_WRITERS,
+            warmup,
+            window,
+            0x6C0D,
+            |p| {
+                p.dir.flush_window = 4;
+                p.disk.head_aware = true;
+            },
+        );
+        point(
+            format!("group-log/shards={shards}/pipelined-ref"),
+            shards,
+            &pref,
+            &pref_lat,
+            f64::NAN,
+        );
+        for w in [1usize, 4, 8] {
+            let (r, latency) = sharded_update_burst_with(
+                shards,
+                false,
+                true,
+                N_WRITERS,
+                warmup,
+                window,
+                0x6C0D,
+                move |p| {
+                    p.dir.flush_window = w;
+                    p.dir.journal = true;
+                    p.disk.head_aware = true;
+                },
+            );
+            point(
+                format!("group-log/shards={shards}/window={w}"),
+                shards,
+                &r,
+                &latency,
+                pref.ops_per_sec,
+            );
+        }
+    }
+    // The journal on battery-backed NVRAM: the commit point costs one
+    // NVRAM write instead of a disk rotation.
+    let (nvj, nvj_lat) =
+        sharded_update_burst_with(4, false, true, N_WRITERS, warmup, window, 0x6C0D, |p| {
+            p.dir.flush_window = 4;
+            p.dir.journal = true;
+            p.dir.journal_nvram = true;
+            p.disk.head_aware = true;
+        });
+    point(
+        "group-log/shards=4/nvram-journal/window=4".to_owned(),
+        4,
+        &nvj,
+        &nvj_lat,
+        f64::NAN,
+    );
+    // NVRAM *storage* pipelining, which the flush-window relaxation
+    // unlocked: serial vs window 4 on the 24 KB battery-backed RAM.
+    let mut nv_serial = f64::NAN;
+    for w in [1usize, 4] {
+        let (nv, _) = sharded_update_burst_with(
+            1,
+            false,
+            true,
+            N_WRITERS,
+            warmup,
+            window,
+            0x6C0D,
+            move |p| {
+                p.dir.storage = StorageKind::Nvram;
+                p.dir.flush_window = w;
+            },
+        );
+        if w == 1 {
+            nv_serial = nv.ops_per_sec;
+        }
+        println!(
+            "  group-log/nvram-storage/window={w}: {:.1} appends/s ({:.2}× serial)",
+            nv.ops_per_sec,
+            nv.ops_per_sec / nv_serial
+        );
+        run.variants.push(VariantSummary {
+            variant: format!("GroupNvram(3)/group-log/nvram-storage/window={w}"),
+            n_clients: N_WRITERS,
+            lookup_ops_per_sec: f64::NAN,
+            update_ops_per_sec: nv.ops_per_sec,
+            lookup_latency_ms: f64::NAN,
+            update_latency_ms: f64::NAN,
+        });
+        if w > 1 {
+            run.network.push((
+                format!("group-log/nvram-storage/window{w}_over_serial"),
+                nv.ops_per_sec / nv_serial,
+            ));
         }
     }
     run
@@ -927,6 +1115,61 @@ fn ci_smoke() {
             update_latency_ms: f64::NAN,
         });
     }
+    // The group log: the same tiny burst with the journal on must
+    // complete appends AND spend fewer head seeks per append than the
+    // region-phased flush it replaces — the cheap end-to-end signal
+    // that commits really went down the journaled path (one sequential
+    // record append instead of table/Bullet/commit region hops).
+    let (poff, _) = amoeba_bench::sharded_update_burst_with(
+        1,
+        false,
+        true,
+        2,
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        0xC1,
+        |pa| {
+            pa.dir.flush_window = 4;
+            pa.disk.head_aware = true;
+        },
+    );
+    let (pj, _) = amoeba_bench::sharded_update_burst_with(
+        1,
+        false,
+        true,
+        2,
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        0xC1,
+        |pa| {
+            pa.dir.flush_window = 4;
+            pa.dir.journal = true;
+            pa.disk.head_aware = true;
+        },
+    );
+    assert!(
+        pj.ops_per_sec > 0.0,
+        "group-log smoke run must complete appends"
+    );
+    assert!(
+        pj.seeks_per_op < poff.seeks_per_op,
+        "the journaled path must seek less per append than the \
+         region-phased flush ({:.2} vs {:.2})",
+        pj.seeks_per_op,
+        poff.seeks_per_op
+    );
+    prun.variants.push(VariantSummary {
+        variant: "ci-smoke/group-log/window=4".to_owned(),
+        n_clients: 2,
+        lookup_ops_per_sec: f64::NAN,
+        update_ops_per_sec: pj.ops_per_sec,
+        lookup_latency_ms: f64::NAN,
+        update_latency_ms: f64::NAN,
+    });
+    prun.network
+        .push(("group-log/seeks_per_op".into(), pj.seeks_per_op));
+    prun.network
+        .push(("pipelined4/seeks_per_op".into(), poff.seeks_per_op));
     // Causal tracing: a tiny traced deployment must export Chrome trace
     // JSON that re-parses with a connected client-op span tree.
     let (mut ttb, tele) = amoeba_bench::testbed_traced(Variant::Group, 0xC1, |p| p.shards = 2);

@@ -190,6 +190,13 @@ pub struct ShardBurstResult {
     pub mcast_pruned: u64,
     /// Store-and-forwards per completed append.
     pub forwarded_per_op: f64,
+    /// Disk head seeks across every replica's platter during the run
+    /// (0 unless the head-aware disk model is on).
+    pub disk_seeks: u64,
+    /// Seeks per completed append — the group-log A/B's headline: a
+    /// journaled commit is one sequential append, so this drops from
+    /// several region hops per flush toward ~1.
+    pub seeks_per_op: f64,
 }
 
 /// The sharded update-burst harness: a Group(3) deployment split into
@@ -275,6 +282,12 @@ pub fn sharded_update_burst_with(
     // directories exist, so setup ops stay out of the histograms.
     let tele = amoeba_telemetry::Telemetry::install_metrics_only(&tb.sim.handle());
     let before = tb.cluster.net.stats();
+    let seeks_before: u64 = tb
+        .cluster
+        .columns
+        .iter()
+        .map(|c| c.vdisk.stats().seeks)
+        .sum();
     let ops_per_sec = throughput(
         &mut tb,
         n_writers,
@@ -304,6 +317,13 @@ pub fn sharded_update_burst_with(
         }
     }
     let total_ops = ops_per_sec * window.as_secs_f64();
+    let disk_seeks = tb
+        .cluster
+        .columns
+        .iter()
+        .map(|c| c.vdisk.stats().seeks)
+        .sum::<u64>()
+        .saturating_sub(seeks_before);
     (
         ShardBurstResult {
             ops_per_sec,
@@ -311,6 +331,12 @@ pub fn sharded_update_burst_with(
             mcast_pruned: d.mcast_pruned,
             forwarded_per_op: if total_ops > 0.0 {
                 d.packets_forwarded as f64 / total_ops
+            } else {
+                f64::NAN
+            },
+            disk_seeks,
+            seeks_per_op: if total_ops > 0.0 {
+                disk_seeks as f64 / total_ops
             } else {
                 f64::NAN
             },

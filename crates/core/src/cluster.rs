@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use amoeba_bullet::{start_bullet_server, BulletClient, BulletStore};
-use amoeba_disk::{DiskParams, DiskServer, Nvram, RawPartition, VDisk};
+use amoeba_disk::{DiskParams, DiskServer, Journal, Nvram, RawPartition, VDisk};
 use amoeba_flip::{HostAddr, NetParams, Network, NodeStack, SegmentId, Topology};
 use amoeba_group::{GroupConfig, GroupPeer};
 use amoeba_rpc::{RpcClient, RpcNode};
@@ -406,8 +406,23 @@ impl std::fmt::Debug for Cluster {
 /// Disk geometry shared by all variants.
 const DISK_BLOCKS: u64 = 16_384;
 const BLOCK_SIZE: usize = 4096;
-/// Blocks 0..TABLE_BLOCKS form the raw partition; the rest is Bullet's.
+/// Blocks 0..TABLE_BLOCKS form the raw partition; the rest is Bullet's
+/// — less the journal region, when one is carved (see
+/// [`journal_carve`]).
 const TABLE_BLOCKS: u64 = 64;
+
+/// Blocks reserved for the group log's journal region, carved between
+/// the table partition and the Bullet store: only when the journaled
+/// commit path is on *and* backed by the disk (an NVRAM-backed journal
+/// leaves the disk layout bit-identical to the journal-off build, as
+/// does journal-off itself).
+fn journal_carve(params: &ClusterParams) -> u64 {
+    if params.dir.journal && !params.dir.journal_nvram && params.dir.storage == StorageKind::Disk {
+        params.disk.journal_blocks
+    } else {
+        0
+    }
+}
 
 impl Cluster {
     /// Builds and starts a deployment on `sim`. Columns are laid out
@@ -441,7 +456,7 @@ impl Cluster {
                 tele.name_machine(u64::from(host.0), &format!("dir-s{shard}-{index}"));
                 let vdisk = VDisk::new(DISK_BLOCKS, BLOCK_SIZE);
                 let bullet_store = BulletStore::new(
-                    DISK_BLOCKS - TABLE_BLOCKS,
+                    DISK_BLOCKS - TABLE_BLOCKS - journal_carve(&params),
                     BLOCK_SIZE,
                     params.seed ^ ((shard * n + index) as u64) << 8,
                 );
@@ -683,6 +698,22 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
         params.disk.clone(),
     );
     let partition = RawPartition::new(disk_srv.clone(), 0, TABLE_BLOCKS);
+    // The group log's journal: carved from the disk right after the
+    // table partition, or kept in NVRAM. Reconstructed cold on every
+    // (re)start — `boot` recovers its cursor and surviving records.
+    let journal = if params.dir.journal && params.dir.storage == StorageKind::Disk {
+        if params.dir.journal_nvram {
+            Some(Journal::nvram(column.nvram.clone()))
+        } else {
+            Some(Journal::disk(RawPartition::new(
+                disk_srv.clone(),
+                TABLE_BLOCKS,
+                params.disk.journal_blocks,
+            )))
+        }
+    } else {
+        None
+    };
     // The Bullet server of this column.
     let bullet_disk = DiskServer::start(
         spawner,
@@ -698,7 +729,7 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
         cfg.bullet_port(column.index),
         disk_srv.clone(),
         column.bullet_store.clone(),
-        TABLE_BLOCKS,
+        TABLE_BLOCKS + journal_carve(params),
         2,
     );
     let bullet = BulletClient::new(RpcClient::new(&rpc), cfg.bullet_port(column.index));
@@ -726,6 +757,7 @@ fn start_column(spawner: &impl Spawn, params: &ClusterParams, column: &mut Colum
                 } else {
                     None
                 },
+                journal,
                 cpu,
             };
             column.server = Some(start_group_server(spawner, deps));

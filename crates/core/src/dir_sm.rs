@@ -54,6 +54,54 @@
 //!   accesses), then each *distinct* touched table block exactly once,
 //!   then the commit block, then metadata-only frees — so k updates
 //!   cost ~2 seeks plus k settled writes instead of 2k seeks.
+//!
+//! ## The group log (journal on)
+//!
+//! With [`DirParams::journal`] the durable half of every commit changes
+//! shape: instead of writing a batch's Bullet files and table blocks in
+//! place (~2 seeks per run even region-phased), the flush path encodes
+//! the merged run as one self-delimiting, checksummed **journal
+//! record** ([`amoeba_disk::Journal`]) and appends it to the disk's
+//! reserved journal region — or to NVRAM with
+//! [`DirParams::journal_nvram`] — as a single sequential conversation,
+//! ~1 seek per run. The record's last frame is the commit point: once
+//! the append returns, every op of the run is durable and its
+//! initiators may be woken.
+//!
+//! The table writeback moves off the commit path entirely. Each
+//! journaled act also lands in a RAM **dirty set** (per object,
+//! last-wins — the queued-submission merge rule), which the driver's
+//! background checkpointer drains every
+//! [`DirParams::checkpoint_interval`] into real Bullet/table blocks and
+//! then advances the journal's tail. The ordering invariants that make
+//! a crash at any yield point safe:
+//!
+//! 1. `journal_commit` inserts a batch's acts into the dirty set
+//!    **before** appending its record, and a checkpoint reads its reset
+//!    mark ([`Journal::next_seq`](amoeba_disk::Journal::next_seq))
+//!    **before** snapshotting the dirty set — so the tail can only ever
+//!    advance past records whose acts the drained snapshot held.
+//! 2. The tail advance
+//!    ([`Journal::try_reset`](amoeba_disk::Journal::try_reset)) runs
+//!    strictly **after** the drained acts are durable in Bullet,
+//!    table and commit block. A crash mid-checkpoint leaves every
+//!    uncovered record in the journal, and replay is idempotent (acts
+//!    are absolute object states, not deltas) — at worst a Bullet
+//!    file leaks.
+//! 3. Boot replays surviving records, oldest first, into RAM state
+//!    *after* the usual table salvage, and re-enters their acts into
+//!    the dirty set so the next checkpoint persists them. A torn tail
+//!    record truncates at its first bad checksum and loses nothing
+//!    acknowledged — its append never returned, so no initiator was
+//!    woken.
+//! 4. A **full journal** backpressures by running the checkpoint
+//!    inline: the failed batch's acts are already in the dirty set
+//!    (invariant 1), so the inline drain makes them durable the
+//!    in-place way and the commit holds without a journal record.
+//!
+//! The multi-object `recovering` guard is not used on this path:
+//! journal replay reconstructs any batch a crash interrupted, which is
+//! exactly the hole the guard existed to void.
 
 use std::sync::Arc;
 
@@ -86,6 +134,29 @@ pub struct DirectoryStateMachine {
     /// order: the event loop pushes in `seal_batch`, the flusher pops
     /// in `flush_staged`.
     staged: Mutex<std::collections::VecDeque<StagedBatch>>,
+    /// The group log's writeback bookkeeping (see the module docs):
+    /// the dirty set between journal appends and the checkpointer's
+    /// table writeback. Unused with the journal off.
+    ckpt: Mutex<CkptState>,
+}
+
+/// Journal-path state. The `busy` flag is the checkpoint's sim-safe
+/// exclusion — sleep-polled, never an OS mutex held across disk I/O —
+/// because a drain can run from the driver's background checkpointer
+/// process, inline on journal-full backpressure, *and* must be
+/// quiescent before recovery's copy/install writes the disk.
+#[derive(Default)]
+struct CkptState {
+    /// Per-object final act of every journaled-but-not-yet-checkpointed
+    /// batch (last-wins — the queued-submission merge rule).
+    dirty: std::collections::HashMap<u64, StagedAct>,
+    /// Highest sealed commit seqno the dirty set covers; the
+    /// checkpoint's commit-block write carries it.
+    covered_seqno: u64,
+    /// Whether any covered batch lost a file (delete / migration stub).
+    need_commit: bool,
+    /// A checkpoint drain is in flight.
+    busy: bool,
 }
 
 impl std::fmt::Debug for DirectoryStateMachine {
@@ -104,6 +175,7 @@ impl DirectoryStateMachine {
             cpu,
             pending: Mutex::new(Vec::new()),
             staged: Mutex::new(std::collections::VecDeque::new()),
+            ckpt: Mutex::new(CkptState::default()),
         }
     }
 
@@ -117,6 +189,7 @@ impl DirectoryStateMachine {
         bullet: amoeba_bullet::BulletClient,
         partition: amoeba_disk::RawPartition,
         nvram: Option<amoeba_disk::Nvram>,
+        journal: Option<amoeba_disk::Journal>,
         cpu: Resource,
     ) -> Self {
         let table = ObjectTable::new(partition.clone());
@@ -128,6 +201,7 @@ impl DirectoryStateMachine {
             bullet,
             partition,
             nvram,
+            journal,
             max_lease_us: params.max_lease.as_micros() as u64,
             lease_renewals: params.lease_renewals,
         });
@@ -149,6 +223,7 @@ impl DirectoryStateMachine {
             self.applier.bullet.clone(),
             self.applier.partition.clone(),
             self.applier.nvram.clone(),
+            self.applier.journal.as_ref().map(|j| j.reopen()),
             self.cpu.clone(),
         )
     }
@@ -275,6 +350,17 @@ impl DirectoryStateMachine {
             };
             cb.write(&applier.partition, ctx);
         }
+        let write_commit = guard || batch.need_commit;
+        self.drain_acts(ctx, batch, write_commit, guard);
+    }
+
+    /// The region-phased durable write-back of one batch's acts —
+    /// Bullet creates, mirror-tracked table blocks, optional commit
+    /// block, old-file frees — without any `recovering` bracket
+    /// (callers add their own when they need one; the checkpoint path
+    /// never does, journal replay covers its crashes).
+    fn drain_acts(&self, ctx: &Ctx, batch: StagedBatch, write_commit: bool, bump_epoch: bool) {
+        let applier = &self.applier;
         // Phase one — Bullet creates. The batch's new files are written
         // back-to-back, so the store's sequential allocation turns each
         // create after the first into a settled (seek-free) access on a
@@ -362,10 +448,10 @@ impl DirectoryStateMachine {
         for w in waiters {
             w.recv(ctx);
         }
-        if guard || batch.need_commit {
+        if write_commit {
             let cb = {
                 let mut shared = applier.shared.lock();
-                if guard {
+                if bump_epoch {
                     // Same epoch bookkeeping as the serial path: a
                     // completed guarded flush closes one generation.
                     shared.commit.epoch += 1;
@@ -385,6 +471,201 @@ impl DirectoryStateMachine {
             let _ = applier.bullet.delete(ctx, f);
         }
     }
+
+    /// Captures coalesced final acts as a sealed batch: directory
+    /// contents, table checks, and the commit seqno as of now (exact —
+    /// callers run synchronously after the batch's applies).
+    fn seal_acts(&self, token: u64, acts: Vec<(u64, FinalAct)>, need_commit: bool) -> StagedBatch {
+        let shared = self.applier.shared.lock();
+        let acts = acts
+            .into_iter()
+            .map(|(object, act)| {
+                let entry = shared.table.get(object);
+                let staged = match act {
+                    FinalAct::Store(dir) => StagedAct::Store {
+                        dir,
+                        check: entry.map(|e| e.check).unwrap_or(0),
+                    },
+                    FinalAct::Drop { .. } => StagedAct::Drop,
+                    FinalAct::Stub { .. } => StagedAct::Stub {
+                        seqno: entry.map(|e| e.seqno).unwrap_or(0),
+                        check: entry.map(|e| e.check).unwrap_or(0),
+                    },
+                };
+                (object, staged)
+            })
+            .collect();
+        StagedBatch {
+            token,
+            acts,
+            commit_seqno: shared.commit.seqno,
+            need_commit,
+        }
+    }
+
+    /// The journaled commit: one sequential record append *is* the
+    /// durable group commit of the (merged) batch. The acts enter the
+    /// dirty set strictly before the append, so a concurrent
+    /// checkpoint's tail advance can never outrun them (module-docs
+    /// invariant 1).
+    fn journal_commit(&self, ctx: &Ctx, batch: StagedBatch) {
+        if batch.acts.is_empty() {
+            return;
+        }
+        let journal = self
+            .applier
+            .journal
+            .as_ref()
+            .expect("journaled commit without a journal");
+        let record = encode_journal_record(&batch);
+        {
+            let mut ckpt = self.ckpt.lock();
+            ckpt.covered_seqno = ckpt.covered_seqno.max(batch.commit_seqno);
+            ckpt.need_commit |= batch.need_commit;
+            for (object, act) in batch.acts {
+                ckpt.dirty.insert(object, act);
+            }
+        }
+        match journal.append(ctx, &record) {
+            Ok(_) => {
+                let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+                tele.gauge("dir.journal.depth", journal.depth() as i64);
+            }
+            Err(amoeba_disk::JournalFull) => {
+                // Backpressure: drain the dirty set — which already
+                // holds this batch (invariant 1) — durably the in-place
+                // way. The batch commits through the checkpoint itself;
+                // no record, and no append retry, is needed.
+                self.run_checkpoint(ctx);
+            }
+        }
+    }
+
+    /// Acquires the checkpoint drain's sleep-polled exclusion flag.
+    fn ckpt_acquire(&self, ctx: &Ctx) {
+        loop {
+            {
+                let mut ckpt = self.ckpt.lock();
+                if !ckpt.busy {
+                    ckpt.busy = true;
+                    return;
+                }
+            }
+            ctx.sleep(std::time::Duration::from_micros(100));
+        }
+    }
+
+    fn ckpt_release(&self) {
+        self.ckpt.lock().busy = false;
+    }
+
+    /// One checkpoint pass: snapshot the dirty set, write it back into
+    /// real Bullet/table blocks (+ commit block when a covered batch
+    /// lost a file), then advance the journal's tail — iff no record
+    /// arrived since the mark. A failed tail advance is benign: the
+    /// drained records' replay is idempotent, and the next pass covers
+    /// the newcomers.
+    pub(crate) fn run_checkpoint(&self, ctx: &Ctx) {
+        let Some(journal) = self.applier.journal.as_ref() else {
+            return;
+        };
+        self.ckpt_acquire(ctx);
+        // Mark before dirty snapshot (module-docs invariant 1).
+        let mark = journal.next_seq();
+        let (acts, covered_seqno, need_commit) = {
+            let mut ckpt = self.ckpt.lock();
+            let mut acts: Vec<(u64, StagedAct)> =
+                std::mem::take(&mut ckpt.dirty).into_iter().collect();
+            acts.sort_unstable_by_key(|&(o, _)| o);
+            (
+                acts,
+                ckpt.covered_seqno,
+                std::mem::take(&mut ckpt.need_commit),
+            )
+        };
+        if !acts.is_empty() {
+            self.drain_acts(
+                ctx,
+                StagedBatch {
+                    token: 0,
+                    acts,
+                    commit_seqno: covered_seqno,
+                    need_commit,
+                },
+                need_commit,
+                false,
+            );
+        }
+        // Tail advance strictly after the write-back is durable
+        // (module-docs invariant 2).
+        let _ = journal.try_reset(ctx, mark);
+        let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+        tele.gauge("dir.journal.depth", journal.depth() as i64);
+        self.ckpt_release();
+    }
+}
+
+/// Journal record wire format: `u64 commit_seqno, u32 need_commit,
+/// u32 n_acts`, then per act `u64 object, u32 kind` with kind 0 =
+/// Store (`u64 check` + length-prefixed directory encoding), 1 = Drop,
+/// 2 = Stub (`u64 seqno, u64 check`). Acts are absolute final states,
+/// so replaying a record any number of times is idempotent.
+fn encode_journal_record(batch: &StagedBatch) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(16 + batch.acts.len() * 64);
+    w.u64(batch.commit_seqno)
+        .u32(batch.need_commit as u32)
+        .u32(batch.acts.len() as u32);
+    for (object, act) in &batch.acts {
+        w.u64(*object);
+        match act {
+            StagedAct::Store { dir, check } => {
+                w.u32(0).u64(*check).bytes(&dir.encode());
+            }
+            StagedAct::Drop => {
+                w.u32(1);
+            }
+            StagedAct::Stub { seqno, check } => {
+                w.u32(2).u64(*seqno).u64(*check);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// A decoded journal record: the batch's commit-seqno claim, whether it
+/// needs a commit-block write at checkpoint, and its acts.
+type JournalRecord = (u64, bool, Vec<(u64, StagedAct)>);
+
+/// Decodes one journal record; `None` on any malformation (the journal
+/// already checksums frames, so this only guards against version skew).
+fn decode_journal_record(bytes: &[u8]) -> Option<JournalRecord> {
+    let payload = Payload::new(bytes.to_vec());
+    let mut r = WireReader::of(&payload);
+    let commit_seqno = r.u64("commit seqno").ok()?;
+    let need_commit = r.u32("need commit").ok()? != 0;
+    let n = r.u32("acts").ok()?;
+    if n as usize > 1_000_000 {
+        return None;
+    }
+    let mut acts = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let object = r.u64("object").ok()?;
+        let act = match r.u32("kind").ok()? {
+            0 => {
+                let check = r.u64("check").ok()?;
+                let dir = Directory::decode(r.bytes("dir bytes").ok()?).ok()?;
+                StagedAct::Store { dir, check }
+            }
+            1 => StagedAct::Drop,
+            2 => StagedAct::Stub {
+                seqno: r.u64("seqno").ok()?,
+                check: r.u64("check").ok()?,
+            },
+            _ => return None,
+        };
+        acts.push((object, act));
+    }
+    Some((commit_seqno, need_commit, acts))
 }
 
 impl StateMachine for DirectoryStateMachine {
@@ -470,6 +751,16 @@ impl StateMachine for DirectoryStateMachine {
             return;
         }
         let (acts, frees, need_commit) = Self::coalesce(effects);
+        if applier.journal.is_some() {
+            // The group log: one sequential record append is the
+            // commit, even on the serial (window 1) driver. `frees` is
+            // deliberately dropped, as in `seal_batch`: the checkpoint
+            // frees the durable mirror's file when it stores the
+            // recreation, which *is* the pre-batch file.
+            let batch = self.seal_acts(0, acts, need_commit);
+            self.journal_commit(ctx, batch);
+            return;
+        }
         // A multi-object batch cannot be flushed atomically: guard it
         // with the commit block's `recovering` flag so a crash mid-way
         // voids this replica's state instead of exposing a hole.
@@ -540,33 +831,7 @@ impl StateMachine for DirectoryStateMachine {
         // file when it stores the recreation, which *is* that pre-batch
         // file — carrying the list too would free it twice.
         let (acts, _frees, need_commit) = Self::coalesce(effects);
-        let batch = {
-            let shared = applier.shared.lock();
-            let acts = acts
-                .into_iter()
-                .map(|(object, act)| {
-                    let entry = shared.table.get(object);
-                    let staged = match act {
-                        FinalAct::Store(dir) => StagedAct::Store {
-                            dir,
-                            check: entry.map(|e| e.check).unwrap_or(0),
-                        },
-                        FinalAct::Drop { .. } => StagedAct::Drop,
-                        FinalAct::Stub { .. } => StagedAct::Stub {
-                            seqno: entry.map(|e| e.seqno).unwrap_or(0),
-                            check: entry.map(|e| e.check).unwrap_or(0),
-                        },
-                    };
-                    (object, staged)
-                })
-                .collect();
-            StagedBatch {
-                token,
-                acts,
-                commit_seqno: shared.commit.seqno,
-                need_commit,
-            }
-        };
+        let batch = self.seal_acts(token, acts, need_commit);
         self.staged.lock().push_back(batch);
     }
 
@@ -579,6 +844,10 @@ impl StateMachine for DirectoryStateMachine {
         };
         if self.applier.storage == StorageKind::Nvram {
             self.flush(ctx); // fill-threshold policing only
+            return;
+        }
+        if self.applier.journal.is_some() {
+            self.journal_commit(ctx, batch);
             return;
         }
         self.flush_batch(ctx, batch);
@@ -622,7 +891,17 @@ impl StateMachine for DirectoryStateMachine {
                 need_commit,
             }
         };
+        if self.applier.journal.is_some() {
+            // The group log's headline path: the whole merged run
+            // commits as ONE sequential record append.
+            self.journal_commit(ctx, merged);
+            return;
+        }
         self.flush_batch(ctx, merged);
+    }
+
+    fn checkpoint(&self, ctx: &Ctx) {
+        self.run_checkpoint(ctx);
     }
 
     fn idle(&self, ctx: &Ctx) {
@@ -641,6 +920,7 @@ impl StateMachine for DirectoryStateMachine {
             .unwrap_or_else(|| CommitBlock::initial(cfg.n));
         let table = ObjectTable::load(applier.partition.clone(), ctx);
         let table_seq = table.max_seqno();
+        let worthless = commit.recovering && commit.epoch == 0;
         {
             let mut shared = applier.shared.lock();
             shared.table = table;
@@ -673,12 +953,91 @@ impl StateMachine for DirectoryStateMachine {
             }
             shared.commit = commit;
             shared.commit.recovering = false;
-            // Pipelined commit: baseline the durable mirror at the
-            // just-loaded table — RAM and disk agree at boot, and from
-            // here on the flusher keeps the mirror equal to the disk
-            // while applies run ahead in RAM.
-            if self.params.flush_window > 1 && applier.storage == StorageKind::Disk {
+            // Pipelined commit / group log: baseline the durable mirror
+            // at the just-loaded table — RAM and disk agree at boot,
+            // and from here on the flusher (or checkpointer) keeps the
+            // mirror equal to the disk while applies run ahead in RAM.
+            if (self.params.flush_window > 1 || applier.journal.is_some())
+                && applier.storage == StorageKind::Disk
+            {
                 shared.table.enable_durable_mirror();
+            }
+        }
+        // The group log: replay journal records the last checkpoint had
+        // not yet covered. The mirror was enabled *before* this, so it
+        // still equals the disk truth — replay mutates only RAM state,
+        // and re-enters each act into the dirty set for the next
+        // checkpoint to persist (module-docs invariant 3).
+        if let Some(journal) = &applier.journal {
+            if worthless {
+                // Mid-copy crash: the table may mix two histories, so
+                // pre-copy records must not replay onto it. Recover the
+                // journal's cursor first so the reset keeps sequence
+                // numbers globally monotone.
+                let _ = journal.recover(ctx);
+                journal.reset(ctx);
+            } else {
+                let records = journal.recover(ctx);
+                let mut replayed = 0u64;
+                for rec in &records {
+                    let Some((commit_seqno, need_commit, acts)) = decode_journal_record(rec) else {
+                        continue; // version skew: skip, never fatal
+                    };
+                    replayed = replayed.max(commit_seqno);
+                    let mut shared = applier.shared.lock();
+                    let mut ckpt = self.ckpt.lock();
+                    // The record's commit claim is replicated state
+                    // (drops claim their seqs through it): restore it
+                    // so later commit-block writes stay monotone.
+                    shared.commit.seqno = shared.commit.seqno.max(commit_seqno);
+                    ckpt.covered_seqno = ckpt.covered_seqno.max(commit_seqno);
+                    ckpt.need_commit |= need_commit;
+                    for (object, act) in acts {
+                        match &act {
+                            StagedAct::Store { dir, check } => {
+                                replayed = replayed.max(dir.seqno);
+                                // Keep the durable file cap: reads are
+                                // served from the cache entry below,
+                                // and the checkpoint frees the old file
+                                // when it stores the replayed contents.
+                                let file_cap = shared
+                                    .table
+                                    .get(object)
+                                    .map(|e| e.file_cap)
+                                    .unwrap_or(amoeba_bullet::FileCap::NULL);
+                                shared.table.set(
+                                    object,
+                                    ObjEntry {
+                                        file_cap,
+                                        seqno: dir.seqno,
+                                        check: *check,
+                                    },
+                                );
+                                shared.cache.insert(object, dir.clone());
+                            }
+                            StagedAct::Drop => {
+                                shared.table.clear(object);
+                                shared.cache.remove(&object);
+                            }
+                            StagedAct::Stub { seqno, check } => {
+                                shared.table.set(
+                                    object,
+                                    ObjEntry {
+                                        file_cap: amoeba_bullet::FileCap::NULL,
+                                        seqno: *seqno,
+                                        check: *check,
+                                    },
+                                );
+                                shared.cache.remove(&object);
+                            }
+                        }
+                        ckpt.dirty.insert(object, act);
+                    }
+                }
+                if replayed > 0 {
+                    let mut shared = applier.shared.lock();
+                    shared.update_seq = shared.update_seq.max(replayed);
+                }
             }
         }
         // NVRAM survives the crash; replay pending records into RAM.
@@ -724,6 +1083,14 @@ impl StateMachine for DirectoryStateMachine {
     }
 
     fn begin_copy(&self, ctx: &Ctx) {
+        // Quiesce any in-flight checkpoint drain first: its commit-block
+        // write must not land after (and clobber) the worthless mark.
+        // No new drain can start until the replica is back in normal
+        // operation, so releasing right away is safe.
+        if self.applier.journal.is_some() {
+            self.ckpt_acquire(ctx);
+            self.ckpt_release();
+        }
         let cb = {
             let mut shared = self.applier.shared.lock();
             shared.commit.recovering = true;
@@ -1003,6 +1370,16 @@ impl StateMachine for DirectoryStateMachine {
             if shared.table.mirror_enabled() {
                 shared.table.enable_durable_mirror();
             }
+        }
+        // The installed state supersedes everything the journal's
+        // records described: drop them (keeping sequence numbers
+        // monotone) and the dirty set with them. `begin_copy` already
+        // quiesced the checkpointer for this recovery pass.
+        if let Some(journal) = &applier.journal {
+            journal.reset(ctx);
+            let mut ckpt = self.ckpt.lock();
+            ckpt.dirty.clear();
+            ckpt.need_commit = false;
         }
         self.staged.lock().clear();
         true

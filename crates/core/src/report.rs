@@ -225,12 +225,14 @@ mod tests {
                     window_stalls: 0,
                     flush_inflight_hwm: 1,
                     flush_runs: 1,
+                    gather_ewma_us: 0,
                 }),
                 group: None,
                 disk: DiskStats {
                     reads: 0,
                     writes: 5,
                     blocks: 0,
+                    seeks: 0,
                 },
             });
         }

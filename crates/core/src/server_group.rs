@@ -61,6 +61,10 @@ pub struct GroupServerDeps {
     pub partition: RawPartition,
     /// The machine's NVRAM, if the NVRAM commit path is configured.
     pub nvram: Option<Nvram>,
+    /// The group log's journal, when `params.journal` is on (backed by
+    /// the disk's reserved journal region, or by NVRAM with
+    /// `params.journal_nvram`).
+    pub journal: Option<amoeba_disk::Journal>,
     /// The machine's CPU.
     pub cpu: Resource,
 }
@@ -79,14 +83,27 @@ fn rsm_config(cfg: &ServiceConfig, params: &DirParams) -> RsmConfig {
     debug_assert_eq!(rsm.group_port, cfg.group_port);
     debug_assert_eq!(rsm.internal_ports[cfg.me], cfg.internal_port(cfg.me));
     rsm.apply_batch = params.apply_batch;
-    // The pipeline only pays off when flush costs disk time; on the
-    // NVRAM path the log append inside `apply` is the durable commit,
-    // so the serial loop is already optimal (and `flush` must keep
-    // policing the fill threshold inline).
-    rsm.flush_window = if params.storage == StorageKind::Disk {
-        params.flush_window
+    // Historically the NVRAM commit path forced the serial loop (its
+    // log append inside `apply` is already the durable commit, so the
+    // pipeline bought nothing and `flush` had to police the fill
+    // threshold inline). The staged path now polices the threshold too,
+    // so both storage kinds honour the configured window — on NVRAM the
+    // overlap is between apply CPU and the background disk writeback.
+    rsm.flush_window = params.flush_window;
+    rsm.flush_gather = if params.storage == StorageKind::Disk {
+        rsm.flush_gather
     } else {
-        1
+        // NVRAM appends are µs-scale: gathering milliseconds to save a
+        // seek that is never paid would only add latency.
+        Duration::ZERO
+    };
+    rsm.adaptive_gather = params.adaptive_gather;
+    // The checkpointer exists to drain the journal; without a journal
+    // there is nothing to drain.
+    rsm.checkpoint_interval = if params.journal && params.storage == StorageKind::Disk {
+        Some(params.checkpoint_interval)
+    } else {
+        None
     };
     rsm.idle_timeout = params.nvram_idle_flush;
     rsm.join_timeout = params.recovery_join_timeout;
@@ -107,10 +124,14 @@ pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupD
         bullet,
         partition,
         nvram,
+        journal,
         cpu,
     } = deps;
     if params.storage == StorageKind::Nvram {
         assert!(nvram.is_some(), "NVRAM storage configured without a device");
+    }
+    if params.journal && params.storage == StorageKind::Disk {
+        assert!(journal.is_some(), "journaled commit path without a journal");
     }
     let table = ObjectTable::new(partition.clone());
     let shared = Arc::new(Mutex::new(Shared::new(table, cfg.n)));
@@ -121,6 +142,11 @@ pub fn start_group_server(spawner: &impl Spawn, deps: GroupServerDeps) -> GroupD
         bullet,
         partition,
         nvram: nvram.clone(),
+        journal: if params.storage == StorageKind::Disk {
+            journal
+        } else {
+            None
+        },
         max_lease_us: params.max_lease.as_micros() as u64,
         lease_renewals: params.lease_renewals,
     });

@@ -87,6 +87,7 @@ pub fn start_nfs_server(spawner: &impl Spawn, deps: NfsServerDeps) -> NfsDirServ
         bullet,
         partition,
         nvram: None,
+        journal: None,
         max_lease_us: params.max_lease.as_micros() as u64,
         lease_renewals: params.lease_renewals,
     });

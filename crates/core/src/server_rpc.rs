@@ -181,6 +181,7 @@ pub fn start_rpc_server(spawner: &impl Spawn, deps: RpcServerDeps) -> RpcDirServ
         bullet,
         partition,
         nvram: None,
+        journal: None,
         max_lease_us: params.max_lease.as_micros() as u64,
         lease_renewals: params.lease_renewals,
     });

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use amoeba_bullet::{BulletClient, FileCap};
-use amoeba_disk::{NvRecord, Nvram, RawPartition};
+use amoeba_disk::{Journal, NvRecord, Nvram, RawPartition};
 use amoeba_flip::wire::{WireReader, WireWriter};
 use amoeba_flip::Port;
 use amoeba_sim::Ctx;
@@ -195,6 +195,11 @@ pub(crate) struct Applier {
     pub bullet: BulletClient,
     pub partition: RawPartition,
     pub nvram: Option<Nvram>,
+    /// The group log's journal, when the journaled commit path is on
+    /// (`DirParams::journal`): flushes append one sequential record
+    /// here and a background checkpointer drains the dirty set into the
+    /// table. `None` keeps the region-phased in-place flush.
+    pub journal: Option<Journal>,
     /// Upper bound on granted read-lease durations, in simulated
     /// microseconds ([`crate::config::DirParams::max_lease`]): bounds
     /// how long a write can stall on an unreachable lease holder.

@@ -12,15 +12,20 @@
 //!   service's commit-block + object-table area.
 //! * [`Nvram`] — the 24 KB battery-backed log of §4.1, with append/delete
 //!   annihilation and background-flush support.
+//! * [`Journal`] — the group log's reserved journal region: checksummed,
+//!   self-delimiting records appended sequentially (~1 seek per commit),
+//!   drained by a background checkpointer, replayed at boot.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod journal;
 mod model;
 mod nvram;
 mod server;
 mod vdisk;
 
+pub use journal::{Journal, JournalFull};
 pub use model::DiskParams;
 pub use nvram::{NvRecord, Nvram, NvramFull, NvramStats};
 pub use server::{DiskServer, RawPartition};

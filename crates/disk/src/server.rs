@@ -142,11 +142,12 @@ fn serve(ctx: &Ctx, rx: MailboxRx<DiskReq>, disk: VDisk, params: DiskParams) {
     let mut head: Option<u64> = None;
     let charge = |ctx: &Ctx, head: &mut Option<u64>, start: u64, n: usize| {
         let settled = params.head_aware && head.map(|h| h.abs_diff(start) <= 1).unwrap_or(false);
-        ctx.sleep(if settled {
-            params.settled_access_time(n)
+        if settled {
+            ctx.sleep(params.settled_access_time(n));
         } else {
-            params.access_time(n)
-        });
+            disk.note_seek();
+            ctx.sleep(params.access_time(n));
+        }
         *head = Some(start + (n.max(1) as u64) - 1);
     };
     loop {
@@ -210,6 +211,11 @@ impl RawPartition {
         self.len
     }
 
+    /// Block size of the underlying disk, in bytes.
+    pub fn block_size(&self) -> usize {
+        self.server.vdisk().block_size()
+    }
+
     /// Whether the partition has zero blocks.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -244,6 +250,20 @@ impl RawPartition {
     pub fn write_begin(&self, block: u64, data: impl Into<Payload>) -> amoeba_sim::MailboxRx<()> {
         assert!(block < self.len, "partition write out of range");
         self.server.write_begin(self.base + block, data)
+    }
+
+    /// Writes consecutive partition-relative blocks with a single seek
+    /// (the journal's sequential record append).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds the partition.
+    pub fn write_run(&self, ctx: &Ctx, start: u64, data: Vec<impl Into<Payload>>) {
+        assert!(
+            start + data.len() as u64 <= self.len,
+            "partition write out of range"
+        );
+        self.server.write_run(ctx, self.base + start, data);
     }
 
     /// Reads the whole partition with one seek (used at boot to load the

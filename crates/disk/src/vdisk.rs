@@ -16,6 +16,12 @@ pub struct DiskStats {
     pub writes: u64,
     /// Blocks transferred in either direction.
     pub blocks: u64,
+    /// Accesses that paid a head repositioning (full seek + rotation).
+    /// The serving process charges one per request the head was not
+    /// already settled on, so `seeks / flush runs` is the group log's
+    /// headline metric: a journaled run should cost ~1 where the
+    /// region-phased flush pays one per region.
+    pub seeks: u64,
 }
 
 impl DiskStats {
@@ -25,6 +31,7 @@ impl DiskStats {
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
             blocks: self.blocks.saturating_sub(earlier.blocks),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
         }
     }
 }
@@ -111,6 +118,12 @@ impl VDisk {
     /// Physical-operation counters.
     pub fn stats(&self) -> DiskStats {
         self.inner.lock().stats
+    }
+
+    /// Records one head repositioning (called by the serving process
+    /// when it charges a non-settled access).
+    pub fn note_seek(&self) {
+        self.inner.lock().stats.seeks += 1;
     }
 
     /// Wipes the disk (a "head crash" for recovery experiments).

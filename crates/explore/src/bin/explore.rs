@@ -1,7 +1,7 @@
 //! `explore` — fault-schedule search and record/replay driver.
 //!
 //! ```text
-//! explore sweep [--big] [--schedules N] [--seed S] [--buggy] [--window W]
+//! explore sweep [--big] [--schedules N] [--seed S] [--buggy] [--window W] [--journal]
 //! explore ci-smoke
 //! explore replay <bundle.amrx>
 //! explore probe [--seeds N] [--fixed] [--loss L] [--trace out.json]
@@ -13,16 +13,20 @@
 //!   repro bundle. Exits nonzero if any failure was found. `--window`
 //!   sets the replicas' pipelined-commit flush window (default 4, so
 //!   sweeps exercise the two-stage driver; `1` is the serial seed
-//!   loop).
-//! - `ci-smoke` is the CI gate: a small clean sweep must find nothing,
-//!   and a deliberately re-introduced historical bug (the gap-recovery
-//!   retransmission bound) must be found, shrunk, and deterministically
-//!   replayed.
+//!   loop); `--journal` turns the group log on, so crash windows land
+//!   on journaled commits and mid-checkpoint drains.
+//! - `ci-smoke` is the CI gate: a small clean sweep must find nothing
+//!   (serial, pipelined, and journaled — the journaled pass includes
+//!   the checkpoint-phase schedule, whose crash windows bracket the
+//!   checkpointer's ticks, and round-trips an `.amrx` bundle with the
+//!   journal flag), and a deliberately re-introduced historical bug
+//!   (the gap-recovery retransmission bound) must be found, shrunk,
+//!   and deterministically replayed.
 //! - `replay` re-executes a repro bundle under verify-mode replay.
 
 use std::process::ExitCode;
 
-use amoeba_explore::scenario::{run_scenario, RunMode, ScenarioParams};
+use amoeba_explore::scenario::{run_scenario, RunMode, ScenarioParams, WRITE_START_MS};
 use amoeba_explore::schedule::{FaultKind, FaultSchedule, Injection};
 use amoeba_explore::search::{record_and_verify, shrink, sweep, ReproBundle};
 
@@ -34,7 +38,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("probe") => cmd_probe(&args[1..]),
         _ => {
-            eprintln!("usage: explore <sweep [--big] [--schedules N] [--seed S] [--buggy] | ci-smoke | replay <bundle.amrx>>");
+            eprintln!("usage: explore <sweep [--big] [--schedules N] [--seed S] [--buggy] [--window W] [--journal] | ci-smoke | replay <bundle.amrx>>");
             ExitCode::from(2)
         }
     }
@@ -69,14 +73,16 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     };
     params.buggy_retrans_bound = flag(args, "--buggy");
     params.flush_window = opt_u64(args, "--window", 4).clamp(1, 64) as usize;
+    params.journal = flag(args, "--journal");
     println!(
         "sweep: {} schedules over {} machines ({} shards, {} chain segments, \
-         flush window {}){}",
+         flush window {}{}){}",
         n,
         params.machines(),
         params.shards,
         params.chain_segments,
         params.flush_window,
+        if params.journal { ", group log on" } else { "" },
         if params.buggy_retrans_bound {
             ", historical retrans bug re-introduced"
         } else {
@@ -190,6 +196,62 @@ fn cmd_ci_smoke() -> ExitCode {
     println!(
         "ci-smoke: pipelined (window=4) sweep ok ({} schedules)",
         report.schedules_run
+    );
+
+    // 1c. The group log: the same sweep journaled (commits are journal
+    //     appends, table writeback races the faults in the background
+    //     checkpointer), plus the deterministic checkpoint-phase
+    //     schedule — crash windows bracketing the checkpointer's ticks,
+    //     where the journal is at high water and the drain half done.
+    let mut journaled = clean.clone();
+    journaled.flush_window = 4;
+    journaled.journal = true;
+    let report = sweep(&journaled, 2, 0xC1);
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!(
+                "ci-smoke: unexpected failure with the group log on: {}",
+                f.report.summary()
+            );
+            eprintln!("  schedule:\n{}", f.minimal);
+        }
+        return ExitCode::FAILURE;
+    }
+    // 250 ms is `DirParams::checkpoint_interval`'s default — the tick
+    // the schedule's windows are keyed to.
+    let ckpt_schedule = FaultSchedule::checkpoint_phase(3, 250, WRITE_START_MS);
+    let ckpt = run_scenario(&journaled, &ckpt_schedule, RunMode::Record);
+    if ckpt.failed() || ckpt.acked_writes == 0 {
+        eprintln!(
+            "ci-smoke: checkpoint-phase schedule failed journaled: {}",
+            ckpt.summary()
+        );
+        eprintln!("  schedule:\n{ckpt_schedule}");
+        return ExitCode::FAILURE;
+    }
+    // The `.amrx` bundle must carry the journal flag: a repro of a
+    // journaled failure replayed without the journal is a different
+    // program.
+    let bundle = ReproBundle {
+        params: journaled.clone(),
+        schedule: ckpt_schedule.clone(),
+        trace: ckpt.trace.clone().expect("recorded run must yield a trace"),
+    };
+    match ReproBundle::from_bytes(&bundle.to_bytes()) {
+        Ok(rt) if rt.params == journaled && rt.schedule == ckpt_schedule => {}
+        Ok(_) => {
+            eprintln!("ci-smoke: journaled .amrx bundle round-trip changed params/schedule");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("ci-smoke: journaled .amrx bundle did not re-parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "ci-smoke: journaled sweep + checkpoint-phase schedule ok \
+         ({} schedules, {} acked writes through the crash windows, bundle round-trips)",
+        report.schedules_run, ckpt.acked_writes
     );
 
     // 2. The seeded historical bug must be found, shrunk, and replayed.

@@ -83,6 +83,12 @@ pub struct ScenarioParams {
     /// simulated schedule, so a bundle must replay at the window it
     /// was recorded with.
     pub flush_window: usize,
+    /// Run the replicas' group log (`DirParams::journal`): commits are
+    /// sequential journal appends and the background checkpointer does
+    /// the table writeback — so fault windows can land *inside* a
+    /// checkpoint drain. Part of the repro-bundle encoding (appended
+    /// last, so pre-journal bundles decode with it off).
+    pub journal: bool,
     /// Install the causal-tracing telemetry layer on the run and return
     /// its Chrome-trace export in [`ScenarioReport::chrome_trace`].
     /// Tracing is zero-perturbation (the simulated run is bit-identical
@@ -104,6 +110,7 @@ impl ScenarioParams {
             dir_cache: true,
             buggy_retrans_bound: false,
             flush_window: 1,
+            journal: false,
             telemetry: false,
         }
     }
@@ -121,6 +128,7 @@ impl ScenarioParams {
             dir_cache: true,
             buggy_retrans_bound: false,
             flush_window: 1,
+            journal: false,
             telemetry: false,
         }
     }
@@ -139,7 +147,8 @@ impl ScenarioParams {
             .u64(self.writes_per_client as u64)
             .u8(u8::from(self.dir_cache))
             .u8(u8::from(self.buggy_retrans_bound))
-            .u64(self.flush_window as u64);
+            .u64(self.flush_window as u64)
+            .u8(u8::from(self.journal));
     }
 
     /// Deserializes params. `None` on malformed input.
@@ -153,6 +162,9 @@ impl ScenarioParams {
             dir_cache: r.u8("sc cache").ok()? != 0,
             buggy_retrans_bound: r.u8("sc buggy").ok()? != 0,
             flush_window: (r.u64("sc fwin").ok()?.clamp(1, 64)) as usize,
+            // Appended after the flush-window field: bundles recorded
+            // before the group log existed simply end here.
+            journal: r.u8("sc journal").map(|v| v != 0).unwrap_or(false),
             telemetry: false,
         })
     }
@@ -296,6 +308,7 @@ fn run_inner(
     cp.seed = params.seed;
     cp.group.buggy_retrans_bound = params.buggy_retrans_bound;
     cp.dir.flush_window = params.flush_window;
+    cp.dir.journal = params.journal;
     if params.dir_cache {
         cp.dir_cache = Some(CacheParams::default());
     }

@@ -107,6 +107,57 @@ impl FaultSchedule {
         FaultSchedule::default()
     }
 
+    /// A schedule that hunts the group log's checkpointer. The
+    /// journaled commit path drains its dirty set on a fixed tick
+    /// (`DirParams::checkpoint_interval`, `interval_ms` here), so the
+    /// journal sits at its high-water mark in the moments *before* a
+    /// tick and the table writeback runs in the moments *after* it.
+    /// This places short crash windows on both edges of successive
+    /// ticks through the write phase — landing crashes while records
+    /// are uncovered and while the drain is half-written — plus one
+    /// isolation window across a tick, columns rotating so every
+    /// replica of a small deployment gets hit. Purely deterministic:
+    /// the tick phase is keyed to boot time, not to runtime state.
+    pub fn checkpoint_phase(
+        columns: usize,
+        interval_ms: u64,
+        write_start_ms: u64,
+    ) -> FaultSchedule {
+        let interval = interval_ms.max(50);
+        let cols = columns.max(1);
+        let at =
+            |ticks: u64, skew: i64| (write_start_ms + ticks * interval).saturating_add_signed(skew);
+        FaultSchedule::new(vec![
+            // Journal high-water: die just before a checkpoint tick,
+            // with a full interval's worth of records uncovered.
+            Injection {
+                at_ms: at(2, -15),
+                dur_ms: 400,
+                kind: FaultKind::Crash { column: 0 },
+            },
+            // Mid-drain: die just after a tick, while the checkpointer
+            // is writing table/Bullet blocks for the drained acts.
+            Injection {
+                at_ms: at(4, 10),
+                dur_ms: 400,
+                kind: FaultKind::Crash { column: 1 % cols },
+            },
+            // A partition spanning a tick: the isolated replica
+            // checkpoints alone, then must reconcile on heal.
+            Injection {
+                at_ms: at(6, -15),
+                dur_ms: 300,
+                kind: FaultKind::Isolate { column: 2 % cols },
+            },
+            // Second pass over the first column, mid-drain this time.
+            Injection {
+                at_ms: at(8, 5),
+                dur_ms: 400,
+                kind: FaultKind::Crash { column: 0 },
+            },
+        ])
+    }
+
     /// Number of injections.
     pub fn len(&self) -> usize {
         self.injections.len()

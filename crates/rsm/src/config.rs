@@ -44,6 +44,21 @@ pub struct RsmConfig {
     /// against a ~30 ms seek is a good trade; `ZERO` disables. Unused
     /// with `flush_window` = 1.
     pub flush_gather: Duration,
+    /// Adapt the anticipatory gather to the observed arrival rate
+    /// instead of always waiting the full [`flush_gather`]: the driver
+    /// tracks an EWMA of inter-submit gaps and the flusher gathers for
+    /// twice that, clamped to `[0.5 ms, flush_gather]` — a mostly-idle
+    /// service stops taxing every commit the full fixed gather, while a
+    /// saturated one still merges its window. The EWMA is surfaced as
+    /// [`ReplicaStats::gather_ewma_us`](crate::ReplicaStats::gather_ewma_us).
+    ///
+    /// [`flush_gather`]: Self::flush_gather
+    pub adaptive_gather: bool,
+    /// When set, a background checkpointer process calls
+    /// [`StateMachine::checkpoint`](crate::StateMachine::checkpoint)
+    /// this often while the replica is in normal operation (the group
+    /// log's table writeback). `None` (the default) spawns nothing.
+    pub checkpoint_interval: Option<Duration>,
     /// Idle time after which [`idle`](crate::StateMachine::idle) runs.
     pub idle_timeout: Duration,
     /// How long a recovering replica waits for an existing group to
@@ -79,6 +94,8 @@ impl RsmConfig {
             apply_batch: 32,
             flush_window: 1,
             flush_gather: Duration::from_millis(8),
+            adaptive_gather: false,
+            checkpoint_interval: None,
             idle_timeout: Duration::from_millis(200),
             join_timeout: Duration::from_millis(400),
             majority_timeout: Duration::from_millis(1_500),

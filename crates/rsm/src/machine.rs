@@ -122,6 +122,18 @@ pub trait StateMachine: Send + Sync + 'static {
         let _ = ctx;
     }
 
+    /// Called periodically by the driver's background checkpointer
+    /// process (only spawned when
+    /// [`checkpoint_interval`](crate::RsmConfig::checkpoint_interval)
+    /// is set): drain journaled commits into their long-term durable
+    /// form and advance the journal's tail. Runs concurrently with
+    /// applies and staged flushes, so implementations must do their own
+    /// sim-safe exclusion against the flush path (and never hold a lock
+    /// across the drain's I/O). Default: no-op.
+    fn checkpoint(&self, ctx: &Ctx) {
+        let _ = ctx;
+    }
+
     /// Called once, at process start, before the first recovery: load
     /// whatever survived the reboot (commit block, tables, NVRAM log).
     fn boot(&self, ctx: &Ctx) {

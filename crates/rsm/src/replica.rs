@@ -57,6 +57,11 @@ pub struct ReplicaStats {
     /// flush_runs` is how many sealed batches the queued-submission
     /// merge absorbed. Stays 0 with `flush_window` = 1.
     pub flush_runs: u64,
+    /// EWMA of inter-submit gaps in microseconds, tracked when
+    /// [`adaptive_gather`](crate::RsmConfig::adaptive_gather) is on
+    /// (stays 0 otherwise): the flusher's effective anticipatory gather
+    /// is twice this, clamped to `[0.5 ms, flush_gather]`.
+    pub gather_ewma_us: u64,
 }
 
 /// One sealed batch handed from the event loop to the flusher stage.
@@ -90,6 +95,9 @@ pub(crate) struct DriverShared {
     pub waiters: Vec<(SeqNo, MailboxTx<Wake>)>,
     /// Apply replies by sequence number, for the initiating thread.
     pub results: HashMap<SeqNo, Payload>,
+    /// Simulated time of the previous `submit`, for the adaptive-gather
+    /// EWMA (0 = none yet).
+    pub last_submit_us: u64,
 }
 
 impl DriverShared {
@@ -102,6 +110,7 @@ impl DriverShared {
             stayed_up: false,
             waiters: Vec::new(),
             results: HashMap::new(),
+            last_submit_us: 0,
         }
     }
 
@@ -230,17 +239,51 @@ impl<S: StateMachine> Replica<S> {
             let shared = Arc::clone(&shared);
             let machine = replica.machine;
             let gather = cfg.flush_gather;
+            let adaptive = cfg.adaptive_gather;
             spawner.spawn_boxed(
                 Some(sim_node),
                 &format!("rsm{}-flusher", cfg.me),
                 Box::new(move |ctx| {
-                    flusher_loop(ctx, &*sm, &shared, machine, gather, &job_rx, &done_tx)
+                    flusher_loop(
+                        ctx, &*sm, &shared, machine, gather, adaptive, &job_rx, &done_tx,
+                    )
                 }),
             );
             Some((job_tx, done_rx))
         } else {
             None
         };
+
+        // Group-log checkpointer: a background process that periodically
+        // asks the machine to drain its journal into long-term durable
+        // form ([`StateMachine::checkpoint`]). Spawned only when the
+        // machine journals; runs concurrently with the event loop and
+        // flusher (the machine does its own sim-safe exclusion).
+        if let Some(interval) = cfg.checkpoint_interval {
+            let sm = Arc::clone(&sm);
+            let shared = Arc::clone(&shared);
+            let machine = replica.machine;
+            spawner.spawn_boxed(
+                Some(sim_node),
+                &format!("rsm{}-checkpoint", cfg.me),
+                Box::new(move |ctx| {
+                    let tele = amoeba_telemetry::Telemetry::from_handle(&ctx.handle());
+                    loop {
+                        ctx.sleep(interval);
+                        if shared.lock().mode != Mode::Normal {
+                            continue; // recovery owns the disk right now
+                        }
+                        let span = tele.begin_child(
+                            "rsm.checkpoint",
+                            machine,
+                            amoeba_telemetry::TraceCtx::NONE,
+                        );
+                        sm.checkpoint(ctx);
+                        tele.end(span);
+                    }
+                }),
+            );
+        }
 
         // Main process: recovery, then the group event loop, forever.
         {
@@ -312,7 +355,23 @@ impl<S: StateMachine> Replica<S> {
         trace: amoeba_telemetry::TraceCtx,
     ) -> Result<Payload, RsmError> {
         let group = self.serving_group()?;
-        self.shared.lock().stats.submitted += 1;
+        {
+            let mut shared = self.shared.lock();
+            shared.stats.submitted += 1;
+            if self.cfg.adaptive_gather {
+                // Arrival-rate EWMA (α = 1/8). Gaps are clamped to 1 s so
+                // one long silence does not poison the estimate for the
+                // next burst; `stats.submitted` above keeps this
+                // stats-only when the knob is off (bit-identical driver).
+                let now_us = ctx.now().as_nanos() / 1_000;
+                if shared.last_submit_us != 0 {
+                    let gap = now_us.saturating_sub(shared.last_submit_us).min(1_000_000);
+                    let e = shared.stats.gather_ewma_us;
+                    shared.stats.gather_ewma_us = if e == 0 { gap } else { e - e / 8 + gap / 8 };
+                }
+                shared.last_submit_us = now_us;
+            }
+        }
         let seq = group
             .send_traced(ctx, op.into(), trace)
             .map_err(|_| RsmError::NotInService)?;
@@ -679,12 +738,14 @@ impl<S: StateMachine> Replica<S> {
 /// write is durable exactly as in the serial loop. Signals the event
 /// loop through `done_tx` after each retirement (its window
 /// bookkeeping and drains).
+#[allow(clippy::too_many_arguments)] // one call site, spawned by the driver
 fn flusher_loop<S: StateMachine>(
     ctx: &Ctx,
     sm: &S,
     shared: &Arc<Mutex<DriverShared>>,
     machine: u64,
-    gather: Duration,
+    base_gather: Duration,
+    adaptive: bool,
     job_rx: &MailboxRx<FlushJob>,
     done_tx: &MailboxTx<SeqNo>,
 ) {
@@ -696,6 +757,20 @@ fn flusher_loop<S: StateMachine>(
         // that land in the same region. The event loop's window bound
         // caps how many can be queued, so a run is at most the window.
         let mut jobs = vec![job_rx.recv(ctx)];
+        let gather = if adaptive {
+            // Wait twice the observed inter-submit gap (clamped to
+            // [0.5 ms, base]): long enough that the burst released by
+            // the previous flush lands in this run, no longer.
+            let ewma = { shared.lock().stats.gather_ewma_us };
+            if ewma == 0 {
+                base_gather
+            } else {
+                let base_us = u64::try_from(base_gather.as_micros()).unwrap_or(u64::MAX);
+                Duration::from_micros((2 * ewma).clamp(500, base_us.max(500)))
+            }
+        } else {
+            base_gather
+        };
         if !gather.is_zero() {
             // Anticipatory gather: initiators released together by the
             // previous flush order their next ops a few milliseconds

@@ -13,7 +13,7 @@ use amoeba_dirsvc::dir::{
     Capability, DirOp, DirParams, DirectoryStateMachine, LockRequest, LockStateMachine, Rights,
     ServiceConfig,
 };
-use amoeba_dirsvc::disk::{DiskParams, DiskServer, RawPartition, VDisk};
+use amoeba_dirsvc::disk::{DiskParams, DiskServer, Journal, RawPartition, VDisk};
 use amoeba_dirsvc::flip::{NetParams, Network, Payload};
 use amoeba_dirsvc::rpc::{RpcClient, RpcNode};
 use amoeba_dirsvc::rsm::StateMachine;
@@ -123,7 +123,7 @@ fn dir_column(
     let cpu = Resource::new(sim.handle(), &format!("cpu-{idx}"));
     DirColumn {
         sm: Arc::new(DirectoryStateMachine::standalone(
-            cfg, dir_params, bullet, partition, None, cpu,
+            cfg, dir_params, bullet, partition, None, None, cpu,
         )),
         node,
         vdisk,
@@ -542,6 +542,7 @@ fn crash_mid_staged_flush_salvages_prefix_and_hides_queued_batches() {
         bullet,
         partition.clone(),
         None,
+        None,
         cpu,
     ));
     let recovered = sim.spawn("reboot", move |ctx| {
@@ -659,7 +660,7 @@ fn crash_mid_multi_object_flush_voids_local_state() {
 /// recovery.
 #[test]
 fn crash_during_batched_apply_loses_no_acknowledged_update() {
-    crash_during_apply_scenario(1, 0x0DD5);
+    crash_during_apply_scenario(1, 0x0DD5, false);
 }
 
 /// The same cluster crash with the two-stage commit pipeline engaged:
@@ -668,13 +669,23 @@ fn crash_during_batched_apply_loses_no_acknowledged_update() {
 /// every acknowledged append on every replica.
 #[test]
 fn crash_during_pipelined_apply_loses_no_acknowledged_update() {
-    crash_during_apply_scenario(4, 0x0DD6);
+    crash_during_apply_scenario(4, 0x0DD6, false);
 }
 
-fn crash_during_apply_scenario(flush_window: usize, seed: u64) {
+/// The same cluster crash with the group log on: commits are journal
+/// appends, the table writeback races the crash in the background
+/// checkpointer, and the restarted replica must replay its journal —
+/// still, no acknowledged append may be lost anywhere.
+#[test]
+fn crash_during_journaled_apply_loses_no_acknowledged_update() {
+    crash_during_apply_scenario(4, 0x0DD7, true);
+}
+
+fn crash_during_apply_scenario(flush_window: usize, seed: u64, journal: bool) {
     let mut sim = Simulation::new(seed);
     let mut params = ClusterParams::paper(Variant::Group);
     params.dir.flush_window = flush_window;
+    params.dir.journal = journal;
     let mut cluster = Cluster::start(&sim, params);
     let (client, _) = cluster.client(&sim);
     let c = client.clone();
@@ -834,6 +845,7 @@ fn crash_mid_flush_salvages_prefix_but_mid_copy_stays_worthless() {
         bullet.clone(),
         partition.clone(),
         None,
+        None,
         cpu.clone(),
     ));
     let p1 = Arc::clone(&probe);
@@ -867,6 +879,7 @@ fn crash_mid_flush_salvages_prefix_but_mid_copy_stays_worthless() {
         bullet,
         partition,
         None,
+        None,
         cpu,
     ));
     let worthless = sim.spawn("probe-copy-crash", move |ctx| {
@@ -880,4 +893,345 @@ fn crash_mid_flush_salvages_prefix_but_mid_copy_stays_worthless() {
         Some(0),
         "crash mid recovery copy must stay worthless (§3 rule)"
     );
+}
+
+// ---------------------------------------------------------------------
+// Group-log crash matrix: the journaled commit path must lose no acked
+// write across power cuts, torn tails, checkpoints, and full journals.
+// ---------------------------------------------------------------------
+
+/// Journal region carved between the metadata table and the Bullet
+/// store: `[TABLE_BLOCKS, TABLE_BLOCKS + JOURNAL_BLOCKS)`.
+const JOURNAL_BLOCKS: u64 = 64;
+
+fn journaled_params() -> DirParams {
+    DirParams {
+        journal: true,
+        ..DirParams::default()
+    }
+}
+
+/// Like [`dir_column`], but with the group log on: a journal region is
+/// carved out of the platter and the Bullet store starts past it —
+/// the same layout the cluster builder produces.
+fn dir_column_journaled(
+    sim: &Simulation,
+    net: &Network,
+    idx: usize,
+    disk_params: DiskParams,
+    dir_params: DirParams,
+    journal_blocks: u64,
+) -> DirColumn {
+    let cfg = ServiceConfig::new(3, idx);
+    let node = sim.add_node(&format!("jcol-{idx}"));
+    let rpc = RpcNode::start(sim, node, net.attach());
+    let vdisk = VDisk::new(2048, 4096);
+    let disk = DiskServer::start(sim, node, vdisk.clone(), disk_params);
+    let partition = RawPartition::new(disk.clone(), 0, TABLE_BLOCKS);
+    let journal = Journal::disk(RawPartition::new(
+        disk.clone(),
+        TABLE_BLOCKS,
+        journal_blocks,
+    ));
+    let base = TABLE_BLOCKS + journal_blocks;
+    let store = BulletStore::new(2048 - base, 4096, 0xB0 + idx as u64);
+    start_bullet_server(sim, node, &rpc, cfg.bullet_port(idx), disk, store, base, 2);
+    let bullet = BulletClient::new(RpcClient::new(&rpc), cfg.bullet_port(idx));
+    let cpu = Resource::new(sim.handle(), &format!("jcpu-{idx}"));
+    DirColumn {
+        sm: Arc::new(DirectoryStateMachine::standalone(
+            cfg,
+            dir_params,
+            bullet,
+            partition,
+            None,
+            Some(journal),
+            cpu,
+        )),
+        node,
+        vdisk,
+    }
+}
+
+/// Rebuilds a journaled probe machine cold over a (possibly revived)
+/// column's platter — fresh disk server, fresh journal handle with a
+/// cold cursor — exactly what a production restart does.
+fn journaled_probe(
+    sim: &Simulation,
+    net: &Network,
+    col: &DirColumn,
+    journal_blocks: u64,
+) -> (Arc<DirectoryStateMachine>, RawPartition) {
+    let disk = DiskServer::start(sim, col.node, col.vdisk.clone(), DiskParams::instant());
+    let partition = RawPartition::new(disk.clone(), 0, TABLE_BLOCKS);
+    let journal = Journal::disk(RawPartition::new(
+        disk.clone(),
+        TABLE_BLOCKS,
+        journal_blocks,
+    ));
+    let jpart = RawPartition::new(disk, TABLE_BLOCKS, journal_blocks);
+    let cfg = ServiceConfig::new(3, 0);
+    let rpc = RpcNode::start(sim, col.node, net.attach());
+    let bullet = BulletClient::new(RpcClient::new(&rpc), cfg.bullet_port(0));
+    let cpu = Resource::new(sim.handle(), "jprobe-cpu");
+    let probe = Arc::new(DirectoryStateMachine::standalone(
+        cfg,
+        journaled_params(),
+        bullet,
+        partition,
+        None,
+        Some(journal),
+        cpu,
+    ));
+    (probe, jpart)
+}
+
+/// Power-cut right after a journaled group commit: the table and Bullet
+/// store were never written (the checkpointer never ran), yet boot must
+/// replay the journal record and reproduce the committed state.
+#[test]
+fn journaled_commit_survives_crash_and_reboot() {
+    let mut sim = Simulation::new(0x10A1);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 0x10A1);
+    let col = dir_column_journaled(
+        &sim,
+        &net,
+        0,
+        DiskParams::wren_iv(),
+        journaled_params(),
+        JOURNAL_BLOCKS,
+    );
+    let sm = Arc::clone(&col.sm);
+    let committed = sim.spawn("seed", move |ctx| {
+        for (i, op) in dir_ops_batch1().iter().enumerate() {
+            let _ = sm.apply(ctx, 1 + i as u64, op);
+        }
+        // Journal on: this appends ONE sequential record and returns
+        // with the commit durable — no table or Bullet writes.
+        sm.flush(ctx);
+        let (cur, snap) = sm.snapshot(ctx);
+        (cur, snap)
+    });
+    sim.run_for(Duration::from_secs(30));
+    let (cur, snap) = committed.take().expect("journaled commit finished");
+    assert!(cur > 0);
+
+    // Power-cut the machine: RAM dies, platters keep their bits.
+    sim.crash_node(col.node);
+    sim.run_for(Duration::from_millis(50));
+    sim.revive_node(col.node);
+
+    let (probe, _) = journaled_probe(&sim, &net, &col, JOURNAL_BLOCKS);
+    let p = Arc::clone(&probe);
+    let rebooted = sim.spawn("reboot", move |ctx| {
+        p.boot(ctx);
+        let (rcur, rsnap) = p.snapshot(ctx);
+        (p.update_seq(), rcur, rsnap)
+    });
+    sim.run_for(Duration::from_secs(20));
+    let (seq, _rcur, rsnap) = rebooted.take().expect("reboot finished");
+    // Batch 1's final op fails deterministically (stores nothing), so
+    // the replayed claim is the highest *stored* seqno — one short of
+    // the logical cursor, same arithmetic as the salvage tests.
+    assert!(
+        seq >= cur - 1 && seq > 0,
+        "journal replay must reach the acked batch (got {seq}, acked {cur})"
+    );
+    // The snapshot header's first word is the cursor claim, whose
+    // salvage arithmetic (logical 7 vs highest-stored 6) is asserted
+    // above; everything after it must be byte-identical.
+    assert_eq!(
+        &rsnap[8..],
+        &snap[8..],
+        "replayed state must be byte-identical to the acked state"
+    );
+}
+
+/// A checkpoint drains the dirty set into real table/Bullet blocks and
+/// advances the journal's tail; records appended after it replay on top
+/// of the checkpointed table. Two independent boots over the same
+/// platter must agree — replay is idempotent (acts are absolute
+/// states), so re-running it changes nothing.
+#[test]
+fn checkpoint_drains_journal_and_replay_is_idempotent() {
+    let mut sim = Simulation::new(0x10A2);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 0x10A2);
+    let col = dir_column_journaled(
+        &sim,
+        &net,
+        0,
+        DiskParams::instant(),
+        journaled_params(),
+        JOURNAL_BLOCKS,
+    );
+    let sm = Arc::clone(&col.sm);
+    let live = sim.spawn("seed", move |ctx| {
+        let mut seq = 0u64;
+        for op in dir_ops_batch1() {
+            seq += 1;
+            let _ = sm.apply(ctx, seq, &op);
+        }
+        sm.flush(ctx); // record 1
+                       // Drain it into long-term form; the journal tail advances.
+        sm.checkpoint(ctx);
+        for op in dir_ops_batch2() {
+            seq += 1;
+            let _ = sm.apply(ctx, seq, &op);
+        }
+        sm.flush(ctx); // record 2 — journaled, NOT checkpointed
+        sm.snapshot(ctx)
+    });
+    sim.run_for(Duration::from_secs(30));
+    let (_cur, snap) = live.take().expect("seed finished");
+
+    // Boot twice over the same platter (boot does not consume the
+    // journal): salvage the checkpointed table, replay record 2.
+    let p1 = Arc::new(col.sm.reopen_for_test());
+    let p2 = Arc::new(col.sm.reopen_for_test());
+    let booted = sim.spawn("reboots", move |ctx| {
+        p1.boot(ctx);
+        let (_, s1) = p1.snapshot(ctx);
+        p2.boot(ctx);
+        let (_, s2) = p2.snapshot(ctx);
+        (s1, s2)
+    });
+    sim.run_for(Duration::from_secs(30));
+    let (s1, s2) = booted.take().expect("reboot probes finished");
+    // Modulo the cursor-claim word (logical vs highest-stored seqno —
+    // the salvage arithmetic), the state must be byte-identical.
+    assert_eq!(
+        &s1[8..],
+        &snap[8..],
+        "checkpointed table + journal replay must reproduce the acked state"
+    );
+    assert_eq!(s2, s1, "journal replay must be idempotent across boots");
+}
+
+/// A torn record at the journal's tail (the crash hit mid-append, so it
+/// was never acked) must truncate cleanly: boot keeps every record
+/// before the tear and loses only the unacked suffix.
+#[test]
+fn torn_journal_tail_truncates_to_acked_prefix() {
+    let mut sim = Simulation::new(0x10A3);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 0x10A3);
+    let col = dir_column_journaled(
+        &sim,
+        &net,
+        0,
+        DiskParams::instant(),
+        journaled_params(),
+        JOURNAL_BLOCKS,
+    );
+    let sm = Arc::clone(&col.sm);
+    let live = sim.spawn("seed", move |ctx| {
+        let mut seq = 0u64;
+        for op in dir_ops_batch1() {
+            seq += 1;
+            let _ = sm.apply(ctx, seq, &op);
+        }
+        sm.flush(ctx); // record 1 (acked)
+        let mid = sm.snapshot(ctx);
+        for op in dir_ops_batch2() {
+            seq += 1;
+            let _ = sm.apply(ctx, seq, &op);
+        }
+        sm.flush(ctx); // record 2 (the append the crash will tear)
+        mid
+    });
+    sim.run_for(Duration::from_secs(30));
+    let (_mid_cur, mid_snap) = live.take().expect("seed finished");
+
+    sim.crash_node(col.node);
+    sim.run_for(Duration::from_millis(50));
+    sim.revive_node(col.node);
+
+    // Emulate the tear: smash record 2's first frame (the frame header
+    // carries its seq at [4..12)), as if the head crashed mid-write.
+    let (probe, jpart) = journaled_probe(&sim, &net, &col, JOURNAL_BLOCKS);
+    let p = Arc::clone(&probe);
+    let rebooted = sim.spawn("tear-and-reboot", move |ctx| {
+        let mut torn = false;
+        for b in 1..jpart.len() {
+            let blk = jpart.read(ctx, b);
+            if blk.len() >= 12
+                && blk[0..4] == 0x414A_524Eu32.to_le_bytes()
+                && u64::from_le_bytes(blk[4..12].try_into().unwrap()) == 2
+            {
+                jpart.write(ctx, b, vec![0u8; blk.len()]);
+                torn = true;
+                break;
+            }
+        }
+        assert!(torn, "record 2 must be on the platter to tear");
+        p.boot(ctx);
+        p.snapshot(ctx)
+    });
+    sim.run_for(Duration::from_secs(20));
+    let (_rcur, rsnap) = rebooted.take().expect("reboot finished");
+    // Modulo the cursor-claim word (logical vs highest-stored seqno),
+    // the state must equal the batch-1-only snapshot.
+    assert_eq!(
+        &rsnap[8..],
+        &mid_snap[8..],
+        "a torn tail must truncate to exactly the acked prefix"
+    );
+}
+
+/// A journal too small for the workload: `JournalFull` backpressures by
+/// running the checkpoint inline (the failed batch's acts are already
+/// in the dirty set, so the drain persists them — no append retry).
+/// Every acked commit must survive a reboot regardless.
+#[test]
+fn full_journal_backpressure_keeps_commits_durable() {
+    let mut sim = Simulation::new(0x10A4);
+    let net = Network::new(sim.handle(), NetParams::lan_10mbps(), 0x10A4);
+    // Superblock + 2 data blocks: a couple of records fill it.
+    let col = dir_column_journaled(&sim, &net, 0, DiskParams::instant(), journaled_params(), 3);
+    let port = ServiceConfig::new(3, 0).public_port;
+    let sm = Arc::clone(&col.sm);
+    let live = sim.spawn("seed", move |ctx| {
+        let mut seq = 1u64;
+        let _ = sm.apply(
+            ctx,
+            seq,
+            &DirOp::Create {
+                columns: vec!["owner".into()],
+                check: 0xC1 | 1,
+            }
+            .encode(),
+        );
+        sm.flush(ctx);
+        // Many one-op commits: far more bytes than the journal holds,
+        // so several appends hit JournalFull and checkpoint inline.
+        for k in 0..24 {
+            seq += 1;
+            let _ = sm.apply(
+                ctx,
+                seq,
+                &DirOp::Append {
+                    object: 1,
+                    name: format!("j{k}"),
+                    cap: Capability::owner(port, 1, 0xC1 | 1),
+                    col_rights: vec![Rights::ALL],
+                }
+                .encode(),
+            );
+            sm.flush(ctx);
+        }
+        sm.snapshot(ctx)
+    });
+    sim.run_for(Duration::from_secs(60));
+    let (cur, snap) = live.take().expect("seed finished");
+    assert_eq!(cur, 25, "every commit must have been acked");
+
+    let p = Arc::new(col.sm.reopen_for_test());
+    let pp = Arc::clone(&p);
+    let rebooted = sim.spawn("reboot", move |ctx| {
+        pp.boot(ctx);
+        (pp.update_seq(), pp.snapshot(ctx))
+    });
+    sim.run_for(Duration::from_secs(30));
+    let (seq, (_rcur, rsnap)) = rebooted.take().expect("reboot finished");
+    assert_eq!(seq, cur, "no acked commit may be lost to backpressure");
+    assert_eq!(rsnap, snap, "rebooted state must match the acked state");
 }
